@@ -1,0 +1,55 @@
+//! Criterion micro-bench: the full per-pair detection pipeline (Step 1–3
+//! + GMM) under clean, jittered and multi-period traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use baywatch_netsim::synth::{multi_period_burst, SyntheticBeacon};
+use baywatch_timeseries::detector::{DetectorConfig, PeriodicityDetector};
+
+fn bench_detector(c: &mut Criterion) {
+    let detector = PeriodicityDetector::new(DetectorConfig::default());
+
+    let clean = SyntheticBeacon {
+        period: 60.0,
+        count: 240,
+        ..Default::default()
+    }
+    .generate(1);
+    let noisy = SyntheticBeacon {
+        period: 60.0,
+        gaussian_sigma: 5.0,
+        p_miss: 0.25,
+        add_rate: 0.2,
+        count: 240,
+        ..Default::default()
+    }
+    .generate(2);
+    let burst = multi_period_burst(0, 20, 16, 7.5, 600.0, 0.4, 3);
+
+    let mut group = c.benchmark_group("detector");
+    group.sample_size(20);
+    for (label, ts) in [("clean", &clean), ("noisy", &noisy), ("burst", &burst)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), ts, |b, ts| {
+            b.iter(|| detector.detect(black_box(ts)).unwrap());
+        });
+    }
+    group.finish();
+
+    // Ablation: GMM on vs off (design choice from DESIGN.md §5).
+    let mut group = c.benchmark_group("detector_gmm_ablation");
+    group.sample_size(20);
+    for (label, fit_gmm) in [("with_gmm", true), ("without_gmm", false)] {
+        let det = PeriodicityDetector::new(DetectorConfig {
+            fit_gmm,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(label), &burst, |b, ts| {
+            b.iter(|| det.detect(black_box(ts)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

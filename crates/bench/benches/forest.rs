@@ -1,0 +1,66 @@
+//! Criterion micro-bench: random-forest training and prediction at the
+//! paper's scale (200 trees, Table-II feature vectors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use baywatch_classifier::forest::{ForestConfig, RandomForest};
+use baywatch_classifier::N_FEATURES;
+
+fn synthetic_dataset(n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..N_FEATURES)
+                .map(|j| (((i * 31 + j * 17) % 97) as f64) / 97.0 + (i % 2) as f64 * 0.3)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    (xs, ys)
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let (xs, ys) = synthetic_dataset(470); // ≈ the paper's 1-month training window
+
+    let mut group = c.benchmark_group("forest_train");
+    group.sample_size(10);
+    for trees in [50usize, 200] {
+        let cfg = ForestConfig {
+            n_trees: trees,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(trees), &cfg, |b, cfg| {
+            b.iter(|| RandomForest::fit(black_box(&xs), black_box(&ys), cfg).unwrap());
+        });
+    }
+    group.finish();
+
+    let rf = RandomForest::fit(
+        &xs,
+        &ys,
+        &ForestConfig {
+            n_trees: 200,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let (test_xs, _) = synthetic_dataset(1_882); // ≈ the paper's residual cases
+
+    let mut group = c.benchmark_group("forest_predict");
+    group.throughput(Throughput::Elements(test_xs.len() as u64));
+    group.bench_function("classify_residual_cases", |b| {
+        b.iter(|| {
+            let mut pos = 0usize;
+            for x in &test_xs {
+                if rf.predict(black_box(x)) {
+                    pos += 1;
+                }
+            }
+            pos
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-bench: language-model training and scoring throughput
+//! (every flagged destination gets scored, so this is on the ranking
+//! filter's hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use baywatch_langmodel::dga::{DgaGenerator, DgaStyle};
+use baywatch_langmodel::{corpus, DomainScorer};
+
+fn bench_langmodel(c: &mut Criterion) {
+    // Training on the full corpus (one-time cost per engine).
+    let mut group = c.benchmark_group("langmodel_train");
+    group.sample_size(10);
+    let small_corpus: Vec<String> = corpus::seed_domains()
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    group.bench_function("seed_corpus_3gram", |b| {
+        b.iter(|| DomainScorer::train(black_box(small_corpus.iter()), 3));
+    });
+    group.finish();
+
+    // Scoring throughput.
+    let scorer = DomainScorer::train(corpus::training_corpus(), 3);
+    let batch = DgaGenerator::new(DgaStyle::RandomAlpha, 1).generate_batch(1_000);
+    let mut group = c.benchmark_group("langmodel_score");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("score_1000_domains", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in &batch {
+                acc += scorer.score(black_box(d));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_langmodel);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion micro-bench: MapReduce shuffle throughput vs partition and
+//! thread counts (the knob the paper tunes with its k-bit hash, §VII-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use baywatch_mapreduce::{JobConfig, MapReduce};
+
+fn bench_shuffle(c: &mut Criterion) {
+    let inputs: Vec<u64> = (0..200_000).collect();
+
+    let mut group = c.benchmark_group("mapreduce_wordcount_200k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(inputs.len() as u64));
+    for (partitions, threads) in [(1usize, 1usize), (32, 1), (32, 4), (32, 8), (256, 8)] {
+        let engine = MapReduce::new(JobConfig {
+            partitions,
+            threads,
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{partitions}_t{threads}")),
+            &engine,
+            |b, engine| {
+                b.iter_batched(
+                    || inputs.clone(),
+                    |inputs| {
+                        engine.run(
+                            inputs,
+                            |n, emit| emit(n % 5_000, 1u64),
+                            |k, vs| vec![(*k, vs.len() as u64)],
+                        )
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+
+    // Combiner ablation: associative aggregation with and without map-side
+    // combining.
+    let mut group = c.benchmark_group("mapreduce_combiner_ablation");
+    group.sample_size(10);
+    let engine = MapReduce::new(JobConfig {
+        partitions: 32,
+        threads: 8,
+    });
+    group.bench_function("plain", |b| {
+        b.iter_batched(
+            || inputs.clone(),
+            |inputs| {
+                engine.run(
+                    inputs,
+                    |n, emit| emit(n % 100, 1u64),
+                    |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+                )
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("with_combiner", |b| {
+        b.iter_batched(
+            || inputs.clone(),
+            |inputs| {
+                engine.run_with_combiner(
+                    inputs,
+                    |n: u64, emit: &mut dyn FnMut(u64, u64)| emit(n % 100, 1u64),
+                    |a, b| a + b,
+                    |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+                )
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shuffle);
+criterion_main!(benches);

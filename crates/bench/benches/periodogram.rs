@@ -1,0 +1,54 @@
+//! Criterion micro-bench: periodogram + permutation-threshold cost vs
+//! series length (the inner loop of the paper's O(n log n) claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use baywatch_netsim::synth::SyntheticBeacon;
+use baywatch_timeseries::periodogram::Periodogram;
+use baywatch_timeseries::permutation::{permutation_threshold, PermutationConfig};
+use baywatch_timeseries::series::TimeSeries;
+
+fn series_of(bins: usize) -> TimeSeries {
+    let period = 60u64;
+    let count = bins as u64 / period;
+    let ts = SyntheticBeacon {
+        period: period as f64,
+        gaussian_sigma: 2.0,
+        count: count as usize,
+        ..Default::default()
+    }
+    .generate(1);
+    TimeSeries::from_timestamps(&ts, 1).unwrap()
+}
+
+fn bench_periodogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("periodogram");
+    for bins in [1 << 12, 1 << 14, 1 << 16] {
+        let series = series_of(bins);
+        group.throughput(Throughput::Elements(series.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &series, |b, s| {
+            b.iter(|| Periodogram::compute(black_box(s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permutation_threshold");
+    group.sample_size(10);
+    let series = series_of(1 << 14);
+    for m in [5usize, 20, 40] {
+        let cfg = PermutationConfig {
+            permutations: m,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(m), &cfg, |b, cfg| {
+            b.iter(|| permutation_threshold(black_box(&series), cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_periodogram, bench_permutation);
+criterion_main!(benches);

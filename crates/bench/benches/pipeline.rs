@@ -1,0 +1,84 @@
+//! Criterion macro-bench: end-to-end pipeline throughput on a simulated
+//! enterprise day (weekday vs weekend — the §VIII-B2 operating points).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use baywatch_core::pipeline::{Baywatch, BaywatchConfig};
+use baywatch_core::record::LogRecord;
+use baywatch_netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};
+
+fn records_for(hosts: usize, day: usize) -> Vec<LogRecord> {
+    let sim = EnterpriseSimulator::new(EnterpriseConfig {
+        hosts,
+        days: 7,
+        seed: 0xBEBC,
+        ..Default::default()
+    });
+    sim.generate_day(day)
+        .iter()
+        .map(|e| {
+            LogRecord::new(
+                e.timestamp,
+                e.host.to_string(),
+                e.domain.clone(),
+                e.url_path.clone(),
+            )
+        })
+        .collect()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_day");
+    group.sample_size(10);
+    for (label, hosts, day) in [("weekday_100h", 100usize, 1usize), ("weekend_100h", 100, 5)] {
+        let records = records_for(hosts, day);
+        group.throughput(Throughput::Elements(records.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &records, |b, records| {
+            b.iter_batched(
+                || records.clone(),
+                |records| {
+                    let mut engine = Baywatch::new(BaywatchConfig {
+                        local_tau: 0.05,
+                        ..Default::default()
+                    });
+                    engine.analyze(records)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    // Rescaling ablation (DESIGN.md §5): analyzing at a coarser time scale
+    // trades resolution for speed — the knob behind the paper's
+    // daily/weekly/monthly operation.
+    let mut group = c.benchmark_group("pipeline_time_scale_ablation");
+    group.sample_size(10);
+    let records = records_for(100, 1);
+    for scale in [1u64, 60] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scale}s_bins")),
+            &records,
+            |b, records| {
+                b.iter_batched(
+                    || records.clone(),
+                    |records| {
+                        let mut cfg = BaywatchConfig {
+                            local_tau: 0.05,
+                            time_scale: scale,
+                            ..Default::default()
+                        };
+                        cfg.detector.time_scale = scale;
+                        let mut engine = Baywatch::new(cfg);
+                        engine.analyze(records)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Runs every experiment binary in sequence — the one-shot reproduction of
+//! the paper's evaluation section. Equivalent to invoking each
+//! `cargo run --release -p baywatch-bench --bin <exp>` by hand.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "lm_scores",
+    "fig05_permutation",
+    "fig06_pruning",
+    "fig07_gmm",
+    "fig10_noise",
+    "table03_volumes",
+    "table04_confusion",
+    "fig11_uncertainty",
+    "table05_cases",
+    "table06_top5",
+    "scalability",
+    "ablations",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n================================================================");
+        println!("=== running {exp}");
+        println!("================================================================\n");
+        let status = Command::new(exe_dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {exp}: {e}"));
+        if !status.success() {
+            eprintln!("!!! {exp} failed with {status}");
+            failures.push(*exp);
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,91 @@
+//! §V-C worked example — language-model scores of domains.
+//!
+//! Paper: `S(skmnikrzhrrzcjcxwfprgt.com) = −45.166`, significantly lower
+//! than `S(google.com) = −7.406` under a 3-gram model trained on the Alexa
+//! top-1M. Our corpus substitution (DESIGN.md) shifts absolute values, but
+//! the *gap* — DGA scores several times lower than popular domains — is the
+//! property the ranking filter uses, and it must reproduce.
+
+use baywatch_bench::{f, render_table, save_json};
+use baywatch_langmodel::dga::{DgaGenerator, DgaStyle};
+use baywatch_langmodel::{corpus, DomainScorer};
+
+fn main() {
+    println!("=== §V-C: language-model domain scores ===\n");
+    let scorer = DomainScorer::train(corpus::training_corpus(), 3);
+
+    let samples = [
+        ("google.com", "paper: -7.406"),
+        ("skmnikrzhrrzcjcxwfprgt.com", "paper: -45.166"),
+        ("facebook.com", ""),
+        ("wikipedia.org", ""),
+        ("setup.poiiorew.com", "Table VI style"),
+        ("cuoxxscrhhvigp.com", "Table VI style"),
+        ("cdn.5f75b1c54f82d4.com", "Table V style"),
+        ("api.echoenabled.com", "paper's false positive"),
+        ("2015.ausopen.com", "paper's benign periodic"),
+    ];
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|(d, note)| {
+            vec![
+                (*d).to_owned(),
+                f(scorer.score(d), 3),
+                f(scorer.score_per_char(d), 3),
+                (*note).to_owned(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["domain", "S = log P(D)", "per char", "note"], &rows)
+    );
+
+    let google = scorer.score("google.com");
+    let dga = scorer.score("skmnikrzhrrzcjcxwfprgt.com");
+    println!("score gap google vs paper's DGA example: {:.1} nats", google - dga);
+    assert!(
+        dga < google - 15.0,
+        "DGA must score far below google.com (got {dga} vs {google})"
+    );
+
+    // Distribution view over batches.
+    println!("\n--- per-char score distributions (200 domains each) ---");
+    let popular_scores: Vec<f64> = corpus::seed_domains()
+        .iter()
+        .take(200)
+        .map(|d| scorer.score_per_char(d))
+        .collect();
+    let mut rows = vec![summary_row("popular (seed corpus)", &popular_scores)];
+    for (style, label) in [
+        (DgaStyle::RandomAlpha, "DGA random-alpha"),
+        (DgaStyle::HexFragment, "DGA hex-fragment"),
+        (DgaStyle::Pronounceable, "DGA pronounceable"),
+    ] {
+        let scores: Vec<f64> = DgaGenerator::new(style, 99)
+            .generate_batch(200)
+            .iter()
+            .map(|d| scorer.score_per_char(d))
+            .collect();
+        rows.push(summary_row(label, &scores));
+    }
+    println!(
+        "{}",
+        render_table(&["population", "mean", "min", "max"], &rows)
+    );
+
+    save_json(
+        "lm_scores",
+        &samples
+            .iter()
+            .map(|(d, _)| ((*d).to_owned(), scorer.score(d)))
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn summary_row(label: &str, scores: &[f64]) -> Vec<String> {
+    let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+    let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    vec![label.to_owned(), f(mean, 3), f(min, 3), f(max, 3)]
+}

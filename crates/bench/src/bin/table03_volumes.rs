@@ -1,0 +1,115 @@
+//! Table III — data volumes of the web-proxy logs.
+//!
+//! Paper: six windows (Oct 2013 + Nov 2014 – Mar 2015), 34.6 B events and
+//! 35.6 TB of logs from 130 K devices. We cannot replay that volume, so
+//! the simulator generates each month at a 1:1000 device scale and the
+//! table reports measured event counts, distinct pairs and an estimated
+//! raw-log size (≈190 bytes/event, the BlueCoat average the paper's
+//! TB/event ratio implies), alongside the linear extrapolation back to
+//! paper scale.
+
+use baywatch_bench::{f, render_table, save_json};
+use baywatch_netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};
+use std::collections::HashSet;
+
+const BYTES_PER_EVENT: f64 = 190.0;
+const DEVICE_SCALE: f64 = 1000.0; // simulated hosts × 1000 ≈ paper's 130 K
+
+fn main() {
+    println!("=== Table III: data volumes of web proxy logs (scaled 1:{DEVICE_SCALE}) ===\n");
+
+    let months = [
+        ("Oct 2013 (10-day)", 10usize),
+        ("Nov 2014", 30),
+        ("Dec 2014", 31),
+        ("Jan 2015", 31),
+        ("Feb 2015", 28),
+        ("Mar 2015", 31),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut total_events = 0usize;
+    let mut total_bytes = 0.0f64;
+
+    for (i, (label, days)) in months.iter().enumerate() {
+        // A BlueCoat proxy logs every embedded object, not just page
+        // loads: the paper's 34.6 B events / 130 K devices / 151 days is
+        // ≈1,600 log lines per device-day. The default browsing model
+        // counts "requests" at page granularity, so this experiment raises
+        // it to object granularity.
+        let sim = EnterpriseSimulator::new(EnterpriseConfig {
+            hosts: 130,
+            days: *days,
+            seed: 0xC0FFEE + i as u64,
+            browsing: baywatch_netsim::benign::BrowsingModel {
+                sessions_per_day: 14.0,
+                requests_per_session: 90.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let mut events = 0usize;
+        let mut pairs: HashSet<(u32, String)> = HashSet::new();
+        for d in 0..*days {
+            let day = sim.generate_day(d);
+            events += day.len();
+            for e in day {
+                pairs.insert((e.host.0, e.domain));
+            }
+        }
+        let bytes = events as f64 * BYTES_PER_EVENT;
+        total_events += events;
+        total_bytes += bytes;
+        rows.push(vec![
+            (*label).to_owned(),
+            events.to_string(),
+            pairs.len().to_string(),
+            format!("{:.1} MB", bytes / 1e6),
+            format!("{:.1} B events", events as f64 * DEVICE_SCALE / 1e9),
+            format!("{:.1} TB", bytes * DEVICE_SCALE / 1e12),
+        ]);
+        json.push((label.to_string(), events, pairs.len()));
+    }
+    rows.push(vec![
+        "Total".into(),
+        total_events.to_string(),
+        "-".into(),
+        format!("{:.1} MB", total_bytes / 1e6),
+        format!("{:.1} B events", total_events as f64 * DEVICE_SCALE / 1e9),
+        format!("{:.1} TB", total_bytes * DEVICE_SCALE / 1e12),
+    ]);
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Month",
+                "# events (sim)",
+                "# distinct pairs",
+                "log size (sim)",
+                "extrapolated events",
+                "extrapolated size",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "paper reference: 34.6 B events, 35.6 TB total over the same six windows\n"
+    );
+
+    // Shape check: extrapolated totals within an order of magnitude of the
+    // paper's 34.6 B events.
+    let extrapolated = total_events as f64 * DEVICE_SCALE;
+    println!(
+        "extrapolated total: {:.1} B events ({}x the paper's 34.6 B)",
+        extrapolated / 1e9,
+        f(extrapolated / 34.6e9, 2)
+    );
+    assert!(
+        extrapolated > 34.6e9 * 0.05 && extrapolated < 34.6e9 * 20.0,
+        "extrapolation out of the plausible band"
+    );
+
+    save_json("table03_volumes", &json);
+}

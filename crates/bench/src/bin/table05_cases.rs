@@ -1,0 +1,137 @@
+//! Table V — example cases found in the long trace.
+//!
+//! Paper (5-month trace, top-50 investigation): confirmed malicious
+//! destinations with smallest periods between 30 s and 929 s and 1–19
+//! clients each, DGA-style names (`cdn.5f75b1c54f8[..]2d4.com`, …).
+//!
+//! This binary runs the full pipeline daily over a multi-week simulated
+//! trace and prints the same three columns — domain, smallest period,
+//! client count — for every reported destination, with ground-truth
+//! confirmation in place of the paper's manual investigation.
+
+use std::collections::{HashMap, HashSet};
+
+use baywatch_bench::{render_table, save_json};
+use baywatch_core::pipeline::{Baywatch, BaywatchConfig};
+use baywatch_core::record::LogRecord;
+use baywatch_netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};
+
+fn main() {
+    println!("=== Table V: example cases found in the long trace ===\n");
+
+    let sim = EnterpriseSimulator::new(EnterpriseConfig {
+        hosts: 150,
+        days: 14,
+        infection_rate: 0.08,
+        seed: 0x7AB1E5,
+        ..Default::default()
+    });
+    let truth = sim.ground_truth();
+    println!(
+        "{} hosts, {} days, {} campaigns\n",
+        sim.config().hosts,
+        sim.config().days,
+        sim.campaigns().len()
+    );
+
+    let mut engine = Baywatch::new(BaywatchConfig {
+        local_tau: 0.05,
+        ..Default::default()
+    });
+
+    // domain -> (smallest period seen, distinct clients)
+    let mut found: HashMap<String, (f64, HashSet<String>)> = HashMap::new();
+    for day in 0..sim.config().days {
+        let records: Vec<LogRecord> = sim
+            .generate_day(day)
+            .iter()
+            .map(|e| {
+                LogRecord::new(
+                    e.timestamp,
+                    e.host.to_string(),
+                    e.domain.clone(),
+                    e.url_path.clone(),
+                )
+            })
+            .collect();
+        let report = engine.analyze(records);
+        for rc in &report.ranked {
+            let entry = found
+                .entry(rc.case.pair.destination.clone())
+                .or_insert((f64::INFINITY, HashSet::new()));
+            if let Some(p) = rc.case.smallest_period() {
+                entry.0 = entry.0.min(p);
+            }
+            entry.1.insert(rc.case.pair.source.clone());
+        }
+    }
+
+    let mut rows: Vec<(String, f64, usize, bool)> = found
+        .into_iter()
+        .map(|(d, (p, clients))| {
+            let malicious = truth.is_malicious(&d);
+            (d, p, clients.len(), malicious)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(d, p, c, m)| {
+            let shown = if d.len() > 34 {
+                format!("{}[..]{}", &d[..14], &d[d.len() - 8..])
+            } else {
+                d.clone()
+            };
+            vec![
+                shown,
+                format!("{:.0} seconds", p),
+                c.to_string(),
+                if *m { "CONFIRMED (ground truth)" } else { "false positive" }.into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Domain name", "Smallest period", "Clients", "verdict"],
+            &table
+        )
+    );
+
+    let confirmed = rows.iter().filter(|(_, _, _, m)| *m).count();
+    println!(
+        "{}/{} flagged destinations confirmed malicious \
+         (paper: 48/50 = 96% of top-ranked)",
+        confirmed,
+        rows.len()
+    );
+    println!(
+        "period range among confirmed: {:.0}–{:.0} s (paper: 30–929 s)",
+        rows.iter()
+            .filter(|(_, _, _, m)| *m)
+            .map(|r| r.1)
+            .fold(f64::INFINITY, f64::min),
+        rows.iter()
+            .filter(|(_, _, _, m)| *m)
+            .map(|r| r.1)
+            .fold(0.0, f64::max),
+    );
+
+    assert!(confirmed >= 1, "at least one campaign must be confirmed");
+    // Precision shape: the large majority of flagged destinations are
+    // truly malicious, as in the paper's 96%.
+    assert!(
+        confirmed * 10 >= rows.len() * 6,
+        "precision below the paper's band: {confirmed}/{}",
+        rows.len()
+    );
+
+    save_json(
+        "table05_cases",
+        &rows
+            .iter()
+            .map(|(d, p, c, m)| (d.clone(), *p, *c, *m))
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,178 @@
+//! Table VI — top-5 cases reported in the 10-day trace.
+//!
+//! Paper (Oct 2013, 10 days): 828 suspicious communication pairs breaking
+//! down into 412 unique destinations / 696 unique clients; the five
+//! top-ranked destinations were all confirmed (Zeus.Zbot at 180 s twice,
+//! ZeroAccess at 63 s twice and 1242 s once).
+//!
+//! This binary builds a 10-day trace whose campaigns copy those periods,
+//! runs the pipeline daily, and prints the 5 top-ranked destinations with
+//! their smallest period and client count.
+
+use std::collections::{HashMap, HashSet};
+
+use baywatch_bench::{render_table, save_json};
+use baywatch_core::pipeline::{Baywatch, BaywatchConfig};
+use baywatch_core::record::LogRecord;
+use baywatch_netsim::enterprise::{Campaign, EnterpriseConfig, EnterpriseSimulator};
+use baywatch_netsim::malware::MalwareProfile;
+use baywatch_netsim::types::HostId;
+
+fn main() {
+    println!("=== Table VI: top 5 cases reported in the 10-day trace ===\n");
+
+    // Base enterprise without infections; we inject the paper's exact
+    // campaign periods manually.
+    let sim = EnterpriseSimulator::new(EnterpriseConfig {
+        hosts: 120,
+        days: 10,
+        infection_rate: 0.0,
+        seed: 0x0C7_2013,
+        ..Default::default()
+    });
+    let zeus_profiles = [
+        (MalwareProfile::Zeus { period: 180.0 }, 1usize),
+        (MalwareProfile::Zeus { period: 180.0 }, 1),
+        (MalwareProfile::ZeroAccess { period: 63.0 }, 3),
+        (MalwareProfile::ZeroAccess { period: 63.0 }, 1),
+        (MalwareProfile::ZeroAccess { period: 1242.0 }, 1),
+    ];
+
+    // Hand-crafted campaigns appended to the simulator state via its public
+    // trace assembly: we regenerate events per day and merge in the beacons.
+    let campaigns: Vec<Campaign> = zeus_profiles
+        .iter()
+        .enumerate()
+        .map(|(i, (profile, n_hosts))| Campaign {
+            profile: *profile,
+            domain: profile.domain(7_000 + i as u64),
+            hosts: (0..*n_hosts).map(|h| HostId((i * 7 + h) as u32)).collect(),
+            start_day: 0,
+        })
+        .collect();
+    for c in &campaigns {
+        println!(
+            "injected: {:?} -> {} ({} clients)",
+            c.profile,
+            c.domain,
+            c.hosts.len()
+        );
+    }
+    println!();
+
+    let mut engine = Baywatch::new(BaywatchConfig {
+        local_tau: 0.05,
+        ..Default::default()
+    });
+
+    let mut best_scores: HashMap<String, f64> = HashMap::new();
+    let mut periods: HashMap<String, f64> = HashMap::new();
+    let mut clients: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut pair_count = 0usize;
+
+    for day in 0..sim.config().days {
+        let mut records: Vec<LogRecord> = sim
+            .generate_day(day)
+            .iter()
+            .map(|e| {
+                LogRecord::new(
+                    e.timestamp,
+                    e.host.to_string(),
+                    e.domain.clone(),
+                    e.url_path.clone(),
+                )
+            })
+            .collect();
+        // Merge injected beacons.
+        let day_start = sim.config().start_epoch + day as u64 * 86_400;
+        for (ci, c) in campaigns.iter().enumerate() {
+            for (hi, host) in c.hosts.iter().enumerate() {
+                let seed = (ci * 31 + hi) as u64 ^ 0xBEEF;
+                for t in c.profile.schedule(day_start, 86_400, seed) {
+                    records.push(LogRecord::new(
+                        t,
+                        host.to_string(),
+                        c.domain.clone(),
+                        format!("{:05x}", t % 0xFFFFF),
+                    ));
+                }
+            }
+        }
+
+        let report = engine.analyze(records);
+        pair_count += report.stats.periodic;
+        for rc in &report.ranked {
+            let d = rc.case.pair.destination.clone();
+            let e = best_scores.entry(d.clone()).or_insert(f64::NEG_INFINITY);
+            *e = e.max(rc.score);
+            if let Some(p) = rc.case.smallest_period() {
+                let pe = periods.entry(d.clone()).or_insert(f64::INFINITY);
+                *pe = pe.min(p);
+            }
+            clients.entry(d).or_default().insert(rc.case.pair.source.clone());
+        }
+    }
+
+    let mut ranked: Vec<(String, f64)> = best_scores.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores finite"));
+
+    println!("suspicious periodic pairs over 10 days: {pair_count}");
+    println!("distinct flagged destinations: {}\n", ranked.len());
+
+    let truth_domains: HashSet<&String> = campaigns.iter().map(|c| &c.domain).collect();
+    let rows: Vec<Vec<String>> = ranked
+        .iter()
+        .take(5)
+        .enumerate()
+        .map(|(i, (d, score))| {
+            let shown = if d.len() > 30 {
+                format!("{}[..]{}", &d[..11], &d[d.len() - 7..])
+            } else {
+                d.clone()
+            };
+            vec![
+                (i + 1).to_string(),
+                shown,
+                periods
+                    .get(d)
+                    .map(|p| format!("{p:.0} seconds"))
+                    .unwrap_or_else(|| "-".into()),
+                clients.get(d).map(|c| c.len()).unwrap_or(0).to_string(),
+                format!("{score:.2}"),
+                if truth_domains.contains(d) {
+                    "CONFIRMED"
+                } else {
+                    "FP"
+                }
+                .into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Rank", "Domain name", "Smallest period", "Clients", "score", "verdict"],
+            &rows
+        )
+    );
+    println!("paper: all 5 top-ranked confirmed (Zeus.Zbot 180 s ×2, ZeroAccess 63 s ×2 + 1242 s)");
+
+    let confirmed_in_top5 = ranked
+        .iter()
+        .take(5)
+        .filter(|(d, _)| truth_domains.contains(d))
+        .count();
+    assert!(
+        confirmed_in_top5 >= 4,
+        "only {confirmed_in_top5}/5 of the top-ranked cases are injected campaigns"
+    );
+
+    save_json(
+        "table06_top5",
+        &ranked
+            .iter()
+            .take(5)
+            .map(|(d, s)| (d.clone(), *s, periods.get(d).copied()))
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,282 @@
+//! Table-II feature extraction for candidate beaconing cases (§VI-A).
+//!
+//! Each candidate case is a tuple ⟨source, destination, interval series⟩
+//! augmented with the detector's outputs. The features:
+//!
+//! | Feature | Definition |
+//! |---|---|
+//! | series length | # intervals in series |
+//! | period(s) | most dominant period(s) |
+//! | power | power of most dominant period(s) |
+//! | similar source | # sources sharing same destination |
+//! | n-gram count | hist. of n-grams in symbolized series |
+//! | entropy | entropy of symbolized series |
+//! | compressibility | compression ratio of symbolized series |
+//!
+//! plus the language-model score and destination popularity that the
+//! weighted ranking filter already computes.
+
+use baywatch_stats::entropy::shannon_entropy;
+use baywatch_timeseries::symbolize::{match_fraction, ngram_histogram, symbolize};
+
+use crate::compress::compression_ratio;
+
+/// Relative tolerance used when symbolizing intervals against dominant
+/// periods.
+pub const SYMBOLIZE_TOLERANCE: f64 = 0.05;
+/// n-gram order used on symbolized series (paper: n = 3).
+pub const SYMBOL_NGRAM: usize = 3;
+/// Number of numeric features produced by [`CaseFeatures::to_vector`].
+pub const N_FEATURES: usize = 14;
+
+/// Everything the feature extractor needs to know about one candidate case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseInput {
+    /// Inter-arrival intervals of the communication pair (seconds).
+    pub intervals: Vec<f64>,
+    /// Dominant period(s) found by the detector, strongest first (seconds).
+    pub dominant_periods: Vec<f64>,
+    /// Periodogram power of the strongest period.
+    pub power: f64,
+    /// ACF score of the strongest period.
+    pub acf_score: f64,
+    /// Number of distinct sources beaconing to the same destination.
+    pub similar_sources: usize,
+    /// Language-model score of the destination (per-character log-prob).
+    pub lm_score: f64,
+    /// Destination popularity: fraction of the monitored population that
+    /// contacted this destination.
+    pub popularity: f64,
+}
+
+/// The extracted Table-II feature set for one case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseFeatures {
+    /// Number of intervals in the series.
+    pub series_length: usize,
+    /// Primary dominant period (0 when none).
+    pub primary_period: f64,
+    /// Secondary dominant period (0 when none).
+    pub secondary_period: f64,
+    /// Power of the primary period.
+    pub power: f64,
+    /// ACF periodicity strength.
+    pub acf_score: f64,
+    /// Sources sharing the destination.
+    pub similar_sources: usize,
+    /// Distinct 3-grams in the symbolized series.
+    pub ngram_distinct: usize,
+    /// Frequency share of the most common 3-gram.
+    pub ngram_top_fraction: f64,
+    /// Shannon entropy (bits) of the symbolized series.
+    pub symbol_entropy: f64,
+    /// Compression ratio of the symbolized series (lower = more regular).
+    pub compressibility: f64,
+    /// Coefficient of variation of the intervals (σ/μ).
+    pub interval_cv: f64,
+    /// Fraction of intervals matching a dominant period.
+    pub match_fraction: f64,
+    /// Language-model score of the destination.
+    pub lm_score: f64,
+    /// Destination popularity.
+    pub popularity: f64,
+}
+
+impl CaseFeatures {
+    /// Extracts the feature set from a case.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use baywatch_classifier::features::{CaseFeatures, CaseInput};
+    ///
+    /// let input = CaseInput {
+    ///     intervals: vec![60.0; 50],
+    ///     dominant_periods: vec![60.0],
+    ///     power: 12.0,
+    ///     acf_score: 0.95,
+    ///     similar_sources: 3,
+    ///     lm_score: -3.1,
+    ///     popularity: 0.0001,
+    /// };
+    /// let f = CaseFeatures::extract(&input);
+    /// assert_eq!(f.series_length, 50);
+    /// assert_eq!(f.match_fraction, 1.0);
+    /// assert_eq!(f.symbol_entropy, 0.0); // all-'x' series
+    /// ```
+    pub fn extract(input: &CaseInput) -> Self {
+        let symbols = symbolize(
+            &input.intervals,
+            &input.dominant_periods,
+            SYMBOLIZE_TOLERANCE,
+        );
+        let hist = ngram_histogram(&symbols, SYMBOL_NGRAM);
+        let total_ngrams: usize = hist.values().sum();
+        let top = hist.values().copied().max().unwrap_or(0);
+
+        let mean = if input.intervals.is_empty() {
+            0.0
+        } else {
+            input.intervals.iter().sum::<f64>() / input.intervals.len() as f64
+        };
+        let cv = if input.intervals.len() >= 2 && mean > 0.0 {
+            let var = input
+                .intervals
+                .iter()
+                .map(|i| (i - mean) * (i - mean))
+                .sum::<f64>()
+                / (input.intervals.len() - 1) as f64;
+            var.sqrt() / mean
+        } else {
+            0.0
+        };
+
+        Self {
+            series_length: input.intervals.len(),
+            primary_period: input.dominant_periods.first().copied().unwrap_or(0.0),
+            secondary_period: input.dominant_periods.get(1).copied().unwrap_or(0.0),
+            power: input.power,
+            acf_score: input.acf_score,
+            similar_sources: input.similar_sources,
+            ngram_distinct: hist.len(),
+            ngram_top_fraction: if total_ngrams > 0 {
+                top as f64 / total_ngrams as f64
+            } else {
+                0.0
+            },
+            symbol_entropy: shannon_entropy(symbols.iter().copied()),
+            compressibility: compression_ratio(&symbols),
+            interval_cv: cv,
+            match_fraction: match_fraction(&symbols),
+            lm_score: input.lm_score,
+            popularity: input.popularity,
+        }
+    }
+
+    /// Flattens the features into the fixed-size numeric vector consumed by
+    /// the random forest.
+    pub fn to_vector(&self) -> Vec<f64> {
+        vec![
+            self.series_length as f64,
+            self.primary_period,
+            self.secondary_period,
+            self.power,
+            self.acf_score,
+            self.similar_sources as f64,
+            self.ngram_distinct as f64,
+            self.ngram_top_fraction,
+            self.symbol_entropy,
+            self.compressibility,
+            self.interval_cv,
+            self.match_fraction,
+            self.lm_score,
+            self.popularity,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beacon_input() -> CaseInput {
+        CaseInput {
+            intervals: vec![60.0, 60.5, 59.5, 60.1, 59.9, 60.0, 60.2, 59.8],
+            dominant_periods: vec![60.0],
+            power: 10.0,
+            acf_score: 0.9,
+            similar_sources: 2,
+            lm_score: -4.0,
+            popularity: 1e-5,
+        }
+    }
+
+    fn irregular_input() -> CaseInput {
+        CaseInput {
+            intervals: vec![3.0, 400.0, 17.0, 89.0, 1200.0, 5.0, 60.0, 233.0],
+            dominant_periods: vec![],
+            power: 0.5,
+            acf_score: 0.05,
+            similar_sources: 1,
+            lm_score: -1.2,
+            popularity: 0.3,
+        }
+    }
+
+    #[test]
+    fn vector_arity_matches_constant() {
+        let f = CaseFeatures::extract(&beacon_input());
+        assert_eq!(f.to_vector().len(), N_FEATURES);
+    }
+
+    #[test]
+    fn beacon_features_show_regularity() {
+        let b = CaseFeatures::extract(&beacon_input());
+        let i = CaseFeatures::extract(&irregular_input());
+        assert!(b.symbol_entropy < i.symbol_entropy + 1e-9);
+        assert!(b.match_fraction > i.match_fraction);
+        assert!(b.interval_cv < i.interval_cv);
+    }
+
+    #[test]
+    fn compressibility_favors_long_regular_series() {
+        let long_regular = CaseInput {
+            intervals: vec![30.0; 500],
+            dominant_periods: vec![30.0],
+            ..beacon_input()
+        };
+        // Pseudo-random symbol pattern of the same length.
+        let irregular_long = CaseInput {
+            intervals: (0..500)
+                .map(|i| [30.0, 45.0, 61.0, 97.0][((i * 2654435761u64 as usize) >> 3) % 4])
+                .collect(),
+            dominant_periods: vec![30.0],
+            ..beacon_input()
+        };
+        let r = CaseFeatures::extract(&long_regular);
+        let x = CaseFeatures::extract(&irregular_long);
+        assert!(r.compressibility < x.compressibility);
+    }
+
+    #[test]
+    fn empty_intervals_safe() {
+        let empty = CaseInput {
+            intervals: vec![],
+            dominant_periods: vec![],
+            power: 0.0,
+            acf_score: 0.0,
+            similar_sources: 0,
+            lm_score: 0.0,
+            popularity: 0.0,
+        };
+        let f = CaseFeatures::extract(&empty);
+        assert_eq!(f.series_length, 0);
+        assert_eq!(f.symbol_entropy, 0.0);
+        assert_eq!(f.ngram_distinct, 0);
+        assert_eq!(f.match_fraction, 0.0);
+        assert!(f.to_vector().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn secondary_period_picked_up() {
+        let multi = CaseInput {
+            dominant_periods: vec![8.0, 10_800.0],
+            ..beacon_input()
+        };
+        let f = CaseFeatures::extract(&multi);
+        assert_eq!(f.primary_period, 8.0);
+        assert_eq!(f.secondary_period, 10_800.0);
+    }
+
+    #[test]
+    fn ngram_top_fraction_of_pure_series() {
+        let f = CaseFeatures::extract(&CaseInput {
+            intervals: vec![60.0; 100],
+            dominant_periods: vec![60.0],
+            ..beacon_input()
+        });
+        // All 3-grams are "xxx".
+        assert_eq!(f.ngram_distinct, 1);
+        assert_eq!(f.ngram_top_fraction, 1.0);
+    }
+}

@@ -1,0 +1,483 @@
+//! CART decision trees (binary splits, Gini impurity) over numeric
+//! features — the building block of the random forest (§VI-B of the paper,
+//! citing Breiman 2001).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A binary class label: `false` = benign, `true` = malicious in the
+/// BAYWATCH investigation phase.
+pub type Label = bool;
+
+/// Hyper-parameters of a single tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of features examined per split; `None` = all features
+    /// (single trees), `Some(k)` = random subset of `k` (forests use √d).
+    pub features_per_split: Option<usize>,
+    /// RNG seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 16,
+            min_samples_split: 2,
+            features_per_split: None,
+            seed: 0xDECAF,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        /// Fraction of positive (malicious) training samples at the leaf.
+        positive_fraction: f64,
+        samples: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,  // feature value <= threshold
+        right: Box<Node>, // feature value > threshold
+    },
+}
+
+/// A trained CART decision tree.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_classifier::tree::{DecisionTree, TreeConfig};
+///
+/// // One informative feature: x[0] > 0.5 means malicious.
+/// let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0, 0.0]).collect();
+/// let ys: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+/// let tree = DecisionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+/// assert!(tree.predict(&[0.9, 0.0]));
+/// assert!(!tree.predict(&[0.1, 0.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+    importances: Vec<f64>,
+}
+
+/// Errors from tree/forest training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No training samples were provided.
+    EmptyTrainingSet,
+    /// Feature vectors have inconsistent lengths.
+    RaggedFeatures {
+        /// Expected length (from the first sample).
+        expected: usize,
+        /// Actual length of the offending sample.
+        actual: usize,
+    },
+    /// `labels.len() != samples.len()`.
+    LabelMismatch,
+    /// A configuration parameter was invalid.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => write!(f, "empty training set"),
+            TrainError::RaggedFeatures { expected, actual } => {
+                write!(f, "ragged features: expected {expected}, got {actual}")
+            }
+            TrainError::LabelMismatch => write!(f, "labels and samples differ in length"),
+            TrainError::InvalidConfig(s) => write!(f, "invalid config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl DecisionTree {
+    /// Trains a tree on feature vectors `xs` with labels `ys`.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrainError`].
+    pub fn fit(xs: &[Vec<f64>], ys: &[Label], config: &TreeConfig) -> Result<Self, TrainError> {
+        validate(xs, ys)?;
+        if config.max_depth == 0 {
+            return Err(TrainError::InvalidConfig("max_depth must be >= 1"));
+        }
+        if config.min_samples_split < 2 {
+            return Err(TrainError::InvalidConfig("min_samples_split must be >= 2"));
+        }
+        let n_features = xs[0].len();
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut importances = vec![0.0; n_features];
+        let root = grow(xs, ys, &idx, 0, config, n_features, &mut rng, &mut importances);
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            for v in importances.iter_mut() {
+                *v /= total;
+            }
+        }
+        Ok(Self {
+            root,
+            n_features,
+            importances,
+        })
+    }
+
+    /// Number of features the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Probability that `x` is positive (malicious): the positive fraction
+    /// of the training samples in the leaf `x` falls into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training feature count.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.n_features,
+            "feature vector length mismatch: expected {}, got {}",
+            self.n_features,
+            x.len()
+        );
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf {
+                    positive_fraction, ..
+                } => return *positive_fraction,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Hard classification at the 0.5 threshold.
+    pub fn predict(&self, x: &[f64]) -> Label {
+        self.predict_proba(x) >= 0.5
+    }
+
+    /// Depth of the tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        fn c(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => c(left) + c(right),
+            }
+        }
+        c(&self.root)
+    }
+
+    /// Mean-decrease-in-impurity feature importances, normalized to sum
+    /// to 1 (all zeros for a stump with no splits).
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+}
+
+pub(crate) fn validate(xs: &[Vec<f64>], ys: &[Label]) -> Result<(), TrainError> {
+    if xs.is_empty() {
+        return Err(TrainError::EmptyTrainingSet);
+    }
+    if xs.len() != ys.len() {
+        return Err(TrainError::LabelMismatch);
+    }
+    let expected = xs[0].len();
+    for x in xs {
+        if x.len() != expected {
+            return Err(TrainError::RaggedFeatures {
+                expected,
+                actual: x.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    xs: &[Vec<f64>],
+    ys: &[Label],
+    idx: &[usize],
+    depth: usize,
+    config: &TreeConfig,
+    n_features: usize,
+    rng: &mut StdRng,
+    importances: &mut [f64],
+) -> Node {
+    let positives = idx.iter().filter(|&&i| ys[i]).count();
+    let make_leaf = || Node::Leaf {
+        positive_fraction: positives as f64 / idx.len() as f64,
+        samples: idx.len(),
+    };
+    if depth >= config.max_depth
+        || idx.len() < config.min_samples_split
+        || positives == 0
+        || positives == idx.len()
+    {
+        return make_leaf();
+    }
+
+    // Candidate feature set.
+    let mut features: Vec<usize> = (0..n_features).collect();
+    if let Some(k) = config.features_per_split {
+        features.shuffle(rng);
+        features.truncate(k.clamp(1, n_features));
+    }
+
+    let parent_gini = gini(positives, idx.len());
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity_drop)
+
+    for &f in &features {
+        // Sort indices by feature value and scan split points.
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| {
+            xs[a][f]
+                .partial_cmp(&xs[b][f])
+                .expect("features must not be NaN")
+        });
+        let total = order.len();
+        let mut left_pos = 0usize;
+        for i in 0..total - 1 {
+            if ys[order[i]] {
+                left_pos += 1;
+            }
+            // Can't split between equal values.
+            if xs[order[i]][f] == xs[order[i + 1]][f] {
+                continue;
+            }
+            let left_n = i + 1;
+            let right_n = total - left_n;
+            let right_pos = positives - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / total as f64;
+            let drop = parent_gini - weighted;
+            if drop > best.map(|(_, _, d)| d).unwrap_or(1e-12) {
+                let threshold = 0.5 * (xs[order[i]][f] + xs[order[i + 1]][f]);
+                best = Some((f, threshold, drop));
+            }
+        }
+    }
+
+    match best {
+        None => make_leaf(),
+        Some((feature, threshold, drop)) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+            if left_idx.is_empty() || right_idx.is_empty() {
+                return make_leaf();
+            }
+            // Mean-decrease-in-impurity: weight the drop by the number of
+            // samples the split acts on.
+            importances[feature] += drop * idx.len() as f64;
+            let left = grow(xs, ys, &left_idx, depth + 1, config, n_features, rng, importances);
+            let right = grow(xs, ys, &right_idx, depth + 1, config, n_features, rng, importances);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            // jitter so values aren't all identical
+            xs.push(vec![a + (i as f64) * 1e-4, b - (i as f64) * 1e-4]);
+            ys.push((a > 0.5) != (b > 0.5));
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_threshold() {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let ys: Vec<bool> = (0..60).map(|i| i >= 30).collect();
+        let t = DecisionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert!(!t.predict(&[5.0]));
+        assert!(t.predict(&[55.0]));
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.leaf_count(), 2);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (xs, ys) = xor_data();
+        let t = DecisionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_eq!(t.predict(x), *y, "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn pure_leaf_probabilities() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let t = DecisionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert_eq!(t.predict_proba(&[0.0]), 0.0);
+        assert_eq!(t.predict_proba(&[19.0]), 1.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (xs, ys) = xor_data();
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
+        let t = DecisionTree::fit(&xs, &ys, &cfg).unwrap();
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn constant_labels_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys = vec![true; 10];
+        let t = DecisionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.predict_proba(&[3.0]), 1.0);
+    }
+
+    #[test]
+    fn constant_features_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|_| vec![1.0, 2.0]).collect();
+        let ys: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let t = DecisionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert_eq!(t.leaf_count(), 1);
+        assert!((t.predict_proba(&[1.0, 2.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            DecisionTree::fit(&[], &[], &TreeConfig::default()).unwrap_err(),
+            TrainError::EmptyTrainingSet
+        );
+        assert_eq!(
+            DecisionTree::fit(&[vec![1.0]], &[true, false], &TreeConfig::default()).unwrap_err(),
+            TrainError::LabelMismatch
+        );
+        assert_eq!(
+            DecisionTree::fit(
+                &[vec![1.0], vec![1.0, 2.0]],
+                &[true, false],
+                &TreeConfig::default()
+            )
+            .unwrap_err(),
+            TrainError::RaggedFeatures {
+                expected: 1,
+                actual: 2
+            }
+        );
+        let bad = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            DecisionTree::fit(&[vec![1.0]], &[true], &bad),
+            Err(TrainError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic]
+    fn predict_wrong_arity_panics() {
+        let t = DecisionTree::fit(&[vec![1.0], vec![2.0]], &[false, true], &TreeConfig::default())
+            .unwrap();
+        t.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, (i * 7 % 13) as f64, (i * 3 % 5) as f64])
+            .collect();
+        let ys: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let cfg = TreeConfig {
+            features_per_split: Some(1),
+            ..Default::default()
+        };
+        let t = DecisionTree::fit(&xs, &ys, &cfg).unwrap();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, y)| t.predict(x) == **y)
+            .count();
+        assert!(correct >= 90, "correct = {correct}");
+    }
+
+    #[test]
+    fn importances_identify_informative_feature() {
+        // Feature 0 decides the label; feature 1 is constant noise.
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, 1.0]).collect();
+        let ys: Vec<bool> = (0..60).map(|i| i >= 30).collect();
+        let t = DecisionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        let imp = t.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.99, "importances = {imp:?}");
+    }
+
+    #[test]
+    fn stump_has_zero_importances() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|_| vec![1.0]).collect();
+        let ys = vec![true; 10];
+        let t = DecisionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert!(t.feature_importances().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!TrainError::EmptyTrainingSet.to_string().is_empty());
+        assert!(!TrainError::LabelMismatch.to_string().is_empty());
+    }
+}

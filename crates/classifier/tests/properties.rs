@@ -1,0 +1,99 @@
+//! Property-based tests of the classifier crate.
+
+use baywatch_classifier::compress::{compress, compression_ratio, decompress};
+use baywatch_classifier::features::{CaseFeatures, CaseInput};
+use baywatch_classifier::forest::{ForestConfig, RandomForest};
+use baywatch_classifier::tree::{DecisionTree, TreeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The compressor is lossless on arbitrary bytes.
+    #[test]
+    fn compress_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let packed = compress(&data);
+        let unpacked = decompress(&packed);
+        prop_assert_eq!(unpacked.as_deref(), Some(data.as_slice()));
+    }
+
+    /// The compressor is lossless on three-symbol alphabets (the actual
+    /// feature input) and highly repetitive strings compress well.
+    #[test]
+    fn compress_symbol_series(data in prop::collection::vec(prop::sample::select(vec![b'x', b'y', b'z']), 1..3000)) {
+        let packed = compress(&data);
+        let unpacked = decompress(&packed);
+        prop_assert_eq!(unpacked.as_deref(), Some(data.as_slice()));
+        let ratio = compression_ratio(&data);
+        prop_assert!(ratio > 0.0);
+    }
+
+    /// Trees always emit probabilities in [0, 1] and agree with their hard
+    /// prediction at the 0.5 threshold.
+    #[test]
+    fn tree_proba_valid(
+        data in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64, any::<bool>()), 4..80),
+        qx in 0.0..100.0f64,
+        qy in 0.0..100.0f64,
+    ) {
+        let xs: Vec<Vec<f64>> = data.iter().map(|(a, b, _)| vec![*a, *b]).collect();
+        let ys: Vec<bool> = data.iter().map(|(_, _, y)| *y).collect();
+        let tree = DecisionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        let p = tree.predict_proba(&[qx, qy]);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert_eq!(tree.predict(&[qx, qy]), p >= 0.5);
+    }
+
+    /// Trees perfectly memorize separable training data (distinct feature
+    /// values per sample, unlimited depth).
+    #[test]
+    fn tree_memorizes_separable(labels in prop::collection::vec(any::<bool>(), 2..60)) {
+        let xs: Vec<Vec<f64>> = (0..labels.len()).map(|i| vec![i as f64]).collect();
+        let cfg = TreeConfig { max_depth: 64, ..Default::default() };
+        let tree = DecisionTree::fit(&xs, &labels, &cfg).unwrap();
+        for (x, y) in xs.iter().zip(&labels) {
+            prop_assert_eq!(tree.predict(x), *y);
+        }
+    }
+
+    /// Forest probability = fraction of trees voting positive; uncertainty
+    /// is maximal when the vote splits.
+    #[test]
+    fn forest_uncertainty_bounds(seed in any::<u64>()) {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let ys: Vec<bool> = (0..60).map(|i| i >= 30).collect();
+        let rf = RandomForest::fit(&xs, &ys, &ForestConfig {
+            n_trees: 15,
+            seed,
+            ..Default::default()
+        }).unwrap();
+        for x in xs.iter().step_by(7) {
+            let u = rf.uncertainty(x);
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    /// Feature extraction never produces NaN/infinite features.
+    #[test]
+    fn features_always_finite(
+        intervals in prop::collection::vec(0.0..100_000.0f64, 0..300),
+        period in 0.0..100_000.0f64,
+        power in 0.0..1000.0f64,
+        acf in -1.0..1.0f64,
+        lm in -100.0..0.0f64,
+        pop in 0.0..1.0f64,
+    ) {
+        let input = CaseInput {
+            intervals,
+            dominant_periods: if period > 0.0 { vec![period] } else { vec![] },
+            power,
+            acf_score: acf,
+            similar_sources: 3,
+            lm_score: lm,
+            popularity: pop,
+        };
+        let v = CaseFeatures::extract(&input).to_vector();
+        prop_assert_eq!(v.len(), baywatch_classifier::N_FEATURES);
+        prop_assert!(v.iter().all(|x| x.is_finite()), "{:?}", v);
+    }
+}

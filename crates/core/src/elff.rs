@@ -1,0 +1,315 @@
+//! W3C Extended Log File Format (ELFF) ingestion — the format BlueCoat
+//! ProxySG appliances (the paper's log source, §VIII-B1) emit.
+//!
+//! An ELFF file declares its schema in a `#Fields:` directive and then
+//! carries one space-separated record per line:
+//!
+//! ```text
+//! #Software: SGOS 6.5
+//! #Fields: date time c-ip cs-host cs-uri-path sc-status
+//! 2015-03-01 08:00:12 10.1.2.3 update.example.com /check 200
+//! ```
+//!
+//! The parser maps whichever of `date`/`time`/`x-timestamp`, `c-ip`/
+//! `cs-username`, `cs-host`, and `cs-uri-path`/`cs-uri-stem` columns are
+//! present onto [`LogRecord`]s, skipping directives and malformed lines
+//! (corruption is a fact of life at tens of billions of events).
+
+use std::io::BufRead;
+
+use crate::io::{ParseLineError, ReadOutcome};
+use crate::record::LogRecord;
+
+/// Column roles the pipeline needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Date,
+    Time,
+    Timestamp,
+    Source,
+    Host,
+    Path,
+    Ignore,
+}
+
+fn role_of(field: &str) -> Role {
+    match field {
+        "date" => Role::Date,
+        "time" => Role::Time,
+        "x-timestamp" | "timestamp" => Role::Timestamp,
+        "c-ip" | "cs-username" | "c-mac" => Role::Source,
+        "cs-host" | "cs(Host)" | "s-hostname" => Role::Host,
+        "cs-uri-path" | "cs-uri-stem" => Role::Path,
+        _ => Role::Ignore,
+    }
+}
+
+/// Streaming ELFF reader.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the stream fails. Records that
+/// cannot be parsed are collected per line in the outcome.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_core::elff::read_elff;
+///
+/// let log = "\
+/// #Software: SGOS 6.5\n\
+/// #Fields: date time c-ip cs-host cs-uri-path sc-status\n\
+/// 2015-03-01 08:00:12 10.1.2.3 update.example.com /check/version 200\n\
+/// 2015-03-01 08:00:15 10.1.2.4 news.example.org /feed 200\n";
+/// let outcome = read_elff(log.as_bytes()).unwrap();
+/// assert_eq!(outcome.records.len(), 2);
+/// assert_eq!(outcome.records[0].domain, "update.example.com");
+/// assert_eq!(outcome.records[0].url_token, "check");
+/// assert!(outcome.records[1].timestamp == outcome.records[0].timestamp + 3);
+/// ```
+pub fn read_elff<R: BufRead>(reader: R) -> std::io::Result<ReadOutcome> {
+    let mut outcome = ReadOutcome::default();
+    let mut roles: Option<Vec<Role>> = None;
+
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_number = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(fields) = trimmed.strip_prefix("#Fields:") {
+            roles = Some(fields.split_whitespace().map(role_of).collect());
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        let Some(roles) = roles.as_ref() else {
+            outcome.errors.push(ParseLineError {
+                line_number,
+                reason: "record before #Fields: directive".into(),
+            });
+            continue;
+        };
+        match parse_record(trimmed, roles, line_number) {
+            Ok(r) => outcome.records.push(r),
+            Err(e) => outcome.errors.push(e),
+        }
+    }
+    Ok(outcome)
+}
+
+fn parse_record(
+    line: &str,
+    roles: &[Role],
+    line_number: usize,
+) -> Result<LogRecord, ParseLineError> {
+    let values: Vec<&str> = line.split_whitespace().collect();
+    if values.len() < roles.len() {
+        return Err(ParseLineError {
+            line_number,
+            reason: format!("expected {} fields, got {}", roles.len(), values.len()),
+        });
+    }
+    let mut date: Option<&str> = None;
+    let mut time: Option<&str> = None;
+    let mut timestamp: Option<u64> = None;
+    let mut source: Option<&str> = None;
+    let mut host: Option<&str> = None;
+    let mut path: Option<&str> = None;
+    for (role, value) in roles.iter().zip(&values) {
+        match role {
+            Role::Date => date = Some(value),
+            Role::Time => time = Some(value),
+            Role::Timestamp => {
+                timestamp = value.parse().ok();
+                if timestamp.is_none() {
+                    return Err(ParseLineError {
+                        line_number,
+                        reason: format!("invalid timestamp `{value}`"),
+                    });
+                }
+            }
+            Role::Source if source.is_none() => source = Some(value),
+            Role::Host => host = Some(value),
+            Role::Path if path.is_none() => path = Some(value),
+            _ => {}
+        }
+    }
+
+    let ts = match (timestamp, date, time) {
+        (Some(t), _, _) => t,
+        (None, Some(d), Some(t)) => parse_datetime(d, t).ok_or_else(|| ParseLineError {
+            line_number,
+            reason: format!("invalid date/time `{d} {t}`"),
+        })?,
+        _ => {
+            return Err(ParseLineError {
+                line_number,
+                reason: "no timestamp columns (need x-timestamp or date+time)".into(),
+            })
+        }
+    };
+    let source = source.ok_or_else(|| ParseLineError {
+        line_number,
+        reason: "no source column (c-ip / cs-username)".into(),
+    })?;
+    let host = host.ok_or_else(|| ParseLineError {
+        line_number,
+        reason: "no cs-host column".into(),
+    })?;
+    if host == "-" {
+        return Err(ParseLineError {
+            line_number,
+            reason: "empty host".into(),
+        });
+    }
+    let token = path
+        .map(first_path_token)
+        .unwrap_or_default();
+    Ok(LogRecord::new(ts, source, host, token))
+}
+
+/// First path segment of a URL path (`/check/version?id=1` → `check`).
+fn first_path_token(path: &str) -> String {
+    path.trim_start_matches('/')
+        .split(['/', '?', '#'])
+        .next()
+        .unwrap_or("")
+        .to_owned()
+}
+
+/// Parses `YYYY-MM-DD` + `HH:MM:SS` into epoch seconds (UTC, proleptic
+/// Gregorian; days-from-civil per Hinnant's algorithm).
+pub fn parse_datetime(date: &str, time: &str) -> Option<u64> {
+    let mut dp = date.split('-');
+    let year: i64 = dp.next()?.parse().ok()?;
+    let month: u32 = dp.next()?.parse().ok()?;
+    let day: u32 = dp.next()?.parse().ok()?;
+    if dp.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    let mut tp = time.split(':');
+    let hour: u64 = tp.next()?.parse().ok()?;
+    let minute: u64 = tp.next()?.parse().ok()?;
+    let second: u64 = tp.next()?.parse().ok()?;
+    if tp.next().is_some() || hour > 23 || minute > 59 || second > 60 {
+        return None;
+    }
+    let days = days_from_civil(year, month, day);
+    if days < 0 {
+        return None;
+    }
+    Some(days as u64 * 86_400 + hour * 3_600 + minute * 60 + second)
+}
+
+/// Days since 1970-01-01 (Howard Hinnant's `days_from_civil`).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // [0, 11], Mar = 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+#Software: SGOS 6.5\n\
+#Version: 1.0\n\
+#Fields: date time time-taken c-ip sc-status cs-method cs-host cs-uri-path sc-bytes\n\
+2015-03-01 08:00:12 120 10.1.2.3 200 GET update.example.com /check/version 512\n\
+2015-03-01 08:00:15 80 10.1.2.4 200 GET news.example.org /feed 2048\n\
+2015-03-01 08:00:20 95 10.1.2.3 404 GET - / 0\n";
+
+    #[test]
+    fn parses_bluecoat_sample() {
+        let o = read_elff(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(o.records.len(), 2);
+        assert_eq!(o.errors.len(), 1, "the '-' host line is rejected");
+        let r = &o.records[0];
+        assert_eq!(r.source, "10.1.2.3");
+        assert_eq!(r.domain, "update.example.com");
+        assert_eq!(r.url_token, "check");
+    }
+
+    #[test]
+    fn datetime_epoch_known_values() {
+        assert_eq!(parse_datetime("1970-01-01", "00:00:00"), Some(0));
+        assert_eq!(parse_datetime("1970-01-02", "00:00:01"), Some(86_401));
+        // 2015-03-01 00:00:00 UTC = 1425168000.
+        assert_eq!(parse_datetime("2015-03-01", "00:00:00"), Some(1_425_168_000));
+        // Leap year check: 2016-02-29 exists.
+        assert!(parse_datetime("2016-02-29", "12:00:00").is_some());
+    }
+
+    #[test]
+    fn datetime_rejects_garbage() {
+        assert_eq!(parse_datetime("2015-13-01", "00:00:00"), None);
+        assert_eq!(parse_datetime("2015-03-01", "24:00:00"), None);
+        assert_eq!(parse_datetime("notadate", "00:00:00"), None);
+        assert_eq!(parse_datetime("2015-03", "00:00:00"), None);
+        assert_eq!(parse_datetime("1960-01-01", "00:00:00"), None, "pre-epoch");
+    }
+
+    #[test]
+    fn timestamp_column_takes_precedence() {
+        let log = "#Fields: x-timestamp c-ip cs-host\n1425168000 10.0.0.1 a.com\n";
+        let o = read_elff(log.as_bytes()).unwrap();
+        assert_eq!(o.records[0].timestamp, 1_425_168_000);
+    }
+
+    #[test]
+    fn record_before_fields_is_error() {
+        let log = "2015-03-01 08:00:12 10.1.2.3 a.com\n#Fields: date time c-ip cs-host\n";
+        let o = read_elff(log.as_bytes()).unwrap();
+        assert_eq!(o.errors.len(), 1);
+        assert!(o.errors[0].reason.contains("#Fields"));
+    }
+
+    #[test]
+    fn short_lines_reported() {
+        let log = "#Fields: date time c-ip cs-host\n2015-03-01 08:00:12 10.1.2.3\n";
+        let o = read_elff(log.as_bytes()).unwrap();
+        assert_eq!(o.records.len(), 0);
+        assert!(o.errors[0].reason.contains("expected 4 fields"));
+    }
+
+    #[test]
+    fn missing_required_columns_reported() {
+        let log = "#Fields: date time sc-status\n2015-03-01 08:00:12 200\n";
+        let o = read_elff(log.as_bytes()).unwrap();
+        assert!(o.errors[0].reason.contains("source"));
+    }
+
+    #[test]
+    fn path_token_extraction() {
+        assert_eq!(first_path_token("/check/version"), "check");
+        assert_eq!(first_path_token("/feed?id=7"), "feed");
+        assert_eq!(first_path_token("/"), "");
+        assert_eq!(first_path_token("plain"), "plain");
+    }
+
+    #[test]
+    fn intervals_survive_roundtrip_to_pipeline_types() {
+        // 60 s beacon in ELFF form: the parsed records produce exact
+        // 60-second intervals.
+        let mut log = String::from("#Fields: date time c-ip cs-host cs-uri-path\n");
+        for i in 0..5u64 {
+            let minute = i;
+            log.push_str(&format!(
+                "2015-03-01 08:{minute:02}:00 10.0.0.1 c2.example.biz /a9f{i}\n"
+            ));
+        }
+        let o = read_elff(log.as_bytes()).unwrap();
+        assert_eq!(o.records.len(), 5);
+        for w in o.records.windows(2) {
+            assert_eq!(w[1].timestamp - w[0].timestamp, 60);
+        }
+    }
+}

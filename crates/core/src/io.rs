@@ -1,0 +1,223 @@
+//! Log-file ingestion and export.
+//!
+//! The paper reads BlueCoat web-proxy logs from HDFS; this module provides
+//! the equivalent single-machine plumbing: a tab-separated on-disk format
+//! (`timestamp \t source \t domain \t url_token`) with a streaming parser
+//! that reports malformed lines instead of aborting, plus a writer for
+//! round-tripping simulated traces.
+
+use std::io::{BufRead, Write};
+
+use crate::record::LogRecord;
+
+/// A parse failure for one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLineError {
+    /// 1-based line number.
+    pub line_number: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseLineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line_number, self.reason)
+    }
+}
+
+impl std::error::Error for ParseLineError {}
+
+/// Parses one log line (`ts \t source \t domain \t token`, token optional).
+pub fn parse_line(line: &str, line_number: usize) -> Result<LogRecord, ParseLineError> {
+    let mut fields = line.split('\t');
+    let ts = fields.next().ok_or_else(|| ParseLineError {
+        line_number,
+        reason: "empty line".into(),
+    })?;
+    let timestamp: u64 = ts.trim().parse().map_err(|_| ParseLineError {
+        line_number,
+        reason: format!("invalid timestamp `{ts}`"),
+    })?;
+    let source = fields
+        .next()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| ParseLineError {
+            line_number,
+            reason: "missing source field".into(),
+        })?;
+    let domain = fields
+        .next()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| ParseLineError {
+            line_number,
+            reason: "missing domain field".into(),
+        })?;
+    let token = fields.next().map(str::trim).unwrap_or("");
+    Ok(LogRecord::new(timestamp, source, domain, token))
+}
+
+/// Outcome of reading a log stream: the good records and the bad lines.
+#[derive(Debug, Clone, Default)]
+pub struct ReadOutcome {
+    /// Successfully parsed records.
+    pub records: Vec<LogRecord>,
+    /// Per-line failures (the stream is not aborted on bad lines — at
+    /// 30 B events, some corruption is a certainty, cf. Challenge 2).
+    pub errors: Vec<ParseLineError>,
+}
+
+/// Reads records from any `BufRead` source. Lines that are empty or start
+/// with `#` are skipped.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the stream itself fails; per-line
+/// parse failures are collected in the outcome instead.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_core::io::read_records;
+///
+/// let data = "100\thost-a\texample.com\tindex\n# comment\nbogus\n200\thost-b\tx.org\t\n";
+/// let outcome = read_records(data.as_bytes()).unwrap();
+/// assert_eq!(outcome.records.len(), 2);
+/// assert_eq!(outcome.errors.len(), 1);
+/// assert_eq!(outcome.records[0].domain, "example.com");
+/// ```
+pub fn read_records<R: BufRead>(reader: R) -> std::io::Result<ReadOutcome> {
+    let mut outcome = ReadOutcome::default();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_line(trimmed, i + 1) {
+            Ok(r) => outcome.records.push(r),
+            Err(e) => outcome.errors.push(e),
+        }
+    }
+    Ok(outcome)
+}
+
+/// Writes records in the on-disk format. A `&mut` reference works as the
+/// writer (the standard `impl Write for &mut W` applies).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_records<'a, W, I>(mut writer: W, records: I) -> std::io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a LogRecord>,
+{
+    for r in records {
+        writeln!(
+            writer,
+            "{}\t{}\t{}\t{}",
+            r.timestamp, r.source, r.domain, r.url_token
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a log file from disk.
+///
+/// # Errors
+///
+/// Returns the I/O error on open/read failure.
+pub fn read_log_file(path: impl AsRef<std::path::Path>) -> std::io::Result<ReadOutcome> {
+    let f = std::fs::File::open(path)?;
+    read_records(std::io::BufReader::new(f))
+}
+
+/// Writes a log file to disk.
+///
+/// # Errors
+///
+/// Returns the I/O error on create/write failure.
+pub fn write_log_file(
+    path: impl AsRef<std::path::Path>,
+    records: &[LogRecord],
+) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_records(std::io::BufWriter::new(f), records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::new(100, "host-a", "example.com", "index"),
+            LogRecord::new(160, "host-a", "example.com", ""),
+            LogRecord::new(200, "host-b", "other.org", "update"),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_buffer() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_records(&mut buf, &records).unwrap();
+        let outcome = read_records(buf.as_slice()).unwrap();
+        assert!(outcome.errors.is_empty());
+        assert_eq!(outcome.records, records);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let records = sample_records();
+        let path = std::env::temp_dir().join("baywatch-io-test.log");
+        write_log_file(&path, &records).unwrap();
+        let outcome = read_log_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(outcome.records, records);
+    }
+
+    #[test]
+    fn bad_lines_collected_not_fatal() {
+        let data = "nonsense\n100\ta\tb.com\tx\n\tmissing-ts\n200\t\tb.com\tx\n300\tc\t\tx\n";
+        let outcome = read_records(data.as_bytes()).unwrap();
+        assert_eq!(outcome.records.len(), 1);
+        assert_eq!(outcome.errors.len(), 4);
+        assert_eq!(outcome.errors[0].line_number, 1);
+        assert!(!outcome.errors[0].to_string().is_empty());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let data = "# header\n\n100\ta\tb.com\tx\n   \n";
+        let outcome = read_records(data.as_bytes()).unwrap();
+        assert_eq!(outcome.records.len(), 1);
+        assert!(outcome.errors.is_empty());
+    }
+
+    #[test]
+    fn token_is_optional() {
+        let r = parse_line("5\tsrc\tdom.com", 1).unwrap();
+        assert_eq!(r.url_token, "");
+        let r = parse_line("5\tsrc\tdom.com\ttok", 1).unwrap();
+        assert_eq!(r.url_token, "tok");
+    }
+
+    #[test]
+    fn whitespace_tolerated_in_fields() {
+        let r = parse_line(" 42 \t src \t dom.com \t tok ", 1).unwrap();
+        assert_eq!(r.timestamp, 42);
+        assert_eq!(r.source, "src");
+        assert_eq!(r.domain, "dom.com");
+        assert_eq!(r.url_token, "tok");
+    }
+
+    #[test]
+    fn invalid_timestamp_reports_reason() {
+        let e = parse_line("abc\tsrc\tdom.com", 7).unwrap_err();
+        assert_eq!(e.line_number, 7);
+        assert!(e.reason.contains("timestamp"));
+    }
+}

@@ -1,0 +1,227 @@
+//! The pipeline phases expressed as MapReduce jobs (§VII of the paper).
+//!
+//! Each phase is a modularized job so long windows can be re-analyzed
+//! without reprocessing raw logs:
+//!
+//! * **Data extraction** (§VII-A): `⟨k, l⟩ → ⟨H(s,d), (s,d,ts)⟩` then
+//!   reduce to per-pair [`ActivitySummary`]s,
+//! * **Rescaling & merging** (§VII-B): coarsen summaries and merge
+//!   per-pair histories,
+//! * **Beaconing detection** (§VII-D): run the periodicity detector per
+//!   pair in the reduce step.
+//!
+//! (Destination popularity, §VII-C, lives in [`crate::popularity`]; ranking,
+//! §VII-E, in [`crate::rank`].)
+
+use baywatch_mapreduce::MapReduce;
+use baywatch_timeseries::detector::{DetectionReport, PeriodicityDetector};
+
+use crate::activity::ActivitySummary;
+use crate::pair::CommunicationPair;
+use crate::record::LogRecord;
+
+/// Data-extraction job: raw records → one [`ActivitySummary`] per
+/// communication pair at time scale `scale`.
+///
+/// MAP emits `(s, d)`-keyed records; REDUCE sorts each group's timestamps
+/// and produces the summary. Output order is deterministic (partition, then
+/// pair).
+pub fn extract_summaries(
+    engine: &MapReduce,
+    records: Vec<LogRecord>,
+    scale: u64,
+) -> Vec<ActivitySummary> {
+    engine.run(
+        records,
+        |record, emit| {
+            let key = CommunicationPair::new(&record.source, &record.domain);
+            emit(key, record);
+        },
+        move |_pair, group| {
+            vec![ActivitySummary::from_records(&group, scale)
+                .expect("reduce groups are non-empty and scale is validated")]
+        },
+    )
+}
+
+/// Rescaling & merging job: coarsens every summary to `new_scale` and
+/// merges summaries of the same pair (e.g. daily summaries into a weekly
+/// one).
+///
+/// Summaries whose scale does not divide `new_scale` are passed through a
+/// timestamp-level rebuild instead of failing, so mixed-scale input is
+/// tolerated.
+pub fn rescale_and_merge(
+    engine: &MapReduce,
+    summaries: Vec<ActivitySummary>,
+    new_scale: u64,
+) -> Vec<ActivitySummary> {
+    engine.run(
+        summaries,
+        move |summary, emit| {
+            let rescaled = match summary.rescale(new_scale) {
+                Ok(s) => s,
+                Err(_) => {
+                    // Mixed scales: rebuild from quantized timestamps.
+                    let records: Vec<LogRecord> = summary
+                        .timestamps()
+                        .into_iter()
+                        .map(|t| {
+                            LogRecord::new(
+                                t,
+                                summary.pair.source.clone(),
+                                summary.pair.destination.clone(),
+                                "",
+                            )
+                        })
+                        .collect();
+                    let mut rebuilt = ActivitySummary::from_records(&records, new_scale)
+                        .expect("summary has at least one timestamp");
+                    rebuilt.url_tokens = summary.url_tokens.clone();
+                    rebuilt
+                }
+            };
+            emit(rescaled.pair.clone(), rescaled);
+        },
+        |_pair, group| {
+            let mut it = group.into_iter();
+            let first = it.next().expect("groups are non-empty");
+            let merged = it.fold(first, |acc, s| {
+                acc.merge(&s).expect("same pair and scale by construction")
+            });
+            vec![merged]
+        },
+    )
+}
+
+/// Beaconing-detection job: runs the periodicity detector on each summary
+/// in parallel; yields `(summary, report)` for pairs with at least one
+/// verified candidate period (the paper's `⟨AS, CP⟩` output).
+pub fn detect_beaconing(
+    engine: &MapReduce,
+    summaries: Vec<ActivitySummary>,
+    detector: &PeriodicityDetector,
+) -> Vec<(ActivitySummary, DetectionReport)> {
+    engine.run(
+        summaries,
+        |summary, emit| {
+            emit(summary.pair.clone(), summary);
+        },
+        move |_pair, group| {
+            let mut out = Vec::new();
+            for summary in group {
+                let timestamps = summary.timestamps();
+                if let Ok(report) = detector.detect(&timestamps) {
+                    if report.is_periodic() {
+                        out.push((summary, report));
+                    }
+                }
+            }
+            out
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baywatch_mapreduce::JobConfig;
+    use baywatch_timeseries::detector::DetectorConfig;
+
+    fn engine() -> MapReduce {
+        MapReduce::new(JobConfig {
+            partitions: 8,
+            threads: 4,
+        })
+    }
+
+    fn beacon_records(source: &str, domain: &str, period: u64, n: u64) -> Vec<LogRecord> {
+        (0..n)
+            .map(|i| LogRecord::new(1_000 + i * period, source, domain, "tok"))
+            .collect()
+    }
+
+    #[test]
+    fn extraction_groups_by_pair() {
+        let mut records = beacon_records("a", "x.com", 60, 10);
+        records.extend(beacon_records("a", "y.com", 30, 5));
+        records.extend(beacon_records("b", "x.com", 45, 7));
+        let summaries = extract_summaries(&engine(), records, 1);
+        assert_eq!(summaries.len(), 3);
+        let ax = summaries
+            .iter()
+            .find(|s| s.pair == CommunicationPair::new("a", "x.com"))
+            .unwrap();
+        assert_eq!(ax.request_count(), 10);
+        assert!(ax.intervals.iter().all(|&i| i == 60));
+    }
+
+    #[test]
+    fn extraction_deterministic() {
+        let records = beacon_records("a", "x.com", 60, 20);
+        let s1 = extract_summaries(&engine(), records.clone(), 1);
+        let s2 = extract_summaries(&engine(), records, 1);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn rescale_and_merge_combines_days() {
+        // Same pair split across two "days".
+        let day1 = extract_summaries(&engine(), beacon_records("a", "x.com", 600, 10), 1);
+        let day2: Vec<ActivitySummary> = extract_summaries(
+            &engine(),
+            (0..10)
+                .map(|i| LogRecord::new(100_000 + i * 600, "a", "x.com", "tok"))
+                .collect(),
+            1,
+        );
+        let mut all = day1;
+        all.extend(day2);
+        assert_eq!(all.len(), 2);
+        let merged = rescale_and_merge(&engine(), all, 60);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].scale, 60);
+        assert_eq!(merged[0].request_count(), 20);
+    }
+
+    #[test]
+    fn rescale_handles_mixed_scales() {
+        let fine = extract_summaries(&engine(), beacon_records("a", "x.com", 600, 8), 1);
+        let coarse = extract_summaries(&engine(), beacon_records("b", "y.com", 600, 8), 7);
+        let mut all = fine;
+        all.extend(coarse);
+        // 60 is not a multiple of 7: the 7-scale summary is rebuilt.
+        let out = rescale_and_merge(&engine(), all, 60);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|s| s.scale == 60));
+    }
+
+    #[test]
+    fn detection_job_finds_beacon_pairs_only() {
+        let mut records = beacon_records("infected", "evil.com", 60, 100);
+        // Irregular traffic.
+        for i in 0..50u64 {
+            records.push(LogRecord::new(
+                1_000 + (i * i * 37) % 50_000,
+                "clean",
+                "news.com",
+                "index",
+            ));
+        }
+        let summaries = extract_summaries(&engine(), records, 1);
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let hits = detect_beaconing(&engine(), summaries, &detector);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.pair.destination, "evil.com");
+        assert!((hits[0].1.best().unwrap().period - 60.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn detection_job_skips_tiny_pairs() {
+        let records = beacon_records("a", "x.com", 60, 3); // below min_events
+        let summaries = extract_summaries(&engine(), records, 1);
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let hits = detect_beaconing(&engine(), summaries, &detector);
+        assert!(hits.is_empty());
+    }
+}

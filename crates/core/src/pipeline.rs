@@ -1,0 +1,448 @@
+//! The end-to-end BAYWATCH engine: all eight filters wired together
+//! (Fig. 3 of the paper).
+
+use std::collections::HashMap;
+
+use baywatch_langmodel::{corpus, DomainScorer};
+use baywatch_mapreduce::{JobConfig, MapReduce};
+use baywatch_timeseries::detector::{DetectorConfig, PeriodicityDetector};
+
+use crate::jobs;
+use crate::novelty::NoveltyStore;
+use crate::popularity::PopularityStats;
+use crate::rank::{rank_cases, BeaconCase, RankConfig, RankedCase};
+use crate::record::LogRecord;
+use crate::tokens::TokenFilter;
+use crate::whitelist::{GlobalWhitelist, LocalWhitelist};
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct BaywatchConfig {
+    /// Finest time scale for activity summaries (seconds; paper: 1).
+    pub time_scale: u64,
+    /// Periodicity-detector settings.
+    pub detector: DetectorConfig,
+    /// Local-whitelist population threshold τ_P (paper: 0.01).
+    pub local_tau: f64,
+    /// URL-token filter.
+    pub token_filter: TokenFilter,
+    /// Ranking weights and report percentile.
+    pub rank: RankConfig,
+    /// MapReduce engine settings.
+    pub mapreduce: JobConfig,
+    /// n-gram order of the domain language model (paper: 3).
+    pub lm_order: usize,
+    /// Whether to load the built-in global whitelist (can be disabled for
+    /// synthetic experiments with no real domains).
+    pub use_builtin_whitelist: bool,
+}
+
+impl Default for BaywatchConfig {
+    fn default() -> Self {
+        Self {
+            time_scale: 1,
+            detector: DetectorConfig::default(),
+            local_tau: 0.01,
+            token_filter: TokenFilter::default(),
+            rank: RankConfig::default(),
+            mapreduce: JobConfig::default(),
+            lm_order: 3,
+            use_builtin_whitelist: true,
+        }
+    }
+}
+
+/// Per-filter survivor counts — the data-flow numbers of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterStats {
+    /// Raw input events.
+    pub events: usize,
+    /// Distinct communication pairs extracted.
+    pub pairs: usize,
+    /// Pairs surviving the global whitelist (filter 1).
+    pub after_global_whitelist: usize,
+    /// Pairs surviving the local whitelist (filter 2).
+    pub after_local_whitelist: usize,
+    /// Pairs with verified periodic behaviour (filter 3).
+    pub periodic: usize,
+    /// Cases surviving the URL-token filter (filter 4).
+    pub after_token_filter: usize,
+    /// Cases surviving novelty analysis (filter 5).
+    pub after_novelty: usize,
+    /// Cases above the ranking percentile (filters 6–7).
+    pub reported: usize,
+}
+
+/// The outcome of analyzing one window.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Survivor counts per filter.
+    pub stats: FilterStats,
+    /// Every scored case (after filters 1–6), ranked best-first.
+    pub ranked: Vec<RankedCase>,
+    /// Index cutoff into `ranked`: entries below it are above the report
+    /// percentile (filter 7).
+    pub report_cutoff: usize,
+    /// Popularity statistics of the window (useful to callers).
+    pub popularity_total_sources: usize,
+}
+
+impl AnalysisReport {
+    /// The cases above the reporting threshold.
+    pub fn reported(&self) -> &[RankedCase] {
+        &self.ranked[..self.report_cutoff]
+    }
+}
+
+/// The BAYWATCH engine. Holds state that persists across windows (the
+/// novelty store and the trained language model).
+#[derive(Debug)]
+pub struct Baywatch {
+    config: BaywatchConfig,
+    engine: MapReduce,
+    scorer: DomainScorer,
+    global_whitelist: GlobalWhitelist,
+    local_whitelist: LocalWhitelist,
+    novelty: NoveltyStore,
+}
+
+impl Baywatch {
+    /// Creates an engine: trains the domain language model on the embedded
+    /// corpus and loads the global whitelist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.lm_order == 0` or `config.local_tau` is out of
+    /// `(0, 1]`.
+    pub fn new(config: BaywatchConfig) -> Self {
+        let scorer = DomainScorer::train(corpus::training_corpus(), config.lm_order);
+        let global_whitelist = if config.use_builtin_whitelist {
+            GlobalWhitelist::from_seed_corpus()
+        } else {
+            GlobalWhitelist::default()
+        };
+        let local_whitelist = LocalWhitelist::new(config.local_tau);
+        let engine = MapReduce::new(config.mapreduce);
+        Self {
+            config,
+            engine,
+            scorer,
+            global_whitelist,
+            local_whitelist,
+            novelty: NoveltyStore::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BaywatchConfig {
+        &self.config
+    }
+
+    /// Mutable access to the global whitelist (e.g. to add
+    /// organization-specific entries).
+    pub fn global_whitelist_mut(&mut self) -> &mut GlobalWhitelist {
+        &mut self.global_whitelist
+    }
+
+    /// The novelty store (persists across [`Baywatch::analyze`] calls —
+    /// daily operation reports each pair once).
+    pub fn novelty(&self) -> &NoveltyStore {
+        &self.novelty
+    }
+
+    /// The trained domain scorer.
+    pub fn scorer(&self) -> &DomainScorer {
+        &self.scorer
+    }
+
+    /// Analyzes one window of records through filters 1–7.
+    ///
+    /// Filter 8 (bootstrap classification) is separate — see
+    /// [`crate::investigate`] — because it needs manual labels.
+    pub fn analyze(&mut self, records: Vec<LogRecord>) -> AnalysisReport {
+        let mut stats = FilterStats {
+            events: records.len(),
+            ..Default::default()
+        };
+
+        // ---- Popularity statistics (input to filter 2 & ranking). ----
+        let popularity = PopularityStats::compute(&self.engine, &records);
+
+        // ---- Data extraction (§VII-A). ----
+        let summaries = jobs::extract_summaries(&self.engine, records, self.config.time_scale);
+        stats.pairs = summaries.len();
+
+        // ---- Filter 1: global whitelist. ----
+        let summaries: Vec<_> = summaries
+            .into_iter()
+            .filter(|s| !self.global_whitelist.contains(&s.pair.destination))
+            .collect();
+        stats.after_global_whitelist = summaries.len();
+
+        // ---- Filter 2: local whitelist (popularity τ_P). ----
+        let summaries: Vec<_> = summaries
+            .into_iter()
+            .filter(|s| {
+                !self
+                    .local_whitelist
+                    .is_whitelisted(popularity.popularity(&s.pair.destination))
+            })
+            .collect();
+        stats.after_local_whitelist = summaries.len();
+
+        // ---- Filter 3: periodicity detection (§IV, §VII-D). ----
+        let detector = PeriodicityDetector::new(self.config.detector.clone());
+        let detections = jobs::detect_beaconing(&self.engine, summaries, &detector);
+        stats.periodic = detections.len();
+
+        // Similar-source counts among the candidate destinations.
+        let mut similar: HashMap<&str, usize> = HashMap::new();
+        for (summary, _) in &detections {
+            *similar.entry(summary.pair.destination.as_str()).or_insert(0) += 1;
+        }
+        let similar: HashMap<String, usize> = similar
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+
+        // ---- Filter 4: URL-token filter (§V-A). ----
+        let detections: Vec<_> = detections
+            .into_iter()
+            .filter(|(summary, _)| !self.config.token_filter.is_benign(&summary.url_tokens))
+            .collect();
+        stats.after_token_filter = detections.len();
+
+        // ---- Filter 5: novelty analysis (§V-B). ----
+        let detections: Vec<_> = detections
+            .into_iter()
+            .filter(|(summary, _)| self.novelty.observe(&summary.pair).is_novel())
+            .collect();
+        stats.after_novelty = detections.len();
+
+        // ---- Filter 6: language-model scoring + case assembly (§V-C). ----
+        let cases: Vec<BeaconCase> = detections
+            .into_iter()
+            .map(|(summary, report)| {
+                let lm_score = self.scorer.score_per_char(&summary.pair.destination);
+                BeaconCase {
+                    popularity: popularity.popularity(&summary.pair.destination),
+                    lm_score,
+                    similar_sources: similar
+                        .get(summary.pair.destination.as_str())
+                        .copied()
+                        .unwrap_or(1),
+                    intervals: summary.intervals_f64(),
+                    url_tokens: summary.url_tokens.clone(),
+                    pair: summary.pair,
+                    candidates: report.candidates,
+                }
+            })
+            .collect();
+
+        // ---- Filter 7: weighted ranking + percentile threshold (§V-D). ----
+        let (ranked, report_cutoff) = rank_cases(&cases, &self.config.rank);
+        stats.reported = report_cutoff;
+
+        AnalysisReport {
+            stats,
+            ranked,
+            report_cutoff,
+            popularity_total_sources: popularity.total_sources(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beacon(records: &mut Vec<LogRecord>, source: &str, domain: &str, period: u64, n: u64) {
+        for i in 0..n {
+            records.push(LogRecord::new(
+                10_000 + i * period,
+                source,
+                domain,
+                format!("{:x}", i * 2654435761 % 0xFFFFFF),
+            ));
+        }
+    }
+
+    fn human(records: &mut Vec<LogRecord>, source: &str, domain: &str, n: u64, seed: u64) {
+        let mut t = 10_000u64;
+        for i in 0..n {
+            t += 1 + (seed * 7919 + i * i * 104_729) % 900;
+            records.push(LogRecord::new(t, source, domain, "index"));
+        }
+    }
+
+    /// Test config with the local whitelist effectively disabled: the test
+    /// populations are tiny (a dozen hosts), so the paper's τ_P = 1% would
+    /// whitelist every destination.
+    fn quiet_config() -> BaywatchConfig {
+        BaywatchConfig {
+            local_tau: 0.9,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn detects_injected_beacon_and_ranks_it_first() {
+        let mut records = Vec::new();
+        beacon(&mut records, "victim", "qzkxwvbnmtr.com", 60, 120);
+        for h in 0..12 {
+            human(
+                &mut records,
+                &format!("host{h}"),
+                &format!("site{h}.example.org"),
+                40,
+                h,
+            );
+        }
+        let mut engine = Baywatch::new(quiet_config());
+        let report = engine.analyze(records);
+        assert!(report.stats.periodic >= 1);
+        assert!(!report.ranked.is_empty());
+        assert_eq!(report.ranked[0].case.pair.destination, "qzkxwvbnmtr.com");
+        assert!(report.report_cutoff >= 1);
+    }
+
+    #[test]
+    fn global_whitelist_removes_popular_destinations() {
+        let mut records = Vec::new();
+        beacon(&mut records, "host", "google.com", 60, 100); // whitelisted
+        beacon(&mut records, "host", "qzkxwv.com", 60, 100);
+        let mut engine = Baywatch::new(quiet_config());
+        let report = engine.analyze(records);
+        assert_eq!(report.stats.pairs, 2);
+        assert_eq!(report.stats.after_global_whitelist, 1);
+        assert!(report
+            .ranked
+            .iter()
+            .all(|c| c.case.pair.destination != "google.com"));
+    }
+
+    #[test]
+    fn local_whitelist_removes_org_wide_destinations() {
+        let mut records = Vec::new();
+        // 50 hosts all beacon to the same intranet updater: popularity 1.0.
+        for h in 0..50 {
+            beacon(
+                &mut records,
+                &format!("host{h}"),
+                "intranet-update.corp",
+                300,
+                30,
+            );
+        }
+        // One host beacons somewhere rare.
+        beacon(&mut records, "victim", "rare-dest.biz", 60, 100);
+        // 51 sources total: the updater has popularity 50/51, the rare
+        // destination 1/51 ≈ 0.02, so τ_P = 5% separates them.
+        let mut engine = Baywatch::new(BaywatchConfig {
+            local_tau: 0.05,
+            ..Default::default()
+        });
+        let report = engine.analyze(records);
+        assert_eq!(report.stats.after_local_whitelist, 1);
+        assert!(report
+            .ranked
+            .iter()
+            .all(|c| c.case.pair.destination == "rare-dest.biz"));
+    }
+
+    #[test]
+    fn token_filter_drops_update_checkers() {
+        let mut records = Vec::new();
+        for i in 0..100u64 {
+            records.push(LogRecord::new(
+                10_000 + i * 600,
+                "host",
+                "updates.some-vendor.io",
+                "update",
+            ));
+        }
+        beacon(&mut records, "victim", "qzkxwv.net", 60, 100);
+        let mut engine = Baywatch::new(quiet_config());
+        let report = engine.analyze(records);
+        assert!(report.stats.periodic >= 2);
+        assert_eq!(report.stats.after_token_filter, 1);
+        assert_eq!(report.ranked[0].case.pair.destination, "qzkxwv.net");
+    }
+
+    #[test]
+    fn novelty_suppresses_repeat_reports_across_windows() {
+        let mk = || {
+            let mut records = Vec::new();
+            beacon(&mut records, "victim", "qzkxwv.org", 60, 100);
+            // A second source keeps the destination's popularity at 0.5 so
+            // the (test-relaxed) local whitelist does not swallow it.
+            human(&mut records, "bystander", "other-site.net", 30, 7);
+            records
+        };
+        let mut engine = Baywatch::new(quiet_config());
+        let first = engine.analyze(mk());
+        assert_eq!(first.stats.after_novelty, 1);
+        let second = engine.analyze(mk());
+        assert_eq!(second.stats.after_novelty, 0);
+        assert!(second.ranked.is_empty());
+    }
+
+    #[test]
+    fn irregular_traffic_produces_no_cases() {
+        let mut records = Vec::new();
+        for h in 0..10 {
+            human(
+                &mut records,
+                &format!("h{h}"),
+                &format!("d{h}.example.net"),
+                60,
+                h + 100,
+            );
+        }
+        let mut engine = Baywatch::new(quiet_config());
+        let report = engine.analyze(records);
+        assert_eq!(
+            report.stats.periodic, 0,
+            "irregular traffic must not verify"
+        );
+        assert!(report.ranked.is_empty());
+    }
+
+    #[test]
+    fn stats_are_monotone_decreasing() {
+        let mut records = Vec::new();
+        beacon(&mut records, "v1", "qzkxwv.com", 60, 100);
+        beacon(&mut records, "v2", "update-svc.example.com", 1800, 40);
+        for h in 0..8 {
+            human(&mut records, &format!("h{h}"), "rare-site.org", 50, h);
+        }
+        let mut engine = Baywatch::new(quiet_config());
+        let r = engine.analyze(records);
+        let s = r.stats;
+        assert!(s.pairs <= s.events);
+        assert!(s.after_global_whitelist <= s.pairs);
+        assert!(s.after_local_whitelist <= s.after_global_whitelist);
+        assert!(s.periodic <= s.after_local_whitelist);
+        assert!(s.after_token_filter <= s.periodic);
+        assert!(s.after_novelty <= s.after_token_filter);
+        assert!(s.reported <= s.after_novelty);
+    }
+
+    #[test]
+    fn reported_slice_matches_cutoff() {
+        let mut records = Vec::new();
+        for i in 0..6 {
+            beacon(
+                &mut records,
+                &format!("v{i}"),
+                &format!("qz{i}kxwv.com"),
+                60 + i * 30,
+                80,
+            );
+        }
+        let mut engine = Baywatch::new(quiet_config());
+        let report = engine.analyze(records);
+        assert_eq!(report.reported().len(), report.report_cutoff);
+        assert!(report.report_cutoff <= report.ranked.len());
+    }
+}

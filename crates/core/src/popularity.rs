@@ -1,0 +1,136 @@
+//! Destination popularity statistics (§VII-C).
+//!
+//! For the local whitelist, BAYWATCH measures each destination's popularity
+//! as the number of distinct sources contacting it divided by the total
+//! number of sources in the window — computed here as a MapReduce job
+//! (`d → {s}` then `d → |{s}| / |S|`).
+
+use std::collections::{HashMap, HashSet};
+
+use baywatch_mapreduce::MapReduce;
+
+use crate::record::LogRecord;
+
+/// Popularity (fraction of the monitored population) per destination.
+#[derive(Debug, Clone, Default)]
+pub struct PopularityStats {
+    per_domain: HashMap<String, f64>,
+    total_sources: usize,
+}
+
+impl PopularityStats {
+    /// Computes popularity from a window of records using the given
+    /// MapReduce engine.
+    pub fn compute(engine: &MapReduce, records: &[LogRecord]) -> Self {
+        let total_sources = records
+            .iter()
+            .map(|r| r.source.as_str())
+            .collect::<HashSet<_>>()
+            .len();
+        if total_sources == 0 {
+            return Self::default();
+        }
+        // MAP: record -> (domain, source); REDUCE: count distinct sources.
+        let inputs: Vec<(&str, &str)> = records
+            .iter()
+            .map(|r| (r.domain.as_str(), r.source.as_str()))
+            .collect();
+        let pairs = engine.run(
+            inputs,
+            |(d, s), emit| emit(d.to_owned(), s.to_owned()),
+            |d, sources| {
+                let distinct: HashSet<&String> = sources.iter().collect();
+                vec![(d.clone(), distinct.len())]
+            },
+        );
+        let per_domain = pairs
+            .into_iter()
+            .map(|(d, n)| (d, n as f64 / total_sources as f64))
+            .collect();
+        Self {
+            per_domain,
+            total_sources,
+        }
+    }
+
+    /// Popularity of a destination (0 when never seen).
+    pub fn popularity(&self, domain: &str) -> f64 {
+        self.per_domain.get(domain).copied().unwrap_or(0.0)
+    }
+
+    /// Number of distinct sources in the window.
+    pub fn total_sources(&self) -> usize {
+        self.total_sources
+    }
+
+    /// Number of distinct destinations.
+    pub fn distinct_destinations(&self) -> usize {
+        self.per_domain.len()
+    }
+
+    /// Number of distinct sources contacting `domain`.
+    pub fn source_count(&self, domain: &str) -> usize {
+        (self.popularity(domain) * self.total_sources as f64).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baywatch_mapreduce::JobConfig;
+
+    fn engine() -> MapReduce {
+        MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        })
+    }
+
+    fn record(s: &str, d: &str) -> LogRecord {
+        LogRecord::new(0, s, d, "")
+    }
+
+    #[test]
+    fn popularity_fractions() {
+        let records = vec![
+            record("a", "popular.com"),
+            record("b", "popular.com"),
+            record("c", "popular.com"),
+            record("a", "niche.com"),
+            // duplicate requests don't double-count sources
+            record("a", "popular.com"),
+        ];
+        let stats = PopularityStats::compute(&engine(), &records);
+        assert_eq!(stats.total_sources(), 3);
+        assert!((stats.popularity("popular.com") - 1.0).abs() < 1e-12);
+        assert!((stats.popularity("niche.com") - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.popularity("unknown.com"), 0.0);
+        assert_eq!(stats.distinct_destinations(), 2);
+        assert_eq!(stats.source_count("popular.com"), 3);
+        assert_eq!(stats.source_count("niche.com"), 1);
+    }
+
+    #[test]
+    fn empty_window() {
+        let stats = PopularityStats::compute(&engine(), &[]);
+        assert_eq!(stats.total_sources(), 0);
+        assert_eq!(stats.popularity("x.com"), 0.0);
+    }
+
+    #[test]
+    fn large_window_consistency() {
+        // 100 sources; domain "shared.com" contacted by every 4th source.
+        let mut records = Vec::new();
+        for i in 0..100 {
+            let s = format!("host{i}");
+            records.push(record(&s, "base.com"));
+            if i % 4 == 0 {
+                records.push(record(&s, "shared.com"));
+            }
+        }
+        let stats = PopularityStats::compute(&engine(), &records);
+        assert_eq!(stats.total_sources(), 100);
+        assert!((stats.popularity("shared.com") - 0.25).abs() < 1e-12);
+        assert!((stats.popularity("base.com") - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,318 @@
+//! Weighted result ranking (§V-D).
+//!
+//! BAYWATCH condenses its indicators — periodicity strength (ACF score,
+//! interval regularity), language-model score, destination popularity —
+//! into a single weighted score per case so analysts can prioritize. The
+//! paper weights the language model heavily for very low-probability
+//! domains and awards strong periodicity (high ACF, low interval standard
+//! deviation, long range); the final report keeps only cases above the
+//! n-th percentile of the score distribution (the evaluation uses the
+//! 90th).
+
+use baywatch_stats::describe::percentile;
+use baywatch_timeseries::detector::CandidatePeriod;
+
+use crate::pair::CommunicationPair;
+
+/// A candidate beaconing case after the detection and suspicion filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeaconCase {
+    /// The communication pair.
+    pub pair: CommunicationPair,
+    /// Inter-arrival intervals (seconds).
+    pub intervals: Vec<f64>,
+    /// Verified candidate periods (strongest first).
+    pub candidates: Vec<CandidatePeriod>,
+    /// Distinct URL tokens observed for the pair.
+    pub url_tokens: std::collections::BTreeSet<String>,
+    /// Destination popularity (fraction of population).
+    pub popularity: f64,
+    /// Language-model score of the destination (per-character log-prob).
+    pub lm_score: f64,
+    /// Number of sources sharing this destination among the candidates.
+    pub similar_sources: usize,
+}
+
+impl BeaconCase {
+    /// The strongest verified period in seconds, if any.
+    pub fn primary_period(&self) -> Option<f64> {
+        self.candidates.first().map(|c| c.period)
+    }
+
+    /// The smallest verified period — the paper's Tables V/VI report the
+    /// "smallest period" per confirmed destination.
+    pub fn smallest_period(&self) -> Option<f64> {
+        self.candidates
+            .iter()
+            .map(|c| c.period)
+            .min_by(|a, b| a.partial_cmp(b).expect("periods are finite"))
+    }
+
+    /// Coefficient of variation of the interval list (0 when undefined).
+    pub fn interval_cv(&self) -> f64 {
+        if self.intervals.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.intervals.iter().sum::<f64>() / self.intervals.len() as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .intervals
+            .iter()
+            .map(|i| (i - mean) * (i - mean))
+            .sum::<f64>()
+            / (self.intervals.len() - 1) as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Weights and threshold of the ranking filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankConfig {
+    /// Weight of the periodicity-strength component.
+    pub w_periodicity: f64,
+    /// Weight of the language-model anomaly component.
+    pub w_language: f64,
+    /// Weight of the unpopularity component.
+    pub w_unpopularity: f64,
+    /// Weight of the long-range persistence component ("periodic over long
+    /// range of time" is rewarded, §V-D).
+    pub w_persistence: f64,
+    /// Percentile of the score distribution above which cases are
+    /// reported (paper: 90).
+    pub report_percentile: f64,
+    /// Popularity scale for the unpopularity component (typically the
+    /// local-whitelist τ_P): destinations at or above it score 0.
+    pub popularity_scale: f64,
+}
+
+impl Default for RankConfig {
+    fn default() -> Self {
+        Self {
+            w_periodicity: 1.0,
+            // The paper assigns "a higher weight to the language model
+            // score for the domains with very low probabilities".
+            w_language: 1.5,
+            w_unpopularity: 0.5,
+            w_persistence: 0.3,
+            report_percentile: 90.0,
+            popularity_scale: 0.01,
+        }
+    }
+}
+
+/// A case with its ranking score and component breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCase {
+    /// The underlying case.
+    pub case: BeaconCase,
+    /// Final weighted score.
+    pub score: f64,
+    /// Periodicity-strength component in `[0, 1]`.
+    pub periodicity_component: f64,
+    /// Language-model anomaly component in `[0, 1]`.
+    pub language_component: f64,
+    /// Unpopularity component in `[0, 1]`.
+    pub unpopularity_component: f64,
+    /// Long-range persistence component in `[0, 1]`.
+    pub persistence_component: f64,
+}
+
+/// Scores a single case under the config.
+pub fn score_case(case: &BeaconCase, config: &RankConfig) -> RankedCase {
+    // Periodicity strength: best ACF score damped by interval
+    // irregularity — "higher score to connections with strong periodicity,
+    // e.g. high ACF score, low standard deviation in the observed
+    // intervals".
+    let acf = case
+        .candidates
+        .first()
+        .map(|c| c.acf_score.clamp(0.0, 1.0))
+        .unwrap_or(0.0);
+    let cv = case.interval_cv();
+    let periodicity = acf / (1.0 + cv);
+
+    // Language-model anomaly: map the per-character log-probability onto
+    // [0, 1]. Human-registered names typically score better than −2.2 per
+    // character under the 3-gram model; DGA soup lands near −3.5 and below.
+    let language = ((-case.lm_score - 2.2) / 1.5).clamp(0.0, 1.0);
+
+    // Unpopularity: 1 at popularity 0, 0 at/above the scale.
+    let unpopularity = (1.0 - case.popularity / config.popularity_scale).clamp(0.0, 1.0);
+
+    // Long-range persistence — "periodic over long range of time, since
+    // these regular patterns are of more interest to the analysts":
+    // log-scaled cycle count, saturating around a day of minute-level
+    // beaconing (~1,000 cycles).
+    let persistence =
+        ((1.0 + case.intervals.len() as f64).ln() / (1.0 + 1_000.0f64).ln()).clamp(0.0, 1.0);
+
+    let score = config.w_periodicity * periodicity
+        + config.w_language * language
+        + config.w_unpopularity * unpopularity
+        + config.w_persistence * persistence;
+
+    RankedCase {
+        case: case.clone(),
+        score,
+        periodicity_component: periodicity,
+        language_component: language,
+        unpopularity_component: unpopularity,
+        persistence_component: persistence,
+    }
+}
+
+/// Scores and ranks cases (highest score first), returning the full ranked
+/// list and the index cutoff of the report threshold: entries
+/// `ranked[..cutoff]` are at or above the configured percentile.
+pub fn rank_cases(cases: &[BeaconCase], config: &RankConfig) -> (Vec<RankedCase>, usize) {
+    let mut ranked: Vec<RankedCase> = cases.iter().map(|c| score_case(c, config)).collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.case.pair.cmp(&b.case.pair))
+    });
+    if ranked.is_empty() {
+        return (ranked, 0);
+    }
+    let scores: Vec<f64> = ranked.iter().map(|r| r.score).collect();
+    let threshold = percentile(&scores, config.report_percentile)
+        .expect("non-empty score distribution");
+    let cutoff = ranked.iter().take_while(|r| r.score >= threshold).count();
+    (ranked, cutoff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(period: f64, acf: f64) -> CandidatePeriod {
+        CandidatePeriod {
+            frequency: 1.0 / period,
+            period,
+            power: 1.0,
+            acf_score: acf,
+            p_value: None,
+        }
+    }
+
+    fn case(dest: &str, acf: f64, lm: f64, pop: f64) -> BeaconCase {
+        BeaconCase {
+            pair: CommunicationPair::new("src", dest),
+            intervals: vec![60.0; 30],
+            candidates: vec![candidate(60.0, acf)],
+            url_tokens: Default::default(),
+            popularity: pop,
+            lm_score: lm,
+            similar_sources: 1,
+        }
+    }
+
+    #[test]
+    fn dga_beacon_outranks_benign_periodic() {
+        let cfg = RankConfig::default();
+        let dga = score_case(&case("qzkxwv.com", 0.9, -3.8, 0.0001), &cfg);
+        let benign = score_case(&case("news-portal.com", 0.9, -1.6, 0.008), &cfg);
+        assert!(dga.score > benign.score);
+        assert!(dga.language_component > 0.9);
+        assert!(benign.language_component < 0.1);
+    }
+
+    #[test]
+    fn periodicity_component_damped_by_cv() {
+        let cfg = RankConfig::default();
+        let mut regular = case("a.com", 0.8, -2.0, 0.0);
+        regular.intervals = vec![60.0; 50];
+        let mut jittery = case("b.com", 0.8, -2.0, 0.0);
+        jittery.intervals = (0..50).map(|i| 30.0 + (i % 10) as f64 * 12.0).collect();
+        let r = score_case(&regular, &cfg);
+        let j = score_case(&jittery, &cfg);
+        assert!(r.periodicity_component > j.periodicity_component);
+    }
+
+    #[test]
+    fn unpopularity_component_extremes() {
+        let cfg = RankConfig::default();
+        assert_eq!(
+            score_case(&case("x.com", 0.5, -2.0, 0.0), &cfg).unpopularity_component,
+            1.0
+        );
+        assert_eq!(
+            score_case(&case("x.com", 0.5, -2.0, 0.05), &cfg).unpopularity_component,
+            0.0
+        );
+    }
+
+    #[test]
+    fn rank_orders_descending_with_cutoff() {
+        let cases: Vec<BeaconCase> = (0..20)
+            .map(|i| case(&format!("d{i}.com"), 0.05 * i as f64, -2.0, 0.001))
+            .collect();
+        let (ranked, cutoff) = rank_cases(&cases, &RankConfig::default());
+        assert_eq!(ranked.len(), 20);
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // 90th percentile of 20 scores: top ~2-3 cases.
+        assert!((1..=4).contains(&cutoff), "cutoff = {cutoff}");
+    }
+
+    #[test]
+    fn empty_case_list() {
+        let (ranked, cutoff) = rank_cases(&[], &RankConfig::default());
+        assert!(ranked.is_empty());
+        assert_eq!(cutoff, 0);
+    }
+
+    #[test]
+    fn case_without_candidates_scores_zero_periodicity() {
+        let mut c = case("x.com", 0.0, -2.0, 0.0);
+        c.candidates.clear();
+        let r = score_case(&c, &RankConfig::default());
+        assert_eq!(r.periodicity_component, 0.0);
+        assert!(c.primary_period().is_none());
+        assert!(c.smallest_period().is_none());
+    }
+
+    #[test]
+    fn smallest_period_selection() {
+        let mut c = case("x.com", 0.9, -2.0, 0.0);
+        c.candidates = vec![candidate(180.0, 0.9), candidate(63.0, 0.7)];
+        assert_eq!(c.primary_period(), Some(180.0));
+        assert_eq!(c.smallest_period(), Some(63.0));
+    }
+
+    #[test]
+    fn interval_cv_degenerate_inputs() {
+        let mut c = case("x.com", 0.5, -2.0, 0.0);
+        c.intervals = vec![];
+        assert_eq!(c.interval_cv(), 0.0);
+        c.intervals = vec![10.0];
+        assert_eq!(c.interval_cv(), 0.0);
+        c.intervals = vec![0.0, 0.0];
+        assert_eq!(c.interval_cv(), 0.0);
+    }
+
+    #[test]
+    fn persistence_rewards_long_series() {
+        let cfg = RankConfig::default();
+        let mut short = case("a.com", 0.8, -3.0, 0.0001);
+        short.intervals = vec![60.0; 10];
+        let mut long = case("b.com", 0.8, -3.0, 0.0001);
+        long.intervals = vec![60.0; 800];
+        let s = score_case(&short, &cfg);
+        let l = score_case(&long, &cfg);
+        assert!(l.persistence_component > s.persistence_component);
+        assert!(l.score > s.score);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_pair() {
+        let a = case("aaa.com", 0.5, -2.0, 0.001);
+        let b = case("bbb.com", 0.5, -2.0, 0.001);
+        let (ranked, _) = rank_cases(&[b, a], &RankConfig::default());
+        assert_eq!(ranked[0].case.pair.destination, "aaa.com");
+    }
+}

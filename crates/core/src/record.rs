@@ -1,0 +1,50 @@
+//! The raw log record consumed by the pipeline.
+//!
+//! BAYWATCH is data-source agnostic (§X of the paper applies the same core
+//! to DNS and Netflow); the pipeline only needs a timestamp, a stable
+//! source identifier, a destination, and (for web logs) a URL path token.
+
+/// One input log line after field extraction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogRecord {
+    /// Epoch timestamp in seconds.
+    pub timestamp: u64,
+    /// Stable source identifier (the paper correlates IP → MAC via DHCP
+    /// logs; the caller is expected to have done the same).
+    pub source: String,
+    /// Destination domain (or IP string for Netflow-style input).
+    pub domain: String,
+    /// First URL path token (empty for sources without one).
+    pub url_token: String,
+}
+
+impl LogRecord {
+    /// Convenience constructor.
+    pub fn new(
+        timestamp: u64,
+        source: impl Into<String>,
+        domain: impl Into<String>,
+        url_token: impl Into<String>,
+    ) -> Self {
+        Self {
+            timestamp,
+            source: source.into(),
+            domain: domain.into(),
+            url_token: url_token.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_accepts_mixed_string_types() {
+        let r = LogRecord::new(5, "s", String::from("d.com"), "tok");
+        assert_eq!(r.timestamp, 5);
+        assert_eq!(r.source, "s");
+        assert_eq!(r.domain, "d.com");
+        assert_eq!(r.url_token, "tok");
+    }
+}

@@ -1,0 +1,285 @@
+//! Analyst-facing report rendering.
+//!
+//! BAYWATCH's output is a *prioritized list of beaconing cases* for manual
+//! verification and investigation (§VI). This module turns an
+//! [`AnalysisReport`] into the text artifact an analyst actually reads:
+//! a ranked digest with per-case evidence — detected periods, score
+//! components, the symbolized interval series, and the filter funnel that
+//! produced the list.
+
+use std::fmt::Write as _;
+
+use baywatch_timeseries::symbolize::symbolize;
+
+use crate::pipeline::AnalysisReport;
+use crate::rank::RankedCase;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportOptions {
+    /// Maximum number of cases to include (0 = all ranked cases).
+    pub max_cases: usize,
+    /// Whether to include only cases above the report percentile.
+    pub reported_only: bool,
+    /// Maximum symbolized-series characters shown per case.
+    pub max_symbols: usize,
+    /// Tolerance for the symbolized-series rendering.
+    pub symbol_tolerance: f64,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        Self {
+            max_cases: 50,
+            reported_only: false,
+            max_symbols: 64,
+            symbol_tolerance: 0.05,
+        }
+    }
+}
+
+/// Renders the filter funnel (Fig. 3 data flow) as text.
+pub fn render_funnel(report: &AnalysisReport) -> String {
+    let s = report.stats;
+    let mut out = String::new();
+    let mut row = |label: &str, value: usize| {
+        let _ = writeln!(out, "{label:<28}{value:>10}");
+    };
+    row("events", s.events);
+    row("communication pairs", s.pairs);
+    row("after global whitelist", s.after_global_whitelist);
+    row("after local whitelist", s.after_local_whitelist);
+    row("periodic (verified)", s.periodic);
+    row("after URL-token filter", s.after_token_filter);
+    row("after novelty analysis", s.after_novelty);
+    row("reported (percentile)", s.reported);
+    out
+}
+
+/// Renders one case as a multi-line evidence block.
+pub fn render_case(rank: usize, rc: &RankedCase, options: &ReportOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "#{rank} {}  score {:.3}", rc.case.pair, rc.score);
+    let _ = writeln!(
+        out,
+        "    components: periodicity {:.2} | language {:.2} | unpopularity {:.2} | persistence {:.2}",
+        rc.periodicity_component,
+        rc.language_component,
+        rc.unpopularity_component,
+        rc.persistence_component
+    );
+    if rc.case.candidates.is_empty() {
+        let _ = writeln!(out, "    periods: none verified");
+    } else {
+        let periods: Vec<String> = rc
+            .case
+            .candidates
+            .iter()
+            .map(|c| format!("{:.1}s (ACF {:.2})", c.period, c.acf_score))
+            .collect();
+        let _ = writeln!(out, "    periods: {}", periods.join(", "));
+    }
+    let _ = writeln!(
+        out,
+        "    intervals: n={}  popularity {:.5}  lm/char {:.2}  shared by {} source(s)",
+        rc.case.intervals.len(),
+        rc.case.popularity,
+        rc.case.lm_score,
+        rc.case.similar_sources
+    );
+    if !rc.case.url_tokens.is_empty() {
+        let tokens: Vec<&str> = rc.case.url_tokens.iter().map(String::as_str).take(8).collect();
+        let _ = writeln!(out, "    url tokens: {}", tokens.join(", "));
+    }
+    let periods: Vec<f64> = rc.case.candidates.iter().map(|c| c.period).collect();
+    if !rc.case.intervals.is_empty() && !periods.is_empty() {
+        let symbols = symbolize(&rc.case.intervals, &periods, options.symbol_tolerance);
+        let shown = &symbols[..symbols.len().min(options.max_symbols)];
+        let ellipsis = if symbols.len() > shown.len() { "…" } else { "" };
+        let _ = writeln!(
+            out,
+            "    series: {}{}",
+            String::from_utf8_lossy(shown),
+            ellipsis
+        );
+    }
+    out
+}
+
+/// Renders the full analyst report.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_core::pipeline::{Baywatch, BaywatchConfig};
+/// use baywatch_core::record::LogRecord;
+/// use baywatch_core::report::{render_report, ReportOptions};
+///
+/// let mut records = Vec::new();
+/// for i in 0..60u64 {
+///     records.push(LogRecord::new(1_000 + i * 60, "victim", "qzkxwv.com", "a1"));
+///     records.push(LogRecord::new(900 + i * i * 31 % 4000, "other", "site.org", "index"));
+/// }
+/// let mut engine = Baywatch::new(BaywatchConfig { local_tau: 0.9, ..Default::default() });
+/// let analysis = engine.analyze(records);
+/// let text = render_report(&analysis, &ReportOptions::default());
+/// assert!(text.contains("qzkxwv.com"));
+/// assert!(text.contains("communication pairs"));
+/// ```
+pub fn render_report(report: &AnalysisReport, options: &ReportOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== BAYWATCH analysis report ===\n");
+    out.push_str(&render_funnel(report));
+    out.push('\n');
+
+    let cases: Vec<&RankedCase> = if options.reported_only {
+        report.reported().iter().collect()
+    } else {
+        report.ranked.iter().collect()
+    };
+    let limit = if options.max_cases == 0 {
+        cases.len()
+    } else {
+        options.max_cases
+    };
+    if cases.is_empty() {
+        let _ = writeln!(out, "no beaconing cases surfaced in this window");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "--- {} case(s){} ---\n",
+        cases.len().min(limit),
+        if options.reported_only {
+            " above the report threshold"
+        } else {
+            ""
+        }
+    );
+    for (i, rc) in cases.into_iter().take(limit).enumerate() {
+        out.push_str(&render_case(i + 1, rc, options));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::CommunicationPair;
+    use crate::pipeline::FilterStats;
+    use crate::rank::BeaconCase;
+    use baywatch_timeseries::detector::CandidatePeriod;
+
+    fn toy_report(n_cases: usize) -> AnalysisReport {
+        let ranked: Vec<RankedCase> = (0..n_cases)
+            .map(|i| RankedCase {
+                case: BeaconCase {
+                    pair: CommunicationPair::new(format!("host-{i}"), format!("dest-{i}.com")),
+                    intervals: vec![60.0; 100],
+                    candidates: vec![CandidatePeriod {
+                        frequency: 1.0 / 60.0,
+                        period: 60.0,
+                        power: 5.0,
+                        acf_score: 0.8,
+                        p_value: None,
+                    }],
+                    url_tokens: ["a1f".to_owned()].into(),
+                    popularity: 0.001,
+                    lm_score: -3.0,
+                    similar_sources: 2,
+                },
+                score: 2.0 - i as f64 * 0.1,
+                periodicity_component: 0.8,
+                language_component: 0.5,
+                unpopularity_component: 0.9,
+                persistence_component: 0.7,
+            })
+            .collect();
+        AnalysisReport {
+            stats: FilterStats {
+                events: 1000,
+                pairs: 50,
+                after_global_whitelist: 40,
+                after_local_whitelist: 30,
+                periodic: n_cases,
+                after_token_filter: n_cases,
+                after_novelty: n_cases,
+                reported: n_cases.min(1),
+            },
+            report_cutoff: n_cases.min(1),
+            ranked,
+            popularity_total_sources: 20,
+        }
+    }
+
+    #[test]
+    fn funnel_shows_all_stages() {
+        let text = render_funnel(&toy_report(3));
+        for label in [
+            "events",
+            "communication pairs",
+            "global whitelist",
+            "local whitelist",
+            "periodic",
+            "token filter",
+            "novelty",
+            "reported",
+        ] {
+            assert!(text.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn case_block_contains_evidence() {
+        let report = toy_report(1);
+        let text = render_case(1, &report.ranked[0], &ReportOptions::default());
+        assert!(text.contains("dest-0.com"));
+        assert!(text.contains("60.0s"));
+        assert!(text.contains("components"));
+        assert!(text.contains("series: xxxx"));
+    }
+
+    #[test]
+    fn max_cases_limits_output() {
+        let report = toy_report(10);
+        let opts = ReportOptions {
+            max_cases: 2,
+            ..Default::default()
+        };
+        let text = render_report(&report, &opts);
+        assert!(text.contains("#1 "));
+        assert!(text.contains("#2 "));
+        assert!(!text.contains("#3 "));
+    }
+
+    #[test]
+    fn reported_only_respects_cutoff() {
+        let report = toy_report(5); // cutoff = 1
+        let opts = ReportOptions {
+            reported_only: true,
+            ..Default::default()
+        };
+        let text = render_report(&report, &opts);
+        assert!(text.contains("#1 "));
+        assert!(!text.contains("#2 "));
+    }
+
+    #[test]
+    fn empty_report_renders_gracefully() {
+        let report = toy_report(0);
+        let text = render_report(&report, &ReportOptions::default());
+        assert!(text.contains("no beaconing cases"));
+    }
+
+    #[test]
+    fn symbol_truncation() {
+        let report = toy_report(1);
+        let opts = ReportOptions {
+            max_symbols: 10,
+            ..Default::default()
+        };
+        let text = render_case(1, &report.ranked[0], &opts);
+        assert!(text.contains("xxxxxxxxxx…"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Multi-scale iterative operation (§X of the paper).
+//!
+//! BAYWATCH runs at three cadences simultaneously:
+//!
+//! * **daily** at fine granularity — catches minute-level beaconing,
+//! * **weekly** over merged daily summaries at a coarser scale — catches
+//!   hour-level periodicity without reprocessing raw logs,
+//! * **monthly** at the coarsest scale — catches 24-hour beacons that a
+//!   single day can never show (a 24 h period needs ≥ `min_cycles` days of
+//!   observation).
+//!
+//! The scheduler is the consumer of the rescaling/merging job (§VII-B):
+//! each day's raw logs are summarized once; weekly and monthly tiers merge
+//! and re-bin those summaries instead of touching raw data again.
+
+use std::collections::HashMap;
+
+use baywatch_mapreduce::MapReduce;
+use baywatch_timeseries::detector::{DetectionReport, DetectorConfig, PeriodicityDetector};
+
+use crate::activity::ActivitySummary;
+use crate::jobs;
+use crate::pair::CommunicationPair;
+use crate::record::LogRecord;
+use crate::CoreError;
+
+/// One analysis tier of the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tier {
+    /// Human-readable name ("daily", "weekly", "monthly").
+    pub name: &'static str,
+    /// How many days of summaries the tier aggregates.
+    pub window_days: usize,
+    /// Time scale (seconds) the tier analyzes at.
+    pub scale: u64,
+}
+
+/// The paper's three standard tiers.
+pub fn standard_tiers() -> Vec<Tier> {
+    vec![
+        Tier {
+            name: "daily",
+            window_days: 1,
+            scale: 1,
+        },
+        Tier {
+            name: "weekly",
+            window_days: 7,
+            scale: 60,
+        },
+        Tier {
+            name: "monthly",
+            window_days: 30,
+            scale: 3600,
+        },
+    ]
+}
+
+/// A detection produced by some tier.
+#[derive(Debug, Clone)]
+pub struct TierDetection {
+    /// Tier that produced the finding.
+    pub tier: &'static str,
+    /// The communication pair.
+    pub pair: CommunicationPair,
+    /// The detector's report.
+    pub report: DetectionReport,
+}
+
+/// Multi-scale scheduler: feed it one day of records at a time; it keeps
+/// per-pair daily summaries, merges them into the coarser tiers when their
+/// windows complete, and runs the detector at every tier.
+#[derive(Debug)]
+pub struct MultiScaleScheduler {
+    tiers: Vec<Tier>,
+    detector_config: DetectorConfig,
+    engine: MapReduce,
+    /// Ring of the last N days of summaries (N = max window).
+    history: Vec<Vec<ActivitySummary>>,
+    days_ingested: usize,
+}
+
+impl MultiScaleScheduler {
+    /// Creates a scheduler with the given tiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `tiers` is empty or any
+    /// tier has a zero window or scale.
+    pub fn new(
+        tiers: Vec<Tier>,
+        detector_config: DetectorConfig,
+        engine: MapReduce,
+    ) -> Result<Self, CoreError> {
+        if tiers.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                name: "tiers",
+                constraint: "must be non-empty",
+            });
+        }
+        for t in &tiers {
+            if t.window_days == 0 || t.scale == 0 {
+                return Err(CoreError::InvalidConfig {
+                    name: "tier",
+                    constraint: "window_days and scale must be positive",
+                });
+            }
+        }
+        Ok(Self {
+            tiers,
+            detector_config,
+            engine,
+            history: Vec::new(),
+            days_ingested: 0,
+        })
+    }
+
+    /// Convenience: standard tiers with default configs.
+    pub fn standard() -> Self {
+        Self::new(
+            standard_tiers(),
+            DetectorConfig::default(),
+            MapReduce::default(),
+        )
+        .expect("standard tiers are valid")
+    }
+
+    /// Number of days ingested so far.
+    pub fn days_ingested(&self) -> usize {
+        self.days_ingested
+    }
+
+    /// Ingests one day of raw records and runs every tier whose window
+    /// completes on this day. Returns all detections (periodic pairs),
+    /// tagged with the tier that found them.
+    pub fn ingest_day(&mut self, records: Vec<LogRecord>) -> Vec<TierDetection> {
+        // Summarize the day once at the finest granularity.
+        let day_summaries = jobs::extract_summaries(&self.engine, records, 1);
+        self.history.push(day_summaries);
+        self.days_ingested += 1;
+
+        let max_window = self
+            .tiers
+            .iter()
+            .map(|t| t.window_days)
+            .max()
+            .expect("tiers are non-empty");
+        while self.history.len() > max_window {
+            self.history.remove(0);
+        }
+
+        let mut out = Vec::new();
+        for tier in &self.tiers {
+            // A tier fires when its window completes (every `window_days`).
+            if !self.days_ingested.is_multiple_of(tier.window_days) {
+                continue;
+            }
+            if self.history.len() < tier.window_days {
+                continue;
+            }
+            let window: Vec<ActivitySummary> = self.history
+                [self.history.len() - tier.window_days..]
+                .iter()
+                .flatten()
+                .cloned()
+                .collect();
+            // Merge per-pair across days and re-bin to the tier's scale.
+            let merged = jobs::rescale_and_merge(&self.engine, window, tier.scale);
+
+            // Run the detector at the tier's scale.
+            let detector_config = DetectorConfig {
+                time_scale: tier.scale,
+                ..self.detector_config.clone()
+            };
+            let detector = PeriodicityDetector::new(detector_config);
+            for (summary, report) in jobs::detect_beaconing(&self.engine, merged, &detector) {
+                out.push(TierDetection {
+                    tier: tier.name,
+                    pair: summary.pair,
+                    report,
+                });
+            }
+        }
+        out
+    }
+
+    /// Ingests many days and collects every detection, deduplicated by
+    /// (tier, pair) keeping the strongest ACF score.
+    pub fn ingest_days<I>(&mut self, days: I) -> Vec<TierDetection>
+    where
+        I: IntoIterator<Item = Vec<LogRecord>>,
+    {
+        let mut best: HashMap<(&'static str, CommunicationPair), TierDetection> = HashMap::new();
+        for day in days {
+            for det in self.ingest_day(day) {
+                let key = (det.tier, det.pair.clone());
+                let better = best
+                    .get(&key)
+                    .map(|old| {
+                        det.report
+                            .best()
+                            .map(|c| c.acf_score)
+                            .unwrap_or(0.0)
+                            > old.report.best().map(|c| c.acf_score).unwrap_or(0.0)
+                    })
+                    .unwrap_or(true);
+                if better {
+                    best.insert(key, det);
+                }
+            }
+        }
+        let mut out: Vec<TierDetection> = best.into_values().collect();
+        out.sort_by(|a, b| a.tier.cmp(b.tier).then(a.pair.cmp(&b.pair)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: u64 = 86_400;
+
+    /// Beacon every `period` seconds across `days` days.
+    fn beacon_days(source: &str, domain: &str, period: u64, days: usize) -> Vec<Vec<LogRecord>> {
+        let mut out = Vec::new();
+        for d in 0..days {
+            let day_start = d as u64 * DAY;
+            let mut records = Vec::new();
+            let mut t = day_start + (period - (day_start % period)) % period;
+            while t < day_start + DAY {
+                records.push(LogRecord::new(t, source, domain, "x"));
+                t += period;
+            }
+            out.push(records);
+        }
+        out
+    }
+
+    #[test]
+    fn daily_tier_catches_fast_beacon() {
+        let mut sched = MultiScaleScheduler::standard();
+        let days = beacon_days("h", "fast.com", 120, 1);
+        let detections = sched.ingest_days(days);
+        assert!(detections
+            .iter()
+            .any(|d| d.tier == "daily" && d.pair.destination == "fast.com"));
+    }
+
+    #[test]
+    fn twenty_four_hour_beacon_needs_the_monthly_tier() {
+        // One beacon per day: invisible daily (1 event), invisible weekly
+        // (7 events < min_events 8 at best), caught monthly.
+        let mut sched = MultiScaleScheduler::standard();
+        let days = beacon_days("h", "slow.com", 86_400, 30);
+        let detections = sched.ingest_days(days);
+        let tiers: Vec<&str> = detections
+            .iter()
+            .filter(|d| d.pair.destination == "slow.com")
+            .map(|d| d.tier)
+            .collect();
+        assert!(
+            tiers.contains(&"monthly"),
+            "monthly tier should catch the 24 h beacon, got {tiers:?}"
+        );
+        assert!(
+            !tiers.contains(&"daily"),
+            "a single daily event cannot be periodic"
+        );
+    }
+
+    #[test]
+    fn hourly_beacon_visible_weekly() {
+        // 6-hour beacon: 4 events/day (below min_events), 28 events/week.
+        let mut sched = MultiScaleScheduler::standard();
+        let days = beacon_days("h", "sixhour.com", 6 * 3600, 7);
+        let detections = sched.ingest_days(days);
+        let found_weekly = detections
+            .iter()
+            .any(|d| d.tier == "weekly" && d.pair.destination == "sixhour.com");
+        assert!(found_weekly, "detections: {detections:?}");
+    }
+
+    #[test]
+    fn weekly_tier_fires_every_seventh_day() {
+        let mut sched = MultiScaleScheduler::standard();
+        for d in 0..6 {
+            let day = beacon_days("h", "x.com", 6 * 3600, 1).remove(0);
+            let day: Vec<LogRecord> = day
+                .into_iter()
+                .map(|mut r| {
+                    r.timestamp += d as u64 * DAY;
+                    r
+                })
+                .collect();
+            let dets = sched.ingest_day(day);
+            assert!(
+                !dets.iter().any(|x| x.tier == "weekly"),
+                "weekly fired early on day {d}"
+            );
+        }
+        let day7 = beacon_days("h", "x.com", 6 * 3600, 1)
+            .remove(0)
+            .into_iter()
+            .map(|mut r| {
+                r.timestamp += 6 * DAY;
+                r
+            })
+            .collect();
+        let dets = sched.ingest_day(day7);
+        assert!(dets.iter().any(|x| x.tier == "weekly"));
+    }
+
+    #[test]
+    fn invalid_tiers_rejected() {
+        assert!(MultiScaleScheduler::new(
+            vec![],
+            DetectorConfig::default(),
+            MapReduce::default()
+        )
+        .is_err());
+        assert!(MultiScaleScheduler::new(
+            vec![Tier {
+                name: "bad",
+                window_days: 0,
+                scale: 1
+            }],
+            DetectorConfig::default(),
+            MapReduce::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut sched = MultiScaleScheduler::standard();
+        for day in beacon_days("h", "y.com", 3600, 40) {
+            sched.ingest_day(day);
+        }
+        assert_eq!(sched.days_ingested(), 40);
+        assert!(sched.history.len() <= 30);
+    }
+
+    #[test]
+    fn ingest_days_dedups_per_tier_pair() {
+        let mut sched = MultiScaleScheduler::standard();
+        let detections = sched.ingest_days(beacon_days("h", "z.com", 300, 3));
+        let daily: Vec<_> = detections
+            .iter()
+            .filter(|d| d.tier == "daily" && d.pair.destination == "z.com")
+            .collect();
+        assert_eq!(daily.len(), 1, "expected one deduplicated daily finding");
+    }
+}

@@ -1,0 +1,168 @@
+//! URL path-token filter (§V-A).
+//!
+//! Legitimate beaconing — software update checks, AV signature polls,
+//! mail/news polling — typically requests well-known URL paths. The token
+//! filter removes candidate cases whose observed URL tokens are dominated
+//! by such known-benign vocabulary, *before* analysts ever see them.
+//!
+//! A case survives the filter if fewer than
+//! [`TokenFilter::benign_fraction`] of its distinct tokens are on the
+//! benign list (malware check-ins typically use random or hex paths).
+
+use std::collections::BTreeSet;
+use std::collections::HashSet;
+
+/// The token filter.
+#[derive(Debug, Clone)]
+pub struct TokenFilter {
+    benign: HashSet<String>,
+    benign_fraction: f64,
+}
+
+/// Built-in benign URL-token vocabulary.
+pub const DEFAULT_BENIGN_TOKENS: &[&str] = &[
+    "update",
+    "updates",
+    "signature",
+    "signatures",
+    "definitions",
+    "poll",
+    "polling",
+    "feed",
+    "feeds",
+    "rss",
+    "news",
+    "license",
+    "licensing",
+    "heartbeat",
+    "ping",
+    "health",
+    "status",
+    "version",
+    "check",
+    "sync",
+    "playlist",
+    "scores",
+    "weather",
+    "mail",
+    "calendar",
+    "ocsp",
+    "crl",
+];
+
+impl TokenFilter {
+    /// Creates a filter with a custom benign vocabulary and threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benign_fraction` is outside `(0, 1]`.
+    pub fn new<I, S>(benign_tokens: I, benign_fraction: f64) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        assert!(
+            benign_fraction > 0.0 && benign_fraction <= 1.0,
+            "benign_fraction must be in (0, 1]"
+        );
+        Self {
+            benign: benign_tokens
+                .into_iter()
+                .map(|t| t.as_ref().to_lowercase())
+                .collect(),
+            benign_fraction,
+        }
+    }
+
+    /// The benign-fraction threshold.
+    pub fn benign_fraction(&self) -> f64 {
+        self.benign_fraction
+    }
+
+    /// Whether a case with the given distinct URL tokens should be
+    /// *filtered out* as likely-benign.
+    ///
+    /// Cases with no tokens at all (Netflow/DNS input) are never filtered
+    /// here — there is no evidence either way.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use baywatch_core::tokens::TokenFilter;
+    /// use std::collections::BTreeSet;
+    ///
+    /// let filter = TokenFilter::default();
+    /// let updater: BTreeSet<String> = ["update".to_owned()].into();
+    /// assert!(filter.is_benign(&updater));
+    /// let c2: BTreeSet<String> = ["a91f3c".to_owned(), "0be122".to_owned()].into();
+    /// assert!(!filter.is_benign(&c2));
+    /// ```
+    pub fn is_benign(&self, tokens: &BTreeSet<String>) -> bool {
+        if tokens.is_empty() {
+            return false;
+        }
+        let benign_count = tokens
+            .iter()
+            .filter(|t| self.benign.contains(&t.to_lowercase()))
+            .count();
+        benign_count as f64 / tokens.len() as f64 >= self.benign_fraction
+    }
+}
+
+impl Default for TokenFilter {
+    fn default() -> Self {
+        Self::new(DEFAULT_BENIGN_TOKENS.iter().copied(), 0.6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(list: &[&str]) -> BTreeSet<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn pure_benign_filtered() {
+        let f = TokenFilter::default();
+        assert!(f.is_benign(&toks(&["update"])));
+        assert!(f.is_benign(&toks(&["update", "version"])));
+        assert!(f.is_benign(&toks(&["SIGNATURE"])));
+    }
+
+    #[test]
+    fn random_paths_survive() {
+        let f = TokenFilter::default();
+        assert!(!f.is_benign(&toks(&["9f3ac1", "b27e90", "cc1444"])));
+    }
+
+    #[test]
+    fn mixed_tokens_threshold() {
+        let f = TokenFilter::default(); // threshold 0.6
+        // 1 of 3 benign (33%) -> not filtered.
+        assert!(!f.is_benign(&toks(&["update", "9f3ac1", "b27e90"])));
+        // 2 of 3 benign (67%) -> filtered.
+        assert!(f.is_benign(&toks(&["update", "version", "b27e90"])));
+    }
+
+    #[test]
+    fn empty_tokens_never_filtered() {
+        let f = TokenFilter::default();
+        assert!(!f.is_benign(&BTreeSet::new()));
+    }
+
+    #[test]
+    fn custom_vocabulary() {
+        let f = TokenFilter::new(["corp-agent"], 1.0);
+        assert!(f.is_benign(&toks(&["corp-agent"])));
+        assert!(!f.is_benign(&toks(&["update"]))); // not in custom vocab
+        assert_eq!(f.benign_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_fraction_panics() {
+        TokenFilter::new(["x"], 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Whitelist analysis — filters 1 and 2 of the pipeline (§III of the
+//! paper).
+//!
+//! * The **global whitelist** removes destinations on a curated
+//!   popular-domain list (Alexa-style). Matching is suffix-aware so
+//!   `cdn.google.com` is covered by a `google.com` entry.
+//! * The **local whitelist** is tuned per organization: any destination
+//!   contacted by more than a fraction τ_P of the monitored population is
+//!   considered organizational infrastructure (update servers, intranet
+//!   CDNs) and removed. The paper uses τ_P = 0.01 (1% of the population).
+//!
+//! Whitelisting trades a theoretical risk (an attacker hiding behind a
+//! whitelisted domain) for a massive reduction in pairs to analyze; the
+//! paper discusses why the trade is acceptable for beaconing *triage*.
+
+use std::collections::HashSet;
+
+/// A suffix-matching global whitelist.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalWhitelist {
+    exact: HashSet<String>,
+}
+
+impl GlobalWhitelist {
+    /// Builds a whitelist from domain entries (lower-cased internally).
+    pub fn new<I, S>(domains: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self {
+            exact: domains
+                .into_iter()
+                .map(|d| d.as_ref().to_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Builds the default whitelist from the embedded popular-domain seed
+    /// corpus (the Alexa-list substitution described in DESIGN.md).
+    pub fn from_seed_corpus() -> Self {
+        Self::new(baywatch_langmodel::corpus::seed_domains())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Whether the whitelist has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// Whether `domain` (or any parent domain of it) is whitelisted.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use baywatch_core::whitelist::GlobalWhitelist;
+    ///
+    /// let wl = GlobalWhitelist::new(["google.com"]);
+    /// assert!(wl.contains("google.com"));
+    /// assert!(wl.contains("MAIL.google.com"));
+    /// assert!(!wl.contains("notgoogle.com"));
+    /// ```
+    pub fn contains(&self, domain: &str) -> bool {
+        let d = domain.to_lowercase();
+        if self.exact.contains(&d) {
+            return true;
+        }
+        // Walk parent suffixes: a.b.c.com -> b.c.com -> c.com.
+        let mut rest = d.as_str();
+        while let Some(pos) = rest.find('.') {
+            rest = &rest[pos + 1..];
+            // Require at least one dot left so bare TLDs don't match.
+            if rest.contains('.') && self.exact.contains(rest) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Adds an entry.
+    pub fn insert(&mut self, domain: impl AsRef<str>) {
+        self.exact.insert(domain.as_ref().to_lowercase());
+    }
+}
+
+/// The local whitelist: destination popularity above τ_P.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalWhitelist {
+    tau: f64,
+}
+
+impl LocalWhitelist {
+    /// Creates a local whitelist with population threshold `tau`
+    /// (paper: 0.01).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not within `(0, 1]`.
+    pub fn new(tau: f64) -> Self {
+        assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
+        Self { tau }
+    }
+
+    /// The threshold.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Whether a destination with the given popularity (fraction of the
+    /// population that contacted it) is whitelisted.
+    pub fn is_whitelisted(&self, popularity: f64) -> bool {
+        popularity > self.tau
+    }
+}
+
+impl Default for LocalWhitelist {
+    fn default() -> Self {
+        Self::new(0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_subdomain_match() {
+        let wl = GlobalWhitelist::new(["example.com", "static.cdn.net"]);
+        assert!(wl.contains("example.com"));
+        assert!(wl.contains("www.example.com"));
+        assert!(wl.contains("a.b.example.com"));
+        assert!(wl.contains("static.cdn.net"));
+        assert!(!wl.contains("cdn.net")); // only the subdomain is listed
+        assert!(!wl.contains("example.org"));
+    }
+
+    #[test]
+    fn no_bare_tld_matches() {
+        let wl = GlobalWhitelist::new(["example.com"]);
+        assert!(!wl.contains("com"));
+        assert!(!wl.contains("other.com"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let wl = GlobalWhitelist::new(["Example.COM"]);
+        assert!(wl.contains("EXAMPLE.com"));
+    }
+
+    #[test]
+    fn seed_corpus_whitelist_loads() {
+        let wl = GlobalWhitelist::from_seed_corpus();
+        assert!(wl.len() > 500);
+        assert!(!wl.is_empty());
+        assert!(wl.contains("google.com"));
+        assert!(wl.contains("ajax.googleapis.com"));
+        assert!(!wl.contains("qzxkwv.biz"));
+    }
+
+    #[test]
+    fn insert_extends() {
+        let mut wl = GlobalWhitelist::default();
+        assert!(!wl.contains("corp.example"));
+        wl.insert("corp.example");
+        assert!(wl.contains("corp.example"));
+    }
+
+    #[test]
+    fn local_whitelist_threshold() {
+        let lw = LocalWhitelist::new(0.01);
+        assert!(lw.is_whitelisted(0.5));
+        assert!(lw.is_whitelisted(0.011));
+        assert!(!lw.is_whitelisted(0.01)); // strictly greater
+        assert!(!lw.is_whitelisted(0.001));
+        assert_eq!(lw.tau(), 0.01);
+    }
+
+    #[test]
+    fn local_whitelist_default_is_one_percent() {
+        assert_eq!(LocalWhitelist::default().tau(), 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tau_zero_panics() {
+        LocalWhitelist::new(0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Training corpus of popular, human-chosen domain names.
+//!
+//! The paper trains its language model on the Alexa top-1M list, which is
+//! proprietary and no longer distributed. This module substitutes (a) an
+//! embedded seed list of several hundred real, well-known domains and (b) a
+//! deterministic synthetic expansion that composes common English words and
+//! brand-like fragments into plausible domain names. What the 3-gram model
+//! learns is the *character statistics* of human-registered names, which the
+//! expansion preserves; see DESIGN.md for the substitution rationale.
+
+/// The embedded seed list (one domain per line, `#` comments).
+const SEED: &str = include_str!("../data/popular_domains.txt");
+
+/// Common English words used by the synthetic corpus expansion.
+const WORDS: &[&str] = &[
+    "able", "account", "action", "active", "advance", "agency", "agent", "air", "alert", "alpha",
+    "amber", "angel", "apex", "app", "apple", "arcade", "archive", "area", "arrow", "art", "asset",
+    "atlas", "auto", "backup", "badge", "bake", "bank", "base", "bay", "beacon", "bean", "bear",
+    "beat", "berry", "best", "beta", "big", "bird", "bit", "black", "blaze", "block", "blog",
+    "blue", "board", "body", "bold", "bolt", "book", "boost", "box", "brain", "brand", "brave",
+    "bread", "breeze", "brick", "bridge", "bright", "brook", "budget", "build", "bus", "buy",
+    "byte", "cab", "cable", "cache", "cake", "call", "camp", "candy", "cap", "car", "card", "care",
+    "cart", "case", "cash", "cast", "cat", "cedar", "cell", "center", "chain", "chat", "check",
+    "chef", "cherry", "chip", "city", "clean", "clear", "click", "client", "climb", "cloud",
+    "clover", "club", "coach", "coast", "code", "coffee", "coin", "cold", "compass", "connect",
+    "cook", "cool", "copper", "core", "corner", "craft", "crane", "create", "creek", "crew",
+    "crisp", "crown", "cube", "cup", "curve", "cyber", "daily", "dash", "data", "date", "dawn",
+    "day", "deal", "deck", "deep", "deliver", "delta", "den", "depot", "design", "desk", "dev",
+    "dial", "diamond", "digital", "direct", "dish", "dock", "doctor", "dog", "dollar", "door",
+    "dot", "dream", "drive", "drop", "dune", "eagle", "earth", "east", "easy", "echo", "edge",
+    "edit", "elite", "ember", "energy", "engine", "epic", "event", "ever", "exchange", "expert",
+    "express", "eye", "fab", "face", "fair", "falcon", "family", "farm", "fast", "feed", "fern",
+    "field", "file", "film", "find", "fine", "fire", "first", "fish", "fit", "five", "flag",
+    "flame", "flash", "fleet", "flex", "flight", "flow", "flower", "fly", "focus", "fog", "folk",
+    "food", "force", "forest", "forge", "form", "fort", "forum", "fox", "frame", "free", "fresh",
+    "frog", "front", "fuel", "full", "fun", "fund", "fusion", "future", "galaxy", "game", "gate",
+    "gear", "gem", "gene", "gift", "giga", "give", "glass", "globe", "goal", "gold", "good",
+    "grace", "grand", "grape", "graph", "grass", "gray", "great", "green", "grid", "grove",
+    "grow", "guard", "guide", "gulf", "guru", "hand", "happy", "harbor", "hash", "haven", "hawk",
+    "hazel", "head", "health", "heart", "heat", "help", "herb", "hero", "hill", "hive", "holly",
+    "home", "honey", "hook", "hope", "horizon", "host", "hot", "house", "hub", "hunt", "ice",
+    "idea", "index", "info", "ink", "inn", "iron", "island", "ivy", "jade", "jet", "job", "join",
+    "jolt", "journal", "joy", "jump", "junction", "jungle", "keep", "key", "kind", "king", "kit",
+    "kite", "lab", "lake", "lamp", "land", "lane", "large", "laser", "launch", "lawn", "layer",
+    "lead", "leaf", "league", "learn", "ledge", "legend", "lemon", "lens", "level", "life",
+    "lift", "light", "lily", "lime", "line", "link", "lion", "list", "live", "local", "lock",
+    "loft", "log", "logic", "long", "look", "loop", "lotus", "love", "luck", "lunar", "lux",
+    "mach", "magic", "magnet", "mail", "main", "make", "mango", "map", "maple", "march", "mark",
+    "market", "mars", "mart", "mass", "master", "match", "mate", "matrix", "max", "maze", "meadow",
+    "media", "mega", "melon", "memo", "mentor", "menu", "merit", "mesa", "mesh", "meta", "meter",
+    "metro", "micro", "mid", "mile", "milk", "mill", "mind", "mine", "mint", "mira", "mist",
+    "mix", "mobile", "mode", "model", "modern", "moment", "money", "moon", "more", "morning",
+    "moss", "motion", "motor", "mount", "mouse", "move", "movie", "music", "myth", "nano",
+    "nation", "native", "nature", "nav", "nest", "net", "new", "news", "next", "night", "nimbus",
+    "nine", "noble", "node", "north", "nota", "note", "nova", "oak", "ocean", "offer", "office",
+    "olive", "omega", "one", "onyx", "open", "opera", "orbit", "orchid", "order", "organic",
+    "origin", "osprey", "outlet", "owl", "pace", "pack", "page", "paint", "pal", "palm", "panda",
+    "panel", "paper", "park", "part", "pass", "path", "pay", "peak", "pearl", "pen", "people",
+    "pepper", "perk", "pet", "phase", "phone", "photo", "pick", "pilot", "pin", "pine", "pink",
+    "pioneer", "pixel", "place", "plan", "planet", "plant", "play", "plaza", "plum", "plus",
+    "point", "polar", "pond", "pool", "pop", "port", "portal", "post", "power", "press", "prime",
+    "print", "pro", "program", "project", "prompt", "proof", "pulse", "pump", "pure", "purple",
+    "push", "quad", "quail", "quality", "quartz", "quest", "quick", "quiet", "quill", "race",
+    "rack", "radar", "radio", "rain", "ranch", "range", "rapid", "raven", "ray", "reach", "read",
+    "real", "record", "red", "reef", "relay", "rent", "report", "rest", "retro", "rice", "rich",
+    "ride", "ridge", "right", "ring", "rise", "river", "road", "rock", "rocket", "room", "root",
+    "rose", "round", "route", "royal", "ruby", "run", "rush", "safe", "sage", "sail", "salt",
+    "sand", "save", "scale", "scan", "scene", "school", "scope", "score", "scout", "script",
+    "sea", "search", "season", "secure", "seed", "select", "sense", "sequoia", "serve", "service",
+    "set", "seven", "shade", "shape", "share", "sharp", "shell", "shield", "shift", "shine",
+    "ship", "shop", "shore", "short", "shot", "show", "side", "sight", "sign", "signal", "silk",
+    "silver", "simple", "site", "six", "sky", "sleek", "slice", "slide", "small", "smart",
+    "smile", "smooth", "snap", "snow", "social", "soft", "solar", "solid", "solve", "sonic",
+    "sound", "source", "south", "space", "spark", "spear", "speed", "sphere", "spice", "spin",
+    "spirit", "split", "sport", "spot", "spring", "sprint", "spruce", "square", "stack", "staff",
+    "stage", "star", "start", "state", "station", "stay", "steam", "steel", "stem", "step",
+    "stitch", "stock", "stone", "store", "storm", "story", "stream", "street", "stride", "strong",
+    "studio", "study", "style", "summit", "sun", "super", "supply", "surf", "swan", "sweet",
+    "swift", "switch", "sync", "system", "table", "tag", "tail", "talent", "talk", "tap",
+    "target", "task", "team", "tech", "tele", "temple", "ten", "term", "terra", "test", "text",
+    "theme", "think", "thread", "three", "thrive", "tick", "tide", "tiger", "time", "tin",
+    "tiny", "tip", "titan", "today", "token", "tone", "tool", "top", "torch", "total", "touch",
+    "tour", "tower", "town", "track", "trade", "trail", "train", "transfer", "travel", "tree",
+    "trek", "trend", "tribe", "trio", "trip", "true", "trust", "try", "tube", "tulip", "tune",
+    "turbo", "turn", "twin", "two", "ultra", "umbrella", "union", "unit", "unity", "up",
+    "update", "urban", "use", "user", "utopia", "valley", "value", "van", "vault", "vector",
+    "vega", "vein", "venture", "venue", "verse", "vertex", "vibe", "video", "view", "villa",
+    "vine", "vision", "vista", "vital", "vivid", "voice", "volt", "vortex", "voyage", "walk",
+    "wall", "want", "ward", "ware", "warm", "watch", "water", "wave", "way", "wealth", "weather",
+    "web", "well", "west", "whale", "wheel", "white", "wide", "wild", "will", "wind", "window",
+    "wing", "wire", "wise", "wish", "wolf", "wonder", "wood", "word", "work", "world", "wren",
+    "yard", "year", "yellow", "yield", "yoga", "young", "zen", "zenith", "zero", "zest", "zone",
+    "zoom",
+];
+
+/// Top-level domains used by the synthetic expansion, weighted roughly like
+/// real registrations by repetition.
+const TLDS: &[&str] = &[
+    ".com", ".com", ".com", ".com", ".com", ".net", ".org", ".io", ".co", ".us", ".info", ".biz",
+    ".app", ".dev", ".online", ".shop", ".site", ".tech",
+];
+
+/// Connectors occasionally inserted between two words.
+const JOINERS: &[&str] = &["", "", "", "", "-", "", "s", ""];
+
+/// The real-domain seed list.
+///
+/// # Example
+///
+/// ```
+/// let seeds = baywatch_langmodel::corpus::seed_domains();
+/// assert!(seeds.len() > 500);
+/// assert!(seeds.contains(&"google.com"));
+/// ```
+pub fn seed_domains() -> Vec<&'static str> {
+    SEED.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect()
+}
+
+/// Deterministic synthetic expansion: `count` plausible word-combination
+/// domains (e.g. `cloudforge.com`, `blue-harbor.net`). The same `count`
+/// always yields the same list.
+pub fn synthetic_domains(count: usize) -> Vec<String> {
+    // A fixed multiplicative-congruential walk over word/TLD indices keeps
+    // the expansion deterministic without pulling in an RNG.
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let a = WORDS[(next() as usize) % WORDS.len()];
+        let b = WORDS[(next() as usize) % WORDS.len()];
+        let j = JOINERS[(next() as usize) % JOINERS.len()];
+        let tld = TLDS[(next() as usize) % TLDS.len()];
+        // One in eight names is a single word, the rest are compounds.
+        let name = if next() % 8 == 0 {
+            format!("{a}{tld}")
+        } else {
+            format!("{a}{j}{b}{tld}")
+        };
+        out.push(name);
+    }
+    out
+}
+
+/// The full training corpus: seed domains plus a synthetic expansion
+/// (default 20,000 names), matching the scale at which the 3-gram
+/// statistics stabilize.
+pub fn training_corpus() -> Vec<String> {
+    let mut corpus: Vec<String> = seed_domains().into_iter().map(str::to_owned).collect();
+    corpus.extend(synthetic_domains(20_000));
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_list_is_clean() {
+        for d in seed_domains() {
+            assert!(!d.is_empty());
+            assert!(!d.starts_with('#'));
+            assert!(d.contains('.'), "no TLD in {d}");
+            assert!(
+                d.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'-'),
+                "unexpected characters in {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        assert_eq!(synthetic_domains(100), synthetic_domains(100));
+        assert_eq!(synthetic_domains(5).len(), 5);
+    }
+
+    #[test]
+    fn synthetic_names_look_like_domains() {
+        for d in synthetic_domains(500) {
+            assert!(d.contains('.'), "{d}");
+            let name = d.split('.').next().unwrap();
+            assert!(!name.is_empty());
+            assert!(name.len() < 40, "{d} too long");
+        }
+    }
+
+    #[test]
+    fn training_corpus_size() {
+        let c = training_corpus();
+        assert!(c.len() > 20_000);
+    }
+}

@@ -1,0 +1,168 @@
+//! Domain-generation-algorithm (DGA) simulators.
+//!
+//! Used by the evaluation harness to produce the kinds of destinations the
+//! paper observes in its traces (Tables V and VI): uniformly random
+//! character soup (classic Conficker/Zeus style), hex-fragment domains
+//! (`cdn.5f75b1c54f8[..]2d4.com`), and "pronounceable" DGAs that alternate
+//! consonants and vowels to evade naive randomness tests.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The flavour of generated domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DgaStyle {
+    /// Uniform random lowercase letters (e.g. `skmnikrzhrrzcjcxwfprgt.com`).
+    RandomAlpha,
+    /// Long hexadecimal fragments with a service-like label
+    /// (e.g. `cdn.5f75b1c54f8a02d4.com`).
+    HexFragment,
+    /// Alternating consonant/vowel syllables — harder for entropy-only
+    /// detectors, still unusual for a 3-gram model.
+    Pronounceable,
+}
+
+/// A deterministic DGA domain generator.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_langmodel::dga::{DgaGenerator, DgaStyle};
+///
+/// let mut gen = DgaGenerator::new(DgaStyle::RandomAlpha, 42);
+/// let a = gen.generate();
+/// let b = gen.generate();
+/// assert_ne!(a, b);
+/// assert!(a.ends_with(".com") || a.ends_with(".net") || a.ends_with(".pl")
+///     || a.ends_with(".info") || a.ends_with(".biz"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DgaGenerator {
+    style: DgaStyle,
+    rng: StdRng,
+}
+
+const DGA_TLDS: &[&str] = &[".com", ".net", ".info", ".biz", ".pl"];
+const CONSONANTS: &[u8] = b"bcdfghjklmnpqrstvwxz";
+const VOWELS: &[u8] = b"aeiou";
+const SERVICE_LABELS: &[&str] = &["cdn", "img", "www", "api", "static", "update", "setup"];
+
+impl DgaGenerator {
+    /// Creates a generator with the given style and RNG seed.
+    pub fn new(style: DgaStyle, seed: u64) -> Self {
+        Self {
+            style,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured style.
+    pub fn style(&self) -> DgaStyle {
+        self.style
+    }
+
+    /// Generates the next domain name.
+    pub fn generate(&mut self) -> String {
+        let tld = DGA_TLDS[self.rng.random_range(0..DGA_TLDS.len())];
+        match self.style {
+            DgaStyle::RandomAlpha => {
+                let len = self.rng.random_range(12..=24);
+                let name: String = (0..len)
+                    .map(|_| (b'a' + self.rng.random_range(0..26)) as char)
+                    .collect();
+                format!("{name}{tld}")
+            }
+            DgaStyle::HexFragment => {
+                let label = SERVICE_LABELS[self.rng.random_range(0..SERVICE_LABELS.len())];
+                let len = self.rng.random_range(16..=28);
+                let hex: String = (0..len)
+                    .map(|_| {
+                        let v = self.rng.random_range(0..16u8);
+                        char::from_digit(v as u32, 16).expect("0..16 is a valid hex digit")
+                    })
+                    .collect();
+                format!("{label}.{hex}{tld}")
+            }
+            DgaStyle::Pronounceable => {
+                let syllables = self.rng.random_range(4..=7);
+                let mut name = String::new();
+                for _ in 0..syllables {
+                    name.push(CONSONANTS[self.rng.random_range(0..CONSONANTS.len())] as char);
+                    name.push(VOWELS[self.rng.random_range(0..VOWELS.len())] as char);
+                    if self.rng.random_range(0..4) == 0 {
+                        name.push(CONSONANTS[self.rng.random_range(0..CONSONANTS.len())] as char);
+                    }
+                }
+                format!("{name}{tld}")
+            }
+        }
+    }
+
+    /// Generates a batch of `n` domains.
+    pub fn generate_batch(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.generate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use crate::DomainScorer;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<String> = DgaGenerator::new(DgaStyle::RandomAlpha, 7).generate_batch(10);
+        let b: Vec<String> = DgaGenerator::new(DgaStyle::RandomAlpha, 7).generate_batch(10);
+        assert_eq!(a, b);
+        let c: Vec<String> = DgaGenerator::new(DgaStyle::RandomAlpha, 8).generate_batch(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hex_style_has_service_label() {
+        let mut gen = DgaGenerator::new(DgaStyle::HexFragment, 1);
+        for _ in 0..20 {
+            let d = gen.generate();
+            let label = d.split('.').next().unwrap();
+            assert!(SERVICE_LABELS.contains(&label), "label {label} in {d}");
+            let frag = d.split('.').nth(1).unwrap();
+            assert!(frag.bytes().all(|b| b.is_ascii_hexdigit()), "{d}");
+            assert!(frag.len() >= 16);
+        }
+    }
+
+    #[test]
+    fn pronounceable_alternates() {
+        let mut gen = DgaGenerator::new(DgaStyle::Pronounceable, 2);
+        for _ in 0..20 {
+            let d = gen.generate();
+            let name = d.split('.').next().unwrap();
+            let vowels = name.bytes().filter(|b| VOWELS.contains(b)).count();
+            assert!(vowels * 3 >= name.len(), "too few vowels in {d}");
+        }
+    }
+
+    #[test]
+    fn all_styles_score_below_popular_domains() {
+        let scorer = DomainScorer::train(corpus::training_corpus(), 3);
+        let benign_avg: f64 = ["google.com", "facebook.com", "microsoft.com", "github.com"]
+            .iter()
+            .map(|d| scorer.score_per_char(d))
+            .sum::<f64>()
+            / 4.0;
+        for style in [DgaStyle::RandomAlpha, DgaStyle::HexFragment] {
+            let mut gen = DgaGenerator::new(style, 3);
+            let avg: f64 = gen
+                .generate_batch(50)
+                .iter()
+                .map(|d| scorer.score_per_char(d))
+                .sum::<f64>()
+                / 50.0;
+            assert!(
+                avg < benign_avg - 0.4,
+                "{style:?}: dga {avg} vs benign {benign_avg}"
+            );
+        }
+    }
+}

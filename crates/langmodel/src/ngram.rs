@@ -1,0 +1,326 @@
+//! Interpolated Kneser-Ney character n-gram model.
+//!
+//! The model estimates `P(c | c₁…cₙ₋₁)`, the probability of the next
+//! character given the previous `n − 1`. The highest order uses absolute
+//! discounting over raw counts; lower orders use Kneser-Ney *continuation
+//! counts* ("in how many distinct contexts does this gram appear?"), which
+//! measure how versatile a character sequence is rather than how frequent —
+//! the property that makes KN the standard smoother for previously unseen
+//! n-grams (footnote 3 of the paper).
+
+use std::collections::HashMap;
+
+/// Start-of-string padding character.
+const PAD: u8 = b'^';
+/// End-of-string marker.
+const END: u8 = b'$';
+/// Catch-all byte for characters outside the domain-name alphabet.
+const UNK: u8 = b'?';
+/// Alphabet size for the uniform base distribution: 26 letters + 10 digits
+/// + '-' + '.' + '_' + end marker + unknown.
+const ALPHABET: f64 = 41.0;
+/// Absolute discount (the standard Kneser-Ney choice).
+const DISCOUNT: f64 = 0.75;
+
+/// Per-context aggregates: total mass, per-character mass and the number of
+/// distinct following characters.
+#[derive(Debug, Clone, Default)]
+struct ContextStats {
+    total: f64,
+    follows: HashMap<u8, f64>,
+}
+
+impl ContextStats {
+    fn distinct(&self) -> f64 {
+        self.follows.len() as f64
+    }
+}
+
+/// An interpolated Kneser-Ney character n-gram model.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_langmodel::ngram::NgramModel;
+///
+/// let model = NgramModel::train(["banana", "bandana", "cabana"], 3);
+/// // "ban" fragments are familiar; "xqz" is not.
+/// assert!(model.log_prob("banana") > model.log_prob("xqzxqz"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NgramModel {
+    order: usize,
+    /// `levels[k]` holds the context statistics for predicting with a
+    /// context of length `k` (so `levels[order-1]` is the highest order).
+    /// Level 0 is the unigram (empty-context) distribution.
+    /// Levels below the highest are built from continuation counts.
+    levels: Vec<HashMap<Vec<u8>, ContextStats>>,
+    trained_on: usize,
+}
+
+impl NgramModel {
+    /// Trains a model of the given order (e.g. 3 for the paper's 3-gram
+    /// model) on an iterator of strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`.
+    pub fn train<I, S>(corpus: I, order: usize) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        assert!(order > 0, "n-gram order must be at least 1");
+
+        // Raw counts of k-grams for k = 1..=order.
+        let mut raw: Vec<HashMap<Vec<u8>, f64>> = vec![HashMap::new(); order];
+        let mut trained_on = 0usize;
+        for s in corpus {
+            trained_on += 1;
+            let padded = pad(s.as_ref(), order);
+            for k in 1..=order {
+                for w in padded.windows(k) {
+                    // Padding only ever appears as *context*, never as a
+                    // predicted character; counting grams that end in PAD
+                    // would leak probability mass onto an unreachable
+                    // outcome.
+                    if w[k - 1] == PAD {
+                        continue;
+                    }
+                    *raw[k - 1].entry(w.to_vec()).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+
+        // Continuation counts for k-grams, k = 1..order: number of distinct
+        // predecessors w with raw count(w·g) > 0.
+        let mut cont: Vec<HashMap<Vec<u8>, f64>> = vec![HashMap::new(); order];
+        for k in 1..order {
+            let mut seen: HashMap<Vec<u8>, std::collections::HashSet<u8>> = HashMap::new();
+            for gram in raw[k].keys() {
+                // gram has length k+1: predecessor byte + k-gram.
+                let (w, g) = (gram[0], gram[1..].to_vec());
+                seen.entry(g).or_default().insert(w);
+            }
+            for (g, ws) in seen {
+                cont[k - 1].insert(g, ws.len() as f64);
+            }
+        }
+
+        // Build per-level context statistics. Highest level from raw
+        // counts, lower levels from continuation counts.
+        let mut levels: Vec<HashMap<Vec<u8>, ContextStats>> = Vec::with_capacity(order);
+        for ctx_len in 0..order {
+            let counts = if ctx_len == order - 1 {
+                &raw[order - 1]
+            } else {
+                &cont[ctx_len]
+            };
+            let mut level: HashMap<Vec<u8>, ContextStats> = HashMap::new();
+            for (gram, &c) in counts {
+                // gram = context (ctx_len bytes) + next char.
+                let ctx = gram[..ctx_len].to_vec();
+                let next = gram[ctx_len];
+                let stats = level.entry(ctx).or_default();
+                stats.total += c;
+                *stats.follows.entry(next).or_insert(0.0) += c;
+            }
+            levels.push(level);
+        }
+
+        Self {
+            order,
+            levels,
+            trained_on,
+        }
+    }
+
+    /// The n-gram order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of training strings.
+    pub fn trained_on(&self) -> usize {
+        self.trained_on
+    }
+
+    /// Smoothed probability of `next` following `context` (only the final
+    /// `order − 1` bytes of the context are used).
+    pub fn prob(&self, context: &[u8], next: u8) -> f64 {
+        let next = canon(next);
+        let ctx_len = self.order - 1;
+        let start = context.len().saturating_sub(ctx_len);
+        let ctx: Vec<u8> = context[start..].iter().map(|&b| canon(b)).collect();
+        self.prob_at_level(ctx.len(), &ctx, next)
+    }
+
+    fn prob_at_level(&self, level: usize, ctx: &[u8], next: u8) -> f64 {
+        if level == 0 {
+            // Unigram continuation distribution interpolated with uniform.
+            let stats = self.levels[0].get(&Vec::new());
+            return match stats {
+                Some(s) if s.total > 0.0 => {
+                    let c = s.follows.get(&next).copied().unwrap_or(0.0);
+                    let num = (c - DISCOUNT).max(0.0);
+                    let lambda = DISCOUNT * s.distinct() / s.total;
+                    num / s.total + lambda / ALPHABET
+                }
+                _ => 1.0 / ALPHABET,
+            };
+        }
+        let key = ctx[ctx.len() - level..].to_vec();
+        match self.levels[level].get(&key) {
+            Some(s) if s.total > 0.0 => {
+                let c = s.follows.get(&next).copied().unwrap_or(0.0);
+                let num = (c - DISCOUNT).max(0.0);
+                let lambda = DISCOUNT * s.distinct() / s.total;
+                num / s.total + lambda * self.prob_at_level(level - 1, ctx, next)
+            }
+            _ => self.prob_at_level(level - 1, ctx, next),
+        }
+    }
+
+    /// Total log-probability (natural log) of a string, including the
+    /// end-of-string transition: `ln P(s) = Σ ln P(cₖ | history)`.
+    pub fn log_prob(&self, s: &str) -> f64 {
+        let padded = pad(s, self.order);
+        let n = self.order;
+        let mut total = 0.0;
+        for i in (n - 1)..padded.len() {
+            let p = self.prob_at_level(n - 1, &padded[i - (n - 1)..i], padded[i]);
+            total += p.max(f64::MIN_POSITIVE).ln();
+        }
+        total
+    }
+
+    /// Log-probability divided by the number of scored transitions.
+    pub fn log_prob_per_char(&self, s: &str) -> f64 {
+        let transitions = s.chars().count() + 1; // + end marker
+        self.log_prob(s) / transitions as f64
+    }
+}
+
+/// Lower-cases implicitly assumed done by callers; maps out-of-alphabet
+/// bytes to the catch-all.
+fn canon(b: u8) -> u8 {
+    match b {
+        b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | PAD | END => b,
+        b'A'..=b'Z' => b + 32,
+        _ => UNK,
+    }
+}
+
+/// `^^…^` padding + canonicalized bytes + `$`.
+fn pad(s: &str, order: usize) -> Vec<u8> {
+    let mut out = vec![PAD; order - 1];
+    out.extend(s.bytes().map(canon));
+    out.push(END);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> NgramModel {
+        NgramModel::train(
+            ["google.com", "goodreads.com", "goldman.com", "gopro.com"],
+            3,
+        )
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let m = tiny_model();
+        for ctx in [&b"go"[..], &b"og"[..], &b"zz"[..], &b""[..]] {
+            for next in [b'o', b'g', b'.', b'z', b'q', END] {
+                let p = m.prob(ctx, next);
+                assert!(p > 0.0 && p <= 1.0, "P({next}|{ctx:?}) = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        // Over the full alphabet, probabilities given a context must sum
+        // to ~1 (the uniform base covers exactly the canonical alphabet).
+        let m = tiny_model();
+        let alphabet: Vec<u8> = (b'a'..=b'z')
+            .chain(b'0'..=b'9')
+            .chain([b'-', b'.', b'_', END, UNK])
+            .collect();
+        assert_eq!(alphabet.len() as f64, ALPHABET);
+        for ctx in [&b"go"[..], &b"om"[..], &b"qq"[..]] {
+            let sum: f64 = alphabet.iter().map(|&c| m.prob(ctx, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum for {ctx:?} = {sum}");
+        }
+    }
+
+    #[test]
+    fn seen_transitions_more_likely() {
+        let m = tiny_model();
+        // "go" -> 'o' appears in every training string.
+        assert!(m.prob(b"go", b'o') > m.prob(b"go", b'z'));
+    }
+
+    #[test]
+    fn log_prob_orders_familiar_over_random() {
+        let m = NgramModel::train(crate::corpus::training_corpus(), 3);
+        assert!(m.log_prob("facebook.com") > m.log_prob("xkqjzvwpqy.com"));
+        assert!(m.log_prob("microsoft.com") > m.log_prob("a1b2c3d4e5f6.com"));
+    }
+
+    #[test]
+    fn log_prob_is_finite_for_any_input() {
+        let m = tiny_model();
+        for s in ["", "a", "!!!###", "ΩΩΩ", &"x".repeat(500)] {
+            assert!(m.log_prob(s).is_finite(), "log_prob({s:?})");
+        }
+    }
+
+    #[test]
+    fn unknown_chars_canonicalized() {
+        let m = tiny_model();
+        // Characters outside the alphabet map to the same catch-all.
+        assert_eq!(m.log_prob("go!gle.com"), m.log_prob("go*gle.com"));
+    }
+
+    #[test]
+    fn order_one_model_works() {
+        let m = NgramModel::train(["aaa", "aab"], 1);
+        assert_eq!(m.order(), 1);
+        assert!(m.prob(b"", b'a') > m.prob(b"", b'z'));
+        assert!(m.log_prob("aaa").is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn order_zero_panics() {
+        NgramModel::train(["x"], 0);
+    }
+
+    #[test]
+    fn empty_corpus_falls_back_to_uniform() {
+        let m = NgramModel::train(Vec::<String>::new(), 3);
+        assert_eq!(m.trained_on(), 0);
+        let p = m.prob(b"ab", b'c');
+        assert!((p - 1.0 / ALPHABET).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_context_is_truncated_not_rejected() {
+        let m = tiny_model();
+        let short = m.prob(b"le", b'.');
+        let long = m.prob(b"veryverylongcontextle", b'.');
+        assert_eq!(short, long);
+    }
+
+    #[test]
+    fn per_char_normalization() {
+        let m = tiny_model();
+        let s = "google.com";
+        let expected = m.log_prob(s) / (s.len() + 1) as f64;
+        assert!((m.log_prob_per_char(s) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests of the language model.
+
+use baywatch_langmodel::ngram::NgramModel;
+use baywatch_langmodel::DomainScorer;
+use proptest::prelude::*;
+
+fn domainish() -> impl Strategy<Value = String> {
+    "[a-z0-9.-]{1,40}"
+}
+
+fn arbitrary_text() -> impl Strategy<Value = String> {
+    // Any printable ASCII, to exercise canonicalization.
+    "[ -~]{0,60}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scores are finite for any input whatsoever.
+    #[test]
+    fn score_always_finite(s in arbitrary_text()) {
+        let model = NgramModel::train(["example.com", "test.org", "data.net"], 3);
+        prop_assert!(model.log_prob(&s).is_finite());
+        prop_assert!(model.log_prob_per_char(&s).is_finite());
+    }
+
+    /// Probabilities are valid for any context/next-char combination.
+    #[test]
+    fn prob_in_unit_interval(ctx in domainish(), next in any::<u8>()) {
+        let model = NgramModel::train(["example.com", "another.org"], 3);
+        let p = model.prob(ctx.as_bytes(), next);
+        prop_assert!(p > 0.0 && p <= 1.0, "P = {p}");
+    }
+
+    /// Training on a string raises (or at least never lowers drastically)
+    /// its own score relative to an untrained model of the same shape.
+    #[test]
+    fn training_helps_in_domain(name in "[a-z]{6,20}") {
+        let domain = format!("{name}.com");
+        let trained = NgramModel::train([domain.as_str(), "filler.org"], 3);
+        let other = NgramModel::train(["zzzzqqqq.xyz", "filler.org"], 3);
+        prop_assert!(trained.log_prob(&domain) >= other.log_prob(&domain) - 1e-9);
+    }
+
+    /// Longer strings never have higher total log-prob than their prefix
+    /// plus zero (log-probs accumulate negatively).
+    #[test]
+    fn log_prob_decreases_with_length(base in "[a-z]{3,15}") {
+        let model = NgramModel::train(["example.com", "another.org"], 3);
+        let longer = format!("{base}{base}");
+        // Each extra transition multiplies by p <= 1.
+        prop_assert!(model.log_prob(&longer) <= model.log_prob(&base) + 1e-9);
+    }
+
+    /// The scorer is case-insensitive.
+    #[test]
+    fn scorer_case_insensitive(s in "[a-zA-Z.]{1,30}") {
+        let scorer = DomainScorer::train(["example.com", "other.net"], 3);
+        prop_assert!((scorer.score(&s) - scorer.score(&s.to_lowercase())).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,567 @@
+//! An in-process, multi-threaded MapReduce engine.
+//!
+//! BAYWATCH's implementation (§VII of the paper) is structured as five
+//! modular MapReduce jobs — data extraction, rescaling/merging, destination
+//! popularity, beaconing detection, ranking — each keyed by a hash of the
+//! source/destination pair `H(s, d)` so partition counts (and thus reducer
+//! fan-out) stay controllable. This crate reproduces that programming model
+//! at laptop scale: mappers run in parallel over input chunks, emit keyed
+//! records into hash partitions, and reducers run in parallel over
+//! partitions with keys grouped and sorted.
+//!
+//! The engine is deliberately synchronous and in-memory — the paper's
+//! contribution is the *decomposition into modular jobs*, not HDFS — but it
+//! preserves the semantics that matter: deterministic partitioning by key
+//! hash, grouped-and-sorted reduce input, and optional map-side combining.
+//!
+//! ```
+//! use baywatch_mapreduce::{JobConfig, MapReduce};
+//!
+//! // Classic word count.
+//! let docs = vec!["to be or not to be", "be fast"];
+//! let engine = MapReduce::new(JobConfig::default());
+//! let counts = engine.run(
+//!     docs,
+//!     |doc, emit| {
+//!         for w in doc.split_whitespace() {
+//!             emit(w.to_owned(), 1usize);
+//!         }
+//!     },
+//!     |word, ones| vec![(word.clone(), ones.len())],
+//! );
+//! let be = counts.iter().find(|(w, _)| w == "be").unwrap();
+//! assert_eq!(be.1, 3);
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configuration of a MapReduce run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobConfig {
+    /// Number of hash partitions (= reduce tasks). The paper uses a k-bit
+    /// hash, e.g. 5 bits → 32 reduce tasks; [`JobConfig::with_hash_bits`]
+    /// mirrors that.
+    pub partitions: usize,
+    /// Number of worker threads for both the map and reduce phases.
+    /// Defaults to the available parallelism.
+    pub threads: usize,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self {
+            partitions: 32,
+            threads,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Sets the partition count from a hash bit-width, like the paper's
+    /// "a 5-bit hash results in 32 reduce tasks".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn with_hash_bits(mut self, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "hash bits must be in 1..=16");
+        self.partitions = 1usize << bits;
+        self
+    }
+}
+
+/// Counters accumulated during a run (observability, in the spirit of
+/// Hadoop's job counters).
+#[derive(Debug, Default)]
+pub struct JobStats {
+    map_output_records: AtomicUsize,
+    reduce_groups: AtomicUsize,
+    output_records: AtomicUsize,
+}
+
+impl JobStats {
+    /// Records emitted by all mappers.
+    pub fn map_output_records(&self) -> usize {
+        self.map_output_records.load(Ordering::Relaxed)
+    }
+    /// Distinct keys seen by reducers.
+    pub fn reduce_groups(&self) -> usize {
+        self.reduce_groups.load(Ordering::Relaxed)
+    }
+    /// Records produced by all reducers.
+    pub fn output_records(&self) -> usize {
+        self.output_records.load(Ordering::Relaxed)
+    }
+}
+
+/// The MapReduce engine.
+#[derive(Debug, Clone)]
+pub struct MapReduce {
+    config: JobConfig,
+}
+
+impl MapReduce {
+    /// Creates an engine with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` or `threads` is zero.
+    pub fn new(config: JobConfig) -> Self {
+        assert!(config.partitions > 0, "partitions must be positive");
+        assert!(config.threads > 0, "threads must be positive");
+        Self { config }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> JobConfig {
+        self.config
+    }
+
+    /// Runs a job: `mapper(input, emit)` produces keyed records,
+    /// `reducer(key, values)` consumes each group. Output is ordered by
+    /// partition index, then by key within the partition — fully
+    /// deterministic for a fixed configuration.
+    pub fn run<I, K, V, O, M, R>(&self, inputs: Vec<I>, mapper: M, reducer: R) -> Vec<O>
+    where
+        I: Send,
+        K: Hash + Eq + Ord + Send,
+        V: Send,
+        O: Send,
+        M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+        R: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+    {
+        self.run_with_stats(inputs, mapper, reducer).0
+    }
+
+    /// Like [`MapReduce::run`], also returning job counters.
+    pub fn run_with_stats<I, K, V, O, M, R>(
+        &self,
+        inputs: Vec<I>,
+        mapper: M,
+        reducer: R,
+    ) -> (Vec<O>, JobStats)
+    where
+        I: Send,
+        K: Hash + Eq + Ord + Send,
+        V: Send,
+        O: Send,
+        M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+        R: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+    {
+        let stats = JobStats::default();
+        let n_partitions = self.config.partitions;
+        let n_threads = self.config.threads.max(1);
+
+        // ---- Map phase ----
+        // Each worker owns a vector of per-partition buckets; no locking on
+        // the hot path.
+        let chunks = split_into(inputs, n_threads);
+        let mut all_buckets: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(chunks.len());
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in chunks {
+                let mapper = &mapper;
+                let stats = &stats;
+                handles.push(scope.spawn(move |_| {
+                    let mut buckets: Vec<Vec<(K, V)>> =
+                        (0..n_partitions).map(|_| Vec::new()).collect();
+                    let mut emitted = 0usize;
+                    for input in chunk {
+                        let mut emit = |k: K, v: V| {
+                            emitted += 1;
+                            let p = partition_of(&k, n_partitions);
+                            buckets[p].push((k, v));
+                        };
+                        mapper(input, &mut emit);
+                    }
+                    stats
+                        .map_output_records
+                        .fetch_add(emitted, Ordering::Relaxed);
+                    buckets
+                }));
+            }
+            for h in handles {
+                all_buckets.push(h.join().expect("map worker panicked"));
+            }
+        })
+        .expect("map scope panicked");
+
+        // ---- Shuffle: merge per-worker buckets per partition. ----
+        let mut partitions: Vec<Vec<(K, V)>> = (0..n_partitions).map(|_| Vec::new()).collect();
+        for worker_buckets in all_buckets {
+            for (p, bucket) in worker_buckets.into_iter().enumerate() {
+                partitions[p].extend(bucket);
+            }
+        }
+
+        // ---- Reduce phase: partitions processed in parallel. ----
+        let mut results: Vec<(usize, Vec<O>)> = Vec::with_capacity(n_partitions);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (p, records) in partitions.into_iter().enumerate() {
+                let reducer = &reducer;
+                let stats = &stats;
+                handles.push(scope.spawn(move |_| {
+                    // Group by key, then sort keys for deterministic output.
+                    let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                    for (k, v) in records {
+                        groups.entry(k).or_default().push(v);
+                    }
+                    let mut keyed: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+                    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+                    stats
+                        .reduce_groups
+                        .fetch_add(keyed.len(), Ordering::Relaxed);
+                    let mut out = Vec::new();
+                    for (k, vs) in keyed {
+                        out.extend(reducer(&k, vs));
+                    }
+                    stats.output_records.fetch_add(out.len(), Ordering::Relaxed);
+                    (p, out)
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("reduce worker panicked"));
+            }
+        })
+        .expect("reduce scope panicked");
+
+        results.sort_by_key(|(p, _)| *p);
+        let output = results.into_iter().flat_map(|(_, o)| o).collect();
+        (output, stats)
+    }
+
+    /// Runs a job with a map-side *combiner*: values for the same key are
+    /// pre-aggregated inside each map worker before the shuffle, cutting
+    /// shuffle volume for associative reductions — the same overhead
+    /// concern the paper addresses by bounding REDUCE task counts.
+    pub fn run_with_combiner<I, K, V, O, M, C, R>(
+        &self,
+        inputs: Vec<I>,
+        mapper: M,
+        combiner: C,
+        reducer: R,
+    ) -> Vec<O>
+    where
+        I: Send,
+        K: Hash + Eq + Ord + Clone + Send,
+        V: Send,
+        O: Send,
+        M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+        C: Fn(V, V) -> V + Sync,
+        R: Fn(&K, Vec<V>) -> Vec<O> + Sync,
+    {
+        // Phase A: map + local combine inside each worker.
+        let n_threads = self.config.threads.max(1);
+        let chunks = split_into(inputs, n_threads);
+        let mut pre_combined: Vec<(K, V)> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in chunks {
+                let mapper = &mapper;
+                let combiner = &combiner;
+                handles.push(scope.spawn(move |_| {
+                    let mut local: HashMap<K, V> = HashMap::new();
+                    for input in chunk {
+                        let mut emit = |k: K, v: V| {
+                            if let Some(existing) = local.remove(&k) {
+                                local.insert(k, combiner(existing, v));
+                            } else {
+                                local.insert(k, v);
+                            }
+                        };
+                        mapper(input, &mut emit);
+                    }
+                    local.into_iter().collect::<Vec<(K, V)>>()
+                }));
+            }
+            for h in handles {
+                pre_combined.extend(h.join().expect("combine worker panicked"));
+            }
+        })
+        .expect("combine scope panicked");
+
+        // Phase B: shuffle + reduce over the pre-combined records, folding
+        // the per-worker partials with the combiner first.
+        self.run(
+            pre_combined,
+            |(k, v), emit| emit(k, v),
+            |k, vs| {
+                let mut it = vs.into_iter();
+                let first = it.next().expect("group is non-empty");
+                let folded = it.fold(first, &combiner);
+                reducer(k, vec![folded])
+            },
+        )
+    }
+}
+
+impl Default for MapReduce {
+    fn default() -> Self {
+        Self::new(JobConfig::default())
+    }
+}
+
+/// Stable partition assignment for a key.
+pub fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// Splits a vector into at most `n` contiguous chunks of near-equal size.
+fn split_into<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let n = n.min(len);
+    let base = len / n;
+    let extra = len % n;
+    let mut chunks = Vec::with_capacity(n);
+    // Draining from the back keeps this O(len); reverse sizes so the final
+    // chunk order matches the input order.
+    let mut sizes: Vec<usize> = (0..n).map(|i| base + usize::from(i < extra)).collect();
+    sizes.reverse();
+    for size in sizes {
+        let tail = items.split_off(items.len() - size);
+        chunks.push(tail);
+    }
+    chunks.reverse();
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_count(engine: &MapReduce, docs: Vec<&str>) -> Vec<(String, usize)> {
+        engine.run(
+            docs,
+            |doc, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |word, ones| vec![(word.clone(), ones.len())],
+        )
+    }
+
+    #[test]
+    fn word_count_basic() {
+        let engine = MapReduce::default();
+        let out = word_count(&engine, vec!["a b a", "b a"]);
+        let get = |w: &str| out.iter().find(|(x, _)| x == w).map(|(_, c)| *c);
+        assert_eq!(get("a"), Some(3));
+        assert_eq!(get("b"), Some(2));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let engine = MapReduce::default();
+        let out = word_count(&engine, vec![]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_thread_counts() {
+        let docs: Vec<String> = (0..500)
+            .map(|i| format!("w{} w{} w{}", i % 17, i % 5, i % 31))
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let a = word_count(
+            &MapReduce::new(JobConfig {
+                partitions: 8,
+                threads: 1,
+            }),
+            refs.clone(),
+        );
+        let b = word_count(
+            &MapReduce::new(JobConfig {
+                partitions: 8,
+                threads: 8,
+            }),
+            refs.clone(),
+        );
+        let c = word_count(
+            &MapReduce::new(JobConfig {
+                partitions: 8,
+                threads: 3,
+            }),
+            refs,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn single_partition_sorts_all_keys() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 1,
+            threads: 4,
+        });
+        let out = word_count(&engine, vec!["delta alpha charlie bravo"]);
+        let words: Vec<&str> = out.iter().map(|(w, _)| w.as_str()).collect();
+        assert_eq!(words, vec!["alpha", "bravo", "charlie", "delta"]);
+    }
+
+    #[test]
+    fn stats_counters() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        });
+        let (out, stats) = engine.run_with_stats(
+            vec!["x y", "x z"],
+            |doc: &str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |w: &String, ones| vec![(w.clone(), ones.len())],
+        );
+        assert_eq!(stats.map_output_records(), 4);
+        assert_eq!(stats.reduce_groups(), 3);
+        assert_eq!(stats.output_records(), out.len());
+    }
+
+    #[test]
+    fn combiner_matches_plain_run() {
+        let docs: Vec<String> = (0..200).map(|i| format!("k{} k{}", i % 7, i % 3)).collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 4,
+        });
+        let mut plain = engine.run(
+            refs.clone(),
+            |doc, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |w, ones| vec![(w.clone(), ones.iter().sum::<usize>())],
+        );
+        let mut combined = engine.run_with_combiner(
+            refs,
+            |doc: &str, emit: &mut dyn FnMut(String, usize)| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |a, b| a + b,
+            |w, vs| vec![(w.clone(), vs.iter().sum::<usize>())],
+        );
+        plain.sort();
+        combined.sort();
+        assert_eq!(plain, combined);
+    }
+
+    #[test]
+    fn partition_of_is_stable_and_in_range() {
+        for k in 0..1000u64 {
+            let p = partition_of(&k, 32);
+            assert!(p < 32);
+            assert_eq!(p, partition_of(&k, 32));
+        }
+    }
+
+    #[test]
+    fn hash_bits_config() {
+        let cfg = JobConfig::default().with_hash_bits(5);
+        assert_eq!(cfg.partitions, 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hash_bits_zero_panics() {
+        JobConfig::default().with_hash_bits(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_partitions_panics() {
+        MapReduce::new(JobConfig {
+            partitions: 0,
+            threads: 1,
+        });
+    }
+
+    #[test]
+    fn split_into_covers_all_items_in_order() {
+        for n in [1usize, 2, 3, 7, 100] {
+            let items: Vec<usize> = (0..23).collect();
+            let chunks = split_into(items.clone(), n);
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, items, "n = {n}");
+        }
+        assert!(split_into(Vec::<u8>::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn values_grouped_per_key() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 2,
+            threads: 2,
+        });
+        let out = engine.run(
+            vec![1u64, 2, 3, 4, 5, 6],
+            |n, emit| emit(n % 2, n),
+            |parity, values| {
+                let mut v = values.clone();
+                v.sort();
+                vec![(*parity, v)]
+            },
+        );
+        let evens = out.iter().find(|(p, _)| *p == 0).unwrap();
+        assert_eq!(evens.1, vec![2, 4, 6]);
+        let odds = out.iter().find(|(p, _)| *p == 1).unwrap();
+        assert_eq!(odds.1, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn heavy_parallel_load() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 32,
+            threads: 8,
+        });
+        let inputs: Vec<u64> = (0..100_000).collect();
+        let out = engine.run(
+            inputs,
+            |n, emit| emit(n % 1000, 1u64),
+            |k, vs| vec![(*k, vs.len() as u64)],
+        );
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().all(|(_, c)| *c == 100));
+    }
+
+    #[test]
+    fn chained_jobs_compose() {
+        // Job 1: count words; job 2: bucket counts by magnitude — mirrors
+        // BAYWATCH's extraction → detection chaining where one job's output
+        // feeds the next without reprocessing raw input.
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 4,
+        });
+        let docs = vec!["a a a a b b c", "a b", "c"];
+        let counts = word_count(&engine, docs); // a=5, b=3, c=2
+        let buckets = engine.run(
+            counts,
+            |(_, c), emit| emit(if c >= 3 { "hot" } else { "cold" }, 1usize),
+            |k, vs| vec![(*k, vs.len())],
+        );
+        let hot = buckets.iter().find(|(k, _)| *k == "hot").unwrap().1;
+        let cold = buckets.iter().find(|(k, _)| *k == "cold").unwrap().1;
+        assert_eq!(hot, 2); // a and b
+        assert_eq!(cold, 1); // c
+    }
+}

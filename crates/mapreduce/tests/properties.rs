@@ -1,0 +1,106 @@
+//! Property-based tests of the MapReduce engine: results must equal a
+//! sequential reference computation regardless of partitioning/threading.
+
+use std::collections::HashMap;
+
+use baywatch_mapreduce::{partition_of, JobConfig, MapReduce};
+use proptest::prelude::*;
+
+fn reference_word_count(docs: &[String]) -> HashMap<String, usize> {
+    let mut m = HashMap::new();
+    for d in docs {
+        for w in d.split_whitespace() {
+            *m.entry(w.to_owned()).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Word count equals the sequential reference for any corpus and any
+    /// engine configuration.
+    #[test]
+    fn equals_sequential_reference(
+        docs in prop::collection::vec("[a-c ]{0,30}", 0..60),
+        partitions in 1usize..64,
+        threads in 1usize..9,
+    ) {
+        let engine = MapReduce::new(JobConfig { partitions, threads });
+        let out = engine.run(
+            docs.clone(),
+            |doc: String, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |w, ones| vec![(w.clone(), ones.len())],
+        );
+        let reference = reference_word_count(&docs);
+        let as_map: HashMap<String, usize> = out.into_iter().collect();
+        prop_assert_eq!(as_map, reference);
+    }
+
+    /// The combiner path computes identical sums to the plain path.
+    #[test]
+    fn combiner_equivalence(
+        keys in prop::collection::vec(0u64..20, 0..400),
+        partitions in 1usize..16,
+    ) {
+        let engine = MapReduce::new(JobConfig { partitions, threads: 4 });
+        let mut plain = engine.run(
+            keys.clone(),
+            |k, emit| emit(k, 1u64),
+            |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+        );
+        let mut combined = engine.run_with_combiner(
+            keys,
+            |k: u64, emit: &mut dyn FnMut(u64, u64)| emit(k, 1u64),
+            |a, b| a + b,
+            |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+        );
+        plain.sort();
+        combined.sort();
+        prop_assert_eq!(plain, combined);
+    }
+
+    /// Output is invariant to thread count (determinism).
+    #[test]
+    fn thread_count_invariance(values in prop::collection::vec(0u32..1000, 0..300)) {
+        let run_with = |threads: usize| {
+            MapReduce::new(JobConfig { partitions: 8, threads }).run(
+                values.clone(),
+                |v, emit| emit(v % 13, v as u64),
+                |k, mut vs| {
+                    vs.sort();
+                    vec![(*k, vs)]
+                },
+            )
+        };
+        prop_assert_eq!(run_with(1), run_with(7));
+    }
+
+    /// Partition assignment is total and stable.
+    #[test]
+    fn partitioning_valid(key in any::<u64>(), partitions in 1usize..1000) {
+        let p = partition_of(&key, partitions);
+        prop_assert!(p < partitions);
+        prop_assert_eq!(p, partition_of(&key, partitions));
+    }
+
+    /// No records are lost: the count of reduced values equals the count
+    /// of mapped emissions.
+    #[test]
+    fn no_record_loss(values in prop::collection::vec(any::<u16>(), 0..500)) {
+        let engine = MapReduce::new(JobConfig { partitions: 16, threads: 4 });
+        let (out, stats) = engine.run_with_stats(
+            values.clone(),
+            |v, emit| emit(v % 31, v),
+            |k, vs| vec![(*k, vs.len())],
+        );
+        let reduced_total: usize = out.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(reduced_total, values.len());
+        prop_assert_eq!(stats.map_output_records(), values.len());
+    }
+}

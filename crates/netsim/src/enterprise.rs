@@ -1,0 +1,512 @@
+//! The enterprise web-proxy simulator.
+//!
+//! Generates per-day proxy events for a population of hosts:
+//!
+//! * every host browses popular destinations (Zipf-weighted) during working
+//!   hours — heavier on weekdays than weekends, which reproduces the
+//!   paper's observed weekday/weekend pair-count swing (26 M vs 3.3 M,
+//!   §VIII-B2),
+//! * hosts subscribe to legitimate periodic services (update/AV/mail/news
+//!   pollers — the Challenge-4 lookalikes),
+//! * a configurable fraction of hosts is infected: malware campaigns group
+//!   several hosts beaconing to the same DGA destination, as in the paper's
+//!   Table V where up to 19–20 clients share one C&C domain.
+//!
+//! All randomness is seeded; the same configuration always yields the same
+//! trace and ground truth.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use baywatch_langmodel::corpus;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::benign::{BrowsingModel, PeriodicService};
+use crate::malware::MalwareProfile;
+use crate::rngutil::Zipf;
+use crate::types::{GroundTruth, HostId, ProxyEvent};
+
+/// Seconds per day.
+pub const DAY_SECONDS: u64 = 86_400;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnterpriseConfig {
+    /// Number of monitored hosts.
+    pub hosts: usize,
+    /// Number of simulated days.
+    pub days: usize,
+    /// Epoch timestamp of day 0 (assumed midnight; day 0 is a Monday).
+    pub start_epoch: u64,
+    /// Size of the popular-domain catalog hosts browse.
+    pub popular_domains: usize,
+    /// Zipf exponent of destination popularity.
+    pub zipf_exponent: f64,
+    /// Human browsing model.
+    pub browsing: BrowsingModel,
+    /// Probability that a host subscribes to each always-on catalog
+    /// service.
+    pub common_service_prob: f64,
+    /// Probability that a host subscribes to each office-hours (niche)
+    /// catalog service.
+    pub niche_service_prob: f64,
+    /// Fraction of hosts infected with malware.
+    pub infection_rate: f64,
+    /// Fraction of weekday activity present on weekends.
+    pub weekend_activity: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for EnterpriseConfig {
+    fn default() -> Self {
+        Self {
+            hosts: 200,
+            days: 7,
+            start_epoch: 1_420_070_400, // 2015-01-01-ish; day alignment is what matters
+            popular_domains: 300,
+            zipf_exponent: 1.1,
+            browsing: BrowsingModel::default(),
+            common_service_prob: 0.8,
+            niche_service_prob: 0.05,
+            infection_rate: 0.05,
+            weekend_activity: 0.12,
+            seed: 0xE17E4,
+        }
+    }
+}
+
+/// One simulated malware campaign: a set of hosts beaconing to one
+/// destination.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The malware family behaviour.
+    pub profile: MalwareProfile,
+    /// The C&C destination domain.
+    pub domain: String,
+    /// Infected hosts.
+    pub hosts: Vec<HostId>,
+    /// First day (index) the campaign is active.
+    pub start_day: usize,
+}
+
+/// A generated trace: the event stream plus ground truth.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// All events, sorted by timestamp.
+    pub events: Vec<ProxyEvent>,
+    /// Ground truth for evaluation.
+    pub ground_truth: GroundTruth,
+    /// The campaigns that were injected.
+    pub campaigns: Vec<Campaign>,
+}
+
+/// The enterprise simulator.
+#[derive(Debug, Clone)]
+pub struct EnterpriseSimulator {
+    config: EnterpriseConfig,
+    catalog: Vec<String>,
+    zipf: Zipf,
+    services: Vec<PeriodicService>,
+    /// `subscriptions[h]` = indices into `services` host `h` runs.
+    subscriptions: Vec<Vec<usize>>,
+    campaigns: Vec<Campaign>,
+}
+
+const URL_TOKENS: &[&str] = &[
+    "index", "search", "images", "news", "watch", "login", "api", "static", "cart", "profile",
+];
+
+impl EnterpriseSimulator {
+    /// Builds the simulator: draws the domain catalog, subscribes hosts to
+    /// services, and plans malware campaigns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts == 0`, `days == 0` or probabilities are out of
+    /// range.
+    pub fn new(config: EnterpriseConfig) -> Self {
+        assert!(config.hosts > 0, "hosts must be positive");
+        assert!(config.days > 0, "days must be positive");
+        assert!((0.0..=1.0).contains(&config.infection_rate));
+        assert!((0.0..=1.0).contains(&config.common_service_prob));
+        assert!((0.0..=1.0).contains(&config.niche_service_prob));
+        assert!((0.0..=1.0).contains(&config.weekend_activity));
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Popular-domain catalog: real seeds first (most popular), then
+        // synthetic expansion.
+        let mut catalog: Vec<String> = corpus::seed_domains()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        catalog.extend(corpus::synthetic_domains(config.popular_domains));
+        catalog.truncate(config.popular_domains.max(10));
+        let zipf = Zipf::new(catalog.len(), config.zipf_exponent);
+
+        // Service subscriptions.
+        let services = PeriodicService::catalog();
+        let mut subscriptions = Vec::with_capacity(config.hosts);
+        for _ in 0..config.hosts {
+            let mut subs = Vec::new();
+            for (i, svc) in services.iter().enumerate() {
+                let p = if svc.always_on {
+                    config.common_service_prob
+                } else {
+                    config.niche_service_prob
+                };
+                if rng.random_range(0.0..1.0) < p {
+                    subs.push(i);
+                }
+            }
+            subscriptions.push(subs);
+        }
+
+        // Malware campaigns.
+        let infected = ((config.hosts as f64 * config.infection_rate).round() as usize)
+            .min(config.hosts);
+        let mut host_pool: Vec<u32> = (0..config.hosts as u32).collect();
+        host_pool.shuffle(&mut rng);
+        let roster: [MalwareProfile; 6] = [
+            MalwareProfile::Zeus { period: 180.0 },
+            MalwareProfile::Zeus { period: 63.0 },
+            MalwareProfile::ZeroAccess { period: 929.0 },
+            MalwareProfile::Tdss,
+            MalwareProfile::Conficker,
+            MalwareProfile::LowAndSlow { period: 7200.0 },
+        ];
+        let mut campaigns = Vec::new();
+        let mut assigned = 0usize;
+        let mut c = 0usize;
+        while assigned < infected {
+            let profile = roster[c % roster.len()];
+            // Campaign size 1..=5 hosts (Table V shows 1–19 clients; small
+            // populations keep most campaigns small).
+            let size = rng.random_range(1..=5usize).min(infected - assigned);
+            let hosts: Vec<HostId> = host_pool[assigned..assigned + size]
+                .iter()
+                .map(|&h| HostId(h))
+                .collect();
+            let domain = profile.domain(config.seed ^ (c as u64) << 17);
+            let start_day = if config.days > 1 {
+                rng.random_range(0..config.days.div_ceil(2))
+            } else {
+                0
+            };
+            campaigns.push(Campaign {
+                profile,
+                domain,
+                hosts,
+                start_day,
+            });
+            assigned += size;
+            c += 1;
+        }
+
+        Self {
+            config,
+            catalog,
+            zipf,
+            services,
+            subscriptions,
+            campaigns,
+        }
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &EnterpriseConfig {
+        &self.config
+    }
+
+    /// The planned campaigns (ground truth for tests).
+    pub fn campaigns(&self) -> &[Campaign] {
+        &self.campaigns
+    }
+
+    /// The popular-domain catalog.
+    pub fn catalog(&self) -> &[String] {
+        &self.catalog
+    }
+
+    /// Whether day index `d` is a weekend (day 0 is a Monday).
+    pub fn is_weekend(&self, day: usize) -> bool {
+        matches!(day % 7, 5 | 6)
+    }
+
+    /// Generates the events of one day, sorted by timestamp.
+    pub fn generate_day(&self, day: usize) -> Vec<ProxyEvent> {
+        assert!(day < self.config.days, "day out of range");
+        let day_start = self.config.start_epoch + day as u64 * DAY_SECONDS;
+        let weekend = self.is_weekend(day);
+        let mut events = Vec::new();
+
+        for h in 0..self.config.hosts {
+            let host = HostId(h as u32);
+            // Weekends: only a fraction of hosts are present at all.
+            let presence_hash = stable_hash((self.config.seed, h, day, "presence"));
+            if weekend
+                && (presence_hash % 10_000) as f64 / 10_000.0 >= self.config.weekend_activity
+            {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(stable_hash((self.config.seed, h, day, "rng")));
+            let source_ip = self.ip_of(host, day);
+            let (active_start, active_end) = if weekend {
+                (10 * 3600, 16 * 3600)
+            } else {
+                (8 * 3600, 18 * 3600)
+            };
+
+            // Browsing.
+            for t in self
+                .config
+                .browsing
+                .day_schedule(day_start, active_start, active_end, &mut rng)
+            {
+                let domain = self.catalog[self.zipf.sample(&mut rng)].clone();
+                let token = URL_TOKENS[rng.random_range(0..URL_TOKENS.len())];
+                events.push(ProxyEvent {
+                    timestamp: t,
+                    host,
+                    source_ip,
+                    domain,
+                    url_path: token.to_owned(),
+                });
+            }
+
+            // Periodic services.
+            for &svc_idx in &self.subscriptions[h] {
+                let svc = &self.services[svc_idx];
+                for t in svc.day_schedule(day_start, active_start, active_end, &mut rng) {
+                    events.push(ProxyEvent {
+                        timestamp: t,
+                        host,
+                        source_ip,
+                        domain: svc.domain.clone(),
+                        url_path: svc.url_token.clone(),
+                    });
+                }
+            }
+        }
+
+        // Malware beacons: run around the clock regardless of presence
+        // (infected machines are typically left powered on).
+        for (ci, campaign) in self.campaigns.iter().enumerate() {
+            if day < campaign.start_day {
+                continue;
+            }
+            for (hi, &host) in campaign.hosts.iter().enumerate() {
+                let seed = stable_hash((self.config.seed, ci, hi, day, "malware"));
+                let schedule = campaign.profile.schedule(day_start, DAY_SECONDS, seed);
+                let source_ip = self.ip_of(host, day);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+                for t in schedule {
+                    // C&C check-ins typically hit a short random path.
+                    let token = format!("{:06x}", rng.random_range(0..0xFFFFFFu32));
+                    events.push(ProxyEvent {
+                        timestamp: t,
+                        host,
+                        source_ip,
+                        domain: campaign.domain.clone(),
+                        url_path: token,
+                    });
+                }
+            }
+        }
+
+        events.sort_by_key(|e| e.timestamp);
+        events
+    }
+
+    /// Generates the full trace across all configured days.
+    pub fn generate(&mut self) -> Trace {
+        let mut events = Vec::new();
+        for d in 0..self.config.days {
+            events.extend(self.generate_day(d));
+        }
+        Trace {
+            events,
+            ground_truth: self.ground_truth(),
+            campaigns: self.campaigns.clone(),
+        }
+    }
+
+    /// The ground truth implied by the planned campaigns and service
+    /// catalog.
+    pub fn ground_truth(&self) -> GroundTruth {
+        let mut gt = GroundTruth::default();
+        for c in &self.campaigns {
+            gt.malicious_domains.insert(c.domain.clone());
+            for &h in &c.hosts {
+                gt.infections.entry(h).or_default().push(c.domain.clone());
+            }
+        }
+        for svc in &self.services {
+            gt.benign_periodic_domains.insert(svc.domain.clone());
+        }
+        gt
+    }
+
+    /// The (churning) IP a host uses on a given day.
+    fn ip_of(&self, host: HostId, day: usize) -> u32 {
+        // 10.x.y.z with daily churn.
+        let h = stable_hash((self.config.seed, host.0, day / 3, "dhcp"));
+        0x0A00_0000 | (h as u32 & 0x00FF_FFFF)
+    }
+}
+
+fn stable_hash<T: Hash>(value: T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sim() -> EnterpriseSimulator {
+        EnterpriseSimulator::new(EnterpriseConfig {
+            hosts: 60,
+            days: 7,
+            popular_domains: 100,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn deterministic_trace() {
+        let a = small_sim().generate();
+        let b = small_sim().generate();
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.events.first(), b.events.first());
+        assert_eq!(a.events.last(), b.events.last());
+    }
+
+    #[test]
+    fn events_sorted_within_day() {
+        let sim = small_sim();
+        let day = sim.generate_day(0);
+        assert!(day.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(!day.is_empty());
+    }
+
+    #[test]
+    fn weekend_has_fewer_pairs_than_weekday() {
+        let sim = small_sim();
+        let count_pairs = |events: &[ProxyEvent]| {
+            let mut pairs: Vec<(HostId, &str)> =
+                events.iter().map(|e| (e.host, e.domain.as_str())).collect();
+            pairs.sort();
+            pairs.dedup();
+            pairs.len()
+        };
+        let monday = sim.generate_day(0);
+        let saturday = sim.generate_day(5);
+        let weekday_pairs = count_pairs(&monday);
+        let weekend_pairs = count_pairs(&saturday);
+        assert!(
+            (weekend_pairs as f64) < weekday_pairs as f64 * 0.5,
+            "weekday {weekday_pairs} vs weekend {weekend_pairs}"
+        );
+    }
+
+    #[test]
+    fn infected_hosts_beacon_every_active_day() {
+        let sim = small_sim();
+        let campaign = &sim.campaigns()[0];
+        let day = campaign.start_day;
+        let events = sim.generate_day(day);
+        let host = campaign.hosts[0];
+        let beacons: Vec<&ProxyEvent> = events
+            .iter()
+            .filter(|e| e.host == host && e.domain == campaign.domain)
+            .collect();
+        assert!(
+            beacons.len() >= 5,
+            "campaign {:?} produced {} beacons",
+            campaign.profile,
+            beacons.len()
+        );
+    }
+
+    #[test]
+    fn campaign_inactive_before_start_day() {
+        let sim = EnterpriseSimulator::new(EnterpriseConfig {
+            hosts: 60,
+            days: 6,
+            ..Default::default()
+        });
+        if let Some(c) = sim.campaigns().iter().find(|c| c.start_day > 0) {
+            let before = sim.generate_day(c.start_day - 1);
+            assert!(before.iter().all(|e| e.domain != c.domain));
+        }
+    }
+
+    #[test]
+    fn ground_truth_consistent_with_campaigns() {
+        let mut sim = small_sim();
+        let trace = sim.generate();
+        for c in &trace.campaigns {
+            assert!(trace.ground_truth.is_malicious(&c.domain));
+            for h in &c.hosts {
+                assert!(trace.ground_truth.infections.contains_key(h));
+            }
+        }
+        // ~5% of 60 hosts infected.
+        let infected = trace.ground_truth.infected_host_count();
+        assert!((2..=6).contains(&infected), "infected = {infected}");
+    }
+
+    #[test]
+    fn ip_churns_but_host_is_stable() {
+        let sim = small_sim();
+        let h = HostId(3);
+        let ip0 = sim.ip_of(h, 0);
+        let ip9 = sim.ip_of(h, 9);
+        assert_ne!(ip0, ip9, "DHCP churn expected across days");
+        assert_eq!(sim.ip_of(h, 0), ip0, "same day, same IP");
+        // 10.0.0.0/8 range.
+        assert_eq!(ip0 >> 24, 10);
+    }
+
+    #[test]
+    fn popular_domains_dominate_browsing() {
+        let sim = small_sim();
+        let events = sim.generate_day(1);
+        let top_domain = sim.catalog()[0].as_str();
+        let top_count = events.iter().filter(|e| e.domain == top_domain).count();
+        let rare_domain = sim.catalog().last().unwrap().as_str();
+        let rare_count = events.iter().filter(|e| e.domain == rare_domain).count();
+        assert!(
+            top_count > rare_count,
+            "top {top_count} vs rare {rare_count}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_hosts_panics() {
+        EnterpriseSimulator::new(EnterpriseConfig {
+            hosts: 0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn day_out_of_range_panics() {
+        small_sim().generate_day(100);
+    }
+
+    #[test]
+    fn malicious_domains_look_dga() {
+        let sim = small_sim();
+        for c in sim.campaigns() {
+            let name = c.domain.split('.').next().unwrap();
+            assert!(name.len() >= 4, "{}", c.domain);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Netflow-style flow records (§X of the paper).
+//!
+//! Netflow gives connection-level information only — no domain names, no
+//! payload — so the communication pair degrades to (source IP, destination
+//! IP). Periodicity detection works unchanged; the *suspicion* filters that
+//! rely on domain names (language model, token filter) have nothing to
+//! score, which is exactly the trade-off the paper describes.
+
+use crate::types::{HostId, ProxyEvent};
+
+/// One flow record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEvent {
+    /// Flow start, epoch seconds.
+    pub timestamp: u64,
+    /// Source host.
+    pub source: HostId,
+    /// Destination IPv4 address (packed).
+    pub dst_ip: u32,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Packets transferred.
+    pub packets: u32,
+}
+
+impl FlowEvent {
+    /// Dotted-quad destination string — the "domain" a Netflow-based
+    /// deployment keys destinations by.
+    pub fn dst_string(&self) -> String {
+        let b = self.dst_ip.to_be_bytes();
+        format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+/// Downgrades proxy events to flow records: the domain is replaced by a
+/// stable pseudo-IP derived from it (a real deployment would see the
+/// resolved address), sizes are synthesized from the URL token length.
+pub fn flows_from_proxy(events: &[ProxyEvent]) -> Vec<FlowEvent> {
+    events
+        .iter()
+        .map(|e| {
+            let dst_ip = pseudo_ip(&e.domain);
+            FlowEvent {
+                timestamp: e.timestamp,
+                source: e.host,
+                dst_ip,
+                bytes: 200 + (e.url_path.len() as u64) * 37,
+                packets: 3 + (e.url_path.len() as u32 % 5),
+            }
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-IP for a domain (stable across runs, avoids
+/// reserved ranges by pinning the first octet to 100–199).
+pub fn pseudo_ip(domain: &str) -> u32 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    domain.hash(&mut h);
+    let v = h.finish() as u32;
+    let first = 100 + (v >> 24) % 100;
+    (first << 24) | (v & 0x00FF_FFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proxy_event(t: u64, host: u32, domain: &str) -> ProxyEvent {
+        ProxyEvent {
+            timestamp: t,
+            host: HostId(host),
+            source_ip: 0x0A00_0001,
+            domain: domain.into(),
+            url_path: "abcdef".into(),
+        }
+    }
+
+    #[test]
+    fn conversion_preserves_timing_and_pairs() {
+        let events = vec![
+            proxy_event(100, 1, "evil.com"),
+            proxy_event(160, 1, "evil.com"),
+            proxy_event(130, 2, "good.org"),
+        ];
+        let flows = flows_from_proxy(&events);
+        assert_eq!(flows.len(), 3);
+        assert_eq!(flows[0].timestamp, 100);
+        assert_eq!(flows[0].source, HostId(1));
+        // Same domain -> same pseudo-IP; different domains differ.
+        assert_eq!(flows[0].dst_ip, flows[1].dst_ip);
+        assert_ne!(flows[0].dst_ip, flows[2].dst_ip);
+    }
+
+    #[test]
+    fn pseudo_ip_stable_and_in_range() {
+        let a = pseudo_ip("example.com");
+        assert_eq!(a, pseudo_ip("example.com"));
+        let first_octet = a >> 24;
+        assert!((100..200).contains(&first_octet));
+    }
+
+    #[test]
+    fn dst_string_is_dotted_quad() {
+        let f = FlowEvent {
+            timestamp: 0,
+            source: HostId(0),
+            dst_ip: (101 << 24) | (2 << 16) | (3 << 8) | 4,
+            bytes: 100,
+            packets: 2,
+        };
+        assert_eq!(f.dst_string(), "101.2.3.4");
+    }
+
+    #[test]
+    fn sizes_are_plausible() {
+        let flows = flows_from_proxy(&[proxy_event(1, 1, "x.com")]);
+        assert!(flows[0].bytes >= 200);
+        assert!(flows[0].packets >= 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! A VirusTotal-style threat-intelligence oracle.
+//!
+//! The paper builds its "ground truth" by querying VirusTotal: a destination
+//! is labeled malicious if any AV engine flags it. Real AV coverage is
+//! imperfect, so the oracle models a configurable miss rate: a fraction of
+//! truly malicious domains return a clean verdict (deterministically per
+//! domain, like a real engine's blind spots). Benign domains never flag —
+//! the classifier evaluation of Table IV measures against exactly this kind
+//! of reference.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::types::GroundTruth;
+
+/// The oracle's verdict for a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// At least one (simulated) engine flags the destination.
+    Malicious,
+    /// No engine flags the destination.
+    Clean,
+}
+
+/// A deterministic threat-intel oracle built from simulator ground truth.
+#[derive(Debug, Clone)]
+pub struct ThreatIntelOracle {
+    truth: GroundTruth,
+    miss_rate: f64,
+}
+
+impl ThreatIntelOracle {
+    /// Wraps ground truth with a per-domain miss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miss_rate` is outside `[0, 1)`.
+    pub fn new(truth: GroundTruth, miss_rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&miss_rate),
+            "miss_rate must be in [0, 1)"
+        );
+        Self { truth, miss_rate }
+    }
+
+    /// A perfect oracle (zero miss rate).
+    pub fn perfect(truth: GroundTruth) -> Self {
+        Self::new(truth, 0.0)
+    }
+
+    /// Queries the oracle for a domain — deterministic: the same domain
+    /// always returns the same verdict.
+    pub fn query(&self, domain: &str) -> Verdict {
+        if !self.truth.is_malicious(domain) {
+            return Verdict::Clean;
+        }
+        if self.miss_rate == 0.0 {
+            return Verdict::Malicious;
+        }
+        let mut h = DefaultHasher::new();
+        domain.hash(&mut h);
+        let u = (h.finish() % 1_000_000) as f64 / 1_000_000.0;
+        if u < self.miss_rate {
+            Verdict::Clean
+        } else {
+            Verdict::Malicious
+        }
+    }
+
+    /// The wrapped ground truth.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth_with(mal: &[&str]) -> GroundTruth {
+        let mut gt = GroundTruth::default();
+        for d in mal {
+            gt.malicious_domains.insert((*d).to_owned());
+        }
+        gt
+    }
+
+    #[test]
+    fn perfect_oracle_exact() {
+        let oracle = ThreatIntelOracle::perfect(truth_with(&["evil.com"]));
+        assert_eq!(oracle.query("evil.com"), Verdict::Malicious);
+        assert_eq!(oracle.query("google.com"), Verdict::Clean);
+    }
+
+    #[test]
+    fn benign_never_flags_even_with_miss_rate() {
+        let oracle = ThreatIntelOracle::new(truth_with(&["evil.com"]), 0.5);
+        for d in ["a.com", "b.net", "c.org"] {
+            assert_eq!(oracle.query(d), Verdict::Clean);
+        }
+    }
+
+    #[test]
+    fn miss_rate_hides_some_malicious() {
+        let domains: Vec<String> = (0..1000).map(|i| format!("mal{i}.com")).collect();
+        let refs: Vec<&str> = domains.iter().map(String::as_str).collect();
+        let oracle = ThreatIntelOracle::new(truth_with(&refs), 0.3);
+        let missed = domains
+            .iter()
+            .filter(|d| oracle.query(d) == Verdict::Clean)
+            .count();
+        assert!(missed > 200 && missed < 400, "missed = {missed}");
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let oracle = ThreatIntelOracle::new(truth_with(&["x1.com", "x2.com", "x3.com"]), 0.5);
+        for d in ["x1.com", "x2.com", "x3.com"] {
+            assert_eq!(oracle.query(d), oracle.query(d));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn miss_rate_one_rejected() {
+        ThreatIntelOracle::new(GroundTruth::default(), 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Small sampling helpers on top of [`rand`]: Gaussian, Poisson, Pareto and
+//! Zipf draws used by the traffic models.
+
+use rand::Rng;
+
+/// Standard-normal draw via Box–Muller.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    mean + std_dev * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Poisson draw (Knuth's algorithm — fine for the λ ≤ ~50 used here; larger
+/// λ falls back to a rounded Gaussian approximation).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 50.0 {
+        return gaussian(rng, lambda, lambda.sqrt()).round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random_range(0.0..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Pareto draw with scale `x_min` and shape `alpha` (heavy-tailed think
+/// times inside browsing sessions).
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0 && alpha > 0.0);
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// A pre-computed Zipf sampler over ranks `0..n` with exponent `s`
+/// (popular-domain selection: rank 0 is the most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (cannot occur after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var = {var}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for lambda in [0.5, 3.0, 20.0, 80.0] {
+            let n = 5_000;
+            let mean = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "λ={lambda} mean={mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn pareto_respects_min() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(pareto(&mut rng, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| pareto(&mut rng, 1.0, 1.2)).collect();
+        let over_10 = samples.iter().filter(|&&x| x > 10.0).count() as f64 / n as f64;
+        // P(X > 10) = 10^-1.2 ≈ 0.063
+        assert!((over_10 - 0.063).abs() < 0.02, "tail mass = {over_10}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rank 0 should hold roughly 1/H_100 ≈ 19% of mass.
+        let share = counts[0] as f64 / 50_000.0;
+        assert!((share - 0.192).abs() < 0.03, "share = {share}");
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(7, 1.3);
+        assert_eq!(z.len(), 7);
+        assert!(!z.is_empty());
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Synthetic beacon-series generators with the paper's noise models
+//! (§VIII-A, Fig. 10).
+//!
+//! The robustness evaluation perturbs an ideal periodic sequence with three
+//! noise sources, separately and combined:
+//!
+//! * **Gaussian noise** — each inter-arrival interval is jittered by
+//!   `N(0, σ²)`,
+//! * **missing-event noise** — each beacon is dropped with probability
+//!   `p_miss` (device offline, collection gaps, network outages),
+//! * **adding-event noise** — spurious events are injected at random times
+//!   at rate `p_add` (extra traffic to the same destination).
+//!
+//! [`multi_period_burst`] additionally reproduces the Conficker pattern of
+//! Fig. 2: high-frequency beacons inside bursts separated by long dormant
+//! gaps.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::rngutil::gaussian;
+
+/// Parameters of a noisy synthetic beacon sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticBeacon {
+    /// True period in seconds.
+    pub period: f64,
+    /// Standard deviation of the Gaussian interval jitter (seconds).
+    pub gaussian_sigma: f64,
+    /// Probability of dropping each beacon.
+    pub p_miss: f64,
+    /// Expected number of *injected* events per true beacon (0.5 means one
+    /// spurious event per two genuine beacons, placed uniformly over the
+    /// span).
+    pub add_rate: f64,
+    /// Number of beacon slots before noise is applied.
+    pub count: usize,
+    /// Start timestamp (epoch seconds).
+    pub start: u64,
+}
+
+impl Default for SyntheticBeacon {
+    fn default() -> Self {
+        Self {
+            period: 60.0,
+            gaussian_sigma: 0.0,
+            p_miss: 0.0,
+            add_rate: 0.0,
+            count: 200,
+            start: 1_000_000,
+        }
+    }
+}
+
+impl SyntheticBeacon {
+    /// Generates the sorted timestamp sequence under the configured noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0`, `p_miss` is outside `[0, 1)`, or
+    /// `add_rate < 0`.
+    pub fn generate(&self, seed: u64) -> Vec<u64> {
+        assert!(self.period > 0.0, "period must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.p_miss),
+            "p_miss must be in [0, 1)"
+        );
+        assert!(self.add_rate >= 0.0, "add_rate must be non-negative");
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out: Vec<u64> = Vec::with_capacity(self.count);
+        // The paper's Fig. 10 methodology injects noise into an ideal
+        // baseline: each beacon is jittered *around its grid slot*
+        // (t_n = start + n·P + ε_n), so jitter does not accumulate into a
+        // random walk — exactly what "Gaussian noise injected into the
+        // baseline time series" means for a periodic signal.
+        let mut t_end = self.start as f64;
+        for n in 0..self.count {
+            let slot = self.start as f64 + n as f64 * self.period;
+            t_end = slot;
+            let keep = rng.random_range(0.0..1.0) >= self.p_miss;
+            if keep {
+                let jitter = if self.gaussian_sigma > 0.0 {
+                    gaussian(&mut rng, 0.0, self.gaussian_sigma)
+                } else {
+                    0.0
+                };
+                out.push((slot + jitter).round().max(0.0) as u64);
+            }
+        }
+
+        // Injected events, uniform over the generated span.
+        let n_add = (self.count as f64 * self.add_rate).round() as usize;
+        let end = (t_end + self.period).max(self.start as f64 + 1.0);
+        for _ in 0..n_add {
+            let u = rng.random_range(self.start as f64..end);
+            out.push(u.round() as u64);
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Conficker-style two-scale beaconing (right side of Fig. 2): `burst_len`
+/// events `intra_interval` apart, then a dormant gap of `gap` seconds,
+/// repeated `bursts` times.
+pub fn multi_period_burst(
+    start: u64,
+    bursts: usize,
+    burst_len: usize,
+    intra_interval: f64,
+    gap: f64,
+    jitter_sigma: f64,
+    seed: u64,
+) -> Vec<u64> {
+    assert!(intra_interval > 0.0 && gap > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = start as f64;
+    let mut out = Vec::with_capacity(bursts * burst_len);
+    for _ in 0..bursts {
+        for _ in 0..burst_len {
+            out.push(t.round() as u64);
+            let j = if jitter_sigma > 0.0 {
+                gaussian(&mut rng, 0.0, jitter_sigma)
+            } else {
+                0.0
+            };
+            t += (intra_interval + j).max(0.5);
+        }
+        t += gap;
+    }
+    out
+}
+
+/// TDSS-style trace (Fig. 6): a nominal period with substantial jitter and
+/// occasional long outages, matching the interval list the paper prints
+/// (mostly 360–450 s values with rare multi-thousand-second gaps).
+pub fn tdss_like(start: u64, count: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = start as f64;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        out.push(t.round() as u64);
+        let gap = if i % 37 == 21 {
+            // Occasional outage.
+            rng.random_range(1_500.0..6_000.0)
+        } else {
+            gaussian(&mut rng, 395.0, 28.0).clamp(196.0, 700.0)
+        };
+        t += gap;
+    }
+    out
+}
+
+/// Purely random (memoryless) arrivals — the negative control.
+pub fn random_arrivals(start: u64, count: usize, mean_gap: f64, seed: u64) -> Vec<u64> {
+    assert!(mean_gap > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = start as f64;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(t.round() as u64);
+        // Exponential inter-arrivals.
+        let u: f64 = rng.random_range(f64::EPSILON..1.0);
+        t += -mean_gap * u.ln();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_beacon_exact_intervals() {
+        let ts = SyntheticBeacon {
+            period: 30.0,
+            count: 10,
+            ..Default::default()
+        }
+        .generate(1);
+        assert_eq!(ts.len(), 10);
+        for w in ts.windows(2) {
+            assert_eq!(w[1] - w[0], 30);
+        }
+    }
+
+    #[test]
+    fn missing_events_reduce_count() {
+        let cfg = SyntheticBeacon {
+            p_miss: 0.5,
+            count: 1000,
+            ..Default::default()
+        };
+        let ts = cfg.generate(2);
+        assert!(ts.len() > 350 && ts.len() < 650, "kept {}", ts.len());
+    }
+
+    #[test]
+    fn added_events_increase_count() {
+        let cfg = SyntheticBeacon {
+            add_rate: 0.5,
+            count: 400,
+            ..Default::default()
+        };
+        let ts = cfg.generate(3);
+        assert_eq!(ts.len(), 400 + 200);
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let cfg = SyntheticBeacon {
+            gaussian_sigma: 10.0,
+            p_miss: 0.2,
+            add_rate: 0.3,
+            count: 500,
+            ..Default::default()
+        };
+        let ts = cfg.generate(4);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SyntheticBeacon {
+            gaussian_sigma: 5.0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.generate(7), cfg.generate(7));
+        assert_ne!(cfg.generate(7), cfg.generate(8));
+    }
+
+    #[test]
+    fn gaussian_jitter_spreads_intervals() {
+        let cfg = SyntheticBeacon {
+            gaussian_sigma: 5.0,
+            count: 500,
+            ..Default::default()
+        };
+        let ts = cfg.generate(5);
+        let intervals: Vec<f64> = ts.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let mean = intervals.iter().sum::<f64>() / intervals.len() as f64;
+        let sd = (intervals.iter().map(|i| (i - mean).powi(2)).sum::<f64>()
+            / intervals.len() as f64)
+            .sqrt();
+        assert!((mean - 60.0).abs() < 2.0, "mean = {mean}");
+        assert!(sd > 3.0 && sd < 8.0, "sd = {sd}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn p_miss_one_rejected() {
+        SyntheticBeacon {
+            p_miss: 1.0,
+            ..Default::default()
+        }
+        .generate(1);
+    }
+
+    #[test]
+    fn burst_pattern_structure() {
+        let ts = multi_period_burst(0, 5, 10, 8.0, 600.0, 0.0, 1);
+        assert_eq!(ts.len(), 50);
+        // Within-burst interval 8 s.
+        assert_eq!(ts[1] - ts[0], 8);
+        // Gap between bursts ≈ 600 + 8.
+        let gap = ts[10] - ts[9];
+        assert!(gap >= 600, "gap = {gap}");
+    }
+
+    #[test]
+    fn tdss_intervals_in_expected_band() {
+        let ts = tdss_like(0, 200, 9);
+        let intervals: Vec<u64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+        let typical = intervals.iter().filter(|&&i| i < 800).count();
+        assert!(typical as f64 / intervals.len() as f64 > 0.9);
+        assert!(intervals.iter().all(|&i| i >= 196));
+        // At least one outage.
+        assert!(intervals.iter().any(|&i| i > 1_000));
+    }
+
+    #[test]
+    fn random_arrivals_mean_gap() {
+        let ts = random_arrivals(0, 5000, 100.0, 11);
+        let span = (ts.last().unwrap() - ts[0]) as f64;
+        let mean_gap = span / (ts.len() - 1) as f64;
+        assert!((mean_gap - 100.0).abs() < 10.0, "mean gap = {mean_gap}");
+    }
+}

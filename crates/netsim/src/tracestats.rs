@@ -1,0 +1,133 @@
+//! Trace-level statistics: the summary numbers the paper reports about its
+//! data sets (Table III volumes, §VIII-B2 pair counts, per-host rates).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::types::{HostId, ProxyEvent};
+
+/// Aggregate statistics of an event slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total events.
+    pub events: usize,
+    /// Distinct hosts.
+    pub hosts: usize,
+    /// Distinct destinations.
+    pub destinations: usize,
+    /// Distinct (host, destination) communication pairs.
+    pub pairs: usize,
+    /// Events per host: mean over observed hosts.
+    pub events_per_host: f64,
+    /// Time span covered (seconds; 0 for empty/single-event traces).
+    pub span_seconds: u64,
+    /// Top destinations by distinct-source popularity, descending.
+    pub top_destinations: Vec<(String, usize)>,
+}
+
+/// Computes statistics for an event slice (any order).
+pub fn trace_stats(events: &[ProxyEvent], top_k: usize) -> TraceStats {
+    let mut hosts: HashSet<HostId> = HashSet::new();
+    let mut pairs: HashSet<(HostId, &str)> = HashSet::new();
+    let mut dest_sources: HashMap<&str, HashSet<HostId>> = HashMap::new();
+    let mut t_min = u64::MAX;
+    let mut t_max = 0u64;
+    for e in events {
+        hosts.insert(e.host);
+        pairs.insert((e.host, e.domain.as_str()));
+        dest_sources.entry(e.domain.as_str()).or_default().insert(e.host);
+        t_min = t_min.min(e.timestamp);
+        t_max = t_max.max(e.timestamp);
+    }
+    let mut top: Vec<(String, usize)> = dest_sources
+        .iter()
+        .map(|(d, s)| ((*d).to_owned(), s.len()))
+        .collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    top.truncate(top_k);
+
+    TraceStats {
+        events: events.len(),
+        hosts: hosts.len(),
+        destinations: dest_sources.len(),
+        pairs: pairs.len(),
+        events_per_host: if hosts.is_empty() {
+            0.0
+        } else {
+            events.len() as f64 / hosts.len() as f64
+        },
+        span_seconds: if events.len() < 2 { 0 } else { t_max - t_min },
+        top_destinations: top,
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} events | {} hosts | {} destinations | {} pairs | span {} s",
+            self.events, self.hosts, self.destinations, self.pairs, self.span_seconds
+        )?;
+        write!(f, "events/host {:.1}", self.events_per_host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, host: u32, domain: &str) -> ProxyEvent {
+        ProxyEvent {
+            timestamp: t,
+            host: HostId(host),
+            source_ip: 0,
+            domain: domain.into(),
+            url_path: String::new(),
+        }
+    }
+
+    #[test]
+    fn counts_distinct_entities() {
+        let events = vec![
+            ev(100, 1, "a.com"),
+            ev(200, 1, "a.com"),
+            ev(300, 2, "a.com"),
+            ev(400, 2, "b.com"),
+        ];
+        let s = trace_stats(&events, 10);
+        assert_eq!(s.events, 4);
+        assert_eq!(s.hosts, 2);
+        assert_eq!(s.destinations, 2);
+        assert_eq!(s.pairs, 3);
+        assert_eq!(s.span_seconds, 300);
+        assert!((s.events_per_host - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_destinations_by_popularity() {
+        let mut events = Vec::new();
+        for h in 0..5 {
+            events.push(ev(h as u64, h, "popular.com"));
+        }
+        events.push(ev(10, 0, "niche.com"));
+        let s = trace_stats(&events, 1);
+        assert_eq!(s.top_destinations, vec![("popular.com".to_owned(), 5)]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = trace_stats(&[], 5);
+        assert_eq!(s.events, 0);
+        assert_eq!(s.hosts, 0);
+        assert_eq!(s.span_seconds, 0);
+        assert_eq!(s.events_per_host, 0.0);
+        assert!(s.top_destinations.is_empty());
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn ties_resolve_alphabetically() {
+        let events = vec![ev(0, 1, "bbb.com"), ev(1, 1, "aaa.com")];
+        let s = trace_stats(&events, 2);
+        assert_eq!(s.top_destinations[0].0, "aaa.com");
+    }
+}

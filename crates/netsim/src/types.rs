@@ -1,0 +1,84 @@
+//! Event and ground-truth types shared by the simulator and the pipeline
+//! evaluation.
+
+use std::collections::{HashMap, HashSet};
+
+/// A stable host identity. The paper correlates proxy-log source IPs with
+/// MAC addresses from DHCP logs because IPs churn; the simulator models the
+/// same distinction: `HostId` is the MAC-like stable identity, while the IP
+/// changes across days.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Render as a MAC-ish string for log realism.
+        let b = self.0.to_be_bytes();
+        write!(f, "02:00:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3])
+    }
+}
+
+/// One web-proxy log event — the subset of BlueCoat fields the pipeline
+/// consumes (§VII-A: source, destination, timestamp, plus the URL path that
+/// feeds the token filter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProxyEvent {
+    /// Epoch timestamp in seconds (finest granularity in the paper).
+    pub timestamp: u64,
+    /// Stable device identity (MAC-correlated).
+    pub host: HostId,
+    /// Source IP at the time of the request (v4, packed). Changes with
+    /// DHCP churn; kept to demonstrate why keying on it would be wrong.
+    pub source_ip: u32,
+    /// Destination domain name.
+    pub domain: String,
+    /// First path segment of the requested URL (token-filter input).
+    pub url_path: String,
+}
+
+/// Ground truth attached to a simulated trace.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Destinations operated by malware (C&C, DGA rendezvous).
+    pub malicious_domains: HashSet<String>,
+    /// Destinations that beacon legitimately (update checks, pollers) —
+    /// the false-positive bait of Challenge 4.
+    pub benign_periodic_domains: HashSet<String>,
+    /// Which hosts are infected, and with which malicious domains they
+    /// communicate.
+    pub infections: HashMap<HostId, Vec<String>>,
+}
+
+impl GroundTruth {
+    /// Whether a destination is truly malicious.
+    pub fn is_malicious(&self, domain: &str) -> bool {
+        self.malicious_domains.contains(domain)
+    }
+
+    /// Number of infected hosts.
+    pub fn infected_host_count(&self) -> usize {
+        self.infections.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_id_displays_as_mac() {
+        let s = HostId(258).to_string();
+        assert!(s.starts_with("02:00:"));
+        assert_eq!(s.split(':').count(), 6);
+    }
+
+    #[test]
+    fn ground_truth_queries() {
+        let mut gt = GroundTruth::default();
+        gt.malicious_domains.insert("evil.com".into());
+        gt.infections.insert(HostId(1), vec!["evil.com".into()]);
+        assert!(gt.is_malicious("evil.com"));
+        assert!(!gt.is_malicious("google.com"));
+        assert_eq!(gt.infected_host_count(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the traffic simulator.
+
+use baywatch_netsim::dns::cache_filter;
+use baywatch_netsim::malware::MalwareProfile;
+use baywatch_netsim::synth::{multi_period_burst, random_arrivals, SyntheticBeacon};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Synthetic beacons are sorted, respect the start bound, and have the
+    /// expected count under each noise knob.
+    #[test]
+    fn synthetic_beacon_invariants(
+        period in 1.0..5000.0f64,
+        sigma in 0.0..100.0f64,
+        p_miss in 0.0..0.9f64,
+        add_rate in 0.0..2.0f64,
+        count in 1usize..500,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SyntheticBeacon {
+            period,
+            gaussian_sigma: sigma,
+            p_miss,
+            add_rate,
+            count,
+            start: 1_000_000,
+        };
+        let ts = cfg.generate(seed);
+        prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]), "unsorted");
+        let expected_max = count + (count as f64 * add_rate).round() as usize;
+        prop_assert!(ts.len() <= expected_max);
+        // With p_miss = 0 every slot emits, so at least `count` events.
+        if p_miss == 0.0 {
+            prop_assert!(ts.len() >= count);
+        }
+    }
+
+    /// The same seed always reproduces the same trace.
+    #[test]
+    fn beacon_deterministic(seed in any::<u64>()) {
+        let cfg = SyntheticBeacon { gaussian_sigma: 3.0, p_miss: 0.2, add_rate: 0.3, ..Default::default() };
+        prop_assert_eq!(cfg.generate(seed), cfg.generate(seed));
+    }
+
+    /// Burst traces contain exactly bursts × burst_len events, sorted.
+    #[test]
+    fn burst_structure(bursts in 1usize..20, burst_len in 1usize..20,
+                       intra in 1.0..100.0f64, gap in 100.0..10_000.0f64, seed in any::<u64>()) {
+        let ts = multi_period_burst(0, bursts, burst_len, intra, gap, 0.0, seed);
+        prop_assert_eq!(ts.len(), bursts * burst_len);
+        prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Random arrivals have roughly exponential spacing with the requested
+    /// mean (within loose statistical bounds).
+    #[test]
+    fn random_arrivals_mean(mean_gap in 10.0..1000.0f64, seed in any::<u64>()) {
+        let n = 2_000;
+        let ts = random_arrivals(0, n, mean_gap, seed);
+        let span = (ts[ts.len() - 1] - ts[0]) as f64;
+        let measured = span / (n - 1) as f64;
+        prop_assert!((measured - mean_gap).abs() < mean_gap * 0.2,
+            "measured {measured} vs requested {mean_gap}");
+    }
+
+    /// DNS cache output is a subsequence with gaps of at least the TTL.
+    #[test]
+    fn cache_filter_invariants(
+        gaps in prop::collection::vec(1u64..500, 1..300),
+        ttl in 1u64..2000,
+    ) {
+        let mut requests = Vec::with_capacity(gaps.len());
+        let mut t = 0u64;
+        for g in gaps {
+            requests.push(t);
+            t += g;
+        }
+        let logged = cache_filter(&requests, ttl);
+        prop_assert!(!logged.is_empty());
+        prop_assert_eq!(logged[0], requests[0]);
+        for w in logged.windows(2) {
+            prop_assert!(w[1] - w[0] >= ttl, "cache let a query through early");
+        }
+        // Subsequence check.
+        let mut it = requests.iter();
+        for l in &logged {
+            prop_assert!(it.any(|r| r == l), "{l} not in original requests");
+        }
+    }
+
+    /// All malware schedules stay inside their day window and are sorted.
+    #[test]
+    fn malware_schedules_bounded(start in 0u64..1_000_000_000, seed in any::<u64>()) {
+        const DAY: u64 = 86_400;
+        for profile in [
+            MalwareProfile::Zeus { period: 180.0 },
+            MalwareProfile::ZeroAccess { period: 929.0 },
+            MalwareProfile::Tdss,
+            MalwareProfile::Conficker,
+            MalwareProfile::LowAndSlow { period: 7200.0 },
+        ] {
+            let ts = profile.schedule(start, DAY, seed);
+            prop_assert!(!ts.is_empty(), "{profile:?}");
+            prop_assert!(*ts.first().unwrap() >= start);
+            prop_assert!(*ts.last().unwrap() < start + DAY);
+            prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Descriptive statistics: mean, variance, percentiles and summaries.
+//!
+//! These are used throughout BAYWATCH: the pruning step compares candidate
+//! periods against the minimum observed interval, the ranking filter
+//! thresholds scores at the 90th percentile of the score distribution, and
+//! the classifier features include the standard deviation of the interval
+//! list.
+
+use crate::StatsError;
+
+/// Arithmetic mean of a sample.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for an empty sample.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_stats::describe::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+/// ```
+pub fn mean(data: &[f64]) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            actual: 0,
+        });
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased (n−1 denominator) sample variance.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if fewer than two observations
+/// are provided.
+pub fn variance(data: &[f64]) -> Result<f64, StatsError> {
+    if data.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            actual: data.len(),
+        });
+    }
+    let m = mean(data)?;
+    // Two-pass algorithm for numerical stability.
+    let ss: f64 = data.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / (data.len() - 1) as f64)
+}
+
+/// Unbiased sample standard deviation.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if fewer than two observations
+/// are provided.
+pub fn std_dev(data: &[f64]) -> Result<f64, StatsError> {
+    Ok(variance(data)?.sqrt())
+}
+
+/// Linear-interpolation percentile (the "type 7" definition used by R and
+/// NumPy's default). `q` is in `[0, 100]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for an empty sample and
+/// [`StatsError::InvalidParameter`] if `q` is outside `[0, 100]`.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_stats::describe::percentile;
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&data, 50.0).unwrap(), 2.5);
+/// assert_eq!(percentile(&data, 100.0).unwrap(), 4.0);
+/// ```
+pub fn percentile(data: &[f64], q: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            actual: 0,
+        });
+    }
+    if !(0.0..=100.0).contains(&q) {
+        return Err(StatsError::InvalidParameter {
+            name: "q",
+            constraint: "must be within [0, 100]",
+        });
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let h = (sorted.len() - 1) as f64 * q / 100.0;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = h - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Median (50th percentile).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for an empty sample.
+pub fn median(data: &[f64]) -> Result<f64, StatsError> {
+    percentile(data, 50.0)
+}
+
+/// A one-shot five-plus-two-number summary of a sample.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_stats::describe::Summary;
+/// let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert_eq!(s.count, 8);
+/// assert_eq!(s.mean, 5.0);
+/// assert_eq!(s.min, 2.0);
+/// assert_eq!(s.max, 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased standard deviation (0 for a single observation).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] for an empty sample.
+    pub fn of(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::InsufficientData {
+                required: 1,
+                actual: 0,
+            });
+        }
+        let sd = if data.len() >= 2 { std_dev(data)? } else { 0.0 };
+        Ok(Summary {
+            count: data.len(),
+            mean: mean(data)?,
+            std_dev: sd,
+            min: data.iter().cloned().fold(f64::INFINITY, f64::min),
+            q25: percentile(data, 25.0)?,
+            median: median(data)?,
+            q75: percentile(data, 75.0)?,
+            max: data.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} q25={:.4} med={:.4} q75={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.q25, self.median, self.q75, self.max
+        )
+    }
+}
+
+/// Coefficient of variation (`σ / μ`); a unit-free measure of interval
+/// regularity used in the weighted ranking filter (low CV ⇒ strong
+/// periodicity).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for samples with fewer than two
+/// observations and [`StatsError::ZeroVariance`] if the mean is zero.
+pub fn coefficient_of_variation(data: &[f64]) -> Result<f64, StatsError> {
+    let m = mean(data)?;
+    if m == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    Ok(std_dev(data)? / m.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[4.0]).unwrap(), 4.0);
+        assert_eq!(mean(&[1.0, 3.0]).unwrap(), 2.0);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn variance_basic() {
+        // Var([1,2,3,4]) with n-1 denominator = 5/3
+        let v = variance(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((v - 5.0 / 3.0).abs() < 1e-12);
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        let v = variance(&[7.0; 10]).unwrap();
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn std_dev_matches_variance() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let v = variance(&data).unwrap();
+        assert!((std_dev(&data).unwrap() - v.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_interp() {
+        let data = [3.0, 1.0, 2.0, 4.0]; // unsorted on purpose
+        assert_eq!(percentile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&data, 100.0).unwrap(), 4.0);
+        assert_eq!(percentile(&data, 50.0).unwrap(), 2.5);
+        // 25th percentile of [1,2,3,4] (type 7): 1.75
+        assert!((percentile(&data, 25.0).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_q() {
+        assert!(percentile(&[1.0], -1.0).is_err());
+        assert!(percentile(&[1.0], 101.0).is_err());
+        assert!(percentile(&[], 50.0).is_err());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]).unwrap(), 3.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn cv_detects_regularity() {
+        // A tight beacon train has a far lower CV than random intervals.
+        let regular = [60.0, 60.5, 59.5, 60.1, 59.9];
+        let irregular = [5.0, 200.0, 33.0, 170.0, 12.0];
+        let cv_r = coefficient_of_variation(&regular).unwrap();
+        let cv_i = coefficient_of_variation(&irregular).unwrap();
+        assert!(cv_r < 0.01);
+        assert!(cv_i > 0.5);
+    }
+
+    #[test]
+    fn cv_zero_mean_errors() {
+        assert_eq!(
+            coefficient_of_variation(&[-1.0, 1.0]),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Probability distributions: Normal and Student-t.
+//!
+//! The BAYWATCH pruning step models observed beacon intervals as draws from
+//! `N(P, σ²)` around the true period `P`, and tests candidate periods with a
+//! one-sample t-test whose p-values come from the Student-t CDF.
+
+use crate::special::{betainc_reg, erfc, inv_norm_cdf};
+use crate::StatsError;
+
+/// A normal (Gaussian) distribution parameterized by mean and standard
+/// deviation.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_stats::dist::Normal;
+///
+/// let n = Normal::new(0.0, 1.0).unwrap();
+/// assert!((n.cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((n.quantile(0.975) - 1.96).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `std_dev` is not a
+    /// positive finite number or `mean` is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                constraint: "must be finite",
+            });
+        }
+        if !(std_dev.is_finite() && std_dev > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "std_dev",
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The standard normal distribution `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Probability density function at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Natural log of the density at `x`; numerically stable in the tails.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        -0.5 * z * z - self.std_dev.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    /// Quantile (inverse CDF) at probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly within `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.std_dev * inv_norm_cdf(p)
+    }
+}
+
+impl Default for Normal {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Student's t distribution with `ν` degrees of freedom.
+///
+/// Used for p-values in the one-sample t-test of the pruning step (§IV,
+/// Step 2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use baywatch_stats::dist::StudentsT;
+///
+/// let t = StudentsT::new(10.0).unwrap();
+/// // The t distribution is symmetric around zero.
+/// assert!((t.cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((t.cdf(-1.5) + t.cdf(1.5) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentsT {
+    dof: f64,
+}
+
+impl StudentsT {
+    /// Creates a Student-t distribution with `dof` degrees of freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `dof` is not a positive
+    /// finite number.
+    pub fn new(dof: f64) -> Result<Self, StatsError> {
+        if !(dof.is_finite() && dof > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "dof",
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(Self { dof })
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> f64 {
+        self.dof
+    }
+
+    /// Probability density function at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        use crate::special::ln_gamma;
+        let v = self.dof;
+        let ln_coef =
+            ln_gamma((v + 1.0) / 2.0) - ln_gamma(v / 2.0) - 0.5 * (v * std::f64::consts::PI).ln();
+        (ln_coef - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp()
+    }
+
+    /// Cumulative distribution function at `x`, via the regularized
+    /// incomplete beta function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x == 0.0 {
+            return 0.5;
+        }
+        let v = self.dof;
+        let ib = betainc_reg(v / 2.0, 0.5, v / (v + x * x));
+        if x > 0.0 {
+            1.0 - 0.5 * ib
+        } else {
+            0.5 * ib
+        }
+    }
+
+    /// Survival function `P(T > x)`.
+    pub fn sf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Two-sided tail probability `P(|T| > |x|)`.
+    pub fn two_sided_p(&self, x: f64) -> f64 {
+        let v = self.dof;
+        betainc_reg(v / 2.0, 0.5, v / (v + x * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_pdf_peak() {
+        let n = Normal::standard();
+        assert_close(n.pdf(0.0), 1.0 / (2.0 * std::f64::consts::PI).sqrt(), 1e-15);
+        assert!(n.pdf(0.0) > n.pdf(0.5));
+        assert_close(n.pdf(1.0), n.pdf(-1.0), 1e-15);
+    }
+
+    #[test]
+    fn normal_ln_pdf_consistent() {
+        let n = Normal::new(3.0, 2.5).unwrap();
+        for x in [-10.0, 0.0, 3.0, 7.7] {
+            assert_close(n.ln_pdf(x), n.pdf(x).ln(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        let n = Normal::standard();
+        assert_close(n.cdf(0.0), 0.5, 1e-15);
+        assert_close(n.cdf(1.96), 0.9750021048517795, 1e-12);
+        assert_close(n.cdf(-1.0), 0.15865525393145707, 1e-12);
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip() {
+        let n = Normal::new(100.0, 15.0).unwrap();
+        for p in [0.01, 0.2, 0.5, 0.8, 0.99] {
+            assert_close(n.cdf(n.quantile(p)), p, 1e-10);
+        }
+    }
+
+    #[test]
+    fn normal_default_is_standard() {
+        assert_eq!(Normal::default(), Normal::standard());
+    }
+
+    #[test]
+    fn students_t_rejects_bad_dof() {
+        assert!(StudentsT::new(0.0).is_err());
+        assert!(StudentsT::new(-2.0).is_err());
+        assert!(StudentsT::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn students_t_symmetry() {
+        let t = StudentsT::new(7.0).unwrap();
+        for x in [0.3, 1.0, 2.4, 5.0] {
+            assert_close(t.cdf(-x), 1.0 - t.cdf(x), 1e-13);
+            assert_close(t.pdf(-x), t.pdf(x), 1e-15);
+        }
+    }
+
+    #[test]
+    fn students_t_cdf_known_values() {
+        // Reference values from R: pt(2.0, df=10) = 0.963306
+        let t = StudentsT::new(10.0).unwrap();
+        assert_close(t.cdf(2.0), 0.9633059826769653, 1e-10);
+        // pt(1.0, df=1) = 0.75 (Cauchy)
+        let cauchy = StudentsT::new(1.0).unwrap();
+        assert_close(cauchy.cdf(1.0), 0.75, 1e-12);
+    }
+
+    #[test]
+    fn students_t_approaches_normal_for_large_dof() {
+        let t = StudentsT::new(1e6).unwrap();
+        let n = Normal::standard();
+        for x in [-2.0, -0.5, 0.5, 2.0] {
+            assert_close(t.cdf(x), n.cdf(x), 1e-5);
+        }
+    }
+
+    #[test]
+    fn two_sided_p_matches_cdf() {
+        let t = StudentsT::new(12.0).unwrap();
+        for x in [0.5, 1.7, 3.0] {
+            assert_close(t.two_sided_p(x), 2.0 * (1.0 - t.cdf(x)), 1e-12);
+        }
+    }
+
+    #[test]
+    fn t_pdf_integrates_to_one() {
+        // Crude trapezoidal integration over [-50, 50].
+        let t = StudentsT::new(4.0).unwrap();
+        let n = 200_000;
+        let (a, b) = (-50.0, 50.0);
+        let h = (b - a) / n as f64;
+        let mut sum = 0.5 * (t.pdf(a) + t.pdf(b));
+        for i in 1..n {
+            sum += t.pdf(a + i as f64 * h);
+        }
+        assert_close(sum * h, 1.0, 1e-4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Shannon entropy of symbol sequences.
+//!
+//! The investigation phase of BAYWATCH (§VI, Table II) symbolizes the
+//! interval series of a candidate case into a three-letter alphabet
+//! (`x` = interval matches a dominant period, `y` = zero interval,
+//! `z` = otherwise) and uses the entropy of the symbolized series as a
+//! classifier feature: a strongly periodic beacon yields a near-degenerate
+//! symbol distribution, hence low entropy.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Shannon entropy (base 2, in bits) of the empirical symbol distribution of
+/// `sequence`.
+///
+/// Returns `0.0` for an empty sequence (the degenerate distribution carries
+/// no information).
+///
+/// # Example
+///
+/// ```
+/// use baywatch_stats::entropy::shannon_entropy;
+///
+/// // A perfectly periodic symbolized series is all 'x': zero entropy.
+/// assert_eq!(shannon_entropy("xxxxxxxx".bytes()), 0.0);
+///
+/// // A uniform two-symbol sequence carries one bit per symbol.
+/// let h = shannon_entropy("xzxzxzxz".bytes());
+/// assert!((h - 1.0).abs() < 1e-12);
+/// ```
+pub fn shannon_entropy<T, I>(sequence: I) -> f64
+where
+    T: Eq + Hash,
+    I: IntoIterator<Item = T>,
+{
+    let mut counts: HashMap<T, u64> = HashMap::new();
+    let mut total: u64 = 0;
+    for item in sequence {
+        *counts.entry(item).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Entropy of an explicit probability distribution (base 2, in bits).
+///
+/// Probabilities that are zero contribute nothing; the input need not be
+/// normalized — it is renormalized internally.
+///
+/// # Panics
+///
+/// Panics if any weight is negative or the weights sum to zero.
+pub fn distribution_entropy(weights: &[f64]) -> f64 {
+    let sum: f64 = weights.iter().sum();
+    assert!(
+        weights.iter().all(|&w| w >= 0.0) && sum > 0.0,
+        "weights must be non-negative and not all zero"
+    );
+    weights
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| {
+            let p = w / sum;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sequence_zero_entropy() {
+        let empty: Vec<u8> = vec![];
+        assert_eq!(shannon_entropy(empty), 0.0);
+    }
+
+    #[test]
+    fn single_symbol_zero_entropy() {
+        assert_eq!(shannon_entropy([1u8; 100]), 0.0);
+    }
+
+    #[test]
+    fn uniform_alphabet_max_entropy() {
+        // Four equally likely symbols -> 2 bits.
+        let seq = [0u8, 1, 2, 3].repeat(25);
+        assert!((shannon_entropy(seq) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_less_than_uniform() {
+        let skewed = "xxxxxxxz";
+        let uniform = "xzxzxzxz";
+        assert!(shannon_entropy(skewed.bytes()) < shannon_entropy(uniform.bytes()));
+    }
+
+    #[test]
+    fn three_symbol_beacon_case() {
+        // A realistic symbolized series: mostly 'x' with occasional 'z'
+        // should sit well below log2(3) ≈ 1.585 bits.
+        let series = "xxxxzxxxxxxxzxxxxxxxxzxxxx";
+        let h = shannon_entropy(series.bytes());
+        assert!(h > 0.0 && h < 1.0, "h = {h}");
+    }
+
+    #[test]
+    fn distribution_entropy_normalizes() {
+        // (2, 2) behaves like (0.5, 0.5).
+        assert!((distribution_entropy(&[2.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(distribution_entropy(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn distribution_entropy_rejects_negative() {
+        distribution_entropy(&[0.5, -0.5]);
+    }
+
+    #[test]
+    fn generic_over_item_types() {
+        let words = ["x", "y", "x", "y"];
+        assert!((shannon_entropy(words) - 1.0).abs() < 1e-12);
+        let nums = [1u64, 1, 1, 1];
+        assert_eq!(shannon_entropy(nums), 0.0);
+    }
+}

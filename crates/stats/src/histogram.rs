@@ -1,0 +1,213 @@
+//! Fixed-width binned histograms.
+//!
+//! Used by the ranking filter (score-distribution percentiles), by the
+//! evaluation harness (interval distributions of simulated traces), and as a
+//! building block for the n-gram histogram classifier feature.
+
+use crate::StatsError;
+
+/// A histogram over `[min, max)` with equally wide bins.
+///
+/// Values below `min` are clamped to the first bin; values at or above `max`
+/// are clamped to the last bin, so every observation lands somewhere —
+/// appropriate for the heavy-tailed interval data the pipeline sees.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+/// for v in [5.0, 15.0, 15.5, 99.0, 150.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(0), 1);
+/// assert_eq!(h.count(1), 2);
+/// assert_eq!(h.count(9), 2); // 99.0 and the clamped 150.0
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[min, max)` with `bins` bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `bins == 0`, the bounds
+    /// are not finite, or `min >= max`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                constraint: "must be at least 1",
+            });
+        }
+        if !(min.is_finite() && max.is_finite() && min < max) {
+            return Err(StatsError::InvalidParameter {
+                name: "min/max",
+                constraint: "must be finite with min < max",
+            });
+        }
+        Ok(Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.max - self.min) / self.counts.len() as f64
+    }
+
+    /// Index of the bin a value falls in (after clamping).
+    pub fn bin_index(&self, value: f64) -> usize {
+        if value < self.min {
+            return 0;
+        }
+        let idx = ((value - self.min) / self.bin_width()) as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, value: f64) {
+        let idx = self.bin_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Records every observation in an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Count in the given bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range.
+    pub fn count(&self, bin: usize) -> u64 {
+        self.counts[bin]
+    }
+
+    /// Total number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Midpoint value of a bin (useful for plotting / mode estimation).
+    pub fn bin_center(&self, bin: usize) -> f64 {
+        self.min + (bin as f64 + 0.5) * self.bin_width()
+    }
+
+    /// The bin with the highest count, or `None` if no observations have
+    /// been recorded. Ties resolve to the lowest bin index.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+            .map(|(i, _)| i)
+    }
+
+    /// Empirical probability mass per bin.
+    pub fn normalized(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn clamping_behavior() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.add(-100.0);
+        h.add(100.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(4), 1);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.add(0.0); // first bin
+        h.add(2.0); // second bin (bin width 2)
+        h.add(10.0); // clamped into last bin
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(4), 1);
+    }
+
+    #[test]
+    fn mode_and_centers() {
+        let mut h = Histogram::new(0.0, 30.0, 3).unwrap();
+        h.extend([1.0, 12.0, 13.0, 14.0, 25.0]);
+        assert_eq!(h.mode_bin(), Some(1));
+        assert!((h.bin_center(1) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    fn mode_tie_resolves_low() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        h.extend([0.5, 2.5]);
+        assert_eq!(h.mode_bin(), Some(0));
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 7).unwrap();
+        h.extend((0..100).map(|i| i as f64 / 100.0));
+        let sum: f64 = h.normalized().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_empty_is_zeros() {
+        let h = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(h.normalized(), vec![0.0, 0.0, 0.0]);
+    }
+}

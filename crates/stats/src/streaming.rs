@@ -1,0 +1,286 @@
+//! Streaming (single-pass) statistics.
+//!
+//! The paper's deployment processes tens of millions of connection pairs
+//! per day; per-pair statistics (interval means, variances, extrema) must
+//! be computable in one pass without buffering the raw intervals. This
+//! module provides Welford-style online accumulators:
+//!
+//! * [`RunningStats`] — count, mean, variance, min, max in O(1) memory,
+//! * [`ExponentialSmoother`] — EWMA level tracking for drift detection
+//!   across analysis windows (e.g. a beacon slowly changing its period).
+
+/// Welford online accumulator for mean/variance/extrema.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_stats::streaming::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (denominator n; 0 when n < 1).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (denominator n−1; 0 when n < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Minimum observed value (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observed value (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Coefficient of variation (σ/μ), 0 when undefined.
+    pub fn cv(&self) -> f64 {
+        if self.count < 2 || self.mean == 0.0 {
+            0.0
+        } else {
+            self.sample_std() / self.mean.abs()
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel aggregation —
+    /// the shape MapReduce combiners need).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialSmoother {
+    alpha: f64,
+    level: Option<f64>,
+}
+
+impl ExponentialSmoother {
+    /// Creates a smoother with weight `alpha` in `(0, 1]` for the newest
+    /// observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, level: None }
+    }
+
+    /// Feeds an observation, returning the updated level.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let next = match self.level {
+            None => x,
+            Some(l) => l + self.alpha * (x - l),
+        };
+        self.level = Some(next);
+        next
+    }
+
+    /// Current level, if any observation has been fed.
+    pub fn level(&self) -> Option<f64> {
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let data = [3.1, 4.7, 2.2, 8.8, 5.5, 6.1, 0.4];
+        let s: RunningStats = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.sample_variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), 0.4);
+        assert_eq!(s.max(), 8.8);
+    }
+
+    #[test]
+    fn empty_and_single_value_degenerate() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        let mut s = RunningStats::new();
+        s.push(5.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!(s.mean(), 5.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 50.0).collect();
+        let seq: RunningStats = all.iter().copied().collect();
+        let a: RunningStats = all[..37].iter().copied().collect();
+        let b: RunningStats = all[37..].iter().copied().collect();
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.count(), seq.count());
+        assert!((merged.mean() - seq.mean()).abs() < 1e-9);
+        assert!((merged.sample_variance() - seq.sample_variance()).abs() < 1e-9);
+        assert_eq!(merged.min(), seq.min());
+        assert_eq!(merged.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let data: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let mut empty = RunningStats::new();
+        empty.merge(&data);
+        assert_eq!(empty.count(), 3);
+        let mut d2 = data;
+        d2.merge(&RunningStats::new());
+        assert_eq!(d2.count(), 3);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = RunningStats::new();
+        s.extend([1.0, 2.0]);
+        s.extend([3.0]);
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_of_regular_intervals_is_small() {
+        let s: RunningStats = [60.0, 60.2, 59.8, 60.1, 59.9].into_iter().collect();
+        assert!(s.cv() < 0.01);
+    }
+
+    #[test]
+    fn ewma_tracks_level_shift() {
+        let mut e = ExponentialSmoother::new(0.3);
+        assert_eq!(e.level(), None);
+        for _ in 0..50 {
+            e.update(60.0);
+        }
+        assert!((e.level().unwrap() - 60.0).abs() < 1e-9);
+        // Period drifts to 90: the level follows.
+        for _ in 0..50 {
+            e.update(90.0);
+        }
+        assert!((e.level().unwrap() - 90.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ewma_first_value_initializes() {
+        let mut e = ExponentialSmoother::new(0.1);
+        assert_eq!(e.update(42.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ewma_rejects_bad_alpha() {
+        ExponentialSmoother::new(0.0);
+    }
+}

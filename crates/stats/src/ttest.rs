@@ -1,0 +1,215 @@
+//! One-sample Student t-test.
+//!
+//! BAYWATCH's pruning step (§IV, Step 2, "Hypothesis Testing") models the
+//! observed inter-arrival intervals of a communication pair as draws from
+//! `N(P, σ²)` where `P` is the candidate period. It then runs a one-sample
+//! t-test with null hypothesis *H0: P is the true period* and rejects the
+//! candidate when the p-value falls below the significance level α = 5%.
+//!
+//! The test's conservativeness is the point: a candidate survives unless the
+//! data provides *significant* evidence against it.
+
+use crate::describe::{mean, std_dev};
+use crate::dist::StudentsT;
+use crate::StatsError;
+
+/// Which tail(s) of the t distribution form the rejection region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Alternative {
+    /// H1: the true mean differs from the hypothesized mean (either side).
+    #[default]
+    TwoSided,
+    /// H1: the true mean is less than the hypothesized mean.
+    Less,
+    /// H1: the true mean is greater than the hypothesized mean.
+    Greater,
+}
+
+/// Outcome of a one-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic `(x̄ − μ0) / (s / √n)`.
+    pub statistic: f64,
+    /// The p-value under the chosen alternative.
+    pub p_value: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub dof: f64,
+    /// Sample mean.
+    pub sample_mean: f64,
+    /// Sample standard deviation.
+    pub sample_std: f64,
+}
+
+impl TTestResult {
+    /// Whether H0 is rejected at significance level `alpha`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use baywatch_stats::ttest::{one_sample_ttest, Alternative};
+    /// let sample = [10.0, 10.2, 9.9, 10.1, 9.8];
+    /// let r = one_sample_ttest(&sample, 50.0, Alternative::TwoSided).unwrap();
+    /// assert!(r.reject_at(0.05), "50 is clearly not the mean of ~10 samples");
+    /// ```
+    pub fn reject_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs a one-sample t-test of the null hypothesis that the population mean
+/// equals `mu0`.
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] if fewer than two observations are
+///   provided,
+/// * [`StatsError::ZeroVariance`] if all observations are identical **and**
+///   differ from `mu0` is false — see below. When the sample is constant and
+///   exactly equal to `mu0` the test cannot reject and a p-value of `1.0` is
+///   returned; when it is constant and different from `mu0` the evidence is
+///   unambiguous and a p-value of `0.0` is returned. (A strict t statistic is
+///   undefined in both cases; this resolution matches the decision the test
+///   exists to make.)
+///
+/// # Example
+///
+/// ```
+/// use baywatch_stats::ttest::{one_sample_ttest, Alternative};
+///
+/// // Beacon intervals jittered around 387 s — the TDSS case of the paper.
+/// let intervals = [385.0, 389.0, 386.5, 388.0, 387.2, 386.9];
+/// let keep = one_sample_ttest(&intervals, 387.34, Alternative::TwoSided).unwrap();
+/// assert!(!keep.reject_at(0.05));
+///
+/// // A bogus high-frequency candidate (2.37 s) is decisively rejected.
+/// let bogus = one_sample_ttest(&intervals, 2.37, Alternative::TwoSided).unwrap();
+/// assert!(bogus.reject_at(0.05));
+/// ```
+pub fn one_sample_ttest(
+    sample: &[f64],
+    mu0: f64,
+    alternative: Alternative,
+) -> Result<TTestResult, StatsError> {
+    if sample.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            actual: sample.len(),
+        });
+    }
+    let n = sample.len() as f64;
+    let m = mean(sample)?;
+    let s = std_dev(sample)?;
+    let dof = n - 1.0;
+
+    if s == 0.0 {
+        // Constant sample: resolve degenerately (documented above).
+        let diff = m - mu0;
+        let (statistic, p_value) = if diff == 0.0 {
+            (0.0, 1.0)
+        } else {
+            (diff.signum() * f64::INFINITY, 0.0)
+        };
+        return Ok(TTestResult {
+            statistic,
+            p_value,
+            dof,
+            sample_mean: m,
+            sample_std: s,
+        });
+    }
+
+    let statistic = (m - mu0) / (s / n.sqrt());
+    let dist = StudentsT::new(dof)?;
+    let p_value = match alternative {
+        Alternative::TwoSided => dist.two_sided_p(statistic),
+        Alternative::Less => dist.cdf(statistic),
+        Alternative::Greater => dist.sf(statistic),
+    };
+    Ok(TTestResult {
+        statistic,
+        p_value,
+        dof,
+        sample_mean: m,
+        sample_std: s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn matches_hand_computed_reference() {
+        // sample mean = 35.45/7, SS = 179.7125 - 35.45^2/7, s = sqrt(SS/6),
+        // t = (m - 5) / (s / sqrt(7)) = 0.9723812...
+        let sample = [5.1, 4.9, 5.3, 5.2, 4.8, 5.0, 5.15];
+        let r = one_sample_ttest(&sample, 5.0, Alternative::TwoSided).unwrap();
+        assert_close(r.statistic, 0.9723812481885968, 1e-10);
+        assert_eq!(r.dof, 6.0);
+        // p follows from the Student-t CDF (independently validated in
+        // dist::tests against pt(2, 10) and the Cauchy case); sanity-bound it.
+        assert!(r.p_value > 0.35 && r.p_value < 0.40, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn one_sided_p_values_sum_to_one() {
+        let sample = [1.0, 2.0, 3.0, 4.0, 5.5];
+        let less = one_sample_ttest(&sample, 3.0, Alternative::Less).unwrap();
+        let greater = one_sample_ttest(&sample, 3.0, Alternative::Greater).unwrap();
+        assert_close(less.p_value + greater.p_value, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn two_sided_is_twice_smaller_tail() {
+        let sample = [1.0, 2.0, 3.0, 4.0, 5.5];
+        let two = one_sample_ttest(&sample, 2.0, Alternative::TwoSided).unwrap();
+        let greater = one_sample_ttest(&sample, 2.0, Alternative::Greater).unwrap();
+        assert_close(two.p_value, 2.0 * greater.p_value, 1e-12);
+    }
+
+    #[test]
+    fn rejects_wrong_period_keeps_true_period() {
+        // Paper's TDSS example: intervals around 387 s should keep the
+        // 387.34 candidate and reject the short-period artifacts.
+        let intervals = [
+            404.0, 400.0, 362.0, 445.0, 407.0, 423.0, 372.0, 395.0, 362.0, 400.0, 369.0, 391.0,
+            442.0,
+        ];
+        let keep = one_sample_ttest(&intervals, 387.34, Alternative::TwoSided).unwrap();
+        assert!(!keep.reject_at(0.05));
+        for wrong in [2.36615, 8.8351, 30.5473, 33.1626] {
+            let r = one_sample_ttest(&intervals, wrong, Alternative::TwoSided).unwrap();
+            assert!(r.reject_at(0.05), "{wrong} should be rejected");
+        }
+    }
+
+    #[test]
+    fn insufficient_data() {
+        assert!(one_sample_ttest(&[], 0.0, Alternative::TwoSided).is_err());
+        assert!(one_sample_ttest(&[1.0], 0.0, Alternative::TwoSided).is_err());
+    }
+
+    #[test]
+    fn constant_sample_equal_to_mu0() {
+        let r = one_sample_ttest(&[5.0; 6], 5.0, Alternative::TwoSided).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.reject_at(0.05));
+    }
+
+    #[test]
+    fn constant_sample_differs_from_mu0() {
+        let r = one_sample_ttest(&[5.0; 6], 7.0, Alternative::TwoSided).unwrap();
+        assert_eq!(r.p_value, 0.0);
+        assert!(r.reject_at(0.05));
+        assert!(r.statistic.is_infinite() && r.statistic < 0.0);
+    }
+
+    #[test]
+    fn alternative_default_is_two_sided() {
+        assert_eq!(Alternative::default(), Alternative::TwoSided);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the statistical substrate.
+
+use baywatch_stats::describe::{mean, percentile, std_dev, Summary};
+use baywatch_stats::dist::{Normal, StudentsT};
+use baywatch_stats::entropy::shannon_entropy;
+use baywatch_stats::special::{betainc_reg, erf, gammainc_reg, inv_norm_cdf};
+use baywatch_stats::ttest::{one_sample_ttest, Alternative};
+use proptest::prelude::*;
+
+fn finite_sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6..1.0e6f64, 2..200)
+}
+
+proptest! {
+    /// CDFs are monotone non-decreasing and bounded to [0, 1].
+    #[test]
+    fn normal_cdf_monotone(mu in -100.0..100.0f64, sigma in 0.1..50.0f64,
+                           a in -500.0..500.0f64, b in -500.0..500.0f64) {
+        let n = Normal::new(mu, sigma).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (ca, cb) = (n.cdf(lo), n.cdf(hi));
+        prop_assert!(ca <= cb + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ca));
+        prop_assert!((0.0..=1.0).contains(&cb));
+    }
+
+    /// Quantile is the right inverse of the CDF.
+    #[test]
+    fn normal_quantile_inverse(mu in -10.0..10.0f64, sigma in 0.5..5.0f64, p in 0.001..0.999f64) {
+        let n = Normal::new(mu, sigma).unwrap();
+        prop_assert!((n.cdf(n.quantile(p)) - p).abs() < 1e-9);
+    }
+
+    /// Student-t CDF symmetry: F(-x) = 1 - F(x).
+    #[test]
+    fn t_cdf_symmetry(dof in 1.0..200.0f64, x in 0.0..50.0f64) {
+        let t = StudentsT::new(dof).unwrap();
+        prop_assert!((t.cdf(-x) + t.cdf(x) - 1.0).abs() < 1e-10);
+    }
+
+    /// Regularized incomplete beta is monotone in x and within [0, 1].
+    #[test]
+    fn betainc_monotone(a in 0.1..20.0f64, b in 0.1..20.0f64, x in 0.0..1.0f64, y in 0.0..1.0f64) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let (ia, ib) = (betainc_reg(a, b, lo), betainc_reg(a, b, hi));
+        prop_assert!(ia <= ib + 1e-10);
+        prop_assert!((0.0..=1.0).contains(&ia));
+    }
+
+    /// Regularized incomplete gamma is monotone in x and within [0, 1].
+    #[test]
+    fn gammainc_monotone(a in 0.1..30.0f64, x in 0.0..100.0f64, y in 0.0..100.0f64) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let (pa, pb) = (gammainc_reg(a, lo), gammainc_reg(a, hi));
+        prop_assert!(pa <= pb + 1e-10);
+        prop_assert!((0.0..=1.0).contains(&pb));
+    }
+
+    /// erf is odd and bounded.
+    #[test]
+    fn erf_odd_bounded(x in -10.0..10.0f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+    }
+
+    /// inv_norm_cdf round-trips through the normal CDF.
+    #[test]
+    fn probit_roundtrip(p in 0.0001..0.9999f64) {
+        let x = inv_norm_cdf(p);
+        let n = Normal::standard();
+        prop_assert!((n.cdf(x) - p).abs() < 1e-9);
+    }
+
+    /// Percentiles are order statistics: bounded by min/max, monotone in q.
+    #[test]
+    fn percentile_properties(sample in finite_sample(), q1 in 0.0..100.0f64, q2 in 0.0..100.0f64) {
+        let mn = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let (pl, ph) = (
+            percentile(&sample, lo).unwrap(),
+            percentile(&sample, hi).unwrap(),
+        );
+        prop_assert!(pl <= ph + 1e-9);
+        prop_assert!(pl >= mn - 1e-9 && ph <= mx + 1e-9);
+    }
+
+    /// The mean sits within [min, max]; std_dev is non-negative.
+    #[test]
+    fn summary_consistency(sample in finite_sample()) {
+        let s = Summary::of(&sample).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.q25 <= s.median + 1e-9 && s.median <= s.q75 + 1e-9);
+        prop_assert!((s.mean - mean(&sample).unwrap()).abs() < 1e-9);
+        prop_assert!((s.std_dev - std_dev(&sample).unwrap()).abs() < 1e-9);
+    }
+
+    /// Shifting a sample shifts the t statistic's sign coherently: testing
+    /// against a value above the max always yields a negative statistic.
+    #[test]
+    fn ttest_sign_coherent(sample in prop::collection::vec(-1000.0..1000.0f64, 3..50)) {
+        let mx = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let r = one_sample_ttest(&sample, mx + 10.0, Alternative::TwoSided).unwrap();
+        prop_assert!(r.statistic <= 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    /// Entropy is non-negative and maximal for distinct symbols.
+    #[test]
+    fn entropy_bounds(symbols in prop::collection::vec(0u8..4, 1..500)) {
+        let h = shannon_entropy(symbols.iter().copied());
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= 2.0 + 1e-9, "4-symbol alphabet caps at 2 bits");
+    }
+}

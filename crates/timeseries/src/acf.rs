@@ -1,0 +1,481 @@
+//! Autocorrelation-based verification — Step 3 of the detection algorithm.
+//!
+//! Following Vlachos et al. (SDM 2005), periodogram candidates are *verified*
+//! on the autocorrelation function: a genuine period `P` produces a *hill*
+//! (local maximum) in the ACF at lag `P`, whereas spectral leakage and
+//! permutation survivors do not. The ACF also refines the coarse periodogram
+//! period (periodogram resolution degrades as `N·dt/k` for small `k`) by
+//! hill-climbing to the nearest local maximum, and its height provides the
+//! periodicity-strength score used by the ranking filter.
+//!
+//! The ACF is computed in `O(n log n)` with the Wiener–Khinchin theorem:
+//! zero-pad, FFT, multiply by the conjugate, inverse FFT.
+
+use crate::series::TimeSeries;
+use rustfft::{num_complex::Complex, FftPlanner};
+
+/// The (biased, normalized) autocorrelation function of a series.
+///
+/// `value(0) == 1.0` by construction; lags run up to `n − 1`.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_timeseries::series::TimeSeries;
+/// use baywatch_timeseries::acf::Autocorrelation;
+///
+/// let timestamps: Vec<u64> = (0..100).map(|i| i * 10).collect();
+/// let series = TimeSeries::from_timestamps(&timestamps, 1).unwrap();
+/// let acf = Autocorrelation::compute(&series);
+/// // Strong correlation at the true lag of 10 s.
+/// assert!(acf.value_at_lag(10).unwrap() > 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Autocorrelation {
+    values: Vec<f64>,
+    dt: f64,
+}
+
+impl Autocorrelation {
+    /// Computes the normalized autocorrelation of the mean-centered series.
+    pub fn compute(series: &TimeSeries) -> Self {
+        Self::from_samples(&series.centered(), series.scale() as f64)
+    }
+
+    /// Computes the ACF of arbitrary mean-centered samples with spacing
+    /// `dt` seconds.
+    pub fn from_samples(samples: &[f64], dt: f64) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Self {
+                values: Vec::new(),
+                dt,
+            };
+        }
+        // Zero-pad to >= 2n to make the circular convolution linear.
+        let padded = (2 * n).next_power_of_two();
+        let mut buf: Vec<Complex<f64>> = samples
+            .iter()
+            .map(|&v| Complex::new(v, 0.0))
+            .chain(std::iter::repeat(Complex::new(0.0, 0.0)))
+            .take(padded)
+            .collect();
+        let mut planner = FftPlanner::new();
+        planner.plan_fft_forward(padded).process(&mut buf);
+        for v in buf.iter_mut() {
+            *v = Complex::new(v.norm_sqr(), 0.0);
+        }
+        planner.plan_fft_inverse(padded).process(&mut buf);
+
+        let r0 = buf[0].re;
+        let values = if r0 <= 0.0 {
+            // Constant (zero after centering) series: define ACF as 1 at lag
+            // 0 and 0 elsewhere.
+            let mut v = vec![0.0; n];
+            v[0] = 1.0;
+            v
+        } else {
+            buf[..n].iter().map(|c| c.re / r0).collect()
+        };
+        Self { values, dt }
+    }
+
+    /// ACF values indexed by lag (in bins).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sample spacing in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Number of lags available.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the ACF holds no lags.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The ACF value at an integer lag (bins), if within range.
+    pub fn value_at_lag(&self, lag: usize) -> Option<f64> {
+        self.values.get(lag).copied()
+    }
+
+    /// The ACF value at a lag expressed in *seconds*, using the nearest bin.
+    pub fn value_at_seconds(&self, seconds: f64) -> Option<f64> {
+        if seconds < 0.0 {
+            return None;
+        }
+        let lag = (seconds / self.dt).round() as usize;
+        self.value_at_lag(lag)
+    }
+
+    /// Verifies a candidate period (seconds) on the ACF *hill* around its
+    /// lag.
+    ///
+    /// Real-world jitter smears the correlation mass of a genuine period
+    /// over neighbouring lags (a σ-jittered train spreads over roughly
+    /// ±2σ bins), so testing a single lag under-measures periodicity
+    /// strength. Instead the verifier scores the *windowed mass*: the sum
+    /// of ACF values inside a window proportional to the lag, minus the
+    /// local background level estimated from a surrounding annulus. Pure
+    /// noise nets out to ≈ 0; a genuine hill retains its mass regardless
+    /// of how the jitter distributed it.
+    ///
+    /// Returns the refined period (the raw-ACF argmax inside the best
+    /// window) and the net hill score, or `None` when no hill near the
+    /// candidate clears [`HillParams::min_score`].
+    pub fn verify_candidate(&self, period_seconds: f64, params: &HillParams) -> Option<HillPeak> {
+        self.verify_candidate_spread(period_seconds, 0.0, params)
+    }
+
+    /// Like [`Autocorrelation::verify_candidate`] but with an explicit
+    /// jitter estimate (seconds). The hill window is widened to cover the
+    /// spread — the detector passes the standard deviation of the
+    /// intervals matching the candidate, so heavily jittered beacons keep
+    /// their correlation mass inside the window.
+    pub fn verify_candidate_spread(
+        &self,
+        period_seconds: f64,
+        spread_seconds: f64,
+        params: &HillParams,
+    ) -> Option<HillPeak> {
+        let n = self.values.len();
+        if n < 3 {
+            return None;
+        }
+        let lag0 = (period_seconds / self.dt).round() as isize;
+        if lag0 < 1 || lag0 as usize >= n {
+            return None;
+        }
+        let lag0 = lag0 as usize;
+
+        // Window half-width: relative floor, widened by the jitter spread
+        // (√2·σ covers the difference of two independent jitters), capped
+        // at a third of the lag so the window never swallows neighbouring
+        // harmonics.
+        let w_for = |lag: usize| -> usize {
+            let rel = window_of(lag, params.rel_window);
+            let spread_bins = (spread_seconds * std::f64::consts::SQRT_2 / self.dt).round() as usize;
+            rel.max(spread_bins).min((lag / 3).max(1))
+        };
+
+        // Search radius grows with the lag: periodogram resolution error is
+        // proportional to P²/(N·dt), i.e. relative error grows with P.
+        let radius = params
+            .search_radius_bins
+            .max((lag0 as f64 * params.rel_window).round() as usize);
+        let lo = lag0.saturating_sub(radius).max(1);
+        let hi = (lag0 + radius).min(n - 1);
+
+        let (best_lag, best_score) = (lo..=hi)
+            .map(|l| (l, self.hill_score(l, w_for(l))))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("ACF score is never NaN"))?;
+
+        if best_score < params.min_score {
+            return None;
+        }
+
+        // Refine: centroid of the positive ACF mass inside the winning
+        // window. An argmax would chase noise spikes when jitter smears
+        // the hill; the centroid recovers the hill's centre of mass.
+        let w = w_for(best_lag);
+        let wlo = best_lag.saturating_sub(w).max(1);
+        let whi = (best_lag + w).min(n - 1);
+        let mut mass = 0.0;
+        let mut weighted = 0.0;
+        for l in wlo..=whi {
+            let v = self.values[l].max(0.0);
+            mass += v;
+            weighted += v * l as f64;
+        }
+        let refined_lag = if mass > 0.0 {
+            weighted / mass
+        } else {
+            best_lag as f64
+        };
+
+        Some(HillPeak {
+            period: refined_lag * self.dt,
+            score: best_score.min(1.0),
+            lag: refined_lag.round() as usize,
+        })
+    }
+
+    /// Scans `[min_lag, max_lag]` for the strongest hill — the
+    /// ACF-first candidate source that complements the periodogram
+    /// (Vlachos et al. combine both precisely because a perfect impulse
+    /// train spreads periodogram energy across every harmonic while its
+    /// ACF peaks unambiguously at the fundamental).
+    ///
+    /// Returns `None` when the range is empty or no hill clears
+    /// [`HillParams::min_score`]. Runs in `O(max_lag)` using prefix sums.
+    pub fn strongest_hill(
+        &self,
+        min_lag: usize,
+        max_lag: usize,
+        params: &HillParams,
+    ) -> Option<HillPeak> {
+        let n = self.values.len();
+        let lo = min_lag.max(1);
+        let hi = max_lag.min(n.saturating_sub(1));
+        if lo > hi {
+            return None;
+        }
+        // Prefix sums for O(1) window/annulus sums.
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(0.0);
+        for &v in &self.values {
+            prefix.push(prefix.last().expect("non-empty prefix") + v);
+        }
+        let range_sum = |a: usize, b: usize| -> f64 {
+            // inclusive [a, b], clamped to [1, n-1]
+            let a = a.max(1).min(n - 1);
+            let b = b.max(1).min(n - 1);
+            if a > b {
+                0.0
+            } else {
+                prefix[b + 1] - prefix[a]
+            }
+        };
+
+        let mut best: Option<(usize, f64)> = None;
+        for lag in lo..=hi {
+            let w = window_of(lag, params.rel_window).min((lag / 3).max(1));
+            let wlo = lag.saturating_sub(w).max(1);
+            let whi = (lag + w).min(n - 1);
+            let window_sum = range_sum(wlo, whi);
+            let window_len = (whi - wlo + 1) as f64;
+            let alo = lag.saturating_sub(4 * w).max(1);
+            let ahi = (lag + 4 * w).min(n - 1);
+            let ann_sum = range_sum(alo, ahi) - window_sum;
+            let ann_len = ((ahi - alo + 1) as f64 - window_len).max(0.0);
+            let bg = if ann_len > 0.0 { ann_sum / ann_len } else { 0.0 };
+            // √len normalization keeps the comparison fair across window
+            // sizes: raw mass grows with the window, so wide (large-lag)
+            // windows would otherwise win on accumulated noise alone.
+            let score = (window_sum - bg * window_len) / window_len.sqrt();
+            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((lag, score));
+            }
+        }
+        let (lag, _) = best?;
+        // Gate and refine with the precise (mass-scored) verifier.
+        self.verify_candidate(lag as f64 * self.dt, params)
+    }
+
+    /// Net windowed hill mass at `lag`: window sum minus the background
+    /// level of the surrounding annulus.
+    fn hill_score(&self, lag: usize, w: usize) -> f64 {
+        let n = self.values.len();
+        let wlo = lag.saturating_sub(w).max(1);
+        let whi = (lag + w).min(n - 1);
+        if wlo > whi {
+            return f64::NEG_INFINITY;
+        }
+        let window_sum: f64 = self.values[wlo..=whi].iter().sum();
+        let window_len = (whi - wlo + 1) as f64;
+
+        // Annulus: lags within 4w of the lag, excluding the window itself.
+        let alo = lag.saturating_sub(4 * w).max(1);
+        let ahi = (lag + 4 * w).min(n - 1);
+        let mut bg_sum = 0.0;
+        let mut bg_count = 0usize;
+        for l in alo..=ahi {
+            if l < wlo || l > whi {
+                bg_sum += self.values[l];
+                bg_count += 1;
+            }
+        }
+        let bg_mean = if bg_count > 0 {
+            bg_sum / bg_count as f64
+        } else {
+            0.0
+        };
+        window_sum - bg_mean * window_len
+    }
+}
+
+/// Window half-width for a lag: at least 1 bin, `rel_window` of the lag.
+fn window_of(lag: usize, rel_window: f64) -> usize {
+    ((lag as f64 * rel_window).round() as usize).max(1)
+}
+
+/// Parameters of the ACF hill verification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HillParams {
+    /// Minimum search radius (bins) around the candidate lag; the actual
+    /// radius grows with the lag (relative periodogram resolution).
+    pub search_radius_bins: usize,
+    /// Window half-width as a fraction of the lag (jitter tolerance).
+    pub rel_window: f64,
+    /// Minimum net hill score for a credible periodicity.
+    pub min_score: f64,
+}
+
+impl Default for HillParams {
+    fn default() -> Self {
+        Self {
+            search_radius_bins: 5,
+            rel_window: 0.06,
+            min_score: 0.1,
+        }
+    }
+}
+
+/// A verified ACF hill: the refined period and its strength.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HillPeak {
+    /// Refined period in seconds.
+    pub period: f64,
+    /// ACF value at the peak (periodicity-strength score in `[−1, 1]`).
+    pub score: f64,
+    /// Peak lag in bins.
+    pub lag: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn beacon_series(n_events: u64, period: u64) -> TimeSeries {
+        let timestamps: Vec<u64> = (0..n_events).map(|i| i * period).collect();
+        TimeSeries::from_timestamps(&timestamps, 1).unwrap()
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let acf = Autocorrelation::compute(&beacon_series(50, 7));
+        assert!((acf.value_at_lag(0).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_signal_peaks_at_period() {
+        let acf = Autocorrelation::compute(&beacon_series(100, 12));
+        let at_period = acf.value_at_lag(12).unwrap();
+        let off_period = acf.value_at_lag(6).unwrap();
+        assert!(at_period > 0.5, "ACF(12) = {at_period}");
+        assert!(at_period > off_period + 0.3);
+    }
+
+    #[test]
+    fn value_at_seconds_uses_scale() {
+        // Beacon every 120 s at 60 s bins -> lag 2 bins.
+        let timestamps: Vec<u64> = (0..80).map(|i| i * 120).collect();
+        let series = TimeSeries::from_timestamps(&timestamps, 60).unwrap();
+        let acf = Autocorrelation::compute(&series);
+        let v = acf.value_at_seconds(120.0).unwrap();
+        assert_eq!(v, acf.value_at_lag(2).unwrap());
+        assert!(acf.value_at_seconds(-5.0).is_none());
+    }
+
+    #[test]
+    fn verify_accepts_true_period() {
+        let acf = Autocorrelation::compute(&beacon_series(120, 20));
+        let peak = acf
+            .verify_candidate(20.0, &HillParams::default())
+            .expect("true period must verify");
+        assert!((peak.period - 20.0).abs() < 2.0);
+        assert!(peak.score > 0.5);
+    }
+
+    #[test]
+    fn verify_refines_slightly_wrong_candidate() {
+        // Periodogram resolution gives 19.6 when the truth is 20.
+        let acf = Autocorrelation::compute(&beacon_series(120, 20));
+        let peak = acf.verify_candidate(19.0, &HillParams::default()).unwrap();
+        assert_eq!(peak.lag, 20);
+    }
+
+    #[test]
+    fn verify_rejects_period_of_random_noise() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut t = 0u64;
+        let mut timestamps = Vec::new();
+        for _ in 0..300 {
+            t += rng.random_range(1..60);
+            timestamps.push(t);
+        }
+        let series = TimeSeries::from_timestamps(&timestamps, 1).unwrap();
+        let acf = Autocorrelation::compute(&series);
+        // Random arrivals: no hill with a meaningful score at an arbitrary lag.
+        let peak = acf.verify_candidate(500.0, &HillParams::default());
+        assert!(
+            peak.is_none() || peak.unwrap().score < 0.3,
+            "noise should not verify strongly"
+        );
+    }
+
+    #[test]
+    fn verify_out_of_range_lag_is_none() {
+        let acf = Autocorrelation::compute(&beacon_series(30, 5));
+        assert!(acf
+            .verify_candidate(1e9, &HillParams::default())
+            .is_none());
+        assert!(acf.verify_candidate(0.0, &HillParams::default()).is_none());
+    }
+
+    #[test]
+    fn constant_series_degenerate_acf() {
+        let series = TimeSeries::from_values(0, 1, vec![2.0; 64]).unwrap();
+        let acf = Autocorrelation::compute(&series);
+        assert_eq!(acf.value_at_lag(0), Some(1.0));
+        assert_eq!(acf.value_at_lag(5), Some(0.0));
+        assert!(acf.verify_candidate(5.0, &HillParams::default()).is_none());
+    }
+
+    #[test]
+    fn empty_samples_empty_acf() {
+        let acf = Autocorrelation::from_samples(&[], 1.0);
+        assert!(acf.is_empty());
+        assert_eq!(acf.len(), 0);
+    }
+
+    #[test]
+    fn acf_bounded_by_one() {
+        let acf = Autocorrelation::compute(&beacon_series(200, 9));
+        for (lag, &v) in acf.values().iter().enumerate() {
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "ACF({lag}) = {v}");
+        }
+    }
+
+    #[test]
+    fn strongest_hill_finds_planted_period() {
+        let acf = Autocorrelation::compute(&beacon_series(150, 45));
+        let hill = acf
+            .strongest_hill(2, 2000, &HillParams::default())
+            .expect("planted hill");
+        assert!((hill.period - 45.0).abs() < 5.0, "period = {}", hill.period);
+        assert!(hill.score > 0.3);
+    }
+
+    #[test]
+    fn strongest_hill_none_on_constant_series() {
+        let series = TimeSeries::from_values(0, 1, vec![1.0; 256]).unwrap();
+        let acf = Autocorrelation::compute(&series);
+        assert!(acf.strongest_hill(2, 200, &HillParams::default()).is_none());
+    }
+
+    #[test]
+    fn strongest_hill_empty_range_is_none() {
+        let acf = Autocorrelation::compute(&beacon_series(50, 10));
+        assert!(acf.strongest_hill(100, 50, &HillParams::default()).is_none());
+        assert!(acf.strongest_hill(0, 0, &HillParams::default()).is_none());
+    }
+
+    #[test]
+    fn min_score_floor_is_respected() {
+        let acf = Autocorrelation::compute(&beacon_series(120, 20));
+        let strict = HillParams {
+            min_score: 10.0, // unreachable: windowed mass is bounded by ~1-2
+            ..Default::default()
+        };
+        assert!(acf.verify_candidate(20.0, &strict).is_none());
+    }
+}

@@ -1,0 +1,626 @@
+//! The end-to-end periodicity detector: Step 1 (periodogram + permutation
+//! threshold) → Step 2 (pruning) → Step 3 (ACF verification), plus optional
+//! GMM multi-period analysis.
+//!
+//! This is the "time series analysis" phase of the BAYWATCH architecture
+//! (Fig. 3 of the paper), applied to one communication pair at a time.
+
+use crate::acf::{Autocorrelation, HillParams};
+use crate::gmm::{select_gmm, Gmm, GmmConfig};
+use crate::periodogram::Periodogram;
+use crate::permutation::{permutation_threshold, PermutationConfig};
+use crate::prune::{prune_candidates, PruneConfig, PruneDecision};
+use crate::series::{intervals_of, TimeSeries};
+use crate::TimeSeriesError;
+
+/// Configuration of the full detection pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Bin width (seconds) used when constructing the count series
+    /// (1 s at the finest granularity, per §VII-A).
+    pub time_scale: u64,
+    /// Minimum number of events required to attempt detection.
+    pub min_events: usize,
+    /// Upper bound on series length in bins (cost guard for very long
+    /// spans; series are truncated, not rejected).
+    pub max_bins: usize,
+    /// Permutation-filter settings (Step 1).
+    pub permutation: PermutationConfig,
+    /// Pruning settings (Step 2).
+    pub prune: PruneConfig,
+    /// ACF hill-verification settings (Step 3).
+    pub hill: HillParams,
+    /// Cap on the number of candidates carried from Step 1 into pruning
+    /// (strongest-power first).
+    pub max_candidates: usize,
+    /// Whether to fit a GMM to the interval list for multi-period analysis.
+    pub fit_gmm: bool,
+    /// GMM settings (used when `fit_gmm` is set).
+    pub gmm: GmmConfig,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            time_scale: 1,
+            min_events: 8,
+            max_bins: 1 << 20,
+            permutation: PermutationConfig::default(),
+            prune: PruneConfig::default(),
+            hill: HillParams::default(),
+            max_candidates: 16,
+            fit_gmm: true,
+            gmm: GmmConfig::default(),
+        }
+    }
+}
+
+/// A verified candidate period — the `CandidatePeriod` record of the
+/// paper's beaconing-detection MapReduce job (§VII-D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidatePeriod {
+    /// Frequency in hertz.
+    pub frequency: f64,
+    /// Period in seconds (ACF-refined).
+    pub period: f64,
+    /// Periodogram power of the originating spectral line.
+    pub power: f64,
+    /// ACF score at the verified hill (periodicity strength, `[−1, 1]`).
+    pub acf_score: f64,
+    /// The t-test p-value from pruning, when the test ran.
+    pub p_value: Option<f64>,
+}
+
+/// The outcome of running the detector on one communication pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionReport {
+    /// Verified candidate periods, strongest ACF score first.
+    pub candidates: Vec<CandidatePeriod>,
+    /// The permutation power threshold `p_T` used in Step 1.
+    pub power_threshold: f64,
+    /// Number of spectral lines that exceeded `p_T` before pruning.
+    pub raw_candidates: usize,
+    /// Pruning decisions for each raw candidate (diagnostics / Fig. 6).
+    pub prune_decisions: Vec<PruneDecision>,
+    /// GMM over the interval list, when requested and fittable.
+    pub interval_gmm: Option<Gmm>,
+    /// BIC per component count from GMM model selection.
+    pub gmm_bics: Vec<f64>,
+    /// Inter-arrival intervals of the pair (seconds).
+    pub intervals: Vec<f64>,
+}
+
+impl DetectionReport {
+    /// Whether at least one verified periodic component was found.
+    pub fn is_periodic(&self) -> bool {
+        !self.candidates.is_empty()
+    }
+
+    /// The strongest verified candidate (highest ACF score), if any.
+    pub fn best(&self) -> Option<&CandidatePeriod> {
+        self.candidates.first()
+    }
+
+    /// The dominant periods (seconds) — verified candidates, deduplicated
+    /// within `tolerance` relative difference.
+    pub fn dominant_periods(&self, tolerance: f64) -> Vec<f64> {
+        let mut out: Vec<f64> = Vec::new();
+        for c in &self.candidates {
+            if !out
+                .iter()
+                .any(|&p| (p - c.period).abs() <= tolerance * p.max(c.period))
+            {
+                out.push(c.period);
+            }
+        }
+        out
+    }
+}
+
+/// The BAYWATCH periodicity detector.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_timeseries::detector::{DetectorConfig, PeriodicityDetector};
+///
+/// let detector = PeriodicityDetector::new(DetectorConfig::default());
+///
+/// // 90 beacons, one every 300 s (5 min), with no jitter.
+/// let ts: Vec<u64> = (0..90).map(|i| 1_000 + i * 300).collect();
+/// let report = detector.detect(&ts).unwrap();
+/// assert!(report.is_periodic());
+///
+/// // Irregular human-like traffic is not flagged.
+/// let human: Vec<u64> = vec![0, 13, 15, 470, 471, 509, 3_600, 3_754, 9_000, 9_100, 15_000];
+/// let report = detector.detect(&human).unwrap();
+/// assert!(!report.is_periodic());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeriodicityDetector {
+    config: DetectorConfig,
+}
+
+impl PeriodicityDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: DetectorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Runs the full Step 1 → Step 2 → Step 3 pipeline on sorted event
+    /// timestamps (seconds).
+    ///
+    /// # Errors
+    ///
+    /// * [`TimeSeriesError::TooFewEvents`] if fewer than
+    ///   [`DetectorConfig::min_events`] timestamps are supplied,
+    /// * [`TimeSeriesError::UnsortedTimestamps`] for unsorted input,
+    /// * [`TimeSeriesError::ZeroSpan`] when all events share one timestamp,
+    /// * configuration errors from the sub-steps.
+    pub fn detect(&self, timestamps: &[u64]) -> Result<DetectionReport, TimeSeriesError> {
+        if timestamps.len() < self.config.min_events {
+            return Err(TimeSeriesError::TooFewEvents {
+                required: self.config.min_events,
+                actual: timestamps.len(),
+            });
+        }
+        let intervals = intervals_of(timestamps)?;
+        if timestamps.last() == timestamps.first() {
+            return Err(TimeSeriesError::ZeroSpan);
+        }
+
+        let series = TimeSeries::from_timestamps(timestamps, self.config.time_scale)?
+            .truncated(self.config.max_bins);
+        self.detect_series(&series, intervals)
+    }
+
+    /// Runs the pipeline on a pre-binned series (used after rescaling,
+    /// §VII-B) with an explicit interval list.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PeriodicityDetector::detect`], minus timestamp validation.
+    pub fn detect_series(
+        &self,
+        series: &TimeSeries,
+        intervals: Vec<f64>,
+    ) -> Result<DetectionReport, TimeSeriesError> {
+        // ---- Step 1: periodogram + permutation threshold. ----
+        let periodogram = Periodogram::compute(series);
+        let threshold = permutation_threshold(series, &self.config.permutation)?;
+        let mut raw = periodogram.lines_above(threshold.threshold);
+        raw.truncate(self.config.max_candidates);
+
+        let span = series.span_seconds() as f64;
+        let acf = Autocorrelation::compute(series);
+
+        // ---- Step 1b: ACF-first candidate (Vlachos complementarity). ----
+        // A near-perfect impulse train spreads periodogram energy over all
+        // harmonics, so the fundamental can miss the top-k cut; its ACF
+        // peaks unambiguously at the fundamental. Only consulted when the
+        // permutation filter already confirmed non-random structure, so
+        // false-positive control is unchanged.
+        if !raw.is_empty() {
+            let scale = series.scale() as f64;
+            let min_interval = intervals
+                .iter()
+                .copied()
+                .filter(|&i| i > 0.0)
+                .fold(f64::INFINITY, f64::min);
+            let min_lag = if min_interval.is_finite() {
+                ((min_interval / scale).floor() as usize).max(2)
+            } else {
+                2
+            };
+            let max_lag = (series.len() as f64 / self.config.prune.min_cycles) as usize;
+            if let Some(hill) = acf.strongest_hill(min_lag, max_lag, &self.config.hill) {
+                let already = raw
+                    .iter()
+                    .any(|l| (l.period - hill.period).abs() <= scale.max(0.02 * hill.period));
+                if !already {
+                    let frequency = 1.0 / hill.period;
+                    // Attribute the periodogram power of the nearest bin.
+                    let power = periodogram
+                        .lines()
+                        .iter()
+                        .min_by(|a, b| {
+                            (a.frequency - frequency)
+                                .abs()
+                                .partial_cmp(&(b.frequency - frequency).abs())
+                                .expect("frequencies are finite")
+                        })
+                        .map(|l| l.power)
+                        .unwrap_or(0.0);
+                    raw.push(crate::periodogram::SpectralLine {
+                        bin: 0,
+                        frequency,
+                        period: hill.period,
+                        power,
+                    });
+                }
+            }
+        }
+
+        // ---- Step 1c: regularity fallback candidate. ----
+        // Renewal traffic whose intervals cluster tightly but multimodally
+        // (e.g. a beacon observed through a DNS cache: intervals alternate
+        // between 5·P and 6·P) spreads its spectral and ACF mass across
+        // nearby modes. When spectral structure exists and the interval
+        // list is tight (CV < 0.35, i.e. genuinely quasi-periodic), the
+        // interval median is a sound period hypothesis;
+        // pruning and (spread-widened) ACF verification still gate it.
+        if !raw.is_empty() && intervals.len() >= 4 {
+            let mut sorted = intervals.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("intervals are finite"));
+            let median = sorted[sorted.len() / 2];
+            let mean = intervals.iter().sum::<f64>() / intervals.len() as f64;
+            let cv = if mean > 0.0 {
+                (intervals.iter().map(|i| (i - mean) * (i - mean)).sum::<f64>()
+                    / intervals.len() as f64)
+                    .sqrt()
+                    / mean
+            } else {
+                f64::INFINITY
+            };
+            if median > 0.0 && cv < 0.35 {
+                let scale = series.scale() as f64;
+                let already = raw
+                    .iter()
+                    .any(|l| (l.period - median).abs() <= scale.max(0.05 * median));
+                if !already {
+                    raw.push(crate::periodogram::SpectralLine {
+                        bin: 0,
+                        frequency: 1.0 / median,
+                        period: median,
+                        power: periodogram.max_power(),
+                    });
+                }
+            }
+        }
+
+        // ---- Step 2: pruning. ----
+        let prune_decisions = if raw.is_empty() {
+            Vec::new()
+        } else {
+            prune_candidates(&raw, &intervals, span, &self.config.prune)?
+        };
+
+        // ---- Step 3: ACF verification. ----
+        let mut candidates: Vec<CandidatePeriod> = Vec::new();
+        for d in prune_decisions.iter().filter(|d| d.survived()) {
+            // Estimate the jitter spread from the intervals matching this
+            // candidate so the ACF hill window covers the smeared mass.
+            let matched: Vec<f64> = intervals
+                .iter()
+                .copied()
+                .filter(|&i| (i - d.line.period).abs() <= self.config.prune.match_band * d.line.period)
+                .collect();
+            let spread = if matched.len() >= 2 {
+                let mean = matched.iter().sum::<f64>() / matched.len() as f64;
+                (matched.iter().map(|i| (i - mean) * (i - mean)).sum::<f64>()
+                    / (matched.len() - 1) as f64)
+                    .sqrt()
+            } else {
+                0.0
+            };
+            if let Some(peak) = acf.verify_candidate_spread(d.line.period, spread, &self.config.hill) {
+                // Deduplicate hills: two spectral lines may climb to the
+                // same ACF peak.
+                if candidates
+                    .iter()
+                    .any(|c| (c.period - peak.period).abs() < series.scale() as f64 * 0.5)
+                {
+                    continue;
+                }
+                candidates.push(CandidatePeriod {
+                    frequency: 1.0 / peak.period,
+                    period: peak.period,
+                    power: d.line.power,
+                    acf_score: peak.score,
+                    p_value: d.p_value,
+                });
+            }
+        }
+        candidates.sort_by(|a, b| {
+            b.acf_score
+                .partial_cmp(&a.acf_score)
+                .expect("ACF scores are finite")
+        });
+
+        // ---- Multi-period analysis (GMM over intervals). ----
+        let (interval_gmm, gmm_bics) = if self.config.fit_gmm && intervals.len() >= 8 {
+            match select_gmm(&intervals, &self.config.gmm) {
+                Ok((g, bics)) => (Some(g), bics),
+                Err(_) => (None, Vec::new()),
+            }
+        } else {
+            (None, Vec::new())
+        };
+
+        Ok(DetectionReport {
+            candidates,
+            power_threshold: threshold.threshold,
+            raw_candidates: raw.len(),
+            prune_decisions,
+            interval_gmm,
+            gmm_bics,
+            intervals,
+        })
+    }
+}
+
+impl Default for PeriodicityDetector {
+    fn default() -> Self {
+        Self::new(DetectorConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn detector() -> PeriodicityDetector {
+        PeriodicityDetector::default()
+    }
+
+    fn jittered_beacon(n: u64, period: f64, sigma: f64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n as usize);
+        let mut t = 10_000.0f64;
+        for _ in 0..n {
+            out.push(t.round() as u64);
+            let jitter: f64 = if sigma > 0.0 {
+                // Box-Muller standard normal scaled by sigma.
+                let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.random_range(0.0..1.0);
+                sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            } else {
+                0.0
+            };
+            t += (period + jitter).max(1.0);
+        }
+        out
+    }
+
+    #[test]
+    fn clean_beacon_detected() {
+        let ts = jittered_beacon(120, 60.0, 0.0, 1);
+        let r = detector().detect(&ts).unwrap();
+        assert!(r.is_periodic());
+        let best = r.best().unwrap();
+        assert!((best.period - 60.0).abs() < 2.0, "period = {}", best.period);
+        assert!(best.acf_score > 0.5);
+    }
+
+    #[test]
+    fn jittered_beacon_detected() {
+        // σ = 3 s on a 60 s period — well inside the paper's robustness zone.
+        let ts = jittered_beacon(150, 60.0, 3.0, 2);
+        let r = detector().detect(&ts).unwrap();
+        assert!(r.is_periodic());
+        assert!((r.best().unwrap().period - 60.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn beacon_with_missing_events_detected() {
+        // Drop 25% of beacons.
+        let mut rng = StdRng::seed_from_u64(3);
+        let ts: Vec<u64> = jittered_beacon(200, 45.0, 1.0, 3)
+            .into_iter()
+            .filter(|_| rng.random_range(0.0..1.0) > 0.25)
+            .collect();
+        let r = detector().detect(&ts).unwrap();
+        assert!(r.is_periodic());
+        // The fundamental (45 s) should still be recoverable.
+        let found = r.candidates.iter().any(|c| (c.period - 45.0).abs() < 5.0);
+        assert!(found, "candidates: {:?}", r.candidates);
+    }
+
+    #[test]
+    fn random_traffic_not_periodic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut t = 0u64;
+        let mut ts = Vec::new();
+        for _ in 0..250 {
+            t += rng.random_range(1..240);
+            ts.push(t);
+        }
+        let r = detector().detect(&ts).unwrap();
+        assert!(
+            !r.is_periodic() || r.best().unwrap().acf_score < 0.25,
+            "random traffic verified with {:?}",
+            r.best()
+        );
+    }
+
+    #[test]
+    fn too_few_events_rejected() {
+        let err = detector().detect(&[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, TimeSeriesError::TooFewEvents { .. }));
+    }
+
+    #[test]
+    fn zero_span_rejected() {
+        let err = detector().detect(&[5; 20]).unwrap_err();
+        assert!(matches!(err, TimeSeriesError::ZeroSpan));
+    }
+
+    #[test]
+    fn unsorted_rejected() {
+        let err = detector().detect(&[1, 5, 3, 9, 11, 20, 22, 30]).unwrap_err();
+        assert!(matches!(err, TimeSeriesError::UnsortedTimestamps { .. }));
+    }
+
+    #[test]
+    fn multi_period_gmm_detects_burst_structure() {
+        // Conficker-like: 12 beacons 8 s apart, then a 600 s gap, repeated.
+        let mut ts = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..20 {
+            for _ in 0..12 {
+                ts.push(t);
+                t += 8;
+            }
+            t += 600;
+        }
+        let r = detector().detect(&ts).unwrap();
+        let gmm = r.interval_gmm.as_ref().expect("GMM should fit");
+        let means = gmm.dominant_means(0.02);
+        assert!(
+            means.iter().any(|&m| (m - 8.0).abs() < 2.0),
+            "means = {means:?}"
+        );
+        assert!(
+            means.iter().any(|&m| m > 400.0),
+            "gap component missing: {means:?}"
+        );
+    }
+
+    #[test]
+    fn dominant_periods_deduplicate() {
+        let report = DetectionReport {
+            candidates: vec![
+                CandidatePeriod {
+                    frequency: 1.0 / 60.0,
+                    period: 60.0,
+                    power: 5.0,
+                    acf_score: 0.9,
+                    p_value: None,
+                },
+                CandidatePeriod {
+                    frequency: 1.0 / 60.5,
+                    period: 60.5,
+                    power: 4.0,
+                    acf_score: 0.8,
+                    p_value: None,
+                },
+                CandidatePeriod {
+                    frequency: 1.0 / 300.0,
+                    period: 300.0,
+                    power: 3.0,
+                    acf_score: 0.7,
+                    p_value: None,
+                },
+            ],
+            power_threshold: 0.0,
+            raw_candidates: 3,
+            prune_decisions: vec![],
+            interval_gmm: None,
+            gmm_bics: vec![],
+            intervals: vec![],
+        };
+        let periods = report.dominant_periods(0.05);
+        assert_eq!(periods, vec![60.0, 300.0]);
+    }
+
+    #[test]
+    fn coarse_time_scale_detects_slow_beacons() {
+        // A 1-hour beacon over 10 days, analyzed at 60 s bins: the series is
+        // 14,400 bins instead of 864,000.
+        let ts: Vec<u64> = (0..240).map(|i| i * 3600).collect();
+        let cfg = DetectorConfig {
+            time_scale: 60,
+            ..Default::default()
+        };
+        let r = PeriodicityDetector::new(cfg).detect(&ts).unwrap();
+        assert!(r.is_periodic());
+        assert!(
+            (r.best().unwrap().period - 3600.0).abs() < 120.0,
+            "period = {}",
+            r.best().unwrap().period
+        );
+    }
+
+    #[test]
+    fn candidates_sorted_by_acf_score() {
+        let ts = jittered_beacon(200, 30.0, 0.5, 7);
+        let r = detector().detect(&ts).unwrap();
+        for w in r.candidates.windows(2) {
+            assert!(w[0].acf_score >= w[1].acf_score);
+        }
+    }
+
+    #[test]
+    fn detect_series_after_rescale() {
+        let ts: Vec<u64> = (0..200).map(|i| i * 120).collect();
+        let fine = TimeSeries::from_timestamps(&ts, 1).unwrap();
+        let coarse = fine.rescale(30).unwrap();
+        let intervals = intervals_of(&ts).unwrap();
+        let r = detector().detect_series(&coarse, intervals).unwrap();
+        assert!(r.is_periodic());
+        assert!((r.best().unwrap().period - 120.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn config_accessor() {
+        let d = detector();
+        assert_eq!(d.config().time_scale, 1);
+    }
+
+    #[test]
+    fn acf_first_candidate_rescues_perfect_impulse_train() {
+        // A jitter-free impulse train with many harmonics: the fundamental
+        // can miss the top-k periodogram cut, but the ACF-first candidate
+        // must recover it even with heavy injected noise.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ts: Vec<u64> = (0..240u64).map(|i| 1_000_000 + i * 300).collect();
+        let end = *ts.last().unwrap();
+        for _ in 0..180 {
+            ts.push(rng.random_range(1_000_000..end));
+        }
+        ts.sort_unstable();
+        let r = detector().detect(&ts).unwrap();
+        assert!(
+            r.candidates.iter().any(|c| (c.period - 300.0).abs() < 15.0),
+            "fundamental lost: {:?}",
+            r.candidates
+        );
+    }
+
+    #[test]
+    fn regularity_fallback_handles_bimodal_renewal() {
+        // Cache-style renewal: intervals alternate 300 and 360 s. No single
+        // spectral line or ACF lag dominates, but the traffic is plainly
+        // regular; the median-interval fallback must flag it.
+        let mut ts = Vec::with_capacity(200);
+        let mut t = 0u64;
+        for i in 0..200 {
+            ts.push(t);
+            t += if i % 7 < 4 { 300 } else { 360 };
+        }
+        let r = detector().detect(&ts).unwrap();
+        assert!(r.is_periodic(), "bimodal renewal not flagged");
+        let best = r.best().unwrap();
+        assert!(
+            best.period >= 290.0 && best.period <= 370.0,
+            "period = {}",
+            best.period
+        );
+    }
+
+    #[test]
+    fn fallback_does_not_fire_on_wide_renewals() {
+        // Uniform intervals in [1, 900]: CV ≈ 0.58 — not quasi-periodic,
+        // must not be flagged via the fallback.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ts = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..200 {
+            ts.push(t);
+            t += rng.random_range(1..900);
+        }
+        let r = detector().detect(&ts).unwrap();
+        assert!(
+            !r.is_periodic() || r.best().unwrap().acf_score < 0.3,
+            "wide renewal flagged strongly: {:?}",
+            r.best()
+        );
+    }
+}

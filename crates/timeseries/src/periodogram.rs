@@ -1,0 +1,238 @@
+//! Periodogram (DFT power spectrum) analysis — Step 1 of the BAYWATCH
+//! detection algorithm.
+//!
+//! The mean-centered count series is transformed with an FFT; the power at
+//! frequency bin `k` is `|X(k)|² / N`. Only bins `1..N/2` carry independent
+//! information for a real signal; bin `k` maps to frequency `k / (N·dt)` Hz
+//! and period `N·dt / k` seconds, where `dt` is the series' bin width.
+
+use crate::series::TimeSeries;
+use rustfft::{num_complex::Complex, FftPlanner};
+
+/// A single spectral line of the periodogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralLine {
+    /// DFT bin index (1-based within the half spectrum).
+    pub bin: usize,
+    /// Frequency in hertz.
+    pub frequency: f64,
+    /// Corresponding period in seconds (`1 / frequency`).
+    pub period: f64,
+    /// Power `|X(k)|² / N`.
+    pub power: f64,
+}
+
+/// The one-sided power spectrum of a [`TimeSeries`].
+///
+/// # Example
+///
+/// ```
+/// use baywatch_timeseries::series::TimeSeries;
+/// use baywatch_timeseries::periodogram::Periodogram;
+///
+/// // 1 event every 8 s, observed for 512 s at 1 s bins.
+/// let timestamps: Vec<u64> = (0..64).map(|i| i * 8).collect();
+/// let ts = TimeSeries::from_timestamps(&timestamps, 1).unwrap();
+/// let pg = Periodogram::compute(&ts);
+/// let peak = pg.max_line().unwrap();
+/// assert!((peak.period - 8.0).abs() < 0.5, "period = {}", peak.period);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Periodogram {
+    lines: Vec<SpectralLine>,
+    n: usize,
+    dt: f64,
+}
+
+impl Periodogram {
+    /// Computes the one-sided periodogram of the series (mean-centered
+    /// before the FFT so the DC component is excluded).
+    pub fn compute(series: &TimeSeries) -> Self {
+        Self::from_samples(&series.centered(), series.scale() as f64)
+    }
+
+    /// Computes the periodogram of arbitrary mean-centered samples with bin
+    /// width `dt` seconds. Exposed for the permutation filter, which
+    /// transforms shuffled copies of the same samples.
+    pub fn from_samples(samples: &[f64], dt: f64) -> Self {
+        let n = samples.len();
+        if n < 4 {
+            return Self {
+                lines: Vec::new(),
+                n,
+                dt,
+            };
+        }
+        let mut buf: Vec<Complex<f64>> = samples.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mut planner = FftPlanner::new();
+        let fft = planner.plan_fft_forward(n);
+        fft.process(&mut buf);
+
+        let half = n / 2;
+        let mut lines = Vec::with_capacity(half.saturating_sub(1));
+        for (k, value) in buf.iter().enumerate().take(half + 1).skip(1) {
+            let power = value.norm_sqr() / n as f64;
+            let frequency = k as f64 / (n as f64 * dt);
+            lines.push(SpectralLine {
+                bin: k,
+                frequency,
+                period: 1.0 / frequency,
+                power,
+            });
+        }
+        Self { lines, n, dt }
+    }
+
+    /// All spectral lines, ordered by increasing frequency.
+    pub fn lines(&self) -> &[SpectralLine] {
+        &self.lines
+    }
+
+    /// Number of samples the spectrum was computed from.
+    pub fn sample_count(&self) -> usize {
+        self.n
+    }
+
+    /// Sample spacing in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The maximum power across all lines, or `0.0` for a degenerate
+    /// spectrum. This is the `p_max` statistic of the permutation filter.
+    pub fn max_power(&self) -> f64 {
+        self.lines.iter().map(|l| l.power).fold(0.0, f64::max)
+    }
+
+    /// The spectral line with maximum power, if the spectrum is non-empty.
+    pub fn max_line(&self) -> Option<SpectralLine> {
+        self.lines
+            .iter()
+            .copied()
+            .max_by(|a, b| a.power.partial_cmp(&b.power).expect("power is never NaN"))
+    }
+
+    /// Lines whose power strictly exceeds `threshold`, sorted by descending
+    /// power — the candidate set handed to the pruning step.
+    pub fn lines_above(&self, threshold: f64) -> Vec<SpectralLine> {
+        let mut out: Vec<SpectralLine> = self
+            .lines
+            .iter()
+            .copied()
+            .filter(|l| l.power > threshold)
+            .collect();
+        out.sort_by(|a, b| b.power.partial_cmp(&a.power).expect("power is never NaN"));
+        out
+    }
+
+    /// Total spectral energy (sum of line powers); by Parseval's relation
+    /// this tracks the variance of the centered series.
+    pub fn total_energy(&self) -> f64 {
+        self.lines.iter().map(|l| l.power).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::TimeSeries;
+
+    fn sine_series(n: usize, period_bins: f64, dt: u64) -> TimeSeries {
+        let values: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / period_bins).sin() + 1.0)
+            .collect();
+        TimeSeries::from_values(0, dt, values).unwrap()
+    }
+
+    #[test]
+    fn pure_sine_peak_at_true_period() {
+        let ts = sine_series(1024, 16.0, 1);
+        let pg = Periodogram::compute(&ts);
+        let peak = pg.max_line().unwrap();
+        assert!((peak.period - 16.0).abs() < 0.3, "period = {}", peak.period);
+    }
+
+    #[test]
+    fn period_respects_time_scale() {
+        // Same shape, 60 s bins: period should be 16 * 60 = 960 s.
+        let ts = sine_series(1024, 16.0, 60);
+        let pg = Periodogram::compute(&ts);
+        let peak = pg.max_line().unwrap();
+        assert!((peak.period - 960.0).abs() < 15.0, "period = {}", peak.period);
+    }
+
+    #[test]
+    fn impulse_train_peak() {
+        // Events every 10 s observed at 1 s bins for ~1000 s.
+        let timestamps: Vec<u64> = (0..100).map(|i| i * 10).collect();
+        let ts = TimeSeries::from_timestamps(&timestamps, 1).unwrap();
+        let pg = Periodogram::compute(&ts);
+        let peak = pg.max_line().unwrap();
+        // Impulse trains put energy at the fundamental and harmonics; the
+        // fundamental (10 s) or a harmonic (5, 3.33, 2.5, 2) may carry the
+        // max. All are divisors of 10.
+        let ratio = 10.0 / peak.period;
+        assert!(
+            (ratio - ratio.round()).abs() < 0.05,
+            "peak period {} is not a divisor of 10",
+            peak.period
+        );
+    }
+
+    #[test]
+    fn short_series_yields_empty_spectrum() {
+        let ts = TimeSeries::from_values(0, 1, vec![1.0, 0.0, 1.0]).unwrap();
+        let pg = Periodogram::compute(&ts);
+        assert!(pg.lines().is_empty());
+        assert_eq!(pg.max_power(), 0.0);
+        assert!(pg.max_line().is_none());
+    }
+
+    #[test]
+    fn constant_series_has_no_power() {
+        let ts = TimeSeries::from_values(0, 1, vec![3.0; 256]).unwrap();
+        let pg = Periodogram::compute(&ts);
+        assert!(pg.max_power() < 1e-18);
+    }
+
+    #[test]
+    fn lines_above_sorted_descending() {
+        let ts = sine_series(512, 8.0, 1);
+        let pg = Periodogram::compute(&ts);
+        let lines = pg.lines_above(0.0);
+        for w in lines.windows(2) {
+            assert!(w[0].power >= w[1].power);
+        }
+        assert_eq!(lines.len(), pg.lines().len());
+    }
+
+    #[test]
+    fn lines_above_high_threshold_empty() {
+        let ts = sine_series(512, 8.0, 1);
+        let pg = Periodogram::compute(&ts);
+        assert!(pg.lines_above(pg.max_power()).is_empty());
+    }
+
+    #[test]
+    fn parseval_energy_matches_variance() {
+        let ts = sine_series(1024, 32.0, 1);
+        let pg = Periodogram::compute(&ts);
+        let centered = ts.centered();
+        let var: f64 = centered.iter().map(|v| v * v).sum::<f64>();
+        // One-sided spectrum over bins 1..=N/2 captures (almost exactly, for
+        // a real signal with no DC) half the energy... except bins and their
+        // mirrors both appear for k < N/2, so lines hold ~half the total.
+        // Accept a broad sanity window.
+        let e = pg.total_energy();
+        assert!(e > 0.3 * var && e <= var + 1e-9, "e={e} var={var}");
+    }
+
+    #[test]
+    fn frequency_period_inverse() {
+        let ts = sine_series(256, 8.0, 1);
+        let pg = Periodogram::compute(&ts);
+        for l in pg.lines() {
+            assert!((l.frequency * l.period - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Short-time spectral analysis (spectrogram) for on/off beaconing.
+//!
+//! Conficker-style malware (Fig. 2 of the paper) beacons in *episodes*:
+//! ~2 minutes of 7–8 s callbacks, then hours of silence. A whole-window
+//! periodogram dilutes the burst's spectral line with the silence; slicing
+//! the series into segments and computing a periodogram per segment
+//! localizes both *when* the channel is active and *at what frequency* —
+//! complementing the GMM interval analysis of §IV with a time-resolved
+//! view.
+
+use crate::periodogram::Periodogram;
+use crate::series::TimeSeries;
+use crate::TimeSeriesError;
+
+/// One time slice of the spectrogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectrogramFrame {
+    /// Start of the slice (epoch seconds).
+    pub start: u64,
+    /// Number of events inside the slice.
+    pub events: usize,
+    /// Dominant period within the slice (seconds), if the slice had
+    /// enough signal.
+    pub dominant_period: Option<f64>,
+    /// Power of the dominant period.
+    pub peak_power: f64,
+    /// Total spectral energy of the slice.
+    pub energy: f64,
+}
+
+/// A time-resolved spectral view of a series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    frames: Vec<SpectrogramFrame>,
+    segment_seconds: u64,
+}
+
+impl Spectrogram {
+    /// Computes a spectrogram by slicing `series` into consecutive
+    /// segments of `segment_seconds` and running a periodogram per
+    /// segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::InvalidConfig`] if `segment_seconds`
+    /// is smaller than four bins of the series' scale.
+    pub fn compute(series: &TimeSeries, segment_seconds: u64) -> Result<Self, TimeSeriesError> {
+        let scale = series.scale();
+        let seg_bins = (segment_seconds / scale) as usize;
+        if seg_bins < 4 {
+            return Err(TimeSeriesError::InvalidConfig {
+                name: "segment_seconds",
+                constraint: "must cover at least 4 series bins",
+            });
+        }
+        let values = series.values();
+        let mut frames = Vec::with_capacity(values.len() / seg_bins + 1);
+        for (i, chunk) in values.chunks(seg_bins).enumerate() {
+            if chunk.len() < 4 {
+                break;
+            }
+            let events = chunk.iter().map(|&v| v.max(0.0) as usize).sum();
+            // Mean-center the chunk independently.
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            let centered: Vec<f64> = chunk.iter().map(|v| v - mean).collect();
+            let pg = Periodogram::from_samples(&centered, scale as f64);
+            let peak = pg.max_line();
+            frames.push(SpectrogramFrame {
+                start: series.start() + (i * seg_bins) as u64 * scale,
+                events,
+                dominant_period: peak.map(|l| l.period),
+                peak_power: peak.map(|l| l.power).unwrap_or(0.0),
+                energy: pg.total_energy(),
+            });
+        }
+        Ok(Self {
+            frames,
+            segment_seconds,
+        })
+    }
+
+    /// The frames in time order.
+    pub fn frames(&self) -> &[SpectrogramFrame] {
+        &self.frames
+    }
+
+    /// Segment length in seconds.
+    pub fn segment_seconds(&self) -> u64 {
+        self.segment_seconds
+    }
+
+    /// Frames whose event count is at least `min_events` — the *active
+    /// episodes* of an on/off channel.
+    pub fn active_frames(&self, min_events: usize) -> Vec<&SpectrogramFrame> {
+        self.frames
+            .iter()
+            .filter(|f| f.events >= min_events)
+            .collect()
+    }
+
+    /// Duty cycle: fraction of frames with at least `min_events` events.
+    pub fn duty_cycle(&self, min_events: usize) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.active_frames(min_events).len() as f64 / self.frames.len() as f64
+    }
+
+    /// The median dominant period across active frames — the *intra-burst*
+    /// period of an on/off channel (7–8 s for Conficker), robust to the
+    /// odd silent or noisy frame.
+    pub fn burst_period(&self, min_events: usize) -> Option<f64> {
+        let mut periods: Vec<f64> = self
+            .active_frames(min_events)
+            .iter()
+            .filter_map(|f| f.dominant_period)
+            .collect();
+        if periods.is_empty() {
+            return None;
+        }
+        periods.sort_by(|a, b| a.partial_cmp(b).expect("periods are finite"));
+        Some(periods[periods.len() / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::TimeSeries;
+
+    /// Conficker-like: bursts of 8 s beacons, long silences.
+    fn on_off_series() -> TimeSeries {
+        let mut ts = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..6 {
+            for _ in 0..16 {
+                ts.push(t);
+                t += 8;
+            }
+            t += 1_800; // 30-minute silence
+        }
+        TimeSeries::from_timestamps(&ts, 1).unwrap()
+    }
+
+    #[test]
+    fn localizes_bursts_in_time() {
+        let series = on_off_series();
+        let sg = Spectrogram::compute(&series, 128).unwrap();
+        let active = sg.active_frames(8);
+        assert!(
+            (5..=8).contains(&active.len()),
+            "expected ~6 active frames, got {}",
+            active.len()
+        );
+        // On/off channel: low duty cycle.
+        let duty = sg.duty_cycle(8);
+        assert!(duty < 0.2, "duty = {duty}");
+    }
+
+    #[test]
+    fn recovers_intra_burst_period() {
+        let series = on_off_series();
+        let sg = Spectrogram::compute(&series, 128).unwrap();
+        let p = sg.burst_period(8).expect("bursts have a period");
+        // An impulse train spreads power over its harmonics, so any
+        // divisor of the 8 s beat is a legitimate per-frame peak; it must
+        // be harmonically related and no slower than the beat itself.
+        let ratio = 8.0 / p;
+        assert!(
+            p <= 9.0 && (ratio - ratio.round()).abs() < 0.15,
+            "burst period = {p}"
+        );
+    }
+
+    #[test]
+    fn steady_beacon_full_duty_cycle() {
+        let ts: Vec<u64> = (0..600).map(|i| i * 10).collect();
+        let series = TimeSeries::from_timestamps(&ts, 1).unwrap();
+        let sg = Spectrogram::compute(&series, 600).unwrap();
+        assert!(sg.duty_cycle(10) > 0.9);
+        let p = sg.burst_period(10).unwrap();
+        let ratio = 10.0 / p;
+        assert!(
+            (ratio - ratio.round()).abs() < 0.1,
+            "period {p} not harmonically related to 10"
+        );
+    }
+
+    #[test]
+    fn segment_too_small_rejected() {
+        let series = on_off_series();
+        assert!(Spectrogram::compute(&series, 2).is_err());
+        let coarse = series.rescale(60).unwrap();
+        assert!(Spectrogram::compute(&coarse, 120).is_err()); // 2 bins only
+    }
+
+    #[test]
+    fn frames_cover_series_in_order() {
+        let series = on_off_series();
+        let sg = Spectrogram::compute(&series, 256).unwrap();
+        assert!(!sg.frames().is_empty());
+        assert_eq!(sg.segment_seconds(), 256);
+        for w in sg.frames().windows(2) {
+            assert_eq!(w[1].start - w[0].start, 256);
+        }
+        assert!(sg.frames().iter().all(|f| f.energy >= 0.0));
+    }
+
+    #[test]
+    fn empty_activity_no_burst_period() {
+        let series = TimeSeries::from_values(0, 1, vec![0.0; 512]).unwrap();
+        let sg = Spectrogram::compute(&series, 128).unwrap();
+        assert_eq!(sg.duty_cycle(1), 0.0);
+        assert!(sg.burst_period(1).is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Interval-series symbolization (§VI-A of the paper).
+//!
+//! Once dominant period(s) are known, the interval series of a candidate
+//! case is mapped onto a three-letter alphabet:
+//!
+//! * `x` — the interval matches one of the dominant periods,
+//! * `y` — the interval is zero (same-second burst),
+//! * `z` — anything else.
+//!
+//! The symbolized series feeds three classifier features (Table II):
+//! its Shannon entropy, its 3-gram histogram, and its compressibility.
+
+/// Symbols of the three-letter alphabet.
+pub const SYMBOL_MATCH: u8 = b'x';
+/// Symbol for a zero interval.
+pub const SYMBOL_ZERO: u8 = b'y';
+/// Symbol for an interval matching no dominant period.
+pub const SYMBOL_OTHER: u8 = b'z';
+
+/// Symbolizes an interval list against a set of dominant periods.
+///
+/// An interval `i` maps to `x` when `|i − P| ≤ tolerance·P` for some
+/// dominant period `P`, to `y` when `i == 0`, and to `z` otherwise.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_timeseries::symbolize::symbolize;
+///
+/// let intervals = [60.0, 61.0, 0.0, 59.5, 200.0, 60.2];
+/// let s = symbolize(&intervals, &[60.0], 0.05);
+/// assert_eq!(s, b"xxyxzx".to_vec());
+/// ```
+pub fn symbolize(intervals: &[f64], dominant_periods: &[f64], tolerance: f64) -> Vec<u8> {
+    intervals
+        .iter()
+        .map(|&i| {
+            if i == 0.0 {
+                SYMBOL_ZERO
+            } else if dominant_periods
+                .iter()
+                .any(|&p| p > 0.0 && (i - p).abs() <= tolerance * p)
+            {
+                SYMBOL_MATCH
+            } else {
+                SYMBOL_OTHER
+            }
+        })
+        .collect()
+}
+
+/// Counts of overlapping n-grams in a symbolized series, keyed by the
+/// n-gram bytes. Used as the "hist. of n-grams" feature (Table II, n = 3).
+///
+/// Returns an empty map when the series is shorter than `n`.
+pub fn ngram_histogram(symbols: &[u8], n: usize) -> std::collections::HashMap<Vec<u8>, usize> {
+    let mut hist = std::collections::HashMap::new();
+    if n == 0 || symbols.len() < n {
+        return hist;
+    }
+    for w in symbols.windows(n) {
+        *hist.entry(w.to_vec()).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Fraction of symbols equal to `x` — a quick periodicity-purity measure
+/// used by the weighted ranking filter.
+pub fn match_fraction(symbols: &[u8]) -> f64 {
+    if symbols.is_empty() {
+        return 0.0;
+    }
+    symbols.iter().filter(|&&s| s == SYMBOL_MATCH).count() as f64 / symbols.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_symbolization() {
+        let s = symbolize(&[10.0, 0.0, 50.0], &[10.0], 0.01);
+        assert_eq!(s, vec![SYMBOL_MATCH, SYMBOL_ZERO, SYMBOL_OTHER]);
+    }
+
+    #[test]
+    fn tolerance_band() {
+        // 5% band around 100: 95..=105 match.
+        let s = symbolize(&[95.0, 105.0, 94.9, 105.1], &[100.0], 0.05);
+        assert_eq!(
+            s,
+            vec![SYMBOL_MATCH, SYMBOL_MATCH, SYMBOL_OTHER, SYMBOL_OTHER]
+        );
+    }
+
+    #[test]
+    fn multiple_dominant_periods() {
+        // Conficker-style: both the burst interval and the gap are dominant.
+        let s = symbolize(&[7.5, 10_800.0, 8.0, 42.0], &[8.0, 10_800.0], 0.1);
+        assert_eq!(
+            s,
+            vec![SYMBOL_MATCH, SYMBOL_MATCH, SYMBOL_MATCH, SYMBOL_OTHER]
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(symbolize(&[], &[60.0], 0.05).is_empty());
+        let s = symbolize(&[10.0], &[], 0.05);
+        assert_eq!(s, vec![SYMBOL_OTHER]);
+    }
+
+    #[test]
+    fn zero_period_never_matches() {
+        let s = symbolize(&[0.5], &[0.0], 0.5);
+        assert_eq!(s, vec![SYMBOL_OTHER]);
+    }
+
+    #[test]
+    fn ngram_histogram_counts_overlapping() {
+        let h = ngram_histogram(b"xxxzx", 3);
+        assert_eq!(h.get(b"xxx".as_slice()), Some(&1));
+        assert_eq!(h.get(b"xxz".as_slice()), Some(&1));
+        assert_eq!(h.get(b"xzx".as_slice()), Some(&1));
+        assert_eq!(h.values().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn ngram_histogram_degenerate() {
+        assert!(ngram_histogram(b"xx", 3).is_empty());
+        assert!(ngram_histogram(b"xxxx", 0).is_empty());
+    }
+
+    #[test]
+    fn match_fraction_behaviour() {
+        assert_eq!(match_fraction(b""), 0.0);
+        assert_eq!(match_fraction(b"xxxx"), 1.0);
+        assert_eq!(match_fraction(b"xzxz"), 0.5);
+        assert_eq!(match_fraction(b"zzyy"), 0.0);
+    }
+}

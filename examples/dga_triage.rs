@@ -1,0 +1,74 @@
+//! DGA triage: the language-model scoring filter in isolation (§V-C).
+//!
+//! Reproduces the paper's worked example — `google.com` scores −7.4 under
+//! their 3-gram model while the DGA name `skmnikrzhrrzcjcxwfprgt.com`
+//! scores −45.2 — and shows the separation across whole batches of
+//! generated domains.
+//!
+//! ```text
+//! cargo run --release --example dga_triage
+//! ```
+
+use baywatch::langmodel::dga::{DgaGenerator, DgaStyle};
+use baywatch::langmodel::{corpus, DomainScorer};
+
+fn main() {
+    println!("training 3-gram Kneser-Ney model on the popular-domain corpus...");
+    let scorer = DomainScorer::train(corpus::training_corpus(), 3);
+
+    println!("\n--- the paper's worked examples (§V-C) ---");
+    for d in ["google.com", "skmnikrzhrrzcjcxwfprgt.com"] {
+        println!("  S({d:<30}) = {:>8.3}", scorer.score(d));
+    }
+
+    println!("\n--- popular domains ---");
+    let popular = [
+        "facebook.com",
+        "microsoft.com",
+        "stackoverflow.com",
+        "nytimes.com",
+        "github.com",
+    ];
+    for d in popular {
+        println!(
+            "  {:<28} total {:>8.3}  per-char {:>6.3}",
+            d,
+            scorer.score(d),
+            scorer.score_per_char(d)
+        );
+    }
+
+    println!("\n--- Table V/VI-style malicious destinations ---");
+    for (style, label) in [
+        (DgaStyle::RandomAlpha, "random-alpha (Zeus/Conficker)"),
+        (DgaStyle::HexFragment, "hex-fragment (TDSS/ZeroAccess)"),
+        (DgaStyle::Pronounceable, "pronounceable DGA"),
+    ] {
+        let mut gen = DgaGenerator::new(style, 2024);
+        let batch = gen.generate_batch(200);
+        let avg: f64 =
+            batch.iter().map(|d| scorer.score_per_char(d)).sum::<f64>() / batch.len() as f64;
+        println!("  {label:<32} avg per-char score {avg:>6.3}");
+        for d in batch.iter().take(3) {
+            println!("      e.g. {:<34} {:>8.3}", d, scorer.score(d));
+        }
+    }
+
+    // Quantify the separation: fraction of DGA names scoring below the
+    // worst popular domain.
+    let worst_popular = popular
+        .iter()
+        .map(|d| scorer.score_per_char(d))
+        .fold(f64::INFINITY, f64::min);
+    let mut gen = DgaGenerator::new(DgaStyle::RandomAlpha, 7);
+    let batch = gen.generate_batch(1000);
+    let below = batch
+        .iter()
+        .filter(|d| scorer.score_per_char(d) < worst_popular)
+        .count();
+    println!(
+        "\nseparation: {}/1000 random-alpha DGA names score below every popular domain tested",
+        below
+    );
+    assert!(below > 900, "the LM should separate DGA from human domains");
+}

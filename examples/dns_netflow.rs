@@ -1,0 +1,125 @@
+//! Applying BAYWATCH to DNS and Netflow sources (§X of the paper).
+//!
+//! * DNS: resolver caching subsamples the beacon to the record's TTL, and
+//!   regional aggregation blurs per-host behaviour — yet the logged stream
+//!   stays periodic and detectable.
+//! * Netflow: no domain names, so the pair key degrades to IP addresses
+//!   and the language-model indicator is unavailable; periodicity
+//!   detection itself is unaffected.
+//!
+//! ```text
+//! cargo run --release --example dns_netflow
+//! ```
+
+use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
+use baywatch::core::record::LogRecord;
+use baywatch::netsim::dns::{aggregate_behind_resolver, cache_filter};
+use baywatch::netsim::netflow::flows_from_proxy;
+use baywatch::netsim::synth::{random_arrivals, SyntheticBeacon};
+use baywatch::netsim::types::{HostId, ProxyEvent};
+use baywatch::timeseries::detector::{DetectorConfig, PeriodicityDetector};
+
+fn main() {
+    let detector = PeriodicityDetector::new(DetectorConfig::default());
+
+    // ---- DNS: caching. -------------------------------------------------
+    println!("--- DNS with resolver caching ---");
+    let raw_beacon = SyntheticBeacon {
+        period: 60.0,
+        gaussian_sigma: 1.0,
+        count: 1_000,
+        ..Default::default()
+    }
+    .generate(5);
+    let logged = cache_filter(&raw_beacon, 300);
+    println!(
+        "underlying beacon: {} requests at 60 s; DNS log after 300 s TTL: {} queries",
+        raw_beacon.len(),
+        logged.len()
+    );
+    let report = detector.detect(&logged).unwrap();
+    let best = report.best().expect("cached beacon still periodic");
+    println!(
+        "detected period in DNS log: {:.0} s — the cache-expiry cadence (TTL rounded \
+         up to the next 60 s beacon slot), as §X predicts\n",
+        best.period
+    );
+    // Expiry lands on the next grid slot after the 300 s TTL, so the
+    // observed renewal period lies between TTL and TTL + beacon period.
+    assert!(best.period >= 295.0 && best.period <= 365.0, "{}", best.period);
+
+    // ---- DNS: aggregation. ----------------------------------------------
+    println!("--- DNS behind an aggregating resolver ---");
+    let client_a = SyntheticBeacon {
+        period: 240.0,
+        count: 300,
+        ..Default::default()
+    }
+    .generate(7);
+    let client_b: Vec<u64> = random_arrivals(1_000_000, 250, 400.0, 11);
+    let merged = aggregate_behind_resolver(
+        HostId(9),
+        &[(HostId(1), client_a), (HostId(2), client_b)],
+        "c2.evil.example",
+    );
+    let ts: Vec<u64> = merged.iter().map(|e| e.timestamp).collect();
+    let report = detector.detect(&ts).unwrap();
+    match report.best() {
+        Some(best) => println!(
+            "aggregated view still shows the periodic client: {:.0} s (score {:.2})\n",
+            best.period, best.acf_score
+        ),
+        None => println!("aggregation buried the periodic client (the §X caveat)\n"),
+    }
+
+    // ---- Netflow. --------------------------------------------------------
+    println!("--- Netflow (no domain names) ---");
+    let mut events = Vec::new();
+    let beacon = SyntheticBeacon {
+        period: 120.0,
+        count: 400,
+        ..Default::default()
+    };
+    for t in beacon.generate(13) {
+        events.push(ProxyEvent {
+            timestamp: t,
+            host: HostId(3),
+            source_ip: 0x0A00_0003,
+            domain: "hidden-by-netflow.example".into(),
+            url_path: "x".into(),
+        });
+    }
+    for t in random_arrivals(1_000_000, 300, 300.0, 17) {
+        events.push(ProxyEvent {
+            timestamp: t,
+            host: HostId(4),
+            source_ip: 0x0A00_0004,
+            domain: "busy-site.example".into(),
+            url_path: "y".into(),
+        });
+    }
+    let flows = flows_from_proxy(&events);
+    // Build pipeline records keyed by destination IP string.
+    let records: Vec<LogRecord> = flows
+        .iter()
+        .map(|f| LogRecord::new(f.timestamp, format!("{}", f.source), f.dst_string(), ""))
+        .collect();
+    let mut engine = Baywatch::new(BaywatchConfig {
+        local_tau: 0.9,
+        ..Default::default()
+    });
+    let report = engine.analyze(records);
+    println!(
+        "pipeline over flow records: {} pairs, {} periodic, top case: {}",
+        report.stats.pairs,
+        report.stats.periodic,
+        report
+            .ranked
+            .first()
+            .map(|rc| rc.case.pair.to_string())
+            .unwrap_or_else(|| "-".into())
+    );
+    assert_eq!(report.stats.periodic, 1, "only the beaconing flow is periodic");
+    println!("note: with no domain names the LM indicator is neutral — ranking relies on");
+    println!("periodicity strength and popularity, exactly the §X trade-off.");
+}

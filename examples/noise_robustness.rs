@@ -1,0 +1,61 @@
+//! Noise robustness of the core detector — a miniature of the paper's
+//! Fig. 10: sweep Gaussian jitter (alone and combined with missing-event
+//! noise) and report how often the true period is still recovered.
+//!
+//! ```text
+//! cargo run --release --example noise_robustness
+//! ```
+
+use baywatch::netsim::synth::SyntheticBeacon;
+use baywatch::timeseries::detector::{DetectorConfig, PeriodicityDetector};
+
+const PERIOD: f64 = 60.0;
+const TRIALS: u64 = 20;
+
+fn detection_rate(sigma: f64, p_miss: f64) -> f64 {
+    let detector = PeriodicityDetector::new(DetectorConfig::default());
+    let mut hits = 0;
+    for trial in 0..TRIALS {
+        let ts = SyntheticBeacon {
+            period: PERIOD,
+            gaussian_sigma: sigma,
+            p_miss,
+            add_rate: 0.0,
+            count: 240,
+            start: 1_000_000,
+        }
+        .generate(trial * 7919 + 13);
+        if let Ok(report) = detector.detect(&ts) {
+            // A hit = some verified candidate within 10% of the truth.
+            if report
+                .candidates
+                .iter()
+                .any(|c| (c.period - PERIOD).abs() < 0.1 * PERIOD)
+            {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / TRIALS as f64
+}
+
+fn main() {
+    println!("true period: {PERIOD} s, {TRIALS} trials per cell\n");
+    println!("sigma | gaussian only | + p_miss=0.25 | + p_miss=0.50 | + p_miss=0.75");
+    println!("------+---------------+---------------+---------------+--------------");
+    for sigma in [0.0, 2.0, 5.0, 8.0, 11.0, 15.0, 20.0, 30.0, 40.0] {
+        let cells: Vec<f64> = [0.0, 0.25, 0.50, 0.75]
+            .iter()
+            .map(|&p| detection_rate(sigma, p))
+            .collect();
+        println!(
+            "{sigma:>5.0} | {:>13.2} | {:>13.2} | {:>13.2} | {:>13.2}",
+            cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 10): near-perfect detection at low sigma, a"
+    );
+    println!("degradation threshold around sigma ≈ 30 for Gaussian-only noise, and a");
+    println!("threshold dropping to ≈ 7–11 when heavy missing-event noise is combined.");
+}

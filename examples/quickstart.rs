@@ -1,0 +1,86 @@
+//! Quickstart: detect a beacon hiding in a day of noisy traffic.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
+use baywatch::core::record::LogRecord;
+use baywatch::netsim::synth::{random_arrivals, SyntheticBeacon};
+
+fn main() {
+    // ---- Build a tiny synthetic window. ------------------------------
+    // One infected host beacons to a DGA domain every 60 s with jitter and
+    // 10% packet loss; a dozen healthy hosts browse irregularly.
+    let mut records = Vec::new();
+
+    let beacon = SyntheticBeacon {
+        period: 60.0,
+        gaussian_sigma: 2.0,
+        p_miss: 0.10,
+        add_rate: 0.05,
+        count: 300,
+        start: 1_700_000_000,
+    };
+    for t in beacon.generate(7) {
+        records.push(LogRecord::new(t, "laptop-042", "xkqzvwrtbpl.com", "c2a91f"));
+    }
+
+    for h in 0..12 {
+        let host = format!("host-{h:03}");
+        for t in random_arrivals(1_700_000_000, 150, 240.0, 100 + h) {
+            records.push(LogRecord::new(
+                t,
+                &host,
+                format!("site-{}.example.org", h % 5),
+                "index",
+            ));
+        }
+    }
+    println!("window: {} events from 13 hosts", records.len());
+
+    // ---- Run the pipeline. -------------------------------------------
+    // τ_P is relaxed because this demo population has 13 hosts, not 130 K.
+    let mut engine = Baywatch::new(BaywatchConfig {
+        local_tau: 0.9,
+        ..Default::default()
+    });
+    let report = engine.analyze(records);
+
+    let s = report.stats;
+    println!("\n--- filter funnel (Fig. 3 of the paper) ---");
+    println!("events                 {:>8}", s.events);
+    println!("communication pairs    {:>8}", s.pairs);
+    println!("after global whitelist {:>8}", s.after_global_whitelist);
+    println!("after local whitelist  {:>8}", s.after_local_whitelist);
+    println!("periodic (verified)    {:>8}", s.periodic);
+    println!("after token filter     {:>8}", s.after_token_filter);
+    println!("after novelty          {:>8}", s.after_novelty);
+    println!("reported (top decile)  {:>8}", s.reported);
+
+    println!("\n--- ranked cases ---");
+    for (i, rc) in report.ranked.iter().enumerate() {
+        let period = rc
+            .case
+            .primary_period()
+            .map(|p| format!("{p:.1}s"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "#{:<2} score {:.3}  period {:>8}  lm {:>6.2}  {}",
+            i + 1,
+            rc.score,
+            period,
+            rc.case.lm_score,
+            rc.case.pair
+        );
+    }
+
+    let top = &report.ranked[0];
+    assert_eq!(
+        top.case.pair.destination, "xkqzvwrtbpl.com",
+        "the injected beacon should rank first"
+    );
+    println!("\nOK: the injected 60 s beacon to xkqzvwrtbpl.com ranks first.");
+}

@@ -1,0 +1,110 @@
+//! Property-based tests on the core detection invariants, spanning the
+//! timeseries and netsim crates.
+
+use baywatch::netsim::synth::{random_arrivals, SyntheticBeacon};
+use baywatch::timeseries::detector::{DetectorConfig, PeriodicityDetector};
+use baywatch::timeseries::series::{intervals_of, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any clean periodic train with a sane period and enough events is
+    /// detected, and the recovered period is within 10% of the truth.
+    #[test]
+    fn clean_beacons_always_detected(period in 10u64..600, count in 60u64..200, seed in 0u64..50) {
+        let ts = SyntheticBeacon {
+            period: period as f64,
+            count: count as usize,
+            ..Default::default()
+        }
+        .generate(seed);
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let report = detector.detect(&ts).unwrap();
+        prop_assert!(report.is_periodic(), "period {period} not detected");
+        let hit = report
+            .candidates
+            .iter()
+            .any(|c| (c.period - period as f64).abs() <= 0.1 * period as f64);
+        prop_assert!(hit, "no candidate near {period}: {:?}", report.candidates);
+    }
+
+    /// Mild jitter (σ ≤ 5% of the period) never defeats detection.
+    #[test]
+    fn mild_jitter_is_harmless(period in 30u64..300, seed in 0u64..30) {
+        let ts = SyntheticBeacon {
+            period: period as f64,
+            gaussian_sigma: period as f64 * 0.05,
+            count: 150,
+            ..Default::default()
+        }
+        .generate(seed);
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let report = detector.detect(&ts).unwrap();
+        prop_assert!(report.is_periodic());
+    }
+
+    /// Exponential (memoryless) arrivals are essentially never verified
+    /// with a strong score: the permutation threshold + ACF verification
+    /// must hold the false-positive line.
+    #[test]
+    fn random_arrivals_rarely_verify(mean_gap in 20f64..400.0, seed in 0u64..40) {
+        let ts = random_arrivals(1_000_000, 200, mean_gap, seed);
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let report = detector.detect(&ts).unwrap();
+        if let Some(best) = report.best() {
+            prop_assert!(
+                best.acf_score < 0.5,
+                "random traffic verified strongly: {best:?}"
+            );
+        }
+    }
+
+    /// Rescaling preserves total event counts for any timestamp set.
+    #[test]
+    fn rescale_preserves_mass(raw in prop::collection::vec(0u64..100_000, 2..200), factor in 2u64..120) {
+        let mut ts = raw;
+        ts.sort_unstable();
+        let fine = TimeSeries::from_timestamps(&ts, 1).unwrap();
+        let coarse = fine.rescale(factor).unwrap();
+        let fine_sum: f64 = fine.values().iter().sum();
+        let coarse_sum: f64 = coarse.values().iter().sum();
+        prop_assert_eq!(fine_sum, coarse_sum);
+        prop_assert_eq!(coarse.scale(), factor);
+    }
+
+    /// intervals_of is the discrete derivative of the timestamps: its sum
+    /// equals the span, and every interval is non-negative.
+    #[test]
+    fn intervals_sum_to_span(raw in prop::collection::vec(0u64..1_000_000, 2..300)) {
+        let mut ts = raw;
+        ts.sort_unstable();
+        let iv = intervals_of(&ts).unwrap();
+        let span = (ts[ts.len() - 1] - ts[0]) as f64;
+        let sum: f64 = iv.iter().sum();
+        prop_assert!((sum - span).abs() < 1e-9);
+        prop_assert!(iv.iter().all(|&i| i >= 0.0));
+    }
+
+    /// The detector never fabricates a period longer than the observation
+    /// window or shorter than the time scale.
+    #[test]
+    fn detected_periods_are_physical(period in 15u64..200, seed in 0u64..20) {
+        let ts = SyntheticBeacon {
+            period: period as f64,
+            gaussian_sigma: 1.0,
+            count: 120,
+            ..Default::default()
+        }
+        .generate(seed);
+        let span = (ts[ts.len() - 1] - ts[0]) as f64;
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let report = detector.detect(&ts).unwrap();
+        for c in &report.candidates {
+            prop_assert!(c.period >= 1.0, "sub-scale period {}", c.period);
+            prop_assert!(c.period <= span, "period {} exceeds span {span}", c.period);
+            prop_assert!(c.acf_score <= 1.0 + 1e-9);
+            prop_assert!(c.frequency > 0.0);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: the full pipeline against the enterprise
+//! simulator, mirroring the paper's operational setup (§VIII-B).
+
+use std::collections::HashSet;
+
+use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
+use baywatch::netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};
+use baywatch::record_from_event;
+
+fn engine() -> Baywatch {
+    Baywatch::new(BaywatchConfig {
+        // 100-host population: τ_P = 5% separates org-wide services
+        // (~80% popularity) from victim pools (1–5 hosts).
+        local_tau: 0.05,
+        ..Default::default()
+    })
+}
+
+fn simulator() -> EnterpriseSimulator {
+    EnterpriseSimulator::new(EnterpriseConfig {
+        hosts: 100,
+        days: 3,
+        infection_rate: 0.05,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn daily_analysis_detects_majority_of_campaigns() {
+    let sim = simulator();
+    let truth = sim.ground_truth();
+    let mut engine = engine();
+
+    let mut flagged: HashSet<String> = HashSet::new();
+    for day in 0..sim.config().days {
+        let records = sim.generate_day(day).iter().map(record_from_event).collect();
+        let report = engine.analyze(records);
+        for rc in &report.ranked {
+            flagged.insert(rc.case.pair.destination.clone());
+        }
+    }
+
+    // Campaigns active in the window with frequent-enough beaconing should
+    // be flagged. Low-and-slow (2 h) campaigns may legitimately need the
+    // weekly pass, so require majority coverage, not totality.
+    let active: Vec<&String> = truth
+        .malicious_domains
+        .iter()
+        .filter(|d| {
+            sim.campaigns()
+                .iter()
+                .any(|c| &c.domain == *d && c.start_day < sim.config().days)
+        })
+        .collect();
+    let detected = active.iter().filter(|d| flagged.contains(**d)).count();
+    assert!(
+        detected * 2 > active.len(),
+        "detected only {detected}/{} campaigns: flagged = {flagged:?}",
+        active.len()
+    );
+}
+
+#[test]
+fn ranked_output_prioritizes_malicious_over_benign_periodic() {
+    let sim = simulator();
+    let truth = sim.ground_truth();
+    let mut engine = engine();
+
+    // Analyze a weekday with everything active.
+    let day = sim
+        .campaigns()
+        .iter()
+        .map(|c| c.start_day)
+        .max()
+        .unwrap_or(0)
+        .min(sim.config().days - 1);
+    let records = sim.generate_day(day).iter().map(record_from_event).collect();
+    let report = engine.analyze(records);
+
+    // Mean rank position of malicious destinations must beat benign ones.
+    let mut mal_ranks = Vec::new();
+    let mut ben_ranks = Vec::new();
+    for (i, rc) in report.ranked.iter().enumerate() {
+        if truth.is_malicious(&rc.case.pair.destination) {
+            mal_ranks.push(i as f64);
+        } else {
+            ben_ranks.push(i as f64);
+        }
+    }
+    if !mal_ranks.is_empty() && !ben_ranks.is_empty() {
+        let mal_mean = mal_ranks.iter().sum::<f64>() / mal_ranks.len() as f64;
+        let ben_mean = ben_ranks.iter().sum::<f64>() / ben_ranks.len() as f64;
+        assert!(
+            mal_mean < ben_mean,
+            "malicious mean rank {mal_mean} vs benign {ben_mean}"
+        );
+    } else {
+        assert!(
+            !mal_ranks.is_empty(),
+            "no malicious destination surfaced at all"
+        );
+    }
+}
+
+#[test]
+fn org_wide_services_never_reported() {
+    let sim = simulator();
+    let mut engine = engine();
+    let records = sim.generate_day(0).iter().map(record_from_event).collect();
+    let report = engine.analyze(records);
+    // The always-on catalog services are subscribed by ~80% of hosts and
+    // must be swallowed by the local whitelist.
+    for rc in &report.ranked {
+        assert_ne!(rc.case.pair.destination, "update.os-vendor.com");
+        assert_ne!(rc.case.pair.destination, "sig.av-vendor.com");
+    }
+}
+
+#[test]
+fn novelty_store_deduplicates_across_days() {
+    let sim = simulator();
+    let mut engine = engine();
+    let mut day0_reported: HashSet<(String, String)> = HashSet::new();
+
+    let records = sim.generate_day(0).iter().map(record_from_event).collect();
+    let r0 = engine.analyze(records);
+    for rc in &r0.ranked {
+        day0_reported.insert((rc.case.pair.source.clone(), rc.case.pair.destination.clone()));
+    }
+
+    let records = sim.generate_day(1).iter().map(record_from_event).collect();
+    let r1 = engine.analyze(records);
+    for rc in &r1.ranked {
+        let key = (rc.case.pair.source.clone(), rc.case.pair.destination.clone());
+        assert!(
+            !day0_reported.contains(&key),
+            "pair {key:?} re-reported despite novelty filter"
+        );
+    }
+}
+
+#[test]
+fn weekday_weekend_pair_ratio_matches_paper_shape() {
+    // §VIII-B2: 26 M pairs on weekdays vs 3.3 M on weekends (≈ 8×).
+    // The simulator must reproduce a clear weekday-dominant ratio.
+    let sim = simulator();
+    let pairs_of = |events: Vec<baywatch::netsim::ProxyEvent>| {
+        let mut set = HashSet::new();
+        for e in events {
+            set.insert((e.host, e.domain));
+        }
+        set.len()
+    };
+    let sim7 = EnterpriseSimulator::new(EnterpriseConfig {
+        hosts: 100,
+        days: 7,
+        ..sim.config().clone()
+    });
+    let weekday = pairs_of(sim7.generate_day(1));
+    let weekend = pairs_of(sim7.generate_day(5));
+    assert!(
+        weekday as f64 / weekend.max(1) as f64 > 3.0,
+        "weekday {weekday} vs weekend {weekend}"
+    );
+}
