@@ -1,13 +1,21 @@
 //! Criterion micro-bench: periodogram + permutation-threshold cost vs
-//! series length (the inner loop of the paper's O(n log n) claim).
+//! series length (the inner loop of the paper's O(n log n) claim), plus a
+//! head-to-head of the cached spectral workspace against the seed
+//! implementation's plan-per-transform strategy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use baywatch_netsim::synth::SyntheticBeacon;
-use baywatch_timeseries::periodogram::Periodogram;
-use baywatch_timeseries::permutation::{permutation_threshold, PermutationConfig};
+use baywatch_timeseries::periodogram::{Periodogram, SpectralLine};
+use baywatch_timeseries::permutation::{
+    permutation_threshold, permutation_threshold_in, PermutationConfig,
+};
 use baywatch_timeseries::series::TimeSeries;
+use baywatch_timeseries::workspace::SpectralWorkspace;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rustfft::{num_complex::Complex, FftPlanner};
 
 fn series_of(bins: usize) -> TimeSeries {
     let period = 60u64;
@@ -20,6 +28,53 @@ fn series_of(bins: usize) -> TimeSeries {
     }
     .generate(1);
     TimeSeries::from_timestamps(&ts, 1).unwrap()
+}
+
+/// A short series of ~`bins` one-second bins (8 s beacon).
+fn short_series_of(bins: usize) -> TimeSeries {
+    let count = bins / 8 + 1;
+    let ts: Vec<u64> = (0..count as u64).map(|i| i * 8).collect();
+    TimeSeries::from_timestamps(&ts, 1).unwrap()
+}
+
+/// The seed implementation of `Periodogram::from_samples`: a fresh
+/// `FftPlanner` (plan build included) and fresh buffers on every call.
+/// Kept here as the comparison baseline for the plan-cache benchmarks.
+fn fresh_planner_periodogram(samples: &[f64], dt: f64) -> Vec<SpectralLine> {
+    let n = samples.len();
+    let mut buf: Vec<Complex<f64>> = samples.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    let mut planner = FftPlanner::new();
+    planner.plan_fft_forward(n).process(&mut buf);
+    let half = n / 2;
+    let mut lines = Vec::with_capacity(half);
+    for (k, value) in buf.iter().enumerate().take(half + 1).skip(1) {
+        let frequency = k as f64 / (n as f64 * dt);
+        lines.push(SpectralLine {
+            bin: k,
+            frequency,
+            period: 1.0 / frequency,
+            power: value.norm_sqr() / n as f64,
+        });
+    }
+    lines
+}
+
+/// The seed implementation of the permutation threshold: one fresh planner
+/// and one full spectral-line table per shuffle round.
+fn fresh_planner_threshold(series: &TimeSeries, config: &PermutationConfig) -> f64 {
+    let mut samples = series.centered();
+    let dt = series.scale() as f64;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut maxima = Vec::with_capacity(config.permutations);
+    for _ in 0..config.permutations {
+        samples.shuffle(&mut rng);
+        let lines = fresh_planner_periodogram(&samples, dt);
+        maxima.push(lines.iter().map(|l| l.power).fold(0.0, f64::max));
+    }
+    maxima.sort_by(|a, b| a.partial_cmp(b).expect("power is never NaN"));
+    let rank = ((config.confidence * config.permutations as f64).ceil() as usize)
+        .clamp(1, config.permutations);
+    maxima[rank - 1]
 }
 
 fn bench_periodogram(c: &mut Criterion) {
@@ -50,5 +105,60 @@ fn bench_permutation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_periodogram, bench_permutation);
+/// Plan cache vs plan-per-call on short series, where planning dominates
+/// the transform itself. `cached_workspace` is the shipped hot path;
+/// `fresh_planner` replays the seed implementation byte-for-byte.
+fn bench_plan_cache_periodogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("periodogram_plan_cache");
+    for bins in [256usize, 1024, 4096] {
+        let series = short_series_of(bins);
+        let samples = series.centered();
+        group.throughput(Throughput::Elements(samples.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("cached_workspace", bins),
+            &samples,
+            |b, s| {
+                let ws = SpectralWorkspace::new();
+                b.iter(|| Periodogram::from_samples_in(&ws, black_box(s), 1.0));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fresh_planner", bins), &samples, |b, s| {
+            b.iter(|| fresh_planner_periodogram(black_box(s), 1.0));
+        });
+    }
+    group.finish();
+}
+
+/// The per-pair worst case: m=20 permutation rounds. The seed baseline
+/// paid 20 plan builds + 20 line-table allocations per pair; the
+/// workspace pays one cached plan lookup and zero steady-state
+/// allocations.
+fn bench_plan_cache_permutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permutation_plan_cache");
+    group.sample_size(20);
+    for bins in [1024usize, 4096] {
+        let series = short_series_of(bins);
+        let cfg = PermutationConfig::default();
+        group.bench_with_input(
+            BenchmarkId::new("cached_workspace", bins),
+            &series,
+            |b, s| {
+                let ws = SpectralWorkspace::new();
+                b.iter(|| permutation_threshold_in(&ws, black_box(s), &cfg).unwrap());
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fresh_planner", bins), &series, |b, s| {
+            b.iter(|| fresh_planner_threshold(black_box(s), &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_periodogram,
+    bench_permutation,
+    bench_plan_cache_periodogram,
+    bench_plan_cache_permutation
+);
 criterion_main!(benches);

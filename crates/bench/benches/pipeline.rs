@@ -3,9 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use baywatch_core::jobs;
 use baywatch_core::pipeline::{Baywatch, BaywatchConfig};
 use baywatch_core::record::LogRecord;
+use baywatch_mapreduce::{JobConfig, MapReduce};
 use baywatch_netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};
+use baywatch_timeseries::detector::{DetectorConfig, PeriodicityDetector};
 
 fn records_for(hosts: usize, day: usize) -> Vec<LogRecord> {
     let sim = EnterpriseSimulator::new(EnterpriseConfig {
@@ -33,19 +36,23 @@ fn bench_pipeline(c: &mut Criterion) {
     for (label, hosts, day) in [("weekday_100h", 100usize, 1usize), ("weekend_100h", 100, 5)] {
         let records = records_for(hosts, day);
         group.throughput(Throughput::Elements(records.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(label), &records, |b, records| {
-            b.iter_batched(
-                || records.clone(),
-                |records| {
-                    let mut engine = Baywatch::new(BaywatchConfig {
-                        local_tau: 0.05,
-                        ..Default::default()
-                    });
-                    engine.analyze(records)
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &records,
+            |b, records| {
+                b.iter_batched(
+                    || records.clone(),
+                    |records| {
+                        let mut engine = Baywatch::new(BaywatchConfig {
+                            local_tau: 0.05,
+                            ..Default::default()
+                        });
+                        engine.analyze(records)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 
@@ -80,5 +87,48 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// The per-pair hot path in isolation: the beaconing-detection MapReduce
+/// job over many *short* pairs — the regime where FFT planning used to
+/// dominate and where the thread-local spectral workspace pays off, since
+/// every worker thread reuses its plans across all pairs of the batch.
+fn bench_detection_job(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect_beaconing_job");
+    group.sample_size(10);
+    for pairs in [50usize, 200] {
+        let mut records = Vec::new();
+        for p in 0..pairs {
+            // Varied short periods → varied (but repeating) FFT lengths.
+            let period = 20 + (p as u64 % 8) * 5;
+            for i in 0..60u64 {
+                records.push(LogRecord::new(
+                    10_000 + i * period,
+                    format!("host{p}"),
+                    format!("dest{p}.example.com"),
+                    "t",
+                ));
+            }
+        }
+        let engine = MapReduce::new(JobConfig {
+            partitions: 8,
+            threads: 4,
+        });
+        let summaries = jobs::extract_summaries(&engine, records, 1);
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        group.throughput(Throughput::Elements(pairs as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pairs),
+            &summaries,
+            |b, summaries| {
+                b.iter_batched(
+                    || summaries.clone(),
+                    |summaries| jobs::detect_beaconing(&engine, summaries, &detector),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_detection_job);
 criterion_main!(benches);

@@ -102,7 +102,9 @@ fn ablate_acf() {
             &rows
         )
     );
-    println!("(verification keeps the detection rate while stripping harmonics and session bursts)\n");
+    println!(
+        "(verification keeps the detection rate while stripping harmonics and session bursts)\n"
+    );
 }
 
 /// Pruning α sensitivity on a jittered beacon.
@@ -130,11 +132,7 @@ fn ablate_alpha() {
             .generate(t * 31 + 7);
             if det
                 .detect(&beacon)
-                .map(|r| {
-                    r.candidates
-                        .iter()
-                        .any(|c| (c.period - 120.0).abs() < 12.0)
-                })
+                .map(|r| r.candidates.iter().any(|c| (c.period - 120.0).abs() < 12.0))
                 .unwrap_or(false)
             {
                 detected += 1;
@@ -187,16 +185,27 @@ fn ablate_tau() {
             report.stats.after_local_whitelist.to_string(),
             report.stats.periodic.to_string(),
         ]);
-        json.push((tau, report.stats.after_local_whitelist, report.stats.periodic));
+        json.push((
+            tau,
+            report.stats.after_local_whitelist,
+            report.stats.periodic,
+        ));
     }
     println!(
         "{}",
         render_table(
-            &["tau_P", "after global WL", "after local WL", "periodic cases"],
+            &[
+                "tau_P",
+                "after global WL",
+                "after local WL",
+                "periodic cases"
+            ],
             &rows
         )
     );
-    println!("(small τ_P aggressively shrinks the candidate set; the paper uses 0.01 at 130 K hosts)\n");
+    println!(
+        "(small τ_P aggressively shrinks the candidate set; the paper uses 0.01 at 130 K hosts)\n"
+    );
     save_json("ablation_tau", &json);
 }
 

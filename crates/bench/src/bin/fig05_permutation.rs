@@ -21,7 +21,11 @@ fn main() {
     let cfg = PermutationConfig::default(); // m = 20, C = 95%
     let thr = permutation_threshold(&series, &cfg).unwrap();
 
-    println!("original signal: {} events over {} s", timestamps.len(), series.span_seconds());
+    println!(
+        "original signal: {} events over {} s",
+        timestamps.len(),
+        series.span_seconds()
+    );
     println!("periodogram max power p_max(x)   = {:.2}", pg.max_power());
     println!("permutation threshold p_T (m=20) = {:.2}", thr.threshold);
     println!(

@@ -47,9 +47,8 @@ fn main() {
     // The paper's interval list (Fig. 6(b)) has minimum 196 s and values
     // clustered near 390 s with occasional outages.
     let paper_intervals = [
-        404.0, 663.0, 400.0, 362.0, 1933.0, 445.0, 407.0, 423.0, 372.0, 395.0, 362.0, 400.0,
-        369.0, 822.0, 5512.0, 196.0, 1023.0, 635.0, 817.0, 919.0, 492.0, 423.0, 391.0, 442.0,
-        759.0,
+        404.0, 663.0, 400.0, 362.0, 1933.0, 445.0, 407.0, 423.0, 372.0, 395.0, 362.0, 400.0, 369.0,
+        822.0, 5512.0, 196.0, 1023.0, 635.0, 817.0, 919.0, 492.0, 423.0, 391.0, 442.0, 759.0,
     ];
     let span: f64 = paper_intervals.iter().sum();
     let decisions = prune_candidates(
@@ -73,7 +72,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["freq (Hz)", "period (s)", "power", "p-value", "decision"], &rows)
+        render_table(
+            &["freq (Hz)", "period (s)", "power", "p-value", "decision"],
+            &rows
+        )
     );
     let survivors: Vec<f64> = decisions
         .iter()

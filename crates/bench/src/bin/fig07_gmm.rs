@@ -61,10 +61,7 @@ fn main() {
         means.iter().any(|&m| (m - 4.5).abs() < 1.5),
         "fast component missing"
     );
-    assert!(
-        means.iter().any(|&m| m > 10.0),
-        "gap component missing"
-    );
+    assert!(means.iter().any(|&m| m > 10.0), "gap component missing");
     assert!(
         best.components().len() >= 2,
         "BIC must prefer a multi-component fit"

@@ -82,7 +82,10 @@ fn sweep(label: &str, p_miss: f64, add_rate: f64, sigmas: &[f64]) -> Vec<(f64, f
     }
     println!(
         "{}",
-        render_table(&["sigma (s)", "gamma_d (detect rate)", "delta_d (period err)"], &rows)
+        render_table(
+            &["sigma (s)", "gamma_d (detect rate)", "delta_d (period err)"],
+            &rows
+        )
     );
     out
 }
@@ -105,7 +108,12 @@ fn main() {
     ];
 
     let a = sweep("(a) Gaussian noise only", 0.0, 0.0, &sigmas);
-    let b1 = sweep("(b) missing events p=0.25 (no jitter sweep baseline)", 0.25, 0.0, &sigmas);
+    let b1 = sweep(
+        "(b) missing events p=0.25 (no jitter sweep baseline)",
+        0.25,
+        0.0,
+        &sigmas,
+    );
     let c1 = sweep("(c) adding events rate=0.5", 0.0, 0.5, &sigmas);
     let d25 = sweep("(d) Gaussian + missing p=0.25", 0.25, 0.0, &sigmas);
     let d50 = sweep("(d) Gaussian + missing p=0.50", 0.50, 0.0, &sigmas);
@@ -114,13 +122,24 @@ fn main() {
 
     println!("--- reliability thresholds (largest sigma with gamma_d >= 0.8) ---");
     let rows = vec![
-        vec!["Gaussian only".into(), f(threshold(&a), 0), "~30 (paper)".into()],
+        vec![
+            "Gaussian only".into(),
+            f(threshold(&a), 0),
+            "~30 (paper)".into(),
+        ],
         vec!["+ missing p=0.25".into(), f(threshold(&d25), 0), "".into()],
         vec!["+ missing p=0.50".into(), f(threshold(&d50), 0), "".into()],
-        vec!["+ missing p=0.75".into(), f(threshold(&d75), 0), "~7-11 (paper, worst case)".into()],
+        vec![
+            "+ missing p=0.75".into(),
+            f(threshold(&d75), 0),
+            "~7-11 (paper, worst case)".into(),
+        ],
         vec!["+ adding 0.75".into(), f(threshold(&dadd), 0), "".into()],
     ];
-    println!("{}", render_table(&["noise mix", "sigma threshold", "paper reference"], &rows));
+    println!(
+        "{}",
+        render_table(&["noise mix", "sigma threshold", "paper reference"], &rows)
+    );
 
     // Shape assertions: clean detection at low sigma; combined noise
     // degrades earlier than Gaussian-only.

@@ -40,7 +40,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["cases examined (uncertainty order)", "false negatives left"], &rows)
+        render_table(
+            &["cases examined (uncertainty order)", "false negatives left"],
+            &rows
+        )
     );
 
     // Shape assertions matching the paper: the curve is non-increasing and

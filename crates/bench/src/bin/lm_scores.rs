@@ -43,7 +43,10 @@ fn main() {
 
     let google = scorer.score("google.com");
     let dga = scorer.score("skmnikrzhrrzcjcxwfprgt.com");
-    println!("score gap google vs paper's DGA example: {:.1} nats", google - dga);
+    println!(
+        "score gap google vs paper's DGA example: {:.1} nats",
+        google - dga
+    );
     assert!(
         dga < google - 15.0,
         "DGA must score far below google.com (got {dga} vs {google})"

@@ -58,12 +58,15 @@ fn main() {
                 events.to_string(),
                 report.stats.pairs.to_string(),
                 format!("{:.2} s", elapsed),
-                format!(
-                    "{:.0}",
-                    report.stats.pairs as f64 / elapsed.max(1e-9)
-                ),
+                format!("{:.0}", report.stats.pairs as f64 / elapsed.max(1e-9)),
             ]);
-            json.push((hosts, label.to_string(), events, report.stats.pairs, elapsed));
+            json.push((
+                hosts,
+                label.to_string(),
+                events,
+                report.stats.pairs,
+                elapsed,
+            ));
             if label == "weekday" {
                 series.push((report.stats.pairs as f64, elapsed));
             }

@@ -94,9 +94,7 @@ fn main() {
             &rows
         )
     );
-    println!(
-        "paper reference: 34.6 B events, 35.6 TB total over the same six windows\n"
-    );
+    println!("paper reference: 34.6 B events, 35.6 TB total over the same six windows\n");
 
     // Shape check: extrapolated totals within an order of magnitude of the
     // paper's 34.6 B events.

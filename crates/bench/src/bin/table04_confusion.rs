@@ -29,7 +29,10 @@ fn main() {
         f(out.confusion.false_positive_rate(), 4)
     );
     println!("recall                  {}", f(out.confusion.recall(), 4));
-    println!("precision               {}", f(out.confusion.precision(), 4));
+    println!(
+        "precision               {}",
+        f(out.confusion.precision(), 4)
+    );
     println!("accuracy                {}", f(out.confusion.accuracy(), 4));
     println!(
         "OOB error (train)       {}",

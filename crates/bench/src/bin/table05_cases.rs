@@ -87,7 +87,12 @@ fn main() {
                 shown,
                 format!("{:.0} seconds", p),
                 c.to_string(),
-                if *m { "CONFIRMED (ground truth)" } else { "false positive" }.into(),
+                if *m {
+                    "CONFIRMED (ground truth)"
+                } else {
+                    "false positive"
+                }
+                .into(),
             ]
         })
         .collect();

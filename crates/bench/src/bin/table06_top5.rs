@@ -109,7 +109,10 @@ fn main() {
                 let pe = periods.entry(d.clone()).or_insert(f64::INFINITY);
                 *pe = pe.min(p);
             }
-            clients.entry(d).or_default().insert(rc.case.pair.source.clone());
+            clients
+                .entry(d)
+                .or_default()
+                .insert(rc.case.pair.source.clone());
         }
     }
 
@@ -151,7 +154,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Rank", "Domain name", "Smallest period", "Clients", "score", "verdict"],
+            &[
+                "Rank",
+                "Domain name",
+                "Smallest period",
+                "Clients",
+                "score",
+                "verdict"
+            ],
             &rows
         )
     );

@@ -418,12 +418,19 @@ mod tests {
         }
         let packed = compress(&s);
         assert_eq!(decompress(&packed).unwrap(), s);
-        assert!(packed.len() < s.len() / 4, "compressed {} of {}", packed.len(), s.len());
+        assert!(
+            packed.len() < s.len() / 4,
+            "compressed {} of {}",
+            packed.len(),
+            s.len()
+        );
     }
 
     #[test]
     fn roundtrip_binary_data() {
-        let data: Vec<u8> = (0..4096u64).map(|i| ((i * 2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..4096u64)
+            .map(|i| ((i * 2654435761) >> 13) as u8)
+            .collect();
         let packed = compress(&data);
         assert_eq!(decompress(&packed).unwrap(), data);
     }

@@ -277,9 +277,7 @@ mod tests {
     fn rank_by_uncertainty_orders_descending() {
         let (xs, ys) = linear_data(200);
         let rf = RandomForest::fit(&xs, &ys, &small_forest()).unwrap();
-        let cases: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64 * 5.0, 1.0, 1.0])
-            .collect();
+        let cases: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 5.0, 1.0, 1.0]).collect();
         let order = rf.rank_by_uncertainty(&cases);
         let us: Vec<f64> = order.iter().map(|&i| rf.uncertainty(&cases[i])).collect();
         for w in us.windows(2) {

@@ -121,7 +121,16 @@ impl DecisionTree {
         let idx: Vec<usize> = (0..xs.len()).collect();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut importances = vec![0.0; n_features];
-        let root = grow(xs, ys, &idx, 0, config, n_features, &mut rng, &mut importances);
+        let root = grow(
+            xs,
+            ys,
+            &idx,
+            0,
+            config,
+            n_features,
+            &mut rng,
+            &mut importances,
+        );
         let total: f64 = importances.iter().sum();
         if total > 0.0 {
             for v in importances.iter_mut() {
@@ -166,7 +175,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -310,8 +323,26 @@ fn grow(
             // Mean-decrease-in-impurity: weight the drop by the number of
             // samples the split acts on.
             importances[feature] += drop * idx.len() as f64;
-            let left = grow(xs, ys, &left_idx, depth + 1, config, n_features, rng, importances);
-            let right = grow(xs, ys, &right_idx, depth + 1, config, n_features, rng, importances);
+            let left = grow(
+                xs,
+                ys,
+                &left_idx,
+                depth + 1,
+                config,
+                n_features,
+                rng,
+                importances,
+            );
+            let right = grow(
+                xs,
+                ys,
+                &right_idx,
+                depth + 1,
+                config,
+                n_features,
+                rng,
+                importances,
+            );
             Node::Split {
                 feature,
                 threshold,
@@ -432,8 +463,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn predict_wrong_arity_panics() {
-        let t = DecisionTree::fit(&[vec![1.0], vec![2.0]], &[false, true], &TreeConfig::default())
-            .unwrap();
+        let t = DecisionTree::fit(
+            &[vec![1.0], vec![2.0]],
+            &[false, true],
+            &TreeConfig::default(),
+        )
+        .unwrap();
         t.predict(&[1.0, 2.0]);
     }
 

@@ -54,7 +54,10 @@ impl ActivitySummary {
             });
         }
         let pair = CommunicationPair::new(&records[0].source, &records[0].domain);
-        let mut timestamps: Vec<u64> = records.iter().map(|r| r.timestamp / scale * scale).collect();
+        let mut timestamps: Vec<u64> = records
+            .iter()
+            .map(|r| r.timestamp / scale * scale)
+            .collect();
         timestamps.sort_unstable();
         let first_timestamp = timestamps[0];
         let intervals = timestamps.windows(2).map(|w| w[1] - w[0]).collect();

@@ -165,9 +165,7 @@ fn parse_record(
             reason: "empty host".into(),
         });
     }
-    let token = path
-        .map(first_path_token)
-        .unwrap_or_default();
+    let token = path.map(first_path_token).unwrap_or_default();
     Ok(LogRecord::new(ts, source, host, token))
 }
 
@@ -243,7 +241,10 @@ mod tests {
         assert_eq!(parse_datetime("1970-01-01", "00:00:00"), Some(0));
         assert_eq!(parse_datetime("1970-01-02", "00:00:01"), Some(86_401));
         // 2015-03-01 00:00:00 UTC = 1425168000.
-        assert_eq!(parse_datetime("2015-03-01", "00:00:00"), Some(1_425_168_000));
+        assert_eq!(
+            parse_datetime("2015-03-01", "00:00:00"),
+            Some(1_425_168_000)
+        );
         // Leap year check: 2016-02-29 exists.
         assert!(parse_datetime("2016-02-29", "12:00:00").is_some());
     }

@@ -89,7 +89,10 @@ impl ConfusionMatrix {
 
 impl std::fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "                  classified benign  classified malicious")?;
+        writeln!(
+            f,
+            "                  classified benign  classified malicious"
+        )?;
         writeln!(
             f,
             "true benign       {:>17}  {:>20}",
@@ -146,10 +149,7 @@ impl Investigator {
     ///
     /// Propagates classifier training errors (empty set, degenerate
     /// config).
-    pub fn train(
-        labeled: &[(BeaconCase, bool)],
-        config: &ForestConfig,
-    ) -> Result<Self, CoreError> {
+    pub fn train(labeled: &[(BeaconCase, bool)], config: &ForestConfig) -> Result<Self, CoreError> {
         let xs: Vec<Vec<f64>> = labeled.iter().map(|(c, _)| case_features(c)).collect();
         let ys: Vec<bool> = labeled.iter().map(|(_, y)| *y).collect();
         let forest = RandomForest::fit(&xs, &ys, config)?;
@@ -378,8 +378,17 @@ mod tests {
         // of those should top the list.
         let top = imp[0].0;
         assert!(
-            ["acf score", "lm score", "popularity", "power", "match fraction", "interval cv", "compressibility", "symbol entropy"]
-                .contains(&top),
+            [
+                "acf score",
+                "lm score",
+                "popularity",
+                "power",
+                "match fraction",
+                "interval cv",
+                "compressibility",
+                "symbol entropy"
+            ]
+            .contains(&top),
             "unexpected top feature {top}"
         );
     }
@@ -387,9 +396,6 @@ mod tests {
     #[test]
     fn feature_vector_arity() {
         let case = mk_case("x.com", true, 1);
-        assert_eq!(
-            case_features(&case).len(),
-            baywatch_classifier::N_FEATURES
-        );
+        assert_eq!(case_features(&case).len(), baywatch_classifier::N_FEATURES);
     }
 }

@@ -15,6 +15,7 @@
 
 use baywatch_mapreduce::MapReduce;
 use baywatch_timeseries::detector::{DetectionReport, PeriodicityDetector};
+use baywatch_timeseries::workspace::with_thread_workspace;
 
 use crate::activity::ActivitySummary;
 use crate::pair::CommunicationPair;
@@ -97,6 +98,11 @@ pub fn rescale_and_merge(
 /// Beaconing-detection job: runs the periodicity detector on each summary
 /// in parallel; yields `(summary, report)` for pairs with at least one
 /// verified candidate period (the paper's `⟨AS, CP⟩` output).
+///
+/// Each reduce invocation runs through its worker thread's
+/// [`SpectralWorkspace`](baywatch_timeseries::workspace::SpectralWorkspace),
+/// so FFT plans are built once per thread per window and reused across
+/// every pair and every permutation round that thread processes.
 pub fn detect_beaconing(
     engine: &MapReduce,
     summaries: Vec<ActivitySummary>,
@@ -108,16 +114,18 @@ pub fn detect_beaconing(
             emit(summary.pair.clone(), summary);
         },
         move |_pair, group| {
-            let mut out = Vec::new();
-            for summary in group {
-                let timestamps = summary.timestamps();
-                if let Ok(report) = detector.detect(&timestamps) {
-                    if report.is_periodic() {
-                        out.push((summary, report));
+            with_thread_workspace(|ws| {
+                let mut out = Vec::new();
+                for summary in group {
+                    let timestamps = summary.timestamps();
+                    if let Ok(report) = detector.detect_in(ws, &timestamps) {
+                        if report.is_periodic() {
+                            out.push((summary, report));
+                        }
                     }
                 }
-            }
-            out
+                out
+            })
         },
     )
 }

@@ -52,9 +52,11 @@ mod tests {
 
     #[test]
     fn pairs_order_by_source_then_destination() {
-        let mut v = [CommunicationPair::new("b", "x.com"),
+        let mut v = [
+            CommunicationPair::new("b", "x.com"),
             CommunicationPair::new("a", "y.com"),
-            CommunicationPair::new("a", "x.com")];
+            CommunicationPair::new("a", "x.com"),
+        ];
         v.sort();
         assert_eq!(v[0], CommunicationPair::new("a", "x.com"));
         assert_eq!(v[2], CommunicationPair::new("b", "x.com"));

@@ -100,6 +100,7 @@ impl AnalysisReport {
 pub struct Baywatch {
     config: BaywatchConfig,
     engine: MapReduce,
+    detector: PeriodicityDetector,
     scorer: DomainScorer,
     global_whitelist: GlobalWhitelist,
     local_whitelist: LocalWhitelist,
@@ -123,9 +124,11 @@ impl Baywatch {
         };
         let local_whitelist = LocalWhitelist::new(config.local_tau);
         let engine = MapReduce::new(config.mapreduce);
+        let detector = PeriodicityDetector::new(config.detector.clone());
         Self {
             config,
             engine,
+            detector,
             scorer,
             global_whitelist,
             local_whitelist,
@@ -191,14 +194,18 @@ impl Baywatch {
         stats.after_local_whitelist = summaries.len();
 
         // ---- Filter 3: periodicity detection (§IV, §VII-D). ----
-        let detector = PeriodicityDetector::new(self.config.detector.clone());
-        let detections = jobs::detect_beaconing(&self.engine, summaries, &detector);
+        // The detector is built once per pipeline; inside the job each worker
+        // thread routes its FFTs through a thread-local spectral workspace,
+        // so plans are built once per thread and reused across the window.
+        let detections = jobs::detect_beaconing(&self.engine, summaries, &self.detector);
         stats.periodic = detections.len();
 
         // Similar-source counts among the candidate destinations.
         let mut similar: HashMap<&str, usize> = HashMap::new();
         for (summary, _) in &detections {
-            *similar.entry(summary.pair.destination.as_str()).or_insert(0) += 1;
+            *similar
+                .entry(summary.pair.destination.as_str())
+                .or_insert(0) += 1;
         }
         let similar: HashMap<String, usize> = similar
             .into_iter()

@@ -178,8 +178,8 @@ pub fn rank_cases(cases: &[BeaconCase], config: &RankConfig) -> (Vec<RankedCase>
         return (ranked, 0);
     }
     let scores: Vec<f64> = ranked.iter().map(|r| r.score).collect();
-    let threshold = percentile(&scores, config.report_percentile)
-        .expect("non-empty score distribution");
+    let threshold =
+        percentile(&scores, config.report_percentile).expect("non-empty score distribution");
     let cutoff = ranked.iter().take_while(|r| r.score >= threshold).count();
     (ranked, cutoff)
 }

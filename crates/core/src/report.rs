@@ -88,14 +88,24 @@ pub fn render_case(rank: usize, rc: &RankedCase, options: &ReportOptions) -> Str
         rc.case.similar_sources
     );
     if !rc.case.url_tokens.is_empty() {
-        let tokens: Vec<&str> = rc.case.url_tokens.iter().map(String::as_str).take(8).collect();
+        let tokens: Vec<&str> = rc
+            .case
+            .url_tokens
+            .iter()
+            .map(String::as_str)
+            .take(8)
+            .collect();
         let _ = writeln!(out, "    url tokens: {}", tokens.join(", "));
     }
     let periods: Vec<f64> = rc.case.candidates.iter().map(|c| c.period).collect();
     if !rc.case.intervals.is_empty() && !periods.is_empty() {
         let symbols = symbolize(&rc.case.intervals, &periods, options.symbol_tolerance);
         let shown = &symbols[..symbols.len().min(options.max_symbols)];
-        let ellipsis = if symbols.len() > shown.len() { "…" } else { "" };
+        let ellipsis = if symbols.len() > shown.len() {
+            "…"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "    series: {}{}",

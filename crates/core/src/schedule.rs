@@ -197,10 +197,7 @@ impl MultiScaleScheduler {
                 let better = best
                     .get(&key)
                     .map(|old| {
-                        det.report
-                            .best()
-                            .map(|c| c.acf_score)
-                            .unwrap_or(0.0)
+                        det.report.best().map(|c| c.acf_score).unwrap_or(0.0)
                             > old.report.best().map(|c| c.acf_score).unwrap_or(0.0)
                     })
                     .unwrap_or(true);
@@ -313,12 +310,10 @@ mod tests {
 
     #[test]
     fn invalid_tiers_rejected() {
-        assert!(MultiScaleScheduler::new(
-            vec![],
-            DetectorConfig::default(),
-            MapReduce::default()
-        )
-        .is_err());
+        assert!(
+            MultiScaleScheduler::new(vec![], DetectorConfig::default(), MapReduce::default())
+                .is_err()
+        );
         assert!(MultiScaleScheduler::new(
             vec![Tier {
                 name: "bad",

@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn mixed_tokens_threshold() {
         let f = TokenFilter::default(); // threshold 0.6
-        // 1 of 3 benign (33%) -> not filtered.
+                                        // 1 of 3 benign (33%) -> not filtered.
         assert!(!f.is_benign(&toks(&["update", "9f3ac1", "b27e90"])));
         // 2 of 3 benign (67%) -> filtered.
         assert!(f.is_benign(&toks(&["update", "version", "b27e90"])));

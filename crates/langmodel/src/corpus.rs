@@ -35,62 +35,61 @@ const WORDS: &[&str] = &[
     "food", "force", "forest", "forge", "form", "fort", "forum", "fox", "frame", "free", "fresh",
     "frog", "front", "fuel", "full", "fun", "fund", "fusion", "future", "galaxy", "game", "gate",
     "gear", "gem", "gene", "gift", "giga", "give", "glass", "globe", "goal", "gold", "good",
-    "grace", "grand", "grape", "graph", "grass", "gray", "great", "green", "grid", "grove",
-    "grow", "guard", "guide", "gulf", "guru", "hand", "happy", "harbor", "hash", "haven", "hawk",
-    "hazel", "head", "health", "heart", "heat", "help", "herb", "hero", "hill", "hive", "holly",
-    "home", "honey", "hook", "hope", "horizon", "host", "hot", "house", "hub", "hunt", "ice",
-    "idea", "index", "info", "ink", "inn", "iron", "island", "ivy", "jade", "jet", "job", "join",
-    "jolt", "journal", "joy", "jump", "junction", "jungle", "keep", "key", "kind", "king", "kit",
-    "kite", "lab", "lake", "lamp", "land", "lane", "large", "laser", "launch", "lawn", "layer",
-    "lead", "leaf", "league", "learn", "ledge", "legend", "lemon", "lens", "level", "life",
-    "lift", "light", "lily", "lime", "line", "link", "lion", "list", "live", "local", "lock",
-    "loft", "log", "logic", "long", "look", "loop", "lotus", "love", "luck", "lunar", "lux",
-    "mach", "magic", "magnet", "mail", "main", "make", "mango", "map", "maple", "march", "mark",
-    "market", "mars", "mart", "mass", "master", "match", "mate", "matrix", "max", "maze", "meadow",
-    "media", "mega", "melon", "memo", "mentor", "menu", "merit", "mesa", "mesh", "meta", "meter",
-    "metro", "micro", "mid", "mile", "milk", "mill", "mind", "mine", "mint", "mira", "mist",
-    "mix", "mobile", "mode", "model", "modern", "moment", "money", "moon", "more", "morning",
-    "moss", "motion", "motor", "mount", "mouse", "move", "movie", "music", "myth", "nano",
-    "nation", "native", "nature", "nav", "nest", "net", "new", "news", "next", "night", "nimbus",
-    "nine", "noble", "node", "north", "nota", "note", "nova", "oak", "ocean", "offer", "office",
-    "olive", "omega", "one", "onyx", "open", "opera", "orbit", "orchid", "order", "organic",
-    "origin", "osprey", "outlet", "owl", "pace", "pack", "page", "paint", "pal", "palm", "panda",
-    "panel", "paper", "park", "part", "pass", "path", "pay", "peak", "pearl", "pen", "people",
-    "pepper", "perk", "pet", "phase", "phone", "photo", "pick", "pilot", "pin", "pine", "pink",
-    "pioneer", "pixel", "place", "plan", "planet", "plant", "play", "plaza", "plum", "plus",
-    "point", "polar", "pond", "pool", "pop", "port", "portal", "post", "power", "press", "prime",
-    "print", "pro", "program", "project", "prompt", "proof", "pulse", "pump", "pure", "purple",
-    "push", "quad", "quail", "quality", "quartz", "quest", "quick", "quiet", "quill", "race",
-    "rack", "radar", "radio", "rain", "ranch", "range", "rapid", "raven", "ray", "reach", "read",
-    "real", "record", "red", "reef", "relay", "rent", "report", "rest", "retro", "rice", "rich",
-    "ride", "ridge", "right", "ring", "rise", "river", "road", "rock", "rocket", "room", "root",
-    "rose", "round", "route", "royal", "ruby", "run", "rush", "safe", "sage", "sail", "salt",
-    "sand", "save", "scale", "scan", "scene", "school", "scope", "score", "scout", "script",
-    "sea", "search", "season", "secure", "seed", "select", "sense", "sequoia", "serve", "service",
-    "set", "seven", "shade", "shape", "share", "sharp", "shell", "shield", "shift", "shine",
-    "ship", "shop", "shore", "short", "shot", "show", "side", "sight", "sign", "signal", "silk",
-    "silver", "simple", "site", "six", "sky", "sleek", "slice", "slide", "small", "smart",
-    "smile", "smooth", "snap", "snow", "social", "soft", "solar", "solid", "solve", "sonic",
-    "sound", "source", "south", "space", "spark", "spear", "speed", "sphere", "spice", "spin",
-    "spirit", "split", "sport", "spot", "spring", "sprint", "spruce", "square", "stack", "staff",
-    "stage", "star", "start", "state", "station", "stay", "steam", "steel", "stem", "step",
-    "stitch", "stock", "stone", "store", "storm", "story", "stream", "street", "stride", "strong",
-    "studio", "study", "style", "summit", "sun", "super", "supply", "surf", "swan", "sweet",
-    "swift", "switch", "sync", "system", "table", "tag", "tail", "talent", "talk", "tap",
-    "target", "task", "team", "tech", "tele", "temple", "ten", "term", "terra", "test", "text",
-    "theme", "think", "thread", "three", "thrive", "tick", "tide", "tiger", "time", "tin",
-    "tiny", "tip", "titan", "today", "token", "tone", "tool", "top", "torch", "total", "touch",
-    "tour", "tower", "town", "track", "trade", "trail", "train", "transfer", "travel", "tree",
-    "trek", "trend", "tribe", "trio", "trip", "true", "trust", "try", "tube", "tulip", "tune",
-    "turbo", "turn", "twin", "two", "ultra", "umbrella", "union", "unit", "unity", "up",
-    "update", "urban", "use", "user", "utopia", "valley", "value", "van", "vault", "vector",
-    "vega", "vein", "venture", "venue", "verse", "vertex", "vibe", "video", "view", "villa",
-    "vine", "vision", "vista", "vital", "vivid", "voice", "volt", "vortex", "voyage", "walk",
-    "wall", "want", "ward", "ware", "warm", "watch", "water", "wave", "way", "wealth", "weather",
-    "web", "well", "west", "whale", "wheel", "white", "wide", "wild", "will", "wind", "window",
-    "wing", "wire", "wise", "wish", "wolf", "wonder", "wood", "word", "work", "world", "wren",
-    "yard", "year", "yellow", "yield", "yoga", "young", "zen", "zenith", "zero", "zest", "zone",
-    "zoom",
+    "grace", "grand", "grape", "graph", "grass", "gray", "great", "green", "grid", "grove", "grow",
+    "guard", "guide", "gulf", "guru", "hand", "happy", "harbor", "hash", "haven", "hawk", "hazel",
+    "head", "health", "heart", "heat", "help", "herb", "hero", "hill", "hive", "holly", "home",
+    "honey", "hook", "hope", "horizon", "host", "hot", "house", "hub", "hunt", "ice", "idea",
+    "index", "info", "ink", "inn", "iron", "island", "ivy", "jade", "jet", "job", "join", "jolt",
+    "journal", "joy", "jump", "junction", "jungle", "keep", "key", "kind", "king", "kit", "kite",
+    "lab", "lake", "lamp", "land", "lane", "large", "laser", "launch", "lawn", "layer", "lead",
+    "leaf", "league", "learn", "ledge", "legend", "lemon", "lens", "level", "life", "lift",
+    "light", "lily", "lime", "line", "link", "lion", "list", "live", "local", "lock", "loft",
+    "log", "logic", "long", "look", "loop", "lotus", "love", "luck", "lunar", "lux", "mach",
+    "magic", "magnet", "mail", "main", "make", "mango", "map", "maple", "march", "mark", "market",
+    "mars", "mart", "mass", "master", "match", "mate", "matrix", "max", "maze", "meadow", "media",
+    "mega", "melon", "memo", "mentor", "menu", "merit", "mesa", "mesh", "meta", "meter", "metro",
+    "micro", "mid", "mile", "milk", "mill", "mind", "mine", "mint", "mira", "mist", "mix",
+    "mobile", "mode", "model", "modern", "moment", "money", "moon", "more", "morning", "moss",
+    "motion", "motor", "mount", "mouse", "move", "movie", "music", "myth", "nano", "nation",
+    "native", "nature", "nav", "nest", "net", "new", "news", "next", "night", "nimbus", "nine",
+    "noble", "node", "north", "nota", "note", "nova", "oak", "ocean", "offer", "office", "olive",
+    "omega", "one", "onyx", "open", "opera", "orbit", "orchid", "order", "organic", "origin",
+    "osprey", "outlet", "owl", "pace", "pack", "page", "paint", "pal", "palm", "panda", "panel",
+    "paper", "park", "part", "pass", "path", "pay", "peak", "pearl", "pen", "people", "pepper",
+    "perk", "pet", "phase", "phone", "photo", "pick", "pilot", "pin", "pine", "pink", "pioneer",
+    "pixel", "place", "plan", "planet", "plant", "play", "plaza", "plum", "plus", "point", "polar",
+    "pond", "pool", "pop", "port", "portal", "post", "power", "press", "prime", "print", "pro",
+    "program", "project", "prompt", "proof", "pulse", "pump", "pure", "purple", "push", "quad",
+    "quail", "quality", "quartz", "quest", "quick", "quiet", "quill", "race", "rack", "radar",
+    "radio", "rain", "ranch", "range", "rapid", "raven", "ray", "reach", "read", "real", "record",
+    "red", "reef", "relay", "rent", "report", "rest", "retro", "rice", "rich", "ride", "ridge",
+    "right", "ring", "rise", "river", "road", "rock", "rocket", "room", "root", "rose", "round",
+    "route", "royal", "ruby", "run", "rush", "safe", "sage", "sail", "salt", "sand", "save",
+    "scale", "scan", "scene", "school", "scope", "score", "scout", "script", "sea", "search",
+    "season", "secure", "seed", "select", "sense", "sequoia", "serve", "service", "set", "seven",
+    "shade", "shape", "share", "sharp", "shell", "shield", "shift", "shine", "ship", "shop",
+    "shore", "short", "shot", "show", "side", "sight", "sign", "signal", "silk", "silver",
+    "simple", "site", "six", "sky", "sleek", "slice", "slide", "small", "smart", "smile", "smooth",
+    "snap", "snow", "social", "soft", "solar", "solid", "solve", "sonic", "sound", "source",
+    "south", "space", "spark", "spear", "speed", "sphere", "spice", "spin", "spirit", "split",
+    "sport", "spot", "spring", "sprint", "spruce", "square", "stack", "staff", "stage", "star",
+    "start", "state", "station", "stay", "steam", "steel", "stem", "step", "stitch", "stock",
+    "stone", "store", "storm", "story", "stream", "street", "stride", "strong", "studio", "study",
+    "style", "summit", "sun", "super", "supply", "surf", "swan", "sweet", "swift", "switch",
+    "sync", "system", "table", "tag", "tail", "talent", "talk", "tap", "target", "task", "team",
+    "tech", "tele", "temple", "ten", "term", "terra", "test", "text", "theme", "think", "thread",
+    "three", "thrive", "tick", "tide", "tiger", "time", "tin", "tiny", "tip", "titan", "today",
+    "token", "tone", "tool", "top", "torch", "total", "touch", "tour", "tower", "town", "track",
+    "trade", "trail", "train", "transfer", "travel", "tree", "trek", "trend", "tribe", "trio",
+    "trip", "true", "trust", "try", "tube", "tulip", "tune", "turbo", "turn", "twin", "two",
+    "ultra", "umbrella", "union", "unit", "unity", "up", "update", "urban", "use", "user",
+    "utopia", "valley", "value", "van", "vault", "vector", "vega", "vein", "venture", "venue",
+    "verse", "vertex", "vibe", "video", "view", "villa", "vine", "vision", "vista", "vital",
+    "vivid", "voice", "volt", "vortex", "voyage", "walk", "wall", "want", "ward", "ware", "warm",
+    "watch", "water", "wave", "way", "wealth", "weather", "web", "well", "west", "whale", "wheel",
+    "white", "wide", "wild", "will", "wind", "window", "wing", "wire", "wise", "wish", "wolf",
+    "wonder", "wood", "word", "work", "world", "wren", "yard", "year", "yellow", "yield", "yoga",
+    "young", "zen", "zenith", "zero", "zest", "zone", "zoom",
 ];
 
 /// Top-level domains used by the synthetic expansion, weighted roughly like
@@ -169,8 +168,10 @@ mod tests {
             assert!(!d.starts_with('#'));
             assert!(d.contains('.'), "no TLD in {d}");
             assert!(
-                d.bytes()
-                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'-'),
+                d.bytes().all(|b| b.is_ascii_lowercase()
+                    || b.is_ascii_digit()
+                    || b == b'.'
+                    || b == b'-'),
                 "unexpected characters in {d}"
             );
         }

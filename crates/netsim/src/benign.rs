@@ -53,8 +53,7 @@ impl BrowsingModel {
         let n_sessions = poisson(rng, self.sessions_per_day);
         let mut out = Vec::new();
         for _ in 0..n_sessions {
-            let session_start =
-                day_start + rng.random_range(active_start..active_end);
+            let session_start = day_start + rng.random_range(active_start..active_end);
             let n_req = poisson(rng, self.requests_per_session).max(1);
             let mut t = session_start as f64;
             for _ in 0..n_req {

@@ -44,7 +44,10 @@ pub struct DnsEvent {
 /// assert_eq!(logged, vec![0, 300, 600, 900]);
 /// ```
 pub fn cache_filter(requests: &[u64], ttl: u64) -> Vec<u64> {
-    assert!(ttl > 0, "zero TTL disables caching; skip the filter instead");
+    assert!(
+        ttl > 0,
+        "zero TTL disables caching; skip the filter instead"
+    );
     let mut out = Vec::new();
     let mut expires_at: Option<u64> = None;
     for &t in requests {

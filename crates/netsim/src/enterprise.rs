@@ -165,8 +165,8 @@ impl EnterpriseSimulator {
         }
 
         // Malware campaigns.
-        let infected = ((config.hosts as f64 * config.infection_rate).round() as usize)
-            .min(config.hosts);
+        let infected =
+            ((config.hosts as f64 * config.infection_rate).round() as usize).min(config.hosts);
         let mut host_pool: Vec<u32> = (0..config.hosts as u32).collect();
         host_pool.shuffle(&mut rng);
         let roster: [MalwareProfile; 6] = [
@@ -246,8 +246,7 @@ impl EnterpriseSimulator {
             let host = HostId(h as u32);
             // Weekends: only a fraction of hosts are present at all.
             let presence_hash = stable_hash((self.config.seed, h, day, "presence"));
-            if weekend
-                && (presence_hash % 10_000) as f64 / 10_000.0 >= self.config.weekend_activity
+            if weekend && (presence_hash % 10_000) as f64 / 10_000.0 >= self.config.weekend_activity
             {
                 continue;
             }
@@ -260,10 +259,10 @@ impl EnterpriseSimulator {
             };
 
             // Browsing.
-            for t in self
-                .config
-                .browsing
-                .day_schedule(day_start, active_start, active_end, &mut rng)
+            for t in
+                self.config
+                    .browsing
+                    .day_schedule(day_start, active_start, active_end, &mut rng)
             {
                 let domain = self.catalog[self.zipf.sample(&mut rng)].clone();
                 let token = URL_TOKENS[rng.random_range(0..URL_TOKENS.len())];

@@ -114,7 +114,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for lambda in [0.5, 3.0, 20.0, 80.0] {
             let n = 5_000;
-            let mean = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            let mean = (0..n)
+                .map(|_| poisson(&mut rng, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
             assert!(
                 (mean - lambda).abs() < lambda.max(1.0) * 0.1,
                 "λ={lambda} mean={mean}"

@@ -34,7 +34,10 @@ pub fn trace_stats(events: &[ProxyEvent], top_k: usize) -> TraceStats {
     for e in events {
         hosts.insert(e.host);
         pairs.insert((e.host, e.domain.as_str()));
-        dest_sources.entry(e.domain.as_str()).or_default().insert(e.host);
+        dest_sources
+            .entry(e.domain.as_str())
+            .or_default()
+            .insert(e.host);
         t_min = t_min.min(e.timestamp);
         t_max = t_max.max(e.timestamp);
     }

@@ -14,7 +14,11 @@ impl std::fmt::Display for HostId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Render as a MAC-ish string for log realism.
         let b = self.0.to_be_bytes();
-        write!(f, "02:00:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3])
+        write!(
+            f,
+            "02:00:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3]
+        )
     }
 }
 

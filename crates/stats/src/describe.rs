@@ -174,7 +174,14 @@ impl std::fmt::Display for Summary {
         write!(
             f,
             "n={} mean={:.4} sd={:.4} min={:.4} q25={:.4} med={:.4} q75={:.4} max={:.4}",
-            self.count, self.mean, self.std_dev, self.min, self.q25, self.median, self.q75, self.max
+            self.count,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.q25,
+            self.median,
+            self.q75,
+            self.max
         )
     }
 }

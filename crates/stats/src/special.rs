@@ -234,7 +234,10 @@ pub fn erfc(x: f64) -> f64 {
 ///
 /// Panics if `p` is not strictly inside `(0, 1)`.
 pub fn inv_norm_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "inv_norm_cdf requires 0 < p < 1, got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inv_norm_cdf requires 0 < p < 1, got {p}"
+    );
 
     // Coefficients for Acklam's approximation.
     const A: [f64; 6] = [

@@ -12,7 +12,7 @@
 //! zero-pad, FFT, multiply by the conjugate, inverse FFT.
 
 use crate::series::TimeSeries;
-use rustfft::{num_complex::Complex, FftPlanner};
+use crate::workspace::{with_thread_workspace, SpectralWorkspace};
 
 /// The (biased, normalized) autocorrelation function of a series.
 ///
@@ -37,14 +37,27 @@ pub struct Autocorrelation {
 }
 
 impl Autocorrelation {
-    /// Computes the normalized autocorrelation of the mean-centered series.
+    /// Computes the normalized autocorrelation of the mean-centered series,
+    /// using the calling thread's shared [`SpectralWorkspace`].
     pub fn compute(series: &TimeSeries) -> Self {
-        Self::from_samples(&series.centered(), series.scale() as f64)
+        with_thread_workspace(|ws| Self::compute_in(ws, series))
+    }
+
+    /// Like [`Autocorrelation::compute`] with an explicit workspace.
+    pub fn compute_in(ws: &SpectralWorkspace, series: &TimeSeries) -> Self {
+        Self::from_samples_in(ws, &series.centered(), series.scale() as f64)
     }
 
     /// Computes the ACF of arbitrary mean-centered samples with spacing
     /// `dt` seconds.
     pub fn from_samples(samples: &[f64], dt: f64) -> Self {
+        with_thread_workspace(|ws| Self::from_samples_in(ws, samples, dt))
+    }
+
+    /// Like [`Autocorrelation::from_samples`] with an explicit workspace:
+    /// the forward/inverse plans at the padded length come from the
+    /// workspace's cache and both transforms run in its recycled buffer.
+    pub fn from_samples_in(ws: &SpectralWorkspace, samples: &[f64], dt: f64) -> Self {
         let n = samples.len();
         if n == 0 {
             return Self {
@@ -52,31 +65,20 @@ impl Autocorrelation {
                 dt,
             };
         }
-        // Zero-pad to >= 2n to make the circular convolution linear.
-        let padded = (2 * n).next_power_of_two();
-        let mut buf: Vec<Complex<f64>> = samples
-            .iter()
-            .map(|&v| Complex::new(v, 0.0))
-            .chain(std::iter::repeat(Complex::new(0.0, 0.0)))
-            .take(padded)
-            .collect();
-        let mut planner = FftPlanner::new();
-        planner.plan_fft_forward(padded).process(&mut buf);
-        for v in buf.iter_mut() {
-            *v = Complex::new(v.norm_sqr(), 0.0);
-        }
-        planner.plan_fft_inverse(padded).process(&mut buf);
-
-        let r0 = buf[0].re;
-        let values = if r0 <= 0.0 {
-            // Constant (zero after centering) series: define ACF as 1 at lag
-            // 0 and 0 elsewhere.
-            let mut v = vec![0.0; n];
-            v[0] = 1.0;
-            v
-        } else {
-            buf[..n].iter().map(|c| c.re / r0).collect()
-        };
+        // The workspace zero-pads to >= 2n (making the circular convolution
+        // linear), FFTs, multiplies by the conjugate and inverse-FFTs.
+        let values = ws.with_autocorrelation(samples, |correlation| {
+            let r0 = correlation[0].re;
+            if r0 <= 0.0 {
+                // Constant (zero after centering) series: define ACF as 1 at
+                // lag 0 and 0 elsewhere.
+                let mut v = vec![0.0; n];
+                v[0] = 1.0;
+                v
+            } else {
+                correlation[..n].iter().map(|c| c.re / r0).collect()
+            }
+        });
         Self { values, dt }
     }
 
@@ -160,7 +162,8 @@ impl Autocorrelation {
         // harmonics.
         let w_for = |lag: usize| -> usize {
             let rel = window_of(lag, params.rel_window);
-            let spread_bins = (spread_seconds * std::f64::consts::SQRT_2 / self.dt).round() as usize;
+            let spread_bins =
+                (spread_seconds * std::f64::consts::SQRT_2 / self.dt).round() as usize;
             rel.max(spread_bins).min((lag / 3).max(1))
         };
 
@@ -254,7 +257,11 @@ impl Autocorrelation {
             let ahi = (lag + 4 * w).min(n - 1);
             let ann_sum = range_sum(alo, ahi) - window_sum;
             let ann_len = ((ahi - alo + 1) as f64 - window_len).max(0.0);
-            let bg = if ann_len > 0.0 { ann_sum / ann_len } else { 0.0 };
+            let bg = if ann_len > 0.0 {
+                ann_sum / ann_len
+            } else {
+                0.0
+            };
             // √len normalization keeps the comparison fair across window
             // sizes: raw mass grows with the window, so wide (large-lag)
             // windows would otherwise win on accumulated noise alone.
@@ -350,6 +357,15 @@ mod tests {
     }
 
     #[test]
+    fn explicit_workspace_matches_thread_local() {
+        let series = beacon_series(60, 11);
+        let ws = crate::workspace::SpectralWorkspace::new();
+        let a = Autocorrelation::compute_in(&ws, &series);
+        let b = Autocorrelation::compute(&series);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn lag_zero_is_one() {
         let acf = Autocorrelation::compute(&beacon_series(50, 7));
         assert!((acf.value_at_lag(0).unwrap() - 1.0).abs() < 1e-9);
@@ -415,9 +431,7 @@ mod tests {
     #[test]
     fn verify_out_of_range_lag_is_none() {
         let acf = Autocorrelation::compute(&beacon_series(30, 5));
-        assert!(acf
-            .verify_candidate(1e9, &HillParams::default())
-            .is_none());
+        assert!(acf.verify_candidate(1e9, &HillParams::default()).is_none());
         assert!(acf.verify_candidate(0.0, &HillParams::default()).is_none());
     }
 
@@ -465,7 +479,9 @@ mod tests {
     #[test]
     fn strongest_hill_empty_range_is_none() {
         let acf = Autocorrelation::compute(&beacon_series(50, 10));
-        assert!(acf.strongest_hill(100, 50, &HillParams::default()).is_none());
+        assert!(acf
+            .strongest_hill(100, 50, &HillParams::default())
+            .is_none());
         assert!(acf.strongest_hill(0, 0, &HillParams::default()).is_none());
     }
 

@@ -8,9 +8,10 @@
 use crate::acf::{Autocorrelation, HillParams};
 use crate::gmm::{select_gmm, Gmm, GmmConfig};
 use crate::periodogram::Periodogram;
-use crate::permutation::{permutation_threshold, PermutationConfig};
+use crate::permutation::{permutation_threshold_in, PermutationConfig};
 use crate::prune::{prune_candidates, PruneConfig, PruneDecision};
 use crate::series::{intervals_of, TimeSeries};
+use crate::workspace::{with_thread_workspace, SpectralWorkspace};
 use crate::TimeSeriesError;
 
 /// Configuration of the full detection pipeline.
@@ -163,6 +164,22 @@ impl PeriodicityDetector {
     /// * [`TimeSeriesError::ZeroSpan`] when all events share one timestamp,
     /// * configuration errors from the sub-steps.
     pub fn detect(&self, timestamps: &[u64]) -> Result<DetectionReport, TimeSeriesError> {
+        with_thread_workspace(|ws| self.detect_in(ws, timestamps))
+    }
+
+    /// Like [`PeriodicityDetector::detect`] with an explicit
+    /// [`SpectralWorkspace`], so batch callers (the beaconing-detection
+    /// MapReduce job) reuse one plan cache across every pair a worker
+    /// thread processes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PeriodicityDetector::detect`].
+    pub fn detect_in(
+        &self,
+        ws: &SpectralWorkspace,
+        timestamps: &[u64],
+    ) -> Result<DetectionReport, TimeSeriesError> {
         if timestamps.len() < self.config.min_events {
             return Err(TimeSeriesError::TooFewEvents {
                 required: self.config.min_events,
@@ -176,7 +193,7 @@ impl PeriodicityDetector {
 
         let series = TimeSeries::from_timestamps(timestamps, self.config.time_scale)?
             .truncated(self.config.max_bins);
-        self.detect_series(&series, intervals)
+        self.detect_series_in(ws, &series, intervals)
     }
 
     /// Runs the pipeline on a pre-binned series (used after rescaling,
@@ -190,14 +207,63 @@ impl PeriodicityDetector {
         series: &TimeSeries,
         intervals: Vec<f64>,
     ) -> Result<DetectionReport, TimeSeriesError> {
+        with_thread_workspace(|ws| self.detect_series_in(ws, series, intervals))
+    }
+
+    /// Like [`PeriodicityDetector::detect_series`] with an explicit
+    /// [`SpectralWorkspace`]. All three FFT consumers — the periodogram,
+    /// the m permutation rounds and the ACF — share the workspace's plan
+    /// cache and scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PeriodicityDetector::detect_series`].
+    pub fn detect_series_in(
+        &self,
+        ws: &SpectralWorkspace,
+        series: &TimeSeries,
+        intervals: Vec<f64>,
+    ) -> Result<DetectionReport, TimeSeriesError> {
         // ---- Step 1: periodogram + permutation threshold. ----
-        let periodogram = Periodogram::compute(series);
-        let threshold = permutation_threshold(series, &self.config.permutation)?;
+        let periodogram = Periodogram::compute_in(ws, series);
+        let threshold = permutation_threshold_in(ws, series, &self.config.permutation)?;
         let mut raw = periodogram.lines_above(threshold.threshold);
-        raw.truncate(self.config.max_candidates);
+        let overflow = if raw.len() > self.config.max_candidates {
+            raw.split_off(self.config.max_candidates)
+        } else {
+            Vec::new()
+        };
+
+        // ---- Step 1a: harmonic-crowding guard. ----
+        // A clean impulse train whose observation span is not an integer
+        // multiple of its period (the generic case: N = P·(c−1)+1 bins)
+        // leaks comparable power into dozens of harmonic side-bins, and the
+        // strongest-k cut can then consist *entirely* of higher-harmonic
+        // lines. Each of those is later — correctly — pruned as below the
+        // minimum observed interval, leaving the pair undetected even
+        // though its fundamental cleared the permutation threshold. When
+        // the cut dropped lines and kept no physically plausible period
+        // (≥ the minimum positive interval, within the pruning tolerance),
+        // retain the strongest dropped line that is plausible; Step 2
+        // pruning and Step 3 ACF verification still gate it.
+        if !overflow.is_empty() {
+            let min_interval = intervals
+                .iter()
+                .copied()
+                .filter(|&i| i > 0.0)
+                .fold(f64::INFINITY, f64::min);
+            if min_interval.is_finite() {
+                let floor = min_interval * (1.0 - self.config.prune.mean_tolerance);
+                if !raw.iter().any(|l| l.period >= floor) {
+                    if let Some(&fundamental) = overflow.iter().find(|l| l.period >= floor) {
+                        raw.push(fundamental);
+                    }
+                }
+            }
+        }
 
         let span = series.span_seconds() as f64;
-        let acf = Autocorrelation::compute(series);
+        let acf = Autocorrelation::compute_in(ws, series);
 
         // ---- Step 1b: ACF-first candidate (Vlachos complementarity). ----
         // A near-perfect impulse train spreads periodogram energy over all
@@ -260,7 +326,10 @@ impl PeriodicityDetector {
             let median = sorted[sorted.len() / 2];
             let mean = intervals.iter().sum::<f64>() / intervals.len() as f64;
             let cv = if mean > 0.0 {
-                (intervals.iter().map(|i| (i - mean) * (i - mean)).sum::<f64>()
+                (intervals
+                    .iter()
+                    .map(|i| (i - mean) * (i - mean))
+                    .sum::<f64>()
                     / intervals.len() as f64)
                     .sqrt()
                     / mean
@@ -298,7 +367,9 @@ impl PeriodicityDetector {
             let matched: Vec<f64> = intervals
                 .iter()
                 .copied()
-                .filter(|&i| (i - d.line.period).abs() <= self.config.prune.match_band * d.line.period)
+                .filter(|&i| {
+                    (i - d.line.period).abs() <= self.config.prune.match_band * d.line.period
+                })
                 .collect();
             let spread = if matched.len() >= 2 {
                 let mean = matched.iter().sum::<f64>() / matched.len() as f64;
@@ -308,7 +379,9 @@ impl PeriodicityDetector {
             } else {
                 0.0
             };
-            if let Some(peak) = acf.verify_candidate_spread(d.line.period, spread, &self.config.hill) {
+            if let Some(peak) =
+                acf.verify_candidate_spread(d.line.period, spread, &self.config.hill)
+            {
                 // Deduplicate hills: two spectral lines may climb to the
                 // same ACF peak.
                 if candidates
@@ -454,7 +527,9 @@ mod tests {
 
     #[test]
     fn unsorted_rejected() {
-        let err = detector().detect(&[1, 5, 3, 9, 11, 20, 22, 30]).unwrap_err();
+        let err = detector()
+            .detect(&[1, 5, 3, 9, 11, 20, 22, 30])
+            .unwrap_err();
         assert!(matches!(err, TimeSeriesError::UnsortedTimestamps { .. }));
     }
 
@@ -562,6 +637,42 @@ mod tests {
     fn config_accessor() {
         let d = detector();
         assert_eq!(d.config().time_scale, 1);
+    }
+
+    #[test]
+    fn explicit_workspace_matches_thread_local() {
+        let ts = jittered_beacon(150, 83.0, 0.0, 6);
+        let ws = crate::workspace::SpectralWorkspace::new();
+        let a = detector().detect_in(&ws, &ts).unwrap();
+        let b = detector().detect(&ts).unwrap();
+        assert_eq!(a, b);
+        // Plan cache warm after one pair: a second pair of the same length
+        // builds no new plans.
+        let built = ws.plans_built();
+        detector().detect_in(&ws, &ts).unwrap();
+        assert_eq!(ws.plans_built(), built);
+    }
+
+    #[test]
+    fn fundamental_survives_harmonic_crowding() {
+        // A clean train spreads power over ~P/2 comparable harmonics; with a
+        // tiny top-k cut the kept lines can all be harmonics below the
+        // minimum interval (each correctly pruned), which silently dropped
+        // the fundamental before the harmonic-crowding guard existed.
+        let cfg = DetectorConfig {
+            max_candidates: 2,
+            ..Default::default()
+        };
+        for period in [83u64, 60, 47] {
+            let ts: Vec<u64> = (0..120).map(|i| 1_000_000 + i * period).collect();
+            let r = PeriodicityDetector::new(cfg.clone()).detect(&ts).unwrap();
+            let p = period as f64;
+            assert!(
+                r.candidates.iter().any(|c| (c.period - p).abs() <= 0.1 * p),
+                "period {period} lost with max_candidates=2: {:?}",
+                r.candidates
+            );
+        }
     }
 
     #[test]

@@ -395,7 +395,9 @@ mod tests {
     #[test]
     fn bic_prefers_one_for_unimodal() {
         let mut rng = StdRng::seed_from_u64(5);
-        let data: Vec<f64> = (0..400).map(|_| 60.0 + rng.random_range(-0.5..0.5)).collect();
+        let data: Vec<f64> = (0..400)
+            .map(|_| 60.0 + rng.random_range(-0.5..0.5))
+            .collect();
         let (best, _bics) = select_gmm(&data, &GmmConfig::default()).unwrap();
         // Tight unimodal data: dominant means should all be near 60.
         for m in best.dominant_means(0.2) {

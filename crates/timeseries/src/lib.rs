@@ -27,6 +27,11 @@
 //!    such as Conficker's 7–8 s bursts repeated every 3 hours (Fig. 7 of the
 //!    paper).
 //!
+//! All FFT work (periodogram, permutation rounds, ACF) runs through a
+//! per-thread [`workspace::SpectralWorkspace`] that caches plans by
+//! transform length and recycles scratch buffers, so a worker thread
+//! plans each length once per window instead of once per transform.
+//!
 //! The one-stop entry point is [`detector::PeriodicityDetector`]:
 //!
 //! ```
@@ -51,9 +56,11 @@ pub mod prune;
 pub mod series;
 pub mod spectrogram;
 pub mod symbolize;
+pub mod workspace;
 
 pub use detector::{CandidatePeriod, DetectionReport, DetectorConfig, PeriodicityDetector};
 pub use series::{intervals_of, TimeSeries};
+pub use workspace::SpectralWorkspace;
 
 /// Errors produced by the time-series analysis.
 #[derive(Debug, Clone, PartialEq)]

@@ -7,7 +7,7 @@
 //! and period `N·dt / k` seconds, where `dt` is the series' bin width.
 
 use crate::series::TimeSeries;
-use rustfft::{num_complex::Complex, FftPlanner};
+use crate::workspace::{with_thread_workspace, SpectralWorkspace};
 
 /// A single spectral line of the periodogram.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,15 +46,30 @@ pub struct Periodogram {
 
 impl Periodogram {
     /// Computes the one-sided periodogram of the series (mean-centered
-    /// before the FFT so the DC component is excluded).
+    /// before the FFT so the DC component is excluded), using the calling
+    /// thread's shared [`SpectralWorkspace`].
     pub fn compute(series: &TimeSeries) -> Self {
-        Self::from_samples(&series.centered(), series.scale() as f64)
+        with_thread_workspace(|ws| Self::compute_in(ws, series))
+    }
+
+    /// Like [`Periodogram::compute`] with an explicit workspace, so callers
+    /// that already hold one (the detector hot path) skip the thread-local
+    /// lookup.
+    pub fn compute_in(ws: &SpectralWorkspace, series: &TimeSeries) -> Self {
+        Self::from_samples_in(ws, &series.centered(), series.scale() as f64)
     }
 
     /// Computes the periodogram of arbitrary mean-centered samples with bin
     /// width `dt` seconds. Exposed for the permutation filter, which
     /// transforms shuffled copies of the same samples.
     pub fn from_samples(samples: &[f64], dt: f64) -> Self {
+        with_thread_workspace(|ws| Self::from_samples_in(ws, samples, dt))
+    }
+
+    /// Like [`Periodogram::from_samples`] with an explicit workspace: the
+    /// FFT plan comes from the workspace's cache and the transform runs in
+    /// its recycled buffer.
+    pub fn from_samples_in(ws: &SpectralWorkspace, samples: &[f64], dt: f64) -> Self {
         let n = samples.len();
         if n < 4 {
             return Self {
@@ -63,23 +78,21 @@ impl Periodogram {
                 dt,
             };
         }
-        let mut buf: Vec<Complex<f64>> = samples.iter().map(|&v| Complex::new(v, 0.0)).collect();
-        let mut planner = FftPlanner::new();
-        let fft = planner.plan_fft_forward(n);
-        fft.process(&mut buf);
-
         let half = n / 2;
-        let mut lines = Vec::with_capacity(half.saturating_sub(1));
-        for (k, value) in buf.iter().enumerate().take(half + 1).skip(1) {
-            let power = value.norm_sqr() / n as f64;
-            let frequency = k as f64 / (n as f64 * dt);
-            lines.push(SpectralLine {
-                bin: k,
-                frequency,
-                period: 1.0 / frequency,
-                power,
-            });
-        }
+        let lines = ws.with_spectrum(samples, |spectrum| {
+            let mut lines = Vec::with_capacity(half);
+            for (k, value) in spectrum.iter().enumerate().take(half + 1).skip(1) {
+                let power = value.norm_sqr() / n as f64;
+                let frequency = k as f64 / (n as f64 * dt);
+                lines.push(SpectralLine {
+                    bin: k,
+                    frequency,
+                    period: 1.0 / frequency,
+                    power,
+                });
+            }
+            lines
+        });
         Self { lines, n, dt }
     }
 
@@ -158,7 +171,11 @@ mod tests {
         let ts = sine_series(1024, 16.0, 60);
         let pg = Periodogram::compute(&ts);
         let peak = pg.max_line().unwrap();
-        assert!((peak.period - 960.0).abs() < 15.0, "period = {}", peak.period);
+        assert!(
+            (peak.period - 960.0).abs() < 15.0,
+            "period = {}",
+            peak.period
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! of 20 for C = 95 %) yields the power threshold `p_T`: original-series
 //! frequencies with power above `p_T` are unlikely to be noise.
 
-use crate::periodogram::Periodogram;
 use crate::series::TimeSeries;
+use crate::workspace::{with_thread_workspace, SpectralWorkspace};
 use crate::TimeSeriesError;
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -94,16 +94,45 @@ pub fn permutation_threshold(
     series: &TimeSeries,
     config: &PermutationConfig,
 ) -> Result<PermutationThreshold, TimeSeriesError> {
+    with_thread_workspace(|ws| permutation_threshold_in(ws, series, config))
+}
+
+/// Like [`permutation_threshold`] with an explicit [`SpectralWorkspace`].
+///
+/// The `m` rounds shuffle one sample buffer in place and transform it
+/// through the workspace's cached plan and recycled complex buffer — the
+/// seed implementation instead built a fresh `FftPlanner` and allocated a
+/// full spectral-line table per round, which dominated the per-pair cost.
+/// Only the per-shuffle *maximum* power is extracted, since that is all
+/// the order statistic needs. The shuffle RNG is seeded exactly as before
+/// (one `StdRng` stream across all rounds), so thresholds are bit-for-bit
+/// identical to the seed implementation.
+pub fn permutation_threshold_in(
+    ws: &SpectralWorkspace,
+    series: &TimeSeries,
+    config: &PermutationConfig,
+) -> Result<PermutationThreshold, TimeSeriesError> {
     config.validate()?;
     let mut samples = series.centered();
-    let dt = series.scale() as f64;
+    let n = samples.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     let mut maxima = Vec::with_capacity(config.permutations);
     for _ in 0..config.permutations {
         samples.shuffle(&mut rng);
-        let pg = Periodogram::from_samples(&samples, dt);
-        maxima.push(pg.max_power());
+        // Degenerate series (< 4 bins) have an empty spectrum: max power 0,
+        // matching `Periodogram::from_samples` on the same input.
+        let max_power = if n < 4 {
+            0.0
+        } else {
+            ws.with_spectrum(&samples, |spectrum| {
+                spectrum[1..=n / 2]
+                    .iter()
+                    .map(|v| v.norm_sqr() / n as f64)
+                    .fold(0.0, f64::max)
+            })
+        };
+        maxima.push(max_power);
     }
     maxima.sort_by(|a, b| a.partial_cmp(b).expect("power is never NaN"));
 
@@ -120,6 +149,7 @@ pub fn permutation_threshold(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::periodogram::Periodogram;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -192,6 +222,19 @@ mod tests {
         };
         let thr = permutation_threshold(&series, &cfg).unwrap();
         assert_eq!(thr.threshold, *thr.shuffled_maxima.last().unwrap());
+    }
+
+    #[test]
+    fn explicit_workspace_matches_thread_local() {
+        let series = beacon_series(80, 15);
+        let cfg = PermutationConfig::default();
+        let ws = crate::workspace::SpectralWorkspace::new();
+        let a = permutation_threshold_in(&ws, &series, &cfg).unwrap();
+        let b = permutation_threshold(&series, &cfg).unwrap();
+        assert_eq!(a, b);
+        // One plan for the series length, m transforms through it.
+        assert_eq!(ws.plans_built(), 1);
+        assert_eq!(ws.transforms_run(), cfg.permutations);
     }
 
     #[test]

@@ -245,7 +245,11 @@ fn prune_one(
             };
         }
     }
-    let test_sample: &[f64] = if matched.len() >= 2 { &matched } else { intervals };
+    let test_sample: &[f64] = if matched.len() >= 2 {
+        &matched
+    } else {
+        intervals
+    };
     // Robust location check first: adding-event noise splits genuine
     // intervals and drags the subset *mean* off the true period while the
     // *median* stays put, so the tolerance shortcut is median-based.
@@ -404,13 +408,8 @@ mod tests {
         intervals.extend(vec![90.0; 15]);
         intervals.extend(vec![135.0; 5]);
         let span: f64 = intervals.iter().sum();
-        let d = prune_candidates(
-            &[mk(45.0, 10.0)],
-            &intervals,
-            span,
-            &PruneConfig::default(),
-        )
-        .unwrap();
+        let d =
+            prune_candidates(&[mk(45.0, 10.0)], &intervals, span, &PruneConfig::default()).unwrap();
         assert!(d[0].survived(), "rejected: {:?}", d[0].rejected);
     }
 

@@ -1,0 +1,356 @@
+//! Spectral workspace — cached FFT plans and reusable scratch buffers.
+//!
+//! Every step of the detection pipeline is FFT-bound: the periodogram
+//! (Step 1) transforms the count series once, the permutation filter
+//! transforms `m` shuffled copies of the *same length*, and the ACF
+//! verifier (Step 3) runs a forward/inverse pair at the padded length.
+//! Planning an FFT is far from free — rustfft decomposes the length into
+//! a recipe of butterflies and allocates twiddle tables — and the seed
+//! implementation rebuilt a fresh [`FftPlanner`] for every single
+//! transform, i.e. 20+ times per communication pair.
+//!
+//! [`SpectralWorkspace`] amortizes that cost: it owns one planner, a map
+//! of already-built forward/inverse plans keyed by transform length, and
+//! a complex scratch/working buffer that is recycled between transforms.
+//! A workspace is deliberately single-threaded (`!Sync`, interior
+//! mutability via [`RefCell`]); each MapReduce worker thread gets its own
+//! instance through [`with_thread_workspace`], so plans are reused across
+//! every pair and permutation round the thread processes during a window
+//! without any locking.
+//!
+//! The numerical output is bit-for-bit identical to planning from
+//! scratch: rustfft plans are deterministic functions of the length.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rustfft::{num_complex::Complex, Fft, FftPlanner};
+
+/// A per-thread cache of FFT plans plus reusable transform buffers.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_timeseries::workspace::SpectralWorkspace;
+///
+/// let ws = SpectralWorkspace::new();
+/// let samples = vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+/// // The Nyquist bin carries all the energy of an alternating series.
+/// let max = ws.with_spectrum(&samples, |spectrum| {
+///     spectrum[1..=4].iter().map(|v| v.norm_sqr()).fold(0.0, f64::max)
+/// });
+/// assert!(max > 0.0);
+/// // A second transform of the same length reuses the cached plan.
+/// ws.with_spectrum(&samples, |_| ());
+/// assert_eq!(ws.plans_built(), 1);
+/// assert_eq!(ws.transforms_run(), 2);
+/// ```
+pub struct SpectralWorkspace {
+    inner: RefCell<Inner>,
+}
+
+struct Inner {
+    planner: FftPlanner<f64>,
+    forward: HashMap<usize, Arc<dyn Fft<f64>>>,
+    inverse: HashMap<usize, Arc<dyn Fft<f64>>>,
+    /// Recycled complex working buffer (the transform target).
+    buffer: Vec<Complex<f64>>,
+    /// Recycled rustfft scratch space.
+    scratch: Vec<Complex<f64>>,
+    plans_built: usize,
+    transforms_run: usize,
+}
+
+const ZERO: Complex<f64> = Complex { re: 0.0, im: 0.0 };
+
+impl SpectralWorkspace {
+    /// Creates an empty workspace; plans are built lazily on first use.
+    pub fn new() -> Self {
+        Self {
+            inner: RefCell::new(Inner {
+                planner: FftPlanner::new(),
+                forward: HashMap::new(),
+                inverse: HashMap::new(),
+                buffer: Vec::new(),
+                scratch: Vec::new(),
+                plans_built: 0,
+                transforms_run: 0,
+            }),
+        }
+    }
+
+    /// The cached forward plan for length `n`, building it on first use.
+    pub fn forward(&self, n: usize) -> Arc<dyn Fft<f64>> {
+        self.plan(n, true)
+    }
+
+    /// The cached inverse plan for length `n`, building it on first use.
+    pub fn inverse(&self, n: usize) -> Arc<dyn Fft<f64>> {
+        self.plan(n, false)
+    }
+
+    fn plan(&self, n: usize, forward: bool) -> Arc<dyn Fft<f64>> {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let map = if forward {
+            &mut inner.forward
+        } else {
+            &mut inner.inverse
+        };
+        if let Some(plan) = map.get(&n) {
+            return Arc::clone(plan);
+        }
+        let plan = if forward {
+            inner.planner.plan_fft_forward(n)
+        } else {
+            inner.planner.plan_fft_inverse(n)
+        };
+        inner.plans_built += 1;
+        map.insert(n, Arc::clone(&plan));
+        plan
+    }
+
+    /// Number of distinct plans built so far (cache misses).
+    pub fn plans_built(&self) -> usize {
+        self.inner.borrow().plans_built
+    }
+
+    /// Number of transforms executed through the workspace.
+    pub fn transforms_run(&self) -> usize {
+        self.inner.borrow().transforms_run
+    }
+
+    /// Runs the forward DFT of `samples` into the recycled buffer and hands
+    /// the spectrum to `f`. No allocation occurs once the buffers have
+    /// grown to the working length.
+    pub fn with_spectrum<R>(&self, samples: &[f64], f: impl FnOnce(&[Complex<f64>]) -> R) -> R {
+        let fft = self.forward(samples.len());
+        let (mut buffer, mut scratch) = self.take_buffers();
+        buffer.clear();
+        buffer.extend(samples.iter().map(|&v| Complex::new(v, 0.0)));
+        run_in_place(&*fft, &mut buffer, &mut scratch);
+        let out = f(&buffer);
+        self.put_buffers(buffer, scratch, 1);
+        out
+    }
+
+    /// Computes the *raw* (unnormalized) circular autocorrelation of
+    /// `samples` via Wiener–Khinchin — zero-pad to the next power of two at
+    /// or above `2·len` (making the circular convolution linear), forward
+    /// FFT, multiply by the conjugate, inverse FFT — and hands the padded
+    /// result buffer to `f`. Entries `0..len` are the meaningful lags;
+    /// callers normalize by the lag-0 value. Both transforms run through
+    /// the plan cache and the recycled buffers.
+    pub fn with_autocorrelation<R>(
+        &self,
+        samples: &[f64],
+        f: impl FnOnce(&[Complex<f64>]) -> R,
+    ) -> R {
+        let padded = (2 * samples.len()).next_power_of_two();
+        let fwd = self.forward(padded);
+        let inv = self.inverse(padded);
+        let (mut buffer, mut scratch) = self.take_buffers();
+        buffer.clear();
+        buffer.extend(samples.iter().map(|&v| Complex::new(v, 0.0)));
+        buffer.resize(padded, ZERO);
+        run_in_place(&*fwd, &mut buffer, &mut scratch);
+        for v in buffer.iter_mut() {
+            *v = Complex::new(v.norm_sqr(), 0.0);
+        }
+        run_in_place(&*inv, &mut buffer, &mut scratch);
+        let out = f(&buffer);
+        self.put_buffers(buffer, scratch, 2);
+        out
+    }
+
+    /// Detaches the recycled buffers so a transform can run without holding
+    /// the `RefCell` borrow — re-entrant calls (a closure that itself uses
+    /// the workspace) then simply start from empty buffers instead of
+    /// panicking.
+    fn take_buffers(&self) -> (Vec<Complex<f64>>, Vec<Complex<f64>>) {
+        let mut inner = self.inner.borrow_mut();
+        (
+            std::mem::take(&mut inner.buffer),
+            std::mem::take(&mut inner.scratch),
+        )
+    }
+
+    fn put_buffers(&self, buffer: Vec<Complex<f64>>, scratch: Vec<Complex<f64>>, ran: usize) {
+        let mut inner = self.inner.borrow_mut();
+        // Keep the larger allocation: nested use may have grown a fresh pair.
+        if buffer.capacity() >= inner.buffer.capacity() {
+            inner.buffer = buffer;
+        }
+        if scratch.capacity() >= inner.scratch.capacity() {
+            inner.scratch = scratch;
+        }
+        inner.transforms_run += ran;
+    }
+}
+
+/// Runs `fft` in place over `buffer`, growing `scratch` as required.
+fn run_in_place(fft: &dyn Fft<f64>, buffer: &mut [Complex<f64>], scratch: &mut Vec<Complex<f64>>) {
+    let need = fft.get_inplace_scratch_len();
+    if scratch.len() < need {
+        scratch.resize(need, ZERO);
+    }
+    fft.process_with_scratch(buffer, scratch);
+}
+
+impl Default for SpectralWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SpectralWorkspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("SpectralWorkspace")
+            .field("forward_plans", &inner.forward.len())
+            .field("inverse_plans", &inner.inverse.len())
+            .field("plans_built", &inner.plans_built)
+            .field("transforms_run", &inner.transforms_run)
+            .finish()
+    }
+}
+
+thread_local! {
+    static THREAD_WORKSPACE: SpectralWorkspace = SpectralWorkspace::new();
+}
+
+/// Runs `f` with the calling thread's shared [`SpectralWorkspace`].
+///
+/// This is how the detection pipeline gets plan reuse without threading a
+/// workspace through every signature: `Periodogram::compute`,
+/// `permutation_threshold`, `Autocorrelation::compute` and
+/// `PeriodicityDetector::detect` all route here, so a MapReduce worker
+/// thread builds each plan once per window and reuses it for every pair
+/// and every permutation round it processes.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&SpectralWorkspace) -> R) -> R {
+    THREAD_WORKSPACE.with(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference spectrum computed the way the seed code did: fresh
+    /// planner, fresh buffers, every call.
+    fn naive_spectrum(samples: &[f64]) -> Vec<Complex<f64>> {
+        let mut buf: Vec<Complex<f64>> = samples.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mut planner = FftPlanner::new();
+        planner.plan_fft_forward(samples.len()).process(&mut buf);
+        buf
+    }
+
+    fn test_samples(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 7.3).sin() + 0.1 * i as f64)
+            .collect()
+    }
+
+    #[test]
+    fn spectrum_matches_fresh_planner_exactly() {
+        let ws = SpectralWorkspace::new();
+        for n in [8usize, 60, 256, 1000] {
+            let samples = test_samples(n);
+            let expected = naive_spectrum(&samples);
+            ws.with_spectrum(&samples, |got| {
+                assert_eq!(got.len(), expected.len());
+                for (g, e) in got.iter().zip(&expected) {
+                    assert_eq!(g, e, "n = {n}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn plans_are_cached_per_length() {
+        let ws = SpectralWorkspace::new();
+        let samples = test_samples(128);
+        for _ in 0..10 {
+            ws.with_spectrum(&samples, |_| ());
+        }
+        assert_eq!(ws.plans_built(), 1);
+        assert_eq!(ws.transforms_run(), 10);
+
+        let other = test_samples(96);
+        ws.with_spectrum(&other, |_| ());
+        assert_eq!(ws.plans_built(), 2);
+    }
+
+    #[test]
+    fn forward_and_inverse_plans_are_distinct() {
+        let ws = SpectralWorkspace::new();
+        let f = ws.forward(64);
+        let i = ws.inverse(64);
+        assert_eq!(ws.plans_built(), 2);
+        // Round trip: forward then inverse scales by n.
+        let mut buf: Vec<Complex<f64>> = test_samples(64)
+            .iter()
+            .map(|&v| Complex::new(v, 0.0))
+            .collect();
+        let original = buf.clone();
+        f.process(&mut buf);
+        i.process(&mut buf);
+        for (got, want) in buf.iter().zip(&original) {
+            assert!((got.re / 64.0 - want.re).abs() < 1e-9);
+            assert!((got.im / 64.0 - want.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn autocorrelation_lag0_dominates() {
+        let ws = SpectralWorkspace::new();
+        let samples = test_samples(100);
+        ws.with_autocorrelation(&samples, |buf| {
+            assert_eq!(buf.len(), 256); // (2·100).next_power_of_two()
+            let r0 = buf[0].re;
+            assert!(r0 > 0.0);
+            for (lag, v) in buf.iter().enumerate().take(100).skip(1) {
+                assert!(v.re.abs() <= r0 * (1.0 + 1e-9), "lag {lag}");
+            }
+        });
+        // One forward + one inverse plan at the padded length.
+        assert_eq!(ws.plans_built(), 2);
+        assert_eq!(ws.transforms_run(), 2);
+    }
+
+    #[test]
+    fn reentrant_use_does_not_panic() {
+        let ws = SpectralWorkspace::new();
+        let outer = test_samples(64);
+        let inner = test_samples(32);
+        let expected = naive_spectrum(&inner);
+        ws.with_spectrum(&outer, |_| {
+            // Nested use of the same workspace from inside a closure.
+            ws.with_spectrum(&inner, |got| {
+                for (g, e) in got.iter().zip(&expected) {
+                    assert_eq!(g, e);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn thread_workspace_persists_across_calls() {
+        let before = with_thread_workspace(|ws| ws.plans_built());
+        let samples = test_samples(333);
+        with_thread_workspace(|ws| ws.with_spectrum(&samples, |_| ()));
+        with_thread_workspace(|ws| ws.with_spectrum(&samples, |_| ()));
+        let after = with_thread_workspace(|ws| ws.plans_built());
+        // Both calls hit the same per-thread cache: one new plan at most
+        // (another test on this thread may have planned length 333 first).
+        assert!(after <= before + 1);
+    }
+
+    #[test]
+    fn debug_format_mentions_plan_counts() {
+        let ws = SpectralWorkspace::new();
+        ws.forward(16);
+        let s = format!("{ws:?}");
+        assert!(s.contains("plans_built"), "{s}");
+    }
+}

@@ -46,7 +46,11 @@ fn main() {
     );
     // Expiry lands on the next grid slot after the 300 s TTL, so the
     // observed renewal period lies between TTL and TTL + beacon period.
-    assert!(best.period >= 295.0 && best.period <= 365.0, "{}", best.period);
+    assert!(
+        best.period >= 295.0 && best.period <= 365.0,
+        "{}",
+        best.period
+    );
 
     // ---- DNS: aggregation. ----------------------------------------------
     println!("--- DNS behind an aggregating resolver ---");
@@ -119,7 +123,10 @@ fn main() {
             .map(|rc| rc.case.pair.to_string())
             .unwrap_or_else(|| "-".into())
     );
-    assert_eq!(report.stats.periodic, 1, "only the beaconing flow is periodic");
+    assert_eq!(
+        report.stats.periodic, 1,
+        "only the beaconing flow is periodic"
+    );
     println!("note: with no domain names the LM indicator is neutral — ranking relies on");
     println!("periodicity strength and popularity, exactly the §X trade-off.");
 }

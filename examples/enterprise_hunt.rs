@@ -53,7 +53,11 @@ fn main() {
         let events = sim.generate_day(day);
         let records = events.iter().map(record_from_event).collect();
         let report = engine.analyze(records);
-        let day_kind = if sim.is_weekend(day) { "weekend" } else { "weekday" };
+        let day_kind = if sim.is_weekend(day) {
+            "weekend"
+        } else {
+            "weekday"
+        };
         println!(
             "day {day} ({day_kind}): {} events, {} pairs, {} periodic, {} reported",
             report.stats.events, report.stats.pairs, report.stats.periodic, report.stats.reported
@@ -73,10 +77,7 @@ fn main() {
     }
 
     // ---- Score against ground truth. -----------------------------------
-    let true_hits: Vec<&String> = reported
-        .iter()
-        .filter(|d| truth.is_malicious(d))
-        .collect();
+    let true_hits: Vec<&String> = reported.iter().filter(|d| truth.is_malicious(d)).collect();
     let missed: Vec<&String> = truth
         .malicious_domains
         .iter()

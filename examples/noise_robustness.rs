@@ -53,9 +53,7 @@ fn main() {
             cells[0], cells[1], cells[2], cells[3]
         );
     }
-    println!(
-        "\nExpected shape (paper Fig. 10): near-perfect detection at low sigma, a"
-    );
+    println!("\nExpected shape (paper Fig. 10): near-perfect detection at low sigma, a");
     println!("degradation threshold around sigma ≈ 30 for Gaussian-only noise, and a");
     println!("threshold dropping to ≈ 7–11 when heavy missing-event noise is combined.");
 }

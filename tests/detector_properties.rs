@@ -6,6 +6,42 @@ use baywatch::timeseries::detector::{DetectorConfig, PeriodicityDetector};
 use baywatch::timeseries::series::{intervals_of, TimeSeries};
 use proptest::prelude::*;
 
+/// Deterministic replay of the recorded `clean_beacons_always_detected`
+/// proptest regression (`detector_properties.proptest-regressions`,
+/// shrunk to `period = 83, seed = 6`): a clean 83 s train must always
+/// yield a candidate within 10% of the truth, at every event count the
+/// property ranges over. The failure mode was harmonic crowding — with a
+/// span that is not an integer multiple of the period, the strongest-k
+/// periodogram cut could retain only higher-harmonic lines, all of which
+/// pruning then (correctly) rejected as below the minimum interval; see
+/// the harmonic-crowding guard in `PeriodicityDetector::detect_series_in`.
+#[test]
+fn regression_clean_beacon_period_83_seed_6() {
+    let detector = PeriodicityDetector::new(DetectorConfig::default());
+    for count in [60usize, 83, 100, 128, 150, 199] {
+        let ts = SyntheticBeacon {
+            period: 83.0,
+            count,
+            ..Default::default()
+        }
+        .generate(6);
+        let report = detector.detect(&ts).unwrap();
+        assert!(
+            report.is_periodic(),
+            "period 83, count {count} not detected"
+        );
+        let hit = report
+            .candidates
+            .iter()
+            .any(|c| (c.period - 83.0).abs() <= 8.3);
+        assert!(
+            hit,
+            "no candidate near 83 at count {count}: {:?}",
+            report.candidates
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -1,0 +1,153 @@
+//! Determinism regression tests: the full pipeline must produce identical
+//! ranked output run-to-run and regardless of how the work is spread over
+//! MapReduce worker threads.
+//!
+//! This pins two behaviors at once: the fixed-seed permutation threshold
+//! (`timeseries::permutation` derives every shuffle from one seeded
+//! `StdRng`, so the power threshold is a pure function of the series), and
+//! the thread-local spectral workspace (cached FFT plans must be
+//! numerically transparent — a pair's report cannot depend on which worker
+//! thread, with whatever warm plan cache, happened to process it).
+
+use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
+use baywatch::core::record::LogRecord;
+use baywatch::mapreduce::JobConfig;
+use baywatch::timeseries::detector::{DetectorConfig, PeriodicityDetector};
+use baywatch::timeseries::workspace::SpectralWorkspace;
+
+/// A mixed window: three beacons (one jitter-free, one with coarse
+/// timestamp quantization, one slow) plus deterministic human-like noise.
+fn window_records() -> Vec<LogRecord> {
+    let mut records = Vec::new();
+    for i in 0..120u64 {
+        records.push(LogRecord::new(
+            10_000 + i * 60,
+            "victim-a",
+            "qzkxwvbn.com",
+            "beacon",
+        ));
+    }
+    for i in 0..90u64 {
+        records.push(LogRecord::new(
+            20_000 + i * 83,
+            "victim-b",
+            "xkvqzw.net",
+            "cb",
+        ));
+    }
+    for i in 0..70u64 {
+        records.push(LogRecord::new(
+            5_000 + i * 420,
+            "victim-c",
+            "wvbnqz.org",
+            "ping",
+        ));
+    }
+    for h in 0..10u64 {
+        let mut t = 10_000u64;
+        for i in 0..50u64 {
+            t += 1 + (h * 7919 + i * i * 104_729) % 700;
+            records.push(LogRecord::new(
+                t,
+                format!("host{h}"),
+                format!("site{h}.example.org"),
+                "index",
+            ));
+        }
+    }
+    records
+}
+
+fn config_with(threads: usize, partitions: usize) -> BaywatchConfig {
+    BaywatchConfig {
+        // Tiny test population: disable the paper's τ_P = 1% local
+        // whitelist, which would otherwise swallow every destination.
+        local_tau: 0.9,
+        mapreduce: JobConfig {
+            threads,
+            partitions,
+        },
+        ..Default::default()
+    }
+}
+
+fn ranked_fingerprint(cfg: BaywatchConfig) -> Vec<(String, f64, Vec<f64>)> {
+    let mut engine = Baywatch::new(cfg);
+    let report = engine.analyze(window_records());
+    assert!(
+        !report.ranked.is_empty(),
+        "window must produce at least one ranked case"
+    );
+    report
+        .ranked
+        .iter()
+        .map(|r| {
+            (
+                format!("{}→{}", r.case.pair.source, r.case.pair.destination),
+                r.score,
+                r.case.candidates.iter().map(|c| c.period).collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn analyze_is_deterministic_run_to_run() {
+    let a = ranked_fingerprint(config_with(4, 8));
+    let b = ranked_fingerprint(config_with(4, 8));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn analyze_is_deterministic_across_thread_counts() {
+    let base = ranked_fingerprint(config_with(1, 8));
+    for threads in [2usize, 4, 8] {
+        let other = ranked_fingerprint(config_with(threads, 8));
+        assert_eq!(base, other, "ranked output changed with {threads} threads");
+    }
+}
+
+#[test]
+fn analyze_is_deterministic_across_partition_counts() {
+    let base = ranked_fingerprint(config_with(4, 1));
+    for partitions in [4usize, 32] {
+        let other = ranked_fingerprint(config_with(4, partitions));
+        assert_eq!(
+            base, other,
+            "ranked output changed with {partitions} partitions"
+        );
+    }
+}
+
+/// A detection report must not depend on which thread (with whatever
+/// already-warm plan cache) runs it: cold workspace, warm workspace and
+/// foreign-thread workspace all agree bit-for-bit.
+#[test]
+fn detection_report_is_workspace_independent() {
+    let timestamps: Vec<u64> = (0..150u64).map(|i| 1_000_000 + i * 83).collect();
+    let detector = PeriodicityDetector::new(DetectorConfig::default());
+
+    let cold = detector
+        .detect_in(&SpectralWorkspace::new(), &timestamps)
+        .unwrap();
+
+    let warm_ws = SpectralWorkspace::new();
+    // Warm the cache on unrelated lengths first.
+    let other: Vec<u64> = (0..80u64).map(|i| i * 61).collect();
+    detector.detect_in(&warm_ws, &other).unwrap();
+    let warm = detector.detect_in(&warm_ws, &timestamps).unwrap();
+
+    let foreign = std::thread::spawn({
+        let timestamps = timestamps.clone();
+        move || {
+            PeriodicityDetector::new(DetectorConfig::default())
+                .detect(&timestamps)
+                .unwrap()
+        }
+    })
+    .join()
+    .unwrap();
+
+    assert_eq!(cold, warm);
+    assert_eq!(cold, foreign);
+}

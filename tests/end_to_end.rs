@@ -33,7 +33,11 @@ fn daily_analysis_detects_majority_of_campaigns() {
 
     let mut flagged: HashSet<String> = HashSet::new();
     for day in 0..sim.config().days {
-        let records = sim.generate_day(day).iter().map(record_from_event).collect();
+        let records = sim
+            .generate_day(day)
+            .iter()
+            .map(record_from_event)
+            .collect();
         let report = engine.analyze(records);
         for rc in &report.ranked {
             flagged.insert(rc.case.pair.destination.clone());
@@ -74,7 +78,11 @@ fn ranked_output_prioritizes_malicious_over_benign_periodic() {
         .max()
         .unwrap_or(0)
         .min(sim.config().days - 1);
-    let records = sim.generate_day(day).iter().map(record_from_event).collect();
+    let records = sim
+        .generate_day(day)
+        .iter()
+        .map(record_from_event)
+        .collect();
     let report = engine.analyze(records);
 
     // Mean rank position of malicious destinations must beat benign ones.
@@ -125,13 +133,19 @@ fn novelty_store_deduplicates_across_days() {
     let records = sim.generate_day(0).iter().map(record_from_event).collect();
     let r0 = engine.analyze(records);
     for rc in &r0.ranked {
-        day0_reported.insert((rc.case.pair.source.clone(), rc.case.pair.destination.clone()));
+        day0_reported.insert((
+            rc.case.pair.source.clone(),
+            rc.case.pair.destination.clone(),
+        ));
     }
 
     let records = sim.generate_day(1).iter().map(record_from_event).collect();
     let r1 = engine.analyze(records);
     for rc in &r1.ranked {
-        let key = (rc.case.pair.source.clone(), rc.case.pair.destination.clone());
+        let key = (
+            rc.case.pair.source.clone(),
+            rc.case.pair.destination.clone(),
+        );
         assert!(
             !day0_reported.contains(&key),
             "pair {key:?} re-reported despite novelty filter"
