@@ -32,9 +32,12 @@ pub struct ActivitySummary {
 impl ActivitySummary {
     /// Builds a summary from the records of one pair.
     ///
-    /// Records may arrive unsorted (MapReduce shuffle order); they are
-    /// sorted here. All records must belong to the same pair — only the
-    /// first record's pair is consulted.
+    /// Records may arrive unsorted (MapReduce shuffle order) and may carry
+    /// duplicate timestamps (retransmissions, log replays, clock skew
+    /// folding two events onto one second); raw timestamps are sorted and
+    /// deduplicated here before quantization, so degraded input yields the
+    /// same summary as its clean equivalent. All records must belong to the
+    /// same pair — only the first record's pair is consulted.
     ///
     /// # Errors
     ///
@@ -54,11 +57,14 @@ impl ActivitySummary {
             });
         }
         let pair = CommunicationPair::new(&records[0].source, &records[0].domain);
-        let mut timestamps: Vec<u64> = records
-            .iter()
-            .map(|r| r.timestamp / scale * scale)
-            .collect();
-        timestamps.sort_unstable();
+        // Sort and dedupe *raw* timestamps first: an exact duplicate is one
+        // event observed twice and must collapse, while two distinct raw
+        // timestamps landing in the same coarse bin remain a genuine
+        // zero-interval (mapped to `y` by downstream symbolization).
+        let mut raw: Vec<u64> = records.iter().map(|r| r.timestamp).collect();
+        raw.sort_unstable();
+        raw.dedup();
+        let timestamps: Vec<u64> = raw.into_iter().map(|t| t / scale * scale).collect();
         let first_timestamp = timestamps[0];
         let intervals = timestamps.windows(2).map(|w| w[1] - w[0]).collect();
         let url_tokens = records
@@ -259,6 +265,34 @@ mod tests {
     fn errors_on_bad_input() {
         assert!(ActivitySummary::from_records(&[], 1).is_err());
         assert!(ActivitySummary::from_records(&records(("s", "d"), &[1]), 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_timestamps_collapse_to_one_event() {
+        let rs = records(("s", "d.com"), &[100, 200, 100, 300, 200, 100]);
+        let a = ActivitySummary::from_records(&rs, 1).unwrap();
+        assert_eq!(a.request_count(), 3);
+        assert_eq!(a.timestamps(), vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn out_of_order_duplicates_match_clean_input() {
+        let clean =
+            ActivitySummary::from_records(&records(("s", "d"), &[100, 160, 220]), 60).unwrap();
+        let messy =
+            ActivitySummary::from_records(&records(("s", "d"), &[220, 100, 160, 100, 220]), 60)
+                .unwrap();
+        assert_eq!(messy, clean);
+    }
+
+    #[test]
+    fn distinct_raw_times_in_same_bin_keep_zero_interval() {
+        // 10 and 20 are different events that share the 60 s bin: the
+        // coarse summary must keep the zero interval, not collapse it.
+        let rs = records(("s", "d.com"), &[10, 20, 70]);
+        let a = ActivitySummary::from_records(&rs, 60).unwrap();
+        assert_eq!(a.intervals, vec![0, 60]);
+        assert_eq!(a.request_count(), 3);
     }
 
     #[test]

@@ -46,6 +46,10 @@ fn role_of(field: &str) -> Role {
 
 /// Streaming ELFF reader.
 ///
+/// Ingest is lenient: truncated, garbled, or non-UTF-8 lines are counted
+/// (and sampled) in [`ReadOutcome::malformed_lines`] rather than aborting
+/// the file — at the paper's scale, corruption is routine.
+///
 /// # Errors
 ///
 /// Returns the underlying I/O error if the stream fails. Records that
@@ -71,8 +75,11 @@ pub fn read_elff<R: BufRead>(reader: R) -> std::io::Result<ReadOutcome> {
     let mut outcome = ReadOutcome::default();
     let mut roles: Option<Vec<Role>> = None;
 
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
+    // Byte-wise line splitting so invalid UTF-8 degrades to a malformed
+    // line (via the lossy conversion) instead of killing the whole stream.
+    for (i, raw) in reader.split(b'\n').enumerate() {
+        let raw = raw?;
+        let line = String::from_utf8_lossy(&raw);
         let line_number = i + 1;
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -86,7 +93,7 @@ pub fn read_elff<R: BufRead>(reader: R) -> std::io::Result<ReadOutcome> {
             continue;
         }
         let Some(roles) = roles.as_ref() else {
-            outcome.errors.push(ParseLineError {
+            outcome.note_error(ParseLineError {
                 line_number,
                 reason: "record before #Fields: directive".into(),
             });
@@ -94,7 +101,7 @@ pub fn read_elff<R: BufRead>(reader: R) -> std::io::Result<ReadOutcome> {
         };
         match parse_record(trimmed, roles, line_number) {
             Ok(r) => outcome.records.push(r),
-            Err(e) => outcome.errors.push(e),
+            Err(e) => outcome.note_error(e),
         }
     }
     Ok(outcome)
@@ -230,10 +237,22 @@ mod tests {
         let o = read_elff(SAMPLE.as_bytes()).unwrap();
         assert_eq!(o.records.len(), 2);
         assert_eq!(o.errors.len(), 1, "the '-' host line is rejected");
+        assert_eq!(o.malformed_lines, 1);
         let r = &o.records[0];
         assert_eq!(r.source, "10.1.2.3");
         assert_eq!(r.domain, "update.example.com");
         assert_eq!(r.url_token, "check");
+    }
+
+    #[test]
+    fn invalid_utf8_counts_as_malformed_line() {
+        let mut log = b"#Fields: x-timestamp c-ip cs-host\n".to_vec();
+        log.extend_from_slice(b"1000 10.0.0.1 a.com\n");
+        log.extend_from_slice(&[0x80, 0x81, b' ', 0xff, b'\n']);
+        log.extend_from_slice(b"1060 10.0.0.1 a.com\n");
+        let o = read_elff(log.as_slice()).unwrap();
+        assert_eq!(o.records.len(), 2);
+        assert_eq!(o.malformed_lines, 1);
     }
 
     #[test]

@@ -185,7 +185,7 @@ impl Investigator {
             .copied()
             .zip(self.forest.feature_importances())
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("importances are finite"));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 
@@ -220,8 +220,7 @@ impl Investigator {
         order.sort_by(|&a, &b| {
             verdicts[b]
                 .uncertainty
-                .partial_cmp(&verdicts[a].uncertainty)
-                .expect("uncertainty is never NaN")
+                .total_cmp(&verdicts[a].uncertainty)
                 .then(a.cmp(&b))
         });
 

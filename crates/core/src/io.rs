@@ -58,6 +58,10 @@ pub fn parse_line(line: &str, line_number: usize) -> Result<LogRecord, ParseLine
     Ok(LogRecord::new(timestamp, source, domain, token))
 }
 
+/// Cap on the number of [`ParseLineError`] samples kept in a
+/// [`ReadOutcome`]; [`ReadOutcome::malformed_lines`] stays exact past it.
+pub const ERROR_SAMPLE_LIMIT: usize = 64;
+
 /// Outcome of reading a log stream: the good records and the bad lines.
 #[derive(Debug, Clone, Default)]
 pub struct ReadOutcome {
@@ -65,11 +69,29 @@ pub struct ReadOutcome {
     pub records: Vec<LogRecord>,
     /// Per-line failures (the stream is not aborted on bad lines — at
     /// 30 B events, some corruption is a certainty, cf. Challenge 2).
+    /// Bounded to [`ERROR_SAMPLE_LIMIT`] samples; `malformed_lines` holds
+    /// the exact count.
     pub errors: Vec<ParseLineError>,
+    /// Exact number of lines that failed to parse (including any past the
+    /// sample bound).
+    pub malformed_lines: usize,
+}
+
+impl ReadOutcome {
+    /// Counts a malformed line, retaining the error itself only while
+    /// under the sample bound.
+    pub fn note_error(&mut self, e: ParseLineError) {
+        self.malformed_lines += 1;
+        if self.errors.len() < ERROR_SAMPLE_LIMIT {
+            self.errors.push(e);
+        }
+    }
 }
 
 /// Reads records from any `BufRead` source. Lines that are empty or start
-/// with `#` are skipped.
+/// with `#` are skipped. Ingest is lenient: a line that is truncated,
+/// garbled, or not valid UTF-8 is counted and sampled in the outcome — it
+/// never aborts the stream.
 ///
 /// # Errors
 ///
@@ -84,20 +106,23 @@ pub struct ReadOutcome {
 /// let data = "100\thost-a\texample.com\tindex\n# comment\nbogus\n200\thost-b\tx.org\t\n";
 /// let outcome = read_records(data.as_bytes()).unwrap();
 /// assert_eq!(outcome.records.len(), 2);
-/// assert_eq!(outcome.errors.len(), 1);
+/// assert_eq!(outcome.malformed_lines, 1);
 /// assert_eq!(outcome.records[0].domain, "example.com");
 /// ```
 pub fn read_records<R: BufRead>(reader: R) -> std::io::Result<ReadOutcome> {
     let mut outcome = ReadOutcome::default();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
+    // Byte-wise line splitting so invalid UTF-8 degrades to a malformed
+    // line (via the lossy conversion) instead of killing the whole stream.
+    for (i, raw) in reader.split(b'\n').enumerate() {
+        let raw = raw?;
+        let line = String::from_utf8_lossy(&raw);
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         match parse_line(trimmed, i + 1) {
             Ok(r) => outcome.records.push(r),
-            Err(e) => outcome.errors.push(e),
+            Err(e) => outcome.note_error(e),
         }
     }
     Ok(outcome)
@@ -185,8 +210,27 @@ mod tests {
         let outcome = read_records(data.as_bytes()).unwrap();
         assert_eq!(outcome.records.len(), 1);
         assert_eq!(outcome.errors.len(), 4);
+        assert_eq!(outcome.malformed_lines, 4);
         assert_eq!(outcome.errors[0].line_number, 1);
         assert!(!outcome.errors[0].to_string().is_empty());
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_malformed_line_not_a_stream_error() {
+        let mut data = b"100\ta\tb.com\tx\n".to_vec();
+        data.extend_from_slice(&[0xff, 0xfe, 0x00, 0x41, b'\n']);
+        data.extend_from_slice(b"200\ta\tb.com\ty\n");
+        let outcome = read_records(data.as_slice()).unwrap();
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(outcome.malformed_lines, 1);
+    }
+
+    #[test]
+    fn error_samples_are_bounded_but_count_is_exact() {
+        let data: String = (0..ERROR_SAMPLE_LIMIT + 10).map(|_| "garbage\n").collect();
+        let outcome = read_records(data.as_bytes()).unwrap();
+        assert_eq!(outcome.errors.len(), ERROR_SAMPLE_LIMIT);
+        assert_eq!(outcome.malformed_lines, ERROR_SAMPLE_LIMIT + 10);
     }
 
     #[test]

@@ -12,8 +12,17 @@
 //!
 //! (Destination popularity, §VII-C, lives in [`crate::popularity`]; ranking,
 //! §VII-E, in [`crate::rank`].)
+//!
+//! Every job runs on the fault-tolerant engine
+//! ([`MapReduce::run_fault_tolerant`]): a panicking mapper or reducer is
+//! retried, bisected, and quarantined instead of tearing down the window,
+//! and each `*_ft` variant returns a [`FaultReport`] alongside its results
+//! so the pipeline can record what was dropped. The plain-named wrappers
+//! keep the original infallible signatures for callers that don't need the
+//! report. An optional [`FaultPlan`] threads the deterministic
+//! fault-injection checkpoints through each phase for the robustness tests.
 
-use baywatch_mapreduce::MapReduce;
+use baywatch_mapreduce::{FaultPlan, FaultReport, MapReduce};
 use baywatch_timeseries::detector::{DetectionReport, PeriodicityDetector};
 use baywatch_timeseries::workspace::with_thread_workspace;
 
@@ -32,15 +41,38 @@ pub fn extract_summaries(
     records: Vec<LogRecord>,
     scale: u64,
 ) -> Vec<ActivitySummary> {
-    engine.run(
+    extract_summaries_ft(engine, records, scale, None).0
+}
+
+/// Fault-tolerant data extraction: like [`extract_summaries`], but survives
+/// panicking tasks (poison records are quarantined, poison pairs dropped)
+/// and reports what was lost. `plan` arms deterministic fault-injection
+/// checkpoints; pass `None` outside the harness.
+pub fn extract_summaries_ft(
+    engine: &MapReduce,
+    records: Vec<LogRecord>,
+    scale: u64,
+    plan: Option<&FaultPlan>,
+) -> (Vec<ActivitySummary>, FaultReport) {
+    engine.run_fault_tolerant(
         records,
         |record, emit| {
+            if let Some(plan) = plan {
+                plan.map_checkpoint(record);
+            }
             let key = CommunicationPair::new(&record.source, &record.domain);
-            emit(key, record);
+            emit(key, record.clone());
         },
-        move |_pair, group| {
-            vec![ActivitySummary::from_records(&group, scale)
-                .expect("reduce groups are non-empty and scale is validated")]
+        move |pair, group| {
+            if let Some(plan) = plan {
+                plan.reduce_checkpoint(pair);
+            }
+            // Groups are non-empty by construction and `scale` is validated
+            // upstream, but a degenerate group is skipped, not fatal.
+            match ActivitySummary::from_records(group, scale) {
+                Ok(summary) => vec![summary],
+                Err(_) => Vec::new(),
+            }
         },
     )
 }
@@ -57,11 +89,27 @@ pub fn rescale_and_merge(
     summaries: Vec<ActivitySummary>,
     new_scale: u64,
 ) -> Vec<ActivitySummary> {
-    engine.run(
+    rescale_and_merge_ft(engine, summaries, new_scale, None).0
+}
+
+/// Fault-tolerant rescaling & merging: like [`rescale_and_merge`], but a
+/// summary that cannot be rescaled *or* rebuilt is dropped (not fatal), a
+/// summary that cannot be merged is skipped from its group, and panicking
+/// tasks are quarantined per the engine's policy.
+pub fn rescale_and_merge_ft(
+    engine: &MapReduce,
+    summaries: Vec<ActivitySummary>,
+    new_scale: u64,
+    plan: Option<&FaultPlan>,
+) -> (Vec<ActivitySummary>, FaultReport) {
+    engine.run_fault_tolerant(
         summaries,
-        move |summary, emit| {
+        move |summary: &ActivitySummary, emit| {
+            if let Some(plan) = plan {
+                plan.map_checkpoint(&summary.pair);
+            }
             let rescaled = match summary.rescale(new_scale) {
-                Ok(s) => s,
+                Ok(s) => Some(s),
                 Err(_) => {
                     // Mixed scales: rebuild from quantized timestamps.
                     let records: Vec<LogRecord> = summary
@@ -76,21 +124,32 @@ pub fn rescale_and_merge(
                             )
                         })
                         .collect();
-                    let mut rebuilt = ActivitySummary::from_records(&records, new_scale)
-                        .expect("summary has at least one timestamp");
-                    rebuilt.url_tokens = summary.url_tokens.clone();
-                    rebuilt
+                    ActivitySummary::from_records(&records, new_scale)
+                        .ok()
+                        .map(|mut rebuilt| {
+                            rebuilt.url_tokens = summary.url_tokens.clone();
+                            rebuilt
+                        })
                 }
             };
-            emit(rescaled.pair.clone(), rescaled);
+            if let Some(rescaled) = rescaled {
+                emit(rescaled.pair.clone(), rescaled);
+            }
         },
-        |_pair, group| {
-            let mut it = group.into_iter();
-            let first = it.next().expect("groups are non-empty");
-            let merged = it.fold(first, |acc, s| {
-                acc.merge(&s).expect("same pair and scale by construction")
-            });
-            vec![merged]
+        |pair, group: &[ActivitySummary]| {
+            if let Some(plan) = plan {
+                plan.reduce_checkpoint(pair);
+            }
+            let mut acc: Option<ActivitySummary> = None;
+            for s in group {
+                acc = match acc {
+                    None => Some(s.clone()),
+                    // Same pair and scale by construction; a summary that
+                    // still refuses to merge is skipped, not fatal.
+                    Some(a) => Some(a.merge(s).unwrap_or(a)),
+                };
+            }
+            acc.into_iter().collect()
         },
     )
 }
@@ -108,19 +167,37 @@ pub fn detect_beaconing(
     summaries: Vec<ActivitySummary>,
     detector: &PeriodicityDetector,
 ) -> Vec<(ActivitySummary, DetectionReport)> {
-    engine.run(
+    detect_beaconing_ft(engine, summaries, detector, None).0
+}
+
+/// Fault-tolerant beaconing detection: like [`detect_beaconing`], but a
+/// pair whose detection panics is quarantined (costing that pair, not the
+/// window) and counted in the returned [`FaultReport`].
+pub fn detect_beaconing_ft(
+    engine: &MapReduce,
+    summaries: Vec<ActivitySummary>,
+    detector: &PeriodicityDetector,
+    plan: Option<&FaultPlan>,
+) -> (Vec<(ActivitySummary, DetectionReport)>, FaultReport) {
+    engine.run_fault_tolerant(
         summaries,
-        |summary, emit| {
-            emit(summary.pair.clone(), summary);
+        |summary: &ActivitySummary, emit| {
+            if let Some(plan) = plan {
+                plan.map_checkpoint(&summary.pair);
+            }
+            emit(summary.pair.clone(), summary.clone());
         },
-        move |_pair, group| {
+        move |pair, group: &[ActivitySummary]| {
+            if let Some(plan) = plan {
+                plan.reduce_checkpoint(pair);
+            }
             with_thread_workspace(|ws| {
                 let mut out = Vec::new();
                 for summary in group {
                     let timestamps = summary.timestamps();
                     if let Ok(report) = detector.detect_in(ws, &timestamps) {
                         if report.is_periodic() {
-                            out.push((summary, report));
+                            out.push((summary.clone(), report));
                         }
                     }
                 }
@@ -231,5 +308,60 @@ mod tests {
         let detector = PeriodicityDetector::new(DetectorConfig::default());
         let hits = detect_beaconing(&engine(), summaries, &detector);
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn extraction_quarantines_poison_pair_and_keeps_the_rest() {
+        let mut records = beacon_records("a", "x.com", 60, 10);
+        records.extend(beacon_records("bad", "evil.com", 30, 5));
+        let poison = format!("{:?}", CommunicationPair::new("bad", "evil.com"));
+        let plan = FaultPlan::new().poison_key(&poison);
+        let (summaries, report) = extract_summaries_ft(&engine(), records, 1, Some(&plan));
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].pair, CommunicationPair::new("a", "x.com"));
+        assert_eq!(report.quarantined_keys, 1);
+        assert_eq!(report.lost_values, 5);
+        assert!(plan.injected_faults() > 0);
+    }
+
+    #[test]
+    fn extraction_survives_transient_map_fault_without_loss() {
+        let records = beacon_records("a", "x.com", 60, 10);
+        let plan = FaultPlan::new().panic_on_map_call(3);
+        let clean = extract_summaries(&engine(), records.clone(), 1);
+        let (summaries, report) = extract_summaries_ft(&engine(), records, 1, Some(&plan));
+        assert_eq!(summaries, clean);
+        assert!(report.map_retries >= 1);
+        assert_eq!(report.quarantined_inputs, 0);
+    }
+
+    #[test]
+    fn detection_quarantines_poison_pair_and_keeps_the_rest() {
+        let mut records = beacon_records("infected", "evil.com", 60, 100);
+        records.extend(beacon_records("other", "beacon.net", 45, 100));
+        let summaries = extract_summaries(&engine(), records, 1);
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let poison = format!("{:?}", CommunicationPair::new("other", "beacon.net"));
+        let plan = FaultPlan::new().poison_key(&poison);
+        let (hits, report) = detect_beaconing_ft(&engine(), summaries, &detector, Some(&plan));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.pair.destination, "evil.com");
+        assert_eq!(report.quarantined_keys, 1);
+    }
+
+    #[test]
+    fn ft_jobs_with_no_plan_match_plain_jobs() {
+        let mut records = beacon_records("a", "x.com", 60, 30);
+        records.extend(beacon_records("b", "y.com", 90, 30));
+        let plain = extract_summaries(&engine(), records.clone(), 1);
+        let (ft, report) = extract_summaries_ft(&engine(), records, 1, None);
+        assert_eq!(ft, plain);
+        assert!(report.is_clean());
+
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let plain_hits = detect_beaconing(&engine(), plain.clone(), &detector);
+        let (ft_hits, report) = detect_beaconing_ft(&engine(), plain, &detector, None);
+        assert_eq!(ft_hits, plain_hits);
+        assert!(report.is_clean());
     }
 }

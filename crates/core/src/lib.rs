@@ -46,6 +46,9 @@
 //!     .any(|c| c.case.pair.destination == "qwzkrvbplm.com"));
 //! ```
 
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod activity;
 pub mod elff;
 pub mod investigate;

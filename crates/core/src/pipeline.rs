@@ -2,11 +2,13 @@
 //! (Fig. 3 of the paper).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use baywatch_langmodel::{corpus, DomainScorer};
-use baywatch_mapreduce::{JobConfig, MapReduce};
+use baywatch_mapreduce::{FaultPlan, FaultReport, JobConfig, MapReduce};
 use baywatch_timeseries::detector::{DetectorConfig, PeriodicityDetector};
 
+use crate::io::ReadOutcome;
 use crate::jobs;
 use crate::novelty::NoveltyStore;
 use crate::popularity::PopularityStats;
@@ -71,6 +73,15 @@ pub struct FilterStats {
     pub after_novelty: usize,
     /// Cases above the ranking percentile (filters 6–7).
     pub reported: usize,
+    /// Input lines that failed to parse during ingest (lenient mode); zero
+    /// when the window was handed over as already-parsed records.
+    pub malformed_lines: usize,
+    /// Events dropped by fault-tolerant execution (poison records plus
+    /// values lost with quarantined pairs during extraction).
+    pub skipped_events: usize,
+    /// Communication pairs quarantined after their map/reduce tasks kept
+    /// panicking (degraded mode: each costs one pair, not the run).
+    pub quarantined_pairs: usize,
 }
 
 /// The outcome of analyzing one window.
@@ -85,6 +96,14 @@ pub struct AnalysisReport {
     pub report_cutoff: usize,
     /// Popularity statistics of the window (useful to callers).
     pub popularity_total_sources: usize,
+    /// Aggregate fault-tolerance report across every MapReduce job in the
+    /// window (retries, quarantines, per-phase timings). Clean when no
+    /// task misbehaved.
+    pub faults: FaultReport,
+    /// Sampled ingest errors when the window came from
+    /// [`Baywatch::analyze_outcome`] (bounded; `stats.malformed_lines` is
+    /// the exact count).
+    pub malformed_samples: Vec<String>,
 }
 
 impl AnalysisReport {
@@ -105,6 +124,7 @@ pub struct Baywatch {
     global_whitelist: GlobalWhitelist,
     local_whitelist: LocalWhitelist,
     novelty: NoveltyStore,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Baywatch {
@@ -133,7 +153,21 @@ impl Baywatch {
             global_whitelist,
             local_whitelist,
             novelty: NoveltyStore::new(),
+            fault_plan: None,
         }
+    }
+
+    /// Arms a deterministic fault-injection plan: every MapReduce job run
+    /// by subsequent [`Baywatch::analyze`] calls routes its map/reduce
+    /// checkpoints through `plan`. Test-harness machinery; analysis still
+    /// completes (degraded) when the plan fires.
+    pub fn arm_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Disarms any armed fault-injection plan.
+    pub fn disarm_fault_plan(&mut self) {
+        self.fault_plan = None;
     }
 
     /// The active configuration.
@@ -158,7 +192,25 @@ impl Baywatch {
         &self.scorer
     }
 
+    /// Analyzes one window of pre-parsed log lines: like
+    /// [`Baywatch::analyze`], but carries the lenient-ingest tallies
+    /// (malformed-line count and error samples) from the [`ReadOutcome`]
+    /// into the report so degraded input stays visible downstream.
+    pub fn analyze_outcome(&mut self, outcome: ReadOutcome) -> AnalysisReport {
+        let malformed_lines = outcome.malformed_lines;
+        let malformed_samples: Vec<String> = outcome.errors.iter().map(|e| e.to_string()).collect();
+        let mut report = self.analyze(outcome.records);
+        report.stats.malformed_lines = malformed_lines;
+        report.malformed_samples = malformed_samples;
+        report
+    }
+
     /// Analyzes one window of records through filters 1–7.
+    ///
+    /// Every MapReduce job runs on the fault-tolerant engine: a poison
+    /// record or pair is quarantined (recorded in `stats.skipped_events` /
+    /// `stats.quarantined_pairs` and the aggregate `faults` report) and
+    /// the analysis completes on the surviving pairs instead of panicking.
     ///
     /// Filter 8 (bootstrap classification) is separate — see
     /// [`crate::investigate`] — because it needs manual labels.
@@ -167,13 +219,20 @@ impl Baywatch {
             events: records.len(),
             ..Default::default()
         };
+        let mut faults = FaultReport::default();
+        let plan = self.fault_plan.clone();
+        let plan = plan.as_deref();
 
         // ---- Popularity statistics (input to filter 2 & ranking). ----
         let popularity = PopularityStats::compute(&self.engine, &records);
 
         // ---- Data extraction (§VII-A). ----
-        let summaries = jobs::extract_summaries(&self.engine, records, self.config.time_scale);
+        let (summaries, extract_faults) =
+            jobs::extract_summaries_ft(&self.engine, records, self.config.time_scale, plan);
         stats.pairs = summaries.len();
+        stats.skipped_events = extract_faults.skipped_records();
+        stats.quarantined_pairs += extract_faults.quarantined_keys;
+        faults.absorb(&extract_faults);
 
         // ---- Filter 1: global whitelist. ----
         let summaries: Vec<_> = summaries
@@ -197,8 +256,12 @@ impl Baywatch {
         // The detector is built once per pipeline; inside the job each worker
         // thread routes its FFTs through a thread-local spectral workspace,
         // so plans are built once per thread and reused across the window.
-        let detections = jobs::detect_beaconing(&self.engine, summaries, &self.detector);
+        let (detections, detect_faults) =
+            jobs::detect_beaconing_ft(&self.engine, summaries, &self.detector, plan);
         stats.periodic = detections.len();
+        stats.quarantined_pairs +=
+            detect_faults.quarantined_keys + detect_faults.quarantined_inputs;
+        faults.absorb(&detect_faults);
 
         // Similar-source counts among the candidate destinations.
         let mut similar: HashMap<&str, usize> = HashMap::new();
@@ -255,6 +318,8 @@ impl Baywatch {
             ranked,
             report_cutoff,
             popularity_total_sources: popularity.total_sources(),
+            faults,
+            malformed_samples: Vec::new(),
         }
     }
 }
@@ -433,6 +498,76 @@ mod tests {
         assert!(s.after_token_filter <= s.periodic);
         assert!(s.after_novelty <= s.after_token_filter);
         assert!(s.reported <= s.after_novelty);
+    }
+
+    #[test]
+    fn clean_run_reports_no_faults() {
+        let mut records = Vec::new();
+        beacon(&mut records, "victim", "qzkxwv.com", 60, 100);
+        let mut engine = Baywatch::new(quiet_config());
+        let report = engine.analyze(records);
+        assert!(report.faults.is_clean());
+        assert_eq!(report.stats.quarantined_pairs, 0);
+        assert_eq!(report.stats.skipped_events, 0);
+        assert_eq!(report.stats.malformed_lines, 0);
+    }
+
+    #[test]
+    fn armed_fault_plan_degrades_instead_of_panicking() {
+        use crate::pair::CommunicationPair;
+        let mk = || {
+            let mut records = Vec::new();
+            beacon(&mut records, "victim", "qzkxwv.com", 60, 100);
+            beacon(&mut records, "other", "poison.example.net", 45, 50);
+            records
+        };
+        let poison = format!(
+            "{:?}",
+            CommunicationPair::new("other", "poison.example.net")
+        );
+        let plan = Arc::new(FaultPlan::new().poison_key(&poison));
+        let mut engine = Baywatch::new(quiet_config());
+        engine.arm_fault_plan(Arc::clone(&plan));
+        let report = engine.analyze(mk());
+        assert!(plan.injected_faults() > 0);
+        assert!(report.stats.quarantined_pairs >= 1);
+        assert!(!report.faults.is_clean());
+        assert!(report
+            .ranked
+            .iter()
+            .any(|c| c.case.pair.destination == "qzkxwv.com"));
+        assert!(report
+            .ranked
+            .iter()
+            .all(|c| c.case.pair.destination != "poison.example.net"));
+
+        // Disarmed, the same window runs clean again.
+        engine.disarm_fault_plan();
+        let clean = Baywatch::new(quiet_config()).analyze(mk());
+        assert!(clean.faults.is_clean());
+    }
+
+    #[test]
+    fn analyze_outcome_carries_malformed_tallies() {
+        let mut records = Vec::new();
+        beacon(&mut records, "victim", "qzkxwv.com", 60, 100);
+        // A second source keeps qzkxwv.com's popularity below the local
+        // whitelist threshold.
+        human(&mut records, "bystander", "other-site.net", 30, 7);
+        let mut data = Vec::new();
+        crate::io::write_records(&mut data, &records).unwrap();
+        data.extend_from_slice(b"garbled nonsense line\n");
+        data.extend_from_slice(b"another bad one\n");
+        let outcome = crate::io::read_records(data.as_slice()).unwrap();
+        let mut engine = Baywatch::new(quiet_config());
+        let report = engine.analyze_outcome(outcome);
+        assert_eq!(report.stats.malformed_lines, 2);
+        assert_eq!(report.malformed_samples.len(), 2);
+        assert_eq!(report.stats.events, 130);
+        assert!(report
+            .ranked
+            .iter()
+            .any(|c| c.case.pair.destination == "qzkxwv.com"));
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl BeaconCase {
         self.candidates
             .iter()
             .map(|c| c.period)
-            .min_by(|a, b| a.partial_cmp(b).expect("periods are finite"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Coefficient of variation of the interval list (0 when undefined).
@@ -170,16 +170,18 @@ pub fn rank_cases(cases: &[BeaconCase], config: &RankConfig) -> (Vec<RankedCase>
     let mut ranked: Vec<RankedCase> = cases.iter().map(|c| score_case(c, config)).collect();
     ranked.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
+            .total_cmp(&a.score)
             .then_with(|| a.case.pair.cmp(&b.case.pair))
     });
     if ranked.is_empty() {
         return (ranked, 0);
     }
     let scores: Vec<f64> = ranked.iter().map(|r| r.score).collect();
-    let threshold =
-        percentile(&scores, config.report_percentile).expect("non-empty score distribution");
+    // Non-empty by the guard above; degrade to "report nothing" rather
+    // than panic if the percentile is ever unavailable.
+    let Ok(threshold) = percentile(&scores, config.report_percentile) else {
+        return (ranked, 0);
+    };
     let cutoff = ranked.iter().take_while(|r| r.score >= threshold).count();
     (ranked, cutoff)
 }

@@ -46,13 +46,25 @@ pub fn render_funnel(report: &AnalysisReport) -> String {
         let _ = writeln!(out, "{label:<28}{value:>10}");
     };
     row("events", s.events);
+    row("malformed lines", s.malformed_lines);
+    row("skipped events (faults)", s.skipped_events);
     row("communication pairs", s.pairs);
+    row("quarantined pairs", s.quarantined_pairs);
     row("after global whitelist", s.after_global_whitelist);
     row("after local whitelist", s.after_local_whitelist);
     row("periodic (verified)", s.periodic);
     row("after URL-token filter", s.after_token_filter);
     row("after novelty analysis", s.after_novelty);
     row("reported (percentile)", s.reported);
+    if !report.faults.is_clean() {
+        let _ = writeln!(
+            out,
+            "degraded mode: {} map / {} reduce retries, {} quarantined unit(s)",
+            report.faults.map_retries,
+            report.faults.reduce_retries,
+            report.faults.quarantined_units()
+        );
+    }
     out
 }
 
@@ -216,10 +228,15 @@ mod tests {
                 after_token_filter: n_cases,
                 after_novelty: n_cases,
                 reported: n_cases.min(1),
+                malformed_lines: 0,
+                skipped_events: 0,
+                quarantined_pairs: 0,
             },
             report_cutoff: n_cases.min(1),
             ranked,
             popularity_total_sources: 20,
+            faults: Default::default(),
+            malformed_samples: Vec::new(),
         }
     }
 
@@ -228,7 +245,10 @@ mod tests {
         let text = render_funnel(&toy_report(3));
         for label in [
             "events",
+            "malformed lines",
+            "skipped events",
             "communication pairs",
+            "quarantined pairs",
             "global whitelist",
             "local whitelist",
             "periodic",
@@ -238,6 +258,22 @@ mod tests {
         ] {
             assert!(text.contains(label), "missing {label}");
         }
+        // Clean run: no degraded-mode banner.
+        assert!(!text.contains("degraded mode"));
+    }
+
+    #[test]
+    fn funnel_flags_degraded_runs() {
+        let mut report = toy_report(1);
+        report.stats.malformed_lines = 7;
+        report.stats.quarantined_pairs = 2;
+        report.faults.reduce_retries = 4;
+        report.faults.quarantined_keys = 2;
+        let text = render_funnel(&report);
+        assert!(text.contains("malformed lines"));
+        assert!(text.contains("7"));
+        assert!(text.contains("degraded mode"));
+        assert!(text.contains("2 quarantined unit(s)"));
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! Fault-tolerant execution support: retry/quarantine policy, the
+//! per-run [`FaultReport`], and the deterministic [`FaultPlan`] injection
+//! harness used by the robustness tests.
+//!
+//! The paper runs over ~30 B proxy events where pathological records are
+//! the norm; production MapReduce systems (Dean & Ghemawat) treat task
+//! failure and bad-record skipping as first-class for exactly that reason.
+//! [`MapReduce::run_fault_tolerant`](crate::MapReduce::run_fault_tolerant)
+//! follows the same model: every map chunk and reduce partition runs under
+//! `catch_unwind` with bounded retries, repeated failures are bisected down
+//! to the poison record or key, the poison unit is quarantined (counted and
+//! sampled, not propagated), and the run completes in degraded mode.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Retry and quarantine policy for a fault-tolerant run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Additional attempts granted to a failing task (map slice or reduce
+    /// key) before it is bisected or quarantined. `0` quarantines on the
+    /// first failure; the default of `2` absorbs transient faults.
+    pub max_task_retries: usize,
+    /// Upper bound on the number of `Debug` samples retained per category
+    /// in the [`FaultReport`] (quarantined inputs, keys, panic messages).
+    /// Counting is always exact; only the samples are bounded.
+    pub sample_limit: usize,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self {
+            max_task_retries: 2,
+            sample_limit: 8,
+        }
+    }
+}
+
+/// What the fault-tolerant engine had to do to complete a run.
+///
+/// Returned alongside the results by
+/// [`MapReduce::run_fault_tolerant`](crate::MapReduce::run_fault_tolerant);
+/// a clean run has all counters at zero ([`FaultReport::is_clean`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Map-side task attempts beyond the first (transient faults absorbed).
+    pub map_retries: usize,
+    /// Reduce-side task attempts beyond the first.
+    pub reduce_retries: usize,
+    /// Input records quarantined after bisection isolated them as poison.
+    pub quarantined_inputs: usize,
+    /// Reduce keys quarantined after retries were exhausted.
+    pub quarantined_keys: usize,
+    /// Shuffled values dropped together with quarantined reduce keys.
+    pub lost_values: usize,
+    /// `Debug` renderings of quarantined inputs (bounded sample).
+    pub input_samples: Vec<String>,
+    /// `Debug` renderings of quarantined reduce keys (bounded sample).
+    pub key_samples: Vec<String>,
+    /// Panic messages observed (bounded sample, deduplicated).
+    pub panic_samples: Vec<String>,
+    /// Wall-clock time of the map phase.
+    pub map_elapsed: Duration,
+    /// Wall-clock time of the shuffle phase.
+    pub shuffle_elapsed: Duration,
+    /// Wall-clock time of the reduce phase.
+    pub reduce_elapsed: Duration,
+}
+
+impl FaultReport {
+    /// Whether the run needed no retries and quarantined nothing.
+    pub fn is_clean(&self) -> bool {
+        self.map_retries == 0
+            && self.reduce_retries == 0
+            && self.quarantined_inputs == 0
+            && self.quarantined_keys == 0
+    }
+
+    /// Total quarantined units (poison inputs plus poison keys).
+    pub fn quarantined_units(&self) -> usize {
+        self.quarantined_inputs + self.quarantined_keys
+    }
+
+    /// Records that did not contribute to the output: poison inputs plus
+    /// the values dropped with quarantined keys.
+    pub fn skipped_records(&self) -> usize {
+        self.quarantined_inputs + self.lost_values
+    }
+
+    /// Folds another report into this one (counters summed, sample lists
+    /// concatenated under the same bound, phase timings added). Used when a
+    /// pipeline chains several fault-tolerant jobs and wants one aggregate.
+    pub fn absorb(&mut self, other: &FaultReport) {
+        self.map_retries += other.map_retries;
+        self.reduce_retries += other.reduce_retries;
+        self.quarantined_inputs += other.quarantined_inputs;
+        self.quarantined_keys += other.quarantined_keys;
+        self.lost_values += other.lost_values;
+        extend_bounded(&mut self.input_samples, &other.input_samples);
+        extend_bounded(&mut self.key_samples, &other.key_samples);
+        extend_bounded(&mut self.panic_samples, &other.panic_samples);
+        self.map_elapsed += other.map_elapsed;
+        self.shuffle_elapsed += other.shuffle_elapsed;
+        self.reduce_elapsed += other.reduce_elapsed;
+    }
+}
+
+/// Aggregate cap applied when merging sample lists across jobs.
+const ABSORB_SAMPLE_LIMIT: usize = 32;
+
+fn extend_bounded(dst: &mut Vec<String>, src: &[String]) {
+    for s in src {
+        if dst.len() >= ABSORB_SAMPLE_LIMIT {
+            break;
+        }
+        if !dst.contains(s) {
+            dst.push(s.clone());
+        }
+    }
+}
+
+/// Renders a panic payload as a message string.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Per-phase fault accumulator used inside the engine workers.
+#[derive(Debug, Default)]
+pub(crate) struct PhaseFaults {
+    pub retries: usize,
+    pub quarantined: usize,
+    pub lost_values: usize,
+    pub unit_samples: Vec<String>,
+    pub panic_samples: Vec<String>,
+}
+
+impl PhaseFaults {
+    pub fn note_panic(&mut self, payload: Box<dyn Any + Send>, policy: &FaultPolicy) {
+        let msg = panic_message(payload.as_ref());
+        if self.panic_samples.len() < policy.sample_limit && !self.panic_samples.contains(&msg) {
+            self.panic_samples.push(msg);
+        }
+    }
+
+    pub fn quarantine(&mut self, unit: String, lost_values: usize, policy: &FaultPolicy) {
+        self.quarantined += 1;
+        self.lost_values += lost_values;
+        if self.unit_samples.len() < policy.sample_limit {
+            self.unit_samples.push(unit);
+        }
+    }
+
+    pub fn merge(&mut self, other: PhaseFaults) {
+        self.retries += other.retries;
+        self.quarantined += other.quarantined;
+        self.lost_values += other.lost_values;
+        self.unit_samples.extend(other.unit_samples);
+        self.panic_samples.extend(other.panic_samples);
+    }
+}
+
+/// A deterministic fault-injection plan: the test harness arms one of
+/// these, the instrumented mappers/reducers call the `checkpoint`
+/// methods, and the plan panics at exactly the programmed points.
+///
+/// No randomness is involved — faults fire on the Nth map invocation
+/// (counted atomically across workers) or on exact `Debug` renderings of
+/// reduce keys / map inputs — so a failing run replays identically.
+///
+/// # Example
+///
+/// ```
+/// use baywatch_mapreduce::fault::FaultPlan;
+/// use baywatch_mapreduce::{JobConfig, MapReduce};
+///
+/// let plan = FaultPlan::new()
+///     .panic_on_map_call(1)      // one transient map fault, absorbed by retry
+///     .poison_key("\"bad\"");    // this key always fails → quarantined
+/// let engine = MapReduce::new(JobConfig { partitions: 4, threads: 2 });
+/// let (out, report) = engine.run_fault_tolerant(
+///     vec!["ok bad ok", "ok"],
+///     |doc, emit| {
+///         plan.map_checkpoint(doc);
+///         for w in doc.split_whitespace() {
+///             emit(w.to_owned(), 1usize);
+///         }
+///     },
+///     |word, ones| {
+///         plan.reduce_checkpoint(word);
+///         vec![(word.clone(), ones.len())]
+///     },
+/// );
+/// assert_eq!(out, vec![("ok".to_owned(), 3)]);
+/// assert_eq!(report.quarantined_keys, 1);
+/// assert!(report.map_retries >= 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    map_calls: AtomicUsize,
+    map_panic_calls: HashSet<usize>,
+    poison_inputs: HashSet<String>,
+    poison_keys: HashSet<String>,
+    transient_keys: Mutex<HashMap<String, usize>>,
+    injected: AtomicUsize,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults fire until programmed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panic on the `n`-th map checkpoint (0-based, counted atomically
+    /// across all workers and attempts). Because the counter advances on
+    /// every call, the fault is transient: the retry of the same slice
+    /// draws a later count and succeeds.
+    pub fn panic_on_map_call(mut self, n: usize) -> Self {
+        self.map_panic_calls.insert(n);
+        self
+    }
+
+    /// Panic whenever the map checkpoint sees an input whose `Debug`
+    /// rendering equals `input` — a permanent poison record, forcing
+    /// bisection and quarantine.
+    pub fn poison_input(mut self, input: &str) -> Self {
+        self.poison_inputs.insert(input.to_owned());
+        self
+    }
+
+    /// Panic whenever the reduce checkpoint sees a key whose `Debug`
+    /// rendering equals `key` — a permanent poison key, quarantined after
+    /// the retry budget is exhausted.
+    pub fn poison_key(mut self, key: &str) -> Self {
+        self.poison_keys.insert(key.to_owned());
+        self
+    }
+
+    /// Fail the reduce key with `Debug` rendering `key` for the next
+    /// `rounds` checkpoints, then let it succeed (a transient key fault,
+    /// absorbed by the retry budget when `rounds` is small enough).
+    pub fn fail_key(self, key: &str, rounds: usize) -> Self {
+        {
+            let mut map = lock_recovering(&self.transient_keys);
+            map.insert(key.to_owned(), rounds);
+        }
+        self
+    }
+
+    /// How many faults the plan has fired so far.
+    pub fn injected_faults(&self) -> usize {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Called by instrumented mappers once per map invocation; panics when
+    /// the plan says this invocation (or this input) must fail.
+    pub fn map_checkpoint<T: Debug>(&self, input: &T) {
+        let n = self.map_calls.fetch_add(1, Ordering::SeqCst);
+        if self.map_panic_calls.contains(&n) {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            panic!("injected fault: map call {n}");
+        }
+        if !self.poison_inputs.is_empty() {
+            let repr = format!("{input:?}");
+            if self.poison_inputs.contains(&repr) {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                panic!("injected fault: poison input {repr}");
+            }
+        }
+    }
+
+    /// Called by instrumented reducers once per key; panics when the plan
+    /// says this key must fail (permanently or for a remaining round).
+    pub fn reduce_checkpoint<K: Debug>(&self, key: &K) {
+        let repr = format!("{key:?}");
+        if self.poison_keys.contains(&repr) {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            panic!("injected fault: poison key {repr}");
+        }
+        let fire = {
+            let mut map = lock_recovering(&self.transient_keys);
+            match map.get_mut(&repr) {
+                Some(rounds) if *rounds > 0 => {
+                    *rounds -= 1;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if fire {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            panic!("injected fault: transient key {repr}");
+        }
+    }
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked (the
+/// entire point of this module is surviving panics).
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = FaultPolicy::default();
+        assert!(p.max_task_retries >= 1);
+        assert!(p.sample_limit >= 1);
+    }
+
+    #[test]
+    fn report_absorb_sums_counters() {
+        let mut a = FaultReport {
+            map_retries: 1,
+            quarantined_inputs: 2,
+            input_samples: vec!["x".into()],
+            map_elapsed: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let b = FaultReport {
+            map_retries: 2,
+            quarantined_keys: 1,
+            lost_values: 3,
+            input_samples: vec!["y".into()],
+            map_elapsed: Duration::from_millis(7),
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.map_retries, 3);
+        assert_eq!(a.quarantined_inputs, 2);
+        assert_eq!(a.quarantined_keys, 1);
+        assert_eq!(a.lost_values, 3);
+        assert_eq!(a.quarantined_units(), 3);
+        assert_eq!(a.skipped_records(), 5);
+        assert_eq!(a.input_samples, vec!["x".to_owned(), "y".to_owned()]);
+        assert_eq!(a.map_elapsed, Duration::from_millis(12));
+        assert!(!a.is_clean());
+        assert!(FaultReport::default().is_clean());
+    }
+
+    #[test]
+    fn plan_fires_on_programmed_map_call_only() {
+        let plan = FaultPlan::new().panic_on_map_call(1);
+        plan.map_checkpoint(&"a"); // call 0: fine
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.map_checkpoint(&"b") // call 1: fires
+        }));
+        assert!(err.is_err());
+        plan.map_checkpoint(&"c"); // call 2: fine again (transient)
+        assert_eq!(plan.injected_faults(), 1);
+    }
+
+    #[test]
+    fn plan_poison_input_fires_every_time() {
+        let plan = FaultPlan::new().poison_input("\"bad\"");
+        for _ in 0..3 {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                plan.map_checkpoint(&"bad")
+            }));
+            assert!(err.is_err());
+        }
+        plan.map_checkpoint(&"good");
+        assert_eq!(plan.injected_faults(), 3);
+    }
+
+    #[test]
+    fn plan_transient_key_recovers_after_rounds() {
+        let plan = FaultPlan::new().fail_key("\"k\"", 2);
+        for _ in 0..2 {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                plan.reduce_checkpoint(&"k")
+            }));
+            assert!(err.is_err());
+        }
+        plan.reduce_checkpoint(&"k"); // rounds exhausted: succeeds
+        assert_eq!(plan.injected_faults(), 2);
+    }
+
+    #[test]
+    fn panic_message_extracts_strings() {
+        let boxed: Box<dyn Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(boxed.as_ref()), "static str");
+        let boxed: Box<dyn Any + Send> = Box::new("owned".to_owned());
+        assert_eq!(panic_message(boxed.as_ref()), "owned");
+        let boxed: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(boxed.as_ref()), "non-string panic payload");
+    }
+}

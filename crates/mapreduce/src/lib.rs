@@ -32,11 +32,28 @@
 //! let be = counts.iter().find(|(w, _)| w == "be").unwrap();
 //! assert_eq!(be.1, 3);
 //! ```
+//!
+//! For inputs where a pathological record or key may panic a task, the
+//! fault-tolerant entry point [`MapReduce::run_fault_tolerant`] completes
+//! the run in degraded mode (retry → bisect → quarantine) and reports what
+//! it had to drop — see the [`fault`] module.
+
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod fault;
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt::Debug;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use fault::PhaseFaults;
+
+pub use fault::{FaultPlan, FaultPolicy, FaultReport};
 
 /// Configuration of a MapReduce run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -301,6 +318,274 @@ impl MapReduce {
             },
         )
     }
+
+    /// Runs a job that survives panicking mappers and reducers, with the
+    /// default [`FaultPolicy`].
+    ///
+    /// Semantics match [`MapReduce::run`] — same partitioning, same
+    /// grouped-and-sorted reduce input, same deterministic output order —
+    /// except that every map slice and reduce key executes under
+    /// `catch_unwind` with a bounded retry budget. A map slice that keeps
+    /// failing is bisected down to the single poison record; a reduce key
+    /// that keeps failing is quarantined together with its values. The run
+    /// always completes; the returned [`FaultReport`] says what was
+    /// retried, what was dropped, and how long each phase took. A run with
+    /// no faults produces output identical to [`MapReduce::run`].
+    ///
+    /// Signature differences from [`MapReduce::run`], forced by retries:
+    /// the mapper borrows its input (`&I`) and the reducer borrows the
+    /// value group (`&[V]`), because a failed attempt must leave the data
+    /// available for the next one; `I` and `K` must be `Debug` so
+    /// quarantined units can be sampled into the report. Mappers and
+    /// reducers may therefore run more than once for the same unit — they
+    /// must be idempotent with respect to external side effects.
+    pub fn run_fault_tolerant<I, K, V, O, M, R>(
+        &self,
+        inputs: Vec<I>,
+        mapper: M,
+        reducer: R,
+    ) -> (Vec<O>, FaultReport)
+    where
+        I: Send + Debug,
+        K: Hash + Eq + Ord + Send + Debug,
+        V: Send,
+        O: Send,
+        M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        R: Fn(&K, &[V]) -> Vec<O> + Sync,
+    {
+        self.run_fault_tolerant_with_policy(inputs, mapper, reducer, &FaultPolicy::default())
+    }
+
+    /// Like [`MapReduce::run_fault_tolerant`] with an explicit retry /
+    /// quarantine policy.
+    pub fn run_fault_tolerant_with_policy<I, K, V, O, M, R>(
+        &self,
+        inputs: Vec<I>,
+        mapper: M,
+        reducer: R,
+        policy: &FaultPolicy,
+    ) -> (Vec<O>, FaultReport)
+    where
+        I: Send + Debug,
+        K: Hash + Eq + Ord + Send + Debug,
+        V: Send,
+        O: Send,
+        M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        R: Fn(&K, &[V]) -> Vec<O> + Sync,
+    {
+        let mut report = FaultReport::default();
+        let n_partitions = self.config.partitions;
+        let n_threads = self.config.threads.max(1);
+
+        // ---- Map phase: per-worker chunks, each slice resilient. ----
+        let map_started = Instant::now();
+        let chunks = split_into(inputs, n_threads);
+        let mut all_buckets: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(chunks.len());
+        let mut map_faults = PhaseFaults::default();
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in chunks {
+                let mapper = &mapper;
+                handles.push(scope.spawn(move |_| {
+                    let mut buckets: Vec<Vec<(K, V)>> =
+                        (0..n_partitions).map(|_| Vec::new()).collect();
+                    let mut faults = PhaseFaults::default();
+                    map_slice(
+                        &chunk,
+                        mapper,
+                        policy,
+                        n_partitions,
+                        &mut buckets,
+                        &mut faults,
+                    );
+                    (buckets, faults)
+                }));
+            }
+            for h in handles {
+                let (buckets, faults) = h.join().expect("map worker panicked");
+                all_buckets.push(buckets);
+                map_faults.merge(faults);
+            }
+        })
+        .expect("map scope panicked");
+        report.map_retries = map_faults.retries;
+        report.quarantined_inputs = map_faults.quarantined;
+        report.input_samples = map_faults.unit_samples;
+        report.panic_samples = map_faults.panic_samples;
+        report.map_elapsed = map_started.elapsed();
+
+        // ---- Shuffle: merge per-worker buckets per partition. ----
+        let shuffle_started = Instant::now();
+        let mut partitions: Vec<Vec<(K, V)>> = (0..n_partitions).map(|_| Vec::new()).collect();
+        for worker_buckets in all_buckets {
+            for (p, bucket) in worker_buckets.into_iter().enumerate() {
+                partitions[p].extend(bucket);
+            }
+        }
+        report.shuffle_elapsed = shuffle_started.elapsed();
+
+        // ---- Reduce phase: partitions in parallel, keys resilient. ----
+        let reduce_started = Instant::now();
+        let mut results: Vec<(usize, Vec<O>)> = Vec::with_capacity(n_partitions);
+        let mut reduce_faults = PhaseFaults::default();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (p, records) in partitions.into_iter().enumerate() {
+                let reducer = &reducer;
+                handles.push(scope.spawn(move |_| {
+                    let (out, faults) = reduce_partition(records, reducer, policy);
+                    (p, out, faults)
+                }));
+            }
+            for h in handles {
+                let (p, out, faults) = h.join().expect("reduce worker panicked");
+                results.push((p, out));
+                reduce_faults.merge(faults);
+            }
+        })
+        .expect("reduce scope panicked");
+        report.reduce_retries = reduce_faults.retries;
+        report.quarantined_keys = reduce_faults.quarantined;
+        report.lost_values = reduce_faults.lost_values;
+        report.key_samples = reduce_faults.unit_samples;
+        for msg in reduce_faults.panic_samples {
+            if report.panic_samples.len() >= policy.sample_limit * 2 {
+                break;
+            }
+            if !report.panic_samples.contains(&msg) {
+                report.panic_samples.push(msg);
+            }
+        }
+        report.reduce_elapsed = reduce_started.elapsed();
+
+        results.sort_by_key(|(p, _)| *p);
+        let output = results.into_iter().flat_map(|(_, o)| o).collect();
+        (output, report)
+    }
+}
+
+/// Maps `slice` into `out`, retrying whole-slice failures up to the policy
+/// budget and bisecting persistent failures down to the poison record.
+///
+/// Each attempt emits into fresh buckets so a mid-slice panic cannot leave
+/// duplicate partial output behind; only a fully successful attempt is
+/// merged into `out`, which keeps a fault-free run byte-identical to
+/// [`MapReduce::run`].
+fn map_slice<I, K, V, M>(
+    slice: &[I],
+    mapper: &M,
+    policy: &FaultPolicy,
+    n_partitions: usize,
+    out: &mut [Vec<(K, V)>],
+    faults: &mut PhaseFaults,
+) where
+    I: Debug,
+    K: Hash,
+    M: Fn(&I, &mut dyn FnMut(K, V)),
+{
+    if slice.is_empty() {
+        return;
+    }
+    for attempt in 0..=policy.max_task_retries {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut local: Vec<Vec<(K, V)>> = (0..n_partitions).map(|_| Vec::new()).collect();
+            for input in slice {
+                let mut emit = |k: K, v: V| {
+                    let p = partition_of(&k, n_partitions);
+                    local[p].push((k, v));
+                };
+                mapper(input, &mut emit);
+            }
+            local
+        }));
+        match result {
+            Ok(local) => {
+                for (p, bucket) in local.into_iter().enumerate() {
+                    out[p].extend(bucket);
+                }
+                return;
+            }
+            Err(payload) => {
+                faults.note_panic(payload, policy);
+                if attempt < policy.max_task_retries {
+                    faults.retries += 1;
+                }
+            }
+        }
+    }
+    // Retries exhausted: isolate the poison record by bisection.
+    if slice.len() == 1 {
+        faults.quarantine(format!("{:?}", slice[0]), 0, policy);
+        return;
+    }
+    let mid = slice.len() / 2;
+    map_slice(&slice[..mid], mapper, policy, n_partitions, out, faults);
+    map_slice(&slice[mid..], mapper, policy, n_partitions, out, faults);
+}
+
+/// Reduces one partition: a single `catch_unwind` over the whole partition
+/// on the fast path, falling back to per-key attempts (with retries, then
+/// quarantine) only when something in the partition panicked.
+fn reduce_partition<K, V, O, R>(
+    records: Vec<(K, V)>,
+    reducer: &R,
+    policy: &FaultPolicy,
+) -> (Vec<O>, PhaseFaults)
+where
+    K: Hash + Eq + Ord + Debug,
+    R: Fn(&K, &[V]) -> Vec<O>,
+{
+    let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+    for (k, v) in records {
+        groups.entry(k).or_default().push(v);
+    }
+    let mut keyed: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut faults = PhaseFaults::default();
+    let whole = catch_unwind(AssertUnwindSafe(|| {
+        let mut out = Vec::new();
+        for (k, vs) in &keyed {
+            out.extend(reducer(k, vs));
+        }
+        out
+    }));
+    match whole {
+        Ok(out) => (out, faults),
+        Err(payload) => {
+            faults.note_panic(payload, policy);
+            // The per-key fallback re-executes the partition, so it counts
+            // as a retry even when every key then succeeds first try (a
+            // transient fault consumed by the fast-path attempt).
+            faults.retries += 1;
+            // Degraded path: every key gets its own retry budget; output
+            // order stays sorted-by-key, minus quarantined keys.
+            let mut out = Vec::new();
+            for (k, vs) in &keyed {
+                let mut done = false;
+                for attempt in 0..=policy.max_task_retries {
+                    match catch_unwind(AssertUnwindSafe(|| reducer(k, vs))) {
+                        Ok(mut o) => {
+                            out.append(&mut o);
+                            done = true;
+                            break;
+                        }
+                        Err(payload) => {
+                            faults.note_panic(payload, policy);
+                            if attempt < policy.max_task_retries {
+                                faults.retries += 1;
+                            }
+                        }
+                    }
+                }
+                if !done {
+                    faults.quarantine(format!("{k:?}"), vs.len(), policy);
+                }
+            }
+            (out, faults)
+        }
+    }
 }
 
 impl Default for MapReduce {
@@ -563,5 +848,168 @@ mod tests {
         let cold = buckets.iter().find(|(k, _)| *k == "cold").unwrap().1;
         assert_eq!(hot, 2); // a and b
         assert_eq!(cold, 1); // c
+    }
+
+    // ---- fault-tolerant execution ----
+
+    fn ft_word_count(
+        engine: &MapReduce,
+        docs: Vec<&'static str>,
+    ) -> (Vec<(String, usize)>, FaultReport) {
+        engine.run_fault_tolerant(
+            docs,
+            |doc, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |k, vs| vec![(k.clone(), vs.len())],
+        )
+    }
+
+    #[test]
+    fn fault_free_run_matches_plain_run() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 8,
+            threads: 4,
+        });
+        let docs = vec!["the quick brown fox", "jumps over the lazy dog", "the end"];
+        let plain = engine.run(
+            docs.clone(),
+            |doc: &'static str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |k, vs| vec![(k.clone(), vs.len())],
+        );
+        let (ft, report) = ft_word_count(&engine, docs);
+        assert_eq!(ft, plain);
+        assert!(report.is_clean());
+        assert_eq!(report.quarantined_units(), 0);
+    }
+
+    #[test]
+    fn poison_record_is_bisected_to_single_quarantine() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        });
+        let inputs: Vec<i64> = (0..64).collect();
+        let (out, report) = engine.run_fault_tolerant(
+            inputs,
+            |n, emit| {
+                assert!(*n != 37, "poison record");
+                emit(n % 2, 1usize);
+            },
+            |k, vs| vec![(*k, vs.len())],
+        );
+        // Exactly one record lost; everything else mapped.
+        assert_eq!(report.quarantined_inputs, 1);
+        assert!(report.input_samples.iter().any(|s| s == "37"));
+        let total: usize = out.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 63);
+        assert!(report.map_retries > 0);
+        assert!(!report.panic_samples.is_empty());
+    }
+
+    #[test]
+    fn transient_map_panic_retries_without_loss() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 1,
+        });
+        let plan = FaultPlan::new().panic_on_map_call(2);
+        let inputs: Vec<i64> = (0..16).collect();
+        let (out, report) = engine.run_fault_tolerant(
+            inputs,
+            |n, emit| {
+                plan.map_checkpoint(n);
+                emit((), *n)
+            },
+            |_, vs| vec![vs.iter().sum::<i64>()],
+        );
+        assert_eq!(plan.injected_faults(), 1);
+        assert_eq!(out, vec![(0..16).sum::<i64>()]);
+        assert_eq!(report.quarantined_inputs, 0);
+        assert!(report.map_retries >= 1);
+    }
+
+    #[test]
+    fn poison_reduce_key_is_quarantined_with_lost_values() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        });
+        let docs = vec!["a bad a", "bad b bad"];
+        let (out, report) = engine.run_fault_tolerant(
+            docs,
+            |doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |k: &String, vs: &[usize]| {
+                assert!(k != "bad", "poison key");
+                vec![(k.clone(), vs.len())]
+            },
+        );
+        let mut out = out;
+        out.sort();
+        assert_eq!(out, vec![("a".to_owned(), 2), ("b".to_owned(), 1)]);
+        assert_eq!(report.quarantined_keys, 1);
+        assert_eq!(report.lost_values, 3);
+        assert!(report.key_samples.iter().any(|s| s.contains("bad")));
+        assert!(report.reduce_retries > 0);
+    }
+
+    #[test]
+    fn ft_deterministic_across_thread_counts() {
+        let docs = vec![
+            "lorem ipsum dolor sit amet",
+            "consectetur adipiscing elit sed",
+            "do eiusmod tempor incididunt",
+            "ut labore et dolore magna",
+        ];
+        let mut outputs = Vec::new();
+        for threads in [1, 2, 4, 8] {
+            let engine = MapReduce::new(JobConfig {
+                partitions: 16,
+                threads,
+            });
+            let (out, report) = ft_word_count(&engine, docs.clone());
+            assert!(report.is_clean());
+            outputs.push(out);
+        }
+        for w in outputs.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn fault_plan_transient_reduce_key_recovers() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 2,
+            threads: 1,
+        });
+        let plan = FaultPlan::new().fail_key("\"flaky\"", 1);
+        let docs = vec!["flaky steady flaky"];
+        let (out, report) = engine.run_fault_tolerant(
+            docs,
+            |doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |k: &String, vs: &[usize]| {
+                plan.reduce_checkpoint(k);
+                vec![(k.clone(), vs.len())]
+            },
+        );
+        let mut out = out;
+        out.sort();
+        assert_eq!(out, vec![("flaky".to_owned(), 2), ("steady".to_owned(), 1)]);
+        assert_eq!(report.quarantined_keys, 0);
+        assert!(report.reduce_retries >= 1);
     }
 }

@@ -1,0 +1,249 @@
+//! Deterministic log-corruption generators for the fault-injection
+//! harness.
+//!
+//! The paper's ingest runs over months of real proxy logs where truncated
+//! writes, garbled fields, encoding damage, clock skew and duplicated
+//! events are routine (Challenge 2, §III). This module manufactures
+//! exactly those defects — seeded, so a failing run replays byte-for-byte:
+//!
+//! * [`to_elff`] renders a trace as a BlueCoat-style ELFF file,
+//! * [`corrupt_elff_lines`] damages a configurable fraction of data lines
+//!   (truncation, field garbling, invalid UTF-8) such that every damaged
+//!   line is guaranteed unparseable — making malformed-line counts exact,
+//! * [`skew_and_duplicate`] perturbs events before rendering (timestamp
+//!   skew, duplicated events), the damage lenient ingest must absorb
+//!   *semantically* rather than reject.
+
+use rand::Rng;
+
+use crate::types::ProxyEvent;
+
+/// Event-level corruption knobs for [`skew_and_duplicate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionConfig {
+    /// Probability that a data line is damaged by [`corrupt_elff_lines`].
+    pub line_corruption_rate: f64,
+    /// Probability that an event is emitted twice.
+    pub duplicate_rate: f64,
+    /// Maximum clock skew applied to an event timestamp (seconds, ±).
+    pub max_skew_seconds: u64,
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        Self {
+            line_corruption_rate: 0.05,
+            duplicate_rate: 0.02,
+            max_skew_seconds: 2,
+        }
+    }
+}
+
+/// The `#Fields:` schema emitted by [`to_elff`].
+pub const ELFF_FIELDS: &str = "x-timestamp c-mac cs-host cs-uri-path";
+
+/// Renders one event as an ELFF data line under [`ELFF_FIELDS`].
+pub fn to_elff_line(event: &ProxyEvent) -> String {
+    // An empty path would change the column count, so normalize to "/".
+    let path = if event.url_path.is_empty() {
+        "/".to_owned()
+    } else {
+        format!("/{}", event.url_path)
+    };
+    format!(
+        "{} {} {} {}",
+        event.timestamp, event.host, event.domain, path
+    )
+}
+
+/// Renders a full ELFF file (directives + one line per event).
+pub fn to_elff(events: &[ProxyEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 48 + 64);
+    out.push_str("#Software: netsim proxy emitter\n");
+    out.push_str("#Fields: ");
+    out.push_str(ELFF_FIELDS);
+    out.push('\n');
+    for e in events {
+        out.push_str(&to_elff_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Damages roughly `rate` of the data lines in an ELFF file and returns
+/// the corrupted bytes plus the exact number of damaged lines.
+///
+/// Directive (`#`) and empty lines are never touched. Every damaged line
+/// is guaranteed to fail ELFF parsing — truncation drops required columns,
+/// garbling destroys the timestamp, and the UTF-8 fault injects bytes that
+/// survive only as replacement characters — so callers can assert
+/// `malformed_lines` exactly. Output is bytes, not a `String`, because the
+/// UTF-8 fault is real encoding damage.
+pub fn corrupt_elff_lines<R: Rng + ?Sized>(elff: &str, rate: f64, rng: &mut R) -> (Vec<u8>, usize) {
+    let mut out = Vec::with_capacity(elff.len());
+    let mut damaged = 0usize;
+    for line in elff.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || rng.random_range(0.0..1.0) >= rate {
+            out.extend_from_slice(line.as_bytes());
+            out.push(b'\n');
+            continue;
+        }
+        damaged += 1;
+        match rng.random_range(0..3u32) {
+            // Truncated write: only a fragment of the line made it to disk.
+            0 => {
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                let keep = fields.first().copied().unwrap_or("0");
+                out.extend_from_slice(keep.as_bytes());
+                out.extend_from_slice(b" 02:00");
+            }
+            // Garbled field: the timestamp column turned to junk.
+            1 => {
+                let mut fields: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+                if let Some(first) = fields.first_mut() {
+                    *first = format!("x@{}q", rng.random_range(0..1_000_000u64));
+                }
+                out.extend_from_slice(fields.join(" ").as_bytes());
+            }
+            // Encoding damage: invalid UTF-8 where the timestamp was.
+            _ => {
+                out.extend_from_slice(&[0xff, 0xfe, 0x80]);
+                out.extend_from_slice(line.as_bytes());
+            }
+        }
+        out.push(b'\n');
+    }
+    (out, damaged)
+}
+
+/// Applies event-level damage: each event's timestamp is skewed by up to
+/// `±max_skew_seconds`, and a `duplicate_rate` fraction of events is
+/// emitted twice (log replay). The result is *not* re-sorted — out-of-order
+/// delivery is part of the fault model the pipeline must absorb.
+pub fn skew_and_duplicate<R: Rng + ?Sized>(
+    events: &[ProxyEvent],
+    config: &CorruptionConfig,
+    rng: &mut R,
+) -> Vec<ProxyEvent> {
+    let mut out = Vec::with_capacity(events.len() + events.len() / 16);
+    for e in events {
+        let mut e = e.clone();
+        if config.max_skew_seconds > 0 {
+            let skew = rng.random_range(0..=config.max_skew_seconds);
+            if rng.random_range(0..2u32) == 0 {
+                e.timestamp = e.timestamp.saturating_sub(skew);
+            } else {
+                e.timestamp += skew;
+            }
+        }
+        let duplicate = rng.random_range(0.0..1.0) < config.duplicate_rate;
+        out.push(e.clone());
+        if duplicate {
+            out.push(e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::HostId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn events(n: u64) -> Vec<ProxyEvent> {
+        (0..n)
+            .map(|i| ProxyEvent {
+                timestamp: 1_000 + i * 60,
+                host: HostId(7),
+                source_ip: 0x0a00_0001,
+                domain: "c2.example.biz".into(),
+                url_path: "ping".into(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn elff_rendering_has_header_and_lines() {
+        let text = to_elff(&events(3));
+        assert!(text.starts_with("#Software"));
+        assert!(text.contains("#Fields: x-timestamp c-mac cs-host cs-uri-path"));
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains("1000 02:00:00:00:00:07 c2.example.biz /ping"));
+    }
+
+    #[test]
+    fn empty_path_keeps_column_count() {
+        let mut evs = events(1);
+        evs[0].url_path.clear();
+        let line = to_elff_line(&evs[0]);
+        assert_eq!(line.split_whitespace().count(), 4);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let text = to_elff(&events(200));
+        let (a, na) = corrupt_elff_lines(&text, 0.05, &mut StdRng::seed_from_u64(9));
+        let (b, nb) = corrupt_elff_lines(&text, 0.05, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        let (c, _) = corrupt_elff_lines(&text, 0.05, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c, "different seed must damage different lines");
+    }
+
+    #[test]
+    fn corruption_rate_roughly_respected_and_directives_spared() {
+        let text = to_elff(&events(500));
+        let (bytes, damaged) = corrupt_elff_lines(&text, 0.1, &mut StdRng::seed_from_u64(1));
+        assert!(damaged > 10 && damaged < 150, "damaged = {damaged}");
+        let out = String::from_utf8_lossy(&bytes);
+        assert!(out.contains("#Fields: x-timestamp"), "directives intact");
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let text = to_elff(&events(50));
+        let (bytes, damaged) = corrupt_elff_lines(&text, 0.0, &mut StdRng::seed_from_u64(2));
+        assert_eq!(damaged, 0);
+        assert_eq!(bytes, text.as_bytes());
+    }
+
+    #[test]
+    fn skew_stays_within_bounds() {
+        let evs = events(300);
+        let cfg = CorruptionConfig {
+            duplicate_rate: 0.0,
+            max_skew_seconds: 3,
+            ..Default::default()
+        };
+        let out = skew_and_duplicate(&evs, &cfg, &mut StdRng::seed_from_u64(3));
+        assert_eq!(out.len(), evs.len());
+        for (orig, new) in evs.iter().zip(&out) {
+            let delta = orig.timestamp.abs_diff(new.timestamp);
+            assert!(delta <= 3, "skew {delta} out of bounds");
+        }
+        assert!(
+            evs.iter()
+                .zip(&out)
+                .any(|(a, b)| a.timestamp != b.timestamp),
+            "some skew must actually occur"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_exact_copies() {
+        let evs = events(100);
+        let cfg = CorruptionConfig {
+            duplicate_rate: 1.0,
+            max_skew_seconds: 0,
+            ..Default::default()
+        };
+        let out = skew_and_duplicate(&evs, &cfg, &mut StdRng::seed_from_u64(4));
+        assert_eq!(out.len(), 200);
+        for pair in out.chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+}

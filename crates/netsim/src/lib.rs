@@ -38,6 +38,7 @@
 //! ```
 
 pub mod benign;
+pub mod corrupt;
 pub mod dns;
 pub mod enterprise;
 pub mod malware;

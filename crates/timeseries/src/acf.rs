@@ -177,7 +177,7 @@ impl Autocorrelation {
 
         let (best_lag, best_score) = (lo..=hi)
             .map(|l| (l, self.hill_score(l, w_for(l))))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("ACF score is never NaN"))?;
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
 
         if best_score < params.min_score {
             return None;
@@ -233,7 +233,7 @@ impl Autocorrelation {
         let mut prefix = Vec::with_capacity(n + 1);
         prefix.push(0.0);
         for &v in &self.values {
-            prefix.push(prefix.last().expect("non-empty prefix") + v);
+            prefix.push(prefix[prefix.len() - 1] + v);
         }
         let range_sum = |a: usize, b: usize| -> f64 {
             // inclusive [a, b], clamped to [1, n-1]

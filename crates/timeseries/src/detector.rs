@@ -224,6 +224,12 @@ impl PeriodicityDetector {
         series: &TimeSeries,
         intervals: Vec<f64>,
     ) -> Result<DetectionReport, TimeSeriesError> {
+        // Degenerate-input guard: drop non-finite intervals (NaN/∞ from
+        // upstream arithmetic on corrupted timestamps) so every comparator
+        // and statistic below operates on finite values. A pair reduced to
+        // garbage yields "non-periodic", never a panic.
+        let intervals: Vec<f64> = intervals.into_iter().filter(|i| i.is_finite()).collect();
+
         // ---- Step 1: periodogram + permutation threshold. ----
         let periodogram = Periodogram::compute_in(ws, series);
         let threshold = permutation_threshold_in(ws, series, &self.config.permutation)?;
@@ -297,8 +303,7 @@ impl PeriodicityDetector {
                         .min_by(|a, b| {
                             (a.frequency - frequency)
                                 .abs()
-                                .partial_cmp(&(b.frequency - frequency).abs())
-                                .expect("frequencies are finite")
+                                .total_cmp(&(b.frequency - frequency).abs())
                         })
                         .map(|l| l.power)
                         .unwrap_or(0.0);
@@ -322,7 +327,7 @@ impl PeriodicityDetector {
         // pruning and (spread-widened) ACF verification still gate it.
         if !raw.is_empty() && intervals.len() >= 4 {
             let mut sorted = intervals.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("intervals are finite"));
+            sorted.sort_by(f64::total_cmp);
             let median = sorted[sorted.len() / 2];
             let mean = intervals.iter().sum::<f64>() / intervals.len() as f64;
             let cv = if mean > 0.0 {
@@ -399,11 +404,7 @@ impl PeriodicityDetector {
                 });
             }
         }
-        candidates.sort_by(|a, b| {
-            b.acf_score
-                .partial_cmp(&a.acf_score)
-                .expect("ACF scores are finite")
-        });
+        candidates.sort_by(|a, b| b.acf_score.total_cmp(&a.acf_score));
 
         // ---- Multi-period analysis (GMM over intervals). ----
         let (interval_gmm, gmm_bics) = if self.config.fit_gmm && intervals.len() >= 8 {
@@ -714,6 +715,85 @@ mod tests {
             "period = {}",
             best.period
         );
+    }
+
+    #[test]
+    fn empty_input_rejected_with_typed_error() {
+        let err = detector().detect(&[]).unwrap_err();
+        assert!(matches!(err, TimeSeriesError::TooFewEvents { .. }));
+    }
+
+    #[test]
+    fn single_event_rejected_with_typed_error() {
+        let err = detector().detect(&[42]).unwrap_err();
+        assert!(matches!(err, TimeSeriesError::TooFewEvents { .. }));
+    }
+
+    #[test]
+    fn duplicate_timestamps_do_not_panic() {
+        // Sorted input with runs of duplicates (zero intervals) must flow
+        // through the whole pipeline without panicking.
+        let mut ts = Vec::new();
+        for i in 0..40u64 {
+            ts.push(1_000 + i * 60);
+            ts.push(1_000 + i * 60); // duplicate of every event
+        }
+        let r = detector().detect(&ts).unwrap();
+        for c in &r.candidates {
+            assert!(c.period.is_finite() && c.acf_score.is_finite());
+        }
+    }
+
+    #[test]
+    fn constant_bin_series_is_non_periodic_not_a_panic() {
+        // One event in every single bin: a constant count series has an
+        // empty (DC-removed) spectrum — nothing to detect, nothing to fear.
+        let ts: Vec<u64> = (0..64).collect();
+        let r = detector().detect(&ts).unwrap();
+        assert!(r.power_threshold.is_finite() || r.candidates.is_empty());
+        for c in &r.candidates {
+            assert!(c.period.is_finite());
+        }
+    }
+
+    #[test]
+    fn non_finite_intervals_sanitized() {
+        // A caller (e.g. rescaled-summary path) may hand over an interval
+        // list polluted with NaN/∞; the detector must neither panic nor
+        // emit non-finite output.
+        let ts: Vec<u64> = (0..120).map(|i| 1_000 + i * 60).collect();
+        let series = TimeSeries::from_timestamps(&ts, 1).unwrap();
+        let mut intervals = intervals_of(&ts).unwrap();
+        intervals.push(f64::NAN);
+        intervals.push(f64::INFINITY);
+        intervals.push(f64::NEG_INFINITY);
+        let r = detector().detect_series(&series, intervals).unwrap();
+        assert!(r.is_periodic());
+        for c in &r.candidates {
+            assert!(c.period.is_finite());
+            assert!(c.acf_score.is_finite());
+            assert!(c.frequency.is_finite());
+            assert!(c.power.is_finite());
+        }
+        assert!(r.intervals.iter().all(|i| i.is_finite()));
+    }
+
+    #[test]
+    fn outputs_are_nan_free_on_normal_traffic() {
+        for seed in 0..4 {
+            let ts = jittered_beacon(100, 45.0, 2.0, seed);
+            let r = detector().detect(&ts).unwrap();
+            assert!(r.power_threshold.is_finite());
+            for c in &r.candidates {
+                assert!(c.period.is_finite());
+                assert!(c.frequency.is_finite());
+                assert!(c.power.is_finite());
+                assert!(c.acf_score.is_finite());
+                if let Some(p) = c.p_value {
+                    assert!(p.is_finite());
+                }
+            }
+        }
     }
 
     #[test]

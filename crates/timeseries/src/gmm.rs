@@ -218,7 +218,7 @@ pub fn fit_gmm(data: &[f64], k: usize, config: &GmmConfig) -> Result<Gmm, TimeSe
             weight: weights[j],
         })
         .collect();
-    components.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("weights are finite"));
+    components.sort_by(|a, b| b.weight.total_cmp(&a.weight));
 
     Ok(Gmm {
         components,

@@ -122,7 +122,7 @@ impl Periodogram {
         self.lines
             .iter()
             .copied()
-            .max_by(|a, b| a.power.partial_cmp(&b.power).expect("power is never NaN"))
+            .max_by(|a, b| a.power.total_cmp(&b.power))
     }
 
     /// Lines whose power strictly exceeds `threshold`, sorted by descending
@@ -134,7 +134,7 @@ impl Periodogram {
             .copied()
             .filter(|l| l.power > threshold)
             .collect();
-        out.sort_by(|a, b| b.power.partial_cmp(&a.power).expect("power is never NaN"));
+        out.sort_by(|a, b| b.power.total_cmp(&a.power));
         out
     }
 

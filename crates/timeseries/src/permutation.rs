@@ -134,7 +134,7 @@ pub fn permutation_threshold_in(
         };
         maxima.push(max_power);
     }
-    maxima.sort_by(|a, b| a.partial_cmp(b).expect("power is never NaN"));
+    maxima.sort_by(f64::total_cmp);
 
     // ⌈C·m⌉-th smallest maximum (1-based), e.g. the 19th of 20 at C = 95 %.
     let rank = ((config.confidence * config.permutations as f64).ceil() as usize)

@@ -292,7 +292,7 @@ fn prune_one(
 fn median_of(data: &[f64]) -> f64 {
     debug_assert!(!data.is_empty());
     let mut v = data.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("intervals are finite"));
+    v.sort_by(f64::total_cmp);
     let mid = v.len() / 2;
     if v.len() % 2 == 1 {
         v[mid]

@@ -60,7 +60,9 @@ impl TimeSeries {
             return Err(TimeSeriesError::UnsortedTimestamps { index: idx });
         }
         let start = timestamps[0];
-        let end = *timestamps.last().expect("non-empty");
+        // Non-empty was checked above; index instead of unwrap/expect so no
+        // panic path survives in this hot loop.
+        let end = timestamps[timestamps.len() - 1];
         let n_bins = ((end - start) / scale + 1) as usize;
         let mut values = vec![0.0; n_bins];
         for &t in timestamps {

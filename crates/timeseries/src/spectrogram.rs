@@ -118,7 +118,7 @@ impl Spectrogram {
         if periods.is_empty() {
             return None;
         }
-        periods.sort_by(|a, b| a.partial_cmp(b).expect("periods are finite"));
+        periods.sort_by(f64::total_cmp);
         Some(periods[periods.len() / 2])
     }
 }

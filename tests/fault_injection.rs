@@ -1,0 +1,274 @@
+//! End-to-end fault-injection suite: deterministic task faults
+//! ([`FaultPlan`]) and log corruption ([`netsim::corrupt`]) driven through
+//! the full pipeline. The contract under test is *graceful degradation*:
+//! analysis always completes, the damage is accounted for in the report
+//! (quarantined pairs, skipped events, malformed lines), and pairs the
+//! faults did not touch rank byte-identically to a fault-free run.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use baywatch::core::elff::read_elff;
+use baywatch::core::pair::CommunicationPair;
+use baywatch::core::pipeline::{AnalysisReport, Baywatch, BaywatchConfig};
+use baywatch::core::record::LogRecord;
+use baywatch::core::report::{render_case, render_funnel, ReportOptions};
+use baywatch::mapreduce::FaultPlan;
+use baywatch::netsim::corrupt::{
+    corrupt_elff_lines, skew_and_duplicate, to_elff, CorruptionConfig,
+};
+use baywatch::netsim::types::{HostId, ProxyEvent};
+use baywatch::record_from_event;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const HOSTS: u64 = 12;
+const EVENTS_PER_PAIR: u64 = 80;
+
+fn dga_domain(h: u64) -> String {
+    format!("zxq{h}wvkt{h}n.biz")
+}
+
+fn beacon_period(h: u64) -> u64 {
+    60 + (h % 6) * 30
+}
+
+/// One beaconing pair per host: host `h` polls its own DGA destination
+/// every `beacon_period(h)` seconds with pseudo-random URL tokens.
+fn beacon_events() -> Vec<ProxyEvent> {
+    let mut events = Vec::new();
+    for h in 0..HOSTS {
+        for i in 0..EVENTS_PER_PAIR {
+            events.push(ProxyEvent {
+                timestamp: 50_000 + i * beacon_period(h),
+                host: HostId(h as u32),
+                source_ip: 0x0a00_0000 + h as u32,
+                domain: dga_domain(h),
+                url_path: format!("{:x}", (h * 77 + i) * 2_654_435_761 % 0xFF_FFFF),
+            });
+        }
+    }
+    events
+}
+
+/// Local whitelist effectively disabled: the test population is a dozen
+/// hosts, so the paper's τ_P = 1% would whitelist every destination.
+fn quiet_engine() -> Baywatch {
+    Baywatch::new(BaywatchConfig {
+        local_tau: 0.9,
+        ..Default::default()
+    })
+}
+
+/// Renders a case rank-independently for byte-identity comparison.
+fn evidence(report: &AnalysisReport, destination: &str) -> Option<String> {
+    report
+        .ranked
+        .iter()
+        .find(|rc| rc.case.pair.destination == destination)
+        .map(|rc| render_case(1, rc, &ReportOptions::default()))
+}
+
+fn pair_counts(records: &[LogRecord]) -> BTreeMap<(String, String), usize> {
+    let mut counts = BTreeMap::new();
+    for r in records {
+        *counts
+            .entry((r.source.clone(), r.domain.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// A seeded [`FaultPlan`] — one poison pair plus a transient map panic —
+/// degrades the run (pair quarantined, retry logged, funnel flags it) while
+/// every unaffected pair ranks byte-identically to a fault-free run.
+#[test]
+fn fault_plan_quarantines_poison_pair_and_preserves_the_rest() {
+    let mk_records = || {
+        let mut records: Vec<LogRecord> = beacon_events().iter().map(record_from_event).collect();
+        for i in 0..60u64 {
+            records.push(LogRecord::new(
+                50_000 + i * 45,
+                "patient-zero",
+                "poison-c2.example.net",
+                format!("{:x}", i * 7919 % 0xFFFF),
+            ));
+        }
+        records
+    };
+
+    let clean = quiet_engine().analyze(mk_records());
+    assert!(clean.faults.is_clean());
+    assert!(
+        clean.ranked.len() >= HOSTS as usize / 2,
+        "expected most beacons ranked, got {}",
+        clean.ranked.len()
+    );
+
+    let poison = format!(
+        "{:?}",
+        CommunicationPair::new("patient-zero", "poison-c2.example.net")
+    );
+    let plan = Arc::new(FaultPlan::new().poison_key(&poison).panic_on_map_call(3));
+    let mut engine = quiet_engine();
+    engine.arm_fault_plan(Arc::clone(&plan));
+    let faulted = engine.analyze(mk_records());
+
+    // The run completed and the damage is accounted for.
+    assert!(plan.injected_faults() > 0, "the plan never fired");
+    assert!(!faulted.faults.is_clean());
+    assert!(
+        faulted.faults.map_retries >= 1,
+        "transient panic not retried"
+    );
+    assert_eq!(faulted.stats.quarantined_pairs, 1);
+    assert_eq!(faulted.stats.skipped_events, 60, "poison pair's records");
+    let funnel = render_funnel(&faulted);
+    assert!(funnel.contains("quarantined pairs"));
+    assert!(funnel.contains("degraded mode"));
+
+    // Exactly the poison pair is missing...
+    let dests = |r: &AnalysisReport| -> BTreeSet<String> {
+        r.ranked
+            .iter()
+            .map(|rc| rc.case.pair.destination.clone())
+            .collect()
+    };
+    let mut expected = dests(&clean);
+    expected.remove("poison-c2.example.net");
+    assert_eq!(dests(&faulted), expected);
+
+    // ...and every surviving pair's evidence block is byte-identical.
+    for dest in &expected {
+        assert_eq!(
+            evidence(&faulted, dest),
+            evidence(&clean, dest),
+            "evidence for {dest} changed under fault injection"
+        );
+    }
+}
+
+/// 5% seeded ELFF line corruption (plus a transient task panic) flows
+/// through lenient ingest and [`Baywatch::analyze_outcome`]: malformed
+/// lines are counted exactly, analysis completes, and pairs that lost no
+/// events rank byte-identically to the clean run.
+#[test]
+fn corrupted_elff_ingest_degrades_without_losing_untouched_pairs() {
+    let events = beacon_events();
+    let clean_elff = to_elff(&events);
+
+    let clean_outcome = read_elff(clean_elff.as_bytes()).unwrap();
+    assert_eq!(clean_outcome.malformed_lines, 0);
+    assert_eq!(
+        clean_outcome.records.len(),
+        (HOSTS * EVENTS_PER_PAIR) as usize
+    );
+    let clean_counts = pair_counts(&clean_outcome.records);
+    let clean_report = quiet_engine().analyze_outcome(clean_outcome);
+    assert!(
+        clean_report.ranked.len() >= HOSTS as usize / 2,
+        "expected most beacons ranked, got {}",
+        clean_report.ranked.len()
+    );
+
+    // Corrupt the first six hosts' section of the log; appending the
+    // second section untouched guarantees hosts 6..12 lose nothing, so the
+    // byte-identity assertion below can never be vacuous.
+    let (first, second): (Vec<ProxyEvent>, Vec<ProxyEvent>) = events
+        .into_iter()
+        .partition(|e| u64::from(e.host.0) < HOSTS / 2);
+    let mut rng = StdRng::seed_from_u64(0xBA1_D0C);
+    let (mut corrupted, damaged) = corrupt_elff_lines(&to_elff(&first), 0.05, &mut rng);
+    corrupted.extend_from_slice(to_elff(&second).as_bytes());
+    assert!(damaged > 0, "seed produced no damage at 5% over 480 lines");
+
+    let outcome = read_elff(corrupted.as_slice()).unwrap();
+    assert_eq!(
+        outcome.malformed_lines, damaged,
+        "every damaged line must fail parsing"
+    );
+    assert_eq!(
+        outcome.records.len(),
+        (HOSTS * EVENTS_PER_PAIR) as usize - damaged
+    );
+    let corrupt_counts = pair_counts(&outcome.records);
+
+    let mut engine = quiet_engine();
+    engine.arm_fault_plan(Arc::new(FaultPlan::new().panic_on_map_call(7)));
+    let report = engine.analyze_outcome(outcome);
+
+    // Degradation is visible end to end: exact malformed count, bounded
+    // samples, the transient panic retried, nothing quarantined.
+    assert_eq!(report.stats.malformed_lines, damaged);
+    assert_eq!(report.malformed_samples.len(), damaged.min(64));
+    assert!(report.faults.map_retries >= 1);
+    assert_eq!(report.stats.quarantined_pairs, 0);
+    assert!(render_funnel(&report).contains("malformed lines"));
+
+    // The population itself survives 5% line loss (no source vanishes).
+    assert_eq!(
+        report.popularity_total_sources,
+        clean_report.popularity_total_sources
+    );
+
+    // Pairs with zero damaged lines must rank byte-identically.
+    let unaffected: Vec<&(String, String)> = clean_counts
+        .iter()
+        .filter(|(pair, n)| corrupt_counts.get(pair) == Some(n))
+        .map(|(pair, _)| pair)
+        .collect();
+    assert!(
+        unaffected.len() >= HOSTS as usize / 2,
+        "hosts 6..12 are untouched by construction"
+    );
+    let mut verified = 0usize;
+    for (_, dest) in &unaffected {
+        if let Some(clean_evidence) = evidence(&clean_report, dest) {
+            assert_eq!(
+                evidence(&report, dest).as_ref(),
+                Some(&clean_evidence),
+                "evidence for untouched pair {dest} changed under corruption"
+            );
+            verified += 1;
+        }
+    }
+    assert!(verified >= 1, "no untouched pair was ranked in both runs");
+}
+
+/// Timestamp skew, duplicated events, and out-of-order delivery — the
+/// event-level fault model — are absorbed semantically: duplicates collapse
+/// in the activity summaries and skewed beacons still verify as periodic.
+#[test]
+fn skewed_duplicated_out_of_order_events_are_absorbed() {
+    let events = beacon_events();
+    let cfg = CorruptionConfig {
+        line_corruption_rate: 0.0,
+        duplicate_rate: 0.05,
+        max_skew_seconds: 2,
+    };
+    let perturbed = skew_and_duplicate(&events, &cfg, &mut StdRng::seed_from_u64(11));
+    assert!(perturbed.len() > events.len(), "some duplicates expected");
+
+    let mut records: Vec<LogRecord> = perturbed.iter().map(record_from_event).collect();
+    // Force out-of-order delivery on top of the skew.
+    records.reverse();
+
+    let mut engine = quiet_engine();
+    let report = engine.analyze(records);
+
+    assert!(
+        report.faults.is_clean(),
+        "event-level damage is not a task fault"
+    );
+    assert_eq!(report.stats.events, perturbed.len());
+    assert_eq!(report.stats.pairs, HOSTS as usize);
+    let detected = report
+        .ranked
+        .iter()
+        .filter(|rc| rc.case.pair.destination.starts_with("zxq"))
+        .count();
+    assert!(
+        detected >= HOSTS as usize / 2,
+        "only {detected}/{HOSTS} skewed beacons still detected"
+    );
+}
