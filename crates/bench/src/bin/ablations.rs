@@ -7,6 +7,8 @@
 //! 4. **analysis time scale** — 1 s vs 60 s bins vs slow-beacon
 //!    detectability (the paper's daily/weekly/monthly operation).
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch_bench::{f, render_table, save_json};
 use baywatch_core::pipeline::{Baywatch, BaywatchConfig};
 use baywatch_core::record::LogRecord;
@@ -221,14 +223,19 @@ fn ablate_time_scale() {
             max_bins: 1 << 21,
             ..Default::default()
         });
-        let report = det.detect(&ts).unwrap();
-        let found = report
-            .candidates
-            .iter()
-            .any(|c| (c.period - 7200.0).abs() < 400.0);
+        let found = det
+            .detect(&ts)
+            .map(|report| {
+                report
+                    .candidates
+                    .iter()
+                    .any(|c| (c.period - 7200.0).abs() < 400.0)
+            })
+            .unwrap_or(false);
+        let bins = ts.last().map_or(0, |last| last / scale + 1);
         rows.push(vec![
             format!("{scale} s"),
-            (ts.last().unwrap() / scale + 1).to_string(),
+            bins.to_string(),
             if found { "detected" } else { "missed" }.into(),
         ]);
     }

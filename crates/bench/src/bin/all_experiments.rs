@@ -2,6 +2,8 @@
 //! the paper's evaluation section. Equivalent to invoking each
 //! `cargo run --release -p baywatch-bench --bin <exp>` by hand.
 
+#![warn(clippy::unwrap_used)]
+
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
@@ -19,11 +21,11 @@ const EXPERIMENTS: &[&str] = &[
     "ablations",
 ];
 
-fn main() {
-    let exe_dir = std::env::current_exe()
-        .expect("current exe path")
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exe = std::env::current_exe()?;
+    let exe_dir = exe
         .parent()
-        .expect("exe dir")
+        .ok_or("experiment binary has no parent directory")?
         .to_path_buf();
 
     let mut failures = Vec::new();
@@ -31,12 +33,19 @@ fn main() {
         println!("\n================================================================");
         println!("=== running {exp}");
         println!("================================================================\n");
-        let status = Command::new(exe_dir.join(exp))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {exp}: {e}"));
-        if !status.success() {
-            eprintln!("!!! {exp} failed with {status}");
-            failures.push(*exp);
+        // A binary that cannot even be spawned is recorded as a failure
+        // alongside non-zero exits, so one missing target does not abort
+        // the whole reproduction run.
+        match Command::new(exe_dir.join(exp)).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("!!! {exp} failed with {status}");
+                failures.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("!!! failed to spawn {exp}: {e}");
+                failures.push(*exp);
+            }
         }
     }
     println!("\n================================================================");
@@ -46,4 +55,5 @@ fn main() {
         println!("FAILED: {failures:?}");
         std::process::exit(1);
     }
+    Ok(())
 }

@@ -5,21 +5,23 @@
 //! random permutations, and how the estimated threshold `p_T` stabilizes
 //! as `m` grows (the ablation DESIGN.md calls out).
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch_bench::{f, render_table, save_json};
 use baywatch_netsim::synth::{random_arrivals, tdss_like};
 use baywatch_timeseries::periodogram::Periodogram;
 use baywatch_timeseries::permutation::{permutation_threshold, PermutationConfig};
 use baywatch_timeseries::series::TimeSeries;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Fig. 5: permutation-based filtering ===\n");
 
     let timestamps = tdss_like(0, 250, 5);
-    let series = TimeSeries::from_timestamps(&timestamps, 1).unwrap();
+    let series = TimeSeries::from_timestamps(&timestamps, 1)?;
     let pg = Periodogram::compute(&series);
 
     let cfg = PermutationConfig::default(); // m = 20, C = 95%
-    let thr = permutation_threshold(&series, &cfg).unwrap();
+    let thr = permutation_threshold(&series, &cfg)?;
 
     println!(
         "original signal: {} events over {} s",
@@ -45,9 +47,9 @@ fn main() {
     // Negative control: random arrivals should NOT beat the threshold by a
     // comparable margin.
     let rand_ts = random_arrivals(0, 250, 395.0, 6);
-    let rand_series = TimeSeries::from_timestamps(&rand_ts, 1).unwrap();
+    let rand_series = TimeSeries::from_timestamps(&rand_ts, 1)?;
     let rand_pg = Periodogram::compute(&rand_series);
-    let rand_thr = permutation_threshold(&rand_series, &cfg).unwrap();
+    let rand_thr = permutation_threshold(&rand_series, &cfg)?;
     println!(
         "negative control (random arrivals): p_max / p_T = {:.2}x",
         rand_pg.max_power() / rand_thr.threshold
@@ -68,10 +70,9 @@ fn main() {
                         ..Default::default()
                     },
                 )
-                .unwrap()
-                .threshold
+                .map(|t| t.threshold)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
         let sd = (estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
             / estimates.len() as f64)
@@ -84,4 +85,5 @@ fn main() {
         render_table(&["m", "mean p_T", "sd", "relative spread"], &rows)
     );
     save_json("fig05_permutation", &json_rows);
+    Ok(())
 }

@@ -6,6 +6,8 @@
 //! t-test keeps only the true ≈387 s period. This binary reproduces that
 //! funnel on a TDSS-style trace and on the paper's literal candidate table.
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch_bench::{f, render_table, save_json};
 use baywatch_netsim::synth::tdss_like;
 use baywatch_timeseries::detector::{DetectorConfig, PeriodicityDetector};
@@ -26,7 +28,7 @@ fn reason_str(r: &Option<PruneReason>) -> String {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Fig. 6: pruning using statistical features (TDSS bot) ===\n");
 
     // ---- Part 1: the paper's literal candidate table. -----------------
@@ -56,8 +58,7 @@ fn main() {
         &paper_intervals,
         span,
         &PruneConfig::default(),
-    )
-    .unwrap();
+    )?;
     let rows: Vec<Vec<String>> = decisions
         .iter()
         .map(|d| {
@@ -89,7 +90,7 @@ fn main() {
     println!("--- end-to-end candidates on a synthetic TDSS-style trace ---");
     let ts = tdss_like(0, 300, 11);
     let detector = PeriodicityDetector::new(DetectorConfig::default());
-    let report = detector.detect(&ts).unwrap();
+    let report = detector.detect(&ts)?;
     let min_interval = report
         .intervals
         .iter()
@@ -137,4 +138,5 @@ fn main() {
             .map(|c| (c.period, c.power, c.acf_score))
             .collect::<Vec<_>>(),
     );
+    Ok(())
 }

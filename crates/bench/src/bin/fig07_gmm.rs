@@ -5,11 +5,13 @@
 //! (their example: means ≈ 175.1 s and ≈ 4.5 s with weights 0.46 / 0.53
 //! plus a 0.01 outlier component), selecting the component count by BIC.
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch_bench::{f, render_table, save_json};
 use baywatch_netsim::synth::multi_period_burst;
 use baywatch_timeseries::gmm::{select_gmm, GmmConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Fig. 7: GMM for detecting multiple periods ===\n");
 
     // Two-scale trace shaped like the paper's example: pairs of requests
@@ -27,7 +29,7 @@ fn main() {
     );
 
     let cfg = GmmConfig::default();
-    let (best, bics) = select_gmm(&intervals, &cfg).unwrap();
+    let (best, bics) = select_gmm(&intervals, &cfg)?;
 
     println!("\n--- BIC vs number of components ---");
     let rows: Vec<Vec<String>> = bics
@@ -78,4 +80,5 @@ fn main() {
                 .collect::<Vec<_>>(),
         ),
     );
+    Ok(())
 }

@@ -13,6 +13,8 @@
 //! noise — the paper reports the reliability threshold dropping to ≈ 11
 //! and ≈ 7, worst with p_miss = 0.75.
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch_bench::{f, render_table, save_json};
 use baywatch_netsim::synth::SyntheticBeacon;
 use baywatch_timeseries::detector::{DetectorConfig, PeriodicityDetector};

@@ -6,6 +6,8 @@
 //! the *gap* — DGA scores several times lower than popular domains — is the
 //! property the ranking filter uses, and it must reproduce.
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch_bench::{f, render_table, save_json};
 use baywatch_langmodel::dga::{DgaGenerator, DgaStyle};
 use baywatch_langmodel::{corpus, DomainScorer};

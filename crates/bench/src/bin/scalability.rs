@@ -7,6 +7,8 @@
 //! *shape* on one machine: wall-clock across increasing host counts, the
 //! weekday/weekend swing, and the near-linear pairs→runtime relationship.
 
+#![warn(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 use baywatch_bench::{f, render_table, save_json};
@@ -81,22 +83,17 @@ fn main() {
         )
     );
 
-    // Weekday/weekend swing at the largest size.
-    let (wd, we) = (
-        json.iter()
-            .rev()
-            .find(|r| r.1 == "weekday")
-            .expect("weekday row"),
-        json.iter()
-            .rev()
-            .find(|r| r.1 == "weekend")
-            .expect("weekend row"),
-    );
-    println!(
-        "weekday/weekend pair ratio at {} hosts: {:.1}x (paper: 26 M / 3.3 M ≈ 7.9x)",
-        wd.0,
-        wd.3 as f64 / we.3.max(1) as f64
-    );
+    // Weekday/weekend swing at the largest size; skipped (not fatal) if a
+    // sweep produced no row of either kind.
+    let wd = json.iter().rev().find(|r| r.1 == "weekday");
+    let we = json.iter().rev().find(|r| r.1 == "weekend");
+    if let (Some(wd), Some(we)) = (wd, we) {
+        println!(
+            "weekday/weekend pair ratio at {} hosts: {:.1}x (paper: 26 M / 3.3 M ≈ 7.9x)",
+            wd.0,
+            wd.3 as f64 / we.3.max(1) as f64
+        );
+    }
 
     // Near-linearity: runtime per pair should be roughly flat across the
     // weekday sweep. The smallest size is excluded (constant setup costs

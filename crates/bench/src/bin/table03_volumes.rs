@@ -8,6 +8,8 @@
 //! TB/event ratio implies), alongside the linear extrapolation back to
 //! paper scale.
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch_bench::{f, render_table, save_json};
 use baywatch_netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};
 use std::collections::HashSet;

@@ -13,14 +13,16 @@
 //! (but imperfect) recall; this binary reproduces that shape on the
 //! synthesized flagged-case population.
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch_bench::bootstrap::{run, BootstrapExperiment};
 use baywatch_bench::{f, save_json};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Table IV: confusion matrix of case classification ===\n");
 
     let cfg = BootstrapExperiment::default();
-    let out = run(&cfg);
+    let out = run(&cfg)?;
 
     println!("{}\n", out.confusion);
     println!("total test cases        {}", out.confusion.total());
@@ -67,4 +69,5 @@ fn main() {
             out.confusion.true_positive,
         ),
     );
+    Ok(())
 }

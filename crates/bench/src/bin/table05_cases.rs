@@ -9,6 +9,8 @@
 //! client count — for every reported destination, with ground-truth
 //! confirmation in place of the paper's manual investigation.
 
+#![warn(clippy::unwrap_used)]
+
 use std::collections::{HashMap, HashSet};
 
 use baywatch_bench::{render_table, save_json};

@@ -9,6 +9,8 @@
 //! runs the pipeline daily, and prints the 5 top-ranked destinations with
 //! their smallest period and client count.
 
+#![warn(clippy::unwrap_used)]
+
 use std::collections::{HashMap, HashSet};
 
 use baywatch_bench::{render_table, save_json};
@@ -117,7 +119,7 @@ fn main() {
     }
 
     let mut ranked: Vec<(String, f64)> = best_scores.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores finite"));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     println!("suspicious periodic pairs over 10 days: {pair_count}");
     println!("distinct flagged destinations: {}\n", ranked.len());

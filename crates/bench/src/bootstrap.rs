@@ -14,6 +14,7 @@ use baywatch_classifier::forest::ForestConfig;
 use baywatch_core::investigate::{ConfusionMatrix, Investigator};
 use baywatch_core::pair::CommunicationPair;
 use baywatch_core::rank::BeaconCase;
+use baywatch_core::CoreError;
 use baywatch_langmodel::dga::{DgaGenerator, DgaStyle};
 use baywatch_langmodel::{corpus, DomainScorer};
 use baywatch_netsim::synth::SyntheticBeacon;
@@ -97,9 +98,12 @@ fn make_case(
         let seeds = corpus::seed_domains();
         let base = seeds[idx % seeds.len()];
         let domain = format!("poll.{base}");
-        let period = *[120.0, 300.0, 600.0, 900.0, 1800.0, 3600.0]
+        // `choose` on a non-empty literal cannot fail; fall back to the
+        // most common round period rather than unwrapping.
+        let period = [120.0, 300.0, 600.0, 900.0, 1800.0, 3600.0]
             .choose(rng)
-            .expect("non-empty period list");
+            .copied()
+            .unwrap_or(300.0);
         (
             domain,
             period,
@@ -143,7 +147,11 @@ fn make_case(
 }
 
 /// Runs the experiment.
-pub fn run(cfg: &BootstrapExperiment) -> BootstrapOutcome {
+///
+/// Fails only when the synthesized training split is degenerate (e.g. a
+/// configuration so small that no cases survive the detector), in which
+/// case the forest cannot be trained.
+pub fn run(cfg: &BootstrapExperiment) -> Result<BootstrapOutcome, CoreError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let scorer = DomainScorer::train(corpus::training_corpus(), 3);
     let detector = PeriodicityDetector::new(DetectorConfig::default());
@@ -170,16 +178,16 @@ pub fn run(cfg: &BootstrapExperiment) -> BootstrapOutcome {
         n_trees: cfg.n_trees,
         ..Default::default()
     };
-    let investigator = Investigator::train(train, &forest_cfg).expect("training set is non-empty");
+    let investigator = Investigator::train(train, &forest_cfg)?;
 
-    BootstrapOutcome {
+    Ok(BootstrapOutcome {
         confusion: investigator.confusion(test),
         fn_curve: investigator.false_negative_curve(test),
         n_train,
         n_test: test.len(),
         oob_error: investigator.forest().oob_error(),
         feature_importances: investigator.feature_importances(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -192,7 +200,8 @@ mod tests {
             n_cases: 60,
             n_trees: 20,
             ..Default::default()
-        });
+        })
+        .expect("experiment runs");
         assert_eq!(out.confusion.total(), out.n_test);
         assert!(
             out.confusion.accuracy() > 0.85,
@@ -211,8 +220,8 @@ mod tests {
             n_trees: 10,
             ..Default::default()
         };
-        let a = run(&cfg);
-        let b = run(&cfg);
+        let a = run(&cfg).expect("experiment runs");
+        let b = run(&cfg).expect("experiment runs");
         assert_eq!(a.confusion, b.confusion);
     }
 }

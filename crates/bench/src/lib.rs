@@ -21,6 +21,9 @@
 //! Run one with `cargo run --release -p baywatch-bench --bin fig06_pruning`
 //! or everything with the `all_experiments` binary.
 
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 use std::io::Write as _;
 use std::path::PathBuf;
 

@@ -22,9 +22,10 @@
 //! report. An optional [`FaultPlan`] threads the deterministic
 //! fault-injection checkpoints through each phase for the robustness tests.
 
-use baywatch_mapreduce::{FaultPlan, FaultReport, MapReduce};
+use baywatch_mapreduce::{FaultPlan, FaultPolicy, FaultReport, MapReduce};
 use baywatch_timeseries::detector::{DetectionReport, PeriodicityDetector};
 use baywatch_timeseries::workspace::with_thread_workspace;
+use baywatch_timeseries::{BudgetSpec, TimeSeriesError};
 
 use crate::activity::ActivitySummary;
 use crate::pair::CommunicationPair;
@@ -54,7 +55,20 @@ pub fn extract_summaries_ft(
     scale: u64,
     plan: Option<&FaultPlan>,
 ) -> (Vec<ActivitySummary>, FaultReport) {
-    engine.run_fault_tolerant(
+    extract_summaries_ft_with_policy(engine, records, scale, plan, &FaultPolicy::default())
+}
+
+/// Like [`extract_summaries_ft`] with an explicit fault policy, so the
+/// pipeline can arm per-task straggler deadlines
+/// ([`FaultPolicy::task_deadline`]) on the extraction phase.
+pub fn extract_summaries_ft_with_policy(
+    engine: &MapReduce,
+    records: Vec<LogRecord>,
+    scale: u64,
+    plan: Option<&FaultPlan>,
+    policy: &FaultPolicy,
+) -> (Vec<ActivitySummary>, FaultReport) {
+    engine.run_fault_tolerant_with_policy(
         records,
         |record, emit| {
             if let Some(plan) = plan {
@@ -74,6 +88,7 @@ pub fn extract_summaries_ft(
                 Err(_) => Vec::new(),
             }
         },
+        policy,
     )
 }
 
@@ -173,13 +188,65 @@ pub fn detect_beaconing(
 /// Fault-tolerant beaconing detection: like [`detect_beaconing`], but a
 /// pair whose detection panics is quarantined (costing that pair, not the
 /// window) and counted in the returned [`FaultReport`].
+///
+/// Runs each pair under the detector's own configured execution budget
+/// ([`DetectorConfig::budget`](baywatch_timeseries::detector::DetectorConfig));
+/// pairs that exhaust it are silently dropped here — use
+/// [`detect_beaconing_budgeted_ft`] to observe them.
 pub fn detect_beaconing_ft(
     engine: &MapReduce,
     summaries: Vec<ActivitySummary>,
     detector: &PeriodicityDetector,
     plan: Option<&FaultPlan>,
 ) -> (Vec<(ActivitySummary, DetectionReport)>, FaultReport) {
-    engine.run_fault_tolerant(
+    let budget = detector.config().budget;
+    let (rows, report) = detect_beaconing_budgeted_ft(
+        engine,
+        summaries,
+        detector,
+        budget,
+        plan,
+        &FaultPolicy::default(),
+    );
+    let hits = rows
+        .into_iter()
+        .filter_map(|row| match row {
+            DetectRow::Hit(hit) => Some(*hit),
+            DetectRow::TimedOut(_) => None,
+        })
+        .collect();
+    (hits, report)
+}
+
+/// One output row of [`detect_beaconing_budgeted_ft`].
+#[derive(Debug, Clone)]
+pub enum DetectRow {
+    /// A pair with at least one verified candidate period.
+    Hit(Box<(ActivitySummary, DetectionReport)>),
+    /// A pair whose detection exhausted its per-pair execution budget
+    /// before completing; no verdict was reached.
+    TimedOut(CommunicationPair),
+}
+
+/// Budget-aware fault-tolerant beaconing detection: each pair runs under a
+/// fresh [`ExecBudget`](baywatch_timeseries::ExecBudget) armed from
+/// `pair_budget`, so one pathological series is cut off at a kernel
+/// checkpoint and surfaced as [`DetectRow::TimedOut`] instead of stalling
+/// the window. `policy` additionally arms MapReduce-level straggler
+/// deadlines ([`FaultPolicy::task_deadline`]).
+///
+/// With an unlimited `pair_budget` and default `policy` this is
+/// byte-identical to [`detect_beaconing_ft`]: the budget checkpoints only
+/// ever early-return and never perturb RNG streams or numerical state.
+pub fn detect_beaconing_budgeted_ft(
+    engine: &MapReduce,
+    summaries: Vec<ActivitySummary>,
+    detector: &PeriodicityDetector,
+    pair_budget: BudgetSpec,
+    plan: Option<&FaultPlan>,
+    policy: &FaultPolicy,
+) -> (Vec<DetectRow>, FaultReport) {
+    engine.run_fault_tolerant_with_policy(
         summaries,
         |summary: &ActivitySummary, emit| {
             if let Some(plan) = plan {
@@ -195,15 +262,23 @@ pub fn detect_beaconing_ft(
                 let mut out = Vec::new();
                 for summary in group {
                     let timestamps = summary.timestamps();
-                    if let Ok(report) = detector.detect_in(ws, &timestamps) {
-                        if report.is_periodic() {
-                            out.push((summary.clone(), report));
+                    match detector.detect_budgeted_in(ws, &timestamps, &pair_budget.start()) {
+                        Ok(report) if report.is_periodic() => {
+                            out.push(DetectRow::Hit(Box::new((summary.clone(), report))));
                         }
+                        Ok(_) => {}
+                        Err(TimeSeriesError::BudgetExhausted) => {
+                            out.push(DetectRow::TimedOut(summary.pair.clone()));
+                        }
+                        // Validation errors (too few events, zero span, …)
+                        // simply mean "not a beacon candidate".
+                        Err(_) => {}
                     }
                 }
                 out
             })
         },
+        policy,
     )
 }
 
@@ -347,6 +422,73 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].0.pair.destination, "evil.com");
         assert_eq!(report.quarantined_keys, 1);
+    }
+
+    #[test]
+    fn budgeted_detection_surfaces_timed_out_pairs() {
+        let mut records = beacon_records("infected", "evil.com", 60, 100);
+        // A sparse strided pair: ~700k bins at time scale 1, so the ops
+        // ceiling below trips at the first kernel checkpoint.
+        records.extend(
+            (0..300u64).map(|i| LogRecord::new(50_000 + i * 2_333, "slowpoke", "weird.biz", "x")),
+        );
+        let summaries = extract_summaries(&engine(), records, 1);
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let budget = BudgetSpec {
+            max_ops: Some(500_000),
+            ..Default::default()
+        };
+        let (rows, report) = detect_beaconing_budgeted_ft(
+            &engine(),
+            summaries,
+            &detector,
+            budget,
+            None,
+            &FaultPolicy::default(),
+        );
+        assert!(report.is_clean(), "a timeout is not a fault: {report:?}");
+        let mut hits = 0;
+        let mut timed_out = Vec::new();
+        for row in rows {
+            match row {
+                DetectRow::Hit(hit) => {
+                    hits += 1;
+                    assert_eq!(hit.0.pair.destination, "evil.com");
+                }
+                DetectRow::TimedOut(pair) => timed_out.push(pair),
+            }
+        }
+        assert_eq!(hits, 1);
+        assert_eq!(
+            timed_out,
+            vec![CommunicationPair::new("slowpoke", "weird.biz")]
+        );
+    }
+
+    #[test]
+    fn unlimited_budgeted_detection_matches_plain_detection() {
+        let mut records = beacon_records("infected", "evil.com", 60, 100);
+        records.extend(beacon_records("other", "beacon.net", 45, 100));
+        let summaries = extract_summaries(&engine(), records, 1);
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let plain = detect_beaconing(&engine(), summaries.clone(), &detector);
+        let (rows, report) = detect_beaconing_budgeted_ft(
+            &engine(),
+            summaries,
+            &detector,
+            BudgetSpec::UNLIMITED,
+            None,
+            &FaultPolicy::default(),
+        );
+        assert!(report.is_clean());
+        let hits: Vec<(ActivitySummary, DetectionReport)> = rows
+            .into_iter()
+            .map(|row| match row {
+                DetectRow::Hit(hit) => *hit,
+                DetectRow::TimedOut(pair) => panic!("unexpected timeout for {pair}"),
+            })
+            .collect();
+        assert_eq!(hits, plain);
     }
 
     #[test]

@@ -3,11 +3,14 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use baywatch_langmodel::{corpus, DomainScorer};
-use baywatch_mapreduce::{FaultPlan, FaultReport, JobConfig, MapReduce};
-use baywatch_timeseries::detector::{DetectorConfig, PeriodicityDetector};
+use baywatch_mapreduce::{FaultPlan, FaultPolicy, FaultReport, JobConfig, MapReduce};
+use baywatch_timeseries::detector::{DetectionReport, DetectorConfig, PeriodicityDetector};
+use baywatch_timeseries::BudgetSpec;
 
+use crate::activity::ActivitySummary;
 use crate::io::ReadOutcome;
 use crate::jobs;
 use crate::novelty::NoveltyStore;
@@ -37,6 +40,9 @@ pub struct BaywatchConfig {
     /// Whether to load the built-in global whitelist (can be disabled for
     /// synthetic experiments with no real domains).
     pub use_builtin_whitelist: bool,
+    /// Wall-clock budgets for degraded-mode operation (all disarmed by
+    /// default; see [`PipelineBudget`]).
+    pub budget: PipelineBudget,
 }
 
 impl Default for BaywatchConfig {
@@ -50,6 +56,52 @@ impl Default for BaywatchConfig {
             mapreduce: JobConfig::default(),
             lm_order: 3,
             use_builtin_whitelist: true,
+            budget: PipelineBudget::default(),
+        }
+    }
+}
+
+/// Wall-clock budgets bounding one analysis window (§VIII-B2: 26M pairs
+/// must clear the daily window in ~1.5 h, so no single pair — and no
+/// backlog of pairs — may stall it).
+///
+/// Three knobs compose, each independently optional:
+///
+/// * the **per-pair** kernel budget lives in
+///   [`DetectorConfig::budget`](baywatch_timeseries::detector::DetectorConfig)
+///   and cuts off one runaway detection at a safe checkpoint
+///   (`timed_out_pairs`),
+/// * [`task_deadline_millis`](Self::task_deadline_millis) arms MapReduce
+///   straggler handling for every job in the window (`timed_out` fault
+///   categories),
+/// * [`window_millis`](Self::window_millis) bounds the whole detection
+///   phase: when it runs out, the not-yet-analyzed pairs are shed in
+///   reverse priority order — fewest-events pairs first — and counted in
+///   [`FilterStats::shed_pairs`].
+///
+/// With every knob disarmed (the default) the pipeline runs its original
+/// code paths and its output is byte-identical to an unbudgeted build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineBudget {
+    /// Wall-clock budget (milliseconds) for the detection phase of one
+    /// [`Baywatch::analyze`] window; `None` = unlimited.
+    pub window_millis: Option<u64>,
+    /// Per-task straggler deadline (milliseconds) applied to every
+    /// MapReduce job in the window; `None` = disabled.
+    pub task_deadline_millis: Option<u64>,
+}
+
+impl PipelineBudget {
+    /// True when any limit is armed.
+    pub fn is_armed(&self) -> bool {
+        self.window_millis.is_some() || self.task_deadline_millis.is_some()
+    }
+
+    /// The fault policy carrying the per-task deadline.
+    fn policy(&self) -> FaultPolicy {
+        FaultPolicy {
+            task_deadline: self.task_deadline_millis.map(Duration::from_millis),
+            ..FaultPolicy::default()
         }
     }
 }
@@ -82,6 +134,13 @@ pub struct FilterStats {
     /// Communication pairs quarantined after their map/reduce tasks kept
     /// panicking (degraded mode: each costs one pair, not the run).
     pub quarantined_pairs: usize,
+    /// Pairs whose analysis exceeded an execution budget or straggler
+    /// deadline and was cut off (degraded mode: each costs one pair, not
+    /// the window). Distinct from `quarantined_pairs`: nothing panicked.
+    pub timed_out_pairs: usize,
+    /// Pairs shed without analysis because the window's wall-clock budget
+    /// ran out; the lowest-priority (fewest-events) pairs are shed first.
+    pub shed_pairs: usize,
 }
 
 /// The outcome of analyzing one window.
@@ -222,16 +281,23 @@ impl Baywatch {
         let mut faults = FaultReport::default();
         let plan = self.fault_plan.clone();
         let plan = plan.as_deref();
+        let policy = self.config.budget.policy();
 
         // ---- Popularity statistics (input to filter 2 & ranking). ----
         let popularity = PopularityStats::compute(&self.engine, &records);
 
         // ---- Data extraction (§VII-A). ----
-        let (summaries, extract_faults) =
-            jobs::extract_summaries_ft(&self.engine, records, self.config.time_scale, plan);
+        let (summaries, extract_faults) = jobs::extract_summaries_ft_with_policy(
+            &self.engine,
+            records,
+            self.config.time_scale,
+            plan,
+            &policy,
+        );
         stats.pairs = summaries.len();
         stats.skipped_events = extract_faults.skipped_records();
         stats.quarantined_pairs += extract_faults.quarantined_keys;
+        stats.timed_out_pairs += extract_faults.timed_out_keys;
         faults.absorb(&extract_faults);
 
         // ---- Filter 1: global whitelist. ----
@@ -256,12 +322,8 @@ impl Baywatch {
         // The detector is built once per pipeline; inside the job each worker
         // thread routes its FFTs through a thread-local spectral workspace,
         // so plans are built once per thread and reused across the window.
-        let (detections, detect_faults) =
-            jobs::detect_beaconing_ft(&self.engine, summaries, &self.detector, plan);
+        let detections = self.detect_with_budget(summaries, plan, &policy, &mut stats, &mut faults);
         stats.periodic = detections.len();
-        stats.quarantined_pairs +=
-            detect_faults.quarantined_keys + detect_faults.quarantined_inputs;
-        faults.absorb(&detect_faults);
 
         // Similar-source counts among the candidate destinations.
         let mut similar: HashMap<&str, usize> = HashMap::new();
@@ -321,6 +383,81 @@ impl Baywatch {
             faults,
             malformed_samples: Vec::new(),
         }
+    }
+
+    /// Runs the detection job under the window's budgets.
+    ///
+    /// Unlimited window (`budget.window_millis == None`): one job over all
+    /// summaries — the original code path, byte-identical output.
+    ///
+    /// Armed window: summaries are sorted by priority (most events first,
+    /// pair as tie-break) and detected in bounded waves; when the window's
+    /// wall clock runs out between waves, the remaining — lowest-priority —
+    /// pairs are shed and counted exactly in `stats.shed_pairs`. Ranking
+    /// downstream imposes a total order on cases, so wave reordering never
+    /// changes the ranked output of the pairs that do run.
+    fn detect_with_budget(
+        &self,
+        summaries: Vec<ActivitySummary>,
+        plan: Option<&FaultPlan>,
+        policy: &FaultPolicy,
+        stats: &mut FilterStats,
+        faults: &mut FaultReport,
+    ) -> Vec<(ActivitySummary, DetectionReport)> {
+        let pair_budget = self.config.detector.budget;
+        let mut detections = Vec::new();
+        let run_wave = |batch: Vec<ActivitySummary>,
+                        detections: &mut Vec<(ActivitySummary, DetectionReport)>,
+                        stats: &mut FilterStats,
+                        faults: &mut FaultReport| {
+            let (rows, detect_faults) = jobs::detect_beaconing_budgeted_ft(
+                &self.engine,
+                batch,
+                &self.detector,
+                pair_budget,
+                plan,
+                policy,
+            );
+            stats.quarantined_pairs +=
+                detect_faults.quarantined_keys + detect_faults.quarantined_inputs;
+            stats.timed_out_pairs += detect_faults.timed_out_inputs + detect_faults.timed_out_keys;
+            faults.absorb(&detect_faults);
+            for row in rows {
+                match row {
+                    jobs::DetectRow::Hit(hit) => detections.push(*hit),
+                    jobs::DetectRow::TimedOut(_) => stats.timed_out_pairs += 1,
+                }
+            }
+        };
+
+        let Some(window_millis) = self.config.budget.window_millis else {
+            run_wave(summaries, &mut detections, stats, faults);
+            return detections;
+        };
+
+        let window_budget = BudgetSpec {
+            max_millis: Some(window_millis),
+            max_ops: None,
+        }
+        .start();
+        let mut pending = summaries;
+        pending.sort_by(|a, b| {
+            b.request_count()
+                .cmp(&a.request_count())
+                .then_with(|| a.pair.cmp(&b.pair))
+        });
+        let wave = self.config.mapreduce.threads.max(1) * 4;
+        let mut idx = 0;
+        while idx < pending.len() {
+            if window_budget.is_exhausted() {
+                stats.shed_pairs = pending.len() - idx;
+                break;
+            }
+            let end = (idx + wave).min(pending.len());
+            run_wave(pending[idx..end].to_vec(), &mut detections, stats, faults);
+            idx = end;
+        }
+        detections
     }
 }
 
@@ -568,6 +705,95 @@ mod tests {
             .ranked
             .iter()
             .any(|c| c.case.pair.destination == "qzkxwv.com"));
+    }
+
+    #[test]
+    fn zero_window_budget_sheds_every_pair() {
+        let mut records = Vec::new();
+        beacon(&mut records, "victim", "qzkxwv.com", 60, 100);
+        beacon(&mut records, "other", "beacon-two.net", 45, 80);
+        let mut engine = Baywatch::new(BaywatchConfig {
+            budget: PipelineBudget {
+                window_millis: Some(0),
+                task_deadline_millis: None,
+            },
+            ..quiet_config()
+        });
+        let report = engine.analyze(records);
+        assert_eq!(report.stats.shed_pairs, report.stats.after_local_whitelist);
+        assert!(report.stats.shed_pairs >= 2);
+        assert_eq!(report.stats.periodic, 0);
+        assert!(report.ranked.is_empty());
+    }
+
+    #[test]
+    fn generous_window_budget_matches_unbudgeted_output() {
+        let mk = || {
+            let mut records = Vec::new();
+            beacon(&mut records, "victim", "qzkxwv.com", 60, 100);
+            beacon(&mut records, "other", "beacon-two.net", 45, 80);
+            for h in 0..6 {
+                human(
+                    &mut records,
+                    &format!("host{h}"),
+                    &format!("site{h}.example.org"),
+                    40,
+                    h,
+                );
+            }
+            records
+        };
+        let plain = Baywatch::new(quiet_config()).analyze(mk());
+        let budgeted = Baywatch::new(BaywatchConfig {
+            budget: PipelineBudget {
+                window_millis: Some(600_000),
+                task_deadline_millis: Some(600_000),
+            },
+            ..quiet_config()
+        })
+        .analyze(mk());
+        // Nothing shed or timed out, and the wave-ordered detection must
+        // produce the identical ranked list (ranking is a total order).
+        assert_eq!(budgeted.stats.shed_pairs, 0);
+        assert_eq!(budgeted.stats.timed_out_pairs, 0);
+        assert_eq!(budgeted.stats, plain.stats);
+        assert_eq!(budgeted.ranked.len(), plain.ranked.len());
+        for (a, b) in budgeted.ranked.iter().zip(plain.ranked.iter()) {
+            assert_eq!(a.case.pair, b.case.pair);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn per_pair_budget_times_out_pathological_pair_only() {
+        let mut records = Vec::new();
+        beacon(&mut records, "victim", "qzkxwv.com", 60, 120);
+        human(&mut records, "bystander", "other-site.net", 30, 7);
+        // A sparse strided series: ~700k bins at scale 1, so the ops
+        // budget trips at the first kernel checkpoint while the normal
+        // beacon (≈7k bins) finishes far under the same ceiling.
+        for i in 0..300u64 {
+            records.push(LogRecord::new(
+                50_000 + i * 2_333,
+                "victim",
+                "pathological-dest.biz",
+                "x",
+            ));
+        }
+        let mut config = quiet_config();
+        config.detector.budget.max_ops = Some(500_000);
+        let mut engine = Baywatch::new(config);
+        let report = engine.analyze(records);
+        assert_eq!(report.stats.timed_out_pairs, 1);
+        assert_eq!(report.stats.shed_pairs, 0);
+        assert!(report
+            .ranked
+            .iter()
+            .any(|c| c.case.pair.destination == "qzkxwv.com"));
+        assert!(report
+            .ranked
+            .iter()
+            .all(|c| c.case.pair.destination != "pathological-dest.biz"));
     }
 
     #[test]

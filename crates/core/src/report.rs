@@ -50,20 +50,34 @@ pub fn render_funnel(report: &AnalysisReport) -> String {
     row("skipped events (faults)", s.skipped_events);
     row("communication pairs", s.pairs);
     row("quarantined pairs", s.quarantined_pairs);
+    // Budget rows only appear when budgets actually fired, so the funnel
+    // of an unbudgeted (or in-budget) run is byte-identical to before.
+    if s.timed_out_pairs > 0 {
+        row("timed-out pairs (budget)", s.timed_out_pairs);
+    }
+    if s.shed_pairs > 0 {
+        row("shed pairs (budget)", s.shed_pairs);
+    }
     row("after global whitelist", s.after_global_whitelist);
     row("after local whitelist", s.after_local_whitelist);
     row("periodic (verified)", s.periodic);
     row("after URL-token filter", s.after_token_filter);
     row("after novelty analysis", s.after_novelty);
     row("reported (percentile)", s.reported);
-    if !report.faults.is_clean() {
-        let _ = writeln!(
-            out,
+    if !report.faults.is_clean() || s.timed_out_pairs > 0 || s.shed_pairs > 0 {
+        let mut banner = format!(
             "degraded mode: {} map / {} reduce retries, {} quarantined unit(s)",
             report.faults.map_retries,
             report.faults.reduce_retries,
             report.faults.quarantined_units()
         );
+        if s.timed_out_pairs > 0 {
+            let _ = write!(banner, ", {} timed-out pair(s)", s.timed_out_pairs);
+        }
+        if s.shed_pairs > 0 {
+            let _ = write!(banner, ", {} shed pair(s)", s.shed_pairs);
+        }
+        let _ = writeln!(out, "{banner}");
     }
     out
 }
@@ -231,6 +245,8 @@ mod tests {
                 malformed_lines: 0,
                 skipped_events: 0,
                 quarantined_pairs: 0,
+                timed_out_pairs: 0,
+                shed_pairs: 0,
             },
             report_cutoff: n_cases.min(1),
             ranked,
@@ -274,6 +290,30 @@ mod tests {
         assert!(text.contains("7"));
         assert!(text.contains("degraded mode"));
         assert!(text.contains("2 quarantined unit(s)"));
+    }
+
+    #[test]
+    fn budget_rows_hidden_on_clean_runs() {
+        let text = render_funnel(&toy_report(2));
+        assert!(!text.contains("timed-out pairs"));
+        assert!(!text.contains("shed pairs"));
+        assert!(!text.contains("degraded mode"));
+    }
+
+    #[test]
+    fn funnel_flags_budget_degradation() {
+        let mut report = toy_report(1);
+        report.stats.timed_out_pairs = 3;
+        report.stats.shed_pairs = 11;
+        let text = render_funnel(&report);
+        assert!(text.contains("timed-out pairs (budget)"));
+        assert!(text.contains("shed pairs (budget)"));
+        // The banner fires on budget degradation even with clean faults,
+        // and keeps its original prefix.
+        assert!(text.contains(
+            "degraded mode: 0 map / 0 reduce retries, 0 quarantined unit(s), \
+             3 timed-out pair(s), 11 shed pair(s)"
+        ));
     }
 
     #[test]

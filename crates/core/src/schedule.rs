@@ -15,8 +15,9 @@
 
 use std::collections::HashMap;
 
-use baywatch_mapreduce::MapReduce;
+use baywatch_mapreduce::{FaultPolicy, MapReduce};
 use baywatch_timeseries::detector::{DetectionReport, DetectorConfig, PeriodicityDetector};
+use baywatch_timeseries::BudgetSpec;
 
 use crate::activity::ActivitySummary;
 use crate::jobs;
@@ -33,6 +34,12 @@ pub struct Tier {
     pub window_days: usize,
     /// Time scale (seconds) the tier analyzes at.
     pub scale: u64,
+    /// Per-pair execution budget for this tier's detection runs
+    /// (unlimited by default). Coarser tiers aggregate longer series, so
+    /// operators can cap them independently; pairs that exhaust the
+    /// budget are counted in
+    /// [`MultiScaleScheduler::timed_out_pairs`], not detected.
+    pub pair_budget: BudgetSpec,
 }
 
 /// The paper's three standard tiers.
@@ -42,16 +49,19 @@ pub fn standard_tiers() -> Vec<Tier> {
             name: "daily",
             window_days: 1,
             scale: 1,
+            pair_budget: BudgetSpec::UNLIMITED,
         },
         Tier {
             name: "weekly",
             window_days: 7,
             scale: 60,
+            pair_budget: BudgetSpec::UNLIMITED,
         },
         Tier {
             name: "monthly",
             window_days: 30,
             scale: 3600,
+            pair_budget: BudgetSpec::UNLIMITED,
         },
     ]
 }
@@ -78,6 +88,9 @@ pub struct MultiScaleScheduler {
     /// Ring of the last N days of summaries (N = max window).
     history: Vec<Vec<ActivitySummary>>,
     days_ingested: usize,
+    /// Pairs whose detection exhausted a tier's per-pair budget, summed
+    /// across all tiers and days.
+    timed_out_pairs: usize,
 }
 
 impl MultiScaleScheduler {
@@ -112,6 +125,7 @@ impl MultiScaleScheduler {
             engine,
             history: Vec::new(),
             days_ingested: 0,
+            timed_out_pairs: 0,
         })
     }
 
@@ -128,6 +142,12 @@ impl MultiScaleScheduler {
     /// Number of days ingested so far.
     pub fn days_ingested(&self) -> usize {
         self.days_ingested
+    }
+
+    /// Pairs cut off by a tier's per-pair execution budget so far
+    /// (degraded-mode accounting; zero when every tier is unlimited).
+    pub fn timed_out_pairs(&self) -> usize {
+        self.timed_out_pairs
     }
 
     /// Ingests one day of raw records and runs every tier whose window
@@ -150,6 +170,7 @@ impl MultiScaleScheduler {
         }
 
         let mut out = Vec::new();
+        let mut timed_out = 0usize;
         for tier in &self.tiers {
             // A tier fires when its window completes (every `window_days`).
             if !self.days_ingested.is_multiple_of(tier.window_days) {
@@ -173,14 +194,29 @@ impl MultiScaleScheduler {
                 ..self.detector_config.clone()
             };
             let detector = PeriodicityDetector::new(detector_config);
-            for (summary, report) in jobs::detect_beaconing(&self.engine, merged, &detector) {
-                out.push(TierDetection {
-                    tier: tier.name,
-                    pair: summary.pair,
-                    report,
-                });
+            let (rows, _faults) = jobs::detect_beaconing_budgeted_ft(
+                &self.engine,
+                merged,
+                &detector,
+                tier.pair_budget,
+                None,
+                &FaultPolicy::default(),
+            );
+            for row in rows {
+                match row {
+                    jobs::DetectRow::Hit(hit) => {
+                        let (summary, report) = *hit;
+                        out.push(TierDetection {
+                            tier: tier.name,
+                            pair: summary.pair,
+                            report,
+                        });
+                    }
+                    jobs::DetectRow::TimedOut(_) => timed_out += 1,
+                }
             }
         }
+        self.timed_out_pairs += timed_out;
         out
     }
 
@@ -318,12 +354,42 @@ mod tests {
             vec![Tier {
                 name: "bad",
                 window_days: 0,
-                scale: 1
+                scale: 1,
+                pair_budget: BudgetSpec::UNLIMITED,
             }],
             DetectorConfig::default(),
             MapReduce::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn exhausted_tier_budget_times_out_pairs_instead_of_detecting() {
+        let starved = Tier {
+            name: "daily",
+            window_days: 1,
+            scale: 1,
+            pair_budget: BudgetSpec {
+                max_ops: Some(1),
+                ..Default::default()
+            },
+        };
+        let mut sched = MultiScaleScheduler::new(
+            vec![starved],
+            DetectorConfig::default(),
+            MapReduce::default(),
+        )
+        .unwrap();
+        let detections = sched.ingest_days(beacon_days("h", "fast.com", 120, 1));
+        assert!(detections.is_empty(), "starved tier must not detect");
+        assert!(sched.timed_out_pairs() > 0);
+
+        // The same day under an unlimited budget detects normally and
+        // reports no timeouts.
+        let mut unlimited = MultiScaleScheduler::standard();
+        let detections = unlimited.ingest_days(beacon_days("h", "fast.com", 120, 1));
+        assert!(detections.iter().any(|d| d.pair.destination == "fast.com"));
+        assert_eq!(unlimited.timed_out_pairs(), 0);
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub struct FaultPolicy {
     /// in the [`FaultReport`] (quarantined inputs, keys, panic messages).
     /// Counting is always exact; only the samples are bounded.
     pub sample_limit: usize,
+    /// Per-task wall-clock deadline (straggler handling, Dean & Ghemawat
+    /// §3.6). `None` — the default — disables deadline checks entirely and
+    /// keeps the engine on its original code paths. When armed, a map
+    /// slice whose successful attempt overran the deadline is discarded
+    /// and bisected exactly like a poison slice (down to a quarantined
+    /// single record), and a reduce key whose invocation overran is
+    /// quarantined with its values; both are recorded in the `timed_out`
+    /// category of the [`FaultReport`], distinct from panics.
+    pub task_deadline: Option<Duration>,
 }
 
 impl Default for FaultPolicy {
@@ -36,6 +45,7 @@ impl Default for FaultPolicy {
         Self {
             max_task_retries: 2,
             sample_limit: 8,
+            task_deadline: None,
         }
     }
 }
@@ -55,12 +65,21 @@ pub struct FaultReport {
     pub quarantined_inputs: usize,
     /// Reduce keys quarantined after retries were exhausted.
     pub quarantined_keys: usize,
-    /// Shuffled values dropped together with quarantined reduce keys.
+    /// Input records dropped because mapping them overran the task
+    /// deadline (straggler quarantine, distinct from panic quarantine).
+    pub timed_out_inputs: usize,
+    /// Reduce keys dropped because reducing them overran the task
+    /// deadline.
+    pub timed_out_keys: usize,
+    /// Shuffled values dropped together with quarantined or timed-out
+    /// reduce keys.
     pub lost_values: usize,
     /// `Debug` renderings of quarantined inputs (bounded sample).
     pub input_samples: Vec<String>,
     /// `Debug` renderings of quarantined reduce keys (bounded sample).
     pub key_samples: Vec<String>,
+    /// `Debug` renderings of timed-out units (bounded sample).
+    pub timeout_samples: Vec<String>,
     /// Panic messages observed (bounded sample, deduplicated).
     pub panic_samples: Vec<String>,
     /// Wall-clock time of the map phase.
@@ -72,23 +91,32 @@ pub struct FaultReport {
 }
 
 impl FaultReport {
-    /// Whether the run needed no retries and quarantined nothing.
+    /// Whether the run needed no retries, quarantined nothing, and timed
+    /// nothing out.
     pub fn is_clean(&self) -> bool {
         self.map_retries == 0
             && self.reduce_retries == 0
             && self.quarantined_inputs == 0
             && self.quarantined_keys == 0
+            && self.timed_out_inputs == 0
+            && self.timed_out_keys == 0
     }
 
-    /// Total quarantined units (poison inputs plus poison keys).
+    /// Total quarantined units (poison inputs plus poison keys; timed-out
+    /// units are counted separately in [`FaultReport::timed_out_units`]).
     pub fn quarantined_units(&self) -> usize {
         self.quarantined_inputs + self.quarantined_keys
     }
 
-    /// Records that did not contribute to the output: poison inputs plus
-    /// the values dropped with quarantined keys.
+    /// Total timed-out units (straggler inputs plus straggler keys).
+    pub fn timed_out_units(&self) -> usize {
+        self.timed_out_inputs + self.timed_out_keys
+    }
+
+    /// Records that did not contribute to the output: poison and timed-out
+    /// inputs plus the values dropped with quarantined or timed-out keys.
     pub fn skipped_records(&self) -> usize {
-        self.quarantined_inputs + self.lost_values
+        self.quarantined_inputs + self.timed_out_inputs + self.lost_values
     }
 
     /// Folds another report into this one (counters summed, sample lists
@@ -99,9 +127,12 @@ impl FaultReport {
         self.reduce_retries += other.reduce_retries;
         self.quarantined_inputs += other.quarantined_inputs;
         self.quarantined_keys += other.quarantined_keys;
+        self.timed_out_inputs += other.timed_out_inputs;
+        self.timed_out_keys += other.timed_out_keys;
         self.lost_values += other.lost_values;
         extend_bounded(&mut self.input_samples, &other.input_samples);
         extend_bounded(&mut self.key_samples, &other.key_samples);
+        extend_bounded(&mut self.timeout_samples, &other.timeout_samples);
         extend_bounded(&mut self.panic_samples, &other.panic_samples);
         self.map_elapsed += other.map_elapsed;
         self.shuffle_elapsed += other.shuffle_elapsed;
@@ -139,8 +170,10 @@ pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
 pub(crate) struct PhaseFaults {
     pub retries: usize,
     pub quarantined: usize,
+    pub timed_out: usize,
     pub lost_values: usize,
     pub unit_samples: Vec<String>,
+    pub timeout_samples: Vec<String>,
     pub panic_samples: Vec<String>,
 }
 
@@ -160,11 +193,23 @@ impl PhaseFaults {
         }
     }
 
+    /// Records a unit dropped for overrunning the task deadline — the
+    /// straggler analogue of [`PhaseFaults::quarantine`].
+    pub fn quarantine_timeout(&mut self, unit: String, lost_values: usize, policy: &FaultPolicy) {
+        self.timed_out += 1;
+        self.lost_values += lost_values;
+        if self.timeout_samples.len() < policy.sample_limit {
+            self.timeout_samples.push(unit);
+        }
+    }
+
     pub fn merge(&mut self, other: PhaseFaults) {
         self.retries += other.retries;
         self.quarantined += other.quarantined;
+        self.timed_out += other.timed_out;
         self.lost_values += other.lost_values;
         self.unit_samples.extend(other.unit_samples);
+        self.timeout_samples.extend(other.timeout_samples);
         self.panic_samples.extend(other.panic_samples);
     }
 }
@@ -211,6 +256,9 @@ pub struct FaultPlan {
     poison_inputs: HashSet<String>,
     poison_keys: HashSet<String>,
     transient_keys: Mutex<HashMap<String, usize>>,
+    delay_map_calls: HashMap<usize, Duration>,
+    delay_inputs: HashMap<String, Duration>,
+    delay_keys: HashMap<String, Duration>,
     injected: AtomicUsize,
 }
 
@@ -256,6 +304,35 @@ impl FaultPlan {
         self
     }
 
+    /// Sleep for `millis` on the `n`-th map checkpoint (0-based, counted
+    /// atomically across workers and attempts) — a *transient* straggler:
+    /// the bisection re-run of the same slice draws later counts and runs
+    /// at full speed, so no record is lost when a task deadline is armed.
+    pub fn delay_map_call(mut self, n: usize, millis: u64) -> Self {
+        self.delay_map_calls
+            .insert(n, Duration::from_millis(millis));
+        self
+    }
+
+    /// Sleep for `millis` whenever the map checkpoint sees an input whose
+    /// `Debug` rendering equals `input` — a *persistent* straggler record:
+    /// with a task deadline armed, bisection isolates it and quarantines
+    /// it as timed out.
+    pub fn delay_input(mut self, input: &str, millis: u64) -> Self {
+        self.delay_inputs
+            .insert(input.to_owned(), Duration::from_millis(millis));
+        self
+    }
+
+    /// Sleep for `millis` whenever the reduce checkpoint sees a key whose
+    /// `Debug` rendering equals `key` — a persistent straggler key,
+    /// quarantined as timed out when a task deadline is armed.
+    pub fn delay_key(mut self, key: &str, millis: u64) -> Self {
+        self.delay_keys
+            .insert(key.to_owned(), Duration::from_millis(millis));
+        self
+    }
+
     /// How many faults the plan has fired so far.
     pub fn injected_faults(&self) -> usize {
         self.injected.load(Ordering::SeqCst)
@@ -265,12 +342,20 @@ impl FaultPlan {
     /// the plan says this invocation (or this input) must fail.
     pub fn map_checkpoint<T: Debug>(&self, input: &T) {
         let n = self.map_calls.fetch_add(1, Ordering::SeqCst);
+        if let Some(&delay) = self.delay_map_calls.get(&n) {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(delay);
+        }
         if self.map_panic_calls.contains(&n) {
             self.injected.fetch_add(1, Ordering::SeqCst);
             panic!("injected fault: map call {n}");
         }
-        if !self.poison_inputs.is_empty() {
+        if !self.poison_inputs.is_empty() || !self.delay_inputs.is_empty() {
             let repr = format!("{input:?}");
+            if let Some(&delay) = self.delay_inputs.get(&repr) {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(delay);
+            }
             if self.poison_inputs.contains(&repr) {
                 self.injected.fetch_add(1, Ordering::SeqCst);
                 panic!("injected fault: poison input {repr}");
@@ -282,6 +367,10 @@ impl FaultPlan {
     /// says this key must fail (permanently or for a remaining round).
     pub fn reduce_checkpoint<K: Debug>(&self, key: &K) {
         let repr = format!("{key:?}");
+        if let Some(&delay) = self.delay_keys.get(&repr) {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(delay);
+        }
         if self.poison_keys.contains(&repr) {
             self.injected.fetch_add(1, Ordering::SeqCst);
             panic!("injected fault: poison key {repr}");

@@ -411,7 +411,9 @@ impl MapReduce {
         .expect("map scope panicked");
         report.map_retries = map_faults.retries;
         report.quarantined_inputs = map_faults.quarantined;
+        report.timed_out_inputs = map_faults.timed_out;
         report.input_samples = map_faults.unit_samples;
+        report.timeout_samples = map_faults.timeout_samples;
         report.panic_samples = map_faults.panic_samples;
         report.map_elapsed = map_started.elapsed();
 
@@ -447,8 +449,15 @@ impl MapReduce {
         .expect("reduce scope panicked");
         report.reduce_retries = reduce_faults.retries;
         report.quarantined_keys = reduce_faults.quarantined;
+        report.timed_out_keys = reduce_faults.timed_out;
         report.lost_values = reduce_faults.lost_values;
         report.key_samples = reduce_faults.unit_samples;
+        for unit in reduce_faults.timeout_samples {
+            if report.timeout_samples.len() >= policy.sample_limit * 2 {
+                break;
+            }
+            report.timeout_samples.push(unit);
+        }
         for msg in reduce_faults.panic_samples {
             if report.panic_samples.len() >= policy.sample_limit * 2 {
                 break;
@@ -472,6 +481,13 @@ impl MapReduce {
 /// duplicate partial output behind; only a fully successful attempt is
 /// merged into `out`, which keeps a fault-free run byte-identical to
 /// [`MapReduce::run`].
+///
+/// When [`FaultPolicy::task_deadline`] is armed, a *successful* attempt
+/// that overran the deadline is treated as a straggler: its output is
+/// discarded and the slice is bisected exactly like a poison slice, so the
+/// slow record is isolated (and quarantined as `timed_out` once singled
+/// out) while its fast neighbours are re-mapped within budget. Timeouts do
+/// not consume panic retries — a deterministic overrun would overrun again.
 fn map_slice<I, K, V, M>(
     slice: &[I],
     mapper: &M,
@@ -488,6 +504,7 @@ fn map_slice<I, K, V, M>(
         return;
     }
     for attempt in 0..=policy.max_task_retries {
+        let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
             let mut local: Vec<Vec<(K, V)>> = (0..n_partitions).map(|_| Vec::new()).collect();
             for input in slice {
@@ -501,9 +518,26 @@ fn map_slice<I, K, V, M>(
         }));
         match result {
             Ok(local) => {
-                for (p, bucket) in local.into_iter().enumerate() {
-                    out[p].extend(bucket);
+                let overran = policy
+                    .task_deadline
+                    .is_some_and(|deadline| started.elapsed() > deadline);
+                if !overran {
+                    for (p, bucket) in local.into_iter().enumerate() {
+                        out[p].extend(bucket);
+                    }
+                    return;
                 }
+                if slice.len() == 1 {
+                    faults.quarantine_timeout(format!("{:?}", slice[0]), 0, policy);
+                    return;
+                }
+                // Over-deadline slice: discard the late output, count the
+                // re-execution as a retry (speculative re-run in Dean &
+                // Ghemawat's terms), and bisect to isolate the straggler.
+                faults.retries += 1;
+                let mid = slice.len() / 2;
+                map_slice(&slice[..mid], mapper, policy, n_partitions, out, faults);
+                map_slice(&slice[mid..], mapper, policy, n_partitions, out, faults);
                 return;
             }
             Err(payload) => {
@@ -527,6 +561,12 @@ fn map_slice<I, K, V, M>(
 /// Reduces one partition: a single `catch_unwind` over the whole partition
 /// on the fast path, falling back to per-key attempts (with retries, then
 /// quarantine) only when something in the partition panicked.
+///
+/// When [`FaultPolicy::task_deadline`] is armed, the whole-partition fast
+/// path is skipped: every key runs (and is timed) individually so one
+/// straggler key can be quarantined as `timed_out` without discarding its
+/// partition neighbours. Output order — sorted by key, minus dropped keys
+/// — is identical either way.
 fn reduce_partition<K, V, O, R>(
     records: Vec<(K, V)>,
     reducer: &R,
@@ -544,6 +584,40 @@ where
     keyed.sort_by(|a, b| a.0.cmp(&b.0));
 
     let mut faults = PhaseFaults::default();
+    if let Some(deadline) = policy.task_deadline {
+        let mut out = Vec::new();
+        for (k, vs) in &keyed {
+            let mut done = false;
+            for attempt in 0..=policy.max_task_retries {
+                let started = Instant::now();
+                match catch_unwind(AssertUnwindSafe(|| reducer(k, vs))) {
+                    Ok(mut o) => {
+                        if started.elapsed() > deadline {
+                            // The key finished, but too late: drop its
+                            // output and account for the straggler. No
+                            // retry — a deterministic overrun would only
+                            // overrun again.
+                            faults.quarantine_timeout(format!("{k:?}"), vs.len(), policy);
+                        } else {
+                            out.append(&mut o);
+                        }
+                        done = true;
+                        break;
+                    }
+                    Err(payload) => {
+                        faults.note_panic(payload, policy);
+                        if attempt < policy.max_task_retries {
+                            faults.retries += 1;
+                        }
+                    }
+                }
+            }
+            if !done {
+                faults.quarantine(format!("{k:?}"), vs.len(), policy);
+            }
+        }
+        return (out, faults);
+    }
     let whole = catch_unwind(AssertUnwindSafe(|| {
         let mut out = Vec::new();
         for (k, vs) in &keyed {
@@ -1011,5 +1085,135 @@ mod tests {
         assert_eq!(out, vec![("flaky".to_owned(), 2), ("steady".to_owned(), 1)]);
         assert_eq!(report.quarantined_keys, 0);
         assert!(report.reduce_retries >= 1);
+    }
+
+    // ---- deadline / straggler handling ----
+
+    use std::time::Duration;
+
+    fn deadline_policy(millis: u64) -> FaultPolicy {
+        FaultPolicy {
+            task_deadline: Some(Duration::from_millis(millis)),
+            ..FaultPolicy::default()
+        }
+    }
+
+    #[test]
+    fn deadline_armed_fault_free_run_matches_plain_run() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 8,
+            threads: 4,
+        });
+        let docs = vec!["the quick brown fox", "jumps over the lazy dog", "the end"];
+        let plain = engine.run(
+            docs.clone(),
+            |doc: &str, emit: &mut dyn FnMut(String, usize)| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |k: &String, vs: Vec<usize>| vec![(k.clone(), vs.len())],
+        );
+        // A generous deadline no task comes close to: the per-key reduce
+        // path must produce byte-identical output to the fast path.
+        let (ft, report) = engine.run_fault_tolerant_with_policy(
+            docs,
+            |doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |k: &String, vs: &[usize]| vec![(k.clone(), vs.len())],
+            &deadline_policy(60_000),
+        );
+        assert_eq!(ft, plain);
+        assert!(report.is_clean());
+        assert_eq!(report.timed_out_units(), 0);
+    }
+
+    #[test]
+    fn persistent_map_straggler_is_bisected_to_timed_out_quarantine() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        });
+        let plan = FaultPlan::new().delay_input("37", 40);
+        let inputs: Vec<i64> = (0..64).collect();
+        let (out, report) = engine.run_fault_tolerant_with_policy(
+            inputs,
+            |n, emit| {
+                plan.map_checkpoint(n);
+                emit(n % 2, 1usize);
+            },
+            |k, vs| vec![(*k, vs.len())],
+            &deadline_policy(10),
+        );
+        // The straggler record is isolated by bisection and quarantined as
+        // timed out — not as a panic — and exactly one record is lost.
+        assert_eq!(report.timed_out_inputs, 1);
+        assert_eq!(report.quarantined_inputs, 0);
+        assert!(report.timeout_samples.iter().any(|s| s == "37"));
+        assert!(report.panic_samples.is_empty());
+        let total: usize = out.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 63);
+    }
+
+    #[test]
+    fn transient_map_straggler_retries_without_loss() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 1,
+        });
+        // The delay fires on one specific map call; bisection re-runs are
+        // fast because the call counter has advanced past it.
+        let plan = FaultPlan::new().delay_map_call(2, 40);
+        let inputs: Vec<i64> = (0..16).collect();
+        let (out, report) = engine.run_fault_tolerant_with_policy(
+            inputs,
+            |n, emit| {
+                plan.map_checkpoint(n);
+                emit((), *n)
+            },
+            |_, vs| vec![vs.iter().sum::<i64>()],
+            &deadline_policy(10),
+        );
+        assert_eq!(plan.injected_faults(), 1);
+        assert_eq!(out, vec![(0..16).sum::<i64>()]);
+        assert_eq!(report.timed_out_inputs, 0);
+        assert_eq!(report.quarantined_inputs, 0);
+        assert!(report.map_retries >= 1);
+    }
+
+    #[test]
+    fn straggler_reduce_key_is_quarantined_as_timed_out() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        });
+        let plan = FaultPlan::new().delay_key("\"slow\"", 40);
+        let docs = vec!["a slow a", "slow b slow"];
+        let (out, report) = engine.run_fault_tolerant_with_policy(
+            docs,
+            |doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |k: &String, vs: &[usize]| {
+                plan.reduce_checkpoint(k);
+                vec![(k.clone(), vs.len())]
+            },
+            &deadline_policy(10),
+        );
+        let mut out = out;
+        out.sort();
+        assert_eq!(out, vec![("a".to_owned(), 2), ("b".to_owned(), 1)]);
+        assert_eq!(report.timed_out_keys, 1);
+        assert_eq!(report.quarantined_keys, 0);
+        assert_eq!(report.lost_values, 3);
+        assert!(report.timeout_samples.iter().any(|s| s.contains("slow")));
+        // A deterministic overrun is never retried — it would only overrun
+        // again, so no reduce retries are burned on it.
+        assert_eq!(report.reduce_retries, 0);
     }
 }

@@ -1,0 +1,112 @@
+//! Adversarial trace generators for deadline and load-shedding tests.
+//!
+//! The deployment constraint of §VIII-B2 (26M pairs must clear the daily
+//! window in ~1.5 h) means the pipeline has to survive *pathological*
+//! pairs: series whose analysis cost is wildly out of proportion to their
+//! event count. These generators build such inputs deterministically — no
+//! RNG — so budget/timeout tests trip at exactly the same checkpoint on
+//! every machine.
+
+/// A sparse strided beacon: `events` timestamps exactly `stride` seconds
+/// apart starting at `start`.
+///
+/// At time scale 1 the binned series spans `events · stride` bins, so a
+/// modest event count (hundreds) produces a series of hundreds of
+/// thousands of bins — each permutation round then costs that many work
+/// units, which trips an ops-metered
+/// [`ExecBudget`](../../baywatch_timeseries/budget/struct.ExecBudget.html)
+/// deterministically while a normal beacon pair stays far under the same
+/// ceiling.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`.
+pub fn pathological_sparse_beacon(start: u64, events: usize, stride: u64) -> Vec<u64> {
+    assert!(stride > 0, "stride must be positive");
+    (0..events as u64).map(|i| start + i * stride).collect()
+}
+
+/// An extreme-length series: `events` timestamps spread evenly over `span`
+/// seconds (the last event lands at `start + span`).
+///
+/// Convenience wrapper over [`pathological_sparse_beacon`] when the test
+/// wants to pin the total span rather than the stride.
+///
+/// # Panics
+///
+/// Panics if `events < 2` or the implied stride is zero (`span` shorter
+/// than the number of gaps).
+pub fn extreme_length_timestamps(start: u64, events: usize, span: u64) -> Vec<u64> {
+    assert!(events >= 2, "need at least two events to span an interval");
+    let stride = span / (events as u64 - 1);
+    pathological_sparse_beacon(start, events, stride)
+}
+
+/// An EM-hostile interval list: `n` intervals forming two nearly coincident
+/// heavy clusters (separated by far less than their within-cluster spread)
+/// plus a handful of extreme outliers.
+///
+/// Overlapping clusters give the GMM likelihood a long, flat ridge — EM
+/// makes microscopic progress per iteration and burns its full
+/// `max_iterations` allowance at every component count of the BIC sweep,
+/// which is exactly the workload the per-pair budget exists to bound. The
+/// list is deterministic and strictly positive.
+pub fn em_hostile_intervals(n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = match i % 16 {
+            // Two interleaved clusters 0.001 apart with spread ~0.5: no
+            // component assignment is ever decisive.
+            0..=6 => 60.0 + (i % 7) as f64 * 0.08,
+            7..=13 => 60.001 + (i % 7) as f64 * 0.08,
+            // Rare extreme outliers keep a wide component alive.
+            14 => 3_600.0 + i as f64,
+            _ => 7_200.0 + i as f64,
+        };
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_beacon_is_exact_grid() {
+        let ts = pathological_sparse_beacon(50_000, 300, 2_333);
+        assert_eq!(ts.len(), 300);
+        assert_eq!(ts[0], 50_000);
+        assert!(ts.windows(2).all(|w| w[1] - w[0] == 2_333));
+        // The property the budget tests rely on: span (≈ bins at scale 1)
+        // is several hundred thousand while the event count stays tiny.
+        let span = ts[ts.len() - 1] - ts[0];
+        assert_eq!(span, 299 * 2_333);
+        assert!(span > 500_000);
+    }
+
+    #[test]
+    fn extreme_length_pins_the_span() {
+        let ts = extreme_length_timestamps(1_000, 100, 990_000);
+        assert_eq!(ts.len(), 100);
+        assert_eq!(ts[ts.len() - 1] - ts[0], 99 * (990_000 / 99));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_stride_rejected() {
+        pathological_sparse_beacon(0, 10, 0);
+    }
+
+    #[test]
+    fn em_hostile_list_shape() {
+        let v = em_hostile_intervals(160);
+        assert_eq!(v.len(), 160);
+        assert!(v.iter().all(|&x| x > 0.0));
+        // Both near-coincident clusters and extreme outliers are present.
+        assert!(v.iter().filter(|&&x| x < 100.0).count() > 100);
+        assert!(v.iter().any(|&x| x > 3_000.0));
+        // Deterministic.
+        assert_eq!(v, em_hostile_intervals(160));
+    }
+}

@@ -23,6 +23,9 @@
 //!   adding-event noise injections of the robustness evaluation (Fig. 10).
 //! * **Ground truth** ([`oracle`]): a VirusTotal-style oracle labeling
 //!   destinations, with a configurable miss rate.
+//! * **Adversarial workloads** ([`adversarial`]): deterministic
+//!   pathological pairs (extreme-span series, EM-hostile interval lists)
+//!   for exercising the deadline / load-shedding machinery.
 //!
 //! ```
 //! use baywatch_netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};
@@ -37,6 +40,7 @@
 //! assert!(!trace.ground_truth.malicious_domains.is_empty());
 //! ```
 
+pub mod adversarial;
 pub mod benign;
 pub mod corrupt;
 pub mod dns;

@@ -1,0 +1,266 @@
+//! Cooperative execution budgets for the detection kernels.
+//!
+//! The paper's deployment runs under a hard operational window (§VIII-B2:
+//! 26M pairs must clear in ~1.5 h on weekdays), so a single pathological
+//! communication pair must not be allowed to stall a worker. [`ExecBudget`]
+//! is a cheap, shareable handle that the detector's hot loops — permutation
+//! rounds, the GMM EM/BIC sweep, the ACF hill scan — poll at safe
+//! checkpoints. When the budget is exhausted the kernel unwinds with
+//! [`TimeSeriesError::BudgetExhausted`] instead of spinning, in the spirit
+//! of Vlachos et al.'s O(n log n)-per-series cost bound and MapReduce's
+//! straggler handling.
+//!
+//! Two limits compose, either of which may be absent:
+//!
+//! - a **wall-clock deadline**, for production runs where only elapsed
+//!   time matters;
+//! - a **work-unit (ops) ceiling**, a deterministic proxy for elapsed time
+//!   (units are charged proportionally to the FFT/EM work actually
+//!   performed), so tests can exercise timeout paths reproducibly on any
+//!   machine.
+//!
+//! A handle with neither limit is *unlimited*: every check is a pair of
+//! relaxed atomic reads and the guarded code path is byte-identical to one
+//! with no budget plumbing at all — the checkpoints only ever early-return,
+//! never perturb RNG streams or numerical state.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::TimeSeriesError;
+
+struct BudgetInner {
+    /// Absolute wall-clock deadline, if armed.
+    deadline: Option<Instant>,
+    /// Maximum abstract work units, if armed.
+    max_ops: Option<u64>,
+    /// Work units charged so far.
+    ops: AtomicU64,
+    /// Explicit cooperative cancellation (e.g. the window scheduler decided
+    /// to shed this pair mid-flight).
+    cancelled: AtomicBool,
+}
+
+/// Shared deadline + cancellation token threaded through detection kernels.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same ops
+/// counter and cancellation flag, so a budget can be shared between a
+/// worker and a supervisor.
+#[derive(Clone)]
+pub struct ExecBudget {
+    inner: Arc<BudgetInner>,
+}
+
+impl std::fmt::Debug for ExecBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecBudget")
+            .field("deadline", &self.inner.deadline)
+            .field("max_ops", &self.inner.max_ops)
+            .field("ops", &self.ops_used())
+            .field("cancelled", &self.inner.cancelled.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ExecBudget {
+    /// A budget with neither a deadline nor an ops ceiling. Checkpoints
+    /// against it never trip (unless [`cancel`](Self::cancel) is called).
+    pub fn unlimited() -> Self {
+        Self::new(None, None)
+    }
+
+    /// A budget with an optional wall-clock allowance (from now) and an
+    /// optional work-unit ceiling.
+    pub fn new(wall: Option<Duration>, max_ops: Option<u64>) -> Self {
+        ExecBudget {
+            inner: Arc::new(BudgetInner {
+                deadline: wall.map(|d| Instant::now() + d),
+                max_ops,
+                ops: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// True when no limit is armed: checks reduce to a cancellation load.
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.deadline.is_none() && self.inner.max_ops.is_none()
+    }
+
+    /// Requests cooperative cancellation: every subsequent check fails.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Work units charged so far across all clones of this handle.
+    pub fn ops_used(&self) -> u64 {
+        self.inner.ops.load(Ordering::Relaxed)
+    }
+
+    /// Charges `units` of work and reports whether the budget is now
+    /// exhausted. Charging happens even when already exhausted, so
+    /// [`ops_used`](Self::ops_used) reflects attempted work.
+    #[must_use]
+    pub fn charge(&self, units: u64) -> bool {
+        let total = self.inner.ops.fetch_add(units, Ordering::Relaxed) + units;
+        if let Some(max) = self.inner.max_ops {
+            if total > max {
+                return true;
+            }
+        }
+        self.is_exhausted()
+    }
+
+    /// True when cancelled, past the wall-clock deadline, or over the ops
+    /// ceiling.
+    pub fn is_exhausted(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(max) = self.inner.max_ops {
+            if self.inner.ops.load(Ordering::Relaxed) > max {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Charges `units` and unwinds with
+    /// [`TimeSeriesError::BudgetExhausted`] when the budget is spent — the
+    /// one-line checkpoint the kernels use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::BudgetExhausted`] when exhausted.
+    pub fn checkpoint(&self, units: u64) -> Result<(), TimeSeriesError> {
+        if self.charge(units) {
+            Err(TimeSeriesError::BudgetExhausted)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Declarative budget limits carried inside configuration structs (a spec,
+/// not a live handle: [`start`](Self::start) arms a fresh [`ExecBudget`]
+/// whose wall clock begins at the call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetSpec {
+    /// Wall-clock allowance in milliseconds; `None` = no deadline.
+    pub max_millis: Option<u64>,
+    /// Work-unit ceiling; `None` = no ceiling. Units approximate FFT/EM
+    /// inner-loop cost: one permutation round over an `n`-bin series
+    /// charges `n`, one EM iteration over `n` intervals with `k` components
+    /// charges `n·k`, and so on.
+    pub max_ops: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// A spec with no limits (the default): [`start`](Self::start) yields
+    /// an unlimited budget.
+    pub const UNLIMITED: BudgetSpec = BudgetSpec {
+        max_millis: None,
+        max_ops: None,
+    };
+
+    /// True when either limit is armed.
+    pub fn is_armed(&self) -> bool {
+        self.max_millis.is_some() || self.max_ops.is_some()
+    }
+
+    /// Arms a live budget; the wall clock (if any) starts now.
+    pub fn start(&self) -> ExecBudget {
+        ExecBudget::new(self.max_millis.map(Duration::from_millis), self.max_ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = ExecBudget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(!b.charge(u64::MAX / 2));
+        assert!(!b.is_exhausted());
+        assert!(b.checkpoint(1).is_ok());
+    }
+
+    #[test]
+    fn ops_ceiling_is_deterministic() {
+        let b = ExecBudget::new(None, Some(100));
+        assert!(!b.charge(60));
+        assert!(!b.is_exhausted());
+        assert!(b.charge(60), "121 > 100 must exhaust");
+        assert!(b.is_exhausted());
+        assert_eq!(b.ops_used(), 120);
+        assert_eq!(b.checkpoint(1), Err(TimeSeriesError::BudgetExhausted));
+    }
+
+    #[test]
+    fn exact_ceiling_is_not_exhausted() {
+        // The ceiling is inclusive: exactly max_ops of work is allowed.
+        let b = ExecBudget::new(None, Some(100));
+        assert!(!b.charge(100));
+        assert!(!b.is_exhausted());
+    }
+
+    #[test]
+    fn wall_deadline_trips() {
+        let b = ExecBudget::new(Some(Duration::from_millis(0)), None);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(b.is_exhausted());
+        assert!(b.charge(0));
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let a = ExecBudget::unlimited();
+        let b = a.clone();
+        assert!(!b.is_exhausted());
+        a.cancel();
+        assert!(b.is_exhausted());
+        assert!(b.charge(0));
+    }
+
+    #[test]
+    fn clones_share_the_ops_counter() {
+        let a = ExecBudget::new(None, Some(10));
+        let b = a.clone();
+        assert!(!a.charge(6));
+        assert!(b.charge(6), "12 > 10 across clones");
+    }
+
+    #[test]
+    fn spec_defaults_unlimited() {
+        let spec = BudgetSpec::default();
+        assert_eq!(spec, BudgetSpec::UNLIMITED);
+        assert!(!spec.is_armed());
+        assert!(spec.start().is_unlimited());
+        assert!(BudgetSpec {
+            max_ops: Some(1),
+            ..Default::default()
+        }
+        .is_armed());
+        assert!(BudgetSpec {
+            max_millis: Some(1),
+            ..Default::default()
+        }
+        .is_armed());
+    }
+
+    #[test]
+    fn debug_formats() {
+        let b = ExecBudget::new(None, Some(5));
+        let _ = b.charge(1);
+        let s = format!("{b:?}");
+        assert!(s.contains("max_ops"));
+    }
+}

@@ -6,9 +6,10 @@
 //! (Fig. 3 of the paper), applied to one communication pair at a time.
 
 use crate::acf::{Autocorrelation, HillParams};
-use crate::gmm::{select_gmm, Gmm, GmmConfig};
+use crate::budget::{BudgetSpec, ExecBudget};
+use crate::gmm::{select_gmm_budgeted, Gmm, GmmConfig};
 use crate::periodogram::Periodogram;
-use crate::permutation::{permutation_threshold_in, PermutationConfig};
+use crate::permutation::{permutation_threshold_budgeted, PermutationConfig};
 use crate::prune::{prune_candidates, PruneConfig, PruneDecision};
 use crate::series::{intervals_of, TimeSeries};
 use crate::workspace::{with_thread_workspace, SpectralWorkspace};
@@ -38,6 +39,11 @@ pub struct DetectorConfig {
     pub fit_gmm: bool,
     /// GMM settings (used when `fit_gmm` is set).
     pub gmm: GmmConfig,
+    /// Per-pair execution budget (wall clock and/or work units). The
+    /// default is unlimited; when armed, a pair that exceeds it aborts
+    /// with [`TimeSeriesError::BudgetExhausted`] at the next kernel
+    /// checkpoint instead of stalling a worker.
+    pub budget: BudgetSpec,
 }
 
 impl Default for DetectorConfig {
@@ -52,6 +58,7 @@ impl Default for DetectorConfig {
             max_candidates: 16,
             fit_gmm: true,
             gmm: GmmConfig::default(),
+            budget: BudgetSpec::UNLIMITED,
         }
     }
 }
@@ -87,6 +94,12 @@ pub struct DetectionReport {
     pub interval_gmm: Option<Gmm>,
     /// BIC per component count from GMM model selection.
     pub gmm_bics: Vec<f64>,
+    /// EM iterations used by the selected GMM fit (0 when no GMM ran).
+    pub gmm_iterations: usize,
+    /// Whether the selected GMM's EM reached its tolerance before
+    /// `max_iterations` — `Some(false)` flags a fit that was cut off
+    /// mid-climb, `None` means no GMM was fitted.
+    pub gmm_converged: Option<bool>,
     /// Inter-arrival intervals of the pair (seconds).
     pub intervals: Vec<f64>,
 }
@@ -180,6 +193,38 @@ impl PeriodicityDetector {
         ws: &SpectralWorkspace,
         timestamps: &[u64],
     ) -> Result<DetectionReport, TimeSeriesError> {
+        self.detect_budgeted_in(ws, timestamps, &self.config.budget.start())
+    }
+
+    /// Like [`PeriodicityDetector::detect`] under an explicit, already
+    /// armed [`ExecBudget`] (shared with a supervisor, e.g. the pipeline's
+    /// window scheduler). [`DetectorConfig::budget`] is ignored in favour
+    /// of the handle.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PeriodicityDetector::detect`], plus
+    /// [`TimeSeriesError::BudgetExhausted`] when the budget runs out.
+    pub fn detect_budgeted(
+        &self,
+        timestamps: &[u64],
+        budget: &ExecBudget,
+    ) -> Result<DetectionReport, TimeSeriesError> {
+        with_thread_workspace(|ws| self.detect_budgeted_in(ws, timestamps, budget))
+    }
+
+    /// Like [`PeriodicityDetector::detect_budgeted`] with an explicit
+    /// [`SpectralWorkspace`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PeriodicityDetector::detect_budgeted`].
+    pub fn detect_budgeted_in(
+        &self,
+        ws: &SpectralWorkspace,
+        timestamps: &[u64],
+        budget: &ExecBudget,
+    ) -> Result<DetectionReport, TimeSeriesError> {
         if timestamps.len() < self.config.min_events {
             return Err(TimeSeriesError::TooFewEvents {
                 required: self.config.min_events,
@@ -193,7 +238,7 @@ impl PeriodicityDetector {
 
         let series = TimeSeries::from_timestamps(timestamps, self.config.time_scale)?
             .truncated(self.config.max_bins);
-        self.detect_series_in(ws, &series, intervals)
+        self.detect_series_budgeted_in(ws, &series, intervals, budget)
     }
 
     /// Runs the pipeline on a pre-binned series (used after rescaling,
@@ -224,6 +269,28 @@ impl PeriodicityDetector {
         series: &TimeSeries,
         intervals: Vec<f64>,
     ) -> Result<DetectionReport, TimeSeriesError> {
+        self.detect_series_budgeted_in(ws, series, intervals, &self.config.budget.start())
+    }
+
+    /// Like [`PeriodicityDetector::detect_series_in`] under an explicit
+    /// [`ExecBudget`]. Work-unit charges approximate the FFT/EM cost: one
+    /// unit per series bin for the periodogram and the ACF, `n` per
+    /// permutation round, one per ACF lag scanned, `n·k` per EM iteration.
+    /// With an unlimited budget no checkpoint ever fires and the output —
+    /// including every RNG stream — is byte-identical to the unbudgeted
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PeriodicityDetector::detect_series`], plus
+    /// [`TimeSeriesError::BudgetExhausted`].
+    pub fn detect_series_budgeted_in(
+        &self,
+        ws: &SpectralWorkspace,
+        series: &TimeSeries,
+        intervals: Vec<f64>,
+        budget: &ExecBudget,
+    ) -> Result<DetectionReport, TimeSeriesError> {
         // Degenerate-input guard: drop non-finite intervals (NaN/∞ from
         // upstream arithmetic on corrupted timestamps) so every comparator
         // and statistic below operates on finite values. A pair reduced to
@@ -231,8 +298,10 @@ impl PeriodicityDetector {
         let intervals: Vec<f64> = intervals.into_iter().filter(|i| i.is_finite()).collect();
 
         // ---- Step 1: periodogram + permutation threshold. ----
+        budget.checkpoint(series.len() as u64)?;
         let periodogram = Periodogram::compute_in(ws, series);
-        let threshold = permutation_threshold_in(ws, series, &self.config.permutation)?;
+        let threshold =
+            permutation_threshold_budgeted(ws, series, &self.config.permutation, budget)?;
         let mut raw = periodogram.lines_above(threshold.threshold);
         let overflow = if raw.len() > self.config.max_candidates {
             raw.split_off(self.config.max_candidates)
@@ -269,6 +338,7 @@ impl PeriodicityDetector {
         }
 
         let span = series.span_seconds() as f64;
+        budget.checkpoint(series.len() as u64)?;
         let acf = Autocorrelation::compute_in(ws, series);
 
         // ---- Step 1b: ACF-first candidate (Vlachos complementarity). ----
@@ -290,7 +360,9 @@ impl PeriodicityDetector {
                 2
             };
             let max_lag = (series.len() as f64 / self.config.prune.min_cycles) as usize;
-            if let Some(hill) = acf.strongest_hill(min_lag, max_lag, &self.config.hill) {
+            if let Some(hill) =
+                acf.strongest_hill_budgeted(min_lag, max_lag, &self.config.hill, budget)?
+            {
                 let already = raw
                     .iter()
                     .any(|l| (l.period - hill.period).abs() <= scale.max(0.02 * hill.period));
@@ -408,12 +480,21 @@ impl PeriodicityDetector {
 
         // ---- Multi-period analysis (GMM over intervals). ----
         let (interval_gmm, gmm_bics) = if self.config.fit_gmm && intervals.len() >= 8 {
-            match select_gmm(&intervals, &self.config.gmm) {
+            match select_gmm_budgeted(&intervals, &self.config.gmm, budget) {
                 Ok((g, bics)) => (Some(g), bics),
+                // A timed-out pair must surface as `Timeout`, not be
+                // silently reported with its GMM missing.
+                Err(TimeSeriesError::BudgetExhausted) => {
+                    return Err(TimeSeriesError::BudgetExhausted)
+                }
                 Err(_) => (None, Vec::new()),
             }
         } else {
             (None, Vec::new())
+        };
+        let (gmm_iterations, gmm_converged) = match &interval_gmm {
+            Some(g) => (g.iterations(), Some(g.converged())),
+            None => (0, None),
         };
 
         Ok(DetectionReport {
@@ -423,6 +504,8 @@ impl PeriodicityDetector {
             prune_decisions,
             interval_gmm,
             gmm_bics,
+            gmm_iterations,
+            gmm_converged,
             intervals,
         })
     }
@@ -590,6 +673,8 @@ mod tests {
             prune_decisions: vec![],
             interval_gmm: None,
             gmm_bics: vec![],
+            gmm_iterations: 0,
+            gmm_converged: None,
             intervals: vec![],
         };
         let periods = report.dominant_periods(0.05);
@@ -794,6 +879,84 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn unlimited_budget_is_byte_identical_to_plain_path() {
+        let ts = jittered_beacon(150, 60.0, 3.0, 9);
+        let d = detector();
+        let plain = d.detect(&ts).unwrap();
+        let budgeted = d.detect_budgeted(&ts, &ExecBudget::unlimited()).unwrap();
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn armed_ops_budget_times_out_pathological_series() {
+        // A few hundred events spread over a huge span: the binned series
+        // is enormous and each permutation round charges its full length,
+        // so a small ops ceiling trips deterministically in Step 1.
+        let ts: Vec<u64> = (0..300).map(|i| i * 2_333).collect();
+        let cfg = DetectorConfig {
+            budget: BudgetSpec {
+                max_ops: Some(1_000_000),
+                max_millis: None,
+            },
+            ..Default::default()
+        };
+        let err = PeriodicityDetector::new(cfg).detect(&ts).unwrap_err();
+        assert_eq!(err, TimeSeriesError::BudgetExhausted);
+
+        // A normal beacon sails under the same ceiling.
+        let ok_ts = jittered_beacon(120, 60.0, 0.0, 13);
+        let cfg = DetectorConfig {
+            budget: BudgetSpec {
+                max_ops: Some(1_000_000),
+                max_millis: None,
+            },
+            ..Default::default()
+        };
+        let r = PeriodicityDetector::new(cfg).detect(&ok_ts).unwrap();
+        assert!(r.is_periodic());
+    }
+
+    #[test]
+    fn cancelled_budget_aborts_detection() {
+        let ts = jittered_beacon(120, 60.0, 0.0, 17);
+        let budget = ExecBudget::unlimited();
+        budget.cancel();
+        let err = detector().detect_budgeted(&ts, &budget).unwrap_err();
+        assert_eq!(err, TimeSeriesError::BudgetExhausted);
+    }
+
+    #[test]
+    fn gmm_convergence_recorded_in_report() {
+        let ts = jittered_beacon(150, 60.0, 3.0, 21);
+        let r = detector().detect(&ts).unwrap();
+        assert!(r.interval_gmm.is_some());
+        assert!(r.gmm_converged.is_some());
+        assert!(r.gmm_iterations >= 1);
+
+        // Starve EM: the winning fit cannot converge in one iteration and
+        // the report must say so rather than pretend otherwise.
+        let cfg = DetectorConfig {
+            gmm: GmmConfig {
+                max_iterations: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = PeriodicityDetector::new(cfg).detect(&ts).unwrap();
+        assert_eq!(r.gmm_converged, Some(false));
+        assert_eq!(r.gmm_iterations, 1);
+
+        // No GMM requested: diagnostics are explicitly absent.
+        let cfg = DetectorConfig {
+            fit_gmm: false,
+            ..Default::default()
+        };
+        let r = PeriodicityDetector::new(cfg).detect(&ts).unwrap();
+        assert_eq!(r.gmm_converged, None);
+        assert_eq!(r.gmm_iterations, 0);
     }
 
     #[test]

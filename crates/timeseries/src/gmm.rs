@@ -16,6 +16,7 @@ use baywatch_stats::dist::Normal;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
+use crate::budget::ExecBudget;
 use crate::TimeSeriesError;
 
 /// One Gaussian component of a fitted mixture.
@@ -35,6 +36,8 @@ pub struct Gmm {
     components: Vec<GmmComponent>,
     log_likelihood: f64,
     n_observations: usize,
+    iterations: usize,
+    converged: bool,
 }
 
 impl Gmm {
@@ -51,6 +54,20 @@ impl Gmm {
     /// Number of observations the model was fitted on.
     pub fn n_observations(&self) -> usize {
         self.n_observations
+    }
+
+    /// Number of EM iterations actually run.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether EM reached the log-likelihood tolerance before
+    /// [`GmmConfig::max_iterations`]. A `false` here means the fit was cut
+    /// off mid-climb and its parameters should be treated as approximate —
+    /// the detector surfaces this in its diagnostics instead of silently
+    /// treating every fit as converged.
+    pub fn converged(&self) -> bool {
+        self.converged
     }
 
     /// Bayesian information criterion: `−2·lnL + p·ln(n)` where a
@@ -133,6 +150,24 @@ impl Default for GmmConfig {
 /// * [`TimeSeriesError::TooFewEvents`] if `data.len() < k` or data is empty,
 /// * [`TimeSeriesError::InvalidConfig`] for `k == 0` or bad config values.
 pub fn fit_gmm(data: &[f64], k: usize, config: &GmmConfig) -> Result<Gmm, TimeSeriesError> {
+    fit_gmm_budgeted(data, k, config, &ExecBudget::unlimited())
+}
+
+/// Like [`fit_gmm`] under an [`ExecBudget`]: each EM iteration first
+/// charges `n·k` work units (one E+M pass over `n` observations and `k`
+/// components) and the fit aborts with
+/// [`TimeSeriesError::BudgetExhausted`] once the budget is spent. With an
+/// unlimited budget the result is byte-identical to [`fit_gmm`].
+///
+/// # Errors
+///
+/// As [`fit_gmm`], plus budget exhaustion.
+pub fn fit_gmm_budgeted(
+    data: &[f64],
+    k: usize,
+    config: &GmmConfig,
+    budget: &ExecBudget,
+) -> Result<Gmm, TimeSeriesError> {
     if k == 0 {
         return Err(TimeSeriesError::InvalidConfig {
             name: "k",
@@ -162,8 +197,12 @@ pub fn fit_gmm(data: &[f64], k: usize, config: &GmmConfig) -> Result<Gmm, TimeSe
     let mut resp = vec![0.0f64; n * k];
     let mut prev_ll = f64::NEG_INFINITY;
     let mut ll = prev_ll;
+    let mut iterations = 0usize;
+    let mut converged = false;
 
     for _ in 0..config.max_iterations {
+        budget.checkpoint((n * k) as u64)?;
+        iterations += 1;
         // E-step: responsibilities via log-sum-exp.
         ll = 0.0;
         for (i, &x) in data.iter().enumerate() {
@@ -206,6 +245,7 @@ pub fn fit_gmm(data: &[f64], k: usize, config: &GmmConfig) -> Result<Gmm, TimeSe
         }
 
         if (ll - prev_ll).abs() < config.tolerance * (1.0 + ll.abs()) {
+            converged = true;
             break;
         }
         prev_ll = ll;
@@ -224,6 +264,8 @@ pub fn fit_gmm(data: &[f64], k: usize, config: &GmmConfig) -> Result<Gmm, TimeSe
         components,
         log_likelihood: ll,
         n_observations: n,
+        iterations,
+        converged,
     })
 }
 
@@ -256,6 +298,23 @@ pub fn fit_gmm(data: &[f64], k: usize, config: &GmmConfig) -> Result<Gmm, TimeSe
 /// assert!(means.iter().any(|&m| (m - 178.0).abs() < 8.0));
 /// ```
 pub fn select_gmm(data: &[f64], config: &GmmConfig) -> Result<(Gmm, Vec<f64>), TimeSeriesError> {
+    select_gmm_budgeted(data, config, &ExecBudget::unlimited())
+}
+
+/// Like [`select_gmm`] under an [`ExecBudget`]. Budget exhaustion at *any*
+/// `k` aborts the whole sweep with
+/// [`TimeSeriesError::BudgetExhausted`] — unlike a data-shortage error,
+/// which merely ends the scan at the largest feasible `k` — so a timed-out
+/// pair is never misreported as "best fit so far".
+///
+/// # Errors
+///
+/// As [`select_gmm`], plus budget exhaustion.
+pub fn select_gmm_budgeted(
+    data: &[f64],
+    config: &GmmConfig,
+    budget: &ExecBudget,
+) -> Result<(Gmm, Vec<f64>), TimeSeriesError> {
     if config.max_components == 0 {
         return Err(TimeSeriesError::InvalidConfig {
             name: "max_components",
@@ -265,7 +324,7 @@ pub fn select_gmm(data: &[f64], config: &GmmConfig) -> Result<(Gmm, Vec<f64>), T
     let mut best: Option<Gmm> = None;
     let mut bics = Vec::new();
     for k in 1..=config.max_components {
-        match fit_gmm(data, k, config) {
+        match fit_gmm_budgeted(data, k, config, budget) {
             Ok(g) => {
                 let bic = g.bic();
                 bics.push(bic);
@@ -276,6 +335,9 @@ pub fn select_gmm(data: &[f64], config: &GmmConfig) -> Result<(Gmm, Vec<f64>), T
                 if better {
                     best = Some(g);
                 }
+            }
+            Err(TimeSeriesError::BudgetExhausted) => {
+                return Err(TimeSeriesError::BudgetExhausted);
             }
             Err(e) => {
                 if k == 1 {
@@ -468,6 +530,56 @@ mod tests {
         let data = two_cluster_data(47);
         let a = fit_gmm(&data, 2, &GmmConfig::default()).unwrap();
         let b = fit_gmm(&data, 2, &GmmConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn convergence_diagnostics_exposed() {
+        let data = two_cluster_data(61);
+        let g = fit_gmm(&data, 2, &GmmConfig::default()).unwrap();
+        assert!(g.converged(), "well-separated clusters converge under 200");
+        assert!(g.iterations() >= 1);
+        assert!(g.iterations() <= GmmConfig::default().max_iterations);
+
+        // One iteration cannot reach tolerance from ll = -inf on real data.
+        let starved = GmmConfig {
+            max_iterations: 1,
+            ..Default::default()
+        };
+        let g = fit_gmm(&data, 2, &starved).unwrap();
+        assert_eq!(g.iterations(), 1);
+        assert!(
+            !g.converged(),
+            "a single EM step must not claim convergence"
+        );
+    }
+
+    #[test]
+    fn budget_aborts_em_deterministically() {
+        let data = two_cluster_data(67);
+        let n = data.len() as u64;
+        // Room for exactly 2 iterations at k = 2 (each charges 2n).
+        let budget = ExecBudget::new(None, Some(4 * n));
+        let err = fit_gmm_budgeted(&data, 2, &GmmConfig::default(), &budget);
+        assert_eq!(err, Err(TimeSeriesError::BudgetExhausted));
+
+        // Unlimited budget is byte-identical to the plain entry point.
+        let a = fit_gmm_budgeted(&data, 2, &GmmConfig::default(), &ExecBudget::unlimited());
+        let b = fit_gmm(&data, 2, &GmmConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budgeted_select_propagates_exhaustion() {
+        let data = two_cluster_data(71);
+        // Enough for the k = 1 fit but not the k = 2 sweep: exhaustion must
+        // surface as an error, not a silent "best so far".
+        let budget = ExecBudget::new(None, Some(8 * data.len() as u64));
+        let err = select_gmm_budgeted(&data, &GmmConfig::default(), &budget);
+        assert_eq!(err, Err(TimeSeriesError::BudgetExhausted));
+
+        let a = select_gmm_budgeted(&data, &GmmConfig::default(), &ExecBudget::unlimited());
+        let b = select_gmm(&data, &GmmConfig::default());
         assert_eq!(a, b);
     }
 

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod acf;
+pub mod budget;
 pub mod detector;
 pub mod gmm;
 pub mod periodogram;
@@ -58,6 +59,7 @@ pub mod spectrogram;
 pub mod symbolize;
 pub mod workspace;
 
+pub use budget::{BudgetSpec, ExecBudget};
 pub use detector::{CandidatePeriod, DetectionReport, DetectorConfig, PeriodicityDetector};
 pub use series::{intervals_of, TimeSeries};
 pub use workspace::SpectralWorkspace;
@@ -87,6 +89,10 @@ pub enum TimeSeriesError {
     /// The observation window has zero length (all events share one
     /// timestamp), so no frequency content exists.
     ZeroSpan,
+    /// The execution budget ([`budget::ExecBudget`]) was exhausted before
+    /// the analysis completed; the pair should be recorded as timed out
+    /// rather than non-periodic.
+    BudgetExhausted,
     /// An underlying statistical routine failed.
     Stats(baywatch_stats::StatsError),
 }
@@ -104,6 +110,9 @@ impl std::fmt::Display for TimeSeriesError {
                 write!(f, "invalid config `{name}`: {constraint}")
             }
             TimeSeriesError::ZeroSpan => write!(f, "observation window has zero length"),
+            TimeSeriesError::BudgetExhausted => {
+                write!(f, "execution budget exhausted before analysis completed")
+            }
             TimeSeriesError::Stats(e) => write!(f, "statistics error: {e}"),
         }
     }

@@ -9,6 +9,7 @@
 //! of 20 for C = 95 %) yields the power threshold `p_T`: original-series
 //! frequencies with power above `p_T` are unlikely to be noise.
 
+use crate::budget::ExecBudget;
 use crate::series::TimeSeries;
 use crate::workspace::{with_thread_workspace, SpectralWorkspace};
 use crate::TimeSeriesError;
@@ -112,6 +113,25 @@ pub fn permutation_threshold_in(
     series: &TimeSeries,
     config: &PermutationConfig,
 ) -> Result<PermutationThreshold, TimeSeriesError> {
+    permutation_threshold_budgeted(ws, series, config, &ExecBudget::unlimited())
+}
+
+/// Like [`permutation_threshold_in`] under an [`ExecBudget`]: each of the
+/// `m` rounds first charges `n` work units (one shuffle + one `n`-bin
+/// transform) and aborts with [`TimeSeriesError::BudgetExhausted`] once the
+/// budget is spent. With an unlimited budget the checkpoint never fires and
+/// the result — including the RNG stream — is byte-identical to
+/// [`permutation_threshold_in`].
+///
+/// # Errors
+///
+/// Propagates configuration validation errors and budget exhaustion.
+pub fn permutation_threshold_budgeted(
+    ws: &SpectralWorkspace,
+    series: &TimeSeries,
+    config: &PermutationConfig,
+    budget: &ExecBudget,
+) -> Result<PermutationThreshold, TimeSeriesError> {
     config.validate()?;
     let mut samples = series.centered();
     let n = samples.len();
@@ -119,6 +139,7 @@ pub fn permutation_threshold_in(
 
     let mut maxima = Vec::with_capacity(config.permutations);
     for _ in 0..config.permutations {
+        budget.checkpoint(n as u64)?;
         samples.shuffle(&mut rng);
         // Degenerate series (< 4 bins) have an empty spectrum: max power 0,
         // matching `Periodogram::from_samples` on the same input.
@@ -288,6 +309,27 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn budget_stops_rounds_deterministically() {
+        use crate::budget::ExecBudget;
+        let series = beacon_series(80, 15);
+        let cfg = PermutationConfig::default();
+        let n = series.len() as u64;
+        let ws = crate::workspace::SpectralWorkspace::new();
+
+        // Enough for exactly 3 rounds: the 4th checkpoint exceeds the cap.
+        let budget = ExecBudget::new(None, Some(3 * n));
+        let err = permutation_threshold_budgeted(&ws, &series, &cfg, &budget);
+        assert_eq!(err, Err(TimeSeriesError::BudgetExhausted));
+        assert_eq!(budget.ops_used(), 4 * n, "charged through the 4th round");
+
+        // Unlimited budget is byte-identical to the unbudgeted entry point.
+        let unlimited = ExecBudget::unlimited();
+        let a = permutation_threshold_budgeted(&ws, &series, &cfg, &unlimited).unwrap();
+        let b = permutation_threshold_in(&ws, &series, &cfg).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

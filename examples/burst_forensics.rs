@@ -9,12 +9,14 @@
 //! cargo run --release --example burst_forensics
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch::netsim::malware::MalwareProfile;
 use baywatch::timeseries::detector::{DetectorConfig, PeriodicityDetector};
 use baywatch::timeseries::series::TimeSeries;
 use baywatch::timeseries::spectrogram::Spectrogram;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A day of Conficker-style traffic: 7–8 s beacons in short bursts,
     // ~3 h dormant between bursts.
     let ts = MalwareProfile::Conficker.schedule(0, 86_400, 7);
@@ -25,8 +27,8 @@ fn main() {
     );
 
     // ---- Time-resolved view. -------------------------------------------
-    let series = TimeSeries::from_timestamps(&ts, 1).unwrap();
-    let sg = Spectrogram::compute(&series, 512).unwrap();
+    let series = TimeSeries::from_timestamps(&ts, 1)?;
+    let sg = Spectrogram::compute(&series, 512)?;
     let active = sg.active_frames(8);
     println!("spectrogram ({} s segments):", sg.segment_seconds());
     println!(
@@ -48,7 +50,7 @@ fn main() {
 
     // ---- Interval-domain view (Fig. 7 machinery). ------------------------
     let detector = PeriodicityDetector::new(DetectorConfig::default());
-    let report = detector.detect(&ts).unwrap();
+    let report = detector.detect(&ts)?;
     if let Some(gmm) = &report.interval_gmm {
         println!("\nGMM over the interval list:");
         for c in gmm.components() {
@@ -67,4 +69,5 @@ fn main() {
         assert!(fast < 15.0, "fast scale missing");
         assert!(slow > 1800.0, "slow scale missing");
     }
+    Ok(())
 }

@@ -9,6 +9,8 @@
 //! cargo run --release --example dga_triage
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch::langmodel::dga::{DgaGenerator, DgaStyle};
 use baywatch::langmodel::{corpus, DomainScorer};
 

@@ -11,6 +11,8 @@
 //! cargo run --release --example dns_netflow
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
 use baywatch::core::record::LogRecord;
 use baywatch::netsim::dns::{aggregate_behind_resolver, cache_filter};
@@ -19,7 +21,7 @@ use baywatch::netsim::synth::{random_arrivals, SyntheticBeacon};
 use baywatch::netsim::types::{HostId, ProxyEvent};
 use baywatch::timeseries::detector::{DetectorConfig, PeriodicityDetector};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let detector = PeriodicityDetector::new(DetectorConfig::default());
 
     // ---- DNS: caching. -------------------------------------------------
@@ -37,8 +39,10 @@ fn main() {
         raw_beacon.len(),
         logged.len()
     );
-    let report = detector.detect(&logged).unwrap();
-    let best = report.best().expect("cached beacon still periodic");
+    let report = detector.detect(&logged)?;
+    let best = report
+        .best()
+        .ok_or("cached beacon lost its periodicity — §X invariant broken")?;
     println!(
         "detected period in DNS log: {:.0} s — the cache-expiry cadence (TTL rounded \
          up to the next 60 s beacon slot), as §X predicts\n",
@@ -67,7 +71,7 @@ fn main() {
         "c2.evil.example",
     );
     let ts: Vec<u64> = merged.iter().map(|e| e.timestamp).collect();
-    let report = detector.detect(&ts).unwrap();
+    let report = detector.detect(&ts)?;
     match report.best() {
         Some(best) => println!(
             "aggregated view still shows the periodic client: {:.0} s (score {:.2})\n",
@@ -129,4 +133,5 @@ fn main() {
     );
     println!("note: with no domain names the LM indicator is neutral — ranking relies on");
     println!("periodicity strength and popularity, exactly the §X trade-off.");
+    Ok(())
 }

@@ -6,6 +6,8 @@
 //! cargo run --release --example enterprise_hunt
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use std::collections::HashSet;
 
 use baywatch::core::pipeline::{Baywatch, BaywatchConfig};

@@ -6,6 +6,8 @@
 //! cargo run --release --example log_replay
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch::core::io::{read_log_file, write_log_file};
 use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
 use baywatch::netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};

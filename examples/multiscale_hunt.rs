@@ -6,6 +6,8 @@
 //! cargo run --release --example multiscale_hunt
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch::core::record::LogRecord;
 use baywatch::core::schedule::MultiScaleScheduler;
 

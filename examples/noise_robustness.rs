@@ -6,6 +6,8 @@
 //! cargo run --release --example noise_robustness
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch::netsim::synth::SyntheticBeacon;
 use baywatch::timeseries::detector::{DetectorConfig, PeriodicityDetector};
 

@@ -6,6 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
 use baywatch::core::record::LogRecord;
 use baywatch::netsim::synth::{random_arrivals, SyntheticBeacon};

@@ -4,6 +4,7 @@
 use baywatch::netsim::synth::{random_arrivals, SyntheticBeacon};
 use baywatch::timeseries::detector::{DetectorConfig, PeriodicityDetector};
 use baywatch::timeseries::series::{intervals_of, TimeSeries};
+use baywatch::timeseries::ExecBudget;
 use proptest::prelude::*;
 
 /// Deterministic replay of the recorded `clean_beacons_always_detected`
@@ -120,6 +121,30 @@ proptest! {
         let sum: f64 = iv.iter().sum();
         prop_assert!((sum - span).abs() < 1e-9);
         prop_assert!(iv.iter().all(|&i| i >= 0.0));
+    }
+
+    /// Detection under an explicitly unlimited [`ExecBudget`] is
+    /// byte-identical to plain detection for any input: the budget
+    /// checkpoints only ever early-return — they never perturb RNG
+    /// streams, permutation order, or numerical state.
+    #[test]
+    fn unlimited_budget_never_changes_detection(
+        period in 10u64..400,
+        count in 40u64..160,
+        sigma_pct in 0u64..8,
+        seed in 0u64..40,
+    ) {
+        let ts = SyntheticBeacon {
+            period: period as f64,
+            gaussian_sigma: period as f64 * sigma_pct as f64 / 100.0,
+            count: count as usize,
+            ..Default::default()
+        }
+        .generate(seed);
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let plain = detector.detect(&ts);
+        let budgeted = detector.detect_budgeted(&ts, &ExecBudget::unlimited());
+        prop_assert_eq!(plain, budgeted);
     }
 
     /// The detector never fabricates a period longer than the observation
