@@ -71,7 +71,7 @@ fn fresh_planner_threshold(series: &TimeSeries, config: &PermutationConfig) -> f
         let lines = fresh_planner_periodogram(&samples, dt);
         maxima.push(lines.iter().map(|l| l.power).fold(0.0, f64::max));
     }
-    maxima.sort_by(|a, b| a.partial_cmp(b).expect("power is never NaN"));
+    maxima.sort_by(f64::total_cmp);
     let rank = ((config.confidence * config.permutations as f64).ceil() as usize)
         .clamp(1, config.permutations);
     maxima[rank - 1]

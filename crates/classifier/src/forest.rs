@@ -195,11 +195,7 @@ impl RandomForest {
     pub fn rank_by_uncertainty(&self, cases: &[Vec<f64>]) -> Vec<usize> {
         let mut order: Vec<usize> = (0..cases.len()).collect();
         let u: Vec<f64> = cases.iter().map(|x| self.uncertainty(x)).collect();
-        order.sort_by(|&a, &b| {
-            u[b].partial_cmp(&u[a])
-                .expect("uncertainty is never NaN")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| u[b].total_cmp(&u[a]).then(a.cmp(&b)));
         order
     }
 }

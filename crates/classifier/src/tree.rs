@@ -283,11 +283,7 @@ fn grow(
     for &f in &features {
         // Sort indices by feature value and scan split points.
         let mut order: Vec<usize> = idx.to_vec();
-        order.sort_by(|&a, &b| {
-            xs[a][f]
-                .partial_cmp(&xs[b][f])
-                .expect("features must not be NaN")
-        });
+        order.sort_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
         let total = order.len();
         let mut left_pos = 0usize;
         for i in 0..total - 1 {

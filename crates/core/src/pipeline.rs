@@ -1,7 +1,7 @@
 //! The end-to-end BAYWATCH engine: all eight filters wired together
 //! (Fig. 3 of the paper).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -325,14 +325,16 @@ impl Baywatch {
         let detections = self.detect_with_budget(summaries, plan, &policy, &mut stats, &mut faults);
         stats.periodic = detections.len();
 
-        // Similar-source counts among the candidate destinations.
-        let mut similar: HashMap<&str, usize> = HashMap::new();
+        // Similar-source counts among the candidate destinations. A
+        // BTreeMap keeps any future iteration over the counts ordered by
+        // destination; lookups below are point queries either way.
+        let mut similar: BTreeMap<&str, usize> = BTreeMap::new();
         for (summary, _) in &detections {
             *similar
                 .entry(summary.pair.destination.as_str())
                 .or_insert(0) += 1;
         }
-        let similar: HashMap<String, usize> = similar
+        let similar: BTreeMap<String, usize> = similar
             .into_iter()
             .map(|(k, v)| (k.to_owned(), v))
             .collect();

@@ -13,7 +13,7 @@
 //! each day's raw logs are summarized once; weekly and monthly tiers merge
 //! and re-bin those summaries instead of touching raw data again.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use baywatch_mapreduce::{FaultPolicy, MapReduce};
 use baywatch_timeseries::detector::{DetectionReport, DetectorConfig, PeriodicityDetector};
@@ -159,12 +159,9 @@ impl MultiScaleScheduler {
         self.history.push(day_summaries);
         self.days_ingested += 1;
 
-        let max_window = self
-            .tiers
-            .iter()
-            .map(|t| t.window_days)
-            .max()
-            .expect("tiers are non-empty");
+        // `new()` rejects empty tier lists; fall back to a one-day window
+        // instead of panicking if that invariant ever regresses.
+        let max_window = self.tiers.iter().map(|t| t.window_days).max().unwrap_or(1);
         while self.history.len() > max_window {
             self.history.remove(0);
         }
@@ -226,7 +223,10 @@ impl MultiScaleScheduler {
     where
         I: IntoIterator<Item = Vec<LogRecord>>,
     {
-        let mut best: HashMap<(&'static str, CommunicationPair), TierDetection> = HashMap::new();
+        // Keyed by (tier, pair), which is exactly the output order: a
+        // BTreeMap makes `into_values` already sorted, so the final sort
+        // below is a no-op safeguard rather than the thing producing order.
+        let mut best: BTreeMap<(&'static str, CommunicationPair), TierDetection> = BTreeMap::new();
         for day in days {
             for det in self.ingest_day(day) {
                 let key = (det.tier, det.pair.clone());

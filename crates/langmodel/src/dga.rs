@@ -75,10 +75,11 @@ impl DgaGenerator {
             DgaStyle::HexFragment => {
                 let label = SERVICE_LABELS[self.rng.random_range(0..SERVICE_LABELS.len())];
                 let len = self.rng.random_range(16..=28);
+                const HEX: &[u8; 16] = b"0123456789abcdef";
                 let hex: String = (0..len)
                     .map(|_| {
                         let v = self.rng.random_range(0..16u8);
-                        char::from_digit(v as u32, 16).expect("0..16 is a valid hex digit")
+                        HEX[v as usize] as char
                     })
                     .collect();
                 format!("{label}.{hex}{tld}")

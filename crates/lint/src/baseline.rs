@@ -1,0 +1,380 @@
+//! The ratchet: known findings live in a committed baseline; only *new*
+//! findings fail CI, and fixed findings are reported so the baseline can
+//! shrink monotonically.
+//!
+//! A baseline entry identifies a finding by `(rule, path, snippet,
+//! occurrence)` — never by line number, so unrelated edits above a known
+//! finding cannot churn the file. `occurrence` disambiguates identical
+//! snippets in one file (0-indexed, in file order).
+//!
+//! The file is a JSON array of flat string/number objects; the parser and
+//! writer below cover exactly that grammar (the linter is dependency-free
+//! by design).
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+use crate::LintError;
+
+/// One baselined finding identity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub path: String,
+    pub snippet: String,
+    pub occurrence: u32,
+}
+
+/// The ratchet verdict for one run.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// Findings absent from the baseline — these fail the build.
+    pub new: Vec<Finding>,
+    /// Findings covered by the baseline — tolerated, listed for shame.
+    pub known: Vec<Finding>,
+    /// Baseline entries with no matching finding — fixed! The baseline
+    /// should be regenerated to drop them (`--update-baseline`).
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Assigns each finding its `(rule, path, snippet)` occurrence index, in
+/// the findings' existing (path-sorted, line-sorted) order.
+fn keyed(findings: &[Finding]) -> Vec<(BaselineEntry, Finding)> {
+    let mut seen: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+    findings
+        .iter()
+        .map(|f| {
+            let k = (f.rule.to_string(), f.path.clone(), f.snippet.clone());
+            let n = seen.entry(k).or_insert(0);
+            let entry = BaselineEntry {
+                rule: f.rule.to_string(),
+                path: f.path.clone(),
+                snippet: f.snippet.clone(),
+                occurrence: *n,
+            };
+            *n += 1;
+            (entry, f.clone())
+        })
+        .collect()
+}
+
+/// Splits findings into new vs. known and spots stale baseline entries.
+pub fn ratchet(findings: &[Finding], baseline: &[BaselineEntry]) -> Ratchet {
+    let mut out = Ratchet::default();
+    let mut unseen: Vec<&BaselineEntry> = baseline.iter().collect();
+    for (key, finding) in keyed(findings) {
+        match unseen.iter().position(|b| **b == key) {
+            Some(i) => {
+                unseen.swap_remove(i);
+                out.known.push(finding);
+            }
+            None => out.new.push(finding),
+        }
+    }
+    out.stale = unseen.into_iter().cloned().collect();
+    out.stale.sort();
+    out
+}
+
+/// Serializes findings as a baseline JSON document (sorted, stable).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut entries: Vec<BaselineEntry> = keyed(findings).into_iter().map(|(e, _)| e).collect();
+    entries.sort();
+    let mut out = String::from("[");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "  {{\"rule\": {}, \"path\": {}, \"snippet\": {}, \"occurrence\": {}}}",
+            json_string(&e.rule),
+            json_string(&e.path),
+            json_string(&e.snippet),
+            e.occurrence
+        ));
+    }
+    out.push_str(if entries.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses a baseline document: a JSON array of flat objects with string
+/// or unsigned-integer values. `origin` names the file in errors.
+pub fn parse(text: &str, origin: &str) -> Result<Vec<BaselineEntry>, LintError> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+        origin,
+    };
+    p.skip_ws();
+    let entries = p.array()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(p.err("trailing content after the baseline array"));
+    }
+    Ok(entries)
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    origin: &'a str,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> LintError {
+        LintError::Baseline(format!("{}: {msg} (at offset {})", self.origin, self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> Result<(), LintError> {
+        self.skip_ws();
+        if self.chars.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{c}`")))
+        }
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.chars.get(self.pos) == Some(&c)
+    }
+
+    fn array(&mut self) -> Result<Vec<BaselineEntry>, LintError> {
+        self.eat('[')?;
+        let mut out = Vec::new();
+        if self.peek_is(']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.object()?);
+            self.skip_ws();
+            match self.chars.get(self.pos) {
+                Some(',') => self.pos += 1,
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected `,` or `]` after an entry")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<BaselineEntry, LintError> {
+        self.eat('{')?;
+        let mut rule = None;
+        let mut path = None;
+        let mut snippet = None;
+        let mut occurrence = None;
+        if self.peek_is('}') {
+            self.pos += 1;
+        } else {
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.eat(':')?;
+                self.skip_ws();
+                match key.as_str() {
+                    "rule" => rule = Some(self.string()?),
+                    "path" => path = Some(self.string()?),
+                    "snippet" => snippet = Some(self.string()?),
+                    "occurrence" => occurrence = Some(self.number()?),
+                    other => return Err(self.err(&format!("unknown baseline key `{other}`"))),
+                }
+                self.skip_ws();
+                match self.chars.get(self.pos) {
+                    Some(',') => self.pos += 1,
+                    Some('}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected `,` or `}` in an entry")),
+                }
+            }
+        }
+        match (rule, path, snippet) {
+            (Some(rule), Some(path), Some(snippet)) => Ok(BaselineEntry {
+                rule,
+                path,
+                snippet,
+                occurrence: occurrence.unwrap_or(0),
+            }),
+            _ => Err(self.err("baseline entry needs rule, path, and snippet")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, LintError> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&c) = self.chars.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(&e) = self.chars.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'u' => {
+                            let mut v = 0u32;
+                            for _ in 0..4 {
+                                let Some(d) = self.chars.get(self.pos).and_then(|c| c.to_digit(16))
+                                else {
+                                    return Err(self.err("bad \\u escape"));
+                                };
+                                v = v * 16 + d;
+                                self.pos += 1;
+                            }
+                            out.push(char::from_u32(v).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(self.err(&format!("bad escape `\\{other}`"))),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, LintError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.chars.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse()
+            .map_err(|_| self.err("occurrence does not fit in u32"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            snippet: snippet.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_identity() {
+        let findings = vec![
+            finding("L4-panic", "src/a.rs", "x.unwrap();"),
+            finding("L4-panic", "src/a.rs", "x.unwrap();"),
+            finding("L1-float-ord", "src/b.rs", "a.partial_cmp(b).unwrap()"),
+        ];
+        let json = to_json(&findings);
+        let parsed = parse(&json, "b.json").expect("round-trips");
+        assert_eq!(parsed.len(), 3);
+        let r = ratchet(&findings, &parsed);
+        assert!(r.new.is_empty());
+        assert_eq!(r.known.len(), 3);
+        assert!(r.stale.is_empty());
+    }
+
+    #[test]
+    fn new_findings_are_isolated_and_fixed_ones_go_stale() {
+        let old = vec![
+            finding("L4-panic", "src/a.rs", "x.unwrap();"),
+            finding("L4-panic", "src/a.rs", "gone.unwrap();"),
+        ];
+        let baseline = parse(&to_json(&old), "b.json").expect("parses");
+        let now = vec![
+            finding("L4-panic", "src/a.rs", "x.unwrap();"),
+            finding("L4-panic", "src/a.rs", "fresh.unwrap();"),
+        ];
+        let r = ratchet(&now, &baseline);
+        assert_eq!(r.new.len(), 1);
+        assert_eq!(r.new[0].snippet, "fresh.unwrap();");
+        assert_eq!(r.known.len(), 1);
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!(r.stale[0].snippet, "gone.unwrap();");
+    }
+
+    #[test]
+    fn duplicate_snippets_ratchet_by_occurrence() {
+        let one = vec![finding("L4-panic", "src/a.rs", "x.unwrap();")];
+        let baseline = parse(&to_json(&one), "b.json").expect("parses");
+        let two = vec![
+            finding("L4-panic", "src/a.rs", "x.unwrap();"),
+            finding("L4-panic", "src/a.rs", "x.unwrap();"),
+        ];
+        let r = ratchet(&two, &baseline);
+        assert_eq!(r.known.len(), 1, "first occurrence is baselined");
+        assert_eq!(r.new.len(), 1, "second occurrence is new");
+    }
+
+    #[test]
+    fn empty_baseline_is_the_empty_array() {
+        assert_eq!(to_json(&[]), "[]\n");
+        assert!(parse("[]\n", "b.json").expect("parses").is_empty());
+        assert!(parse("  [ ]  ", "b.json").expect("parses").is_empty());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[{]",
+            "[{\"rule\": \"x\"}]",
+            "[{\"rule\": \"a\", \"path\": \"b\", \"snippet\": \"c\"}] trailing",
+            "[{\"rule\": \"a\", \"path\": \"b\", \"snippet\": \"c\", \"nope\": 1}]",
+            "[{\"rule\": 3, \"path\": \"b\", \"snippet\": \"c\"}]",
+        ] {
+            assert!(parse(bad, "b.json").is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn snippets_with_quotes_and_backslashes_round_trip() {
+        let f = vec![finding(
+            "L4-panic",
+            "src/a.rs",
+            r#"let s = re.find("a\\b\"c").unwrap();"#,
+        )];
+        let parsed = parse(&to_json(&f), "b.json").expect("round-trips");
+        assert_eq!(parsed[0].snippet, r#"let s = re.find("a\\b\"c").unwrap();"#);
+    }
+}

@@ -1,0 +1,307 @@
+//! `lint.toml` — the suppression allowlist.
+//!
+//! Every entry names a rule, a file, and — non-negotiably — a human
+//! `reason`. An allowlist without written justifications decays into a
+//! list of things nobody remembers agreeing to; the parser rejects empty
+//! or missing reasons outright.
+//!
+//! The accepted grammar is the TOML subset the file actually needs
+//! (comments, `[[allow]]` table arrays, `key = "string"` pairs), parsed
+//! strictly: unknown tables, unknown keys, bare values, or duplicate keys
+//! are hard errors, so a typo cannot silently suppress nothing.
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "L2-wall-clock"
+//! path = "crates/timeseries/src/budget.rs"
+//! pattern = "Instant::now"   # optional: flagged line must contain this
+//! reason = "ExecBudget deliberately reads the wall clock; budgets only early-exit"
+//! ```
+
+use crate::rules::{Finding, RULE_IDS};
+use crate::LintError;
+
+/// One suppression, scoped to (rule, file, optional line substring).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    /// When non-empty, the finding's snippet must contain this substring.
+    pub pattern: String,
+    pub reason: String,
+    /// Line in `lint.toml` the entry starts on (for unused-entry reports).
+    pub defined_at: u32,
+}
+
+impl AllowEntry {
+    pub fn matches(&self, finding: &Finding) -> bool {
+        self.rule == finding.rule
+            && self.path == finding.path
+            && (self.pattern.is_empty() || finding.snippet.contains(&self.pattern))
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Parses `lint.toml` text. `origin` names the file in error messages.
+    pub fn parse(text: &str, origin: &str) -> Result<Self, LintError> {
+        let err = |line: usize, msg: String| {
+            Err(LintError::Config(format!("{origin}:{}: {msg}", line + 1)))
+        };
+        let mut allows: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<PartialEntry> = None;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                if let Some(entry) = current.take() {
+                    allows.push(entry.finish(origin)?);
+                }
+                if line != "[[allow]]" {
+                    return err(
+                        lineno,
+                        format!("unknown table `{line}`; only `[[allow]]` entries are accepted"),
+                    );
+                }
+                current = Some(PartialEntry::new(lineno as u32 + 1));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return err(lineno, format!("expected `key = \"value\"`, got `{line}`"));
+            };
+            let key = key.trim();
+            let value = match parse_string(value.trim()) {
+                Some(v) => v,
+                None => {
+                    return err(
+                        lineno,
+                        format!("value for `{key}` must be a double-quoted string"),
+                    )
+                }
+            };
+            let Some(entry) = current.as_mut() else {
+                return err(
+                    lineno,
+                    format!("`{key}` appears before any `[[allow]]` table"),
+                );
+            };
+            let slot = match key {
+                "rule" => &mut entry.rule,
+                "path" => &mut entry.path,
+                "pattern" => &mut entry.pattern,
+                "reason" => &mut entry.reason,
+                other => {
+                    return err(
+                        lineno,
+                        format!("unknown key `{other}`; allowed: rule, path, pattern, reason"),
+                    )
+                }
+            };
+            if slot.is_some() {
+                return err(
+                    lineno,
+                    format!("duplicate key `{key}` in one [[allow]] entry"),
+                );
+            }
+            *slot = Some(value);
+        }
+        if let Some(entry) = current.take() {
+            allows.push(entry.finish(origin)?);
+        }
+        Ok(Self { allows })
+    }
+}
+
+struct PartialEntry {
+    defined_at: u32,
+    rule: Option<String>,
+    path: Option<String>,
+    pattern: Option<String>,
+    reason: Option<String>,
+}
+
+impl PartialEntry {
+    fn new(defined_at: u32) -> Self {
+        Self {
+            defined_at,
+            rule: None,
+            path: None,
+            pattern: None,
+            reason: None,
+        }
+    }
+
+    fn finish(self, origin: &str) -> Result<AllowEntry, LintError> {
+        let at = self.defined_at;
+        let fail = |msg: String| Err(LintError::Config(format!("{origin}:{at}: {msg}")));
+        let Some(rule) = self.rule else {
+            return fail("[[allow]] entry is missing `rule`".to_string());
+        };
+        if !RULE_IDS.contains(&rule.as_str()) {
+            return fail(format!(
+                "unknown rule `{rule}`; known rules: {}",
+                RULE_IDS.join(", ")
+            ));
+        }
+        let Some(path) = self.path else {
+            return fail("[[allow]] entry is missing `path`".to_string());
+        };
+        let reason = self.reason.unwrap_or_default();
+        if reason.trim().len() < 10 {
+            return fail(
+                "every [[allow]] entry needs a written `reason` (at least 10 characters) \
+                 explaining why the invariant holds"
+                    .to_string(),
+            );
+        }
+        Ok(AllowEntry {
+            rule,
+            path,
+            pattern: self.pattern.unwrap_or_default(),
+            reason,
+            defined_at: at,
+        })
+    }
+}
+
+/// Strips a `#` comment, honoring `#` inside double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..idx],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Parses a double-quoted TOML basic string with `\"` and `\\` escapes.
+/// Returns `None` on anything else (bare words, single quotes, trailing
+/// garbage).
+fn parse_string(value: &str) -> Option<String> {
+    let rest = value.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            },
+            '"' => {
+                // Only whitespace may follow the closing quote.
+                return chars.all(char::is_whitespace).then_some(out);
+            }
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_config_parses() {
+        let toml = r##"
+# repo allowlist
+[[allow]]
+rule = "L2-wall-clock"
+path = "crates/timeseries/src/budget.rs"
+reason = "budgets deliberately read the wall clock; only early-exits depend on it"
+
+[[allow]]
+rule = "L4-panic"
+path = "crates/core/src/io.rs"
+pattern = "lock()"
+reason = "mutex cannot be poisoned: no critical section panics"
+"##;
+        let cfg = Config::parse(toml, "lint.toml").expect("parses");
+        assert_eq!(cfg.allows.len(), 2);
+        assert_eq!(cfg.allows[0].rule, "L2-wall-clock");
+        assert_eq!(cfg.allows[1].pattern, "lock()");
+        assert_eq!(cfg.allows[0].defined_at, 3);
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let toml = "[[allow]]\nrule = \"L4-panic\"\npath = \"src/lib.rs\"\n";
+        let e = Config::parse(toml, "lint.toml").expect_err("must fail");
+        assert!(e.to_string().contains("reason"), "{e}");
+    }
+
+    #[test]
+    fn short_reason_is_rejected() {
+        let toml = "[[allow]]\nrule = \"L4-panic\"\npath = \"src/lib.rs\"\nreason = \"ok\"\n";
+        assert!(Config::parse(toml, "lint.toml").is_err());
+    }
+
+    #[test]
+    fn unknown_rule_key_and_table_are_rejected() {
+        for toml in [
+            "[[allow]]\nrule = \"L9-nope\"\npath = \"a\"\nreason = \"long enough reason\"\n",
+            "[[allow]]\nrule = \"L4-panic\"\nfile = \"a\"\nreason = \"long enough reason\"\n",
+            "[allowed]\n",
+            "rule = \"L4-panic\"\n",
+        ] {
+            assert!(Config::parse(toml, "lint.toml").is_err(), "{toml}");
+        }
+    }
+
+    #[test]
+    fn bare_values_and_duplicates_are_rejected() {
+        for toml in [
+            "[[allow]]\nrule = L4-panic\npath = \"a\"\nreason = \"long enough reason\"\n",
+            "[[allow]]\nrule = \"L4-panic\"\nrule = \"L4-panic\"\npath = \"a\"\nreason = \"long enough reason\"\n",
+        ] {
+            assert!(Config::parse(toml, "lint.toml").is_err(), "{toml}");
+        }
+    }
+
+    #[test]
+    fn comments_and_escapes_are_honored() {
+        let toml = "[[allow]] # trailing comment\nrule = \"L4-panic\" # why not\n\
+                    path = \"src/lib.rs\"\nreason = \"the \\\"#\\\" is not a comment here\"\n";
+        let cfg = Config::parse(toml, "lint.toml").expect("parses");
+        assert!(cfg.allows[0].reason.contains('#'));
+    }
+
+    #[test]
+    fn pattern_scopes_the_match() {
+        let entry = AllowEntry {
+            rule: "L4-panic".into(),
+            path: "src/lib.rs".into(),
+            pattern: "lock()".into(),
+            reason: "poisoning is unreachable here".into(),
+            defined_at: 1,
+        };
+        let mut finding = Finding {
+            rule: "L4-panic",
+            path: "src/lib.rs".into(),
+            line: 5,
+            snippet: "self.cache.lock().unwrap()".into(),
+            message: String::new(),
+        };
+        assert!(entry.matches(&finding));
+        finding.snippet = "value.unwrap()".into();
+        assert!(!entry.matches(&finding));
+        finding.path = "src/other.rs".into();
+        assert!(!entry.matches(&finding));
+    }
+}

@@ -1,0 +1,178 @@
+//! `baywatch-lint` — the workspace invariant linter.
+//!
+//! BAYWATCH's verdicts are only auditable if a rerun over the same window
+//! is byte-identical, and its scale (the paper evaluates 30 billion
+//! events) means "rare" hazards fire daily. This crate mechanically
+//! enforces the repo's reproducibility catalogue — see [`rules`] for the
+//! rule-by-rule story — with CI ratcheting via a committed baseline
+//! ([`baseline`]) and per-site suppression that demands written
+//! justification ([`config`]).
+//!
+//! The analysis is a token-level pass (a hand-rolled lexer plus delimiter
+//! matching, [`lexer`]/[`syntax`]) rather than a full `syn` AST: the
+//! linter must build with **zero dependencies** so hermetic and offline
+//! builds can always run it. The rules are scope-aware (test code,
+//! function bodies, bindings) but heuristic; the determinism integration
+//! tests backstop what lexing cannot see.
+
+#![warn(clippy::unwrap_used)]
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod syntax;
+pub mod walk;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use baseline::BaselineEntry;
+use config::{AllowEntry, Config};
+use rules::Finding;
+use walk::walk_workspace;
+
+/// Everything that can go wrong while linting. I/O failures carry the
+/// path; config/baseline failures carry file/line context.
+#[derive(Debug)]
+pub enum LintError {
+    Io(PathBuf, std::io::Error),
+    Config(String),
+    Baseline(String),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            LintError::Config(msg) => write!(f, "invalid allowlist: {msg}"),
+            LintError::Baseline(msg) => write!(f, "invalid baseline: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Where to lint and against what.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Workspace root. Defaults to the current directory.
+    pub root: PathBuf,
+    /// Allowlist path; `None` means `<root>/lint.toml`, tolerated missing.
+    pub config_path: Option<PathBuf>,
+    /// Baseline path; `None` means `<root>/lint-baseline.json`, tolerated
+    /// missing (treated as empty — everything is new).
+    pub baseline_path: Option<PathBuf>,
+}
+
+/// The result of a full run: findings partitioned by how CI should react.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Unsuppressed findings not in the baseline. Nonempty ⇒ fail.
+    pub new: Vec<Finding>,
+    /// Findings tolerated by the committed baseline.
+    pub baselined: Vec<Finding>,
+    /// Findings suppressed by `lint.toml`, with the entry's reason.
+    pub allowlisted: Vec<(Finding, String)>,
+    /// Baseline entries whose finding has been fixed.
+    pub stale_baseline: Vec<BaselineEntry>,
+    /// Allowlist entries that matched nothing.
+    pub unused_allows: Vec<AllowEntry>,
+}
+
+impl LintOutcome {
+    /// The ratchet passes when nothing new was found. (Stale entries and
+    /// unused allows are reported but do not fail the build: they appear
+    /// exactly when someone fixes a tolerated finding, and failing on the
+    /// fix would punish it.)
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty()
+    }
+}
+
+/// Lints every source file under `root` and returns the raw findings,
+/// path-sorted, with no allowlist or baseline applied.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, LintError> {
+    let files = walk_workspace(root).map_err(|e| LintError::Io(root.to_path_buf(), e))?;
+    let mut findings = Vec::new();
+    for sf in &files {
+        let source =
+            fs::read_to_string(&sf.abs_path).map_err(|e| LintError::Io(sf.abs_path.clone(), e))?;
+        findings.extend(rules::check_file(sf, &source));
+    }
+    // Files are walked in sorted order; keep (path, line) order globally.
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// The full pipeline: walk, lint, apply the allowlist, ratchet against
+/// the baseline.
+pub fn run(opts: &LintOptions) -> Result<LintOutcome, LintError> {
+    let root = if opts.root.as_os_str().is_empty() {
+        PathBuf::from(".")
+    } else {
+        opts.root.clone()
+    };
+    let config = load_config(&root, opts.config_path.as_deref())?;
+    let baseline_entries = load_baseline(&root, opts.baseline_path.as_deref())?;
+    let findings = lint_workspace(&root)?;
+
+    // Allowlist first: suppressed findings never reach the ratchet, so a
+    // baseline can shrink to empty while justified exceptions remain.
+    let mut surviving = Vec::new();
+    let mut allowlisted = Vec::new();
+    let mut used = vec![false; config.allows.len()];
+    'findings: for f in findings {
+        for (i, entry) in config.allows.iter().enumerate() {
+            if entry.matches(&f) {
+                used[i] = true;
+                allowlisted.push((f, entry.reason.clone()));
+                continue 'findings;
+            }
+        }
+        surviving.push(f);
+    }
+
+    let ratchet = baseline::ratchet(&surviving, &baseline_entries);
+    Ok(LintOutcome {
+        new: ratchet.new,
+        baselined: ratchet.known,
+        allowlisted,
+        stale_baseline: ratchet.stale,
+        unused_allows: config
+            .allows
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(e, _)| e.clone())
+            .collect(),
+    })
+}
+
+fn load_config(root: &Path, explicit: Option<&Path>) -> Result<Config, LintError> {
+    let path = explicit
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| root.join("lint.toml"));
+    match fs::read_to_string(&path) {
+        Ok(text) => Config::parse(&text, &path.display().to_string()),
+        // A missing default allowlist is fine; a missing *explicit* one is
+        // an error (the caller named it, so a typo must not pass silently).
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && explicit.is_none() => {
+            Ok(Config::default())
+        }
+        Err(e) => Err(LintError::Io(path, e)),
+    }
+}
+
+fn load_baseline(root: &Path, explicit: Option<&Path>) -> Result<Vec<BaselineEntry>, LintError> {
+    let path = explicit
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+    match fs::read_to_string(&path) {
+        Ok(text) => baseline::parse(&text, &path.display().to_string()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && explicit.is_none() => Ok(Vec::new()),
+        Err(e) => Err(LintError::Io(path, e)),
+    }
+}

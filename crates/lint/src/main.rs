@@ -1,0 +1,115 @@
+//! CLI driver for `baywatch-lint`.
+//!
+//! ```text
+//! cargo run -p baywatch-lint [--] [OPTIONS]
+//!
+//!   --root <DIR>        workspace root (default: .)
+//!   --config <FILE>     allowlist (default: <root>/lint.toml)
+//!   --baseline <FILE>   ratchet baseline (default: <root>/lint-baseline.json)
+//!   --json              machine-readable output instead of the table
+//!   --verbose           include baselined and allowlisted findings
+//!   --update-baseline   rewrite the baseline to the current findings
+//! ```
+//!
+//! Exit codes: 0 clean (no new findings), 1 new findings, 2 usage or
+//! configuration error.
+
+#![warn(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use baywatch_lint::{baseline, report, run, LintOptions};
+
+struct Args {
+    opts: LintOptions,
+    json: bool,
+    verbose: bool,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        opts: LintOptions::default(),
+        json: false,
+        verbose: false,
+        update_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut path_arg = |name: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => args.opts.root = path_arg("--root")?,
+            "--config" => args.opts.config_path = Some(path_arg("--config")?),
+            "--baseline" => args.opts.baseline_path = Some(path_arg("--baseline")?),
+            "--json" => args.json = true,
+            "--verbose" => args.verbose = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "baywatch-lint: workspace invariant linter (L1 float ordering, \
+                     L2 determinism, L3 budget checkpoints, L4 panic hygiene)\n\n\
+                     Options:\n  --root <DIR>  --config <FILE>  --baseline <FILE>\n  \
+                     --json  --verbose  --update-baseline"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("baywatch-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match run(&args.opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("baywatch-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update_baseline {
+        // The baseline covers findings that are neither fixed nor
+        // allowlisted: exactly the new + already-baselined sets.
+        let mut all = outcome.new.clone();
+        all.extend(outcome.baselined.iter().cloned());
+        let path = args
+            .opts
+            .baseline_path
+            .clone()
+            .unwrap_or_else(|| args.opts.root.join("lint-baseline.json"));
+        if let Err(e) = std::fs::write(&path, baseline::to_json(&all)) {
+            eprintln!("baywatch-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "baseline updated: {} entr{}",
+            all.len(),
+            if all.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        print!("{}", report::render_json(&outcome));
+    } else {
+        print!("{}", report::render_table(&outcome, args.verbose));
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

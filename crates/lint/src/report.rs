@@ -1,0 +1,156 @@
+//! Rendering: a human table for terminals and a JSON document for tooling.
+
+use crate::baseline::json_string;
+use crate::rules::Finding;
+use crate::LintOutcome;
+
+/// How a finding fared against the allowlist and baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    New,
+    Baselined,
+    Allowlisted,
+}
+
+impl Status {
+    fn as_str(self) -> &'static str {
+        match self {
+            Status::New => "NEW",
+            Status::Baselined => "baselined",
+            Status::Allowlisted => "allowed",
+        }
+    }
+}
+
+const SNIPPET_WIDTH: usize = 56;
+
+fn clip(s: &str) -> String {
+    if s.chars().count() <= SNIPPET_WIDTH {
+        return s.to_string();
+    }
+    let head: String = s.chars().take(SNIPPET_WIDTH.saturating_sub(1)).collect();
+    format!("{head}…")
+}
+
+/// The human-facing table. `verbose` includes allowlisted/baselined rows.
+pub fn render_table(outcome: &LintOutcome, verbose: bool) -> String {
+    let mut rows: Vec<(Status, &Finding)> = Vec::new();
+    rows.extend(outcome.new.iter().map(|f| (Status::New, f)));
+    if verbose {
+        rows.extend(outcome.baselined.iter().map(|f| (Status::Baselined, f)));
+        rows.extend(
+            outcome
+                .allowlisted
+                .iter()
+                .map(|(f, _)| (Status::Allowlisted, f)),
+        );
+    }
+    rows.sort_by(|(_, a), (_, b)| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let mut out = String::new();
+    if !rows.is_empty() {
+        let loc_w = rows
+            .iter()
+            .map(|(_, f)| f.path.chars().count() + digits(f.line) + 1)
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        out.push_str(&format!(
+            "{:<12} {:<10} {:<loc_w$} snippet\n",
+            "rule", "status", "location"
+        ));
+        for (status, f) in &rows {
+            out.push_str(&format!(
+                "{:<12} {:<10} {:<loc_w$} {}\n",
+                f.rule,
+                status.as_str(),
+                format!("{}:{}", f.path, f.line),
+                clip(&f.snippet)
+            ));
+        }
+        out.push('\n');
+    }
+    for e in &outcome.stale_baseline {
+        out.push_str(&format!(
+            "stale baseline entry (fixed? run --update-baseline): {} {} {:?} #{}\n",
+            e.rule, e.path, e.snippet, e.occurrence
+        ));
+    }
+    for e in &outcome.unused_allows {
+        out.push_str(&format!(
+            "unused allowlist entry (lint.toml:{}): {} {} — consider removing it\n",
+            e.defined_at, e.rule, e.path
+        ));
+    }
+    out.push_str(&format!(
+        "{} new, {} baselined, {} allowlisted, {} stale baseline entr{}\n",
+        outcome.new.len(),
+        outcome.baselined.len(),
+        outcome.allowlisted.len(),
+        outcome.stale_baseline.len(),
+        if outcome.stale_baseline.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+    ));
+    out
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// The machine-facing document: every finding with its status, plus stale
+/// baseline entries, as one JSON object.
+pub fn render_json(outcome: &LintOutcome) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    let mut first = true;
+    let mut push_finding = |out: &mut String, f: &Finding, status: Status, reason: Option<&str>| {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"snippet\": {}, \
+             \"message\": {}, \"status\": {}{}}}",
+            json_string(f.rule),
+            json_string(&f.path),
+            f.line,
+            json_string(&f.snippet),
+            json_string(&f.message),
+            json_string(status.as_str()),
+            match reason {
+                Some(r) => format!(", \"allowed_because\": {}", json_string(r)),
+                None => String::new(),
+            }
+        ));
+    };
+    for f in &outcome.new {
+        push_finding(&mut out, f, Status::New, None);
+    }
+    for f in &outcome.baselined {
+        push_finding(&mut out, f, Status::Baselined, None);
+    }
+    for (f, reason) in &outcome.allowlisted {
+        push_finding(&mut out, f, Status::Allowlisted, Some(reason));
+    }
+    out.push_str("\n  ],\n  \"stale_baseline\": [");
+    let mut first = true;
+    for e in &outcome.stale_baseline {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"path\": {}, \"snippet\": {}, \"occurrence\": {}}}",
+            json_string(&e.rule),
+            json_string(&e.path),
+            json_string(&e.snippet),
+            e.occurrence
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}

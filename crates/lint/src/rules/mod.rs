@@ -1,0 +1,91 @@
+//! The invariant catalogue: one module per rule family.
+//!
+//! | id               | guards                                                    |
+//! |------------------|-----------------------------------------------------------|
+//! | `L1-float-ord`   | float comparators must be total (`total_cmp`)             |
+//! | `L2-ambient-rng` | no ambient randomness in deterministic crates             |
+//! | `L2-wall-clock`  | no wall-clock reads in deterministic crates               |
+//! | `L2-hash-iter`   | no order-observing hash-container iteration there either  |
+//! | `L3-budget`      | unbounded loops in hot modules must checkpoint a budget   |
+//! | `L4-panic`       | no `unwrap`/`expect` in non-test library code             |
+//!
+//! Every rule matches token sequences from [`crate::lexer`] inside scopes
+//! recovered by [`crate::syntax`] — never raw text — so comments, doc
+//! examples, and string literals cannot produce findings.
+
+pub mod budget;
+pub mod determinism;
+pub mod float_ord;
+pub mod panics;
+
+use crate::lexer::lex;
+use crate::syntax::File;
+use crate::walk::{Section, SourceFile};
+
+/// Every rule id the linter knows, in report order. Allowlist entries are
+/// validated against this list so a typo cannot silently suppress nothing.
+pub const RULE_IDS: &[&str] = &[
+    "L1-float-ord",
+    "L2-ambient-rng",
+    "L2-wall-clock",
+    "L2-hash-iter",
+    "L3-budget",
+    "L4-panic",
+];
+
+/// One violation of the invariant catalogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (one of [`RULE_IDS`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-indexed line of the offending token.
+    pub line: u32,
+    /// The trimmed source line — the human anchor, and (with `rule` and
+    /// `path`) the line-number-independent identity used by the baseline.
+    pub snippet: String,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+/// Runs every applicable rule over one source file.
+pub fn check_file(sf: &SourceFile, source: &str) -> Vec<Finding> {
+    let file = File::parse(lex(source));
+    let lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+
+    // L1 applies everywhere a comparator could leak into an ordering —
+    // including tests and benches, whose assertions encode expected ranked
+    // output.
+    float_ord::check(sf, &file, &lines, &mut findings);
+
+    // L2 guards the crates whose output must be byte-reproducible.
+    if sf.in_deterministic_crate() && sf.section == Section::Lib {
+        determinism::check(sf, &file, &lines, &mut findings);
+    }
+
+    // L3 guards the hot detection kernels.
+    if sf.is_budgeted_module() {
+        budget::check(sf, &file, &lines, &mut findings);
+    }
+
+    // L4 guards non-test library code, workspace-wide.
+    if sf.section == Section::Lib {
+        panics::check(sf, &file, &lines, &mut findings);
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    // Nested `fn` items are visited once per enclosing scope; identical
+    // findings collapse here.
+    findings.dedup();
+    findings
+}
+
+/// The trimmed source line a token sits on (1-indexed), for snippets.
+pub(crate) fn snippet_at(lines: &[&str], line: u32) -> String {
+    lines
+        .get(line.saturating_sub(1) as usize)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}

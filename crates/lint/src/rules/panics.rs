@@ -1,0 +1,95 @@
+//! L4 — non-test library code must not `unwrap`/`expect`.
+//!
+//! A panic mid-window tears down a whole MapReduce task; PR 2's
+//! fault-tolerant engine contains the blast radius, but the paper's
+//! 30-billion-event scale means "rare" panics happen daily, and each one
+//! costs a bisection sweep. Deeper than the `clippy::unwrap_used` warn
+//! gate, this rule *fails CI* on new sites and demands a written
+//! justification for the survivors: every allowlist entry in `lint.toml`
+//! must say why the invariant cannot fail (e.g. a mutex that cannot be
+//! poisoned because its critical sections never panic).
+//!
+//! Scope: `src/**` of every crate (not `src/bin/**`, not tests, benches,
+//! or examples), outside `#[cfg(test)]`/`#[test]` regions. Doc-comment
+//! examples never match — the lexer drops comments.
+
+use super::{snippet_at, Finding};
+use crate::syntax::File;
+use crate::walk::SourceFile;
+
+pub fn check(sf: &SourceFile, file: &File, lines: &[&str], findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        let panicky = (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !panicky || file.in_test_code(i) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "L4-panic",
+            path: sf.rel_path.clone(),
+            line: t.line,
+            snippet: snippet_at(lines, t.line),
+            message: format!(
+                ".{}() can panic mid-window; return an error, provide a default, or \
+                 allowlist with a written justification for why it cannot fail",
+                t.text
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::check_file;
+    use crate::walk::{Section, SourceFile};
+    use std::path::PathBuf;
+
+    fn file_in(rel: &str, section: Section) -> SourceFile {
+        SourceFile {
+            abs_path: PathBuf::from(rel),
+            rel_path: rel.to_string(),
+            crate_name: rel
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+                .map(str::to_string),
+            section,
+        }
+    }
+
+    #[test]
+    fn unwrap_and_expect_in_lib_code_are_flagged() {
+        let src = "fn f() { x.unwrap(); y.expect(\"always\"); }";
+        let f = check_file(&file_in("crates/langmodel/src/x.rs", Section::Lib), src);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "L4-panic").count(),
+            2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn test_code_fallible_variants_and_doc_comments_pass() {
+        let src = "/// ```\n/// f().unwrap();\n/// ```\n\
+                   fn f() -> Option<u32> { x.unwrap_or(3); y.unwrap_or_default(); None }\n\
+                   #[cfg(test)]\nmod tests { fn t() { f().unwrap(); } }";
+        let f = check_file(&file_in("crates/langmodel/src/x.rs", Section::Lib), src);
+        assert!(f.iter().all(|f| f.rule != "L4-panic"), "{f:?}");
+    }
+
+    #[test]
+    fn bins_tests_and_examples_are_exempt() {
+        let src = "fn main() { x.unwrap(); }";
+        for section in [
+            Section::Bin,
+            Section::Tests,
+            Section::Examples,
+            Section::Benches,
+        ] {
+            let f = check_file(&file_in("crates/bench/src/bin/x.rs", section), src);
+            assert!(f.iter().all(|f| f.rule != "L4-panic"));
+        }
+    }
+}

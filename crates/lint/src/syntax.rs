@@ -1,0 +1,348 @@
+//! Structure recovered from the token stream: matched delimiters, test-only
+//! regions, and function-body spans.
+//!
+//! The rules need just enough shape to reason about scopes — "is this token
+//! inside `#[cfg(test)]` code?", "what is the body of this `while`?",
+//! "which `let` bindings in this function hold hash containers?" — without
+//! a full AST. Delimiter matching over the lexed stream recovers all of it.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A half-open token-index range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn contains(&self, idx: usize) -> bool {
+        idx >= self.start && idx < self.end
+    }
+}
+
+/// Token stream plus the structural indexes every rule shares.
+pub struct File {
+    pub tokens: Vec<Token>,
+    /// `match_of[i]` is the index of the delimiter matching the one at `i`
+    /// (for both the opening and closing side), when balanced.
+    match_of: Vec<Option<usize>>,
+    /// Spans of test-only code: bodies introduced by `#[cfg(test)]` or
+    /// `#[test]`-like attributes, including the attribute itself.
+    test_spans: Vec<Span>,
+    /// Body spans of every `fn` (token range between its `{` and `}`,
+    /// inclusive of the braces).
+    fn_bodies: Vec<Span>,
+}
+
+impl File {
+    pub fn parse(tokens: Vec<Token>) -> Self {
+        let match_of = match_delimiters(&tokens);
+        let test_spans = find_test_spans(&tokens, &match_of);
+        let fn_bodies = find_fn_bodies(&tokens, &match_of);
+        Self {
+            tokens,
+            match_of,
+            test_spans,
+            fn_bodies,
+        }
+    }
+
+    /// The index of the delimiter matching the one at `idx`, when balanced.
+    pub fn matching(&self, idx: usize) -> Option<usize> {
+        self.match_of.get(idx).copied().flatten()
+    }
+
+    /// Whether the token at `idx` lies inside test-only code.
+    pub fn in_test_code(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|s| s.contains(idx))
+    }
+
+    /// The innermost function body containing `idx`, if any.
+    pub fn enclosing_fn_body(&self, idx: usize) -> Option<Span> {
+        self.fn_bodies
+            .iter()
+            .filter(|s| s.contains(idx))
+            .min_by_key(|s| s.end - s.start)
+            .copied()
+    }
+
+    /// The end of the statement containing `idx`: the index of the `;`
+    /// closing it at the same delimiter depth, or of the `}` that closes
+    /// the enclosing block. Nested `(`/`[`/`{` groups are skipped whole.
+    pub fn statement_end(&self, idx: usize) -> usize {
+        let mut i = idx;
+        while i < self.tokens.len() {
+            let t = &self.tokens[i];
+            if t.is_punct(';') {
+                return i;
+            }
+            if t.is_punct('}') {
+                return i;
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                match self.matching(i) {
+                    Some(close) => i = close + 1,
+                    None => return self.tokens.len().saturating_sub(1),
+                }
+                continue;
+            }
+            i += 1;
+        }
+        self.tokens.len().saturating_sub(1)
+    }
+
+    /// The start of the statement containing `idx`: the token right after
+    /// the previous `;`, `{`, or `}` at the same delimiter depth.
+    pub fn statement_start(&self, idx: usize) -> usize {
+        let mut i = idx;
+        while i > 0 {
+            let prev = &self.tokens[i - 1];
+            if prev.is_punct(';') || prev.is_punct('{') || prev.is_punct('}') {
+                return i;
+            }
+            if prev.is_punct(')') || prev.is_punct(']') {
+                // Step over the whole group; `}` is handled above because a
+                // closing brace at the same depth really does end the
+                // previous statement (blocks are statements).
+                match self.matching(i - 1) {
+                    Some(open) => i = open,
+                    None => return 0,
+                }
+                continue;
+            }
+            i -= 1;
+        }
+        0
+    }
+}
+
+fn match_delimiters(tokens: &[Token]) -> Vec<Option<usize>> {
+    let mut match_of = vec![None; tokens.len()];
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => {
+                let c = t.text.chars().next().unwrap_or('(');
+                stack.push((c, i));
+            }
+            ")" | "]" | "}" => {
+                let want = match t.text.as_str() {
+                    ")" => '(',
+                    "]" => '[',
+                    _ => '{',
+                };
+                // Pop past any mismatched leftovers so one stray delimiter
+                // cannot desynchronize the rest of the file.
+                while let Some((c, open)) = stack.pop() {
+                    if c == want {
+                        match_of[open] = Some(i);
+                        match_of[i] = Some(open);
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    match_of
+}
+
+/// True when the attribute body tokens (between `[` and `]`) mark test-only
+/// code: `test`, `cfg(test)`, `cfg(any(test, …))`, `tokio::test`, `bench`.
+fn attr_is_test(body: &[Token]) -> bool {
+    let mut idents = body.iter().filter(|t| t.kind == TokenKind::Ident);
+    match idents.next() {
+        Some(first) if first.text == "cfg" => {
+            // `cfg(test)` / `cfg(any(test, …))` — but not `cfg(not(test))`,
+            // which marks code that is compiled *out* of test builds.
+            body.iter().enumerate().any(|(p, t)| {
+                t.is_ident("test")
+                    && body[..p]
+                        .iter()
+                        .rfind(|u| u.kind == TokenKind::Ident)
+                        .is_none_or(|u| u.text != "not")
+            })
+        }
+        Some(first) => {
+            first.text == "test"
+                || first.text == "bench"
+                || body
+                    .iter()
+                    .rfind(|t| t.kind == TokenKind::Ident)
+                    .is_some_and(|t| t.text == "test")
+        }
+        None => false,
+    }
+}
+
+fn find_test_spans(tokens: &[Token], match_of: &[Option<usize>]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let open = i + 1;
+        let Some(close) = match_of[open] else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test(&tokens[open + 1..close]) {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes, then the annotated item's body is
+        // the first `{ … }` group before a bare `;` (skipping over
+        // parenthesized/bracketed groups such as argument lists).
+        let mut j = close + 1;
+        while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            match match_of[j + 1] {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        let mut body = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('{') {
+                body = match_of[j].map(|end| Span {
+                    start: i,
+                    end: end + 1,
+                });
+                break;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                match match_of[j] {
+                    Some(c) => j = c + 1,
+                    None => break,
+                }
+                continue;
+            }
+            j += 1;
+        }
+        if let Some(span) = body {
+            i = span.end;
+            spans.push(span);
+        } else {
+            i = j + 1;
+        }
+    }
+    spans
+}
+
+fn find_fn_bodies(tokens: &[Token], match_of: &[Option<usize>]) -> Vec<Span> {
+    let mut bodies = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") {
+            // Walk to the body `{` or a `;` (trait method signatures),
+            // skipping over the parameter list, generics' brackets, and any
+            // parenthesized groups in the return type / where clause.
+            let mut j = i + 1;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct(';') {
+                    break;
+                }
+                if t.is_punct('{') {
+                    if let Some(end) = match_of[j] {
+                        bodies.push(Span {
+                            start: j,
+                            end: end + 1,
+                        });
+                    }
+                    break;
+                }
+                if t.is_punct('(') || t.is_punct('[') {
+                    match match_of[j] {
+                        Some(c) => j = c + 1,
+                        None => break,
+                    }
+                    continue;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    bodies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> File {
+        File::parse(lex(src))
+    }
+
+    fn ident_idx(f: &File, name: &str, nth: usize) -> usize {
+        f.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident(name))
+            .map(|(i, _)| i)
+            .nth(nth)
+            .unwrap_or(usize::MAX)
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_span() {
+        let f = parse(
+            "fn live() { x.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n fn helper() { y.unwrap(); }\n}",
+        );
+        let live = ident_idx(&f, "x", 0);
+        let test = ident_idx(&f, "y", 0);
+        assert!(!f.in_test_code(live));
+        assert!(f.in_test_code(test));
+    }
+
+    #[test]
+    fn test_attribute_fn_is_a_test_span() {
+        let f = parse("#[test]\nfn check() { q.unwrap(); }\nfn live() { r.unwrap(); }");
+        assert!(f.in_test_code(ident_idx(&f, "q", 0)));
+        assert!(!f.in_test_code(ident_idx(&f, "r", 0)));
+    }
+
+    #[test]
+    fn fn_bodies_nest() {
+        let f = parse("fn outer() { fn inner() { z } }");
+        let z = ident_idx(&f, "z", 0);
+        let body = f.enclosing_fn_body(z).expect("z is inside inner");
+        // The innermost body is inner's: it starts after outer's `{`.
+        let outer_open = f
+            .tokens
+            .iter()
+            .position(|t| t.is_punct('{'))
+            .unwrap_or(usize::MAX);
+        assert!(body.start > outer_open);
+    }
+
+    #[test]
+    fn statement_bounds_skip_nested_groups() {
+        let f = parse("fn a() { let v = m.iter().map(|(k, x)| { k }).collect::<Vec<_>>(); v }");
+        let iter = ident_idx(&f, "iter", 0);
+        let start = f.statement_start(iter);
+        let end = f.statement_end(iter);
+        assert!(f.tokens[start].is_ident("let"));
+        assert!(f.tokens[end].is_punct(';'));
+    }
+
+    #[test]
+    fn unbalanced_files_do_not_panic() {
+        let f = parse("fn broken( { ) } ] let x = ;");
+        assert!(f.tokens.len() > 3);
+        let _ = f.statement_start(2);
+        let _ = f.statement_end(2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Workspace traversal: find every `.rs` file under the root and classify
+//! it so each rule knows whether it applies.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into: build output, VCS metadata, and the
+/// linter's own test fixtures (which contain deliberate violations).
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    ".github",
+    "fixtures",
+    "results",
+    "node_modules",
+];
+
+/// The crates whose output feeds ranked, reproducible verdicts. The L2
+/// determinism rules apply only here: `mapreduce` schedules real threads
+/// and `bench`/`langmodel` never feed the ranked report, so holding them
+/// to bit-reproducibility would only breed allowlist noise.
+pub const DETERMINISTIC_CRATES: &[&str] = &["timeseries", "core", "stats", "netsim"];
+
+/// Hot modules whose unbounded loops must checkpoint an `ExecBudget`: the
+/// periodicity-detection kernels a runaway series would otherwise spin in.
+pub const BUDGETED_MODULES: &[&str] = &[
+    "crates/timeseries/src/periodogram.rs",
+    "crates/timeseries/src/permutation.rs",
+    "crates/timeseries/src/acf.rs",
+    "crates/timeseries/src/gmm.rs",
+    "crates/timeseries/src/detector.rs",
+];
+
+/// Which part of the workspace a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Library code: `crates/*/src/**` or the umbrella `src/**`, minus
+    /// `src/bin/**`.
+    Lib,
+    /// Binary targets (`src/bin/**`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Tests,
+    /// Benchmarks (`benches/**`).
+    Benches,
+    /// Examples (`examples/**`).
+    Examples,
+    /// Anything else (build scripts, fixtures that escaped the skip list).
+    Other,
+}
+
+/// One workspace source file, with everything rules match on precomputed.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// Root-relative path with forward slashes — the stable identity used
+    /// in findings, baselines, and allowlist entries.
+    pub rel_path: String,
+    /// `Some("timeseries")` for `crates/timeseries/...`, `None` for the
+    /// umbrella crate.
+    pub crate_name: Option<String>,
+    pub section: Section,
+}
+
+impl SourceFile {
+    pub fn in_deterministic_crate(&self) -> bool {
+        self.crate_name
+            .as_deref()
+            .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c))
+    }
+
+    pub fn is_budgeted_module(&self) -> bool {
+        BUDGETED_MODULES.contains(&self.rel_path.as_str())
+    }
+}
+
+/// Walks `root` and returns every `.rs` file, classified, in a stable
+/// (sorted-by-relative-path) order so reports and baselines never depend
+/// on directory-entry order.
+pub fn walk_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let kind = entry.file_type()?;
+            if kind.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if kind.is_file() && name.ends_with(".rs") {
+                if let Some(sf) = classify(root, &path) {
+                    files.push(sf);
+                }
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn classify(root: &Path, path: &Path) -> Option<SourceFile> {
+    let rel = path.strip_prefix(root).ok()?;
+    let rel_path = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    let parts: Vec<&str> = rel_path.split('/').collect();
+
+    let crate_name = match parts.as_slice() {
+        ["crates", name, ..] => Some((*name).to_string()),
+        _ => None,
+    };
+    // The path inside the owning crate (or the workspace root for the
+    // umbrella crate).
+    let local: &[&str] = match parts.as_slice() {
+        ["crates", _, rest @ ..] => rest,
+        other => other,
+    };
+    let section = match local {
+        ["src", "bin", ..] => Section::Bin,
+        ["src", ..] => Section::Lib,
+        ["tests", ..] => Section::Tests,
+        ["benches", ..] => Section::Benches,
+        ["examples", ..] => Section::Examples,
+        _ => Section::Other,
+    };
+    Some(SourceFile {
+        abs_path: path.to_path_buf(),
+        rel_path,
+        crate_name,
+        section,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify_rel(rel: &str) -> SourceFile {
+        classify(Path::new("/ws"), &Path::new("/ws").join(rel)).expect("classifiable")
+    }
+
+    #[test]
+    fn sections_and_crates_are_recovered() {
+        let f = classify_rel("crates/timeseries/src/gmm.rs");
+        assert_eq!(f.crate_name.as_deref(), Some("timeseries"));
+        assert_eq!(f.section, Section::Lib);
+        assert!(f.in_deterministic_crate());
+        assert!(f.is_budgeted_module());
+
+        let f = classify_rel("crates/bench/src/bin/scalability.rs");
+        assert_eq!(f.section, Section::Bin);
+        assert!(!f.in_deterministic_crate());
+
+        let f = classify_rel("src/lib.rs");
+        assert_eq!(f.crate_name, None);
+        assert_eq!(f.section, Section::Lib);
+
+        let f = classify_rel("tests/determinism.rs");
+        assert_eq!(f.section, Section::Tests);
+
+        let f = classify_rel("crates/bench/benches/periodogram.rs");
+        assert_eq!(f.section, Section::Benches);
+    }
+}

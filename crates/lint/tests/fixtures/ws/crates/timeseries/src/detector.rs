@@ -1,0 +1,32 @@
+//! Fixture: `detector.rs` is a budgeted module, so L3 applies here.
+
+pub fn unbudgeted_scan(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < xs.len() {
+        acc += xs[i];
+        i += 1;
+    }
+    acc
+}
+
+pub fn budgeted_scan(xs: &[f64], budget: &ExecBudget) -> f64 {
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < xs.len() {
+        let _ = budget.checkpoint(1);
+        acc += xs[i];
+        i += 1;
+    }
+    acc
+}
+
+pub fn unbudgeted_loop(budget_free: u64) -> u64 {
+    let mut n = budget_free;
+    loop {
+        if n == 0 {
+            return n;
+        }
+        n -= 1;
+    }
+}

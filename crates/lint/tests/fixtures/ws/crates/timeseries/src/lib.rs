@@ -1,0 +1,49 @@
+//! Fixture: a deterministic crate carrying one planted violation per rule
+//! plus the matching negative (suppressed) form.
+
+use std::collections::HashMap;
+
+pub fn ambient(n: u64) -> u64 {
+    let mut r = rand::rng();
+    n + r.random_range(0..2)
+}
+
+pub fn clocky() -> u64 {
+    let _t = std::time::SystemTime::now();
+    0
+}
+
+pub fn float_sort(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn float_sort_total(xs: &mut Vec<f64>) {
+    xs.sort_by(f64::total_cmp);
+}
+
+pub fn hash_leak(m: &HashMap<String, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for v in m.values() {
+        out.push(*v);
+    }
+    out
+}
+
+pub fn hash_sorted(m: &HashMap<String, u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = m.values().copied().collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn hash_counted(m: &HashMap<String, u32>) -> usize {
+    m.keys().count()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_test_code_are_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: binaries are outside L4's scope — an unwrap here is fine.
+
+fn main() {
+    let v: Option<u32> = Some(1);
+    println!("{}", v.unwrap());
+}

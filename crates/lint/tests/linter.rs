@@ -1,0 +1,250 @@
+//! End-to-end tests over the fixture mini-workspace in
+//! `tests/fixtures/ws`, which plants exactly one positive per rule next
+//! to its suppressed/negative twin, plus a dogfood test asserting the
+//! real repository tree lints clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use baywatch_lint::{baseline, lint_workspace, run, LintError, LintOptions};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+/// A scratch directory unique to one test, recreated on every run.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("baywatch-lint-it-{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn fixture_opts() -> LintOptions {
+    LintOptions {
+        root: fixture_root(),
+        config_path: None,
+        baseline_path: None,
+    }
+}
+
+#[test]
+fn fixture_findings_are_exactly_the_planted_ones() {
+    let findings = lint_workspace(&fixture_root()).expect("fixture lints");
+    let got: Vec<(&str, &str, u32)> = findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("L3-budget", "crates/timeseries/src/detector.rs", 6),
+            ("L3-budget", "crates/timeseries/src/detector.rs", 26),
+            ("L2-ambient-rng", "crates/timeseries/src/lib.rs", 7),
+            ("L2-wall-clock", "crates/timeseries/src/lib.rs", 12),
+            ("L1-float-ord", "crates/timeseries/src/lib.rs", 17),
+            ("L4-panic", "crates/timeseries/src/lib.rs", 17),
+            ("L2-hash-iter", "crates/timeseries/src/lib.rs", 26),
+            ("L4-panic", "crates/util/src/lib.rs", 11),
+        ],
+        "planted positives (and only those) must fire; negatives in the \
+         same files — checkpointed loops, total_cmp, sorted/counted hash \
+         iteration, cfg(test) unwraps, bin-target unwraps — must not"
+    );
+}
+
+#[test]
+fn without_a_baseline_everything_is_new() {
+    let outcome = run(&fixture_opts()).expect("fixture runs");
+    assert_eq!(outcome.new.len(), 8);
+    assert!(outcome.baselined.is_empty());
+    assert!(!outcome.is_clean());
+}
+
+#[test]
+fn full_baseline_tolerates_every_finding() {
+    let dir = scratch("full-baseline");
+    let findings = lint_workspace(&fixture_root()).expect("fixture lints");
+    let path = dir.join("baseline.json");
+    fs::write(&path, baseline::to_json(&findings)).expect("write baseline");
+
+    let outcome = run(&LintOptions {
+        baseline_path: Some(path),
+        ..fixture_opts()
+    })
+    .expect("fixture runs");
+    assert!(outcome.is_clean());
+    assert_eq!(outcome.baselined.len(), 8);
+    assert!(outcome.stale_baseline.is_empty());
+}
+
+#[test]
+fn a_finding_missing_from_the_baseline_fails_the_ratchet() {
+    // Drop one entry from the full baseline: the corresponding finding is
+    // exactly what an injected fresh violation looks like to the ratchet.
+    let dir = scratch("ratchet");
+    let mut findings = lint_workspace(&fixture_root()).expect("fixture lints");
+    let dropped = findings.remove(4);
+    assert_eq!(dropped.rule, "L1-float-ord");
+    let path = dir.join("baseline.json");
+    fs::write(&path, baseline::to_json(&findings)).expect("write baseline");
+
+    let outcome = run(&LintOptions {
+        baseline_path: Some(path),
+        ..fixture_opts()
+    })
+    .expect("fixture runs");
+    assert!(!outcome.is_clean());
+    assert_eq!(outcome.new.len(), 1);
+    assert_eq!(outcome.new[0].rule, "L1-float-ord");
+    assert_eq!(outcome.baselined.len(), 7);
+}
+
+#[test]
+fn fixed_findings_surface_as_stale_baseline_entries_without_failing() {
+    let dir = scratch("stale");
+    let path = dir.join("baseline.json");
+    let findings = lint_workspace(&fixture_root()).expect("fixture lints");
+    let mut json = baseline::to_json(&findings);
+    // Splice in an entry whose finding no longer exists.
+    let extra = r#"[{"rule": "L4-panic", "path": "crates/gone/src/lib.rs", "snippet": "x.unwrap()", "occurrence": 0},"#;
+    json = json.replacen('[', extra, 1);
+    fs::write(&path, json).expect("write baseline");
+
+    let outcome = run(&LintOptions {
+        baseline_path: Some(path),
+        ..fixture_opts()
+    })
+    .expect("fixture runs");
+    assert!(outcome.is_clean(), "stale entries must not fail the build");
+    assert_eq!(outcome.stale_baseline.len(), 1);
+    assert_eq!(outcome.stale_baseline[0].path, "crates/gone/src/lib.rs");
+}
+
+#[test]
+fn allowlist_suppresses_with_reason_and_reports_unused_entries() {
+    let dir = scratch("allowlist");
+    let path = dir.join("lint.toml");
+    fs::write(
+        &path,
+        r#"
+[[allow]]
+rule = "L4-panic"
+path = "crates/util/src/lib.rs"
+reason = "fixture: the unwrap is planted deliberately"
+
+[[allow]]
+rule = "L1-float-ord"
+path = "crates/util/src/lib.rs"
+reason = "fixture: matches nothing in this file"
+"#,
+    )
+    .expect("write allowlist");
+
+    let outcome = run(&LintOptions {
+        config_path: Some(path),
+        ..fixture_opts()
+    })
+    .expect("fixture runs");
+    assert_eq!(outcome.new.len(), 7, "one finding should be suppressed");
+    assert_eq!(outcome.allowlisted.len(), 1);
+    let (f, reason) = &outcome.allowlisted[0];
+    assert_eq!(f.path, "crates/util/src/lib.rs");
+    assert!(reason.contains("planted deliberately"));
+    assert_eq!(outcome.unused_allows.len(), 1);
+    assert_eq!(outcome.unused_allows[0].rule, "L1-float-ord");
+}
+
+#[test]
+fn allowlist_without_a_real_reason_is_a_hard_error() {
+    let dir = scratch("bad-reason");
+    let path = dir.join("lint.toml");
+    fs::write(
+        &path,
+        "[[allow]]\nrule = \"L4-panic\"\npath = \"x.rs\"\nreason = \"short\"\n",
+    )
+    .expect("write allowlist");
+
+    let err = run(&LintOptions {
+        config_path: Some(path),
+        ..fixture_opts()
+    })
+    .expect_err("short reason must be rejected");
+    assert!(matches!(err, LintError::Config(_)), "got {err}");
+}
+
+#[test]
+fn allowlist_with_unknown_rule_is_a_hard_error() {
+    let dir = scratch("bad-rule");
+    let path = dir.join("lint.toml");
+    fs::write(
+        &path,
+        "[[allow]]\nrule = \"L9-imaginary\"\npath = \"x.rs\"\nreason = \"long enough reason\"\n",
+    )
+    .expect("write allowlist");
+
+    let err = run(&LintOptions {
+        config_path: Some(path),
+        ..fixture_opts()
+    })
+    .expect_err("unknown rule must be rejected");
+    assert!(matches!(err, LintError::Config(_)), "got {err}");
+}
+
+#[test]
+fn missing_explicit_config_path_is_an_error_but_missing_default_is_not() {
+    let err = run(&LintOptions {
+        config_path: Some(fixture_root().join("no-such-lint.toml")),
+        ..fixture_opts()
+    })
+    .expect_err("explicitly named missing config must error");
+    assert!(matches!(err, LintError::Io(..)), "got {err}");
+
+    // The fixture workspace has no lint.toml at its root; the default
+    // path being absent is tolerated (covered by every other test here).
+    run(&fixture_opts()).expect("missing default config is fine");
+}
+
+#[test]
+fn malformed_baseline_is_a_hard_error() {
+    let dir = scratch("bad-baseline");
+    let path = dir.join("baseline.json");
+    fs::write(&path, "{\"not\": \"an array\"}").expect("write baseline");
+
+    let err = run(&LintOptions {
+        baseline_path: Some(path),
+        ..fixture_opts()
+    })
+    .expect_err("non-array baseline must be rejected");
+    assert!(matches!(err, LintError::Baseline(_)), "got {err}");
+}
+
+/// Dogfood: the repository this linter lives in must itself be clean —
+/// every real finding either fixed or allowlisted with a written reason,
+/// against an *empty* committed baseline.
+#[test]
+fn repo_tree_is_lint_clean() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves");
+    let outcome = run(&LintOptions {
+        root: repo_root,
+        config_path: None,
+        baseline_path: None,
+    })
+    .expect("repo lints");
+    assert!(
+        outcome.is_clean(),
+        "new findings: {:?}",
+        outcome
+            .new
+            .iter()
+            .map(|f| format!("{} {}:{}", f.rule, f.path, f.line))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        outcome.baselined.is_empty(),
+        "the committed baseline must stay empty — fix or allowlist instead"
+    );
+}

@@ -312,7 +312,12 @@ impl MapReduce {
             |(k, v), emit| emit(k, v),
             |k, vs| {
                 let mut it = vs.into_iter();
-                let first = it.next().expect("group is non-empty");
+                // The shuffle never emits an empty group; if one ever
+                // appears, hand the reducer the empty group rather than
+                // panicking mid-job.
+                let Some(first) = it.next() else {
+                    return reducer(k, Vec::new());
+                };
                 let folded = it.fold(first, &combiner);
                 reducer(k, vec![folded])
             },

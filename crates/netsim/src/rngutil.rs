@@ -72,10 +72,7 @@ impl Zipf {
     /// Draws a rank in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random_range(0.0..1.0);
-        match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
-        {
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -89,7 +89,9 @@ pub fn percentile(data: &[f64], q: f64) -> Result<f64, StatsError> {
         });
     }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    // NaN is rejected above; total_cmp keeps the sort total (and the
+    // ordering reproducible) even if that guard ever regresses.
+    sorted.sort_by(f64::total_cmp);
     let h = (sorted.len() - 1) as f64 * q / 100.0;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;

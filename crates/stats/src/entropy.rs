@@ -43,9 +43,15 @@ where
         return 0.0;
     }
     let total = total as f64;
-    counts
-        .values()
-        .map(|&c| {
+    // Float addition is not associative, and HashMap iteration order is
+    // unspecified, so summing straight off `values()` could differ by an
+    // ulp between runs. Sorting the counts first pins the summation order
+    // regardless of hash seeding or item type.
+    let mut sorted: Vec<u64> = counts.into_values().collect();
+    sorted.sort_unstable();
+    sorted
+        .into_iter()
+        .map(|c| {
             let p = c as f64 / total;
             -p * p.log2()
         })

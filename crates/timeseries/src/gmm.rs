@@ -188,7 +188,7 @@ pub fn fit_gmm_budgeted(
     }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut means = kmeanspp_init(data, k, &mut rng);
+    let mut means = kmeanspp_init(data, k, &mut rng, budget)?;
     let global_std = std_of(data).max(config.min_std);
     let mut stds = vec![global_std; k];
     let mut weights = vec![1.0 / k as f64; k];
@@ -348,15 +348,29 @@ pub fn select_gmm_budgeted(
             }
         }
     }
-    Ok((best.expect("k = 1 fit succeeded"), bics))
+    // Unreachable in practice — the k = 1 outcome either sets `best` or
+    // returns early above — but degrade to an error, not a panic.
+    best.map(|g| (g, bics))
+        .ok_or(TimeSeriesError::TooFewEvents {
+            required: 1,
+            actual: data.len(),
+        })
 }
 
 /// k-means++ style seeding: first center uniform, the rest proportional to
-/// squared distance from the nearest existing center.
-fn kmeanspp_init(data: &[f64], k: usize, rng: &mut StdRng) -> Vec<f64> {
+/// squared distance from the nearest existing center. Each round scans all
+/// of `data` against every existing center, so the budget is charged per
+/// round like the EM iterations are.
+fn kmeanspp_init(
+    data: &[f64],
+    k: usize,
+    rng: &mut StdRng,
+    budget: &ExecBudget,
+) -> Result<Vec<f64>, TimeSeriesError> {
     let mut centers = Vec::with_capacity(k);
     centers.push(data[rng.random_range(0..data.len())]);
     while centers.len() < k {
+        budget.checkpoint((data.len() * centers.len()) as u64)?;
         let d2: Vec<f64> = data
             .iter()
             .map(|&x| {
@@ -383,7 +397,7 @@ fn kmeanspp_init(data: &[f64], k: usize, rng: &mut StdRng) -> Vec<f64> {
         }
         centers.push(data[chosen]);
     }
-    centers
+    Ok(centers)
 }
 
 fn std_of(data: &[f64]) -> f64 {
@@ -428,7 +442,7 @@ mod tests {
         let data = two_cluster_data(3);
         let g = fit_gmm(&data, 2, &GmmConfig::default()).unwrap();
         let mut means: Vec<f64> = g.components().iter().map(|c| c.mean).collect();
-        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        means.sort_by(f64::total_cmp);
         assert!((means[0] - 5.0).abs() < 2.0, "means = {means:?}");
         assert!((means[1] - 175.0).abs() < 10.0, "means = {means:?}");
         // Weight ratio ~ 3:1.

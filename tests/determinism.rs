@@ -72,8 +72,15 @@ fn config_with(threads: usize, partitions: usize) -> BaywatchConfig {
 }
 
 fn ranked_fingerprint(cfg: BaywatchConfig) -> Vec<(String, f64, Vec<f64>)> {
+    ranked_fingerprint_of(cfg, window_records())
+}
+
+fn ranked_fingerprint_of(
+    cfg: BaywatchConfig,
+    records: Vec<LogRecord>,
+) -> Vec<(String, f64, Vec<f64>)> {
     let mut engine = Baywatch::new(cfg);
-    let report = engine.analyze(window_records());
+    let report = engine.analyze(records);
     assert!(
         !report.ranked.is_empty(),
         "window must produce at least one ranked case"
@@ -96,6 +103,37 @@ fn analyze_is_deterministic_run_to_run() {
     let a = ranked_fingerprint(config_with(4, 8));
     let b = ranked_fingerprint(config_with(4, 8));
     assert_eq!(a, b);
+}
+
+/// Log collectors deliver records in whatever order the sensors flushed
+/// them; the ranked report must not care. Reversal and a seeded
+/// Fisher–Yates shuffle (hand-rolled xorshift, so the test itself is
+/// deterministic) must both produce the identical fingerprint.
+#[test]
+fn analyze_is_independent_of_input_record_order() {
+    let base = ranked_fingerprint(config_with(4, 8));
+
+    let mut reversed = window_records();
+    reversed.reverse();
+    assert_eq!(
+        base,
+        ranked_fingerprint_of(config_with(4, 8), reversed),
+        "ranked output changed when the window was reversed"
+    );
+
+    let mut shuffled = window_records();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for i in (1..shuffled.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        shuffled.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    assert_eq!(
+        base,
+        ranked_fingerprint_of(config_with(4, 8), shuffled),
+        "ranked output changed when the window was shuffled"
+    );
 }
 
 #[test]
