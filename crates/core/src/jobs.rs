@@ -260,6 +260,11 @@ pub fn detect_beaconing_budgeted_ft(
             }
             with_thread_workspace(|ws| {
                 let mut out = Vec::new();
+                // A group holds every summary keyed to one pair (several
+                // when upstream produced per-window summaries of the same
+                // pair); emit at most one TimedOut row for the whole group
+                // so the funnel counts pairs, not summaries.
+                let mut timed_out = false;
                 for summary in group {
                     let timestamps = summary.timestamps();
                     match detector.detect_budgeted_in(ws, &timestamps, &pair_budget.start()) {
@@ -268,7 +273,10 @@ pub fn detect_beaconing_budgeted_ft(
                         }
                         Ok(_) => {}
                         Err(TimeSeriesError::BudgetExhausted) => {
-                            out.push(DetectRow::TimedOut(summary.pair.clone()));
+                            if !timed_out {
+                                out.push(DetectRow::TimedOut(summary.pair.clone()));
+                                timed_out = true;
+                            }
                         }
                         // Validation errors (too few events, zero span, …)
                         // simply mean "not a beacon candidate".
@@ -462,6 +470,48 @@ mod tests {
         assert_eq!(
             timed_out,
             vec![CommunicationPair::new("slowpoke", "weird.biz")]
+        );
+    }
+
+    #[test]
+    fn pair_with_multiple_summaries_times_out_once() {
+        // Two per-window summaries of the SAME sparse pair land in one
+        // reduce group; both exhaust the budget, but the funnel must count
+        // the pair once, not once per summary.
+        let window = |offset: u64| -> Vec<LogRecord> {
+            (0..300u64)
+                .map(|i| LogRecord::new(offset + i * 2_333, "slowpoke", "weird.biz", "x"))
+                .collect()
+        };
+        let summaries = vec![
+            ActivitySummary::from_records(&window(50_000), 1).unwrap(),
+            ActivitySummary::from_records(&window(5_000_000), 1).unwrap(),
+        ];
+        let detector = PeriodicityDetector::new(DetectorConfig::default());
+        let budget = BudgetSpec {
+            max_ops: Some(500_000),
+            ..Default::default()
+        };
+        let (rows, report) = detect_beaconing_budgeted_ft(
+            &engine(),
+            summaries,
+            &detector,
+            budget,
+            None,
+            &FaultPolicy::default(),
+        );
+        assert!(report.is_clean(), "a timeout is not a fault: {report:?}");
+        let timed_out: Vec<_> = rows
+            .into_iter()
+            .filter_map(|row| match row {
+                DetectRow::TimedOut(pair) => Some(pair),
+                DetectRow::Hit(_) => None,
+            })
+            .collect();
+        assert_eq!(
+            timed_out,
+            vec![CommunicationPair::new("slowpoke", "weird.biz")],
+            "one pair must yield exactly one TimedOut row"
         );
     }
 

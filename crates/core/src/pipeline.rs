@@ -1,13 +1,16 @@
 //! The end-to-end BAYWATCH engine: all eight filters wired together
 //! (Fig. 3 of the paper).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Duration;
 
 use baywatch_langmodel::{corpus, DomainScorer};
 use baywatch_mapreduce::{FaultPlan, FaultPolicy, FaultReport, JobConfig, MapReduce};
-use baywatch_timeseries::detector::{DetectionReport, DetectorConfig, PeriodicityDetector};
+use baywatch_obs::{Buckets, Clock, MetricsRegistry, MetricsSnapshot, MonotonicClock, StageTracer};
+use baywatch_timeseries::detector::{
+    DetectionReport, DetectorConfig, DetectorObs, PeriodicityDetector,
+};
 use baywatch_timeseries::BudgetSpec;
 
 use crate::activity::ActivitySummary;
@@ -184,17 +187,31 @@ pub struct Baywatch {
     local_whitelist: LocalWhitelist,
     novelty: NoveltyStore,
     fault_plan: Option<Arc<FaultPlan>>,
+    metrics: Arc<MetricsRegistry>,
+    tracer: StageTracer,
 }
 
 impl Baywatch {
     /// Creates an engine: trains the domain language model on the embedded
-    /// corpus and loads the global whitelist.
+    /// corpus and loads the global whitelist. Stage spans are timed with a
+    /// [`MonotonicClock`]; use [`Baywatch::with_clock`] to inject a manual
+    /// clock for reproducible traces.
     ///
     /// # Panics
     ///
     /// Panics if `config.lm_order == 0` or `config.local_tau` is out of
     /// `(0, 1]`.
     pub fn new(config: BaywatchConfig) -> Self {
+        Self::with_clock(config, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Like [`Baywatch::new`] with an injected [`Clock`] driving the stage
+    /// tracer and detector timings. With a
+    /// [`ManualClock`](baywatch_obs::ManualClock) every recorded duration
+    /// is reproducible, which the golden-run suite relies on.
+    pub fn with_clock(config: BaywatchConfig, clock: Arc<dyn Clock>) -> Self {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let tracer = StageTracer::new(clock.clone());
         let scorer = DomainScorer::train(corpus::training_corpus(), config.lm_order);
         let global_whitelist = if config.use_builtin_whitelist {
             GlobalWhitelist::from_seed_corpus()
@@ -202,8 +219,9 @@ impl Baywatch {
             GlobalWhitelist::default()
         };
         let local_whitelist = LocalWhitelist::new(config.local_tau);
-        let engine = MapReduce::new(config.mapreduce);
-        let detector = PeriodicityDetector::new(config.detector.clone());
+        let engine = MapReduce::new(config.mapreduce).with_metrics(metrics.clone());
+        let detector = PeriodicityDetector::new(config.detector.clone())
+            .with_obs(DetectorObs::new(&metrics, clock));
         Self {
             config,
             engine,
@@ -213,7 +231,28 @@ impl Baywatch {
             local_whitelist,
             novelty: NoveltyStore::new(),
             fault_plan: None,
+            metrics,
+            tracer,
         }
+    }
+
+    /// The engine's metrics registry (counters, value histograms, stage
+    /// timings). Shared with the MapReduce engine and the detector.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of every registered metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The stage tracer; completed spans accumulate until
+    /// [`StageTracer::drain`] (called at the end of every
+    /// [`Baywatch::analyze`], which folds them into `span.*` timing
+    /// histograms).
+    pub fn tracer(&self) -> &StageTracer {
+        &self.tracer
     }
 
     /// Arms a deterministic fault-injection plan: every MapReduce job run
@@ -282,48 +321,104 @@ impl Baywatch {
         let plan = self.fault_plan.clone();
         let plan = plan.as_deref();
         let policy = self.config.budget.policy();
+        let tracer = self.tracer.clone();
+        let window_span = tracer.span("analyze");
+        self.metrics
+            .counter("pipeline.events")
+            .add(stats.events as u64);
 
         // ---- Popularity statistics (input to filter 2 & ranking). ----
-        let popularity = PopularityStats::compute(&self.engine, &records);
+        let popularity = {
+            let _span = tracer.span("popularity");
+            PopularityStats::compute(&self.engine, &records)
+        };
 
         // ---- Data extraction (§VII-A). ----
-        let (summaries, extract_faults) = jobs::extract_summaries_ft_with_policy(
-            &self.engine,
-            records,
-            self.config.time_scale,
-            plan,
-            &policy,
-        );
+        let (summaries, extract_faults) = {
+            let _span = tracer.span("extract");
+            jobs::extract_summaries_ft_with_policy(
+                &self.engine,
+                records,
+                self.config.time_scale,
+                plan,
+                &policy,
+            )
+        };
         stats.pairs = summaries.len();
         stats.skipped_events = extract_faults.skipped_records();
         stats.quarantined_pairs += extract_faults.quarantined_keys;
         stats.timed_out_pairs += extract_faults.timed_out_keys;
         faults.absorb(&extract_faults);
+        self.metrics
+            .counter("pipeline.pairs")
+            .add(stats.pairs as u64);
+        self.stage_counters(
+            "01_extract",
+            stats.pairs,
+            &[
+                ("skipped_events", stats.skipped_events),
+                ("quarantined", extract_faults.quarantined_keys),
+                ("timed_out", extract_faults.timed_out_keys),
+            ],
+        );
 
         // ---- Filter 1: global whitelist. ----
-        let summaries: Vec<_> = summaries
-            .into_iter()
-            .filter(|s| !self.global_whitelist.contains(&s.pair.destination))
-            .collect();
+        let input = summaries.len();
+        let summaries: Vec<_> = {
+            let _span = tracer.span("whitelist.global");
+            summaries
+                .into_iter()
+                .filter(|s| !self.global_whitelist.contains(&s.pair.destination))
+                .collect()
+        };
         stats.after_global_whitelist = summaries.len();
+        self.admit_drop("02_global_whitelist", input, summaries.len());
 
         // ---- Filter 2: local whitelist (popularity τ_P). ----
-        let summaries: Vec<_> = summaries
-            .into_iter()
-            .filter(|s| {
-                !self
-                    .local_whitelist
-                    .is_whitelisted(popularity.popularity(&s.pair.destination))
-            })
-            .collect();
+        let input = summaries.len();
+        let summaries: Vec<_> = {
+            let _span = tracer.span("whitelist.local");
+            summaries
+                .into_iter()
+                .filter(|s| {
+                    !self
+                        .local_whitelist
+                        .is_whitelisted(popularity.popularity(&s.pair.destination))
+                })
+                .collect()
+        };
         stats.after_local_whitelist = summaries.len();
+        self.admit_drop("03_local_whitelist", input, summaries.len());
 
         // ---- Filter 3: periodicity detection (§IV, §VII-D). ----
         // The detector is built once per pipeline; inside the job each worker
         // thread routes its FFTs through a thread-local spectral workspace,
         // so plans are built once per thread and reused across the window.
-        let detections = self.detect_with_budget(summaries, plan, &policy, &mut stats, &mut faults);
+        let input = summaries.len();
+        let timed_out_before = stats.timed_out_pairs;
+        let quarantined_before = stats.quarantined_pairs;
+        let detections = {
+            let _span = tracer.span("detect");
+            self.detect_with_budget(summaries, plan, &policy, &mut stats, &mut faults)
+        };
         stats.periodic = detections.len();
+        let timed_out = stats.timed_out_pairs - timed_out_before;
+        let quarantined = stats.quarantined_pairs - quarantined_before;
+        self.stage_counters(
+            "04_periodicity",
+            stats.periodic,
+            &[
+                (
+                    "dropped",
+                    input.saturating_sub(
+                        stats.periodic + timed_out + quarantined + stats.shed_pairs,
+                    ),
+                ),
+                ("timed_out", timed_out),
+                ("quarantined", quarantined),
+                ("shed", stats.shed_pairs),
+            ],
+        );
 
         // Similar-source counts among the candidate destinations. A
         // BTreeMap keeps any future iteration over the counts ordered by
@@ -340,42 +435,70 @@ impl Baywatch {
             .collect();
 
         // ---- Filter 4: URL-token filter (§V-A). ----
-        let detections: Vec<_> = detections
-            .into_iter()
-            .filter(|(summary, _)| !self.config.token_filter.is_benign(&summary.url_tokens))
-            .collect();
+        let input = detections.len();
+        let detections: Vec<_> = {
+            let _span = tracer.span("token_filter");
+            detections
+                .into_iter()
+                .filter(|(summary, _)| !self.config.token_filter.is_benign(&summary.url_tokens))
+                .collect()
+        };
         stats.after_token_filter = detections.len();
+        self.admit_drop("05_token_filter", input, detections.len());
 
         // ---- Filter 5: novelty analysis (§V-B). ----
-        let detections: Vec<_> = detections
-            .into_iter()
-            .filter(|(summary, _)| self.novelty.observe(&summary.pair).is_novel())
-            .collect();
+        let input = detections.len();
+        let detections: Vec<_> = {
+            let _span = tracer.span("novelty");
+            detections
+                .into_iter()
+                .filter(|(summary, _)| self.novelty.observe(&summary.pair).is_novel())
+                .collect()
+        };
         stats.after_novelty = detections.len();
+        self.admit_drop("06_novelty", input, detections.len());
 
         // ---- Filter 6: language-model scoring + case assembly (§V-C). ----
-        let cases: Vec<BeaconCase> = detections
-            .into_iter()
-            .map(|(summary, report)| {
-                let lm_score = self.scorer.score_per_char(&summary.pair.destination);
-                BeaconCase {
-                    popularity: popularity.popularity(&summary.pair.destination),
-                    lm_score,
-                    similar_sources: similar
-                        .get(summary.pair.destination.as_str())
-                        .copied()
-                        .unwrap_or(1),
-                    intervals: summary.intervals_f64(),
-                    url_tokens: summary.url_tokens.clone(),
-                    pair: summary.pair,
-                    candidates: report.candidates,
-                }
-            })
-            .collect();
-
         // ---- Filter 7: weighted ranking + percentile threshold (§V-D). ----
-        let (ranked, report_cutoff) = rank_cases(&cases, &self.config.rank);
+        let (ranked, report_cutoff) = {
+            let _span = tracer.span("lm_rank");
+            let cases: Vec<BeaconCase> = detections
+                .into_iter()
+                .map(|(summary, report)| {
+                    let lm_score = self.scorer.score_per_char(&summary.pair.destination);
+                    BeaconCase {
+                        popularity: popularity.popularity(&summary.pair.destination),
+                        lm_score,
+                        similar_sources: similar
+                            .get(summary.pair.destination.as_str())
+                            .copied()
+                            .unwrap_or(1),
+                        intervals: summary.intervals_f64(),
+                        url_tokens: summary.url_tokens.clone(),
+                        pair: summary.pair,
+                        candidates: report.candidates,
+                    }
+                })
+                .collect();
+            rank_cases(&cases, &self.config.rank)
+        };
         stats.reported = report_cutoff;
+        self.stage_counters(
+            "07_lm_rank",
+            stats.reported,
+            &[("below_cutoff", ranked.len().saturating_sub(report_cutoff))],
+        );
+
+        // Fold completed stage spans into `span.*` timing histograms
+        // (quarantined out of the deterministic export).
+        drop(window_span);
+        let span_buckets =
+            Buckets::exponential(1_000, 4, 14).expect("static bucket layout is valid");
+        for record in tracer.drain() {
+            self.metrics
+                .timing(&format!("span.{}", record.path), &span_buckets)
+                .observe(record.duration_nanos);
+        }
 
         AnalysisReport {
             stats,
@@ -385,6 +508,27 @@ impl Baywatch {
             faults,
             malformed_samples: Vec::new(),
         }
+    }
+
+    /// Records `stage.<stage>.admitted` plus the given extra counters.
+    fn stage_counters(&self, stage: &str, admitted: usize, extras: &[(&str, usize)]) {
+        self.metrics
+            .counter(&format!("stage.{stage}.admitted"))
+            .add(admitted as u64);
+        for (name, value) in extras {
+            self.metrics
+                .counter(&format!("stage.{stage}.{name}"))
+                .add(*value as u64);
+        }
+    }
+
+    /// Records admitted/dropped counters for a simple filter stage.
+    fn admit_drop(&self, stage: &str, input: usize, admitted: usize) {
+        self.stage_counters(
+            stage,
+            admitted,
+            &[("dropped", input.saturating_sub(admitted))],
+        );
     }
 
     /// Runs the detection job under the window's budgets.
@@ -408,32 +552,50 @@ impl Baywatch {
     ) -> Vec<(ActivitySummary, DetectionReport)> {
         let pair_budget = self.config.detector.budget;
         let mut detections = Vec::new();
-        let run_wave = |batch: Vec<ActivitySummary>,
-                        detections: &mut Vec<(ActivitySummary, DetectionReport)>,
-                        stats: &mut FilterStats,
-                        faults: &mut FaultReport| {
-            let (rows, detect_faults) = jobs::detect_beaconing_budgeted_ft(
-                &self.engine,
-                batch,
-                &self.detector,
-                pair_budget,
-                plan,
-                policy,
-            );
-            stats.quarantined_pairs +=
-                detect_faults.quarantined_keys + detect_faults.quarantined_inputs;
-            stats.timed_out_pairs += detect_faults.timed_out_inputs + detect_faults.timed_out_keys;
-            faults.absorb(&detect_faults);
-            for row in rows {
-                match row {
-                    jobs::DetectRow::Hit(hit) => detections.push(*hit),
-                    jobs::DetectRow::TimedOut(_) => stats.timed_out_pairs += 1,
+        // Pairs already counted in `timed_out_pairs` via a TimedOut row.
+        // A pair may reach detection through several summaries (one per
+        // reduce group upstream, or duplicated input); the funnel must
+        // count it once — and never again as shed.
+        let mut timed_out_rows: BTreeSet<crate::pair::CommunicationPair> = BTreeSet::new();
+        let run_wave =
+            |batch: Vec<ActivitySummary>,
+             detections: &mut Vec<(ActivitySummary, DetectionReport)>,
+             stats: &mut FilterStats,
+             faults: &mut FaultReport,
+             timed_out_rows: &mut BTreeSet<crate::pair::CommunicationPair>| {
+                let (rows, detect_faults) = jobs::detect_beaconing_budgeted_ft(
+                    &self.engine,
+                    batch,
+                    &self.detector,
+                    pair_budget,
+                    plan,
+                    policy,
+                );
+                stats.quarantined_pairs +=
+                    detect_faults.quarantined_keys + detect_faults.quarantined_inputs;
+                stats.timed_out_pairs +=
+                    detect_faults.timed_out_inputs + detect_faults.timed_out_keys;
+                faults.absorb(&detect_faults);
+                for row in rows {
+                    match row {
+                        jobs::DetectRow::Hit(hit) => detections.push(*hit),
+                        jobs::DetectRow::TimedOut(pair) => {
+                            if timed_out_rows.insert(pair) {
+                                stats.timed_out_pairs += 1;
+                            }
+                        }
+                    }
                 }
-            }
-        };
+            };
 
         let Some(window_millis) = self.config.budget.window_millis else {
-            run_wave(summaries, &mut detections, stats, faults);
+            run_wave(
+                summaries,
+                &mut detections,
+                stats,
+                faults,
+                &mut timed_out_rows,
+            );
             return detections;
         };
 
@@ -452,11 +614,23 @@ impl Baywatch {
         let mut idx = 0;
         while idx < pending.len() {
             if window_budget.is_exhausted() {
-                stats.shed_pairs = pending.len() - idx;
+                // A pair already counted as timed out in an earlier wave
+                // (possible when the same pair arrives through several
+                // summaries) must not be double-counted as shed.
+                stats.shed_pairs = pending[idx..]
+                    .iter()
+                    .filter(|s| !timed_out_rows.contains(&s.pair))
+                    .count();
                 break;
             }
             let end = (idx + wave).min(pending.len());
-            run_wave(pending[idx..end].to_vec(), &mut detections, stats, faults);
+            run_wave(
+                pending[idx..end].to_vec(),
+                &mut detections,
+                stats,
+                faults,
+                &mut timed_out_rows,
+            );
             idx = end;
         }
         detections
@@ -814,5 +988,84 @@ mod tests {
         let report = engine.analyze(records);
         assert_eq!(report.reported().len(), report.report_cutoff);
         assert!(report.report_cutoff <= report.ranked.len());
+    }
+
+    #[test]
+    fn duplicate_pair_summaries_time_out_once_in_funnel() {
+        // Regression: a pair reaching detection through several summaries
+        // used to be counted once per summary in `timed_out_pairs`,
+        // inflating the funnel banner.
+        let mut config = quiet_config();
+        config.detector.budget.max_ops = Some(500_000);
+        let engine = Baywatch::new(config);
+        let window = |offset: u64| -> Vec<LogRecord> {
+            (0..300u64)
+                .map(|i| LogRecord::new(offset + i * 2_333, "slowpoke", "weird.biz", "x"))
+                .collect()
+        };
+        let summaries = vec![
+            ActivitySummary::from_records(&window(50_000), 1).unwrap(),
+            ActivitySummary::from_records(&window(5_000_000), 1).unwrap(),
+        ];
+        let mut stats = FilterStats::default();
+        let mut faults = FaultReport::default();
+        let detections = engine.detect_with_budget(
+            summaries,
+            None,
+            &FaultPolicy::default(),
+            &mut stats,
+            &mut faults,
+        );
+        assert!(detections.is_empty());
+        assert_eq!(
+            stats.timed_out_pairs, 1,
+            "one pair must be counted once, not per summary"
+        );
+        assert_eq!(stats.shed_pairs, 0);
+    }
+
+    #[test]
+    fn analyze_populates_stage_metrics() {
+        use baywatch_obs::ManualClock;
+
+        let mut records = Vec::new();
+        beacon(&mut records, "victim", "qzkxwvbnmtr.com", 60, 120);
+        for h in 0..6 {
+            human(
+                &mut records,
+                &format!("host{h}"),
+                &format!("site{h}.example.org"),
+                40,
+                h,
+            );
+        }
+        let mut engine = Baywatch::with_clock(quiet_config(), Arc::new(ManualClock::new()));
+        let report = engine.analyze(records);
+
+        let snap = engine.metrics_snapshot();
+        assert_eq!(
+            snap.counters["pipeline.events"] as usize,
+            report.stats.events
+        );
+        assert_eq!(snap.counters["pipeline.pairs"] as usize, report.stats.pairs);
+        assert_eq!(
+            snap.counters["stage.04_periodicity.admitted"] as usize,
+            report.stats.periodic
+        );
+        assert_eq!(
+            snap.counters["stage.07_lm_rank.admitted"] as usize,
+            report.stats.reported
+        );
+        assert!(snap.counters["detector.pairs_analyzed"] >= 1);
+        assert!(snap.counters["mapreduce.jobs"] >= 2);
+
+        // Spans were drained into `span.*` timing histograms, which the
+        // deterministic export must not contain.
+        assert!(snap.timings.keys().any(|k| k == "span.analyze"));
+        assert!(snap.timings.keys().any(|k| k == "span.analyze.detect"));
+        let golden = snap.to_json();
+        assert!(!golden.contains("span."));
+        assert!(!golden.contains("timings"));
+        assert!(golden.contains("stage.02_global_whitelist.admitted"));
     }
 }

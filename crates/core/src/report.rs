@@ -9,6 +9,7 @@
 
 use std::fmt::Write as _;
 
+use baywatch_obs::{JsonWriter, MetricsSnapshot};
 use baywatch_timeseries::symbolize::symbolize;
 
 use crate::pipeline::AnalysisReport;
@@ -80,6 +81,99 @@ pub fn render_funnel(report: &AnalysisReport) -> String {
         let _ = writeln!(out, "{banner}");
     }
     out
+}
+
+/// Deterministic JSON export of an analysis window: the complete filter
+/// funnel, the deterministic sections of the metrics snapshot, the fault
+/// tallies, and the top-`top_k` ranked cases.
+///
+/// The output has stable key order and fixed-precision floats, so it is
+/// byte-identical across runs on identical input — the golden-run suite
+/// (`tests/golden_funnel.rs`) compares it verbatim. Wall-clock timings
+/// never appear here: [`MetricsSnapshot::to_json`] quarantines them by
+/// construction.
+pub fn export_json(report: &AnalysisReport, metrics: &MetricsSnapshot, top_k: usize) -> String {
+    let s = report.stats;
+    let mut w = JsonWriter::new();
+    w.raw("{");
+
+    w.key("funnel");
+    w.raw("{");
+    for (key, value) in [
+        ("events", s.events),
+        ("malformed_lines", s.malformed_lines),
+        ("skipped_events", s.skipped_events),
+        ("pairs", s.pairs),
+        ("quarantined_pairs", s.quarantined_pairs),
+        ("timed_out_pairs", s.timed_out_pairs),
+        ("shed_pairs", s.shed_pairs),
+        ("after_global_whitelist", s.after_global_whitelist),
+        ("after_local_whitelist", s.after_local_whitelist),
+        ("periodic", s.periodic),
+        ("after_token_filter", s.after_token_filter),
+        ("after_novelty", s.after_novelty),
+        ("reported", s.reported),
+    ] {
+        w.key(key);
+        w.uint(value as u64);
+    }
+    w.raw("}");
+    w.end_value();
+
+    w.key("faults");
+    w.raw("{");
+    for (key, value) in [
+        ("map_retries", report.faults.map_retries),
+        ("map_bisections", report.faults.map_bisections),
+        ("reduce_retries", report.faults.reduce_retries),
+        ("quarantined_inputs", report.faults.quarantined_inputs),
+        ("quarantined_keys", report.faults.quarantined_keys),
+        ("timed_out_inputs", report.faults.timed_out_inputs),
+        ("timed_out_keys", report.faults.timed_out_keys),
+        ("lost_values", report.faults.lost_values),
+    ] {
+        w.key(key);
+        w.uint(value as u64);
+    }
+    w.raw("}");
+    w.end_value();
+
+    w.key("metrics");
+    w.raw(&metrics.to_json());
+    w.end_value();
+
+    w.key("report_cutoff");
+    w.uint(report.report_cutoff as u64);
+
+    w.key("top_cases");
+    w.raw("[");
+    for (i, rc) in report.ranked.iter().take(top_k).enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.raw("{");
+        w.key("rank");
+        w.uint(i as u64 + 1);
+        w.key("source");
+        w.string(&rc.case.pair.source);
+        w.key("destination");
+        w.string(&rc.case.pair.destination);
+        w.key("score");
+        w.float(rc.score, 6);
+        w.key("periods");
+        w.raw("[");
+        for c in &rc.case.candidates {
+            w.float(c.period, 3);
+        }
+        w.raw("]");
+        w.end_value();
+        w.raw("}");
+    }
+    w.raw("]");
+    w.end_value();
+
+    w.raw("}");
+    w.finish()
 }
 
 /// Renders one case as a multi-line evidence block.
@@ -356,6 +450,33 @@ mod tests {
         let report = toy_report(0);
         let text = render_report(&report, &ReportOptions::default());
         assert!(text.contains("no beaconing cases"));
+    }
+
+    #[test]
+    fn export_json_is_stable_and_timing_free() {
+        let report = toy_report(3);
+        let metrics = baywatch_obs::MetricsRegistry::new();
+        metrics
+            .counter("stage.02_global_whitelist.admitted")
+            .add(40);
+        let buckets = baywatch_obs::Buckets::new(&[10]).unwrap();
+        metrics.timing("span.analyze", &buckets).observe(123);
+        let snap = metrics.snapshot();
+
+        let a = export_json(&report, &snap, 2);
+        let b = export_json(&report, &snap, 2);
+        assert_eq!(a, b, "export must be deterministic");
+        assert!(a.contains(r#""funnel":{"events":1000"#));
+        assert!(a.contains(r#""periodic":3"#));
+        assert!(a.contains(r#""map_bisections":0"#));
+        assert!(a.contains(r#""stage.02_global_whitelist.admitted":40"#));
+        // top_k = 2 truncates the ranked list.
+        assert!(a.contains("dest-0.com") && a.contains("dest-1.com"));
+        assert!(!a.contains("dest-2.com"));
+        // Array elements are comma-separated (valid JSON framing).
+        assert!(a.contains("},{\"rank\":2"));
+        // Wall-clock timings are quarantined out of the export.
+        assert!(!a.contains("span.analyze") && !a.contains("timings"));
     }
 
     #[test]

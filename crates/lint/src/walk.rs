@@ -19,7 +19,7 @@ const SKIP_DIRS: &[&str] = &[
 /// determinism rules apply only here: `mapreduce` schedules real threads
 /// and `bench`/`langmodel` never feed the ranked report, so holding them
 /// to bit-reproducibility would only breed allowlist noise.
-pub const DETERMINISTIC_CRATES: &[&str] = &["timeseries", "core", "stats", "netsim"];
+pub const DETERMINISTIC_CRATES: &[&str] = &["timeseries", "core", "stats", "netsim", "obs"];
 
 /// Hot modules whose unbounded loops must checkpoint an `ExecBudget`: the
 /// periodicity-detection kernels a runaway series would otherwise spin in.

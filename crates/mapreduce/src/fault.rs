@@ -63,6 +63,9 @@ pub struct FaultReport {
     pub reduce_retries: usize,
     /// Input records quarantined after bisection isolated them as poison.
     pub quarantined_inputs: usize,
+    /// Map-slice bisection splits performed while isolating poison or
+    /// straggler records (each split re-maps both halves of a slice).
+    pub map_bisections: usize,
     /// Reduce keys quarantined after retries were exhausted.
     pub quarantined_keys: usize,
     /// Input records dropped because mapping them overran the task
@@ -126,6 +129,7 @@ impl FaultReport {
         self.map_retries += other.map_retries;
         self.reduce_retries += other.reduce_retries;
         self.quarantined_inputs += other.quarantined_inputs;
+        self.map_bisections += other.map_bisections;
         self.quarantined_keys += other.quarantined_keys;
         self.timed_out_inputs += other.timed_out_inputs;
         self.timed_out_keys += other.timed_out_keys;
@@ -170,6 +174,7 @@ pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
 pub(crate) struct PhaseFaults {
     pub retries: usize,
     pub quarantined: usize,
+    pub bisections: usize,
     pub timed_out: usize,
     pub lost_values: usize,
     pub unit_samples: Vec<String>,
@@ -206,6 +211,7 @@ impl PhaseFaults {
     pub fn merge(&mut self, other: PhaseFaults) {
         self.retries += other.retries;
         self.quarantined += other.quarantined;
+        self.bisections += other.bisections;
         self.timed_out += other.timed_out;
         self.lost_values += other.lost_values;
         self.unit_samples.extend(other.unit_samples);

@@ -49,8 +49,10 @@ use std::fmt::Debug;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
+use baywatch_obs::MetricsRegistry;
 use fault::PhaseFaults;
 
 pub use fault::{FaultPlan, FaultPolicy, FaultReport};
@@ -121,6 +123,7 @@ impl JobStats {
 #[derive(Debug, Clone)]
 pub struct MapReduce {
     config: JobConfig,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl MapReduce {
@@ -132,7 +135,19 @@ impl MapReduce {
     pub fn new(config: JobConfig) -> Self {
         assert!(config.partitions > 0, "partitions must be positive");
         assert!(config.threads > 0, "threads must be positive");
-        Self { config }
+        Self {
+            config,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a metrics registry; fault-tolerant runs record job and
+    /// fault counters (`mapreduce.*`) into it. All recorded values are
+    /// order-independent sums, so they stay deterministic under threading.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The engine configuration.
@@ -415,6 +430,7 @@ impl MapReduce {
         })
         .expect("map scope panicked");
         report.map_retries = map_faults.retries;
+        report.map_bisections = map_faults.bisections;
         report.quarantined_inputs = map_faults.quarantined;
         report.timed_out_inputs = map_faults.timed_out;
         report.input_samples = map_faults.unit_samples;
@@ -473,10 +489,45 @@ impl MapReduce {
         }
         report.reduce_elapsed = reduce_started.elapsed();
 
+        if let Some(metrics) = &self.metrics {
+            record_fault_metrics(metrics, &report);
+        }
+
         results.sort_by_key(|(p, _)| *p);
         let output = results.into_iter().flat_map(|(_, o)| o).collect();
         (output, report)
     }
+}
+
+/// Folds a fault report into the attached registry. Counters only — the
+/// elapsed-time fields stay out so an attached registry remains safe to
+/// export in golden (byte-compared) snapshots.
+fn record_fault_metrics(metrics: &MetricsRegistry, report: &FaultReport) {
+    metrics.counter("mapreduce.jobs").inc();
+    metrics
+        .counter("mapreduce.map.retries")
+        .add(report.map_retries as u64);
+    metrics
+        .counter("mapreduce.map.bisections")
+        .add(report.map_bisections as u64);
+    metrics
+        .counter("mapreduce.map.quarantined")
+        .add(report.quarantined_inputs as u64);
+    metrics
+        .counter("mapreduce.map.timed_out")
+        .add(report.timed_out_inputs as u64);
+    metrics
+        .counter("mapreduce.reduce.retries")
+        .add(report.reduce_retries as u64);
+    metrics
+        .counter("mapreduce.reduce.quarantined")
+        .add(report.quarantined_keys as u64);
+    metrics
+        .counter("mapreduce.reduce.timed_out")
+        .add(report.timed_out_keys as u64);
+    metrics
+        .counter("mapreduce.lost_values")
+        .add(report.lost_values as u64);
 }
 
 /// Maps `slice` into `out`, retrying whole-slice failures up to the policy
@@ -540,6 +591,7 @@ fn map_slice<I, K, V, M>(
                 // re-execution as a retry (speculative re-run in Dean &
                 // Ghemawat's terms), and bisect to isolate the straggler.
                 faults.retries += 1;
+                faults.bisections += 1;
                 let mid = slice.len() / 2;
                 map_slice(&slice[..mid], mapper, policy, n_partitions, out, faults);
                 map_slice(&slice[mid..], mapper, policy, n_partitions, out, faults);
@@ -558,6 +610,7 @@ fn map_slice<I, K, V, M>(
         faults.quarantine(format!("{:?}", slice[0]), 0, policy);
         return;
     }
+    faults.bisections += 1;
     let mid = slice.len() / 2;
     map_slice(&slice[..mid], mapper, policy, n_partitions, out, faults);
     map_slice(&slice[mid..], mapper, policy, n_partitions, out, faults);

@@ -1,0 +1,168 @@
+//! A minimal, dependency-free JSON writer with stable output.
+//!
+//! The golden-run regression suite byte-compares exported snapshots, so
+//! the writer must be fully deterministic: callers are responsible for
+//! iterating maps in sorted order (the registry uses `BTreeMap`
+//! throughout), and this module guarantees stable escaping and number
+//! formatting on top of that.
+
+/// Incremental JSON writer. Values are appended through the `push_*`
+/// methods; object/array framing is the caller's responsibility via
+/// [`JsonWriter::raw`], which keeps the writer trivially small.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    needs_comma: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends literal text (framing characters such as `{`, `}`, `[`,
+    /// `]`) and resets the pending-comma state.
+    pub fn raw(&mut self, s: &str) {
+        self.out.push_str(s);
+        self.needs_comma = false;
+    }
+
+    /// Appends `"key":` with a leading comma when needed.
+    pub fn key(&mut self, key: &str) {
+        self.comma();
+        push_json_string(&mut self.out, key);
+        self.out.push(':');
+        self.needs_comma = false;
+    }
+
+    /// Appends a string value.
+    pub fn string(&mut self, value: &str) {
+        self.comma();
+        push_json_string(&mut self.out, value);
+        self.needs_comma = true;
+    }
+
+    /// Appends an unsigned integer value.
+    pub fn uint(&mut self, value: u64) {
+        self.comma();
+        self.out.push_str(&value.to_string());
+        self.needs_comma = true;
+    }
+
+    /// Appends a signed integer value.
+    pub fn int(&mut self, value: i64) {
+        self.comma();
+        self.out.push_str(&value.to_string());
+        self.needs_comma = true;
+    }
+
+    /// Appends a float with fixed precision, the only stable way to
+    /// serialise `f64` for byte-comparison. Non-finite values become
+    /// `null` (JSON has no NaN/Inf).
+    pub fn float(&mut self, value: f64, decimals: usize) {
+        self.comma();
+        if value.is_finite() {
+            self.out.push_str(&format!("{value:.decimals$}"));
+        } else {
+            self.out.push_str("null");
+        }
+        self.needs_comma = true;
+    }
+
+    /// Marks the just-closed value as complete so the next sibling gets a
+    /// comma. Call after a nested object/array closed with [`raw`].
+    ///
+    /// [`raw`]: JsonWriter::raw
+    pub fn end_value(&mut self) {
+        self.needs_comma = true;
+    }
+
+    /// Consumes the writer and returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn comma(&mut self) {
+        if self.needs_comma {
+            self.out.push(',');
+        }
+    }
+}
+
+/// Escapes `s` per RFC 8259 and appends it, quoted, to `out`.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_flat_object() {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("a");
+        w.uint(1);
+        w.key("b");
+        w.string("two");
+        w.key("c");
+        w.float(1.5, 3);
+        w.raw("}");
+        assert_eq!(w.finish(), r#"{"a":1,"b":"two","c":1.500}"#);
+    }
+
+    #[test]
+    fn writes_nested_structures_with_correct_commas() {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("xs");
+        w.raw("[");
+        w.uint(1);
+        w.uint(2);
+        w.raw("]");
+        w.end_value();
+        w.key("o");
+        w.raw("{");
+        w.key("k");
+        w.int(-3);
+        w.raw("}");
+        w.end_value();
+        w.key("tail");
+        w.uint(9);
+        w.raw("}");
+        assert_eq!(w.finish(), r#"{"xs":[1,2],"o":{"k":-3},"tail":9}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.raw("[");
+        w.float(f64::NAN, 2);
+        w.float(f64::INFINITY, 2);
+        w.raw("]");
+        assert_eq!(w.finish(), "[null,null]");
+    }
+}

@@ -1,0 +1,226 @@
+//! A lightweight span tracer for pipeline stages.
+//!
+//! [`StageTracer::span`] returns an RAII guard; dropping it records a
+//! [`SpanRecord`] with the dotted path of every open ancestor span
+//! (`analyze.detect.gmm`), its nesting depth, and its start/duration in
+//! nanoseconds read from the injected [`Clock`]. With a
+//! [`ManualClock`](crate::ManualClock) the records are exactly
+//! reproducible; with a [`MonotonicClock`](crate::MonotonicClock) they
+//! carry real wall-clock durations and must stay out of golden output —
+//! feed them into the registry's *timings* section only.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::clock::Clock;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Dot-joined names of the span and its ancestors, e.g.
+    /// `analyze.detect.gmm`.
+    pub path: String,
+    /// Nesting depth; top-level spans are 0.
+    pub depth: usize,
+    /// Clock reading when the span opened.
+    pub start_nanos: u64,
+    /// Nanoseconds between open and close.
+    pub duration_nanos: u64,
+}
+
+#[derive(Debug, Default)]
+struct TracerState {
+    /// Names of currently open spans, outermost first.
+    stack: Vec<String>,
+    finished: Vec<SpanRecord>,
+}
+
+/// Records nested stage spans against an injected clock.
+#[derive(Debug, Clone)]
+pub struct StageTracer {
+    clock: Arc<dyn Clock>,
+    state: Arc<Mutex<TracerState>>,
+}
+
+impl StageTracer {
+    /// A tracer reading time from `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            clock,
+            state: Arc::new(Mutex::new(TracerState::default())),
+        }
+    }
+
+    /// Opens a span named `name`, nested under any spans already open on
+    /// this tracer. The span closes (and its record is stored) when the
+    /// returned guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let start_nanos = self.clock.now_nanos();
+        let mut state = self.lock();
+        let depth = state.stack.len();
+        state.stack.push(name.to_string());
+        let path = state.stack.join(".");
+        SpanGuard {
+            tracer: self,
+            path,
+            depth,
+            start_nanos,
+        }
+    }
+
+    /// Completed spans in the order they *closed* (inner spans before the
+    /// outer spans that contain them).
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        self.lock().finished.clone()
+    }
+
+    /// Drops all completed spans, returning them.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.lock().finished)
+    }
+
+    fn close(&self, guard_depth: usize, record: SpanRecord) {
+        let mut state = self.lock();
+        // Truncate to the guard's depth rather than popping once: if an
+        // inner guard leaked past its scope (e.g. a panic unwound through
+        // it out of order), this resynchronises the stack.
+        state.stack.truncate(guard_depth);
+        state.finished.push(record);
+    }
+
+    /// Tracer state is plain vectors; recover from poisoning rather than
+    /// letting diagnostics take the pipeline down.
+    fn lock(&self) -> MutexGuard<'_, TracerState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// RAII guard returned by [`StageTracer::span`]; records the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a StageTracer,
+    path: String,
+    depth: usize,
+    start_nanos: u64,
+}
+
+impl SpanGuard<'_> {
+    /// The full dotted path of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end = self.tracer.clock.now_nanos();
+        let record = SpanRecord {
+            path: std::mem::take(&mut self.path),
+            depth: self.depth,
+            start_nanos: self.start_nanos,
+            duration_nanos: end.saturating_sub(self.start_nanos),
+        };
+        self.tracer.close(self.depth, record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn tracer() -> (Arc<ManualClock>, StageTracer) {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = StageTracer::new(clock.clone());
+        (clock, tracer)
+    }
+
+    #[test]
+    fn single_span_records_path_and_duration() {
+        let (clock, tracer) = tracer();
+        {
+            let span = tracer.span("analyze");
+            assert_eq!(span.path(), "analyze");
+            clock.advance(250);
+        }
+        let spans = tracer.finished();
+        assert_eq!(
+            spans,
+            vec![SpanRecord {
+                path: "analyze".into(),
+                depth: 0,
+                start_nanos: 0,
+                duration_nanos: 250,
+            }]
+        );
+    }
+
+    #[test]
+    fn nested_spans_build_dotted_paths_and_close_inner_first() {
+        let (clock, tracer) = tracer();
+        {
+            let _outer = tracer.span("analyze");
+            clock.advance(10);
+            {
+                let _mid = tracer.span("detect");
+                clock.advance(100);
+                {
+                    let inner = tracer.span("gmm");
+                    assert_eq!(inner.path(), "analyze.detect.gmm");
+                    clock.advance(7);
+                }
+            }
+            clock.advance(3);
+        }
+        let spans = tracer.finished();
+        let summary: Vec<(&str, usize, u64, u64)> = spans
+            .iter()
+            .map(|s| (s.path.as_str(), s.depth, s.start_nanos, s.duration_nanos))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                ("analyze.detect.gmm", 2, 110, 7),
+                ("analyze.detect", 1, 10, 107),
+                ("analyze", 0, 0, 120),
+            ]
+        );
+    }
+
+    #[test]
+    fn sequential_siblings_do_not_nest() {
+        let (clock, tracer) = tracer();
+        {
+            let _a = tracer.span("first");
+            clock.advance(1);
+        }
+        {
+            let _b = tracer.span("second");
+            clock.advance(2);
+        }
+        let paths: Vec<String> = tracer.finished().into_iter().map(|s| s.path).collect();
+        assert_eq!(paths, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn drain_empties_finished_spans() {
+        let (_clock, tracer) = tracer();
+        drop(tracer.span("s"));
+        assert_eq!(tracer.drain().len(), 1);
+        assert!(tracer.finished().is_empty());
+    }
+
+    #[test]
+    fn clone_shares_span_state() {
+        let (clock, tracer) = tracer();
+        let t2 = tracer.clone();
+        {
+            let _outer = tracer.span("outer");
+            clock.advance(5);
+            let inner = t2.span("inner");
+            assert_eq!(inner.path(), "outer.inner");
+        }
+        assert_eq!(tracer.finished().len(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests pinning the histogram merge algebra.
+//!
+//! The MapReduce layers combine per-shard snapshots in whatever order the
+//! scheduler produces them, so the merge must be a commutative monoid and
+//! must preserve every observation no matter how the stream is split.
+
+use baywatch_obs::{Buckets, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Strictly increasing bucket bounds, 1..=6 of them.
+fn arb_buckets() -> impl Strategy<Value = Buckets> {
+    proptest::collection::btree_set(1u64..10_000, 1..=6).prop_map(|set| {
+        let bounds: Vec<u64> = set.into_iter().collect();
+        Buckets::new(&bounds).expect("btree_set of u64 is strictly increasing")
+    })
+}
+
+fn snapshot_of(buckets: &Buckets, values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new(buckets.clone());
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b).expect("same layout");
+    out
+}
+
+proptest! {
+    /// Splitting one observation stream at any point and merging the two
+    /// halves yields exactly the snapshot of the unsplit stream.
+    #[test]
+    fn merge_preserves_totals_under_arbitrary_splits(
+        buckets in arb_buckets(),
+        values in proptest::collection::vec(0u64..20_000, 0..200),
+        split_frac in 0.0f64..=1.0,
+    ) {
+        let split = ((values.len() as f64) * split_frac) as usize;
+        let split = split.min(values.len());
+        let whole = snapshot_of(&buckets, &values);
+        let left = snapshot_of(&buckets, &values[..split]);
+        let right = snapshot_of(&buckets, &values[split..]);
+        let combined = merged(&left, &right);
+        prop_assert_eq!(&combined, &whole);
+        prop_assert_eq!(combined.total, values.len() as u64);
+        prop_assert_eq!(
+            combined.counts.iter().sum::<u64>(),
+            values.len() as u64,
+            "every observation must land in exactly one bucket"
+        );
+    }
+
+    /// a ⊕ b == b ⊕ a
+    #[test]
+    fn merge_is_commutative(
+        buckets in arb_buckets(),
+        xs in proptest::collection::vec(0u64..20_000, 0..100),
+        ys in proptest::collection::vec(0u64..20_000, 0..100),
+    ) {
+        let a = snapshot_of(&buckets, &xs);
+        let b = snapshot_of(&buckets, &ys);
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+    #[test]
+    fn merge_is_associative(
+        buckets in arb_buckets(),
+        xs in proptest::collection::vec(0u64..20_000, 0..80),
+        ys in proptest::collection::vec(0u64..20_000, 0..80),
+        zs in proptest::collection::vec(0u64..20_000, 0..80),
+    ) {
+        let a = snapshot_of(&buckets, &xs);
+        let b = snapshot_of(&buckets, &ys);
+        let c = snapshot_of(&buckets, &zs);
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    /// The empty snapshot is the identity element.
+    #[test]
+    fn empty_snapshot_is_identity(
+        buckets in arb_buckets(),
+        xs in proptest::collection::vec(0u64..20_000, 0..100),
+    ) {
+        let a = snapshot_of(&buckets, &xs);
+        let zero = HistogramSnapshot::empty(&buckets);
+        prop_assert_eq!(&merged(&a, &zero), &a);
+        prop_assert_eq!(&merged(&zero, &a), &a);
+    }
+}

@@ -5,6 +5,10 @@
 //! This is the "time series analysis" phase of the BAYWATCH architecture
 //! (Fig. 3 of the paper), applied to one communication pair at a time.
 
+use std::sync::Arc;
+
+use baywatch_obs::{Buckets, Clock, Counter, Histogram, MetricsRegistry};
+
 use crate::acf::{Autocorrelation, HillParams};
 use crate::budget::{BudgetSpec, ExecBudget};
 use crate::gmm::{select_gmm_budgeted, Gmm, GmmConfig};
@@ -153,12 +157,21 @@ impl DetectionReport {
 #[derive(Debug, Clone)]
 pub struct PeriodicityDetector {
     config: DetectorConfig,
+    obs: Option<DetectorObs>,
 }
 
 impl PeriodicityDetector {
     /// Creates a detector with the given configuration.
     pub fn new(config: DetectorConfig) -> Self {
-        Self { config }
+        Self { config, obs: None }
+    }
+
+    /// Attaches observability handles; every detection run then records
+    /// per-pair counters and stage timings. See [`DetectorObs`].
+    #[must_use]
+    pub fn with_obs(mut self, obs: DetectorObs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// The active configuration.
@@ -291,6 +304,45 @@ impl PeriodicityDetector {
         intervals: Vec<f64>,
         budget: &ExecBudget,
     ) -> Result<DetectionReport, TimeSeriesError> {
+        let result = self.detect_series_core(ws, series, intervals, budget);
+        if let Some(obs) = &self.obs {
+            obs.pairs_analyzed.inc();
+            obs.series_bins.observe(series.len() as u64);
+            match &result {
+                Ok(report) => {
+                    obs.raw_candidates.add(report.raw_candidates as u64);
+                    obs.prune_survivors.add(
+                        report
+                            .prune_decisions
+                            .iter()
+                            .filter(|d| d.survived())
+                            .count() as u64,
+                    );
+                    obs.acf_verified.add(report.candidates.len() as u64);
+                    if report.interval_gmm.is_some() {
+                        obs.gmm_fitted.inc();
+                    }
+                    if report.is_periodic() {
+                        obs.pairs_periodic.inc();
+                    }
+                }
+                Err(TimeSeriesError::BudgetExhausted) => obs.budget_exhausted.inc(),
+                Err(_) => {}
+            }
+        }
+        result
+    }
+
+    /// The Step 1 → 2 → 3 core; [`PeriodicityDetector::detect_series_budgeted_in`]
+    /// wraps it to account outcomes so `?`-propagated budget exhaustion is
+    /// still counted.
+    fn detect_series_core(
+        &self,
+        ws: &SpectralWorkspace,
+        series: &TimeSeries,
+        intervals: Vec<f64>,
+        budget: &ExecBudget,
+    ) -> Result<DetectionReport, TimeSeriesError> {
         // Degenerate-input guard: drop non-finite intervals (NaN/∞ from
         // upstream arithmetic on corrupted timestamps) so every comparator
         // and statistic below operates on finite values. A pair reduced to
@@ -299,9 +351,19 @@ impl PeriodicityDetector {
 
         // ---- Step 1: periodogram + permutation threshold. ----
         budget.checkpoint(series.len() as u64)?;
+        let t0 = self.obs.as_ref().map(|o| o.clock.now_nanos());
         let periodogram = Periodogram::compute_in(ws, series);
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            obs.periodogram_nanos
+                .observe(obs.clock.now_nanos().saturating_sub(t0));
+        }
+        let t0 = self.obs.as_ref().map(|o| o.clock.now_nanos());
         let threshold =
             permutation_threshold_budgeted(ws, series, &self.config.permutation, budget)?;
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            obs.permutation_nanos
+                .observe(obs.clock.now_nanos().saturating_sub(t0));
+        }
         let mut raw = periodogram.lines_above(threshold.threshold);
         let overflow = if raw.len() > self.config.max_candidates {
             raw.split_off(self.config.max_candidates)
@@ -339,7 +401,12 @@ impl PeriodicityDetector {
 
         let span = series.span_seconds() as f64;
         budget.checkpoint(series.len() as u64)?;
+        let t0 = self.obs.as_ref().map(|o| o.clock.now_nanos());
         let acf = Autocorrelation::compute_in(ws, series);
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            obs.acf_nanos
+                .observe(obs.clock.now_nanos().saturating_sub(t0));
+        }
 
         // ---- Step 1b: ACF-first candidate (Vlachos complementarity). ----
         // A near-perfect impulse train spreads periodogram energy over all
@@ -479,6 +546,7 @@ impl PeriodicityDetector {
         candidates.sort_by(|a, b| b.acf_score.total_cmp(&a.acf_score));
 
         // ---- Multi-period analysis (GMM over intervals). ----
+        let t0 = self.obs.as_ref().map(|o| o.clock.now_nanos());
         let (interval_gmm, gmm_bics) = if self.config.fit_gmm && intervals.len() >= 8 {
             match select_gmm_budgeted(&intervals, &self.config.gmm, budget) {
                 Ok((g, bics)) => (Some(g), bics),
@@ -492,6 +560,12 @@ impl PeriodicityDetector {
         } else {
             (None, Vec::new())
         };
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            if interval_gmm.is_some() {
+                obs.gmm_nanos
+                    .observe(obs.clock.now_nanos().saturating_sub(t0));
+            }
+        }
         let (gmm_iterations, gmm_converged) = match &interval_gmm {
             Some(g) => (g.iterations(), Some(g.converged())),
             None => (0, None),
@@ -514,6 +588,59 @@ impl PeriodicityDetector {
 impl Default for PeriodicityDetector {
     fn default() -> Self {
         Self::new(DetectorConfig::default())
+    }
+}
+
+/// Observability handles for the detector, registered once against a
+/// [`MetricsRegistry`] and shared (cheap atomic clones) by every worker
+/// thread running the detector.
+///
+/// Two tiers, mirroring the registry's split:
+///
+/// * **Deterministic** counters and value histograms (`detector.*` names)
+///   are pure functions of the analyzed data — order-independent sums that
+///   stay byte-identical across runs and thread schedules.
+/// * **Timing** histograms (`detector.*.nanos`) read the injected
+///   [`Clock`] and live in the registry's quarantined timings section,
+///   never in golden output.
+#[derive(Debug, Clone)]
+pub struct DetectorObs {
+    clock: Arc<dyn Clock>,
+    pairs_analyzed: Counter,
+    pairs_periodic: Counter,
+    budget_exhausted: Counter,
+    raw_candidates: Counter,
+    prune_survivors: Counter,
+    acf_verified: Counter,
+    gmm_fitted: Counter,
+    series_bins: Histogram,
+    periodogram_nanos: Histogram,
+    permutation_nanos: Histogram,
+    acf_nanos: Histogram,
+    gmm_nanos: Histogram,
+}
+
+impl DetectorObs {
+    /// Registers the detector's metric families in `registry` and returns
+    /// the handle bundle. Stage timings are read from `clock`.
+    pub fn new(registry: &MetricsRegistry, clock: Arc<dyn Clock>) -> Self {
+        let bins = Buckets::exponential(64, 4, 10).expect("static bucket layout is valid");
+        let nanos = Buckets::exponential(1_000, 4, 12).expect("static bucket layout is valid");
+        Self {
+            clock,
+            pairs_analyzed: registry.counter("detector.pairs_analyzed"),
+            pairs_periodic: registry.counter("detector.pairs_periodic"),
+            budget_exhausted: registry.counter("detector.budget_exhausted"),
+            raw_candidates: registry.counter("detector.periodogram.raw_candidates"),
+            prune_survivors: registry.counter("detector.prune.survivors"),
+            acf_verified: registry.counter("detector.acf.verified"),
+            gmm_fitted: registry.counter("detector.gmm.fitted"),
+            series_bins: registry.histogram("detector.series_bins", &bins),
+            periodogram_nanos: registry.timing("detector.periodogram.nanos", &nanos),
+            permutation_nanos: registry.timing("detector.permutation.nanos", &nanos),
+            acf_nanos: registry.timing("detector.acf.nanos", &nanos),
+            gmm_nanos: registry.timing("detector.gmm.nanos", &nanos),
+        }
     }
 }
 
@@ -976,5 +1103,46 @@ mod tests {
             "wide renewal flagged strongly: {:?}",
             r.best()
         );
+    }
+
+    #[test]
+    fn obs_records_pair_counters_and_quarantines_timings() {
+        use baywatch_obs::ManualClock;
+
+        let registry = MetricsRegistry::new();
+        let clock = Arc::new(ManualClock::new());
+        let det = detector().with_obs(DetectorObs::new(&registry, clock));
+
+        let beacon = jittered_beacon(120, 60.0, 0.0, 1);
+        assert!(det.detect(&beacon).unwrap().is_periodic());
+        let human: Vec<u64> = vec![0, 13, 15, 470, 471, 509, 3_600, 3_754, 9_000, 9_100, 15_000];
+        assert!(!det.detect(&human).unwrap().is_periodic());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["detector.pairs_analyzed"], 2);
+        assert_eq!(snap.counters["detector.pairs_periodic"], 1);
+        assert_eq!(snap.counters["detector.budget_exhausted"], 0);
+        assert!(snap.counters["detector.periodogram.raw_candidates"] >= 1);
+        assert_eq!(snap.histograms["detector.series_bins"].total, 2);
+        // Stage timings exist but stay out of the deterministic export.
+        assert_eq!(snap.timings["detector.periodogram.nanos"].total, 2);
+        assert!(!snap.to_json().contains("nanos"));
+    }
+
+    #[test]
+    fn obs_counts_budget_exhaustion() {
+        let registry = MetricsRegistry::new();
+        let clock = Arc::new(baywatch_obs::ManualClock::new());
+        let det = detector().with_obs(DetectorObs::new(&registry, clock));
+
+        let ts = jittered_beacon(200, 60.0, 3.0, 3);
+        let starved = ExecBudget::new(None, Some(1));
+        assert!(matches!(
+            det.detect_budgeted(&ts, &starved),
+            Err(TimeSeriesError::BudgetExhausted)
+        ));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["detector.budget_exhausted"], 1);
+        assert_eq!(snap.counters["detector.pairs_periodic"], 0);
     }
 }

@@ -60,7 +60,9 @@ pub mod symbolize;
 pub mod workspace;
 
 pub use budget::{BudgetSpec, ExecBudget};
-pub use detector::{CandidatePeriod, DetectionReport, DetectorConfig, PeriodicityDetector};
+pub use detector::{
+    CandidatePeriod, DetectionReport, DetectorConfig, DetectorObs, PeriodicityDetector,
+};
 pub use series::{intervals_of, TimeSeries};
 pub use workspace::SpectralWorkspace;
 

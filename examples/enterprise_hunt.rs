@@ -5,16 +5,27 @@
 //! ```text
 //! cargo run --release --example enterprise_hunt
 //! ```
+//!
+//! Pass `--json` to additionally emit the machine-readable observability
+//! export for the final day — the funnel, fault report, metrics snapshot
+//! and ranked top-K as one stable JSON document (the same schema the
+//! golden-run suite pins; see README "Observability"):
+//!
+//! ```text
+//! cargo run --release --example enterprise_hunt -- --json
+//! ```
 
 #![warn(clippy::unwrap_used)]
 
 use std::collections::HashSet;
 
 use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
+use baywatch::core::report::export_json;
 use baywatch::netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};
 use baywatch::record_from_event;
 
 fn main() {
+    let emit_json = std::env::args().any(|a| a == "--json");
     // ---- Simulate the enterprise. -------------------------------------
     let config = EnterpriseConfig {
         hosts: 150,
@@ -51,6 +62,7 @@ fn main() {
 
     let mut reported: HashSet<String> = HashSet::new();
     let mut flagged: HashSet<String> = HashSet::new();
+    let mut last_report = None;
     for day in 0..sim.config().days {
         let events = sim.generate_day(day);
         let records = events.iter().map(record_from_event).collect();
@@ -76,6 +88,7 @@ fn main() {
             );
             reported.insert(rc.case.pair.destination.clone());
         }
+        last_report = Some(report);
     }
 
     // ---- Score against ground truth. -----------------------------------
@@ -105,5 +118,15 @@ fn main() {
     );
     if !missed.is_empty() {
         println!("missed: {missed:?} (low-and-slow campaigns may need the weekly/monthly pass)");
+    }
+
+    // ---- Machine-readable export. --------------------------------------
+    // Funnel counts are the final day's window; the metrics snapshot is
+    // cumulative over the whole week (the registry lives on the engine).
+    if emit_json {
+        if let Some(report) = &last_report {
+            println!("\n--- observability export (--json) ---");
+            println!("{}", export_json(report, &engine.metrics_snapshot(), 10));
+        }
     }
 }

@@ -10,6 +10,7 @@
 //! * [`classifier`] — random-forest bootstrap investigation,
 //! * [`mapreduce`] — the in-process MapReduce engine,
 //! * [`netsim`] — the enterprise traffic simulator and noise models,
+//! * [`obs`] — the metrics registry and stage tracer,
 //! * [`stats`] — the statistical substrate.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md for
@@ -20,6 +21,7 @@ pub use baywatch_core as core;
 pub use baywatch_langmodel as langmodel;
 pub use baywatch_mapreduce as mapreduce;
 pub use baywatch_netsim as netsim;
+pub use baywatch_obs as obs;
 pub use baywatch_stats as stats;
 pub use baywatch_timeseries as timeseries;
 

@@ -85,3 +85,87 @@ fn elff_to_multiscale_scheduler() {
     assert!(found_daily, "daily tier should flag the 10-minute beacon");
     assert_eq!(sched.days_ingested(), 7);
 }
+
+/// Hand-written corrupt fixture: every corruption kind the lenient ELFF
+/// parser distinguishes, with the exact line numbers and reasons pinned.
+#[test]
+fn elff_malformed_lines_are_counted_exactly() {
+    let mut fixture: Vec<u8> = b"\
+#Software: SGOS 6.5\n\
+2015-03-01 07:59:59 10.0.0.9 early.example.com /x 200\n\
+#Fields: date time c-ip cs-host cs-uri-path sc-status\n\
+2015-03-01 08:00:00 10.0.0.1 beacon.example.net /ping 200\n\
+2015-03-01 08:00:05 10.0.0.1\n\
+not-a-date garbage 10.0.0.2 host.example.com /x 200\n\
+2015-03-01 08:00:10 10.0.0.3 - /y 200\n"
+        .to_vec();
+    fixture.extend_from_slice(&[0xFF, 0xFE, 0x80, b'\n']); // line 8: not UTF-8
+    fixture.extend_from_slice(b"2015-03-01 08:00:15 10.0.0.1 beacon.example.net /ping 200\n");
+
+    let outcome = read_elff(fixture.as_slice()).unwrap();
+
+    assert_eq!(outcome.records.len(), 2, "only the two clean records parse");
+    assert_eq!(outcome.malformed_lines, 5);
+    assert_eq!(
+        outcome.errors.len(),
+        5,
+        "all errors sampled while under the bound"
+    );
+
+    let lines: Vec<usize> = outcome.errors.iter().map(|e| e.line_number).collect();
+    assert_eq!(lines, vec![2, 5, 6, 7, 8]);
+
+    let reasons: Vec<&str> = outcome.errors.iter().map(|e| e.reason.as_str()).collect();
+    assert!(reasons[0].contains("before #Fields"), "{:?}", reasons[0]);
+    assert!(
+        reasons[1].contains("expected 6 fields, got 3"),
+        "{:?}",
+        reasons[1]
+    );
+    assert!(reasons[2].contains("invalid date/time"), "{:?}", reasons[2]);
+    assert!(reasons[3].contains("empty host"), "{:?}", reasons[3]);
+    assert!(reasons[4].contains("expected 6 fields"), "{:?}", reasons[4]);
+}
+
+/// Past [`ERROR_SAMPLE_LIMIT`] the sample vector stays bounded but the
+/// malformed count stays exact, and `analyze_outcome` carries both —
+/// exact count into `stats.malformed_lines`, bounded samples into
+/// `report.malformed_samples` — without perturbing detection.
+#[test]
+fn elff_sample_bound_survives_analyze_outcome() {
+    use baywatch::core::io::ERROR_SAMPLE_LIMIT;
+
+    let flood = ERROR_SAMPLE_LIMIT + 25;
+    let mut log = build_elff(1);
+    for i in 0..flood {
+        log.push_str(&format!("corrupt-fragment-{i}\n"));
+    }
+    let outcome = read_elff(log.as_bytes()).unwrap();
+    assert_eq!(outcome.records.len(), 144 + 60);
+    assert_eq!(
+        outcome.malformed_lines, flood,
+        "count stays exact past the bound"
+    );
+    assert_eq!(
+        outcome.errors.len(),
+        ERROR_SAMPLE_LIMIT,
+        "samples stay bounded"
+    );
+
+    let mut engine = Baywatch::new(BaywatchConfig {
+        local_tau: 0.9,
+        ..Default::default()
+    });
+    let report = engine.analyze_outcome(outcome);
+    assert_eq!(report.stats.malformed_lines, flood);
+    assert_eq!(report.malformed_samples.len(), ERROR_SAMPLE_LIMIT);
+    assert!(
+        report.malformed_samples[0].contains("line "),
+        "samples keep their line provenance: {:?}",
+        report.malformed_samples[0]
+    );
+    // The corrupt lines must not leak into the funnel's event count or
+    // suppress the beacon the clean records carry.
+    assert_eq!(report.stats.events, 144 + 60);
+    assert!(report.stats.periodic >= 1);
+}
