@@ -1,0 +1,430 @@
+//! Machine-readable detector benchmark: pairs/sec, per-stage nanos, and
+//! plan-cache statistics for both spectral modes, written as
+//! `BENCH_detector.json` at the repository root.
+//!
+//! Unlike the criterion micro-benches this binary is a *regression gate*.
+//! Two baseline flavours, because fields differ in how far they travel:
+//!
+//! * `--baseline PATH` — full gate against a run from the **same build**
+//!   (CI blesses one run, then verifies a second against it): speedup
+//!   ratio and plan-cache hit rates within the tolerance band, plus the
+//!   deterministic detection checksums compared exactly.
+//! * `--ratio-baseline PATH` — ratio-only gate against the **committed**
+//!   `BENCH_detector.json`, which may come from another machine or
+//!   another resolved `rand` build (the synthetic corpus is seeded, so
+//!   its exact bytes — and hence the checksums — depend on the `rand`
+//!   version, exactly like the golden funnel snapshot). Only the
+//!   RealHalf/ComplexFull speedup ratio and plan-cache hit rates are
+//!   compared, within the tolerance band.
+//!
+//! Absolute pairs/sec numbers are recorded for the curious but never
+//! gated on — they depend on the host.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_detector [--out PATH] [--quick] [--baseline PATH]
+//!                [--ratio-baseline PATH] [--tolerance F]
+//! ```
+//!
+//! * `--out PATH` — where to write the JSON (default `<repo>/BENCH_detector.json`).
+//! * `--quick` — smaller corpus and a single timed pass (local smoke runs;
+//!   quick output must not be blessed as the baseline).
+//! * `--tolerance F` — relative band for ratio comparisons (default 0.25).
+
+#![warn(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde_json::{json, Value};
+
+use baywatch_netsim::synth::{multi_period_burst, SyntheticBeacon};
+use baywatch_obs::clock::MonotonicClock;
+use baywatch_obs::registry::MetricsRegistry;
+use baywatch_timeseries::detector::{DetectorConfig, DetectorObs, PeriodicityDetector};
+use baywatch_timeseries::workspace::{SpectralMode, SpectralWorkspace};
+
+/// Deterministic benchmark corpus: seeded beacon pairs spanning the
+/// detector's interesting regimes. Periods repeat across seeds so the
+/// plan cache sees both cold builds and warm hits, and series are long
+/// enough (hundreds of events at minute-scale periods) that the spectral
+/// stages dominate, as they do on real proxy-log pairs.
+fn corpus(quick: bool) -> Vec<Vec<u64>> {
+    let mut pairs = Vec::new();
+    let periods: &[f64] = if quick {
+        &[60.0, 300.0]
+    } else {
+        &[30.0, 60.0, 120.0, 300.0, 600.0]
+    };
+    let seeds_per_period: u64 = if quick { 2 } else { 3 };
+    for (i, &period) in periods.iter().enumerate() {
+        for seed in 0..seeds_per_period {
+            // Clean, jittered, and lossy variants of the same period.
+            pairs.push(
+                SyntheticBeacon {
+                    period,
+                    count: 240,
+                    ..Default::default()
+                }
+                .generate(1 + seed),
+            );
+            pairs.push(
+                SyntheticBeacon {
+                    period,
+                    gaussian_sigma: period * 0.05,
+                    p_miss: 0.2,
+                    add_rate: 0.1,
+                    count: 300,
+                    ..Default::default()
+                }
+                .generate(100 + 10 * i as u64 + seed),
+            );
+        }
+    }
+    if !quick {
+        for seed in 0..4 {
+            pairs.push(multi_period_burst(0, 20, 16, 7.5, 600.0, 0.4, seed));
+        }
+    }
+    pairs
+}
+
+struct ModeRun {
+    elapsed_ns: u128,
+    detections_ok: usize,
+    detections_err: usize,
+    periodic_pairs: usize,
+    // Σ round(best_period · 1000) over periodic pairs: a deterministic
+    // fingerprint that flips if either mode changes detection output.
+    period_checksum: u64,
+    stage_sums: [(String, u64, u64); 4],
+    plan_requests: usize,
+    plan_hits: usize,
+    plans_built: usize,
+    plans_built_c2c: usize,
+    plans_built_r2c: usize,
+    transforms_run: usize,
+}
+
+fn run_mode(mode: SpectralMode, pairs: &[Vec<u64>], passes: usize) -> ModeRun {
+    let registry = MetricsRegistry::new();
+    let obs = DetectorObs::new(&registry, Arc::new(MonotonicClock::new()));
+    let detector = PeriodicityDetector::new(DetectorConfig::default()).with_obs(obs);
+    let ws = SpectralWorkspace::with_mode(mode);
+
+    // One untimed warmup pass builds every FFT plan the corpus needs, so
+    // the timed passes measure steady-state batch throughput.
+    for ts in pairs {
+        let _ = detector.detect_in(&ws, ts);
+    }
+
+    let mut detections_ok = 0usize;
+    let mut detections_err = 0usize;
+    let mut periodic_pairs = 0usize;
+    let mut period_checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..passes {
+        for ts in pairs {
+            match detector.detect_in(&ws, ts) {
+                Ok(report) => {
+                    detections_ok += 1;
+                    if report.is_periodic() {
+                        periodic_pairs += 1;
+                    }
+                    if let Some(best) = report.best() {
+                        period_checksum =
+                            period_checksum.wrapping_add((best.period * 1000.0).round() as u64);
+                    }
+                }
+                Err(_) => detections_err += 1,
+            }
+        }
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+
+    let snapshot = registry.snapshot();
+    let stage = |name: &str| -> (u64, u64) {
+        snapshot
+            .timings
+            .get(name)
+            .map(|h| (h.sum, h.total))
+            .unwrap_or((0, 0))
+    };
+    let stage_sums = ["periodogram", "permutation", "acf", "gmm"].map(|s| {
+        let (sum, total) = stage(&format!("detector.{s}.nanos"));
+        (s.to_string(), sum, total)
+    });
+
+    ModeRun {
+        elapsed_ns,
+        detections_ok,
+        detections_err,
+        periodic_pairs,
+        period_checksum,
+        stage_sums,
+        plan_requests: ws.plan_requests(),
+        plan_hits: ws.plan_hits(),
+        plans_built: ws.plans_built(),
+        plans_built_c2c: ws.plans_built_c2c(),
+        plans_built_r2c: ws.plans_built_r2c(),
+        transforms_run: ws.transforms_run(),
+    }
+}
+
+fn mode_json(run: &ModeRun) -> Value {
+    let secs = run.elapsed_ns as f64 / 1e9;
+    let pairs_per_sec = run.detections_ok as f64 / secs.max(1e-12);
+    let stages: Value = run
+        .stage_sums
+        .iter()
+        .map(|(name, sum, observations)| {
+            (
+                name.clone(),
+                json!({
+                    "sum_ns": sum,
+                    "observations": observations,
+                    "mean_ns": if *observations > 0 { sum / observations } else { 0 },
+                }),
+            )
+        })
+        .collect::<serde_json::Map<String, Value>>()
+        .into();
+    let hit_rate = if run.plan_requests > 0 {
+        run.plan_hits as f64 / run.plan_requests as f64
+    } else {
+        0.0
+    };
+    json!({
+        "pairs_per_sec": (pairs_per_sec * 10.0).round() / 10.0,
+        "elapsed_ns": run.elapsed_ns as u64,
+        "detections_ok": run.detections_ok,
+        "detections_err": run.detections_err,
+        "periodic_pairs": run.periodic_pairs,
+        "period_checksum": run.period_checksum,
+        "stage_nanos": stages,
+        "plan_cache": {
+            "requests": run.plan_requests,
+            "hits": run.plan_hits,
+            "hit_rate": (hit_rate * 1e4).round() / 1e4,
+            "plans_built": run.plans_built,
+            "plans_built_c2c": run.plans_built_c2c,
+            "plans_built_r2c": run.plans_built_r2c,
+            "transforms_run": run.transforms_run,
+        },
+    })
+}
+
+fn get_f64(v: &Value, path: &[&str]) -> Option<f64> {
+    let mut cur = v;
+    for p in path {
+        cur = cur.get(p)?;
+    }
+    cur.as_f64()
+}
+
+/// Gate: compare machine-independent fields of `current` against
+/// `baseline`. With `ratio_only`, the deterministic checksum fields are
+/// skipped — they depend on the resolved `rand` build, so they only
+/// travel between runs of the same binary, not across environments.
+/// Returns a list of human-readable failures (empty = pass).
+fn gate(current: &Value, baseline: &Value, tolerance: f64, ratio_only: bool) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    if current.get("profile") != baseline.get("profile") {
+        failures.push(format!(
+            "profile mismatch: current {:?} vs baseline {:?} — run the gate with the profile the baseline was blessed under",
+            current.get("profile"),
+            baseline.get("profile")
+        ));
+        return failures;
+    }
+
+    // The headline ratio: RealHalf throughput over ComplexFull, measured
+    // on the same host in the same process. Host speed cancels out.
+    let ratio = |v: &Value| -> Option<f64> {
+        let real = get_f64(v, &["modes", "real_half", "pairs_per_sec"])?;
+        let complex = get_f64(v, &["modes", "complex_full", "pairs_per_sec"])?;
+        (complex > 0.0).then(|| real / complex)
+    };
+    match (ratio(current), ratio(baseline)) {
+        (Some(cur), Some(base)) => {
+            let floor = base * (1.0 - tolerance);
+            if cur < floor {
+                failures.push(format!(
+                    "speedup regression: RealHalf/ComplexFull = {cur:.2}x, \
+                     baseline {base:.2}x (floor {floor:.2}x at tolerance {tolerance})"
+                ));
+            }
+        }
+        _ => failures.push("speedup ratio missing from current or baseline JSON".to_string()),
+    }
+
+    for mode in ["complex_full", "real_half"] {
+        // Plan-cache behaviour and detection output are deterministic
+        // functions of the corpus: exact match required — but only within
+        // one build, since the seeded corpus bytes follow the resolved
+        // `rand` version.
+        if !ratio_only {
+            for field in [
+                "periodic_pairs",
+                "period_checksum",
+                "detections_ok",
+                "detections_err",
+            ] {
+                let cur = get_f64(current, &["modes", mode, field]);
+                let base = get_f64(baseline, &["modes", mode, field]);
+                if cur != base {
+                    failures.push(format!(
+                        "{mode}.{field}: current {cur:?} != baseline {base:?} \
+                         (deterministic field — re-bless only with an explanation)"
+                    ));
+                }
+            }
+        }
+        let cur = get_f64(current, &["modes", mode, "plan_cache", "hit_rate"]);
+        let base = get_f64(baseline, &["modes", mode, "plan_cache", "hit_rate"]);
+        match (cur, base) {
+            (Some(c), Some(b)) => {
+                if c < b * (1.0 - tolerance) {
+                    failures.push(format!(
+                        "{mode} plan-cache hit rate fell: {c:.4} vs baseline {b:.4}"
+                    ));
+                }
+            }
+            _ => failures.push(format!("{mode} plan-cache hit rate missing")),
+        }
+    }
+
+    failures
+}
+
+fn repo_root_out() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_detector.json")
+}
+
+fn main() -> ExitCode {
+    let mut out = repo_root_out();
+    let mut quick = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut ratio_baseline_path: Option<PathBuf> = None;
+    let mut tolerance = 0.25f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--baseline requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--ratio-baseline" => match args.next() {
+                Some(p) => ratio_baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--ratio-baseline requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tolerance" => match args.next().and_then(|t| t.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("--tolerance requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let pairs = corpus(quick);
+    let passes = if quick { 1 } else { 3 };
+    println!(
+        "corpus: {} pairs × {} timed passes ({} profile)",
+        pairs.len(),
+        passes,
+        if quick { "quick" } else { "full" }
+    );
+
+    let complex = run_mode(SpectralMode::ComplexFull, &pairs, passes);
+    let real = run_mode(SpectralMode::RealHalf, &pairs, passes);
+
+    let complex_pps = complex.detections_ok as f64 / (complex.elapsed_ns as f64 / 1e9);
+    let real_pps = real.detections_ok as f64 / (real.elapsed_ns as f64 / 1e9);
+    let speedup = real_pps / complex_pps.max(1e-12);
+    println!("ComplexFull: {complex_pps:.1} pairs/sec");
+    println!("RealHalf:    {real_pps:.1} pairs/sec  ({speedup:.2}x)");
+
+    let doc = json!({
+        "schema": "baywatch.bench.detector/1",
+        "profile": if quick { "quick" } else { "full" },
+        "pairs": pairs.len(),
+        "passes": passes,
+        "speedup_real_over_complex": (speedup * 100.0).round() / 100.0,
+        "modes": {
+            "complex_full": mode_json(&complex),
+            "real_half": mode_json(&real),
+        },
+    });
+
+    let mut rendered = match serde_json::to_string_pretty(&doc) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to serialize benchmark JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    rendered.push('\n');
+    if let Err(e) = std::fs::write(&out, &rendered) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+
+    let gates: [(Option<PathBuf>, bool, &str); 2] = [
+        (baseline_path, false, "full"),
+        (ratio_baseline_path, true, "ratio-only"),
+    ];
+    for (path, ratio_only, kind) in gates {
+        let Some(path) = path else { continue };
+        let baseline: Value = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("failed to read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = gate(&doc, &baseline, tolerance, ratio_only);
+        if failures.is_empty() {
+            println!(
+                "bench gate ({kind}, vs {}): PASS (tolerance {tolerance})",
+                path.display()
+            );
+        } else {
+            eprintln!("bench gate ({kind}, vs {}): FAIL", path.display());
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -68,9 +68,11 @@ impl Autocorrelation {
             };
         }
         // The workspace zero-pads to >= 2n (making the circular convolution
-        // linear), FFTs, multiplies by the conjugate and inverse-FFTs.
+        // linear), FFTs, multiplies by the conjugate and inverse-FFTs. In
+        // the default RealHalf mode the round trip runs packed through the
+        // cached r2c/c2r plans at half the transform work.
         let values = ws.with_autocorrelation(samples, |correlation| {
-            let r0 = correlation[0].re;
+            let r0 = correlation[0];
             if r0 <= 0.0 {
                 // Constant (zero after centering) series: define ACF as 1 at
                 // lag 0 and 0 elsewhere.
@@ -78,7 +80,7 @@ impl Autocorrelation {
                 v[0] = 1.0;
                 v
             } else {
-                correlation[..n].iter().map(|c| c.re / r0).collect()
+                correlation[..n].iter().map(|c| c / r0).collect()
             }
         });
         Self { values, dt }

@@ -2,9 +2,34 @@
 //! detection algorithm.
 //!
 //! The mean-centered count series is transformed with an FFT; the power at
-//! frequency bin `k` is `|X(k)|² / N`. Only bins `1..N/2` carry independent
-//! information for a real signal; bin `k` maps to frequency `k / (N·dt)` Hz
-//! and period `N·dt / k` seconds, where `dt` is the series' bin width.
+//! frequency bin `k` is `|X(k)|² / N`. Only bins `1..=⌊N/2⌋` carry
+//! independent information for a real signal; bin `k` maps to frequency
+//! `k / (N·dt)` Hz and period `N·dt / k` seconds, where `dt` is the
+//! series' bin width.
+//!
+//! # One-sided scaling convention
+//!
+//! Every line carries `power = |X(k)|² / N` — the *unfolded* per-bin
+//! power, identical for interior bins and (even `N`) the Nyquist bin
+//! `k = N/2`. Interior bins have a conjugate mirror at `N − k` that is
+//! *not* folded into the line, so the one-sided sum
+//! [`total_energy`](Periodogram::total_energy) is roughly *half* the
+//! series' energy; the Nyquist bin and the (excluded, ≈0 after mean
+//! centering) DC bin are self-conjugate and appear exactly once in the
+//! full spectrum. The exact Parseval identity is therefore
+//!
+//! ```text
+//! Σ_t x_t² = |X(0)|²/N + 2·Σ_{k=1}^{⌈N/2⌉−1} |X(k)|²/N + [N even]·|X(N/2)|²/N
+//!          = |X(0)|²/N + two_sided_energy()
+//! ```
+//!
+//! with `X(0) = Σ_t x_t = 0` up to the rounding residue of mean
+//! centering. [`two_sided_energy`](Periodogram::two_sided_energy) folds
+//! the mirrors back (doubling interior bins, counting Nyquist once);
+//! `parseval_energy_matches_variance` pins the identity exactly. The
+//! per-line scaling is deliberately uniform — the permutation threshold
+//! compares like against like (shuffled maxima use the same convention),
+//! so folding a ×2 into interior lines would only rescale both sides.
 
 use crate::series::TimeSeries;
 use crate::workspace::{with_thread_workspace, SpectralWorkspace};
@@ -68,7 +93,12 @@ impl Periodogram {
 
     /// Like [`Periodogram::from_samples`] with an explicit workspace: the
     /// FFT plan comes from the workspace's cache and the transform runs in
-    /// its recycled buffer.
+    /// its recycled buffer. In the workspace's default
+    /// [`RealHalf`](crate::workspace::SpectralMode::RealHalf) mode an
+    /// even-length series runs through the packed real-to-complex plan —
+    /// half the transform work; odd lengths and
+    /// [`ComplexFull`](crate::workspace::SpectralMode::ComplexFull)
+    /// workspaces run the legacy full complex transform, bit-for-bit.
     pub fn from_samples_in(ws: &SpectralWorkspace, samples: &[f64], dt: f64) -> Self {
         let n = samples.len();
         if n < 4 {
@@ -79,9 +109,9 @@ impl Periodogram {
             };
         }
         let half = n / 2;
-        let lines = ws.with_spectrum(samples, |spectrum| {
+        let lines = ws.with_half_spectrum(samples, |spectrum| {
             let mut lines = Vec::with_capacity(half);
-            for (k, value) in spectrum.iter().enumerate().take(half + 1).skip(1) {
+            for (k, value) in spectrum.iter().enumerate().skip(1) {
                 let power = value.norm_sqr() / n as f64;
                 let frequency = k as f64 / (n as f64 * dt);
                 lines.push(SpectralLine {
@@ -138,10 +168,37 @@ impl Periodogram {
         out
     }
 
-    /// Total spectral energy (sum of line powers); by Parseval's relation
-    /// this tracks the variance of the centered series.
+    /// Total spectral energy (sum of line powers, each counted once); by
+    /// Parseval's relation this tracks *roughly half* the variance of the
+    /// centered series — see the module docs for the exact convention and
+    /// [`Periodogram::two_sided_energy`] for the exact identity.
     pub fn total_energy(&self) -> f64 {
         self.lines.iter().map(|l| l.power).sum()
+    }
+
+    /// The power of the Nyquist line `k = n/2`: `Some` only for even `n`
+    /// (odd-length spectra have no self-conjugate top bin), `None` for odd
+    /// `n` or a degenerate (`n < 4`) spectrum.
+    pub fn nyquist_power(&self) -> Option<f64> {
+        if self.n % 2 == 0 {
+            self.lines.last().map(|l| l.power)
+        } else {
+            None
+        }
+    }
+
+    /// The energy of the *full* (two-sided) spectrum, excluding the DC
+    /// bin: interior lines are folded back with their conjugate mirrors
+    /// (×2) while the self-conjugate Nyquist line (even `n` only) counts
+    /// once. By Parseval this equals `Σ_t x_t²` of the mean-centered
+    /// samples exactly (up to FFT rounding and the centering residue in
+    /// the excluded DC bin).
+    pub fn two_sided_energy(&self) -> f64 {
+        let total: f64 = self.lines.iter().map(|l| l.power).sum();
+        match self.nyquist_power() {
+            Some(nyquist) => 2.0 * total - nyquist,
+            None => 2.0 * total,
+        }
     }
 }
 
@@ -232,16 +289,52 @@ mod tests {
 
     #[test]
     fn parseval_energy_matches_variance() {
-        let ts = sine_series(1024, 32.0, 1);
+        // Exact accounting across even and odd lengths: folding the
+        // conjugate mirrors back (×2 interior, Nyquist once, DC ≈ 0 after
+        // centering) recovers the centered sum of squares to FFT rounding.
+        // The old tolerance-based window (0.3·var .. var) hid the even-n
+        // Nyquist/DC bookkeeping entirely.
+        for n in [1024usize, 1023, 100, 61] {
+            let ts = sine_series(n, 32.0, 1);
+            let pg = Periodogram::compute(&ts);
+            let ss: f64 = ts.centered().iter().map(|v| v * v).sum();
+            let got = pg.two_sided_energy();
+            assert!(
+                (got - ss).abs() <= 1e-9 * ss.max(1.0),
+                "n={n}: two-sided {got} vs Σx² {ss}"
+            );
+            // The one-sided sum holds at least half the energy (interior
+            // mirrors are the only discount) and never exceeds the total.
+            let e = pg.total_energy();
+            assert!(e >= 0.5 * ss - 1e-9 && e <= ss + 1e-9, "n={n}: e={e} ss={ss}");
+        }
+    }
+
+    #[test]
+    fn nyquist_bin_exact_for_even_length() {
+        // An alternating series concentrates all its energy in the
+        // self-conjugate Nyquist bin; counting it twice (the pre-fix
+        // mirror-folding mistake) would double the Parseval sum.
+        let values: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 2.0 } else { 0.0 }).collect();
+        let ts = TimeSeries::from_values(0, 1, values).unwrap();
         let pg = Periodogram::compute(&ts);
-        let centered = ts.centered();
-        let var: f64 = centered.iter().map(|v| v * v).sum::<f64>();
-        // One-sided spectrum over bins 1..=N/2 captures (almost exactly, for
-        // a real signal with no DC) half the energy... except bins and their
-        // mirrors both appear for k < N/2, so lines hold ~half the total.
-        // Accept a broad sanity window.
-        let e = pg.total_energy();
-        assert!(e > 0.3 * var && e <= var + 1e-9, "e={e} var={var}");
+        let nyquist = pg.nyquist_power().expect("even n has a Nyquist line");
+        assert_eq!(pg.lines().last().unwrap().bin, 32);
+        // Centered series is ±1: Σx² = 64, all of it at Nyquist.
+        assert!((nyquist - 64.0).abs() <= 1e-9 * 64.0, "nyquist = {nyquist}");
+        assert!((pg.two_sided_energy() - 64.0).abs() <= 1e-9 * 64.0);
+        assert_eq!(pg.max_line().unwrap().bin, 32);
+    }
+
+    #[test]
+    fn odd_length_has_no_nyquist_line() {
+        let ts = sine_series(63, 8.0, 1);
+        let pg = Periodogram::compute(&ts);
+        assert_eq!(pg.nyquist_power(), None);
+        assert_eq!(pg.lines().last().unwrap().bin, 31);
+        // Degenerate spectra have no Nyquist line either.
+        let tiny = TimeSeries::from_values(0, 1, vec![1.0, 0.0]).unwrap();
+        assert_eq!(Periodogram::compute(&tiny).nyquist_power(), None);
     }
 
     #[test]

@@ -100,14 +100,18 @@ pub fn permutation_threshold(
 
 /// Like [`permutation_threshold`] with an explicit [`SpectralWorkspace`].
 ///
-/// The `m` rounds shuffle one sample buffer in place and transform it
-/// through the workspace's cached plan and recycled complex buffer — the
-/// seed implementation instead built a fresh `FftPlanner` and allocated a
-/// full spectral-line table per round, which dominated the per-pair cost.
-/// Only the per-shuffle *maximum* power is extracted, since that is all
-/// the order statistic needs. The shuffle RNG is seeded exactly as before
-/// (one `StdRng` stream across all rounds), so thresholds are bit-for-bit
-/// identical to the seed implementation.
+/// The `m` rounds are *batched*: each round shuffles one rolling sample
+/// buffer in place (a single `StdRng` stream, exactly as the unbatched
+/// loop did, so row contents — and hence `shuffled_maxima` — are
+/// bit-identical) and appends it to a contiguous `m × n` matrix recycled
+/// through the workspace arena. One planned pass then transforms the whole
+/// matrix — two rounds per FFT in the workspace's default
+/// [`RealHalf`](crate::workspace::SpectralMode::RealHalf) mode, halving
+/// the transform count of the detection hot loop; in
+/// [`ComplexFull`](crate::workspace::SpectralMode::ComplexFull) mode the
+/// per-round maxima are bit-for-bit those of the legacy loop. Only the
+/// per-shuffle *maximum* power is kept, since that is all the order
+/// statistic needs.
 pub fn permutation_threshold_in(
     ws: &SpectralWorkspace,
     series: &TimeSeries,
@@ -135,36 +139,91 @@ pub fn permutation_threshold_budgeted(
     config.validate()?;
     let mut samples = series.centered();
     let n = samples.len();
+    let m = config.permutations;
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let mut maxima = Vec::with_capacity(config.permutations);
-    for _ in 0..config.permutations {
-        budget.checkpoint(n as u64)?;
+    // Degenerate series (< 4 bins) have an empty spectrum: max power 0 per
+    // round, matching `Periodogram::from_samples` on the same input. The
+    // budget and RNG stream are still consumed round-by-round so the
+    // degenerate path stays charge- and stream-identical to the full one.
+    if n < 4 {
+        let mut maxima = Vec::with_capacity(m);
+        for _ in 0..m {
+            budget.checkpoint(n as u64)?;
+            samples.shuffle(&mut rng);
+            maxima.push(0.0);
+        }
+        let threshold = maxima[quantile_rank(config.confidence, m) - 1];
+        return Ok(PermutationThreshold {
+            threshold,
+            shuffled_maxima: maxima,
+        });
+    }
+
+    // Fill the batched round matrix: each round charges its budget
+    // checkpoint, shuffles the rolling buffer (one RNG stream across all
+    // rounds — bit-identical rows to the unbatched loop), and appends it.
+    let mut rows = ws.take_rows();
+    rows.clear();
+    rows.reserve(m * n);
+    let mut exhausted = None;
+    for _ in 0..m {
+        if let Err(e) = budget.checkpoint(n as u64) {
+            exhausted = Some(e);
+            break;
+        }
         samples.shuffle(&mut rng);
-        // Degenerate series (< 4 bins) have an empty spectrum: max power 0,
-        // matching `Periodogram::from_samples` on the same input.
-        let max_power = if n < 4 {
-            0.0
-        } else {
-            ws.with_spectrum(&samples, |spectrum| {
-                spectrum[1..=n / 2]
-                    .iter()
-                    .map(|v| v.norm_sqr() / n as f64)
-                    .fold(0.0, f64::max)
-            })
-        };
-        maxima.push(max_power);
+        rows.extend_from_slice(&samples);
+    }
+    if let Some(e) = exhausted {
+        ws.put_rows(rows);
+        return Err(e);
+    }
+
+    // One planned pass over the matrix (two rounds per FFT in RealHalf
+    // mode), then one division by n per round. Dividing the unnormalized
+    // maximum is bit-identical to maximizing over per-bin `norm_sqr()/n`:
+    // division by a positive constant is monotone under IEEE
+    // round-to-nearest, so the same bin wins and the same quotient comes
+    // out.
+    let mut maxima = ws.shuffled_half_power_maxima(&rows, n);
+    ws.put_rows(rows);
+    for v in &mut maxima {
+        *v /= n as f64;
     }
     maxima.sort_by(f64::total_cmp);
 
-    // ⌈C·m⌉-th smallest maximum (1-based), e.g. the 19th of 20 at C = 95 %.
-    let rank = ((config.confidence * config.permutations as f64).ceil() as usize)
-        .clamp(1, config.permutations);
-    let threshold = maxima[rank - 1];
+    let threshold = maxima[quantile_rank(config.confidence, m) - 1];
     Ok(PermutationThreshold {
         threshold,
         shuffled_maxima: maxima,
     })
+}
+
+/// 1-based rank of the `⌈C·m⌉`-th smallest order statistic, robust to
+/// floating-point noise in the product `C·m`.
+///
+/// A raw `ceil(C * m as f64)` is index-sensitive at the boundaries the
+/// confidence level is designed to hit: the product can land a few ULPs
+/// *above* an exactly-attainable integer (`0.56 × 25 =
+/// 14.000000000000002`, `0.07 × 100 = 7.000000000000001`), and the
+/// ceiling then overshoots the intended rank by one — selecting, say, the
+/// 15th smallest of 25 where the statistic calls for the 14th, or the
+/// maximum where it calls for the second-largest. Any product within a
+/// few ULPs of an integer is therefore snapped to that integer before the
+/// ceiling; the result is clamped to `[1, m]` so `C = 1` selects the
+/// maximum (never indexing past the end) and vanishing products still
+/// yield a valid rank.
+fn quantile_rank(confidence: f64, m: usize) -> usize {
+    let product = confidence * m as f64;
+    let nearest = product.round();
+    let tolerance = product.abs().max(1.0) * (4.0 * f64::EPSILON);
+    let rank = if (product - nearest).abs() <= tolerance {
+        nearest
+    } else {
+        product.ceil()
+    };
+    (rank as usize).clamp(1, m)
 }
 
 #[cfg(test)]
@@ -253,9 +312,93 @@ mod tests {
         let a = permutation_threshold_in(&ws, &series, &cfg).unwrap();
         let b = permutation_threshold(&series, &cfg).unwrap();
         assert_eq!(a, b);
-        // One plan for the series length, m transforms through it.
+        // One plan for the series length; the batched RealHalf pass rides
+        // two rounds per physical FFT.
         assert_eq!(ws.plans_built(), 1);
-        assert_eq!(ws.transforms_run(), cfg.permutations);
+        assert_eq!(ws.transforms_run(), cfg.permutations.div_ceil(2));
+    }
+
+    #[test]
+    fn batched_modes_agree_and_halve_transforms() {
+        use crate::workspace::{SpectralMode, SpectralWorkspace};
+        let series = beacon_series(80, 15);
+        let cfg = PermutationConfig::default();
+        let legacy = SpectralWorkspace::with_mode(SpectralMode::ComplexFull);
+        let packed = SpectralWorkspace::new();
+        let a = permutation_threshold_in(&legacy, &series, &cfg).unwrap();
+        let b = permutation_threshold_in(&packed, &series, &cfg).unwrap();
+        assert_eq!(a.shuffled_maxima.len(), b.shuffled_maxima.len());
+        for (x, y) in a.shuffled_maxima.iter().zip(&b.shuffled_maxima) {
+            assert!((x - y).abs() <= 1e-9 * x.max(1.0), "{x} vs {y}");
+        }
+        assert!((a.threshold - b.threshold).abs() <= 1e-9 * a.threshold.max(1.0));
+        // ComplexFull runs one FFT per round; RealHalf packs two rounds
+        // into each.
+        assert_eq!(legacy.transforms_run(), cfg.permutations);
+        assert_eq!(packed.transforms_run(), cfg.permutations.div_ceil(2));
+    }
+
+    #[test]
+    fn quantile_rank_boundaries() {
+        // The ⌈C·m⌉ rank at every boundary the satellite calls out, plus
+        // the floating-point overshoot regressions: products a few ULPs
+        // above an integer must snap down, not ceil up.
+        for (m, c, want) in [
+            (1usize, 0.95, 1),
+            (1, 1.0, 1),
+            (19, 0.95, 19), // ⌈18.05⌉: the maximum
+            (19, 1.0, 19),
+            (20, 0.95, 19), // the 19th smallest, not the 20th
+            (20, 1.0, 20),  // the maximum, in bounds
+            (10, 0.9, 9),
+            (25, 0.56, 14),  // 0.56·25 = 14.000000000000002 in f64
+            (100, 0.07, 7),  // 0.07·100 = 7.000000000000001 in f64
+            (20, 0.001, 1),  // vanishing product clamps up to rank 1
+        ] {
+            assert_eq!(quantile_rank(c, m), want, "C={c} m={m}");
+        }
+    }
+
+    #[test]
+    fn quantile_boundaries_select_correct_order_statistic() {
+        let series = beacon_series(50, 10);
+        for (m, want_rank_95) in [(1usize, 1usize), (19, 19), (20, 19)] {
+            // C = 0.0 is outside (0, 1]: rejected at every m, never an
+            // out-of-bounds index.
+            assert!(permutation_threshold(
+                &series,
+                &PermutationConfig {
+                    permutations: m,
+                    confidence: 0.0,
+                    ..Default::default()
+                }
+            )
+            .is_err());
+
+            let thr = permutation_threshold(
+                &series,
+                &PermutationConfig {
+                    permutations: m,
+                    confidence: 0.95,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(thr.shuffled_maxima.len(), m);
+            assert_eq!(thr.threshold, thr.shuffled_maxima[want_rank_95 - 1]);
+
+            // C = 1.0 selects the maximum — in bounds, never a panic.
+            let thr = permutation_threshold(
+                &series,
+                &PermutationConfig {
+                    permutations: m,
+                    confidence: 1.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(thr.threshold, *thr.shuffled_maxima.last().unwrap());
+        }
     }
 
     #[test]
