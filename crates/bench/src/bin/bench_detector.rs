@@ -20,6 +20,12 @@
 //! Absolute pairs/sec numbers are recorded for the curious but never
 //! gated on — they depend on the host.
 //!
+//! A checkpoint probe additionally runs one small pipeline corpus three
+//! ways — plain, checkpointed, and resumed with DLQ replay — recording
+//! `checkpoints_written`/`dlq_replayed` accounting (exact-gated within a
+//! build) and the checkpoint overhead ratio (recorded, never gated), so
+//! a checkpoint-overhead or DLQ-accounting regression trips the gate.
+//!
 //! Usage:
 //!
 //! ```text
@@ -41,11 +47,16 @@ use std::time::Instant;
 
 use serde_json::{json, Value};
 
+use baywatch_core::checkpoint::CheckpointSpec;
+use baywatch_core::pipeline::{Baywatch, BaywatchConfig};
+use baywatch_core::record::LogRecord;
+use baywatch_netsim::adversarial::pathological_sparse_beacon;
 use baywatch_netsim::synth::{multi_period_burst, SyntheticBeacon};
 use baywatch_obs::clock::MonotonicClock;
 use baywatch_obs::registry::MetricsRegistry;
 use baywatch_timeseries::detector::{DetectorConfig, DetectorObs, PeriodicityDetector};
 use baywatch_timeseries::workspace::{SpectralMode, SpectralWorkspace};
+use baywatch_timeseries::BudgetSpec;
 
 /// Deterministic benchmark corpus: seeded beacon pairs spanning the
 /// detector's interesting regimes. Periods repeat across seeds so the
@@ -217,6 +228,121 @@ fn mode_json(run: &ModeRun) -> Value {
     })
 }
 
+struct CheckpointProbe {
+    plain_elapsed_ns: u128,
+    checkpointed_elapsed_ns: u128,
+    shards: u64,
+    checkpoints_written: u64,
+    dlq_entries: u64,
+    dlq_replayed: u64,
+    dlq_recovered: u64,
+}
+
+/// Deterministic pipeline corpus for the checkpoint probe: a dozen clean
+/// beacon pairs plus one pathological sparse pair that exhausts the
+/// per-pair op budget, lands in the DLQ, and is recovered on replay.
+fn checkpoint_records() -> Vec<LogRecord> {
+    let mut records = Vec::new();
+    for h in 0..12u64 {
+        let period = 60 + (h % 6) * 30;
+        for i in 0..80u64 {
+            records.push(LogRecord::new(
+                50_000 + i * period,
+                format!("host-{h}"),
+                format!("zxq{h}wvkt{h}n.biz"),
+                format!("{:x}", (h * 77 + i) * 2_654_435_761 % 0xFF_FFFF),
+            ));
+        }
+    }
+    for t in pathological_sparse_beacon(50_000, 300, 2_333) {
+        records.push(LogRecord::new(t, "host-0", "pathological-dest.biz", "x"));
+    }
+    records
+}
+
+fn probe_config() -> BaywatchConfig {
+    let mut config = BaywatchConfig {
+        local_tau: 0.9,
+        ..Default::default()
+    };
+    // Tight enough that only the pathological pair trips it.
+    config.detector.budget.max_ops = Some(800_000);
+    config
+}
+
+/// Measures checkpoint overhead (same corpus, with and without shard
+/// persistence) and exercises the resume + DLQ-replay path so the gate
+/// pins its deterministic accounting.
+fn run_checkpoint_probe() -> Result<CheckpointProbe, String> {
+    let records = checkpoint_records();
+
+    let mut plain = Baywatch::new(probe_config());
+    let start = Instant::now();
+    let _ = plain.analyze(records.clone());
+    let plain_elapsed_ns = start.elapsed().as_nanos();
+
+    let dir = std::env::temp_dir().join(format!("baywatch-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = |resume: bool, replay_budget: Option<BudgetSpec>| CheckpointSpec {
+        resume,
+        replay_budget,
+        shard_size: 4,
+        ..CheckpointSpec::new(dir.clone())
+    };
+
+    let mut engine = Baywatch::new(probe_config());
+    let start = Instant::now();
+    let first = engine
+        .analyze_checkpointed(records.clone(), &spec(false, None))
+        .map_err(|e| format!("checkpointed run failed under {}: {e}", dir.display()))?;
+    let checkpointed_elapsed_ns = start.elapsed().as_nanos();
+
+    let mut replayer = Baywatch::new(probe_config());
+    let second = replayer
+        .analyze_checkpointed(records, &spec(true, Some(BudgetSpec::UNLIMITED)))
+        .map_err(|e| format!("replay run failed under {}: {e}", dir.display()))?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ops = engine.metrics_snapshot().operational;
+    let count = |name: &str| ops.get(name).copied().unwrap_or(0);
+    let first_ck = first
+        .checkpoint
+        .ok_or("checkpointed run reported no checkpoint outcome")?;
+    let second_ck = second
+        .checkpoint
+        .ok_or("replay run reported no checkpoint outcome")?;
+    Ok(CheckpointProbe {
+        plain_elapsed_ns,
+        checkpointed_elapsed_ns,
+        shards: first_ck.total_shards as u64,
+        checkpoints_written: count("checkpoint.shards_written")
+            + count("checkpoint.manifest_writes"),
+        dlq_entries: first_ck.dlq_entries as u64,
+        dlq_replayed: second_ck.dlq_replayed as u64,
+        dlq_recovered: second_ck.dlq_recovered as u64,
+    })
+}
+
+fn checkpoint_json(p: &CheckpointProbe) -> Value {
+    let overhead = if p.plain_elapsed_ns > 0 {
+        p.checkpointed_elapsed_ns as f64 / p.plain_elapsed_ns as f64
+    } else {
+        0.0
+    };
+    json!({
+        // Host-dependent, recorded but never gated.
+        "plain_elapsed_ns": p.plain_elapsed_ns as u64,
+        "checkpointed_elapsed_ns": p.checkpointed_elapsed_ns as u64,
+        "overhead_ratio": (overhead * 1000.0).round() / 1000.0,
+        // Deterministic accounting, exact-gated within one build.
+        "shards": p.shards,
+        "checkpoints_written": p.checkpoints_written,
+        "dlq_entries": p.dlq_entries,
+        "dlq_replayed": p.dlq_replayed,
+        "dlq_recovered": p.dlq_recovered,
+    })
+}
+
 fn get_f64(v: &Value, path: &[&str]) -> Option<f64> {
     let mut cur = v;
     for p in path {
@@ -260,6 +386,29 @@ fn gate(current: &Value, baseline: &Value, tolerance: f64, ratio_only: bool) -> 
             }
         }
         _ => failures.push("speedup ratio missing from current or baseline JSON".to_string()),
+    }
+
+    if !ratio_only {
+        // Checkpoint accounting is a deterministic function of the probe
+        // corpus: a count drift means the store started writing more (or
+        // fewer) files per shard, or DLQ replay stopped recovering the
+        // planted pathological pair.
+        for field in [
+            "shards",
+            "checkpoints_written",
+            "dlq_entries",
+            "dlq_replayed",
+            "dlq_recovered",
+        ] {
+            let cur = get_f64(current, &["checkpoint", field]);
+            let base = get_f64(baseline, &["checkpoint", field]);
+            if cur != base {
+                failures.push(format!(
+                    "checkpoint.{field}: current {cur:?} != baseline {base:?} \
+                     (deterministic field — re-bless only with an explanation)"
+                ));
+            }
+        }
     }
 
     for mode in ["complex_full", "real_half"] {
@@ -362,6 +511,23 @@ fn main() -> ExitCode {
 
     let complex = run_mode(SpectralMode::ComplexFull, &pairs, passes);
     let real = run_mode(SpectralMode::RealHalf, &pairs, passes);
+    let probe = match run_checkpoint_probe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("checkpoint probe failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "checkpoint probe: {} shards, {} files written, overhead {:.2}x, \
+         dlq {} entry(ies) / {} replayed / {} recovered",
+        probe.shards,
+        probe.checkpoints_written,
+        probe.checkpointed_elapsed_ns as f64 / probe.plain_elapsed_ns.max(1) as f64,
+        probe.dlq_entries,
+        probe.dlq_replayed,
+        probe.dlq_recovered
+    );
 
     let complex_pps = complex.detections_ok as f64 / (complex.elapsed_ns as f64 / 1e9);
     let real_pps = real.detections_ok as f64 / (real.elapsed_ns as f64 / 1e9);
@@ -379,6 +545,7 @@ fn main() -> ExitCode {
             "complex_full": mode_json(&complex),
             "real_half": mode_json(&real),
         },
+        "checkpoint": checkpoint_json(&probe),
     });
 
     let mut rendered = match serde_json::to_string_pretty(&doc) {

@@ -1,0 +1,560 @@
+//! Checkpoint payload codecs and run configuration for durable hunts.
+//!
+//! An enterprise hunt over a month of logs (§V: ~30 B events) can run for
+//! hours; losing the whole window to a reboot mid-run is unacceptable. The
+//! durable-run machinery splits detection into shards and persists each
+//! completed shard through [`baywatch_mapreduce::CheckpointStore`]; this
+//! module owns the **payload codecs** — how detection rows and activity
+//! summaries are rendered to the repo's zero-dependency stable-key-order
+//! JSON and parsed back — plus the caller-facing [`CheckpointSpec`] and the
+//! run fingerprint that guards a resume against configuration drift.
+//!
+//! Floating-point fields are persisted as raw `f64::to_bits` integers, not
+//! decimal renderings, so a resumed run is *bit-identical* to the
+//! uninterrupted one: every power, period, and interval survives the round
+//! trip exactly, including negative zero and non-finite values.
+//!
+//! Two diagnostic `DetectionReport` fields are deliberately **not**
+//! persisted: `prune_decisions` and `interval_gmm` decode as empty/`None`.
+//! Downstream consumers (scoring, ranking, reporting) read only
+//! `candidates` and the scalar diagnostics; re-deriving the prune trail
+//! would mean re-running detection, which defeats the checkpoint.
+
+use std::path::{Path, PathBuf};
+
+use baywatch_mapreduce::{fnv1a64, FaultPolicy};
+use baywatch_obs::json::{parse, JsonValue};
+use baywatch_obs::JsonWriter;
+use baywatch_timeseries::detector::{CandidatePeriod, DetectionReport};
+use baywatch_timeseries::BudgetSpec;
+
+use crate::activity::ActivitySummary;
+use crate::jobs::DetectRow;
+use crate::pair::CommunicationPair;
+
+/// Default number of communication pairs per checkpoint shard.
+///
+/// Small enough that an interrupt loses at most a few seconds of detector
+/// work, large enough that manifest writes stay a rounding error next to
+/// the FFT/permutation cost of a shard.
+pub const DEFAULT_SHARD_SIZE: usize = 32;
+
+/// Caller-facing configuration for a checkpointed analysis run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Directory holding the run manifest and per-shard payloads.
+    pub dir: PathBuf,
+    /// Resume from an existing manifest in `dir` when one is present and
+    /// compatible; a missing/corrupt/mismatched manifest degrades to a
+    /// fresh run with a warning counter, never an error.
+    pub resume: bool,
+    /// When set, replay dead-letter-queue entries after the shard sweep
+    /// under this (typically larger) budget, re-admitting pairs that now
+    /// complete. `None` leaves the DLQ untouched for a later pass.
+    pub replay_budget: Option<BudgetSpec>,
+    /// Pairs per shard (clamped to at least 1).
+    pub shard_size: usize,
+    /// Test hook: simulate a kill after this many freshly executed shards.
+    /// Production callers leave this `None`.
+    pub abort_after_shards: Option<usize>,
+}
+
+impl CheckpointSpec {
+    /// A fresh (non-resuming, no-replay) spec rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            resume: false,
+            replay_budget: None,
+            shard_size: DEFAULT_SHARD_SIZE,
+            abort_after_shards: None,
+        }
+    }
+
+    /// Builder-style toggle for [`resume`](Self::resume).
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Builder-style setter for [`replay_budget`](Self::replay_budget).
+    pub fn with_replay_budget(mut self, budget: BudgetSpec) -> Self {
+        self.replay_budget = Some(budget);
+        self
+    }
+}
+
+/// Operational summary of the checkpoint machinery for one analysis run.
+///
+/// These are process facts (how much work this invocation skipped or
+/// redid), not data facts — a resumed run and an uninterrupted run of the
+/// same window produce identical reports but different outcomes here, so
+/// none of these fields participate in the deterministic JSON export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointOutcome {
+    /// Shards restored from persisted checkpoints instead of re-executed.
+    pub resumed_shards: usize,
+    /// Shards executed (and checkpointed) by this invocation.
+    pub executed_shards: usize,
+    /// Total shards in the run plan.
+    pub total_shards: usize,
+    /// Unusable persisted state encountered (corrupt manifest or shard
+    /// payload); each warning degraded to re-execution, not failure.
+    pub load_warnings: usize,
+    /// Whether the run stopped early (test-only abort hook); the manifest
+    /// on disk is consistent and a `resume` run will finish the plan.
+    pub interrupted: bool,
+    /// Dead-letter-queue entries present after the shard sweep.
+    pub dlq_entries: usize,
+    /// DLQ entries re-executed under the replay budget.
+    pub dlq_replayed: usize,
+    /// Replayed entries that completed and rejoined the funnel.
+    pub dlq_recovered: usize,
+}
+
+fn write_f64_bits(w: &mut JsonWriter, value: f64) {
+    w.uint(value.to_bits());
+}
+
+fn read_f64_bits(value: &JsonValue) -> Option<f64> {
+    value.as_u64().map(f64::from_bits)
+}
+
+fn write_summary(w: &mut JsonWriter, summary: &ActivitySummary) {
+    w.raw("{");
+    w.key("first_timestamp");
+    w.uint(summary.first_timestamp);
+    w.key("intervals");
+    w.raw("[");
+    for &iv in &summary.intervals {
+        w.uint(iv);
+    }
+    w.raw("]");
+    w.end_value();
+    w.key("pair");
+    w.raw("{");
+    w.key("destination");
+    w.string(&summary.pair.destination);
+    w.key("source");
+    w.string(&summary.pair.source);
+    w.raw("}");
+    w.end_value();
+    w.key("scale");
+    w.uint(summary.scale);
+    w.key("url_tokens");
+    w.raw("[");
+    for token in &summary.url_tokens {
+        w.string(token);
+    }
+    w.raw("]");
+    w.end_value();
+    w.raw("}");
+    w.end_value();
+}
+
+fn read_pair(value: &JsonValue) -> Option<CommunicationPair> {
+    Some(CommunicationPair::new(
+        value.get("source")?.as_str()?,
+        value.get("destination")?.as_str()?,
+    ))
+}
+
+fn read_summary(value: &JsonValue) -> Option<ActivitySummary> {
+    let intervals = value
+        .get("intervals")?
+        .as_array()?
+        .iter()
+        .map(JsonValue::as_u64)
+        .collect::<Option<Vec<u64>>>()?;
+    let url_tokens = value
+        .get("url_tokens")?
+        .as_array()?
+        .iter()
+        .map(|t| t.as_str().map(str::to_owned))
+        .collect::<Option<std::collections::BTreeSet<String>>>()?;
+    Some(ActivitySummary {
+        pair: read_pair(value.get("pair")?)?,
+        scale: value.get("scale")?.as_u64()?,
+        first_timestamp: value.get("first_timestamp")?.as_u64()?,
+        intervals,
+        url_tokens,
+    })
+}
+
+fn write_report(w: &mut JsonWriter, report: &DetectionReport) {
+    w.raw("{");
+    w.key("candidates");
+    w.raw("[");
+    for (i, c) in report.candidates.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.raw("{");
+        w.key("acf_score");
+        write_f64_bits(w, c.acf_score);
+        w.key("frequency");
+        write_f64_bits(w, c.frequency);
+        w.key("p_value");
+        match c.p_value {
+            Some(p) => write_f64_bits(w, p),
+            None => {
+                w.raw("null");
+                w.end_value();
+            }
+        }
+        w.key("period");
+        write_f64_bits(w, c.period);
+        w.key("power");
+        write_f64_bits(w, c.power);
+        w.raw("}");
+    }
+    w.raw("]");
+    w.end_value();
+    w.key("gmm_bics");
+    w.raw("[");
+    for &b in &report.gmm_bics {
+        w.uint(b.to_bits());
+    }
+    w.raw("]");
+    w.end_value();
+    w.key("gmm_converged");
+    match report.gmm_converged {
+        Some(true) => w.raw("true"),
+        Some(false) => w.raw("false"),
+        None => w.raw("null"),
+    }
+    w.end_value();
+    w.key("gmm_iterations");
+    w.uint(report.gmm_iterations as u64);
+    w.key("intervals");
+    w.raw("[");
+    for &iv in &report.intervals {
+        w.uint(iv.to_bits());
+    }
+    w.raw("]");
+    w.end_value();
+    w.key("power_threshold");
+    write_f64_bits(w, report.power_threshold);
+    w.key("raw_candidates");
+    w.uint(report.raw_candidates as u64);
+    w.raw("}");
+    w.end_value();
+}
+
+fn read_report(value: &JsonValue) -> Option<DetectionReport> {
+    let mut candidates = Vec::new();
+    for c in value.get("candidates")?.as_array()? {
+        let p_value = match c.get("p_value")? {
+            JsonValue::Null => None,
+            other => Some(read_f64_bits(other)?),
+        };
+        candidates.push(CandidatePeriod {
+            frequency: read_f64_bits(c.get("frequency")?)?,
+            period: read_f64_bits(c.get("period")?)?,
+            power: read_f64_bits(c.get("power")?)?,
+            acf_score: read_f64_bits(c.get("acf_score")?)?,
+            p_value,
+        });
+    }
+    let gmm_bics = value
+        .get("gmm_bics")?
+        .as_array()?
+        .iter()
+        .map(read_f64_bits)
+        .collect::<Option<Vec<f64>>>()?;
+    let intervals = value
+        .get("intervals")?
+        .as_array()?
+        .iter()
+        .map(read_f64_bits)
+        .collect::<Option<Vec<f64>>>()?;
+    let gmm_converged = match value.get("gmm_converged")? {
+        JsonValue::Null => None,
+        other => Some(other.as_bool()?),
+    };
+    Some(DetectionReport {
+        candidates,
+        power_threshold: read_f64_bits(value.get("power_threshold")?)?,
+        raw_candidates: usize::try_from(value.get("raw_candidates")?.as_u64()?).ok()?,
+        prune_decisions: Vec::new(),
+        interval_gmm: None,
+        gmm_bics,
+        gmm_iterations: usize::try_from(value.get("gmm_iterations")?.as_u64()?).ok()?,
+        gmm_converged,
+        intervals,
+    })
+}
+
+/// Renders a shard's detection rows as a JSON array (checkpoint payload).
+pub fn encode_rows(rows: &[DetectRow]) -> String {
+    let mut w = JsonWriter::new();
+    w.raw("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.raw("{");
+        w.key("kind");
+        match row {
+            DetectRow::Hit(hit) => {
+                w.string("hit");
+                w.key("report");
+                write_report(&mut w, &hit.1);
+                w.key("summary");
+                write_summary(&mut w, &hit.0);
+            }
+            DetectRow::Quiet(pair) => {
+                w.string("quiet");
+                w.key("pair");
+                w.raw("{");
+                w.key("destination");
+                w.string(&pair.destination);
+                w.key("source");
+                w.string(&pair.source);
+                w.raw("}");
+                w.end_value();
+            }
+            DetectRow::TimedOut(pair) => {
+                w.string("timed_out");
+                w.key("pair");
+                w.raw("{");
+                w.key("destination");
+                w.string(&pair.destination);
+                w.key("source");
+                w.string(&pair.source);
+                w.raw("}");
+                w.end_value();
+            }
+        }
+        w.raw("}");
+    }
+    w.raw("]");
+    w.finish()
+}
+
+/// Parses a payload produced by [`encode_rows`]; `None` on any mismatch.
+pub fn decode_rows(text: &str) -> Option<Vec<DetectRow>> {
+    let doc = parse(text).ok()?;
+    let mut rows = Vec::new();
+    for item in doc.as_array()? {
+        let row = match item.get("kind")?.as_str()? {
+            "hit" => DetectRow::Hit(Box::new((
+                read_summary(item.get("summary")?)?,
+                read_report(item.get("report")?)?,
+            ))),
+            "quiet" => DetectRow::Quiet(read_pair(item.get("pair")?)?),
+            "timed_out" => DetectRow::TimedOut(read_pair(item.get("pair")?)?),
+            _ => return None,
+        };
+        rows.push(row);
+    }
+    Some(rows)
+}
+
+/// Renders a DLQ payload: the quarantined pair's activity summaries.
+pub fn encode_summaries(summaries: &[ActivitySummary]) -> String {
+    let mut w = JsonWriter::new();
+    w.raw("[");
+    for (i, summary) in summaries.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        write_summary(&mut w, summary);
+    }
+    w.raw("]");
+    w.finish()
+}
+
+/// Parses a payload produced by [`encode_summaries`].
+pub fn decode_summaries(text: &str) -> Option<Vec<ActivitySummary>> {
+    let doc = parse(text).ok()?;
+    doc.as_array()?.iter().map(read_summary).collect()
+}
+
+/// Fingerprint binding a manifest to the run configuration that wrote it.
+///
+/// Covers everything that changes shard outputs: the fault policy, the
+/// per-pair detection budget, the permutation RNG seed, and the shard plan
+/// itself (ids, sizes, and every summary's rendered content). A resume
+/// against a manifest with a different fingerprint degrades to a fresh run.
+pub fn run_fingerprint(
+    policy: &FaultPolicy,
+    budget: &BudgetSpec,
+    rng_seed: u64,
+    shards: &[Vec<ActivitySummary>],
+) -> u64 {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let _ = write!(
+        text,
+        "policy:{}:{}:{:?};budget:{:?}:{:?};seed:{rng_seed};",
+        policy.max_task_retries,
+        policy.sample_limit,
+        policy.task_deadline,
+        budget.max_millis,
+        budget.max_ops,
+    );
+    let _ = write!(
+        text,
+        "plan:{};",
+        baywatch_mapreduce::shard_plan_digest(shards)
+    );
+    fnv1a64(text.as_bytes())
+}
+
+/// Clamped shard plan: summaries in deterministic order, `shard_size` per
+/// shard. The order (descending request count, pair as tie-break) matches
+/// the budgeted pipeline path so heavy pairs land in early shards.
+pub fn plan_shards(
+    mut summaries: Vec<ActivitySummary>,
+    shard_size: usize,
+) -> Vec<Vec<ActivitySummary>> {
+    summaries.sort_by(|a, b| {
+        b.request_count()
+            .cmp(&a.request_count())
+            .then_with(|| a.pair.cmp(&b.pair))
+    });
+    summaries
+        .chunks(shard_size.max(1))
+        .map(<[ActivitySummary]>::to_vec)
+        .collect()
+}
+
+/// `true` when `dir` holds a manifest from a previous (possibly
+/// interrupted) run — used by CLI front-ends to decide whether `--resume`
+/// has anything to resume.
+pub fn has_manifest(dir: &Path) -> bool {
+    dir.join("run_manifest.json").is_file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(src: &str, dst: &str, n: usize) -> ActivitySummary {
+        ActivitySummary {
+            pair: CommunicationPair::new(src, dst),
+            scale: 1,
+            first_timestamp: 1_000,
+            intervals: (0..n).map(|i| 60 + (i as u64 % 3)).collect(),
+            url_tokens: ["beacon", "gate.php"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+
+    fn report() -> DetectionReport {
+        DetectionReport {
+            candidates: vec![
+                CandidatePeriod {
+                    frequency: 1.0 / 60.0,
+                    period: 60.0,
+                    power: 12.5,
+                    acf_score: 0.91,
+                    p_value: Some(0.003),
+                },
+                CandidatePeriod {
+                    frequency: f64::from_bits(0x3FF0_0000_0000_0001),
+                    period: -0.0,
+                    power: 1e-300,
+                    acf_score: f64::NAN,
+                    p_value: None,
+                },
+            ],
+            power_threshold: 7.25,
+            raw_candidates: 4,
+            prune_decisions: Vec::new(),
+            interval_gmm: None,
+            gmm_bics: vec![-310.5, f64::INFINITY],
+            gmm_iterations: 17,
+            gmm_converged: Some(false),
+            intervals: vec![60.0, 61.0, 62.0],
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_bit_exactly() {
+        let rows = vec![
+            DetectRow::Hit(Box::new((summary("h1", "evil.test", 5), report()))),
+            DetectRow::Quiet(CommunicationPair::new("h2", "quiet.test")),
+            DetectRow::TimedOut(CommunicationPair::new("h3", "slow.test")),
+        ];
+        let encoded = encode_rows(&rows);
+        let decoded = decode_rows(&encoded).expect("payload parses");
+        assert_eq!(decoded.len(), 3);
+        match (&rows[0], &decoded[0]) {
+            (DetectRow::Hit(a), DetectRow::Hit(b)) => {
+                assert_eq!(a.0, b.0);
+                assert_eq!(b.1.candidates.len(), 2);
+                // Bit-exact floats, including NaN / -0.0 / subnormal range.
+                for (ca, cb) in a.1.candidates.iter().zip(&b.1.candidates) {
+                    assert_eq!(ca.frequency.to_bits(), cb.frequency.to_bits());
+                    assert_eq!(ca.period.to_bits(), cb.period.to_bits());
+                    assert_eq!(ca.power.to_bits(), cb.power.to_bits());
+                    assert_eq!(ca.acf_score.to_bits(), cb.acf_score.to_bits());
+                    assert_eq!(ca.p_value.map(f64::to_bits), cb.p_value.map(f64::to_bits));
+                }
+                assert_eq!(a.1.power_threshold.to_bits(), b.1.power_threshold.to_bits());
+                assert_eq!(a.1.gmm_converged, b.1.gmm_converged);
+                assert_eq!(
+                    a.1.gmm_bics.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    b.1.gmm_bics.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                );
+            }
+            other => panic!("row 0 mismatch: {other:?}"),
+        }
+        assert_eq!(&rows[1], &decoded[1]);
+        assert_eq!(&rows[2], &decoded[2]);
+        // Re-encoding the decoded rows is byte-identical.
+        assert_eq!(encode_rows(&decoded), encoded);
+    }
+
+    #[test]
+    fn summaries_round_trip() {
+        let batch = vec![summary("h1", "a.test", 3), summary("h2", "b.test", 7)];
+        let encoded = encode_summaries(&batch);
+        assert_eq!(decode_summaries(&encoded).expect("parses"), batch);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(decode_rows("not json").is_none());
+        assert!(decode_rows("{}").is_none());
+        assert!(decode_rows("[{\"kind\":\"mystery\"}]").is_none());
+        assert!(decode_summaries("[{\"pair\":{}}]").is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_input() {
+        let policy = FaultPolicy::default();
+        let budget = BudgetSpec::UNLIMITED;
+        let shards = vec![vec![summary("h1", "a.test", 3)]];
+        let base = run_fingerprint(&policy, &budget, 7, &shards);
+        assert_eq!(base, run_fingerprint(&policy, &budget, 7, &shards));
+        assert_ne!(base, run_fingerprint(&policy, &budget, 8, &shards));
+        let tighter = BudgetSpec {
+            max_ops: Some(10),
+            ..budget
+        };
+        assert_ne!(base, run_fingerprint(&policy, &tighter, 7, &shards));
+        let other_plan = vec![vec![summary("h1", "a.test", 4)]];
+        assert_ne!(base, run_fingerprint(&policy, &budget, 7, &other_plan));
+    }
+
+    #[test]
+    fn plan_shards_orders_heavy_pairs_first() {
+        let shards = plan_shards(
+            vec![
+                summary("h1", "light.test", 2),
+                summary("h2", "heavy.test", 50),
+                summary("h3", "mid.test", 10),
+            ],
+            2,
+        );
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0][0].pair.destination, "heavy.test");
+        assert_eq!(shards[0][1].pair.destination, "mid.test");
+        assert_eq!(shards[1][0].pair.destination, "light.test");
+    }
+}

@@ -22,7 +22,10 @@
 //! report. An optional [`FaultPlan`] threads the deterministic
 //! fault-injection checkpoints through each phase for the robustness tests.
 
-use baywatch_mapreduce::{FaultPlan, FaultPolicy, FaultReport, MapReduce};
+use baywatch_mapreduce::{
+    CheckpointedRun, DlqEntry, DlqReason, FaultPlan, FaultPolicy, FaultReport, MapReduce,
+    ShardedOutcome,
+};
 use baywatch_timeseries::detector::{DetectionReport, PeriodicityDetector};
 use baywatch_timeseries::workspace::with_thread_workspace;
 use baywatch_timeseries::{BudgetSpec, TimeSeriesError};
@@ -212,20 +215,35 @@ pub fn detect_beaconing_ft(
         .into_iter()
         .filter_map(|row| match row {
             DetectRow::Hit(hit) => Some(*hit),
-            DetectRow::TimedOut(_) => None,
+            DetectRow::TimedOut(_) | DetectRow::Quiet(_) => None,
         })
         .collect();
     (hits, report)
 }
 
 /// One output row of [`detect_beaconing_budgeted_ft`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DetectRow {
     /// A pair with at least one verified candidate period.
     Hit(Box<(ActivitySummary, DetectionReport)>),
     /// A pair whose detection exhausted its per-pair execution budget
     /// before completing; no verdict was reached.
     TimedOut(CommunicationPair),
+    /// A pair whose detection completed with no verified period. Emitted so
+    /// checkpointed runs can tell "analyzed, found quiet" apart from "never
+    /// finished" — a pair with *no* row at all was quarantined by the
+    /// engine and belongs in the dead-letter queue.
+    Quiet(CommunicationPair),
+}
+
+impl DetectRow {
+    /// The communication pair this row is about.
+    pub fn pair(&self) -> &CommunicationPair {
+        match self {
+            DetectRow::Hit(hit) => &hit.0.pair,
+            DetectRow::TimedOut(pair) | DetectRow::Quiet(pair) => pair,
+        }
+    }
 }
 
 /// Budget-aware fault-tolerant beaconing detection: each pair runs under a
@@ -255,39 +273,166 @@ pub fn detect_beaconing_budgeted_ft(
             emit(summary.pair.clone(), summary.clone());
         },
         move |pair, group: &[ActivitySummary]| {
-            if let Some(plan) = plan {
-                plan.reduce_checkpoint(pair);
-            }
-            with_thread_workspace(|ws| {
-                let mut out = Vec::new();
-                // A group holds every summary keyed to one pair (several
-                // when upstream produced per-window summaries of the same
-                // pair); emit at most one TimedOut row for the whole group
-                // so the funnel counts pairs, not summaries.
-                let mut timed_out = false;
-                for summary in group {
-                    let timestamps = summary.timestamps();
-                    match detector.detect_budgeted_in(ws, &timestamps, &pair_budget.start()) {
-                        Ok(report) if report.is_periodic() => {
-                            out.push(DetectRow::Hit(Box::new((summary.clone(), report))));
-                        }
-                        Ok(_) => {}
-                        Err(TimeSeriesError::BudgetExhausted) => {
-                            if !timed_out {
-                                out.push(DetectRow::TimedOut(summary.pair.clone()));
-                                timed_out = true;
-                            }
-                        }
-                        // Validation errors (too few events, zero span, …)
-                        // simply mean "not a beacon candidate".
-                        Err(_) => {}
-                    }
-                }
-                out
-            })
+            detect_group(detector, &pair_budget, plan, pair, group)
         },
         policy,
     )
+}
+
+/// Detection reduce step shared by the budgeted and checkpointed jobs: run
+/// every summary of one pair's group under a fresh budget.
+fn detect_group(
+    detector: &PeriodicityDetector,
+    pair_budget: &BudgetSpec,
+    plan: Option<&FaultPlan>,
+    pair: &CommunicationPair,
+    group: &[ActivitySummary],
+) -> Vec<DetectRow> {
+    if let Some(plan) = plan {
+        plan.reduce_checkpoint(pair);
+    }
+    with_thread_workspace(|ws| {
+        let mut out = Vec::new();
+        // A group holds every summary keyed to one pair (several
+        // when upstream produced per-window summaries of the same
+        // pair); emit at most one TimedOut row for the whole group
+        // so the funnel counts pairs, not summaries.
+        let mut timed_out = false;
+        for summary in group {
+            let timestamps = summary.timestamps();
+            match detector.detect_budgeted_in(ws, &timestamps, &pair_budget.start()) {
+                Ok(report) if report.is_periodic() => {
+                    out.push(DetectRow::Hit(Box::new((summary.clone(), report))));
+                }
+                Ok(_) => {}
+                Err(TimeSeriesError::BudgetExhausted) => {
+                    if !timed_out {
+                        out.push(DetectRow::TimedOut(summary.pair.clone()));
+                        timed_out = true;
+                    }
+                }
+                // Validation errors (too few events, zero span, …)
+                // simply mean "not a beacon candidate".
+                Err(_) => {}
+            }
+        }
+        if out.is_empty() {
+            out.push(DetectRow::Quiet(pair.clone()));
+        }
+        out
+    })
+}
+
+/// Checkpointed beaconing detection: the budgeted job run shard-by-shard
+/// through [`MapReduce::run_sharded_checkpointed`], persisting each
+/// completed shard (rows, fault report, metric deltas) to `run`'s
+/// [`CheckpointStore`](baywatch_mapreduce::CheckpointStore) and classifying
+/// pairs that never completed into dead-letter-queue entries with failure
+/// provenance.
+///
+/// DLQ classification per input pair of a shard:
+/// * a [`DetectRow::TimedOut`] row → [`DlqReason::BudgetExhausted`] (the
+///   per-pair kernel budget was exhausted; the pair is replayable under a
+///   larger budget),
+/// * no row at all and the pair's key appears in the shard's
+///   `timeout_samples` → [`DlqReason::TimedOut`] (a straggler task hit the
+///   MapReduce deadline),
+/// * no row at all otherwise → [`DlqReason::Poison`] (the engine
+///   quarantined it after `policy.max_task_retries` retries).
+pub fn detect_beaconing_checkpointed_ft(
+    engine: &MapReduce,
+    shards: Vec<Vec<ActivitySummary>>,
+    detector: &PeriodicityDetector,
+    pair_budget: BudgetSpec,
+    plan: Option<&FaultPlan>,
+    policy: &FaultPolicy,
+    run: &CheckpointedRun<'_>,
+) -> std::io::Result<ShardedOutcome<DetectRow>> {
+    let sample_limit = policy.sample_limit;
+    let max_retries = policy.max_task_retries;
+    engine.run_sharded_checkpointed(
+        shards,
+        run,
+        policy,
+        |summary: &ActivitySummary, emit| {
+            if let Some(plan) = plan {
+                plan.map_checkpoint(&summary.pair);
+            }
+            emit(summary.pair.clone(), summary.clone());
+        },
+        move |pair, group: &[ActivitySummary]| {
+            detect_group(detector, &pair_budget, plan, pair, group)
+        },
+        |rows: &[DetectRow]| crate::checkpoint::encode_rows(rows),
+        |payload: &str| crate::checkpoint::decode_rows(payload),
+        move |shard_id, inputs: &[ActivitySummary], outputs: &[DetectRow], faults: &FaultReport| {
+            dlq_entries_for_shard(shard_id, inputs, outputs, faults, sample_limit, max_retries)
+        },
+    )
+}
+
+/// Classifies a completed shard's losses into DLQ entries (see
+/// [`detect_beaconing_checkpointed_ft`] for the provenance rules). Entries
+/// carry the pair's summaries as a replayable payload.
+fn dlq_entries_for_shard(
+    shard_id: usize,
+    inputs: &[ActivitySummary],
+    outputs: &[DetectRow],
+    faults: &FaultReport,
+    sample_limit: usize,
+    max_retries: usize,
+) -> Vec<DlqEntry> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let completed: BTreeSet<&CommunicationPair> = outputs.iter().map(DetectRow::pair).collect();
+    let budget_exhausted: BTreeSet<&CommunicationPair> = outputs
+        .iter()
+        .filter_map(|row| match row {
+            DetectRow::TimedOut(pair) => Some(pair),
+            _ => None,
+        })
+        .collect();
+    let mut by_pair: BTreeMap<&CommunicationPair, Vec<ActivitySummary>> = BTreeMap::new();
+    for summary in inputs {
+        by_pair
+            .entry(&summary.pair)
+            .or_default()
+            .push(summary.clone());
+    }
+    let mut entries = Vec::new();
+    for (pair, summaries) in by_pair {
+        let key = format!("{pair:?}");
+        let (reason, retries, samples) = if budget_exhausted.contains(pair) {
+            // The pair *completed* the shard with a verdictless row; it is
+            // queued for replay under a larger budget, not lost.
+            (DlqReason::BudgetExhausted, 0, Vec::new())
+        } else if !completed.contains(pair) {
+            if faults.timeout_samples.iter().any(|s| s == &key) {
+                (DlqReason::TimedOut, 0, vec![key.clone()])
+            } else {
+                (
+                    DlqReason::Poison,
+                    max_retries,
+                    faults
+                        .panic_samples
+                        .iter()
+                        .take(sample_limit)
+                        .cloned()
+                        .collect(),
+                )
+            }
+        } else {
+            continue;
+        };
+        entries.push(DlqEntry {
+            key,
+            shard: shard_id,
+            reason,
+            retries,
+            samples,
+            payload: crate::checkpoint::encode_summaries(&summaries),
+        });
+    }
+    entries
 }
 
 #[cfg(test)]
@@ -464,6 +609,7 @@ mod tests {
                     assert_eq!(hit.0.pair.destination, "evil.com");
                 }
                 DetectRow::TimedOut(pair) => timed_out.push(pair),
+                DetectRow::Quiet(_) => {}
             }
         }
         assert_eq!(hits, 1);
@@ -505,7 +651,7 @@ mod tests {
             .into_iter()
             .filter_map(|row| match row {
                 DetectRow::TimedOut(pair) => Some(pair),
-                DetectRow::Hit(_) => None,
+                DetectRow::Hit(_) | DetectRow::Quiet(_) => None,
             })
             .collect();
         assert_eq!(
@@ -533,12 +679,58 @@ mod tests {
         assert!(report.is_clean());
         let hits: Vec<(ActivitySummary, DetectionReport)> = rows
             .into_iter()
-            .map(|row| match row {
-                DetectRow::Hit(hit) => *hit,
+            .filter_map(|row| match row {
+                DetectRow::Hit(hit) => Some(*hit),
                 DetectRow::TimedOut(pair) => panic!("unexpected timeout for {pair}"),
+                DetectRow::Quiet(_) => None,
             })
             .collect();
         assert_eq!(hits, plain);
+    }
+
+    #[test]
+    fn dlq_classification_distinguishes_failure_provenance() {
+        let s = |src: &str, dst: &str| {
+            ActivitySummary::from_records(&beacon_records(src, dst, 60, 5), 1).unwrap()
+        };
+        let ok = s("h", "fine.test");
+        let exhausted = s("h", "slow.test");
+        let poisoned = s("h", "poison.test");
+        let straggler = s("h", "straggler.test");
+        let inputs = vec![
+            ok.clone(),
+            exhausted.clone(),
+            poisoned.clone(),
+            straggler.clone(),
+        ];
+        // `ok` completed quiet, `exhausted` hit its kernel budget; the
+        // other two produced no row at all.
+        let outputs = vec![
+            DetectRow::Quiet(ok.pair.clone()),
+            DetectRow::TimedOut(exhausted.pair.clone()),
+        ];
+        let mut faults = FaultReport::default();
+        faults.panic_samples.push("panicked: boom".to_string());
+        faults.timeout_samples.push(format!("{:?}", straggler.pair));
+        let entries = dlq_entries_for_shard(3, &inputs, &outputs, &faults, 8, 2);
+        // Entries come out pair-sorted; `fine.test` produced no entry.
+        let by_dst: Vec<(&str, DlqReason, usize)> = entries
+            .iter()
+            .map(|e| (e.key.as_str(), e.reason, e.retries))
+            .collect();
+        assert_eq!(entries.len(), 3);
+        assert!(by_dst[0].0.contains("poison.test"));
+        assert_eq!(by_dst[0].1, DlqReason::Poison);
+        assert_eq!(by_dst[0].2, 2);
+        assert_eq!(entries[0].samples, vec!["panicked: boom".to_string()]);
+        assert!(by_dst[1].0.contains("slow.test"));
+        assert_eq!(by_dst[1].1, DlqReason::BudgetExhausted);
+        assert_eq!(by_dst[1].2, 0);
+        assert!(by_dst[2].0.contains("straggler.test"));
+        assert_eq!(by_dst[2].1, DlqReason::TimedOut);
+        // Every payload replays: it decodes back to the pair's summaries.
+        let replayed = crate::checkpoint::decode_summaries(&entries[1].payload).unwrap();
+        assert_eq!(replayed, vec![exhausted]);
     }
 
     #[test]

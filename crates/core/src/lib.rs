@@ -50,6 +50,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod activity;
+pub mod checkpoint;
 pub mod elff;
 pub mod investigate;
 pub mod io;
@@ -65,6 +66,7 @@ pub mod schedule;
 pub mod tokens;
 pub mod whitelist;
 
+pub use checkpoint::{CheckpointOutcome, CheckpointSpec};
 pub use pair::CommunicationPair;
 pub use pipeline::{AnalysisReport, Baywatch, BaywatchConfig};
 pub use record::LogRecord;

@@ -6,7 +6,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use baywatch_langmodel::{corpus, DomainScorer};
-use baywatch_mapreduce::{FaultPlan, FaultPolicy, FaultReport, JobConfig, MapReduce};
+use baywatch_mapreduce::{
+    BudgetSnapshot, CheckpointStore, CheckpointedRun, DlqReason, FaultPlan, FaultPolicy,
+    FaultReport, JobConfig, MapReduce, RunManifest,
+};
 use baywatch_obs::{Buckets, Clock, MetricsRegistry, MetricsSnapshot, MonotonicClock, StageTracer};
 use baywatch_timeseries::detector::{
     DetectionReport, DetectorConfig, DetectorObs, PeriodicityDetector,
@@ -14,6 +17,7 @@ use baywatch_timeseries::detector::{
 use baywatch_timeseries::BudgetSpec;
 
 use crate::activity::ActivitySummary;
+use crate::checkpoint::{self, CheckpointOutcome, CheckpointSpec};
 use crate::io::ReadOutcome;
 use crate::jobs;
 use crate::novelty::NoveltyStore;
@@ -144,6 +148,13 @@ pub struct FilterStats {
     /// Pairs shed without analysis because the window's wall-clock budget
     /// ran out; the lowest-priority (fewest-events) pairs are shed first.
     pub shed_pairs: usize,
+    /// Dead-letter-queue entries replayed under a larger budget in a
+    /// checkpointed run (zero outside checkpointed runs).
+    pub dlq_replayed: usize,
+    /// Replayed DLQ entries that completed and rejoined the funnel: each
+    /// recovery decrements `quarantined_pairs` or `timed_out_pairs` and any
+    /// verified hits flow through filters 4–7 like first-pass detections.
+    pub dlq_recovered: usize,
 }
 
 /// The outcome of analyzing one window.
@@ -166,6 +177,11 @@ pub struct AnalysisReport {
     /// [`Baywatch::analyze_outcome`] (bounded; `stats.malformed_lines` is
     /// the exact count).
     pub malformed_samples: Vec<String>,
+    /// Checkpoint machinery outcome for runs started through
+    /// [`Baywatch::analyze_checkpointed`]; `None` otherwise. These are
+    /// process facts (resumed/re-executed work), not data facts, and never
+    /// appear in the deterministic JSON export.
+    pub checkpoint: Option<CheckpointOutcome>,
 }
 
 impl AnalysisReport {
@@ -313,6 +329,56 @@ impl Baywatch {
     /// Filter 8 (bootstrap classification) is separate — see
     /// [`crate::investigate`] — because it needs manual labels.
     pub fn analyze(&mut self, records: Vec<LogRecord>) -> AnalysisReport {
+        match self.analyze_with(records, None) {
+            Ok(report) => report,
+            // Unreachable in practice: without a checkpoint spec the
+            // analysis performs no filesystem I/O. Degrade to an empty
+            // report rather than panic if it ever is reached.
+            Err(_) => AnalysisReport {
+                stats: FilterStats::default(),
+                ranked: Vec::new(),
+                report_cutoff: 0,
+                popularity_total_sources: 0,
+                faults: FaultReport::default(),
+                malformed_samples: Vec::new(),
+                checkpoint: None,
+            },
+        }
+    }
+
+    /// Analyzes one window like [`Baywatch::analyze`], but runs the
+    /// detection phase (filter 3 — by far the dominant cost at enterprise
+    /// scale) through a durable checkpoint under `spec.dir`:
+    ///
+    /// * detection is sharded ([`CheckpointSpec::shard_size`] pairs per
+    ///   shard, heaviest pairs first) and every completed shard is
+    ///   persisted atomically (rows, fault report, metric deltas) together
+    ///   with a versioned run manifest,
+    /// * with [`CheckpointSpec::resume`], shards recorded in a compatible
+    ///   manifest are restored instead of re-executed — the resumed run's
+    ///   report is **byte-identical** to an uninterrupted one (corrupt or
+    ///   mismatched state degrades to re-execution, never failure),
+    /// * pairs the engine lost (quarantined poison, straggler timeouts,
+    ///   exhausted per-pair budgets) land in a replayable dead-letter queue
+    ///   inside the manifest; with [`CheckpointSpec::replay_budget`] they
+    ///   are re-run under that (typically larger) budget after the shard
+    ///   sweep, and recoveries rejoin the funnel with exact accounting.
+    ///
+    /// Errors only on checkpoint-directory I/O failures (unwritable dir,
+    /// disk full); analysis faults are still *degradation*, not errors.
+    pub fn analyze_checkpointed(
+        &mut self,
+        records: Vec<LogRecord>,
+        spec: &CheckpointSpec,
+    ) -> std::io::Result<AnalysisReport> {
+        self.analyze_with(records, Some(spec))
+    }
+
+    fn analyze_with(
+        &mut self,
+        records: Vec<LogRecord>,
+        checkpoint: Option<&CheckpointSpec>,
+    ) -> std::io::Result<AnalysisReport> {
         let mut stats = FilterStats {
             events: records.len(),
             ..Default::default()
@@ -397,9 +463,25 @@ impl Baywatch {
         let input = summaries.len();
         let timed_out_before = stats.timed_out_pairs;
         let quarantined_before = stats.quarantined_pairs;
-        let detections = {
+        let (detections, checkpoint_outcome) = {
             let _span = tracer.span("detect");
-            self.detect_with_budget(summaries, plan, &policy, &mut stats, &mut faults)
+            match checkpoint {
+                None => (
+                    self.detect_with_budget(summaries, plan, &policy, &mut stats, &mut faults),
+                    None,
+                ),
+                Some(spec) => {
+                    let (detections, outcome) = self.detect_checkpointed(
+                        summaries,
+                        plan,
+                        &policy,
+                        &mut stats,
+                        &mut faults,
+                        spec,
+                    )?;
+                    (detections, Some(outcome))
+                }
+            }
         };
         stats.periodic = detections.len();
         let timed_out = stats.timed_out_pairs - timed_out_before;
@@ -500,14 +582,15 @@ impl Baywatch {
                 .observe(record.duration_nanos);
         }
 
-        AnalysisReport {
+        Ok(AnalysisReport {
             stats,
             ranked,
             report_cutoff,
             popularity_total_sources: popularity.total_sources(),
             faults,
             malformed_samples: Vec::new(),
-        }
+            checkpoint: checkpoint_outcome,
+        })
     }
 
     /// Records `stage.<stage>.admitted` plus the given extra counters.
@@ -584,6 +667,7 @@ impl Baywatch {
                                 stats.timed_out_pairs += 1;
                             }
                         }
+                        jobs::DetectRow::Quiet(_) => {}
                     }
                 }
             };
@@ -634,6 +718,179 @@ impl Baywatch {
             idx = end;
         }
         detections
+    }
+
+    /// Runs the detection job through the durable checkpoint machinery
+    /// (see [`Baywatch::analyze_checkpointed`] for the contract).
+    fn detect_checkpointed(
+        &self,
+        summaries: Vec<ActivitySummary>,
+        plan: Option<&FaultPlan>,
+        policy: &FaultPolicy,
+        stats: &mut FilterStats,
+        faults: &mut FaultReport,
+        spec: &CheckpointSpec,
+    ) -> std::io::Result<(Vec<(ActivitySummary, DetectionReport)>, CheckpointOutcome)> {
+        let pair_budget = self.config.detector.budget;
+        let shards = checkpoint::plan_shards(summaries, spec.shard_size);
+        let store = CheckpointStore::create(&spec.dir)?;
+        let fingerprint = checkpoint::run_fingerprint(
+            policy,
+            &pair_budget,
+            self.config.detector.permutation.seed,
+            &shards,
+        );
+        let run = CheckpointedRun {
+            store: &store,
+            fingerprint,
+            rng_seed: self.config.detector.permutation.seed,
+            budget: BudgetSnapshot {
+                max_millis: pair_budget.max_millis,
+                max_ops: pair_budget.max_ops,
+            },
+            resume: spec.resume,
+            abort_after_shards: spec.abort_after_shards,
+        };
+        let outcome = jobs::detect_beaconing_checkpointed_ft(
+            &self.engine,
+            shards,
+            &self.detector,
+            pair_budget,
+            plan,
+            policy,
+            &run,
+        )?;
+        stats.quarantined_pairs +=
+            outcome.faults.quarantined_keys + outcome.faults.quarantined_inputs;
+        stats.timed_out_pairs += outcome.faults.timed_out_inputs + outcome.faults.timed_out_keys;
+        faults.absorb(&outcome.faults);
+        let mut detections = Vec::new();
+        let mut timed_out_rows: BTreeSet<crate::pair::CommunicationPair> = BTreeSet::new();
+        for row in outcome.outputs {
+            match row {
+                jobs::DetectRow::Hit(hit) => detections.push(*hit),
+                jobs::DetectRow::TimedOut(pair) => {
+                    if timed_out_rows.insert(pair) {
+                        stats.timed_out_pairs += 1;
+                    }
+                }
+                jobs::DetectRow::Quiet(_) => {}
+            }
+        }
+
+        let mut manifest = outcome.manifest;
+        let dlq_entries = manifest.dlq.len();
+        let (dlq_replayed, dlq_recovered) = match spec.replay_budget {
+            Some(replay_budget) if !outcome.interrupted && dlq_entries > 0 => self.replay_dlq(
+                &store,
+                &mut manifest,
+                replay_budget,
+                plan,
+                policy,
+                stats,
+                &mut detections,
+            )?,
+            _ => (0, 0),
+        };
+        stats.dlq_replayed = dlq_replayed;
+        stats.dlq_recovered = dlq_recovered;
+        // Final-disposition DLQ counters: recorded once here — after the
+        // shard sweep, outside any per-shard delta capture window — so a
+        // resumed run and an uninterrupted run export identical values.
+        // Registered only when the queue saw entries, so a clean
+        // checkpointed run exports byte-identically to a plain one.
+        if dlq_entries > 0 {
+            self.metrics.counter("dlq.entries").add(dlq_entries as u64);
+            self.metrics
+                .counter("dlq.replayed")
+                .add(dlq_replayed as u64);
+            self.metrics
+                .counter("dlq.recovered")
+                .add(dlq_recovered as u64);
+        }
+
+        Ok((
+            detections,
+            CheckpointOutcome {
+                resumed_shards: outcome.resumed_shards,
+                executed_shards: outcome.executed_shards,
+                total_shards: manifest.total_shards,
+                load_warnings: outcome.load_warnings,
+                interrupted: outcome.interrupted,
+                dlq_entries,
+                dlq_replayed,
+                dlq_recovered,
+            },
+        ))
+    }
+
+    /// Replays the manifest's dead-letter queue under `replay_budget`.
+    ///
+    /// Each entry's payload (the pair's activity summaries) is re-run
+    /// through the budgeted detection job; an entry whose pair now
+    /// *completes* — any row at all, hit or quiet — is recovered: the
+    /// funnel count its failure originally landed in is decremented,
+    /// verified hits join `detections`, and the entry leaves the persisted
+    /// queue. Entries that still fail (or whose payload no longer decodes)
+    /// stay queued for a later pass. Replay faults are deliberately not
+    /// absorbed into the window's report: the original failure is already
+    /// accounted there, and a failed replay changes nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_dlq(
+        &self,
+        store: &CheckpointStore,
+        manifest: &mut RunManifest,
+        replay_budget: BudgetSpec,
+        plan: Option<&FaultPlan>,
+        policy: &FaultPolicy,
+        stats: &mut FilterStats,
+        detections: &mut Vec<(ActivitySummary, DetectionReport)>,
+    ) -> std::io::Result<(usize, usize)> {
+        let mut replayed = 0usize;
+        let mut recovered = 0usize;
+        let mut still_failed = Vec::new();
+        for entry in std::mem::take(&mut manifest.dlq) {
+            let Some(summaries) = checkpoint::decode_summaries(&entry.payload) else {
+                still_failed.push(entry);
+                continue;
+            };
+            replayed += 1;
+            let (rows, _replay_faults) = jobs::detect_beaconing_budgeted_ft(
+                &self.engine,
+                summaries,
+                &self.detector,
+                replay_budget,
+                plan,
+                policy,
+            );
+            let mut completed = false;
+            for row in rows {
+                match row {
+                    jobs::DetectRow::Hit(hit) => {
+                        completed = true;
+                        detections.push(*hit);
+                    }
+                    jobs::DetectRow::Quiet(_) => completed = true,
+                    jobs::DetectRow::TimedOut(_) => {}
+                }
+            }
+            if completed {
+                recovered += 1;
+                match entry.reason {
+                    DlqReason::Poison => {
+                        stats.quarantined_pairs = stats.quarantined_pairs.saturating_sub(1);
+                    }
+                    DlqReason::TimedOut | DlqReason::BudgetExhausted => {
+                        stats.timed_out_pairs = stats.timed_out_pairs.saturating_sub(1);
+                    }
+                }
+            } else {
+                still_failed.push(entry);
+            }
+        }
+        manifest.dlq = still_failed;
+        store.save_manifest(manifest)?;
+        Ok((replayed, recovered))
     }
 }
 

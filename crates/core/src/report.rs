@@ -59,6 +59,10 @@ pub fn render_funnel(report: &AnalysisReport) -> String {
     if s.shed_pairs > 0 {
         row("shed pairs (budget)", s.shed_pairs);
     }
+    if s.dlq_replayed > 0 {
+        row("dlq pairs replayed", s.dlq_replayed);
+        row("dlq pairs recovered", s.dlq_recovered);
+    }
     row("after global whitelist", s.after_global_whitelist);
     row("after local whitelist", s.after_local_whitelist);
     row("periodic (verified)", s.periodic);
@@ -107,6 +111,8 @@ pub fn export_json(report: &AnalysisReport, metrics: &MetricsSnapshot, top_k: us
         ("quarantined_pairs", s.quarantined_pairs),
         ("timed_out_pairs", s.timed_out_pairs),
         ("shed_pairs", s.shed_pairs),
+        ("dlq_replayed", s.dlq_replayed),
+        ("dlq_recovered", s.dlq_recovered),
         ("after_global_whitelist", s.after_global_whitelist),
         ("after_local_whitelist", s.after_local_whitelist),
         ("periodic", s.periodic),
@@ -134,6 +140,25 @@ pub fn export_json(report: &AnalysisReport, metrics: &MetricsSnapshot, top_k: us
     ] {
         w.key(key);
         w.uint(value as u64);
+    }
+    // Bounded provenance samples. The engine collects them in completion
+    // order, which parallel execution does not fix — sort each list so the
+    // export stays byte-identical across runs and across resume.
+    for (key, samples) in [
+        ("input_samples", &report.faults.input_samples),
+        ("key_samples", &report.faults.key_samples),
+        ("panic_samples", &report.faults.panic_samples),
+        ("timeout_samples", &report.faults.timeout_samples),
+    ] {
+        let mut sorted: Vec<&str> = samples.iter().map(String::as_str).collect();
+        sorted.sort_unstable();
+        w.key(key);
+        w.raw("[");
+        for sample in sorted {
+            w.string(sample);
+        }
+        w.raw("]");
+        w.end_value();
     }
     w.raw("}");
     w.end_value();
@@ -341,12 +366,15 @@ mod tests {
                 quarantined_pairs: 0,
                 timed_out_pairs: 0,
                 shed_pairs: 0,
+                dlq_replayed: 0,
+                dlq_recovered: 0,
             },
             report_cutoff: n_cases.min(1),
             ranked,
             popularity_total_sources: 20,
             faults: Default::default(),
             malformed_samples: Vec::new(),
+            checkpoint: None,
         }
     }
 
@@ -477,6 +505,38 @@ mod tests {
         assert!(a.contains("},{\"rank\":2"));
         // Wall-clock timings are quarantined out of the export.
         assert!(!a.contains("span.analyze") && !a.contains("timings"));
+    }
+
+    #[test]
+    fn export_json_sorts_fault_samples_and_reports_dlq() {
+        let mut report = toy_report(1);
+        report.stats.timed_out_pairs = 1;
+        report.stats.dlq_replayed = 2;
+        report.stats.dlq_recovered = 1;
+        // Samples arrive in engine completion order, which parallel
+        // execution scrambles; the export must sort them.
+        report.faults.input_samples = vec!["in-b".to_string(), "in-a".to_string()];
+        report.faults.key_samples = vec!["key-z".to_string(), "key-a".to_string()];
+        report.faults.panic_samples = vec!["panic-2".to_string(), "panic-1".to_string()];
+        report.faults.timeout_samples = vec!["to-zeta".to_string(), "to-alpha".to_string()];
+        let snap = baywatch_obs::MetricsRegistry::new().snapshot();
+
+        let json = export_json(&report, &snap, 1);
+        assert!(json.contains(r#""dlq_replayed":2"#));
+        assert!(json.contains(r#""dlq_recovered":1"#));
+        assert!(json.contains(r#""input_samples":["in-a","in-b"]"#));
+        assert!(json.contains(r#""key_samples":["key-a","key-z"]"#));
+        assert!(json.contains(r#""panic_samples":["panic-1","panic-2"]"#));
+        assert!(json.contains(r#""timeout_samples":["to-alpha","to-zeta"]"#));
+        // A differently-ordered report exports byte-identically.
+        let mut scrambled = report.clone();
+        scrambled.faults.timeout_samples.reverse();
+        scrambled.faults.key_samples.reverse();
+        assert_eq!(export_json(&scrambled, &snap, 1), json);
+        // The text funnel surfaces the replay outcome too.
+        let funnel = render_funnel(&report);
+        assert!(funnel.contains("dlq pairs replayed"));
+        assert!(funnel.contains("dlq pairs recovered"));
     }
 
     #[test]

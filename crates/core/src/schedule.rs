@@ -210,6 +210,7 @@ impl MultiScaleScheduler {
                         });
                     }
                     jobs::DetectRow::TimedOut(_) => timed_out += 1,
+                    jobs::DetectRow::Quiet(_) => {}
                 }
             }
         }

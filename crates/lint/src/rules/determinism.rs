@@ -1,6 +1,6 @@
 //! L2 — deterministic crates must be pure functions of their inputs.
 //!
-//! Three sub-rules, applied to non-test library code of the deterministic
+//! Four sub-rules, applied to non-test library code of the deterministic
 //! crates (`timeseries`, `core`, `stats`, `netsim`):
 //!
 //! * **L2-ambient-rng** — `thread_rng()`, `rand::rng()`, `rand::random()`,
@@ -10,6 +10,12 @@
 //!   not depend on when the pipeline ran. (`ExecBudget` is the sanctioned,
 //!   allowlisted exception: budgets only cause early exits, never change a
 //!   completed pair's report.)
+//! * **L2-ambient-fs** — `fs::<anything>` paths and bare `File::open` /
+//!   `File::create` / `OpenOptions::new`: filesystem reads make the result
+//!   depend on ambient disk state, and writes are side effects a pure
+//!   pipeline stage must not have. Durable state belongs behind audited
+//!   boundaries (`CheckpointStore` in `mapreduce`, the ingest/export pair
+//!   in `core::io`) that are allowlisted with a written reason.
 //! * **L2-hash-iter** — iterating a `HashMap`/`HashSet` observes
 //!   `RandomState`'s per-process order. The iteration is flagged unless the
 //!   order provably cannot reach the output: the chain ends in an
@@ -60,6 +66,7 @@ const SORTS: &[&str] = &[
 pub fn check(sf: &SourceFile, file: &File, lines: &[&str], findings: &mut Vec<Finding>) {
     check_ambient_rng(sf, file, lines, findings);
     check_wall_clock(sf, file, lines, findings);
+    check_ambient_fs(sf, file, lines, findings);
     check_hash_iteration(sf, file, lines, findings);
 }
 
@@ -113,6 +120,50 @@ fn check_wall_clock(sf: &SourceFile, file: &File, lines: &[&str], findings: &mut
                      timestamp in as data (or allowlist with a written justification)",
                     t.text
                 ),
+            });
+        }
+    }
+}
+
+fn check_ambient_fs(sf: &SourceFile, file: &File, lines: &[&str], findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if file.in_test_code(i) {
+            continue;
+        }
+        let path2 = |at: usize| {
+            tokens.get(at).is_some_and(|n| n.is_punct(':'))
+                && tokens.get(at + 1).is_some_and(|n| n.is_punct(':'))
+        };
+        // Any `fs::<ident>` path segment: `std::fs::read_to_string`,
+        // `std::fs::File::open`, `use std::fs::File` all anchor here.
+        let fs_path = t.is_ident("fs")
+            && path2(i + 1)
+            && tokens
+                .get(i + 3)
+                .is_some_and(|n| n.kind == TokenKind::Ident);
+        // Bare constructors after a `use` import. When the preceding token
+        // is `:` the ident is part of a longer path and the `fs` segment
+        // (or another crate's namespace) already owns the decision.
+        let bare_ctor = !(i > 0 && tokens[i - 1].is_punct(':'))
+            && (t.is_ident("File")
+                && path2(i + 1)
+                && tokens
+                    .get(i + 3)
+                    .is_some_and(|n| n.is_ident("open") || n.is_ident("create"))
+                || t.is_ident("OpenOptions")
+                    && path2(i + 1)
+                    && tokens.get(i + 3).is_some_and(|n| n.is_ident("new")));
+        if fs_path || bare_ctor {
+            findings.push(Finding {
+                rule: "L2-ambient-fs",
+                path: sf.rel_path.clone(),
+                line: t.line,
+                snippet: snippet_at(lines, t.line),
+                message: "filesystem access in a deterministic crate ties results to \
+                          ambient disk state; route I/O through an audited boundary \
+                          (or allowlist with a written justification)"
+                    .to_string(),
             });
         }
     }
@@ -591,6 +642,25 @@ mod tests {
             rules,
             ["L2-ambient-rng", "L2-wall-clock", "L2-wall-clock"],
             "seeded RNG must pass"
+        );
+    }
+
+    #[test]
+    fn ambient_fs_is_flagged_but_lookalikes_pass() {
+        let src = "fn a(p: &str) -> bool { std::fs::read_to_string(p).is_ok() }\n\
+                   fn b(p: &str) { let _f = File::open(p); }\n\
+                   fn c() { let _o = OpenOptions::new(); }\n\
+                   fn d(p: &str) { let _f = std::fs::File::create(p); }\n\
+                   fn e(fs: u32) -> u32 { fs + profile::File::line() }";
+        let rules: Vec<_> = rules_of(src)
+            .into_iter()
+            .filter(|r| *r == "L2-ambient-fs")
+            .collect();
+        assert_eq!(
+            rules.len(),
+            4,
+            "one finding per access site; a local named `fs` and a foreign \
+             `File` namespace must not fire: {rules:?}"
         );
     }
 

@@ -5,6 +5,7 @@
 //! | `L1-float-ord`   | float comparators must be total (`total_cmp`)             |
 //! | `L2-ambient-rng` | no ambient randomness in deterministic crates             |
 //! | `L2-wall-clock`  | no wall-clock reads in deterministic crates               |
+//! | `L2-ambient-fs`  | no unaudited filesystem access there either               |
 //! | `L2-hash-iter`   | no order-observing hash-container iteration there either  |
 //! | `L3-budget`      | unbounded loops in hot modules must checkpoint a budget   |
 //! | `L4-panic`       | no `unwrap`/`expect` in non-test library code             |
@@ -28,6 +29,7 @@ pub const RULE_IDS: &[&str] = &[
     "L1-float-ord",
     "L2-ambient-rng",
     "L2-wall-clock",
+    "L2-ambient-fs",
     "L2-hash-iter",
     "L3-budget",
     "L4-panic",

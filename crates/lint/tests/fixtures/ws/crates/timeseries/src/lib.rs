@@ -47,3 +47,11 @@ mod tests {
         assert_eq!(v.unwrap(), 1);
     }
 }
+
+pub fn fs_peek(path: &str) -> bool {
+    std::fs::read_to_string(path).is_ok()
+}
+
+pub fn fs_lookalike(fs: usize) -> usize {
+    fs + 1
+}

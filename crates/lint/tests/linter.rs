@@ -45,18 +45,20 @@ fn fixture_findings_are_exactly_the_planted_ones() {
             ("L1-float-ord", "crates/timeseries/src/lib.rs", 17),
             ("L4-panic", "crates/timeseries/src/lib.rs", 17),
             ("L2-hash-iter", "crates/timeseries/src/lib.rs", 26),
+            ("L2-ambient-fs", "crates/timeseries/src/lib.rs", 52),
             ("L4-panic", "crates/util/src/lib.rs", 11),
         ],
         "planted positives (and only those) must fire; negatives in the \
          same files — checkpointed loops, total_cmp, sorted/counted hash \
-         iteration, cfg(test) unwraps, bin-target unwraps — must not"
+         iteration, a local binding named `fs`, cfg(test) unwraps, \
+         bin-target unwraps — must not"
     );
 }
 
 #[test]
 fn without_a_baseline_everything_is_new() {
     let outcome = run(&fixture_opts()).expect("fixture runs");
-    assert_eq!(outcome.new.len(), 8);
+    assert_eq!(outcome.new.len(), 9);
     assert!(outcome.baselined.is_empty());
     assert!(!outcome.is_clean());
 }
@@ -74,7 +76,7 @@ fn full_baseline_tolerates_every_finding() {
     })
     .expect("fixture runs");
     assert!(outcome.is_clean());
-    assert_eq!(outcome.baselined.len(), 8);
+    assert_eq!(outcome.baselined.len(), 9);
     assert!(outcome.stale_baseline.is_empty());
 }
 
@@ -97,7 +99,7 @@ fn a_finding_missing_from_the_baseline_fails_the_ratchet() {
     assert!(!outcome.is_clean());
     assert_eq!(outcome.new.len(), 1);
     assert_eq!(outcome.new[0].rule, "L1-float-ord");
-    assert_eq!(outcome.baselined.len(), 7);
+    assert_eq!(outcome.baselined.len(), 8);
 }
 
 #[test]
@@ -146,7 +148,7 @@ reason = "fixture: matches nothing in this file"
         ..fixture_opts()
     })
     .expect("fixture runs");
-    assert_eq!(outcome.new.len(), 7, "one finding should be suppressed");
+    assert_eq!(outcome.new.len(), 8, "one finding should be suppressed");
     assert_eq!(outcome.allowlisted.len(), 1);
     let (f, reason) = &outcome.allowlisted[0];
     assert_eq!(f.path, "crates/util/src/lib.rs");

@@ -42,6 +42,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod fault;
+pub mod manifest;
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -56,6 +57,10 @@ use baywatch_obs::MetricsRegistry;
 use fault::PhaseFaults;
 
 pub use fault::{FaultPlan, FaultPolicy, FaultReport};
+pub use manifest::{
+    fnv1a64, shard_plan_digest, BudgetSnapshot, CheckpointStore, CheckpointedRun, DlqEntry,
+    DlqReason, ManifestLoad, RunManifest, ShardCheckpoint, ShardRecord, ShardedOutcome,
+};
 
 /// Configuration of a MapReduce run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -496,6 +501,205 @@ impl MapReduce {
         results.sort_by_key(|(p, _)| *p);
         let output = results.into_iter().flat_map(|(_, o)| o).collect();
         (output, report)
+    }
+
+    /// Runs a shard plan under durable checkpoint/resume.
+    ///
+    /// Each shard executes through
+    /// [`MapReduce::run_fault_tolerant_with_policy`]; after every shard
+    /// the outputs (via `encode`), the shard's [`FaultReport`], and the
+    /// deterministic metrics delta it contributed are persisted
+    /// atomically, and the [`RunManifest`] — completed shard digests plus
+    /// the dead-letter queue assembled by `dlq_hook` — is rewritten. On
+    /// `run.resume`, shards already recorded in a trusted manifest are
+    /// restored (payload digest-checked, metrics delta replayed into the
+    /// attached registry, faults absorbed in shard order) instead of
+    /// re-executed, which makes a resumed run's aggregate output
+    /// byte-identical to an uninterrupted one.
+    ///
+    /// Shards execute *sequentially* (parallelism lives inside each
+    /// shard's map/reduce phases) — that is what makes the per-shard
+    /// metrics delta exact and the checkpoint boundary well-defined.
+    ///
+    /// `dlq_hook(shard_id, inputs, outputs, faults)` inspects a freshly
+    /// completed shard and returns the replayable dead-letter entries it
+    /// produced; `decode` must invert `encode` (`None` signals a corrupt
+    /// payload, re-executing the shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error raised while persisting checkpoint state —
+    /// the caller decides whether a hunt without durability should
+    /// continue.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sharded_checkpointed<I, K, V, O, M, R, Enc, Dec, DlqF>(
+        &self,
+        shards: Vec<Vec<I>>,
+        run: &CheckpointedRun<'_>,
+        policy: &FaultPolicy,
+        mapper: M,
+        reducer: R,
+        encode: Enc,
+        decode: Dec,
+        dlq_hook: DlqF,
+    ) -> std::io::Result<ShardedOutcome<O>>
+    where
+        I: Send + Debug + Clone,
+        K: Hash + Eq + Ord + Send + Debug,
+        V: Send,
+        O: Send,
+        M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        R: Fn(&K, &[V]) -> Vec<O> + Sync,
+        Enc: Fn(&[O]) -> String,
+        Dec: Fn(&str) -> Option<Vec<O>>,
+        DlqF: Fn(usize, &[I], &[O], &FaultReport) -> Vec<DlqEntry>,
+    {
+        let total_shards = shards.len();
+        let mut load_warnings = 0usize;
+        let mut manifest = if run.resume {
+            match run.store.load_manifest(run.fingerprint, total_shards) {
+                ManifestLoad::Resumed(m) => m,
+                ManifestLoad::Fresh { warning } => {
+                    if warning.is_some() {
+                        load_warnings += 1;
+                    }
+                    RunManifest::new(
+                        run.fingerprint,
+                        total_shards,
+                        run.rng_seed,
+                        *policy,
+                        run.budget,
+                    )
+                }
+            }
+        } else {
+            RunManifest::new(
+                run.fingerprint,
+                total_shards,
+                run.rng_seed,
+                *policy,
+                run.budget,
+            )
+        };
+
+        let mut outcome_outputs: Vec<O> = Vec::new();
+        let mut faults = FaultReport::default();
+        let mut resumed_shards = 0usize;
+        let mut executed_shards = 0usize;
+        let mut interrupted = false;
+
+        for (shard_id, inputs) in shards.into_iter().enumerate() {
+            // ---- Resume path: restore the shard from its checkpoint. ----
+            if let Some(record) = manifest.shards.get(&shard_id).copied() {
+                match self.restore_shard(run, shard_id, record, &decode) {
+                    Some((outputs, shard_faults)) => {
+                        faults.absorb(&shard_faults);
+                        outcome_outputs.extend(outputs);
+                        resumed_shards += 1;
+                        continue;
+                    }
+                    None => {
+                        // Missing/corrupt/digest-mismatched checkpoint:
+                        // drop the stale record (and its DLQ entries) and
+                        // fall through to fresh execution.
+                        load_warnings += 1;
+                        manifest.shards.remove(&shard_id);
+                        manifest.dlq.retain(|e| e.shard != shard_id);
+                    }
+                }
+            }
+
+            // ---- Fresh path: execute, then persist atomically. ----
+            if run.abort_after_shards == Some(executed_shards) {
+                interrupted = true;
+                break;
+            }
+            let before = self.metrics.as_ref().map(|m| m.snapshot());
+            let (outputs, shard_faults) =
+                self.run_fault_tolerant_with_policy(inputs.clone(), &mapper, &reducer, policy);
+            let metrics_delta = match (&self.metrics, before) {
+                (Some(m), Some(before)) => m.snapshot().delta_since(&before),
+                _ => baywatch_obs::MetricsSnapshot::default(),
+            };
+            let payload = encode(&outputs);
+            run.store.save_shard(
+                shard_id,
+                &ShardCheckpoint {
+                    payload: payload.clone(),
+                    faults: shard_faults.clone(),
+                    metrics_delta,
+                },
+            )?;
+            manifest.shards.insert(
+                shard_id,
+                ShardRecord {
+                    digest: fnv1a64(payload.as_bytes()),
+                    outputs: outputs.len(),
+                },
+            );
+            manifest
+                .dlq
+                .extend(dlq_hook(shard_id, &inputs, &outputs, &shard_faults));
+            run.store.save_manifest(&manifest)?;
+            executed_shards += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.operational("checkpoint.shards_written").inc();
+                metrics.operational("checkpoint.manifest_writes").inc();
+            }
+            faults.absorb(&shard_faults);
+            outcome_outputs.extend(outputs);
+        }
+
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .operational("checkpoint.shards_resumed")
+                .add(resumed_shards as u64);
+            metrics
+                .operational("checkpoint.load_warnings")
+                .add(load_warnings as u64);
+        }
+
+        Ok(ShardedOutcome {
+            outputs: outcome_outputs,
+            faults,
+            manifest,
+            resumed_shards,
+            executed_shards,
+            load_warnings,
+            interrupted,
+        })
+    }
+
+    /// Restores one shard from its checkpoint file; `None` means the
+    /// checkpoint cannot be trusted and the shard must re-execute.
+    fn restore_shard<O, Dec>(
+        &self,
+        run: &CheckpointedRun<'_>,
+        shard_id: usize,
+        record: ShardRecord,
+        decode: &Dec,
+    ) -> Option<(Vec<O>, FaultReport)>
+    where
+        Dec: Fn(&str) -> Option<Vec<O>>,
+    {
+        let checkpoint = run.store.load_shard(shard_id)?;
+        if fnv1a64(checkpoint.payload.as_bytes()) != record.digest {
+            return None;
+        }
+        let outputs = decode(&checkpoint.payload)?;
+        if outputs.len() != record.outputs {
+            return None;
+        }
+        if let Some(metrics) = &self.metrics {
+            // Replay the shard's deterministic metrics contribution so
+            // counters after a resume match an uninterrupted run. A
+            // bucket-layout conflict would mean the code changed under
+            // the checkpoint; refuse the restore and re-execute.
+            if metrics.absorb(&checkpoint.metrics_delta).is_err() {
+                return None;
+            }
+        }
+        Some((outputs, checkpoint.faults))
     }
 }
 
@@ -1273,5 +1477,226 @@ mod tests {
         // A deterministic overrun is never retried — it would only overrun
         // again, so no reduce retries are burned on it.
         assert_eq!(report.reduce_retries, 0);
+    }
+
+    // ---- checkpoint/resume ----
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "baywatch-ckpt-test-{}-{:x}",
+            std::process::id(),
+            fnv1a64(tag.as_bytes())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Word-count shards with a stable numeric encoding, so payloads
+    /// round-trip exactly through the checkpoint store.
+    fn ckpt_run(
+        engine: &MapReduce,
+        shards: Vec<Vec<&'static str>>,
+        run: &CheckpointedRun<'_>,
+    ) -> ShardedOutcome<(String, usize)> {
+        engine
+            .run_sharded_checkpointed(
+                shards,
+                run,
+                &FaultPolicy::default(),
+                |doc: &&str, emit| {
+                    for w in doc.split_whitespace() {
+                        emit(w.to_owned(), 1usize);
+                    }
+                },
+                |k: &String, vs: &[usize]| vec![(k.clone(), vs.len())],
+                |rows: &[(String, usize)]| {
+                    let mut out = String::new();
+                    for (w, c) in rows {
+                        out.push_str(&format!("{w}={c}\n"));
+                    }
+                    out
+                },
+                |payload: &str| {
+                    let mut rows = Vec::new();
+                    for line in payload.lines() {
+                        let (w, c) = line.rsplit_once('=')?;
+                        rows.push((w.to_string(), c.parse().ok()?));
+                    }
+                    Some(rows)
+                },
+                |_, _, _, _| Vec::new(),
+            )
+            .expect("checkpoint I/O")
+    }
+
+    fn word_shards() -> Vec<Vec<&'static str>> {
+        vec![
+            vec!["alpha beta alpha", "gamma"],
+            vec!["beta beta delta"],
+            vec!["alpha epsilon", "zeta zeta zeta"],
+        ]
+    }
+
+    #[test]
+    fn interrupted_then_resumed_matches_uninterrupted() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        });
+        let dir_a = scratch_dir("uninterrupted");
+        let store_a = CheckpointStore::create(&dir_a).unwrap();
+        let base = CheckpointedRun {
+            store: &store_a,
+            fingerprint: 77,
+            rng_seed: 1,
+            budget: BudgetSnapshot::default(),
+            resume: false,
+            abort_after_shards: None,
+        };
+        let full = ckpt_run(&engine, word_shards(), &base);
+        assert!(!full.interrupted);
+        assert_eq!(full.executed_shards, 3);
+        assert_eq!(full.manifest.shards.len(), 3);
+
+        // Same plan, killed after one shard, then resumed in a "new
+        // process": outputs and manifest must match the uninterrupted run
+        // exactly.
+        let dir_b = scratch_dir("interrupted");
+        let store_b = CheckpointStore::create(&dir_b).unwrap();
+        let killed = ckpt_run(
+            &engine,
+            word_shards(),
+            &CheckpointedRun {
+                store: &store_b,
+                abort_after_shards: Some(1),
+                ..base.clone()
+            },
+        );
+        assert!(killed.interrupted);
+        assert_eq!(killed.executed_shards, 1);
+
+        let resumed = ckpt_run(
+            &engine,
+            word_shards(),
+            &CheckpointedRun {
+                store: &store_b,
+                resume: true,
+                abort_after_shards: None,
+                ..base.clone()
+            },
+        );
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.resumed_shards, 1);
+        assert_eq!(resumed.executed_shards, 2);
+        assert_eq!(resumed.load_warnings, 0);
+        assert_eq!(resumed.outputs, full.outputs);
+        // Durations are process facts, not data — compare the persisted
+        // (deterministic) rendering of the aggregate fault report.
+        assert_eq!(
+            manifest::fault_report_to_json(&resumed.faults),
+            manifest::fault_report_to_json(&full.faults)
+        );
+        assert_eq!(resumed.manifest, full.manifest);
+        // The persisted manifests are byte-identical too.
+        assert_eq!(
+            std::fs::read_to_string(store_b.manifest_path()).unwrap(),
+            std::fs::read_to_string(store_a.manifest_path()).unwrap()
+        );
+
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn resume_replays_metrics_deltas_exactly() {
+        let shards = word_shards();
+        let run_with = |dir: &std::path::Path, resume: bool, abort: Option<usize>| {
+            let metrics = Arc::new(MetricsRegistry::new());
+            let engine = MapReduce::new(JobConfig {
+                partitions: 4,
+                threads: 2,
+            })
+            .with_metrics(Arc::clone(&metrics));
+            let store = CheckpointStore::create(dir).unwrap();
+            let outcome = ckpt_run(
+                &engine,
+                shards.clone(),
+                &CheckpointedRun {
+                    store: &store,
+                    fingerprint: 5,
+                    rng_seed: 0,
+                    budget: BudgetSnapshot::default(),
+                    resume,
+                    abort_after_shards: abort,
+                },
+            );
+            (outcome, metrics.snapshot())
+        };
+
+        let dir_a = scratch_dir("metrics-uninterrupted");
+        let (_, uninterrupted) = run_with(&dir_a, false, None);
+
+        let dir_b = scratch_dir("metrics-resumed");
+        let (killed, _) = run_with(&dir_b, false, Some(2));
+        assert!(killed.interrupted);
+        let (resumed, resumed_snap) = run_with(&dir_b, true, None);
+        assert_eq!(resumed.resumed_shards, 2);
+
+        // Deterministic sections match; only operational counters (and
+        // the full export) may differ between the two histories.
+        assert_eq!(resumed_snap.counters, uninterrupted.counters);
+        assert_eq!(resumed_snap.histograms, uninterrupted.histograms);
+        assert_eq!(resumed_snap.to_json(), uninterrupted.to_json());
+        assert_eq!(resumed_snap.operational["checkpoint.shards_resumed"], 2);
+
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn corrupt_shard_checkpoint_is_reexecuted_not_trusted() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        });
+        let dir = scratch_dir("corrupt-shard");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let base = CheckpointedRun {
+            store: &store,
+            fingerprint: 9,
+            rng_seed: 0,
+            budget: BudgetSnapshot::default(),
+            resume: false,
+            abort_after_shards: None,
+        };
+        let full = ckpt_run(&engine, word_shards(), &base);
+
+        // Tamper with shard 1's payload on disk; its digest no longer
+        // matches the manifest, so resume must re-execute it.
+        let tampered = store.load_shard(1).unwrap();
+        std::fs::write(
+            store.shard_path(1),
+            ShardCheckpoint {
+                payload: format!("{}tampered=1\n", tampered.payload),
+                ..tampered
+            }
+            .to_json(),
+        )
+        .unwrap();
+
+        let resumed = ckpt_run(
+            &engine,
+            word_shards(),
+            &CheckpointedRun {
+                resume: true,
+                ..base.clone()
+            },
+        );
+        assert_eq!(resumed.load_warnings, 1);
+        assert_eq!(resumed.resumed_shards, 2);
+        assert_eq!(resumed.executed_shards, 1);
+        assert_eq!(resumed.outputs, full.outputs);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

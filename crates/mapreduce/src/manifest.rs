@@ -1,0 +1,905 @@
+//! Durable checkpoint/resume support for sharded fault-tolerant runs.
+//!
+//! The paper's evaluation processes ~30 B events over 5 months; at that
+//! scale a hunt is a multi-hour sharded job that *will* be interrupted.
+//! This module makes an interruption cheap instead of catastrophic: a
+//! versioned [`RunManifest`] records which shards completed (with result
+//! digests), what landed in the dead-letter queue and why, the RNG seed
+//! the detector streams derive from, and the resolved
+//! [`FaultPolicy`]/budget — everything
+//! [`MapReduce::run_sharded_checkpointed`](crate::MapReduce::run_sharded_checkpointed)
+//! needs to resume a run byte-identically to an uninterrupted one.
+//!
+//! Durability contract:
+//!
+//! * **Atomic writes.** Every file is written to a temp name in the same
+//!   directory and renamed into place, so a crash mid-write leaves the
+//!   previous state intact, never a torn file.
+//! * **Corruption tolerance.** A manifest that is missing, unparsable,
+//!   version-skewed, or fingerprint-mismatched degrades to a fresh run
+//!   with an explicit warning — resume never guesses.
+//! * **Exactness.** Shard payloads are digest-checked (FNV-1a 64) before
+//!   reuse; a shard whose stored bytes do not match its manifest digest
+//!   is re-executed rather than trusted.
+//!
+//! Serialization uses the workspace's zero-dependency stable-key-order
+//! JSON conventions ([`baywatch_obs::JsonWriter`] to write,
+//! [`baywatch_obs::json::parse`] to read), the same machinery behind
+//! `core::report::export_json` and the golden-run suite.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use baywatch_obs::json::{parse, JsonValue};
+use baywatch_obs::{HistogramSnapshot, JsonWriter, MetricsSnapshot};
+
+use crate::fault::{FaultPolicy, FaultReport};
+
+/// Version tag of the on-disk manifest schema. A manifest written by a
+/// different version is treated as corrupt (fresh run + warning), never
+/// migrated in place.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Why a unit of work landed in the dead-letter queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DlqReason {
+    /// The unit panicked deterministically and was quarantined after the
+    /// retry budget was exhausted.
+    Poison,
+    /// The unit overran the per-task wall-clock deadline.
+    TimedOut,
+    /// The unit exhausted its per-pair execution budget (ops/millis).
+    BudgetExhausted,
+}
+
+impl DlqReason {
+    /// Stable string form used in the on-disk manifest.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DlqReason::Poison => "poison",
+            DlqReason::TimedOut => "timed_out",
+            DlqReason::BudgetExhausted => "budget_exhausted",
+        }
+    }
+
+    /// Inverse of [`DlqReason::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "poison" => Some(DlqReason::Poison),
+            "timed_out" => Some(DlqReason::TimedOut),
+            "budget_exhausted" => Some(DlqReason::BudgetExhausted),
+            _ => None,
+        }
+    }
+}
+
+/// One replayable dead-letter entry: a unit of work that failed, with
+/// enough provenance to re-run it later under a larger budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlqEntry {
+    /// Stable identity of the failed unit (the `Debug` rendering of its
+    /// key, matching the `FaultReport` sample convention).
+    pub key: String,
+    /// Which shard the unit failed in.
+    pub shard: usize,
+    /// Failure classification.
+    pub reason: DlqReason,
+    /// How many retry attempts were burned before giving up.
+    pub retries: usize,
+    /// Bounded diagnostic samples (panic messages, timeout renderings).
+    pub samples: Vec<String>,
+    /// Caller-encoded payload sufficient to re-run the unit (for the
+    /// pipeline: the serialized activity summaries of the pair).
+    pub payload: String,
+}
+
+/// Budget fields recorded in the manifest so a resume can verify it is
+/// continuing the same run. Kept as plain values — the mapreduce layer
+/// has no dependency on the timeseries crate's `BudgetSpec`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetSnapshot {
+    /// Per-pair wall-clock budget in milliseconds, if armed.
+    pub max_millis: Option<u64>,
+    /// Per-pair operation budget, if armed.
+    pub max_ops: Option<u64>,
+}
+
+/// What the manifest records about one completed shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRecord {
+    /// FNV-1a 64 digest of the shard's encoded payload.
+    pub digest: u64,
+    /// Number of output rows the shard produced.
+    pub outputs: usize,
+}
+
+/// The versioned run manifest persisted after every shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Schema version ([`MANIFEST_VERSION`]).
+    pub version: u64,
+    /// Digest binding the manifest to one logical run: input shard plan,
+    /// policy, budget, and seed. A mismatch on load degrades to a fresh
+    /// run instead of resuming someone else's checkpoint.
+    pub fingerprint: u64,
+    /// Total shards in the plan; resume requires an exact match.
+    pub total_shards: usize,
+    /// Seed of the deterministic RNG streams. The detector derives every
+    /// per-pair permutation stream from this single seed, so recording it
+    /// pins the full RNG stream position for resumed pairs.
+    pub rng_seed: u64,
+    /// Resolved fault policy the run executes under.
+    pub policy: FaultPolicy,
+    /// Resolved per-pair execution budget.
+    pub budget: BudgetSnapshot,
+    /// Completed shards by id.
+    pub shards: BTreeMap<usize, ShardRecord>,
+    /// Replayable dead-letter queue across all completed shards.
+    pub dlq: Vec<DlqEntry>,
+}
+
+impl RunManifest {
+    /// A fresh manifest for a run with `total_shards` shards.
+    pub fn new(
+        fingerprint: u64,
+        total_shards: usize,
+        rng_seed: u64,
+        policy: FaultPolicy,
+        budget: BudgetSnapshot,
+    ) -> Self {
+        Self {
+            version: MANIFEST_VERSION,
+            fingerprint,
+            total_shards,
+            rng_seed,
+            policy,
+            budget,
+            shards: BTreeMap::new(),
+            dlq: Vec::new(),
+        }
+    }
+
+    /// Serializes the manifest in stable key order.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("budget");
+        write_budget(&mut w, &self.budget);
+        w.end_value();
+        w.key("dlq");
+        w.raw("[");
+        for (i, entry) in self.dlq.iter().enumerate() {
+            if i > 0 {
+                w.raw(",");
+            }
+            write_dlq_entry(&mut w, entry);
+        }
+        w.raw("]");
+        w.end_value();
+        w.key("fingerprint");
+        w.uint(self.fingerprint);
+        w.key("policy");
+        w.raw("{");
+        w.key("max_task_retries");
+        w.uint(self.policy.max_task_retries as u64);
+        w.key("sample_limit");
+        w.uint(self.policy.sample_limit as u64);
+        w.key("task_deadline_millis");
+        write_opt_u64(
+            &mut w,
+            self.policy.task_deadline.map(|d| d.as_millis() as u64),
+        );
+        w.raw("}");
+        w.end_value();
+        w.key("rng_seed");
+        w.uint(self.rng_seed);
+        w.key("shards");
+        w.raw("{");
+        for (id, record) in &self.shards {
+            w.key(&id.to_string());
+            w.raw("{");
+            w.key("digest");
+            w.uint(record.digest);
+            w.key("outputs");
+            w.uint(record.outputs as u64);
+            w.raw("}");
+            w.end_value();
+        }
+        w.raw("}");
+        w.end_value();
+        w.key("total_shards");
+        w.uint(self.total_shards as u64);
+        w.key("version");
+        w.uint(self.version);
+        w.raw("}");
+        w.finish()
+    }
+
+    /// Parses a manifest; `None` means the document is corrupt.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let doc = parse(text).ok()?;
+        let policy = doc.get("policy")?;
+        let budget = doc.get("budget")?;
+        let mut shards = BTreeMap::new();
+        for (id, record) in doc.get("shards")?.as_object()? {
+            shards.insert(
+                id.parse::<usize>().ok()?,
+                ShardRecord {
+                    digest: record.get("digest")?.as_u64()?,
+                    outputs: record.get("outputs")?.as_u64()? as usize,
+                },
+            );
+        }
+        let mut dlq = Vec::new();
+        for entry in doc.get("dlq")?.as_array()? {
+            dlq.push(read_dlq_entry(entry)?);
+        }
+        Some(Self {
+            version: doc.get("version")?.as_u64()?,
+            fingerprint: doc.get("fingerprint")?.as_u64()?,
+            total_shards: doc.get("total_shards")?.as_u64()? as usize,
+            rng_seed: doc.get("rng_seed")?.as_u64()?,
+            policy: FaultPolicy {
+                max_task_retries: policy.get("max_task_retries")?.as_u64()? as usize,
+                sample_limit: policy.get("sample_limit")?.as_u64()? as usize,
+                task_deadline: read_opt_u64(policy.get("task_deadline_millis")?)
+                    .map(Duration::from_millis),
+            },
+            budget: BudgetSnapshot {
+                max_millis: read_opt_u64(budget.get("max_millis")?),
+                max_ops: read_opt_u64(budget.get("max_ops")?),
+            },
+            shards,
+            dlq,
+        })
+    }
+}
+
+fn write_budget(w: &mut JsonWriter, budget: &BudgetSnapshot) {
+    w.raw("{");
+    w.key("max_millis");
+    write_opt_u64(w, budget.max_millis);
+    w.key("max_ops");
+    write_opt_u64(w, budget.max_ops);
+    w.raw("}");
+}
+
+fn write_opt_u64(w: &mut JsonWriter, value: Option<u64>) {
+    match value {
+        Some(v) => w.uint(v),
+        None => {
+            w.raw("null");
+            w.end_value();
+        }
+    }
+}
+
+fn read_opt_u64(value: &JsonValue) -> Option<u64> {
+    // `null` and an absent/malformed number both read as None; the
+    // fingerprint check is what guards against silent drift.
+    value.as_u64()
+}
+
+fn write_dlq_entry(w: &mut JsonWriter, entry: &DlqEntry) {
+    w.raw("{");
+    w.key("key");
+    w.string(&entry.key);
+    w.key("payload");
+    w.string(&entry.payload);
+    w.key("reason");
+    w.string(entry.reason.as_str());
+    w.key("retries");
+    w.uint(entry.retries as u64);
+    w.key("samples");
+    w.raw("[");
+    for s in &entry.samples {
+        w.string(s);
+    }
+    w.raw("]");
+    w.end_value();
+    w.key("shard");
+    w.uint(entry.shard as u64);
+    w.raw("}");
+}
+
+fn read_dlq_entry(doc: &JsonValue) -> Option<DlqEntry> {
+    let mut samples = Vec::new();
+    for s in doc.get("samples")?.as_array()? {
+        samples.push(s.as_str()?.to_string());
+    }
+    Some(DlqEntry {
+        key: doc.get("key")?.as_str()?.to_string(),
+        shard: doc.get("shard")?.as_u64()? as usize,
+        reason: DlqReason::parse(doc.get("reason")?.as_str()?)?,
+        retries: doc.get("retries")?.as_u64()? as usize,
+        samples,
+        payload: doc.get("payload")?.as_str()?.to_string(),
+    })
+}
+
+/// Serializes the counter/sample portion of a [`FaultReport`] in stable
+/// key order. The wall-clock `*_elapsed` fields are deliberately not
+/// persisted: they describe the process that ran the shard, not the
+/// data, and deserialize as zero.
+pub fn fault_report_to_json(report: &FaultReport) -> String {
+    let mut w = JsonWriter::new();
+    w.raw("{");
+    w.key("input_samples");
+    write_string_array(&mut w, &report.input_samples);
+    w.key("key_samples");
+    write_string_array(&mut w, &report.key_samples);
+    w.key("lost_values");
+    w.uint(report.lost_values as u64);
+    w.key("map_bisections");
+    w.uint(report.map_bisections as u64);
+    w.key("map_retries");
+    w.uint(report.map_retries as u64);
+    w.key("panic_samples");
+    write_string_array(&mut w, &report.panic_samples);
+    w.key("quarantined_inputs");
+    w.uint(report.quarantined_inputs as u64);
+    w.key("quarantined_keys");
+    w.uint(report.quarantined_keys as u64);
+    w.key("reduce_retries");
+    w.uint(report.reduce_retries as u64);
+    w.key("timed_out_inputs");
+    w.uint(report.timed_out_inputs as u64);
+    w.key("timed_out_keys");
+    w.uint(report.timed_out_keys as u64);
+    w.key("timeout_samples");
+    write_string_array(&mut w, &report.timeout_samples);
+    w.raw("}");
+    w.finish()
+}
+
+/// Inverse of [`fault_report_to_json`]; `None` on corruption.
+pub fn fault_report_from_json(text: &str) -> Option<FaultReport> {
+    let doc = parse(text).ok()?;
+    fault_report_from_value(&doc)
+}
+
+fn fault_report_from_value(doc: &JsonValue) -> Option<FaultReport> {
+    Some(FaultReport {
+        map_retries: doc.get("map_retries")?.as_u64()? as usize,
+        reduce_retries: doc.get("reduce_retries")?.as_u64()? as usize,
+        quarantined_inputs: doc.get("quarantined_inputs")?.as_u64()? as usize,
+        map_bisections: doc.get("map_bisections")?.as_u64()? as usize,
+        quarantined_keys: doc.get("quarantined_keys")?.as_u64()? as usize,
+        timed_out_inputs: doc.get("timed_out_inputs")?.as_u64()? as usize,
+        timed_out_keys: doc.get("timed_out_keys")?.as_u64()? as usize,
+        lost_values: doc.get("lost_values")?.as_u64()? as usize,
+        input_samples: read_string_array(doc.get("input_samples")?)?,
+        key_samples: read_string_array(doc.get("key_samples")?)?,
+        timeout_samples: read_string_array(doc.get("timeout_samples")?)?,
+        panic_samples: read_string_array(doc.get("panic_samples")?)?,
+        map_elapsed: Duration::ZERO,
+        shuffle_elapsed: Duration::ZERO,
+        reduce_elapsed: Duration::ZERO,
+    })
+}
+
+fn write_string_array(w: &mut JsonWriter, items: &[String]) {
+    w.raw("[");
+    for s in items {
+        w.string(s);
+    }
+    w.raw("]");
+    w.end_value();
+}
+
+fn read_string_array(doc: &JsonValue) -> Option<Vec<String>> {
+    let mut out = Vec::new();
+    for s in doc.as_array()? {
+        out.push(s.as_str()?.to_string());
+    }
+    Some(out)
+}
+
+/// Serializes the deterministic (replayable) portion of a metrics
+/// snapshot: counters and value histograms. Gauges, operational
+/// counters, and timings never travel in a checkpoint.
+pub fn metrics_delta_to_json(delta: &MetricsSnapshot) -> String {
+    let mut w = JsonWriter::new();
+    w.raw("{");
+    w.key("counters");
+    w.raw("{");
+    for (name, value) in &delta.counters {
+        w.key(name);
+        w.uint(*value);
+    }
+    w.raw("}");
+    w.end_value();
+    w.key("histograms");
+    w.raw("{");
+    for (name, snap) in &delta.histograms {
+        w.key(name);
+        w.raw("{");
+        w.key("bounds");
+        w.raw("[");
+        for b in &snap.bounds {
+            w.uint(*b);
+        }
+        w.raw("]");
+        w.end_value();
+        w.key("counts");
+        w.raw("[");
+        for c in &snap.counts {
+            w.uint(*c);
+        }
+        w.raw("]");
+        w.end_value();
+        w.key("sum");
+        w.uint(snap.sum);
+        w.key("total");
+        w.uint(snap.total);
+        w.raw("}");
+        w.end_value();
+    }
+    w.raw("}");
+    w.end_value();
+    w.raw("}");
+    w.finish()
+}
+
+/// Inverse of [`metrics_delta_to_json`]; `None` on corruption.
+pub fn metrics_delta_from_json(text: &str) -> Option<MetricsSnapshot> {
+    let doc = parse(text).ok()?;
+    metrics_delta_from_value(&doc)
+}
+
+fn metrics_delta_from_value(doc: &JsonValue) -> Option<MetricsSnapshot> {
+    let mut delta = MetricsSnapshot::default();
+    for (name, value) in doc.get("counters")?.as_object()? {
+        delta.counters.insert(name.clone(), value.as_u64()?);
+    }
+    for (name, hist) in doc.get("histograms")?.as_object()? {
+        let mut bounds = Vec::new();
+        for b in hist.get("bounds")?.as_array()? {
+            bounds.push(b.as_u64()?);
+        }
+        let mut counts = Vec::new();
+        for c in hist.get("counts")?.as_array()? {
+            counts.push(c.as_u64()?);
+        }
+        delta.histograms.insert(
+            name.clone(),
+            HistogramSnapshot {
+                bounds,
+                counts,
+                total: hist.get("total")?.as_u64()?,
+                sum: hist.get("sum")?.as_u64()?,
+            },
+        );
+    }
+    Some(delta)
+}
+
+/// Everything persisted for one completed shard: the caller-encoded
+/// result payload, the shard's fault report, and the deterministic
+/// metrics delta it contributed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCheckpoint {
+    /// Caller-encoded outputs (opaque to this layer).
+    pub payload: String,
+    /// Faults the shard absorbed while running.
+    pub faults: FaultReport,
+    /// Deterministic metrics the shard contributed (counters + value
+    /// histograms), replayed into the live registry on resume.
+    pub metrics_delta: MetricsSnapshot,
+}
+
+impl ShardCheckpoint {
+    /// Serializes the shard checkpoint in stable key order.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("faults");
+        w.raw(&fault_report_to_json(&self.faults));
+        w.end_value();
+        w.key("metrics");
+        w.raw(&metrics_delta_to_json(&self.metrics_delta));
+        w.end_value();
+        w.key("payload");
+        w.string(&self.payload);
+        w.raw("}");
+        w.finish()
+    }
+
+    /// Inverse of [`ShardCheckpoint::to_json`]; `None` on corruption.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let doc = parse(text).ok()?;
+        Some(Self {
+            payload: doc.get("payload")?.as_str()?.to_string(),
+            faults: fault_report_from_value(doc.get("faults")?)?,
+            metrics_delta: metrics_delta_from_value(doc.get("metrics")?)?,
+        })
+    }
+}
+
+/// Result of attempting to load a manifest from a checkpoint directory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManifestLoad {
+    /// No usable manifest: start fresh. `warning` is `Some` when a file
+    /// existed but could not be trusted (corrupt, version skew,
+    /// fingerprint mismatch) — callers surface it through the
+    /// `checkpoint.load_warnings` counter.
+    Fresh {
+        /// Why an existing manifest was rejected, if one was found.
+        warning: Option<String>,
+    },
+    /// A trusted manifest to resume from.
+    Resumed(RunManifest),
+}
+
+/// Directory-backed store for a run's manifest and shard checkpoints.
+///
+/// All writes are atomic (temp file + rename in the same directory), so
+/// an interruption at any point leaves the store in the last fully
+/// persisted state.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn create(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the run manifest.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join("run_manifest.json")
+    }
+
+    /// Path of the checkpoint file for shard `id`.
+    pub fn shard_path(&self, id: usize) -> PathBuf {
+        self.dir.join(format!("shard_{id:05}.json"))
+    }
+
+    /// Atomically persists the manifest.
+    pub fn save_manifest(&self, manifest: &RunManifest) -> io::Result<()> {
+        self.write_atomic(&self.manifest_path(), &manifest.to_json())
+    }
+
+    /// Loads the manifest, degrading to a fresh run on anything
+    /// untrustworthy. `fingerprint` and `total_shards` must match the
+    /// caller's current plan for the manifest to be resumed.
+    pub fn load_manifest(&self, fingerprint: u64, total_shards: usize) -> ManifestLoad {
+        let path = self.manifest_path();
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return ManifestLoad::Fresh { warning: None }
+            }
+            Err(e) => {
+                return ManifestLoad::Fresh {
+                    warning: Some(format!("manifest unreadable: {e}")),
+                }
+            }
+        };
+        let Some(manifest) = RunManifest::from_json(&text) else {
+            return ManifestLoad::Fresh {
+                warning: Some("manifest corrupt: parse failed".to_string()),
+            };
+        };
+        if manifest.version != MANIFEST_VERSION {
+            return ManifestLoad::Fresh {
+                warning: Some(format!(
+                    "manifest version {} != supported {MANIFEST_VERSION}",
+                    manifest.version
+                )),
+            };
+        }
+        if manifest.fingerprint != fingerprint || manifest.total_shards != total_shards {
+            return ManifestLoad::Fresh {
+                warning: Some("manifest fingerprint mismatch: different run".to_string()),
+            };
+        }
+        ManifestLoad::Resumed(manifest)
+    }
+
+    /// Atomically persists one shard checkpoint.
+    pub fn save_shard(&self, id: usize, checkpoint: &ShardCheckpoint) -> io::Result<()> {
+        self.write_atomic(&self.shard_path(id), &checkpoint.to_json())
+    }
+
+    /// Loads one shard checkpoint; `None` means missing or corrupt (the
+    /// caller re-executes the shard).
+    pub fn load_shard(&self, id: usize) -> Option<ShardCheckpoint> {
+        let text = fs::read_to_string(self.shard_path(id)).ok()?;
+        ShardCheckpoint::from_json(&text)
+    }
+
+    fn write_atomic(&self, path: &Path, contents: &str) -> io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, contents)?;
+        fs::rename(&tmp, path)
+    }
+}
+
+/// Caller-facing configuration of one checkpointed sharded run.
+#[derive(Debug, Clone)]
+pub struct CheckpointedRun<'a> {
+    /// Where manifests and shard checkpoints live.
+    pub store: &'a CheckpointStore,
+    /// Digest binding this run to its input plan, policy, budget, and
+    /// seed (see [`RunManifest::fingerprint`]).
+    pub fingerprint: u64,
+    /// Seed the detector's deterministic RNG streams derive from.
+    pub rng_seed: u64,
+    /// Per-pair execution budget recorded in the manifest.
+    pub budget: BudgetSnapshot,
+    /// Whether to resume from an existing manifest. `false` always
+    /// starts fresh, overwriting whatever the directory holds.
+    pub resume: bool,
+    /// Test/CI hook: stop (gracefully, manifest persisted) after this
+    /// many *fresh* shard executions, simulating a kill at a
+    /// deterministic checkpoint boundary.
+    pub abort_after_shards: Option<usize>,
+}
+
+/// What a checkpointed sharded run produced.
+#[derive(Debug)]
+pub struct ShardedOutcome<O> {
+    /// Concatenated shard outputs in shard order. Incomplete when
+    /// `interrupted` is set.
+    pub outputs: Vec<O>,
+    /// Aggregate fault report across all shards (resumed shards
+    /// contribute their persisted reports with zeroed durations).
+    pub faults: FaultReport,
+    /// The manifest as persisted at the end of the run.
+    pub manifest: RunManifest,
+    /// Shards restored from checkpoints instead of re-executed.
+    pub resumed_shards: usize,
+    /// Shards executed fresh in this process.
+    pub executed_shards: usize,
+    /// Checkpoint artifacts that existed but could not be trusted.
+    pub load_warnings: usize,
+    /// Set when `abort_after_shards` stopped the run early.
+    pub interrupted: bool,
+}
+
+/// FNV-1a 64-bit digest — the workspace's standard content fingerprint
+/// (dependency-free, deterministic across platforms).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Digest of a shard plan: the `Debug` renderings of every input in
+/// every shard, mixed with shard boundaries. Used as the run
+/// fingerprint component that binds a manifest to its exact input.
+pub fn shard_plan_digest<I: std::fmt::Debug>(shards: &[Vec<I>]) -> u64 {
+    let mut text = String::new();
+    for (i, shard) in shards.iter().enumerate() {
+        let _ = write!(text, "shard[{i}]#{};", shard.len());
+        for input in shard {
+            let _ = write!(text, "{input:?};");
+        }
+    }
+    fnv1a64(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn sample_manifest() -> RunManifest {
+        let mut m = RunManifest::new(
+            0xDEAD_BEEF,
+            3,
+            0xBA9_3A7C4,
+            FaultPolicy {
+                max_task_retries: 2,
+                sample_limit: 8,
+                task_deadline: Some(Duration::from_millis(2_000)),
+            },
+            BudgetSnapshot {
+                max_millis: None,
+                max_ops: Some(800_000),
+            },
+        );
+        m.shards.insert(
+            0,
+            ShardRecord {
+                digest: u64::MAX,
+                outputs: 17,
+            },
+        );
+        m.shards.insert(
+            2,
+            ShardRecord {
+                digest: 42,
+                outputs: 0,
+            },
+        );
+        m.dlq.push(DlqEntry {
+            key: "pair(\"h1\",\"c2.example\")".to_string(),
+            shard: 2,
+            reason: DlqReason::BudgetExhausted,
+            retries: 0,
+            samples: vec!["budget exhausted after 800000 ops".to_string()],
+            payload: "{\"intervals\":[60,60]}".to_string(),
+        });
+        m
+    }
+
+    #[test]
+    fn manifest_round_trips_byte_identically() {
+        let m = sample_manifest();
+        let json = m.to_json();
+        let back = RunManifest::from_json(&json).unwrap();
+        assert_eq!(back, m);
+        // Re-serializing the parsed manifest reproduces the exact bytes.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn fault_report_round_trips_without_durations() {
+        let report = FaultReport {
+            map_retries: 3,
+            quarantined_keys: 1,
+            lost_values: 7,
+            key_samples: vec!["\"bad\"".to_string()],
+            timeout_samples: vec!["\"slow\"".to_string()],
+            panic_samples: vec!["boom".to_string()],
+            map_elapsed: Duration::from_millis(123),
+            ..Default::default()
+        };
+        let back = fault_report_from_json(&fault_report_to_json(&report)).unwrap();
+        assert_eq!(back.map_retries, 3);
+        assert_eq!(back.quarantined_keys, 1);
+        assert_eq!(back.lost_values, 7);
+        assert_eq!(back.key_samples, report.key_samples);
+        assert_eq!(back.timeout_samples, report.timeout_samples);
+        assert_eq!(back.panic_samples, report.panic_samples);
+        assert_eq!(back.map_elapsed, Duration::ZERO, "durations are not data");
+    }
+
+    #[test]
+    fn shard_checkpoint_round_trips() {
+        let mut delta = MetricsSnapshot::default();
+        delta.counters.insert("detector.pairs_analyzed".into(), 9);
+        delta.histograms.insert(
+            "detector.series_len".into(),
+            HistogramSnapshot {
+                bounds: vec![10, 100],
+                counts: vec![1, 2, 0],
+                total: 3,
+                sum: 77,
+            },
+        );
+        let cp = ShardCheckpoint {
+            payload: "rows:[1,2,3] with \"quotes\"\nand newlines".to_string(),
+            faults: FaultReport {
+                timed_out_keys: 1,
+                ..Default::default()
+            },
+            metrics_delta: delta,
+        };
+        let back = ShardCheckpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn store_persists_and_reloads_atomically() {
+        let dir = std::env::temp_dir().join(format!(
+            "baywatch-manifest-test-{}-{:x}",
+            std::process::id(),
+            fnv1a64(b"store_persists_and_reloads")
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::create(&dir).unwrap();
+
+        // No manifest yet: fresh without warning.
+        assert_eq!(
+            store.load_manifest(1, 3),
+            ManifestLoad::Fresh { warning: None }
+        );
+
+        let m = sample_manifest();
+        store.save_manifest(&m).unwrap();
+        match store.load_manifest(m.fingerprint, m.total_shards) {
+            ManifestLoad::Resumed(loaded) => assert_eq!(loaded, m),
+            other => panic!("expected resume, got {other:?}"),
+        }
+
+        // Wrong fingerprint: explicit degradation, never a silent resume.
+        assert!(matches!(
+            store.load_manifest(m.fingerprint ^ 1, m.total_shards),
+            ManifestLoad::Fresh { warning: Some(_) }
+        ));
+        assert!(matches!(
+            store.load_manifest(m.fingerprint, m.total_shards + 1),
+            ManifestLoad::Fresh { warning: Some(_) }
+        ));
+
+        // Corrupt manifest bytes: fresh with warning.
+        fs::write(store.manifest_path(), "{not json").unwrap();
+        assert!(matches!(
+            store.load_manifest(m.fingerprint, m.total_shards),
+            ManifestLoad::Fresh { warning: Some(_) }
+        ));
+
+        // Shard files: round trip and corruption tolerance.
+        let cp = ShardCheckpoint {
+            payload: "p".to_string(),
+            faults: FaultReport::default(),
+            metrics_delta: MetricsSnapshot::default(),
+        };
+        store.save_shard(4, &cp).unwrap();
+        assert_eq!(store.load_shard(4), Some(cp));
+        assert_eq!(store.load_shard(5), None);
+        fs::write(store.shard_path(4), "garbage").unwrap();
+        assert_eq!(store.load_shard(4), None);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skew_degrades_to_fresh() {
+        let dir = std::env::temp_dir().join(format!(
+            "baywatch-manifest-test-{}-{:x}",
+            std::process::id(),
+            fnv1a64(b"version_skew")
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut m = sample_manifest();
+        m.version = MANIFEST_VERSION + 1;
+        store.save_manifest(&m).unwrap();
+        assert!(matches!(
+            store.load_manifest(m.fingerprint, m.total_shards),
+            ManifestLoad::Fresh { warning: Some(_) }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_digest_is_stable() {
+        // Reference vectors for the FNV-1a 64 parameters.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn shard_plan_digest_sees_boundaries() {
+        let a = shard_plan_digest(&[vec![1, 2], vec![3]]);
+        let b = shard_plan_digest(&[vec![1], vec![2, 3]]);
+        assert_ne!(a, b, "same items, different boundaries, different plan");
+        assert_eq!(a, shard_plan_digest(&[vec![1, 2], vec![3]]));
+    }
+
+    #[test]
+    fn dlq_reason_strings_round_trip() {
+        for reason in [
+            DlqReason::Poison,
+            DlqReason::TimedOut,
+            DlqReason::BudgetExhausted,
+        ] {
+            assert_eq!(DlqReason::parse(reason.as_str()), Some(reason));
+        }
+        assert_eq!(DlqReason::parse("other"), None);
+    }
+}

@@ -104,3 +104,110 @@ proptest! {
         prop_assert_eq!(stats.map_output_records(), values.len());
     }
 }
+
+use baywatch_mapreduce::FaultReport;
+use std::time::Duration;
+
+/// Sample lists as the engine maintains them: deduplicated, bounded. Long
+/// enough (up to 15 each) that merging three reports can trip the 32-entry
+/// absorb cap.
+fn arb_samples() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-e]{1,3}", 0..15).prop_map(|raw| {
+        let mut out: Vec<String> = Vec::new();
+        for s in raw {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    })
+}
+
+fn arb_fault_report() -> impl Strategy<Value = FaultReport> {
+    (
+        (0usize..100, 0usize..100, 0usize..100, 0usize..100),
+        (0usize..100, 0usize..100, 0usize..100, 0usize..1000),
+        (arb_samples(), arb_samples(), arb_samples(), arb_samples()),
+        (0u64..10_000, 0u64..10_000, 0u64..10_000),
+    )
+        .prop_map(
+            |(
+                (map_retries, reduce_retries, quarantined_inputs, map_bisections),
+                (quarantined_keys, timed_out_inputs, timed_out_keys, lost_values),
+                (input_samples, key_samples, timeout_samples, panic_samples),
+                (map_us, shuffle_us, reduce_us),
+            )| FaultReport {
+                map_retries,
+                reduce_retries,
+                quarantined_inputs,
+                map_bisections,
+                quarantined_keys,
+                timed_out_inputs,
+                timed_out_keys,
+                lost_values,
+                input_samples,
+                key_samples,
+                timeout_samples,
+                panic_samples,
+                map_elapsed: Duration::from_micros(map_us),
+                shuffle_elapsed: Duration::from_micros(shuffle_us),
+                reduce_elapsed: Duration::from_micros(reduce_us),
+            },
+        )
+}
+
+proptest! {
+    /// `FaultReport::absorb` is associative over engine-reachable reports
+    /// (deduplicated, bounded sample lists) and preserves every numeric
+    /// tally exactly — the property the checkpoint machinery relies on
+    /// when it folds per-shard reports into a window report in resume
+    /// order rather than execution order.
+    #[test]
+    fn fault_report_absorb_is_associative_and_count_preserving(
+        a in arb_fault_report(),
+        b in arb_fault_report(),
+        c in arb_fault_report(),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.absorb(&b);
+        left.absorb(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.absorb(&c);
+        let mut right = a.clone();
+        right.absorb(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // Count preservation: numeric tallies sum exactly, nothing
+        // saturates or is clamped.
+        prop_assert_eq!(left.map_retries, a.map_retries + b.map_retries + c.map_retries);
+        prop_assert_eq!(left.reduce_retries, a.reduce_retries + b.reduce_retries + c.reduce_retries);
+        prop_assert_eq!(
+            left.quarantined_inputs,
+            a.quarantined_inputs + b.quarantined_inputs + c.quarantined_inputs
+        );
+        prop_assert_eq!(left.map_bisections, a.map_bisections + b.map_bisections + c.map_bisections);
+        prop_assert_eq!(
+            left.quarantined_keys,
+            a.quarantined_keys + b.quarantined_keys + c.quarantined_keys
+        );
+        prop_assert_eq!(
+            left.timed_out_inputs,
+            a.timed_out_inputs + b.timed_out_inputs + c.timed_out_inputs
+        );
+        prop_assert_eq!(left.timed_out_keys, a.timed_out_keys + b.timed_out_keys + c.timed_out_keys);
+        prop_assert_eq!(left.lost_values, a.lost_values + b.lost_values + c.lost_values);
+        prop_assert_eq!(left.map_elapsed, a.map_elapsed + b.map_elapsed + c.map_elapsed);
+        prop_assert_eq!(
+            left.shuffle_elapsed,
+            a.shuffle_elapsed + b.shuffle_elapsed + c.shuffle_elapsed
+        );
+        prop_assert_eq!(left.reduce_elapsed, a.reduce_elapsed + b.reduce_elapsed + c.reduce_elapsed);
+
+        // The default report is the identity element.
+        let mut with_identity = a.clone();
+        with_identity.absorb(&FaultReport::default());
+        prop_assert_eq!(with_identity, a);
+    }
+}

@@ -56,7 +56,7 @@ pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use hist::{Buckets, Histogram, HistogramSnapshot};
-pub use json::JsonWriter;
+pub use json::{JsonParseError, JsonValue, JsonWriter};
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use trace::{SpanRecord, StageTracer};
 

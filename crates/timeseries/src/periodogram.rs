@@ -306,7 +306,10 @@ mod tests {
             // The one-sided sum holds at least half the energy (interior
             // mirrors are the only discount) and never exceeds the total.
             let e = pg.total_energy();
-            assert!(e >= 0.5 * ss - 1e-9 && e <= ss + 1e-9, "n={n}: e={e} ss={ss}");
+            assert!(
+                e >= 0.5 * ss - 1e-9 && e <= ss + 1e-9,
+                "n={n}: e={e} ss={ss}"
+            );
         }
     }
 
@@ -315,7 +318,9 @@ mod tests {
         // An alternating series concentrates all its energy in the
         // self-conjugate Nyquist bin; counting it twice (the pre-fix
         // mirror-folding mistake) would double the Parseval sum.
-        let values: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 2.0 } else { 0.0 }).collect();
+        let values: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 2.0 } else { 0.0 })
+            .collect();
         let ts = TimeSeries::from_values(0, 1, values).unwrap();
         let pg = Periodogram::compute(&ts);
         let nyquist = pg.nyquist_power().expect("even n has a Nyquist line");

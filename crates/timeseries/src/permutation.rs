@@ -351,9 +351,9 @@ mod tests {
             (20, 0.95, 19), // the 19th smallest, not the 20th
             (20, 1.0, 20),  // the maximum, in bounds
             (10, 0.9, 9),
-            (25, 0.56, 14),  // 0.56·25 = 14.000000000000002 in f64
-            (100, 0.07, 7),  // 0.07·100 = 7.000000000000001 in f64
-            (20, 0.001, 1),  // vanishing product clamps up to rank 1
+            (25, 0.56, 14), // 0.56·25 = 14.000000000000002 in f64
+            (100, 0.07, 7), // 0.07·100 = 7.000000000000001 in f64
+            (20, 0.001, 1), // vanishing product clamps up to rank 1
         ] {
             assert_eq!(quantile_rank(c, m), want, "C={c} m={m}");
         }

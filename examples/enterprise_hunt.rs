@@ -14,18 +14,45 @@
 //! ```text
 //! cargo run --release --example enterprise_hunt -- --json
 //! ```
+//!
+//! Durable hunts: `--checkpoint-dir DIR` persists each day's detection
+//! phase shard-by-shard under `DIR/day_NN`, so an interrupted hunt loses
+//! at most one shard of work. Re-run with `--resume` to pick up where the
+//! interrupted run stopped (the resumed report is byte-identical to an
+//! uninterrupted one), and add `--replay-dlq` to re-run dead-letter-queue
+//! pairs — budget-exhausted or quarantined ones — under 4× the configured
+//! per-pair budget:
+//!
+//! ```text
+//! cargo run --release --example enterprise_hunt -- --checkpoint-dir /tmp/hunt
+//! cargo run --release --example enterprise_hunt -- --checkpoint-dir /tmp/hunt --resume --replay-dlq
+//! ```
 
 #![warn(clippy::unwrap_used)]
 
 use std::collections::HashSet;
 
+use baywatch::core::checkpoint::CheckpointSpec;
 use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
 use baywatch::core::report::export_json;
 use baywatch::netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};
 use baywatch::record_from_event;
+use baywatch::timeseries::BudgetSpec;
 
 fn main() {
-    let emit_json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let emit_json = args.iter().any(|a| a == "--json");
+    let resume = args.iter().any(|a| a == "--resume");
+    let replay_dlq = args.iter().any(|a| a == "--replay-dlq");
+    let checkpoint_dir = args
+        .iter()
+        .position(|a| a == "--checkpoint-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if (resume || replay_dlq) && checkpoint_dir.is_none() {
+        eprintln!("--resume / --replay-dlq require --checkpoint-dir DIR");
+        std::process::exit(2);
+    }
     // ---- Simulate the enterprise. -------------------------------------
     let config = EnterpriseConfig {
         hosts: 150,
@@ -55,10 +82,17 @@ fn main() {
     // τ_P = 5%: with 150 hosts, organizational services (update/AV pollers
     // subscribed by ~80% of machines) sit far above it, victim pools of
     // 1–5 hosts far below.
-    let mut engine = Baywatch::new(BaywatchConfig {
+    let config = BaywatchConfig {
         local_tau: 0.05,
         ..Default::default()
-    });
+    };
+    // DLQ replay runs under 4× the per-pair detection budget (a limit of
+    // `None` stays unlimited).
+    let replay_budget = BudgetSpec {
+        max_millis: config.detector.budget.max_millis.map(|m| m * 4),
+        max_ops: config.detector.budget.max_ops.map(|o| o * 4),
+    };
+    let mut engine = Baywatch::new(config);
 
     let mut reported: HashSet<String> = HashSet::new();
     let mut flagged: HashSet<String> = HashSet::new();
@@ -66,7 +100,23 @@ fn main() {
     for day in 0..sim.config().days {
         let events = sim.generate_day(day);
         let records = events.iter().map(record_from_event).collect();
-        let report = engine.analyze(records);
+        let report = match &checkpoint_dir {
+            None => engine.analyze(records),
+            Some(base) => {
+                let spec = CheckpointSpec {
+                    resume,
+                    replay_budget: replay_dlq.then_some(replay_budget),
+                    ..CheckpointSpec::new(base.join(format!("day_{day:02}")))
+                };
+                match engine.analyze_checkpointed(records, &spec) {
+                    Ok(report) => report,
+                    Err(err) => {
+                        eprintln!("checkpoint I/O failed under {}: {err}", spec.dir.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+        };
         let day_kind = if sim.is_weekend(day) {
             "weekend"
         } else {
@@ -76,6 +126,17 @@ fn main() {
             "day {day} ({day_kind}): {} events, {} pairs, {} periodic, {} reported",
             report.stats.events, report.stats.pairs, report.stats.periodic, report.stats.reported
         );
+        if let Some(ck) = &report.checkpoint {
+            println!(
+                "    checkpoint: {}/{} shards resumed, {} executed, dlq {} entries ({} replayed, {} recovered)",
+                ck.resumed_shards,
+                ck.total_shards,
+                ck.executed_shards,
+                ck.dlq_entries,
+                ck.dlq_replayed,
+                ck.dlq_recovered
+            );
+        }
         for rc in &report.ranked {
             flagged.insert(rc.case.pair.destination.clone());
         }

@@ -467,3 +467,143 @@ fn skewed_duplicated_out_of_order_events_are_absorbed() {
         "only {detected}/{HOSTS} skewed beacons still detected"
     );
 }
+
+/// The checkpoint/resume contract (durable hunts): a run killed mid-window
+/// and resumed by a fresh engine — a new process, as far as the pipeline
+/// can tell — produces a report *byte-identical* to an uninterrupted run:
+/// same funnel, same fault tallies, same metrics export, same top-K JSON.
+#[test]
+fn interrupted_hunt_resumes_byte_identically() {
+    use baywatch::core::checkpoint::CheckpointSpec;
+    use baywatch::core::report::export_json;
+
+    let records: Vec<LogRecord> = beacon_events().iter().map(record_from_event).collect();
+    let base = std::env::temp_dir().join(format!("baywatch-resume-{}", std::process::id()));
+    let spec = |leaf: &str| CheckpointSpec {
+        shard_size: 4,
+        ..CheckpointSpec::new(base.join(leaf))
+    };
+
+    // Reference: an uninterrupted checkpointed run.
+    let mut full_engine = quiet_engine();
+    let full = full_engine
+        .analyze_checkpointed(records.clone(), &spec("full"))
+        .unwrap();
+    let outcome = full.checkpoint.unwrap();
+    assert_eq!(outcome.executed_shards, outcome.total_shards);
+    assert!(outcome.total_shards >= 3, "want a multi-shard plan");
+    assert!(!outcome.interrupted);
+
+    // Kill a second run after one shard…
+    let killed_spec = CheckpointSpec {
+        abort_after_shards: Some(1),
+        ..spec("killed")
+    };
+    let killed = quiet_engine()
+        .analyze_checkpointed(records.clone(), &killed_spec)
+        .unwrap();
+    let killed_outcome = killed.checkpoint.unwrap();
+    assert!(killed_outcome.interrupted);
+    assert_eq!(killed_outcome.executed_shards, 1);
+    assert!(
+        killed.stats.periodic < full.stats.periodic,
+        "the kill must actually cut the window short"
+    );
+
+    // …and resume it with a fresh engine.
+    let resume_spec = CheckpointSpec {
+        resume: true,
+        ..spec("killed")
+    };
+    let mut resumed_engine = quiet_engine();
+    let resumed = resumed_engine
+        .analyze_checkpointed(records, &resume_spec)
+        .unwrap();
+    let resumed_outcome = resumed.checkpoint.unwrap();
+    assert!(!resumed_outcome.interrupted);
+    assert_eq!(resumed_outcome.resumed_shards, 1);
+    assert_eq!(
+        resumed_outcome.executed_shards,
+        resumed_outcome.total_shards - 1
+    );
+    assert_eq!(resumed_outcome.load_warnings, 0);
+
+    assert_eq!(render_funnel(&resumed), render_funnel(&full));
+    assert_eq!(
+        export_json(&resumed, &resumed_engine.metrics_snapshot(), 10),
+        export_json(&full, &full_engine.metrics_snapshot(), 10),
+        "resumed run must export byte-identically to the uninterrupted run"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The replayable dead-letter queue: a pair that exhausted its per-pair
+/// budget lands in the DLQ with provenance; a later resume pass replays it
+/// under a larger budget and re-admits it with exact funnel accounting.
+#[test]
+fn dlq_replay_under_larger_budget_readmits_quarantined_pair() {
+    use baywatch::core::checkpoint::CheckpointSpec;
+    use baywatch::timeseries::BudgetSpec;
+
+    let slow_source = HostId(0).to_string();
+    let slow_records: Vec<LogRecord> = pathological_sparse_beacon(50_000, 300, 2_333)
+        .into_iter()
+        .map(|t| LogRecord::new(t, slow_source.clone(), "pathological-dest.biz", "x"))
+        .collect();
+    let mut records: Vec<LogRecord> = beacon_events().iter().map(record_from_event).collect();
+    records.extend(slow_records);
+
+    let dir = std::env::temp_dir().join(format!("baywatch-dlq-{}", std::process::id()));
+    let mut config = BaywatchConfig {
+        local_tau: 0.9,
+        ..Default::default()
+    };
+    // Same ceiling as the budget test above: normal pairs clear it easily,
+    // the pathological series trips its first permutation checkpoint.
+    config.detector.budget.max_ops = Some(800_000);
+
+    // First pass: the pathological pair exhausts its budget → DLQ.
+    let first = Baywatch::new(config.clone())
+        .analyze_checkpointed(
+            records.clone(),
+            &CheckpointSpec {
+                shard_size: 4,
+                ..CheckpointSpec::new(&dir)
+            },
+        )
+        .unwrap();
+    assert_eq!(first.stats.timed_out_pairs, 1);
+    let outcome = first.checkpoint.unwrap();
+    assert_eq!(outcome.dlq_entries, 1);
+    assert_eq!(outcome.dlq_replayed, 0);
+
+    // Second pass in a fresh engine: resume the completed shards, replay
+    // the DLQ without a ceiling.
+    let second = Baywatch::new(config)
+        .analyze_checkpointed(
+            records,
+            &CheckpointSpec {
+                resume: true,
+                replay_budget: Some(BudgetSpec::UNLIMITED),
+                shard_size: 4,
+                ..CheckpointSpec::new(&dir)
+            },
+        )
+        .unwrap();
+    let outcome = second.checkpoint.unwrap();
+    assert_eq!(outcome.resumed_shards, outcome.total_shards);
+    assert_eq!(outcome.executed_shards, 0);
+    assert_eq!(outcome.dlq_entries, 1);
+    assert_eq!(outcome.dlq_replayed, 1);
+    assert_eq!(outcome.dlq_recovered, 1);
+    // Exact funnel accounting: the recovery cancels the original timeout.
+    assert_eq!(second.stats.dlq_replayed, 1);
+    assert_eq!(second.stats.dlq_recovered, 1);
+    assert_eq!(second.stats.timed_out_pairs, 0);
+    let funnel = render_funnel(&second);
+    assert!(funnel.contains("dlq pairs replayed"));
+    assert!(funnel.contains("dlq pairs recovered"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
