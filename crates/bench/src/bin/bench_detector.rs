@@ -26,6 +26,11 @@
 //! build) and the checkpoint overhead ratio (recorded, never gated), so
 //! a checkpoint-overhead or DLQ-accounting regression trips the gate.
 //!
+//! A resilience probe measures the clean-path cost of the breaker guard
+//! and the armed retry backoff (ratios recorded, never gated) while
+//! exact-gating their clean-path ledgers at zero transitions, zero
+//! rejected lines, and zero backoff waits.
+//!
 //! Usage:
 //!
 //! ```text
@@ -48,12 +53,14 @@ use std::time::Instant;
 use serde_json::{json, Value};
 
 use baywatch_core::checkpoint::CheckpointSpec;
+use baywatch_core::io::{read_records, IngestGuard};
 use baywatch_core::pipeline::{Baywatch, BaywatchConfig};
 use baywatch_core::record::LogRecord;
 use baywatch_netsim::adversarial::pathological_sparse_beacon;
 use baywatch_netsim::synth::{multi_period_burst, SyntheticBeacon};
 use baywatch_obs::clock::MonotonicClock;
 use baywatch_obs::registry::MetricsRegistry;
+use baywatch_resilience::{BreakerConfig, RetryPolicy};
 use baywatch_timeseries::detector::{DetectorConfig, DetectorObs, PeriodicityDetector};
 use baywatch_timeseries::workspace::{SpectralMode, SpectralWorkspace};
 use baywatch_timeseries::BudgetSpec;
@@ -238,10 +245,9 @@ struct CheckpointProbe {
     dlq_recovered: u64,
 }
 
-/// Deterministic pipeline corpus for the checkpoint probe: a dozen clean
-/// beacon pairs plus one pathological sparse pair that exhausts the
-/// per-pair op budget, lands in the DLQ, and is recovered on replay.
-fn checkpoint_records() -> Vec<LogRecord> {
+/// A dozen clean beacon pairs — the well-behaved part of the probe
+/// corpora.
+fn clean_records() -> Vec<LogRecord> {
     let mut records = Vec::new();
     for h in 0..12u64 {
         let period = 60 + (h % 6) * 30;
@@ -254,6 +260,14 @@ fn checkpoint_records() -> Vec<LogRecord> {
             ));
         }
     }
+    records
+}
+
+/// Deterministic pipeline corpus for the checkpoint probe: a dozen clean
+/// beacon pairs plus one pathological sparse pair that exhausts the
+/// per-pair op budget, lands in the DLQ, and is recovered on replay.
+fn checkpoint_records() -> Vec<LogRecord> {
+    let mut records = clean_records();
     for t in pathological_sparse_beacon(50_000, 300, 2_333) {
         records.push(LogRecord::new(t, "host-0", "pathological-dest.biz", "x"));
     }
@@ -343,6 +357,119 @@ fn checkpoint_json(p: &CheckpointProbe) -> Value {
     })
 }
 
+struct ResilienceProbe {
+    plain_ingest_elapsed_ns: u128,
+    guarded_ingest_elapsed_ns: u128,
+    disarmed_analyze_elapsed_ns: u128,
+    armed_analyze_elapsed_ns: u128,
+    lines: u64,
+    records: u64,
+    transitions: u64,
+    rejected_lines: u64,
+    retry_waits: u64,
+}
+
+/// Measures what the resilience layer costs when nothing is wrong: the
+/// same clean corpus is parsed plain and through the per-line breaker
+/// guard, and analyzed with the retry backoff disarmed and armed. On a
+/// clean path the breaker must never transition or reject and the armed
+/// backoff must never fire — those counts are exact-gated at zero, so a
+/// fast-path regression (resilience machinery activating on healthy
+/// input) trips the gate even though the overhead ratios themselves are
+/// host-dependent and only recorded.
+fn run_resilience_probe() -> Result<ResilienceProbe, String> {
+    let mut data = String::new();
+    for i in 0..20_000u64 {
+        let line = format!(
+            "{}\thost-{}\tsvc{}.example.net\ttok\n",
+            50_000 + i,
+            i % 40,
+            i % 8
+        );
+        data.push_str(&line);
+    }
+
+    let start = Instant::now();
+    let plain = read_records(data.as_bytes()).map_err(|e| format!("plain ingest failed: {e}"))?;
+    let plain_ingest_elapsed_ns = start.elapsed().as_nanos();
+
+    let mut guard = IngestGuard::new(BreakerConfig::default(), Arc::new(MonotonicClock::new()));
+    let start = Instant::now();
+    let guarded = guard
+        .read_source("bench-clean", data.as_bytes())
+        .map_err(|e| format!("guarded ingest failed: {e}"))?;
+    let guarded_ingest_elapsed_ns = start.elapsed().as_nanos();
+    if guarded.outcome.records.len() != plain.records.len() {
+        return Err(format!(
+            "guarded ingest admitted {} records, plain parsed {}",
+            guarded.outcome.records.len(),
+            plain.records.len()
+        ));
+    }
+    let stats = guard.stats();
+
+    let records = clean_records();
+    let mut disarmed = Baywatch::new(BaywatchConfig {
+        local_tau: 0.9,
+        ..Default::default()
+    });
+    let start = Instant::now();
+    let _ = disarmed.analyze(records.clone());
+    let disarmed_analyze_elapsed_ns = start.elapsed().as_nanos();
+
+    let mut armed = Baywatch::new(BaywatchConfig {
+        local_tau: 0.9,
+        retry: RetryPolicy {
+            base_nanos: 1_000_000,
+            ..RetryPolicy::default()
+        },
+        ..Default::default()
+    });
+    let start = Instant::now();
+    let _ = armed.analyze(records);
+    let armed_analyze_elapsed_ns = start.elapsed().as_nanos();
+    let retry_waits = armed
+        .metrics_snapshot()
+        .counters
+        .get("resilience.retry.waits")
+        .copied()
+        .unwrap_or(0);
+
+    Ok(ResilienceProbe {
+        plain_ingest_elapsed_ns,
+        guarded_ingest_elapsed_ns,
+        disarmed_analyze_elapsed_ns,
+        armed_analyze_elapsed_ns,
+        lines: guarded.offered_lines as u64,
+        records: guarded.outcome.records.len() as u64,
+        transitions: stats.transitions(),
+        rejected_lines: guarded.rejected_lines as u64,
+        retry_waits,
+    })
+}
+
+fn resilience_json(p: &ResilienceProbe) -> Value {
+    let ratio = |num: u128, den: u128| {
+        let r = num as f64 / den.max(1) as f64;
+        (r * 1000.0).round() / 1000.0
+    };
+    json!({
+        // Host-dependent, recorded but never gated.
+        "plain_ingest_elapsed_ns": p.plain_ingest_elapsed_ns as u64,
+        "guarded_ingest_elapsed_ns": p.guarded_ingest_elapsed_ns as u64,
+        "ingest_overhead_ratio": ratio(p.guarded_ingest_elapsed_ns, p.plain_ingest_elapsed_ns),
+        "disarmed_analyze_elapsed_ns": p.disarmed_analyze_elapsed_ns as u64,
+        "armed_analyze_elapsed_ns": p.armed_analyze_elapsed_ns as u64,
+        "retry_overhead_ratio": ratio(p.armed_analyze_elapsed_ns, p.disarmed_analyze_elapsed_ns),
+        // Deterministic clean-path accounting, exact-gated within a build.
+        "lines": p.lines,
+        "records": p.records,
+        "transitions": p.transitions,
+        "rejected_lines": p.rejected_lines,
+        "retry_waits": p.retry_waits,
+    })
+}
+
 fn get_f64(v: &Value, path: &[&str]) -> Option<f64> {
     let mut cur = v;
     for p in path {
@@ -405,6 +532,26 @@ fn gate(current: &Value, baseline: &Value, tolerance: f64, ratio_only: bool) -> 
             if cur != base {
                 failures.push(format!(
                     "checkpoint.{field}: current {cur:?} != baseline {base:?} \
+                     (deterministic field — re-bless only with an explanation)"
+                ));
+            }
+        }
+
+        // The clean-path resilience ledger is exact: a breaker that
+        // transitions, rejects a line, or a backoff that fires on healthy
+        // input is a fast-path regression regardless of how fast it ran.
+        for field in [
+            "lines",
+            "records",
+            "transitions",
+            "rejected_lines",
+            "retry_waits",
+        ] {
+            let cur = get_f64(current, &["resilience", field]);
+            let base = get_f64(baseline, &["resilience", field]);
+            if cur != base {
+                failures.push(format!(
+                    "resilience.{field}: current {cur:?} != baseline {base:?} \
                      (deterministic field — re-bless only with an explanation)"
                 ));
             }
@@ -529,6 +676,25 @@ fn main() -> ExitCode {
         probe.dlq_recovered
     );
 
+    let resilience = match run_resilience_probe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("resilience probe failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "resilience probe: guarded ingest {:.2}x plain, armed retry {:.2}x disarmed \
+         ({} transitions, {} rejected, {} waits on the clean path)",
+        resilience.guarded_ingest_elapsed_ns as f64
+            / resilience.plain_ingest_elapsed_ns.max(1) as f64,
+        resilience.armed_analyze_elapsed_ns as f64
+            / resilience.disarmed_analyze_elapsed_ns.max(1) as f64,
+        resilience.transitions,
+        resilience.rejected_lines,
+        resilience.retry_waits
+    );
+
     let complex_pps = complex.detections_ok as f64 / (complex.elapsed_ns as f64 / 1e9);
     let real_pps = real.detections_ok as f64 / (real.elapsed_ns as f64 / 1e9);
     let speedup = real_pps / complex_pps.max(1e-12);
@@ -546,6 +712,7 @@ fn main() -> ExitCode {
             "real_half": mode_json(&real),
         },
         "checkpoint": checkpoint_json(&probe),
+        "resilience": resilience_json(&resilience),
     });
 
     let mut rendered = match serde_json::to_string_pretty(&doc) {

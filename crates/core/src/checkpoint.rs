@@ -101,6 +101,9 @@ pub struct CheckpointOutcome {
     /// Unusable persisted state encountered (corrupt manifest or shard
     /// payload); each warning degraded to re-execution, not failure.
     pub load_warnings: usize,
+    /// Checkpoint writes that failed or were skipped by an open store
+    /// breaker; the run degraded those shards to in-memory execution.
+    pub write_warnings: usize,
     /// Whether the run stopped early (test-only abort hook); the manifest
     /// on disk is consistent and a `resume` run will finish the plan.
     pub interrupted: bool,

@@ -44,6 +44,55 @@ fn role_of(field: &str) -> Role {
     }
 }
 
+/// Incremental ELFF parser: holds the `#Fields:` schema seen so far so
+/// callers that need per-line admission decisions (the breaker-guarded
+/// ingest in [`crate::io::IngestGuard`]) can separate directive handling
+/// from record parsing. [`read_elff`] is the plain streaming facade on
+/// top of it.
+#[derive(Debug, Default)]
+pub struct ElffParser {
+    roles: Option<Vec<Role>>,
+}
+
+impl ElffParser {
+    /// A parser that has not yet seen a `#Fields:` directive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs the schema from the payload of a `#Fields:` directive
+    /// (the text after the prefix).
+    pub fn set_schema(&mut self, fields: &str) {
+        self.roles = Some(fields.split_whitespace().map(role_of).collect());
+    }
+
+    /// Whether a `#Fields:` directive has been seen.
+    pub fn has_schema(&self) -> bool {
+        self.roles.is_some()
+    }
+
+    /// Parses one data line (already known to be non-blank and not a
+    /// directive) under the current schema.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no `#Fields:` directive has been seen yet, or when the
+    /// line does not yield the columns the pipeline needs.
+    pub fn parse_data_line(
+        &self,
+        line: &str,
+        line_number: usize,
+    ) -> Result<LogRecord, ParseLineError> {
+        let Some(roles) = self.roles.as_ref() else {
+            return Err(ParseLineError {
+                line_number,
+                reason: "record before #Fields: directive".into(),
+            });
+        };
+        parse_record(line, roles, line_number)
+    }
+}
+
 /// Streaming ELFF reader.
 ///
 /// Ingest is lenient: truncated, garbled, or non-UTF-8 lines are counted
@@ -73,33 +122,25 @@ fn role_of(field: &str) -> Role {
 /// ```
 pub fn read_elff<R: BufRead>(reader: R) -> std::io::Result<ReadOutcome> {
     let mut outcome = ReadOutcome::default();
-    let mut roles: Option<Vec<Role>> = None;
+    let mut parser = ElffParser::new();
 
     // Byte-wise line splitting so invalid UTF-8 degrades to a malformed
     // line (via the lossy conversion) instead of killing the whole stream.
     for (i, raw) in reader.split(b'\n').enumerate() {
         let raw = raw?;
         let line = String::from_utf8_lossy(&raw);
-        let line_number = i + 1;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
         if let Some(fields) = trimmed.strip_prefix("#Fields:") {
-            roles = Some(fields.split_whitespace().map(role_of).collect());
+            parser.set_schema(fields);
             continue;
         }
         if trimmed.starts_with('#') {
             continue;
         }
-        let Some(roles) = roles.as_ref() else {
-            outcome.note_error(ParseLineError {
-                line_number,
-                reason: "record before #Fields: directive".into(),
-            });
-            continue;
-        };
-        match parse_record(trimmed, roles, line_number) {
+        match parser.parse_data_line(trimmed, i + 1) {
             Ok(r) => outcome.records.push(r),
             Err(e) => outcome.note_error(e),
         }
@@ -305,6 +346,19 @@ mod tests {
         let log = "#Fields: date time sc-status\n2015-03-01 08:00:12 200\n";
         let o = read_elff(log.as_bytes()).unwrap();
         assert!(o.errors[0].reason.contains("source"));
+    }
+
+    #[test]
+    fn incremental_parser_matches_streaming_reader() {
+        let mut parser = ElffParser::new();
+        assert!(!parser.has_schema());
+        let err = parser.parse_data_line("1000 10.0.0.1 a.com", 1).unwrap_err();
+        assert!(err.reason.contains("#Fields"));
+        parser.set_schema(" x-timestamp c-ip cs-host");
+        assert!(parser.has_schema());
+        let r = parser.parse_data_line("1000 10.0.0.1 a.com", 2).unwrap();
+        assert_eq!(r.timestamp, 1000);
+        assert_eq!(r.domain, "a.com");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use baywatch_mapreduce::{
     FaultReport, JobConfig, MapReduce, RunManifest,
 };
 use baywatch_obs::{Buckets, Clock, MetricsRegistry, MetricsSnapshot, MonotonicClock, StageTracer};
+use baywatch_resilience::{AdmissionConfig, AdmissionController, AdmissionDecision, RetryPolicy};
 use baywatch_timeseries::detector::{
     DetectionReport, DetectorConfig, DetectorObs, PeriodicityDetector,
 };
@@ -42,6 +43,10 @@ pub struct BaywatchConfig {
     pub rank: RankConfig,
     /// MapReduce engine settings.
     pub mapreduce: JobConfig,
+    /// Backoff schedule applied between MapReduce task retry attempts
+    /// (disarmed by default: retries stay immediate and the pipeline's
+    /// behaviour is byte-identical to a policy-free build).
+    pub retry: RetryPolicy,
     /// n-gram order of the domain language model (paper: 3).
     pub lm_order: usize,
     /// Whether to load the built-in global whitelist (can be disabled for
@@ -61,6 +66,7 @@ impl Default for BaywatchConfig {
             token_filter: TokenFilter::default(),
             rank: RankConfig::default(),
             mapreduce: JobConfig::default(),
+            retry: RetryPolicy::default(),
             lm_order: 3,
             use_builtin_whitelist: true,
             budget: PipelineBudget::default(),
@@ -148,6 +154,10 @@ pub struct FilterStats {
     /// Pairs shed without analysis because the window's wall-clock budget
     /// ran out; the lowest-priority (fewest-events) pairs are shed first.
     pub shed_pairs: usize,
+    /// Pairs analyzed under a tightened per-pair budget because the
+    /// admission controller saw sustained window pressure — degraded
+    /// before shed, so overload costs fidelity prior to coverage.
+    pub degraded_pairs: usize,
     /// Dead-letter-queue entries replayed under a larger budget in a
     /// checkpointed run (zero outside checkpointed runs).
     pub dlq_replayed: usize,
@@ -235,7 +245,9 @@ impl Baywatch {
             GlobalWhitelist::default()
         };
         let local_whitelist = LocalWhitelist::new(config.local_tau);
-        let engine = MapReduce::new(config.mapreduce).with_metrics(metrics.clone());
+        let engine = MapReduce::new(config.mapreduce)
+            .with_retry_policy(config.retry)
+            .with_metrics(metrics.clone());
         let detector = PeriodicityDetector::new(config.detector.clone())
             .with_obs(DetectorObs::new(&metrics, clock));
         Self {
@@ -593,6 +605,17 @@ impl Baywatch {
         })
     }
 
+    /// The coarser per-pair budget a degraded wave runs under: half the
+    /// armed limits (never below one unit). An unlimited budget has
+    /// nothing to tighten and is left unlimited — degradation then only
+    /// marks the affected pairs.
+    fn degraded_budget(budget: BudgetSpec) -> BudgetSpec {
+        BudgetSpec {
+            max_millis: budget.max_millis.map(|m| (m / 2).max(1)),
+            max_ops: budget.max_ops.map(|o| (o / 2).max(1)),
+        }
+    }
+
     /// Records `stage.<stage>.admitted` plus the given extra counters.
     fn stage_counters(&self, stage: &str, admitted: usize, extras: &[(&str, usize)]) {
         self.metrics
@@ -642,6 +665,7 @@ impl Baywatch {
         let mut timed_out_rows: BTreeSet<crate::pair::CommunicationPair> = BTreeSet::new();
         let run_wave =
             |batch: Vec<ActivitySummary>,
+             wave_budget: BudgetSpec,
              detections: &mut Vec<(ActivitySummary, DetectionReport)>,
              stats: &mut FilterStats,
              faults: &mut FaultReport,
@@ -650,7 +674,7 @@ impl Baywatch {
                     &self.engine,
                     batch,
                     &self.detector,
-                    pair_budget,
+                    wave_budget,
                     plan,
                     policy,
                 );
@@ -675,6 +699,7 @@ impl Baywatch {
         let Some(window_millis) = self.config.budget.window_millis else {
             run_wave(
                 summaries,
+                pair_budget,
                 &mut detections,
                 stats,
                 faults,
@@ -696,8 +721,26 @@ impl Baywatch {
         });
         let wave = self.config.mapreduce.threads.max(1) * 4;
         let mut idx = 0;
+        // Overload degrades before it sheds: between `degrade_enter` and
+        // `reject_enter` pressure, waves still run — under a tightened
+        // per-pair budget — and only a genuinely exhausted (or saturated)
+        // window rejects the remainder outright.
+        let mut admission = AdmissionController::new(AdmissionConfig::default());
         while idx < pending.len() {
-            if window_budget.is_exhausted() {
+            let decision = admission.decide(
+                window_budget.utilization(),
+                window_budget.is_exhausted(),
+            );
+            for change in admission.take_changes() {
+                // Zero-length span marking the transition instant; folded
+                // into the operational `span.*` timings with the stage
+                // spans, never into the deterministic export.
+                drop(
+                    self.tracer
+                        .span(&format!("admission.enter_{}", change.entered.label())),
+                );
+            }
+            if decision == AdmissionDecision::Reject {
                 // A pair already counted as timed out in an earlier wave
                 // (possible when the same pair arrives through several
                 // summaries) must not be double-counted as shed.
@@ -708,14 +751,38 @@ impl Baywatch {
                 break;
             }
             let end = (idx + wave).min(pending.len());
+            let wave_budget = if decision == AdmissionDecision::Degrade {
+                stats.degraded_pairs += end - idx;
+                Self::degraded_budget(pair_budget)
+            } else {
+                pair_budget
+            };
             run_wave(
                 pending[idx..end].to_vec(),
+                wave_budget,
                 &mut detections,
                 stats,
                 faults,
                 &mut timed_out_rows,
             );
             idx = end;
+        }
+        // Gated like `dlq.*`: a window that only ever accepted leaves the
+        // registry (and the deterministic export) untouched.
+        let admitted = admission.stats();
+        if admitted.degraded > 0 || admitted.rejected > 0 {
+            self.metrics
+                .counter("resilience.admission.accepted")
+                .add(admitted.accepted);
+            self.metrics
+                .counter("resilience.admission.degraded")
+                .add(admitted.degraded);
+            self.metrics
+                .counter("resilience.admission.rejected")
+                .add(admitted.rejected);
+            self.metrics
+                .counter("resilience.admission.transitions")
+                .add(admitted.transitions);
         }
         detections
     }
@@ -749,6 +816,7 @@ impl Baywatch {
                 max_ops: pair_budget.max_ops,
             },
             resume: spec.resume,
+            io_faults: plan,
             abort_after_shards: spec.abort_after_shards,
         };
         let outcome = jobs::detect_beaconing_checkpointed_ft(
@@ -816,6 +884,7 @@ impl Baywatch {
                 executed_shards: outcome.executed_shards,
                 total_shards: manifest.total_shards,
                 load_warnings: outcome.load_warnings,
+                write_warnings: outcome.write_warnings,
                 interrupted: outcome.interrupted,
                 dlq_entries,
                 dlq_replayed,
@@ -1195,6 +1264,21 @@ mod tests {
             assert_eq!(a.case.pair, b.case.pair);
             assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
+    }
+
+    #[test]
+    fn degraded_budget_halves_armed_limits_only() {
+        let tightened = Baywatch::degraded_budget(BudgetSpec {
+            max_millis: Some(10),
+            max_ops: Some(1),
+        });
+        assert_eq!(tightened.max_millis, Some(5));
+        assert_eq!(tightened.max_ops, Some(1), "never tightened below one");
+        // Nothing to tighten on an unlimited budget.
+        assert_eq!(
+            Baywatch::degraded_budget(BudgetSpec::UNLIMITED),
+            BudgetSpec::UNLIMITED
+        );
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub fn render_funnel(report: &AnalysisReport) -> String {
     if s.timed_out_pairs > 0 {
         row("timed-out pairs (budget)", s.timed_out_pairs);
     }
+    if s.degraded_pairs > 0 {
+        row("degraded pairs (pressure)", s.degraded_pairs);
+    }
     if s.shed_pairs > 0 {
         row("shed pairs (budget)", s.shed_pairs);
     }
@@ -69,7 +72,8 @@ pub fn render_funnel(report: &AnalysisReport) -> String {
     row("after URL-token filter", s.after_token_filter);
     row("after novelty analysis", s.after_novelty);
     row("reported (percentile)", s.reported);
-    if !report.faults.is_clean() || s.timed_out_pairs > 0 || s.shed_pairs > 0 {
+    if !report.faults.is_clean() || s.timed_out_pairs > 0 || s.shed_pairs > 0 || s.degraded_pairs > 0
+    {
         let mut banner = format!(
             "degraded mode: {} map / {} reduce retries, {} quarantined unit(s)",
             report.faults.map_retries,
@@ -78,6 +82,9 @@ pub fn render_funnel(report: &AnalysisReport) -> String {
         );
         if s.timed_out_pairs > 0 {
             let _ = write!(banner, ", {} timed-out pair(s)", s.timed_out_pairs);
+        }
+        if s.degraded_pairs > 0 {
+            let _ = write!(banner, ", {} degraded pair(s)", s.degraded_pairs);
         }
         if s.shed_pairs > 0 {
             let _ = write!(banner, ", {} shed pair(s)", s.shed_pairs);
@@ -123,6 +130,12 @@ pub fn export_json(report: &AnalysisReport, metrics: &MetricsSnapshot, top_k: us
         w.key(key);
         w.uint(value as u64);
     }
+    // Post-seed funnel fields are emitted only when they fired, keeping a
+    // clean window's export byte-identical to earlier releases.
+    if s.degraded_pairs > 0 {
+        w.key("degraded_pairs");
+        w.uint(s.degraded_pairs as u64);
+    }
     w.raw("}");
     w.end_value();
 
@@ -140,6 +153,27 @@ pub fn export_json(report: &AnalysisReport, metrics: &MetricsSnapshot, top_k: us
     ] {
         w.key(key);
         w.uint(value as u64);
+    }
+    // Checkpoint corruption downgrades: surfaced (with bounded samples)
+    // only when a restore was actually refused, so runs that never resume
+    // — and clean resumes — export byte-identically to earlier releases.
+    if report.faults.checkpoint_corruptions > 0 {
+        w.key("checkpoint_corruptions");
+        w.uint(report.faults.checkpoint_corruptions as u64);
+        let mut sorted: Vec<&str> = report
+            .faults
+            .corruption_samples
+            .iter()
+            .map(String::as_str)
+            .collect();
+        sorted.sort_unstable();
+        w.key("corruption_samples");
+        w.raw("[");
+        for sample in sorted {
+            w.string(sample);
+        }
+        w.raw("]");
+        w.end_value();
     }
     // Bounded provenance samples. The engine collects them in completion
     // order, which parallel execution does not fix — sort each list so the
@@ -366,6 +400,7 @@ mod tests {
                 quarantined_pairs: 0,
                 timed_out_pairs: 0,
                 shed_pairs: 0,
+                degraded_pairs: 0,
                 dlq_replayed: 0,
                 dlq_recovered: 0,
             },
@@ -537,6 +572,47 @@ mod tests {
         let funnel = render_funnel(&report);
         assert!(funnel.contains("dlq pairs replayed"));
         assert!(funnel.contains("dlq pairs recovered"));
+    }
+
+    #[test]
+    fn export_json_surfaces_checkpoint_corruptions_when_present() {
+        let snap = baywatch_obs::MetricsRegistry::new().snapshot();
+        // Regression: corruption downgrades used to be counted (in
+        // `load_warnings`) but invisible in the export's faults section.
+        let mut report = toy_report(1);
+        report.faults.checkpoint_corruptions = 2;
+        report.faults.corruption_samples = vec![
+            "shard 1: checkpoint untrusted, re-executing".to_string(),
+            "shard 0: checkpoint untrusted, re-executing".to_string(),
+        ];
+        let json = export_json(&report, &snap, 1);
+        assert!(json.contains(r#""checkpoint_corruptions":2"#));
+        // Samples are sorted for byte-stable output.
+        assert!(json.contains(
+            r#""corruption_samples":["shard 0: checkpoint untrusted, re-executing","shard 1: checkpoint untrusted, re-executing"]"#
+        ));
+
+        // A clean report exports without either key — byte-identical to
+        // the pre-resilience format.
+        let clean = export_json(&toy_report(1), &snap, 1);
+        assert!(!clean.contains("checkpoint_corruptions"));
+        assert!(!clean.contains("corruption_samples"));
+    }
+
+    #[test]
+    fn degraded_pairs_appear_in_funnel_and_export_only_when_fired() {
+        let snap = baywatch_obs::MetricsRegistry::new().snapshot();
+        let mut report = toy_report(1);
+        report.stats.degraded_pairs = 7;
+        let json = export_json(&report, &snap, 1);
+        assert!(json.contains(r#""degraded_pairs":7"#));
+        let funnel = render_funnel(&report);
+        assert!(funnel.contains("degraded pairs (pressure)"));
+        assert!(funnel.contains("7 degraded pair(s)"));
+
+        let clean = export_json(&toy_report(1), &snap, 1);
+        assert!(!clean.contains("degraded_pairs"));
+        assert!(!render_funnel(&toy_report(1)).contains("degraded"));
     }
 
     #[test]

@@ -19,7 +19,14 @@ const SKIP_DIRS: &[&str] = &[
 /// determinism rules apply only here: `mapreduce` schedules real threads
 /// and `bench`/`langmodel` never feed the ranked report, so holding them
 /// to bit-reproducibility would only breed allowlist noise.
-pub const DETERMINISTIC_CRATES: &[&str] = &["timeseries", "core", "stats", "netsim", "obs"];
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "timeseries",
+    "core",
+    "stats",
+    "netsim",
+    "obs",
+    "resilience",
+];
 
 /// Hot modules whose unbounded loops must checkpoint an `ExecBudget`: the
 /// periodicity-detection kernels a runaway series would otherwise spin in.
@@ -168,5 +175,14 @@ mod tests {
 
         let f = classify_rel("crates/bench/benches/periodogram.rs");
         assert_eq!(f.section, Section::Benches);
+    }
+
+    #[test]
+    fn resilience_is_held_to_determinism_rules() {
+        // The breaker/retry/admission state machines feed reproducible
+        // soak assertions: the crate must stay in the L2 determinism set.
+        assert!(DETERMINISTIC_CRATES.contains(&"resilience"));
+        let f = classify_rel("crates/resilience/src/breaker.rs");
+        assert!(f.in_deterministic_crate());
     }
 }

@@ -14,7 +14,7 @@
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
 use std::fmt::Debug;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -77,6 +77,16 @@ pub struct FaultReport {
     /// Shuffled values dropped together with quarantined or timed-out
     /// reduce keys.
     pub lost_values: usize,
+    /// Checkpoint restores refused during a resumed sharded run — a
+    /// missing, corrupt, digest-mismatched or truncated shard
+    /// checkpoint, or an untrusted manifest, each downgraded to fresh
+    /// re-execution. A *process* fact, not a data fact: the affected
+    /// shards re-executed correctly, so this does not flip
+    /// [`FaultReport::is_clean`].
+    pub checkpoint_corruptions: usize,
+    /// Human-readable descriptions of the refused restores (bounded
+    /// sample).
+    pub corruption_samples: Vec<String>,
     /// `Debug` renderings of quarantined inputs (bounded sample).
     pub input_samples: Vec<String>,
     /// `Debug` renderings of quarantined reduce keys (bounded sample).
@@ -122,6 +132,16 @@ impl FaultReport {
         self.quarantined_inputs + self.timed_out_inputs + self.lost_values
     }
 
+    /// Counts one refused checkpoint restore, retaining the description
+    /// while under the sample bound.
+    pub fn note_checkpoint_corruption(&mut self, sample: String, sample_limit: usize) {
+        self.checkpoint_corruptions += 1;
+        if self.corruption_samples.len() < sample_limit && !self.corruption_samples.contains(&sample)
+        {
+            self.corruption_samples.push(sample);
+        }
+    }
+
     /// Folds another report into this one (counters summed, sample lists
     /// concatenated under the same bound, phase timings added). Used when a
     /// pipeline chains several fault-tolerant jobs and wants one aggregate.
@@ -134,6 +154,8 @@ impl FaultReport {
         self.timed_out_inputs += other.timed_out_inputs;
         self.timed_out_keys += other.timed_out_keys;
         self.lost_values += other.lost_values;
+        self.checkpoint_corruptions += other.checkpoint_corruptions;
+        extend_bounded(&mut self.corruption_samples, &other.corruption_samples);
         extend_bounded(&mut self.input_samples, &other.input_samples);
         extend_bounded(&mut self.key_samples, &other.key_samples);
         extend_bounded(&mut self.timeout_samples, &other.timeout_samples);
@@ -177,6 +199,8 @@ pub(crate) struct PhaseFaults {
     pub bisections: usize,
     pub timed_out: usize,
     pub lost_values: usize,
+    pub backoff_waits: usize,
+    pub backoff_nanos: u64,
     pub unit_samples: Vec<String>,
     pub timeout_samples: Vec<String>,
     pub panic_samples: Vec<String>,
@@ -214,6 +238,8 @@ impl PhaseFaults {
         self.bisections += other.bisections;
         self.timed_out += other.timed_out;
         self.lost_values += other.lost_values;
+        self.backoff_waits += other.backoff_waits;
+        self.backoff_nanos = self.backoff_nanos.saturating_add(other.backoff_nanos);
         self.unit_samples.extend(other.unit_samples);
         self.timeout_samples.extend(other.timeout_samples);
         self.panic_samples.extend(other.panic_samples);
@@ -265,6 +291,8 @@ pub struct FaultPlan {
     delay_map_calls: HashMap<usize, Duration>,
     delay_inputs: HashMap<String, Duration>,
     delay_keys: HashMap<String, Duration>,
+    save_fail_next: AtomicUsize,
+    save_fail_all: AtomicBool,
     injected: AtomicUsize,
 }
 
@@ -337,6 +365,50 @@ impl FaultPlan {
         self.delay_keys
             .insert(key.to_owned(), Duration::from_millis(millis));
         self
+    }
+
+    /// Fail the next `n` checkpoint writes with an injected I/O error,
+    /// then let writes succeed again — a *transient* storage fault (a
+    /// briefly full disk, an NFS hiccup).
+    pub fn fail_next_saves(self, n: usize) -> Self {
+        self.save_fail_next.store(n, Ordering::SeqCst);
+        self
+    }
+
+    /// Fail every checkpoint write from now on — a *persistent* storage
+    /// fault (checkpoint directory unwritable for the rest of the run).
+    pub fn fail_all_saves(self) -> Self {
+        self.save_fail_all.store(true, Ordering::SeqCst);
+        self
+    }
+
+    /// Called by the sharded engine before each checkpoint write; returns
+    /// the injected I/O error when the plan says this write must fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::ErrorKind::Other`] error when a transient or
+    /// persistent save fault is armed for this write.
+    pub fn save_checkpoint(&self) -> std::io::Result<()> {
+        if self.save_fail_all.load(Ordering::SeqCst) {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "injected fault: persistent checkpoint write failure",
+            ));
+        }
+        let fired = self
+            .save_fail_next
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        if fired {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "injected fault: transient checkpoint write failure",
+            ));
+        }
+        Ok(())
     }
 
     /// How many faults the plan has fired so far.

@@ -51,9 +51,10 @@ use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use baywatch_obs::MetricsRegistry;
+use baywatch_obs::{Clock, MetricsRegistry, MonotonicClock};
+use baywatch_resilience::{BreakerConfig, CircuitBreaker, RetryPolicy};
 use fault::PhaseFaults;
 
 pub use fault::{FaultPlan, FaultPolicy, FaultReport};
@@ -129,6 +130,8 @@ impl JobStats {
 pub struct MapReduce {
     config: JobConfig,
     metrics: Option<Arc<MetricsRegistry>>,
+    retry: RetryPolicy,
+    checkpoint_breaker: Option<(BreakerConfig, Arc<dyn Clock>)>,
 }
 
 impl MapReduce {
@@ -143,6 +146,8 @@ impl MapReduce {
         Self {
             config,
             metrics: None,
+            retry: RetryPolicy::default(),
+            checkpoint_breaker: None,
         }
     }
 
@@ -152,6 +157,30 @@ impl MapReduce {
     #[must_use]
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Arms exponential backoff between the retry attempts of a failing
+    /// task. Attempt *counts* still come from
+    /// [`FaultPolicy::max_task_retries`]; the policy only governs how long
+    /// a worker waits before re-running a failed slice or key. The default
+    /// [`RetryPolicy`] is disarmed (zero base delay), which preserves the
+    /// historical retry-immediately behaviour.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Wraps checkpoint-store writes in a circuit breaker during
+    /// [`MapReduce::run_sharded_checkpointed`]: once the breaker opens, a
+    /// run with a failing checkpoint directory degrades to in-memory
+    /// execution (writes skipped, warnings counted) instead of paying the
+    /// failure latency on every shard. Without this builder a default
+    /// breaker on the audited monotonic clock is used.
+    #[must_use]
+    pub fn with_checkpoint_breaker(mut self, config: BreakerConfig, clock: Arc<dyn Clock>) -> Self {
+        self.checkpoint_breaker = Some((config, clock));
         self
     }
 
@@ -401,6 +430,7 @@ impl MapReduce {
         let mut report = FaultReport::default();
         let n_partitions = self.config.partitions;
         let n_threads = self.config.threads.max(1);
+        let retry = self.retry;
 
         // ---- Map phase: per-worker chunks, each slice resilient. ----
         let map_started = Instant::now();
@@ -410,8 +440,9 @@ impl MapReduce {
 
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for chunk in chunks {
+            for (chunk_idx, chunk) in chunks.into_iter().enumerate() {
                 let mapper = &mapper;
+                let retry = &retry;
                 handles.push(scope.spawn(move |_| {
                     let mut buckets: Vec<Vec<(K, V)>> =
                         (0..n_partitions).map(|_| Vec::new()).collect();
@@ -420,6 +451,8 @@ impl MapReduce {
                         &chunk,
                         mapper,
                         policy,
+                        retry,
+                        chunk_idx as u64,
                         n_partitions,
                         &mut buckets,
                         &mut faults,
@@ -434,6 +467,7 @@ impl MapReduce {
             }
         })
         .expect("map scope panicked");
+        let map_backoff = (map_faults.backoff_waits, map_faults.backoff_nanos);
         report.map_retries = map_faults.retries;
         report.map_bisections = map_faults.bisections;
         report.quarantined_inputs = map_faults.quarantined;
@@ -461,8 +495,12 @@ impl MapReduce {
             let mut handles = Vec::new();
             for (p, records) in partitions.into_iter().enumerate() {
                 let reducer = &reducer;
+                let retry = &retry;
                 handles.push(scope.spawn(move |_| {
-                    let (out, faults) = reduce_partition(records, reducer, policy);
+                    // Reduce streams sit above every possible map-chunk
+                    // stream so the two phases draw independent jitter.
+                    let stream = (1u64 << 32) | p as u64;
+                    let (out, faults) = reduce_partition(records, reducer, policy, retry, stream);
                     (p, out, faults)
                 }));
             }
@@ -473,6 +511,8 @@ impl MapReduce {
             }
         })
         .expect("reduce scope panicked");
+        let backoff_waits = map_backoff.0 + reduce_faults.backoff_waits;
+        let backoff_nanos = map_backoff.1.saturating_add(reduce_faults.backoff_nanos);
         report.reduce_retries = reduce_faults.retries;
         report.quarantined_keys = reduce_faults.quarantined;
         report.timed_out_keys = reduce_faults.timed_out;
@@ -496,6 +536,16 @@ impl MapReduce {
 
         if let Some(metrics) = &self.metrics {
             record_fault_metrics(metrics, &report);
+            // Gated like the checkpoint counters: a run that never waited
+            // leaves the registry byte-identical to the pre-backoff era.
+            if backoff_waits > 0 {
+                metrics
+                    .counter("resilience.retry.waits")
+                    .add(backoff_waits as u64);
+                metrics
+                    .counter("resilience.retry.backoff_nanos")
+                    .add(backoff_nanos);
+            }
         }
 
         results.sort_by_key(|(p, _)| *p);
@@ -526,11 +576,18 @@ impl MapReduce {
     /// produced; `decode` must invert `encode` (`None` signals a corrupt
     /// payload, re-executing the shard).
     ///
+    /// Checkpoint persistence degrades instead of aborting: every write
+    /// goes through a circuit breaker (see
+    /// [`MapReduce::with_checkpoint_breaker`]), a failed or skipped write
+    /// counts into [`ShardedOutcome::write_warnings`], and the run carries
+    /// on in-memory with full output fidelity — only resumability for the
+    /// affected shards is lost.
+    ///
     /// # Errors
     ///
-    /// Returns any I/O error raised while persisting checkpoint state —
-    /// the caller decides whether a hunt without durability should
-    /// continue.
+    /// Reserved for I/O failures outside the degradable write path; the
+    /// current implementation completes with warnings instead of
+    /// returning `Err`.
     #[allow(clippy::too_many_arguments)]
     pub fn run_sharded_checkpointed<I, K, V, O, M, R, Enc, Dec, DlqF>(
         &self,
@@ -556,12 +613,22 @@ impl MapReduce {
     {
         let total_shards = shards.len();
         let mut load_warnings = 0usize;
+        let mut write_warnings = 0usize;
+        let mut breaker = match &self.checkpoint_breaker {
+            Some((config, clock)) => CircuitBreaker::new(*config, Arc::clone(clock)),
+            None => CircuitBreaker::new(
+                BreakerConfig::default(),
+                Arc::new(MonotonicClock::new()) as Arc<dyn Clock>,
+            ),
+        };
+        let mut faults = FaultReport::default();
         let mut manifest = if run.resume {
             match run.store.load_manifest(run.fingerprint, total_shards) {
                 ManifestLoad::Resumed(m) => m,
                 ManifestLoad::Fresh { warning } => {
-                    if warning.is_some() {
+                    if let Some(warning) = warning {
                         load_warnings += 1;
+                        faults.note_checkpoint_corruption(warning, policy.sample_limit);
                     }
                     RunManifest::new(
                         run.fingerprint,
@@ -583,7 +650,6 @@ impl MapReduce {
         };
 
         let mut outcome_outputs: Vec<O> = Vec::new();
-        let mut faults = FaultReport::default();
         let mut resumed_shards = 0usize;
         let mut executed_shards = 0usize;
         let mut interrupted = false;
@@ -603,6 +669,10 @@ impl MapReduce {
                         // drop the stale record (and its DLQ entries) and
                         // fall through to fresh execution.
                         load_warnings += 1;
+                        faults.note_checkpoint_corruption(
+                            format!("shard {shard_id}: checkpoint untrusted, re-executing"),
+                            policy.sample_limit,
+                        );
                         manifest.shards.remove(&shard_id);
                         manifest.dlq.retain(|e| e.shard != shard_id);
                     }
@@ -622,30 +692,45 @@ impl MapReduce {
                 _ => baywatch_obs::MetricsSnapshot::default(),
             };
             let payload = encode(&outputs);
-            run.store.save_shard(
-                shard_id,
-                &ShardCheckpoint {
-                    payload: payload.clone(),
-                    faults: shard_faults.clone(),
-                    metrics_delta,
-                },
-            )?;
-            manifest.shards.insert(
-                shard_id,
-                ShardRecord {
-                    digest: fnv1a64(payload.as_bytes()),
-                    outputs: outputs.len(),
-                },
-            );
             manifest
                 .dlq
                 .extend(dlq_hook(shard_id, &inputs, &outputs, &shard_faults));
-            run.store.save_manifest(&manifest)?;
-            executed_shards += 1;
-            if let Some(metrics) = &self.metrics {
-                metrics.operational("checkpoint.shards_written").inc();
-                metrics.operational("checkpoint.manifest_writes").inc();
+            let shard_saved = guarded_checkpoint_write(&mut breaker, run.io_faults, || {
+                run.store.save_shard(
+                    shard_id,
+                    &ShardCheckpoint {
+                        payload: payload.clone(),
+                        faults: shard_faults.clone(),
+                        metrics_delta,
+                    },
+                )
+            });
+            if shard_saved {
+                // Only a persisted payload earns a manifest record: a
+                // shard whose write failed must re-execute on resume.
+                manifest.shards.insert(
+                    shard_id,
+                    ShardRecord {
+                        digest: fnv1a64(payload.as_bytes()),
+                        outputs: outputs.len(),
+                    },
+                );
+                if let Some(metrics) = &self.metrics {
+                    metrics.operational("checkpoint.shards_written").inc();
+                }
+                if guarded_checkpoint_write(&mut breaker, run.io_faults, || {
+                    run.store.save_manifest(&manifest)
+                }) {
+                    if let Some(metrics) = &self.metrics {
+                        metrics.operational("checkpoint.manifest_writes").inc();
+                    }
+                } else {
+                    write_warnings += 1;
+                }
+            } else {
+                write_warnings += 1;
             }
+            executed_shards += 1;
             faults.absorb(&shard_faults);
             outcome_outputs.extend(outputs);
         }
@@ -657,6 +742,23 @@ impl MapReduce {
             metrics
                 .operational("checkpoint.load_warnings")
                 .add(load_warnings as u64);
+            metrics
+                .operational("checkpoint.write_warnings")
+                .add(write_warnings as u64);
+            // The checkpoint breaker runs on a wall clock, so its stats go
+            // to the operational (non-golden) side, gated on activity.
+            let s = breaker.stats();
+            for (name, value) in [
+                ("checkpoint.breaker_failures", s.failures),
+                ("checkpoint.breaker_rejected", s.rejected),
+                ("checkpoint.breaker_opened", s.opened),
+                ("checkpoint.breaker_half_opened", s.half_opened),
+                ("checkpoint.breaker_closed", s.closed),
+            ] {
+                if value > 0 {
+                    metrics.operational(name).add(value);
+                }
+            }
         }
 
         Ok(ShardedOutcome {
@@ -666,6 +768,7 @@ impl MapReduce {
             resumed_shards,
             executed_shards,
             load_warnings,
+            write_warnings,
             interrupted,
         })
     }
@@ -700,6 +803,35 @@ impl MapReduce {
             }
         }
         Some((outputs, checkpoint.faults))
+    }
+}
+
+/// Runs one checkpoint write under the store breaker: `true` means the
+/// write was attempted and succeeded, `false` that the breaker was open
+/// (write skipped without paying failure latency) or the write failed
+/// (breaker notified). Injected faults from the run's [`FaultPlan`], if
+/// any, fire before the real write.
+fn guarded_checkpoint_write<F>(
+    breaker: &mut CircuitBreaker,
+    io_faults: Option<&FaultPlan>,
+    write: F,
+) -> bool
+where
+    F: FnOnce() -> std::io::Result<()>,
+{
+    if !breaker.allow() {
+        return false;
+    }
+    let injected = io_faults.map_or(Ok(()), FaultPlan::save_checkpoint);
+    match injected.and_then(|()| write()) {
+        Ok(()) => {
+            breaker.record_success();
+            true
+        }
+        Err(_) => {
+            breaker.record_failure();
+            false
+        }
     }
 }
 
@@ -748,10 +880,13 @@ fn record_fault_metrics(metrics: &MetricsRegistry, report: &FaultReport) {
 /// slow record is isolated (and quarantined as `timed_out` once singled
 /// out) while its fast neighbours are re-mapped within budget. Timeouts do
 /// not consume panic retries — a deterministic overrun would overrun again.
+#[allow(clippy::too_many_arguments)]
 fn map_slice<I, K, V, M>(
     slice: &[I],
     mapper: &M,
     policy: &FaultPolicy,
+    retry: &RetryPolicy,
+    stream: u64,
     n_partitions: usize,
     out: &mut [Vec<(K, V)>],
     faults: &mut PhaseFaults,
@@ -797,14 +932,17 @@ fn map_slice<I, K, V, M>(
                 faults.retries += 1;
                 faults.bisections += 1;
                 let mid = slice.len() / 2;
-                map_slice(&slice[..mid], mapper, policy, n_partitions, out, faults);
-                map_slice(&slice[mid..], mapper, policy, n_partitions, out, faults);
+                #[rustfmt::skip]
+                map_slice(&slice[..mid], mapper, policy, retry, stream, n_partitions, out, faults);
+                #[rustfmt::skip]
+                map_slice(&slice[mid..], mapper, policy, retry, stream, n_partitions, out, faults);
                 return;
             }
             Err(payload) => {
                 faults.note_panic(payload, policy);
                 if attempt < policy.max_task_retries {
                     faults.retries += 1;
+                    backoff_between_attempts(retry, attempt + 1, stream, faults);
                 }
             }
         }
@@ -816,8 +954,30 @@ fn map_slice<I, K, V, M>(
     }
     faults.bisections += 1;
     let mid = slice.len() / 2;
-    map_slice(&slice[..mid], mapper, policy, n_partitions, out, faults);
-    map_slice(&slice[mid..], mapper, policy, n_partitions, out, faults);
+    #[rustfmt::skip]
+    map_slice(&slice[..mid], mapper, policy, retry, stream, n_partitions, out, faults);
+    #[rustfmt::skip]
+    map_slice(&slice[mid..], mapper, policy, retry, stream, n_partitions, out, faults);
+}
+
+/// Sleeps out the seeded backoff delay before retry attempt `attempt`
+/// (1-based) of a failed task, accounting the wait. A disarmed policy —
+/// the default — makes this a no-op, preserving retry-immediately
+/// semantics.
+fn backoff_between_attempts(
+    retry: &RetryPolicy,
+    attempt: usize,
+    stream: u64,
+    faults: &mut PhaseFaults,
+) {
+    let attempt = u32::try_from(attempt).unwrap_or(u32::MAX);
+    let nanos = retry.backoff_nanos(attempt, stream);
+    if nanos == 0 {
+        return;
+    }
+    faults.backoff_waits += 1;
+    faults.backoff_nanos = faults.backoff_nanos.saturating_add(nanos);
+    std::thread::sleep(Duration::from_nanos(nanos));
 }
 
 /// Reduces one partition: a single `catch_unwind` over the whole partition
@@ -833,6 +993,8 @@ fn reduce_partition<K, V, O, R>(
     records: Vec<(K, V)>,
     reducer: &R,
     policy: &FaultPolicy,
+    retry: &RetryPolicy,
+    stream: u64,
 ) -> (Vec<O>, PhaseFaults)
 where
     K: Hash + Eq + Ord + Debug,
@@ -870,6 +1032,7 @@ where
                         faults.note_panic(payload, policy);
                         if attempt < policy.max_task_retries {
                             faults.retries += 1;
+                            backoff_between_attempts(retry, attempt + 1, stream, &mut faults);
                         }
                     }
                 }
@@ -895,6 +1058,7 @@ where
             // as a retry even when every key then succeeds first try (a
             // transient fault consumed by the fast-path attempt).
             faults.retries += 1;
+            backoff_between_attempts(retry, 1, stream, &mut faults);
             // Degraded path: every key gets its own retry budget; output
             // order stays sorted-by-key, minus quarantined keys.
             let mut out = Vec::new();
@@ -911,6 +1075,7 @@ where
                             faults.note_panic(payload, policy);
                             if attempt < policy.max_task_retries {
                                 faults.retries += 1;
+                                backoff_between_attempts(retry, attempt + 1, stream, &mut faults);
                             }
                         }
                     }
@@ -1551,6 +1716,7 @@ mod tests {
             rng_seed: 1,
             budget: BudgetSnapshot::default(),
             resume: false,
+            io_faults: None,
             abort_after_shards: None,
         };
         let full = ckpt_run(&engine, word_shards(), &base);
@@ -1627,6 +1793,7 @@ mod tests {
                     rng_seed: 0,
                     budget: BudgetSnapshot::default(),
                     resume,
+                    io_faults: None,
                     abort_after_shards: abort,
                 },
             );
@@ -1667,6 +1834,7 @@ mod tests {
             rng_seed: 0,
             budget: BudgetSnapshot::default(),
             resume: false,
+            io_faults: None,
             abort_after_shards: None,
         };
         let full = ckpt_run(&engine, word_shards(), &base);
@@ -1696,7 +1864,185 @@ mod tests {
         assert_eq!(resumed.resumed_shards, 2);
         assert_eq!(resumed.executed_shards, 1);
         assert_eq!(resumed.outputs, full.outputs);
+        // Regression: the downgrade must be *surfaced*, not just counted —
+        // the fault report carries the corruption and a bounded sample,
+        // and both survive the persisted-report round trip.
+        assert_eq!(resumed.faults.checkpoint_corruptions, 1);
+        assert_eq!(resumed.faults.corruption_samples.len(), 1);
+        assert!(resumed.faults.corruption_samples[0].contains("shard 1"));
+        let round_tripped =
+            manifest::fault_report_from_json(&manifest::fault_report_to_json(&resumed.faults))
+                .unwrap();
+        assert_eq!(round_tripped.checkpoint_corruptions, 1);
+        assert_eq!(
+            round_tripped.corruption_samples,
+            resumed.faults.corruption_samples
+        );
+        assert!(
+            resumed.faults.is_clean(),
+            "a re-executed shard is a process fact, not a data fault"
+        );
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_save_failure_trips_breaker_and_degrades_to_in_memory() {
+        let clock = Arc::new(baywatch_obs::ManualClock::new());
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        })
+        .with_checkpoint_breaker(
+            BreakerConfig {
+                failure_threshold: 2,
+                ..BreakerConfig::default()
+            },
+            clock,
+        );
+        let dir = scratch_dir("persistent-save-failure");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let plan = FaultPlan::new().fail_all_saves();
+        let outcome = ckpt_run(
+            &engine,
+            word_shards(),
+            &CheckpointedRun {
+                store: &store,
+                fingerprint: 13,
+                rng_seed: 0,
+                budget: BudgetSnapshot::default(),
+                resume: false,
+                io_faults: Some(&plan),
+                abort_after_shards: None,
+            },
+        );
+
+        // Every shard still executed and produced output — only
+        // durability was lost.
+        let baseline_dir = scratch_dir("persistent-save-baseline");
+        let baseline_store = CheckpointStore::create(&baseline_dir).unwrap();
+        let baseline = ckpt_run(
+            &engine,
+            word_shards(),
+            &CheckpointedRun {
+                store: &baseline_store,
+                fingerprint: 13,
+                rng_seed: 0,
+                budget: BudgetSnapshot::default(),
+                resume: false,
+                io_faults: None,
+                abort_after_shards: None,
+            },
+        );
+        assert_eq!(outcome.outputs, baseline.outputs);
+        assert_eq!(outcome.executed_shards, 3);
+        assert_eq!(outcome.write_warnings, 3, "one warning per shard");
+        assert!(outcome.manifest.shards.is_empty(), "nothing was persisted");
+        // Shards 0 and 1 paid the failure; shard 2 was skipped by the
+        // open breaker without touching the (injected) store at all.
+        assert_eq!(plan.injected_faults(), 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&baseline_dir);
+    }
+
+    #[test]
+    fn transient_save_failure_skips_one_shard_record() {
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        });
+        let dir = scratch_dir("transient-save-failure");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let plan = FaultPlan::new().fail_next_saves(1);
+        let base = CheckpointedRun {
+            store: &store,
+            fingerprint: 21,
+            rng_seed: 0,
+            budget: BudgetSnapshot::default(),
+            resume: false,
+            io_faults: Some(&plan),
+            abort_after_shards: None,
+        };
+        let outcome = ckpt_run(&engine, word_shards(), &base);
+        assert_eq!(outcome.write_warnings, 1);
+        assert_eq!(outcome.executed_shards, 3);
+        // Shard 0's write failed, so only shards 1 and 2 earned manifest
+        // records; a resume re-executes exactly the unpersisted shard.
+        assert_eq!(outcome.manifest.shards.len(), 2);
+        let resumed = ckpt_run(
+            &engine,
+            word_shards(),
+            &CheckpointedRun {
+                resume: true,
+                io_faults: None,
+                ..base.clone()
+            },
+        );
+        assert_eq!(resumed.resumed_shards, 2);
+        assert_eq!(resumed.executed_shards, 1);
+        assert_eq!(resumed.write_warnings, 0);
+        assert_eq!(resumed.outputs, outcome.outputs);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn armed_retry_policy_records_backoff_waits() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        })
+        .with_metrics(Arc::clone(&metrics))
+        .with_retry_policy(RetryPolicy {
+            max_retries: 2,
+            base_nanos: 1_000, // 1 µs: observable in counters, invisible in wall time
+            ..RetryPolicy::default()
+        });
+        let plan = FaultPlan::new().panic_on_map_call(0);
+        let (out, report) = engine.run_fault_tolerant(
+            vec!["a b", "c"],
+            |doc: &&str, emit| {
+                plan.map_checkpoint(doc);
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |w: &String, ones: &[usize]| vec![(w.clone(), ones.len())],
+        );
+        assert_eq!(out.len(), 3);
+        assert_eq!(report.quarantined_inputs, 0, "fault absorbed by retry");
+        assert!(report.map_retries >= 1);
+        let snap = metrics.snapshot();
+        assert!(snap.counters["resilience.retry.waits"] >= 1);
+        assert!(snap.counters["resilience.retry.backoff_nanos"] >= 500);
+    }
+
+    #[test]
+    fn disarmed_retry_policy_leaves_the_registry_untouched() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let engine = MapReduce::new(JobConfig {
+            partitions: 4,
+            threads: 2,
+        })
+        .with_metrics(Arc::clone(&metrics));
+        let plan = FaultPlan::new().panic_on_map_call(0);
+        let (_, report) = engine.run_fault_tolerant(
+            vec!["a b", "c"],
+            |doc: &&str, emit| {
+                plan.map_checkpoint(doc);
+                for w in doc.split_whitespace() {
+                    emit(w.to_owned(), 1usize);
+                }
+            },
+            |w: &String, ones: &[usize]| vec![(w.clone(), ones.len())],
+        );
+        assert!(report.map_retries >= 1);
+        let snap = metrics.snapshot();
+        assert!(
+            !snap.counters.contains_key("resilience.retry.waits"),
+            "immediate retries must not register backoff counters"
+        );
     }
 }

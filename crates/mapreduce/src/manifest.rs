@@ -37,7 +37,7 @@ use std::time::Duration;
 use baywatch_obs::json::{parse, JsonValue};
 use baywatch_obs::{HistogramSnapshot, JsonWriter, MetricsSnapshot};
 
-use crate::fault::{FaultPolicy, FaultReport};
+use crate::fault::{FaultPlan, FaultPolicy, FaultReport};
 
 /// Version tag of the on-disk manifest schema. A manifest written by a
 /// different version is treated as corrupt (fresh run + warning), never
@@ -328,6 +328,10 @@ fn read_dlq_entry(doc: &JsonValue) -> Option<DlqEntry> {
 pub fn fault_report_to_json(report: &FaultReport) -> String {
     let mut w = JsonWriter::new();
     w.raw("{");
+    w.key("checkpoint_corruptions");
+    w.uint(report.checkpoint_corruptions as u64);
+    w.key("corruption_samples");
+    write_string_array(&mut w, &report.corruption_samples);
     w.key("input_samples");
     write_string_array(&mut w, &report.input_samples);
     w.key("key_samples");
@@ -372,6 +376,16 @@ fn fault_report_from_value(doc: &JsonValue) -> Option<FaultReport> {
         timed_out_inputs: doc.get("timed_out_inputs")?.as_u64()? as usize,
         timed_out_keys: doc.get("timed_out_keys")?.as_u64()? as usize,
         lost_values: doc.get("lost_values")?.as_u64()? as usize,
+        // Absent in pre-resilience checkpoints: default rather than
+        // refuse, so old shard files still restore.
+        checkpoint_corruptions: doc
+            .get("checkpoint_corruptions")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0) as usize,
+        corruption_samples: doc
+            .get("corruption_samples")
+            .and_then(read_string_array)
+            .unwrap_or_default(),
         input_samples: read_string_array(doc.get("input_samples")?)?,
         key_samples: read_string_array(doc.get("key_samples")?)?,
         timeout_samples: read_string_array(doc.get("timeout_samples")?)?,
@@ -646,6 +660,10 @@ pub struct CheckpointedRun<'a> {
     /// Whether to resume from an existing manifest. `false` always
     /// starts fresh, overwriting whatever the directory holds.
     pub resume: bool,
+    /// Test/CI hook: a fault plan whose injected I/O errors are consulted
+    /// before every checkpoint write, exercising the degrade-to-in-memory
+    /// path without a genuinely broken filesystem.
+    pub io_faults: Option<&'a FaultPlan>,
     /// Test/CI hook: stop (gracefully, manifest persisted) after this
     /// many *fresh* shard executions, simulating a kill at a
     /// deterministic checkpoint boundary.
@@ -669,6 +687,9 @@ pub struct ShardedOutcome<O> {
     pub executed_shards: usize,
     /// Checkpoint artifacts that existed but could not be trusted.
     pub load_warnings: usize,
+    /// Checkpoint writes that failed or were skipped by an open breaker;
+    /// the run degraded to in-memory execution for those shards.
+    pub write_warnings: usize,
     /// Set when `abort_after_shards` stopped the run early.
     pub interrupted: bool,
 }

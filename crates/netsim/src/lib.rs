@@ -48,6 +48,7 @@ pub mod enterprise;
 pub mod malware;
 pub mod netflow;
 pub mod oracle;
+pub mod resilience;
 pub mod rngutil;
 pub mod synth;
 pub mod tracestats;

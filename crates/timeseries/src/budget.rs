@@ -33,6 +33,9 @@ use crate::TimeSeriesError;
 struct BudgetInner {
     /// Absolute wall-clock deadline, if armed.
     deadline: Option<Instant>,
+    /// The wall-clock allowance the deadline was armed with, kept so
+    /// utilization can be expressed as a fraction of it.
+    allowance: Option<Duration>,
     /// Maximum abstract work units, if armed.
     max_ops: Option<u64>,
     /// Work units charged so far.
@@ -76,6 +79,7 @@ impl ExecBudget {
         ExecBudget {
             inner: Arc::new(BudgetInner {
                 deadline: wall.map(|d| Instant::now() + d),
+                allowance: wall,
                 max_ops,
                 ops: AtomicU64::new(0),
                 cancelled: AtomicBool::new(false),
@@ -129,6 +133,35 @@ impl ExecBudget {
             }
         }
         false
+    }
+
+    /// The fraction of the tightest armed limit consumed so far: `0.0`
+    /// idle, `≥ 1.0` exhausted, always `0.0` for an unlimited budget
+    /// (and `1.0` once cancelled).
+    ///
+    /// The ops fraction is a pure function of the charged work, so for
+    /// ops-ceiling budgets — the deterministic kind the tests arm — the
+    /// pressure stream feeding the admission controller is byte-
+    /// reproducible. The wall-clock fraction reads the same audited
+    /// `Instant` source the deadline itself uses.
+    pub fn utilization(&self) -> f64 {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return 1.0;
+        }
+        let ops_frac = match self.inner.max_ops {
+            Some(max) if max > 0 => self.ops_used() as f64 / max as f64,
+            Some(_) => 1.0,
+            None => 0.0,
+        };
+        let wall_frac = match (self.inner.deadline, self.inner.allowance) {
+            (Some(deadline), Some(allowance)) if !allowance.is_zero() => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                1.0 - (remaining.as_secs_f64() / allowance.as_secs_f64()).min(1.0)
+            }
+            (Some(_), _) => 1.0,
+            _ => 0.0,
+        };
+        ops_frac.max(wall_frac)
     }
 
     /// Charges `units` and unwinds with
@@ -210,6 +243,36 @@ mod tests {
         let b = ExecBudget::new(None, Some(100));
         assert!(!b.charge(100));
         assert!(!b.is_exhausted());
+    }
+
+    #[test]
+    fn utilization_tracks_the_ops_fraction() {
+        let b = ExecBudget::new(None, Some(200));
+        assert_eq!(b.utilization(), 0.0);
+        let _ = b.charge(50);
+        assert_eq!(b.utilization(), 0.25);
+        let _ = b.charge(150);
+        assert_eq!(b.utilization(), 1.0);
+        let _ = b.charge(100);
+        assert_eq!(b.utilization(), 1.5, "over-charge reads past 1.0");
+    }
+
+    #[test]
+    fn utilization_is_zero_for_unlimited_and_one_when_cancelled() {
+        let b = ExecBudget::unlimited();
+        assert_eq!(b.utilization(), 0.0);
+        let _ = b.charge(1_000_000);
+        assert_eq!(b.utilization(), 0.0);
+        b.cancel();
+        assert_eq!(b.utilization(), 1.0);
+    }
+
+    #[test]
+    fn utilization_reads_the_wall_fraction() {
+        let b = ExecBudget::new(Some(Duration::from_millis(0)), None);
+        assert!(b.utilization() >= 1.0, "expired deadline reads ≥ 1");
+        let generous = ExecBudget::new(Some(Duration::from_secs(600)), None);
+        assert!(generous.utilization() < 0.01, "fresh 10-minute allowance");
     }
 
     #[test]

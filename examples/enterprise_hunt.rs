@@ -27,17 +27,53 @@
 //! cargo run --release --example enterprise_hunt -- --checkpoint-dir /tmp/hunt
 //! cargo run --release --example enterprise_hunt -- --checkpoint-dir /tmp/hunt --resume --replay-dlq
 //! ```
+//!
+//! Resilience knobs (see DESIGN.md §11):
+//!
+//! * `--breaker-failures N` / `--breaker-rate F` / `--breaker-cooldown-secs S`
+//!   configure the per-source ingest circuit breakers,
+//! * `--max-retries N` / `--backoff-base NANOS` arm the retry backoff
+//!   schedule between MapReduce task attempts (base 0 = disarmed),
+//! * `--flapping` replaces the hunt with a breaker soak: a netsim
+//!   flapping ELFF source (alternating clean / 90%-corrupt windows) is
+//!   driven through the guarded ingest on a manual clock, demonstrating
+//!   the full open → half-open → closed recovery cycle with exact
+//!   per-line accounting; combine with `--json` for the machine export,
+//! * `--print-backoff` prints the deterministic backoff schedule and
+//!   exits (the CI soak job diffs this output across debug and release).
 
 #![warn(clippy::unwrap_used)]
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use baywatch::core::checkpoint::CheckpointSpec;
+use baywatch::core::io::IngestGuard;
 use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
 use baywatch::core::report::export_json;
 use baywatch::netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};
+use baywatch::netsim::resilience::{flapping_source, FlappingConfig};
+use baywatch::obs::{Clock, ManualClock};
 use baywatch::record_from_event;
+use baywatch::resilience::{BreakerConfig, RetryPolicy};
 use baywatch::timeseries::BudgetSpec;
+
+/// Parses the value following `name`, exiting with a message when present
+/// but unparseable.
+fn flag_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == name)?;
+    let Some(raw) = args.get(i + 1) else {
+        eprintln!("{name} requires a value");
+        std::process::exit(2);
+    };
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("invalid value `{raw}` for {name}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -52,6 +88,28 @@ fn main() {
     if (resume || replay_dlq) && checkpoint_dir.is_none() {
         eprintln!("--resume / --replay-dlq require --checkpoint-dir DIR");
         std::process::exit(2);
+    }
+    let mut retry = RetryPolicy::default();
+    if let Some(n) = flag_value(&args, "--max-retries") {
+        retry.max_retries = n;
+    }
+    if let Some(base) = flag_value(&args, "--backoff-base") {
+        retry.base_nanos = base;
+    }
+    if args.iter().any(|a| a == "--print-backoff") {
+        print_backoff_schedule(&retry);
+        return;
+    }
+    let breaker = BreakerConfig {
+        failure_threshold: flag_value(&args, "--breaker-failures").unwrap_or(5),
+        failure_rate: flag_value(&args, "--breaker-rate").unwrap_or(0.2),
+        cooldown_nanos: flag_value::<u64>(&args, "--breaker-cooldown-secs").unwrap_or(60)
+            * 1_000_000_000,
+        ..BreakerConfig::default()
+    };
+    if args.iter().any(|a| a == "--flapping") {
+        run_flapping_scenario(breaker, retry, emit_json);
+        return;
     }
     // ---- Simulate the enterprise. -------------------------------------
     let config = EnterpriseConfig {
@@ -84,6 +142,7 @@ fn main() {
     // 1–5 hosts far below.
     let config = BaywatchConfig {
         local_tau: 0.05,
+        retry,
         ..Default::default()
     };
     // DLQ replay runs under 4× the per-pair detection budget (a limit of
@@ -189,5 +248,100 @@ fn main() {
             println!("\n--- observability export (--json) ---");
             println!("{}", export_json(report, &engine.metrics_snapshot(), 10));
         }
+    }
+}
+
+/// Prints the retry backoff schedule for a grid of (stream, attempt)
+/// pairs. The schedule is a pure function of the policy, so this output
+/// is byte-identical across builds and optimization levels — the CI soak
+/// job diffs it between debug and release binaries.
+fn print_backoff_schedule(retry: &RetryPolicy) {
+    println!(
+        "backoff schedule: base={} multiplier={} cap={} seed={:#x} jitter={} max_retries={}",
+        retry.base_nanos, retry.multiplier, retry.cap_nanos, retry.seed, retry.jitter, retry.max_retries
+    );
+    let attempts = retry.max_retries.max(4);
+    for stream in 0..4u64 {
+        for attempt in 1..=attempts {
+            println!(
+                "stream={stream} attempt={attempt} nanos={}",
+                retry.backoff_nanos(attempt, stream)
+            );
+        }
+    }
+}
+
+/// Drives a netsim flapping ELFF source (alternating clean and
+/// 90%-corrupt windows) through the breaker-guarded ingest on a manual
+/// clock, then analyzes the admitted records. The window cadence exceeds
+/// the breaker cooldown, so every bad window trips the source open and
+/// every following clean window walks it through half-open probes back
+/// to closed — the `resilience.ingest.*` counters in the `--json` export
+/// carry the full cycle.
+fn run_flapping_scenario(breaker: BreakerConfig, retry: RetryPolicy, emit_json: bool) {
+    let flap = FlappingConfig {
+        windows: 8,
+        ..Default::default()
+    };
+    let windows = flapping_source(&flap, 42);
+    let clock = Arc::new(ManualClock::new());
+    let mut guard = IngestGuard::new(breaker, clock.clone() as Arc<dyn Clock>);
+    let mut records = Vec::new();
+    let (mut offered, mut admitted, mut rejected) = (0usize, 0usize, 0usize);
+    println!(
+        "flapping source: {} windows x {} events, corruption {:.0}% on bad windows",
+        flap.windows,
+        flap.events_per_window,
+        flap.bad_corruption_rate * 100.0
+    );
+    for w in &windows {
+        let out = match guard.read_elff_source("flapping-proxy", w.bytes.as_slice()) {
+            Ok(out) => out,
+            Err(err) => {
+                eprintln!("in-memory read cannot fail: {err}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "window {} ({}): offered {} admitted {} rejected {} probes {} malformed {} -> {:?}",
+            w.index,
+            if w.bad { "corrupt" } else { "clean" },
+            out.offered_lines,
+            out.admitted_lines,
+            out.rejected_lines,
+            out.probe_lines,
+            out.outcome.malformed_lines,
+            out.final_state
+        );
+        offered += out.offered_lines;
+        admitted += out.admitted_lines;
+        rejected += out.rejected_lines;
+        records.extend(out.outcome.records);
+        clock.advance(flap.window_seconds * 1_000_000_000);
+    }
+    let stats = guard.stats();
+    println!(
+        "breaker cycle: opened {} half-opened {} closed {}",
+        stats.opened, stats.half_opened, stats.closed
+    );
+    println!(
+        "flapping accounting: offered={offered} admitted={admitted} rejected={rejected} exact={}",
+        offered == admitted + rejected
+    );
+    let config = BaywatchConfig {
+        local_tau: 0.05,
+        retry,
+        ..Default::default()
+    };
+    let mut engine = Baywatch::with_clock(config, clock);
+    guard.record_metrics(engine.metrics());
+    let report = engine.analyze(records);
+    println!(
+        "analysis of admitted lines: {} events, {} pairs, {} periodic, {} reported",
+        report.stats.events, report.stats.pairs, report.stats.periodic, report.stats.reported
+    );
+    if emit_json {
+        println!("\n--- observability export (--json) ---");
+        println!("{}", export_json(&report, &engine.metrics_snapshot(), 10));
     }
 }

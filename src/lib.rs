@@ -11,6 +11,7 @@
 //! * [`mapreduce`] — the in-process MapReduce engine,
 //! * [`netsim`] — the enterprise traffic simulator and noise models,
 //! * [`obs`] — the metrics registry and stage tracer,
+//! * [`resilience`] — circuit breakers, retry backoff and admission control,
 //! * [`stats`] — the statistical substrate.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md for
@@ -22,6 +23,7 @@ pub use baywatch_langmodel as langmodel;
 pub use baywatch_mapreduce as mapreduce;
 pub use baywatch_netsim as netsim;
 pub use baywatch_obs as obs;
+pub use baywatch_resilience as resilience;
 pub use baywatch_stats as stats;
 pub use baywatch_timeseries as timeseries;
 

@@ -607,3 +607,84 @@ fn dlq_replay_under_larger_budget_readmits_quarantined_pair() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A flapping ELFF source (clean / 80%-corrupt alternating windows) must
+/// walk its ingest breaker through the full recovery cycle with exact
+/// accounting, and the run must be byte-reproducible: same seed, same
+/// manual clock, same ledger, same transition log.
+#[test]
+fn flapping_source_recovers_with_exact_accounting() {
+    use baywatch::core::io::IngestGuard;
+    use baywatch::netsim::resilience::{flapping_source, FlappingConfig};
+    use baywatch::obs::{Clock, ManualClock};
+    use baywatch::resilience::BreakerConfig;
+
+    let config = FlappingConfig {
+        windows: 8,
+        ..FlappingConfig::default()
+    };
+
+    let run = || {
+        let clock = Arc::new(ManualClock::new());
+        let mut guard = IngestGuard::new(
+            BreakerConfig::default(),
+            clock.clone() as Arc<dyn Clock>,
+        );
+        let mut ledger = Vec::new();
+        let mut records = 0usize;
+        for window in flapping_source(&config, 42) {
+            let out = guard
+                .read_elff_source("flapping-proxy", window.bytes.as_slice())
+                .unwrap();
+            // Per-window exactness: every offered line is either admitted
+            // or rejected, and every admitted line either parsed or was
+            // counted malformed.
+            assert_eq!(out.offered_lines, out.admitted_lines + out.rejected_lines);
+            assert_eq!(
+                out.admitted_lines,
+                out.outcome.records.len() + out.outcome.malformed_lines
+            );
+            records += out.outcome.records.len();
+            ledger.push((
+                window.index,
+                window.bad,
+                out.offered_lines,
+                out.admitted_lines,
+                out.rejected_lines,
+                out.probe_lines,
+                out.transitions.len(),
+            ));
+            clock.advance(config.window_seconds * 1_000_000_000);
+        }
+        (ledger, records, guard.stats())
+    };
+
+    let (ledger, records, stats) = run();
+
+    // Every bad window trips the breaker open; every clean window that
+    // follows recovers it through half-open probes. With 8 alternating
+    // windows starting clean that is 4 trips and 3 completed recoveries
+    // (the run ends on a bad window, so the final cycle never closes).
+    assert_eq!(stats.opened, 4);
+    assert_eq!(stats.half_opened, 3);
+    assert_eq!(stats.closed, 3);
+    assert!(stats.probes >= stats.half_opened);
+
+    // Global ledger exactness across the whole run.
+    let offered: usize = ledger.iter().map(|w| w.2).sum();
+    let admitted: usize = ledger.iter().map(|w| w.3).sum();
+    let rejected: usize = ledger.iter().map(|w| w.4).sum();
+    assert_eq!(offered as u64, stats.admitted + stats.rejected);
+    assert_eq!(offered, admitted + rejected);
+    assert!(records > 0 && records <= admitted);
+
+    // Clean windows after recovery admit everything; open-window lines
+    // are rejected unparsed, never counted malformed.
+    assert!(rejected > 0, "open breaker must have shed load");
+
+    // Byte-for-byte reproducibility of the entire admission history.
+    let (ledger2, records2, stats2) = run();
+    assert_eq!(ledger, ledger2);
+    assert_eq!(records, records2);
+    assert_eq!(stats, stats2);
+}
