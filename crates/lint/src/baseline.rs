@@ -294,6 +294,7 @@ mod tests {
             line: 1,
             snippet: snippet.to_string(),
             message: String::new(),
+            fix: None,
         }
     }
 

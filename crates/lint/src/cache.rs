@@ -1,0 +1,308 @@
+//! Incremental file-hash cache: skip re-analyzing files whose content,
+//! configuration, and rule set have not changed since the last run.
+//!
+//! Format is a line-oriented TSV kept deliberately trivial:
+//!
+//! ```text
+//! baywatch-lint-cache    v1    <config-digest-hex>
+//! P    <fnv64-hex>    <rel-path>
+//! F    <rule>    <line>    <escaped snippet>    <escaped message>
+//! ```
+//!
+//! Each `P` line records one analyzed file; the `F` lines that follow it
+//! are its findings (none for a clean file). Snippet/message fields are
+//! backslash-escaped so tabs and newlines cannot break framing.
+//!
+//! The header digest folds in `lint.toml`, `METRICS.md`, and a rule-set
+//! version constant, so editing any of them — or shipping new rules —
+//! invalidates everything at once. A cache that fails to parse for any
+//! reason is simply discarded: the only cost of a bad cache is a cold run.
+//!
+//! Cached findings never carry fixes (`--fix` bypasses the cache), and the
+//! cache lives under `target/` by default so it is never committed.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use crate::fix::Fix;
+use crate::rules::{Finding, RULE_IDS};
+
+/// Bump when rule behaviour changes in a way content hashing cannot see.
+const RULES_VERSION: &str = "rules-v2-L1..L7";
+
+const MAGIC: &str = "baywatch-lint-cache";
+const VERSION: &str = "v1";
+
+/// FNV-1a 64-bit — tiny, fast, and deterministic across platforms.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest over everything that can change findings besides file content.
+pub fn config_digest(config_text: &str, manifest_text: &str) -> u64 {
+    let mut h = fnv64(RULES_VERSION.as_bytes());
+    h ^= fnv64(config_text.as_bytes()).rotate_left(17);
+    h ^= fnv64(manifest_text.as_bytes()).rotate_left(34);
+    h
+}
+
+/// The cache as loaded from disk: per-path content hash and findings.
+#[derive(Debug, Default)]
+pub struct Cache {
+    digest: u64,
+    entries: HashMap<String, (u64, Vec<Finding>)>,
+    /// Fresh results accumulated during this run, written back by `save`.
+    updated: HashMap<String, (u64, Vec<Finding>)>,
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl Cache {
+    /// Loads the cache at `path`, tolerant of every failure mode: missing,
+    /// unreadable, stale digest, or corrupt lines all yield an empty
+    /// (cold) cache for this digest.
+    pub fn load(path: &Path, digest: u64) -> Self {
+        let mut cache = Self {
+            digest,
+            ..Self::default()
+        };
+        let Ok(text) = fs::read_to_string(path) else {
+            return cache;
+        };
+        let mut lines = text.lines();
+        let Some(header) = lines.next() else {
+            return cache;
+        };
+        let head: Vec<&str> = header.split('\t').collect();
+        if head.len() != 3 || head[0] != MAGIC || head[1] != VERSION {
+            return cache;
+        }
+        if u64::from_str_radix(head[2], 16) != Ok(digest) {
+            return cache;
+        }
+        let mut current: Option<String> = None;
+        for line in lines {
+            let cells: Vec<&str> = line.split('\t').collect();
+            match cells.as_slice() {
+                ["P", hash, rel_path] => {
+                    let Ok(h) = u64::from_str_radix(hash, 16) else {
+                        return Self {
+                            digest,
+                            ..Self::default()
+                        };
+                    };
+                    cache
+                        .entries
+                        .insert((*rel_path).to_string(), (h, Vec::new()));
+                    current = Some((*rel_path).to_string());
+                }
+                ["F", rule, line_no, snippet, message] => {
+                    let (Some(path), Some(rule), Ok(line_no)) = (
+                        current.as_ref(),
+                        RULE_IDS.iter().find(|r| *r == rule),
+                        line_no.parse::<u32>(),
+                    ) else {
+                        return Self {
+                            digest,
+                            ..Self::default()
+                        };
+                    };
+                    let finding = Finding {
+                        rule,
+                        path: path.clone(),
+                        line: line_no,
+                        snippet: unescape(snippet),
+                        message: unescape(message),
+                        fix: None,
+                    };
+                    if let Some((_, fs)) = cache.entries.get_mut(path) {
+                        fs.push(finding);
+                    }
+                }
+                _ => {
+                    return Self {
+                        digest,
+                        ..Self::default()
+                    };
+                }
+            }
+        }
+        cache
+    }
+
+    /// Cached findings for `rel_path` when its content hash still matches.
+    pub fn get(&mut self, rel_path: &str, content_hash: u64) -> Option<Vec<Finding>> {
+        match self.entries.get(rel_path) {
+            Some((h, findings)) if *h == content_hash => {
+                self.hits += 1;
+                self.updated
+                    .insert(rel_path.to_string(), (content_hash, findings.clone()));
+                Some(findings.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records freshly computed findings for `rel_path`.
+    pub fn put(&mut self, rel_path: &str, content_hash: u64, findings: &[Finding]) {
+        let stripped: Vec<Finding> = findings
+            .iter()
+            .map(|f| Finding {
+                fix: None::<Fix>,
+                ..f.clone()
+            })
+            .collect();
+        self.updated
+            .insert(rel_path.to_string(), (content_hash, stripped));
+    }
+
+    /// Writes the refreshed cache to `path`. Only files seen this run are
+    /// kept, so deleted files cannot pin stale entries forever.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut out = format!("{MAGIC}\t{VERSION}\t{:016x}\n", self.digest);
+        let mut paths: Vec<&String> = self.updated.keys().collect();
+        paths.sort();
+        for p in paths {
+            let (hash, findings) = &self.updated[p];
+            out.push_str(&format!("P\t{hash:016x}\t{p}\n"));
+            for f in findings {
+                out.push_str(&format!(
+                    "F\t{}\t{}\t{}\t{}\n",
+                    f.rule,
+                    f.line,
+                    escape(&f.snippet),
+                    escape(&f.message)
+                ));
+            }
+        }
+        fs::write(path, out)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            snippet: snippet.to_string(),
+            message: "msg with\ttab and\nnewline".to_string(),
+            fix: None,
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lint-cache-{tag}-{}.tsv", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_findings_through_disk() {
+        let path = temp_path("rt");
+        let digest = config_digest("cfg", "manifest");
+        let mut cache = Cache::load(&path, digest);
+        let fs_in = vec![finding("L4-panic", "x.unwrap();")];
+        cache.put("crates/x/src/lib.rs", 42, &fs_in);
+        cache.put("crates/y/src/lib.rs", 43, &[]);
+        cache.save(&path).expect("cache save");
+
+        let mut reloaded = Cache::load(&path, digest);
+        let hit = reloaded.get("crates/x/src/lib.rs", 42).expect("warm hit");
+        assert_eq!(hit, fs_in);
+        assert_eq!(reloaded.get("crates/y/src/lib.rs", 43), Some(vec![]));
+        assert_eq!(reloaded.hits, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn content_change_and_digest_change_both_invalidate() {
+        let path = temp_path("inv");
+        let digest = config_digest("cfg", "manifest");
+        let mut cache = Cache::load(&path, digest);
+        cache.put("a.rs", 1, &[finding("L4-panic", "s")]);
+        cache.save(&path).expect("cache save");
+
+        let mut same = Cache::load(&path, digest);
+        assert!(
+            same.get("a.rs", 2).is_none(),
+            "content hash mismatch is a miss"
+        );
+
+        let mut other = Cache::load(&path, config_digest("different", "manifest"));
+        assert!(
+            other.get("a.rs", 1).is_none(),
+            "digest mismatch discards the cache"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_caches_degrade_to_cold() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "not a cache\nat all").expect("write cache file");
+        let mut cache = Cache::load(&path, 7);
+        assert!(cache.get("a.rs", 1).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_rule_ids_discard_the_cache() {
+        let path = temp_path("rule");
+        let text = format!(
+            "{MAGIC}\t{VERSION}\t{:016x}\nP\t{:016x}\ta.rs\nF\tL9-imaginary\t1\ts\tm\n",
+            9u64, 1u64
+        );
+        std::fs::write(&path, text).expect("write cache file");
+        let mut cache = Cache::load(&path, 9);
+        assert!(cache.get("a.rs", 1).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,14 +1,19 @@
-//! `lint.toml` — the suppression allowlist.
+//! `lint.toml` — the suppression allowlist plus the declared policies the
+//! symbol-resolved rules enforce.
 //!
-//! Every entry names a rule, a file, and — non-negotiably — a human
-//! `reason`. An allowlist without written justifications decays into a
-//! list of things nobody remembers agreeing to; the parser rejects empty
-//! or missing reasons outright.
+//! Every `[[allow]]` entry names a rule, a file, and — non-negotiably — a
+//! human `reason`. An allowlist without written justifications decays into
+//! a list of things nobody remembers agreeing to; the parser rejects empty
+//! or missing reasons outright. The same discipline applies to the policy
+//! tables: `[[atomic]]` (per-module atomic-ordering policy for
+//! L5-atomic-ordering) and `[[ledger]]` (accounting types whose arithmetic
+//! L7-ledger-arith audits) both require a written `reason`.
 //!
 //! The accepted grammar is the TOML subset the file actually needs
-//! (comments, `[[allow]]` table arrays, `key = "string"` pairs), parsed
-//! strictly: unknown tables, unknown keys, bare values, or duplicate keys
-//! are hard errors, so a typo cannot silently suppress nothing.
+//! (comments, `[[allow]]`/`[[atomic]]`/`[[ledger]]` table arrays,
+//! `key = "string"` and `key = ["a", "b"]` pairs), parsed strictly:
+//! unknown tables, unknown keys, bare values, or duplicate keys are hard
+//! errors, so a typo cannot silently suppress nothing.
 //!
 //! ```toml
 //! [[allow]]
@@ -16,10 +21,24 @@
 //! path = "crates/timeseries/src/budget.rs"
 //! pattern = "Instant::now"   # optional: flagged line must contain this
 //! reason = "ExecBudget deliberately reads the wall clock; budgets only early-exit"
+//!
+//! [[atomic]]
+//! path = "crates/obs/src/registry.rs"
+//! allow = ["Relaxed"]
+//! fix = "Relaxed"            # optional: --fix rewrites violations to this
+//! reason = "monotone counters merged exactly after join; no ordering needed"
+//!
+//! [[ledger]]
+//! path = "crates/resilience/src/breaker.rs"
+//! types = ["BreakerStats"]
+//! reason = "admitted + rejected == allow() calls is a tested invariant"
 //! ```
 
 use crate::rules::{Finding, RULE_IDS};
 use crate::LintError;
+
+/// The orderings an `[[atomic]]` policy may declare.
+pub const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// One suppression, scoped to (rule, file, optional line substring).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,20 +60,67 @@ impl AllowEntry {
     }
 }
 
-/// The parsed allowlist.
+/// One module's declared atomic-ordering policy (L5-atomic-ordering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicPolicy {
+    /// Workspace-relative file the policy governs, exactly.
+    pub path: String,
+    /// Orderings this module is allowed to use.
+    pub allow: Vec<String>,
+    /// When set, `--fix` rewrites out-of-policy orderings to this one.
+    /// Must itself be in `allow`.
+    pub fix: Option<String>,
+    pub reason: String,
+    pub defined_at: u32,
+}
+
+/// One module's declared accounting types (L7-ledger-arith).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerDecl {
+    /// Workspace-relative file the declaration governs, exactly.
+    pub path: String,
+    /// Type names whose `impl` blocks carry exact-conservation invariants.
+    pub types: Vec<String>,
+    pub reason: String,
+    pub defined_at: u32,
+}
+
+/// The parsed configuration.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Config {
     pub allows: Vec<AllowEntry>,
+    pub atomics: Vec<AtomicPolicy>,
+    pub ledgers: Vec<LedgerDecl>,
 }
 
 impl Config {
+    /// The atomic policy governing `rel_path`, if declared.
+    pub fn atomic_policy(&self, rel_path: &str) -> Option<&AtomicPolicy> {
+        self.atomics.iter().find(|p| p.path == rel_path)
+    }
+
+    /// The ledger declaration governing `rel_path`, if declared.
+    pub fn ledger(&self, rel_path: &str) -> Option<&LedgerDecl> {
+        self.ledgers.iter().find(|l| l.path == rel_path)
+    }
+
     /// Parses `lint.toml` text. `origin` names the file in error messages.
     pub fn parse(text: &str, origin: &str) -> Result<Self, LintError> {
         let err = |line: usize, msg: String| {
             Err(LintError::Config(format!("{origin}:{}: {msg}", line + 1)))
         };
-        let mut allows: Vec<AllowEntry> = Vec::new();
-        let mut current: Option<PartialEntry> = None;
+        let mut cfg = Config::default();
+        let mut current: Option<Partial> = None;
+        let flush = |cfg: &mut Config, current: &mut Option<Partial>| -> Result<(), LintError> {
+            if let Some(partial) = current.take() {
+                match partial {
+                    Partial::Allow(p) => cfg.allows.push(p.finish(origin)?),
+                    Partial::Atomic(p) => cfg.atomics.push(p.finish(origin)?),
+                    Partial::Ledger(p) => cfg.ledgers.push(p.finish(origin)?),
+                }
+            }
+            Ok(())
+        };
 
         for (lineno, raw) in text.lines().enumerate() {
             let line = strip_comment(raw).trim().to_string();
@@ -62,65 +128,144 @@ impl Config {
                 continue;
             }
             if line.starts_with('[') {
-                if let Some(entry) = current.take() {
-                    allows.push(entry.finish(origin)?);
-                }
-                if line != "[[allow]]" {
-                    return err(
-                        lineno,
-                        format!("unknown table `{line}`; only `[[allow]]` entries are accepted"),
-                    );
-                }
-                current = Some(PartialEntry::new(lineno as u32 + 1));
+                flush(&mut cfg, &mut current)?;
+                current = Some(match line.as_str() {
+                    "[[allow]]" => Partial::Allow(PartialAllow::new(lineno as u32 + 1)),
+                    "[[atomic]]" => Partial::Atomic(PartialAtomic::new(lineno as u32 + 1)),
+                    "[[ledger]]" => Partial::Ledger(PartialLedger::new(lineno as u32 + 1)),
+                    other => {
+                        return err(
+                            lineno,
+                            format!(
+                            "unknown table `{other}`; accepted: [[allow]], [[atomic]], [[ledger]]"
+                        ),
+                        )
+                    }
+                });
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
                 return err(lineno, format!("expected `key = \"value\"`, got `{line}`"));
             };
             let key = key.trim();
-            let value = match parse_string(value.trim()) {
-                Some(v) => v,
-                None => {
-                    return err(
-                        lineno,
-                        format!("value for `{key}` must be a double-quoted string"),
-                    )
-                }
-            };
+            let value = value.trim();
             let Some(entry) = current.as_mut() else {
-                return err(
-                    lineno,
-                    format!("`{key}` appears before any `[[allow]]` table"),
-                );
+                return err(lineno, format!("`{key}` appears before any table"));
             };
-            let slot = match key {
-                "rule" => &mut entry.rule,
-                "path" => &mut entry.path,
-                "pattern" => &mut entry.pattern,
-                "reason" => &mut entry.reason,
-                other => {
-                    return err(
-                        lineno,
-                        format!("unknown key `{other}`; allowed: rule, path, pattern, reason"),
-                    )
+            let as_string = |value: &str, key: &str| -> Result<String, LintError> {
+                parse_string(value).ok_or_else(|| {
+                    LintError::Config(format!(
+                        "{origin}:{}: value for `{key}` must be a double-quoted string",
+                        lineno + 1
+                    ))
+                })
+            };
+            let as_array = |value: &str, key: &str| -> Result<Vec<String>, LintError> {
+                parse_string_array(value).ok_or_else(|| {
+                    LintError::Config(format!(
+                        "{origin}:{}: value for `{key}` must be an array of double-quoted strings",
+                        lineno + 1
+                    ))
+                })
+            };
+            let dup = |key: &str| {
+                LintError::Config(format!(
+                    "{origin}:{}: duplicate key `{key}` in one table entry",
+                    lineno + 1
+                ))
+            };
+            match entry {
+                Partial::Allow(p) => {
+                    let slot = match key {
+                        "rule" => &mut p.rule,
+                        "path" => &mut p.path,
+                        "pattern" => &mut p.pattern,
+                        "reason" => &mut p.reason,
+                        other => {
+                            return err(
+                                lineno,
+                                format!(
+                                    "unknown key `{other}` in [[allow]]; \
+                                     allowed: rule, path, pattern, reason"
+                                ),
+                            )
+                        }
+                    };
+                    if slot.is_some() {
+                        return Err(dup(key));
+                    }
+                    *slot = Some(as_string(value, key)?);
                 }
-            };
-            if slot.is_some() {
-                return err(
-                    lineno,
-                    format!("duplicate key `{key}` in one [[allow]] entry"),
-                );
+                Partial::Atomic(p) => match key {
+                    "path" | "fix" | "reason" => {
+                        let slot = match key {
+                            "path" => &mut p.path,
+                            "fix" => &mut p.fix,
+                            _ => &mut p.reason,
+                        };
+                        if slot.is_some() {
+                            return Err(dup(key));
+                        }
+                        *slot = Some(as_string(value, key)?);
+                    }
+                    "allow" => {
+                        if p.allow.is_some() {
+                            return Err(dup(key));
+                        }
+                        p.allow = Some(as_array(value, key)?);
+                    }
+                    other => {
+                        return err(
+                            lineno,
+                            format!(
+                                "unknown key `{other}` in [[atomic]]; \
+                                 allowed: path, allow, fix, reason"
+                            ),
+                        )
+                    }
+                },
+                Partial::Ledger(p) => match key {
+                    "path" | "reason" => {
+                        let slot = if key == "path" {
+                            &mut p.path
+                        } else {
+                            &mut p.reason
+                        };
+                        if slot.is_some() {
+                            return Err(dup(key));
+                        }
+                        *slot = Some(as_string(value, key)?);
+                    }
+                    "types" => {
+                        if p.types.is_some() {
+                            return Err(dup(key));
+                        }
+                        p.types = Some(as_array(value, key)?);
+                    }
+                    other => {
+                        return err(
+                            lineno,
+                            format!(
+                                "unknown key `{other}` in [[ledger]]; \
+                                 allowed: path, types, reason"
+                            ),
+                        )
+                    }
+                },
             }
-            *slot = Some(value);
         }
-        if let Some(entry) = current.take() {
-            allows.push(entry.finish(origin)?);
-        }
-        Ok(Self { allows })
+        flush(&mut cfg, &mut current)?;
+        Ok(cfg)
     }
 }
 
-struct PartialEntry {
+enum Partial {
+    Allow(PartialAllow),
+    Atomic(PartialAtomic),
+    Ledger(PartialLedger),
+}
+
+struct PartialAllow {
     defined_at: u32,
     rule: Option<String>,
     path: Option<String>,
@@ -128,7 +273,7 @@ struct PartialEntry {
     reason: Option<String>,
 }
 
-impl PartialEntry {
+impl PartialAllow {
     fn new(defined_at: u32) -> Self {
         Self {
             defined_at,
@@ -154,14 +299,7 @@ impl PartialEntry {
         let Some(path) = self.path else {
             return fail("[[allow]] entry is missing `path`".to_string());
         };
-        let reason = self.reason.unwrap_or_default();
-        if reason.trim().len() < 10 {
-            return fail(
-                "every [[allow]] entry needs a written `reason` (at least 10 characters) \
-                 explaining why the invariant holds"
-                    .to_string(),
-            );
-        }
+        let reason = require_reason(self.reason, "[[allow]]", origin, at)?;
         Ok(AllowEntry {
             rule,
             path,
@@ -170,6 +308,118 @@ impl PartialEntry {
             defined_at: at,
         })
     }
+}
+
+struct PartialAtomic {
+    defined_at: u32,
+    path: Option<String>,
+    allow: Option<Vec<String>>,
+    fix: Option<String>,
+    reason: Option<String>,
+}
+
+impl PartialAtomic {
+    fn new(defined_at: u32) -> Self {
+        Self {
+            defined_at,
+            path: None,
+            allow: None,
+            fix: None,
+            reason: None,
+        }
+    }
+
+    fn finish(self, origin: &str) -> Result<AtomicPolicy, LintError> {
+        let at = self.defined_at;
+        let fail = |msg: String| Err(LintError::Config(format!("{origin}:{at}: {msg}")));
+        let Some(path) = self.path else {
+            return fail("[[atomic]] entry is missing `path`".to_string());
+        };
+        let Some(allow) = self.allow else {
+            return fail("[[atomic]] entry is missing `allow`".to_string());
+        };
+        if allow.is_empty() {
+            return fail("[[atomic]] `allow` must list at least one ordering".to_string());
+        }
+        for o in &allow {
+            if !ORDERINGS.contains(&o.as_str()) {
+                return fail(format!(
+                    "unknown ordering `{o}`; known orderings: {}",
+                    ORDERINGS.join(", ")
+                ));
+            }
+        }
+        if let Some(fix) = &self.fix {
+            if !allow.iter().any(|o| o == fix) {
+                return fail(format!(
+                    "`fix = \"{fix}\"` must itself be in the `allow` list"
+                ));
+            }
+        }
+        let reason = require_reason(self.reason, "[[atomic]]", origin, at)?;
+        Ok(AtomicPolicy {
+            path,
+            allow,
+            fix: self.fix,
+            reason,
+            defined_at: at,
+        })
+    }
+}
+
+struct PartialLedger {
+    defined_at: u32,
+    path: Option<String>,
+    types: Option<Vec<String>>,
+    reason: Option<String>,
+}
+
+impl PartialLedger {
+    fn new(defined_at: u32) -> Self {
+        Self {
+            defined_at,
+            path: None,
+            types: None,
+            reason: None,
+        }
+    }
+
+    fn finish(self, origin: &str) -> Result<LedgerDecl, LintError> {
+        let at = self.defined_at;
+        let fail = |msg: String| Err(LintError::Config(format!("{origin}:{at}: {msg}")));
+        let Some(path) = self.path else {
+            return fail("[[ledger]] entry is missing `path`".to_string());
+        };
+        let Some(types) = self.types else {
+            return fail("[[ledger]] entry is missing `types`".to_string());
+        };
+        if types.is_empty() {
+            return fail("[[ledger]] `types` must list at least one type".to_string());
+        }
+        let reason = require_reason(self.reason, "[[ledger]]", origin, at)?;
+        Ok(LedgerDecl {
+            path,
+            types,
+            reason,
+            defined_at: at,
+        })
+    }
+}
+
+fn require_reason(
+    reason: Option<String>,
+    table: &str,
+    origin: &str,
+    at: u32,
+) -> Result<String, LintError> {
+    let reason = reason.unwrap_or_default();
+    if reason.trim().len() < 10 {
+        return Err(LintError::Config(format!(
+            "{origin}:{at}: every {table} entry needs a written `reason` (at least 10 \
+             characters) explaining why the invariant holds"
+        )));
+    }
+    Ok(reason)
 }
 
 /// Strips a `#` comment, honoring `#` inside double-quoted strings.
@@ -213,6 +463,39 @@ fn parse_string(value: &str) -> Option<String> {
     None
 }
 
+/// Parses a single-line TOML array of basic strings: `["a", "b"]`.
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        while chars.peek().is_some_and(|c| c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Some(out);
+        }
+        if chars.next() != Some('"') {
+            return None;
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next()? {
+                '\\' => match chars.next()? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    'n' => s.push('\n'),
+                    't' => s.push('\t'),
+                    _ => return None,
+                },
+                '"' => break,
+                c => s.push(c),
+            }
+        }
+        out.push(s);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,10 +523,74 @@ reason = "mutex cannot be poisoned: no critical section panics"
     }
 
     #[test]
+    fn atomic_and_ledger_tables_parse() {
+        let toml = r##"
+[[atomic]]
+path = "crates/obs/src/registry.rs"
+allow = ["Relaxed"]
+fix = "Relaxed"
+reason = "monotone counters merged exactly after join; no ordering needed"
+
+[[atomic]]
+path = "crates/mapreduce/src/fault.rs"
+allow = ["Relaxed", "SeqCst"]
+reason = "stats counters are Relaxed; control cells stay SeqCst"
+
+[[ledger]]
+path = "crates/resilience/src/breaker.rs"
+types = ["BreakerStats"]
+reason = "admitted + rejected == allow() calls is a tested invariant"
+"##;
+        let cfg = Config::parse(toml, "lint.toml").expect("parses");
+        assert_eq!(cfg.atomics.len(), 2);
+        assert_eq!(cfg.atomics[0].fix.as_deref(), Some("Relaxed"));
+        assert_eq!(cfg.atomics[1].allow, vec!["Relaxed", "SeqCst"]);
+        assert_eq!(cfg.atomics[1].fix, None);
+        assert_eq!(cfg.ledgers.len(), 1);
+        assert_eq!(cfg.ledgers[0].types, vec!["BreakerStats"]);
+        assert!(cfg.atomic_policy("crates/obs/src/registry.rs").is_some());
+        assert!(cfg.atomic_policy("crates/obs/src/clock.rs").is_none());
+        assert!(cfg.ledger("crates/resilience/src/breaker.rs").is_some());
+    }
+
+    #[test]
+    fn atomic_validation_catches_bad_policies() {
+        for (toml, needle) in [
+            (
+                "[[atomic]]\npath = \"a.rs\"\nallow = [\"Chaotic\"]\nreason = \"long enough reason\"\n",
+                "unknown ordering",
+            ),
+            (
+                "[[atomic]]\npath = \"a.rs\"\nallow = [\"Relaxed\"]\nfix = \"SeqCst\"\nreason = \"long enough reason\"\n",
+                "must itself be in the `allow` list",
+            ),
+            (
+                "[[atomic]]\npath = \"a.rs\"\nallow = []\nreason = \"long enough reason\"\n",
+                "at least one ordering",
+            ),
+            (
+                "[[atomic]]\npath = \"a.rs\"\nreason = \"long enough reason\"\n",
+                "missing `allow`",
+            ),
+            (
+                "[[ledger]]\npath = \"a.rs\"\ntypes = []\nreason = \"long enough reason\"\n",
+                "at least one type",
+            ),
+        ] {
+            let e = Config::parse(toml, "lint.toml").expect_err(toml);
+            assert!(e.to_string().contains(needle), "{toml} -> {e}");
+        }
+    }
+
+    #[test]
     fn missing_reason_is_rejected() {
         let toml = "[[allow]]\nrule = \"L4-panic\"\npath = \"src/lib.rs\"\n";
         let e = Config::parse(toml, "lint.toml").expect_err("must fail");
         assert!(e.to_string().contains("reason"), "{e}");
+        let toml = "[[atomic]]\npath = \"a.rs\"\nallow = [\"Relaxed\"]\n";
+        assert!(Config::parse(toml, "lint.toml").is_err());
+        let toml = "[[ledger]]\npath = \"a.rs\"\ntypes = [\"T\"]\n";
+        assert!(Config::parse(toml, "lint.toml").is_err());
     }
 
     #[test]
@@ -257,6 +604,8 @@ reason = "mutex cannot be poisoned: no critical section panics"
         for toml in [
             "[[allow]]\nrule = \"L9-nope\"\npath = \"a\"\nreason = \"long enough reason\"\n",
             "[[allow]]\nrule = \"L4-panic\"\nfile = \"a\"\nreason = \"long enough reason\"\n",
+            "[[atomic]]\npath = \"a\"\nallow = [\"Relaxed\"]\norder = \"x\"\nreason = \"long enough reason\"\n",
+            "[[ledger]]\npath = \"a\"\nfields = [\"x\"]\nreason = \"long enough reason\"\n",
             "[allowed]\n",
             "rule = \"L4-panic\"\n",
         ] {
@@ -269,6 +618,8 @@ reason = "mutex cannot be poisoned: no critical section panics"
         for toml in [
             "[[allow]]\nrule = L4-panic\npath = \"a\"\nreason = \"long enough reason\"\n",
             "[[allow]]\nrule = \"L4-panic\"\nrule = \"L4-panic\"\npath = \"a\"\nreason = \"long enough reason\"\n",
+            "[[atomic]]\npath = \"a\"\nallow = [\"Relaxed\"]\nallow = [\"Relaxed\"]\nreason = \"long enough reason\"\n",
+            "[[atomic]]\npath = \"a\"\nallow = [Relaxed]\nreason = \"long enough reason\"\n",
         ] {
             assert!(Config::parse(toml, "lint.toml").is_err(), "{toml}");
         }
@@ -297,6 +648,7 @@ reason = "mutex cannot be poisoned: no critical section panics"
             line: 5,
             snippet: "self.cache.lock().unwrap()".into(),
             message: String::new(),
+            fix: None,
         };
         assert!(entry.matches(&finding));
         finding.snippet = "value.unwrap()".into();

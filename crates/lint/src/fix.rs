@@ -1,0 +1,186 @@
+//! Mechanical rewrites for findings that have exactly one safe repair.
+//!
+//! A [`Fix`] is a set of byte-range edits against the file the finding
+//! lives in. Rules attach fixes only when the rewrite is *mechanical*:
+//! the replacement is forced by the rule (e.g. L1's `partial_cmp(..)
+//! .unwrap()` → `total_cmp(..)`, L5's policy-declared target ordering) and
+//! re-linting the result must be clean and stable — applying the fixer
+//! twice yields byte-identical output, which `--fix` round-trip tests
+//! assert.
+//!
+//! Only NEW findings are fixed. Baselined and allowlisted findings were
+//! deliberately accepted with a written reason; rewriting them behind the
+//! author's back would erase that judgement.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::rules::Finding;
+
+/// One byte-range replacement within a single file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    /// Byte offset where the replaced region starts.
+    pub start: usize,
+    /// Byte offset one past the replaced region.
+    pub end: usize,
+    pub replacement: String,
+}
+
+/// All edits repairing one finding (within the finding's file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    pub edits: Vec<Edit>,
+}
+
+/// Applies every fix attached to `findings`, grouped per file, rewriting
+/// files under `root` in place. Returns the number of findings fixed.
+///
+/// Edits within one file are applied back-to-front so earlier offsets stay
+/// valid; overlapping edits are a logic error in a rule and abort the
+/// whole file rather than corrupt it.
+pub fn apply_fixes(root: &Path, findings: &[Finding]) -> std::io::Result<usize> {
+    let mut by_file: BTreeMap<&str, Vec<(&Finding, &Edit)>> = BTreeMap::new();
+    for f in findings {
+        if let Some(fix) = &f.fix {
+            for e in &fix.edits {
+                by_file.entry(f.path.as_str()).or_default().push((f, e));
+            }
+        }
+    }
+    let mut fixed = 0usize;
+    for (rel_path, mut edits) in by_file {
+        let abs = root.join(rel_path);
+        let mut text = fs::read_to_string(&abs)?;
+        edits.sort_by_key(|e| std::cmp::Reverse(e.1.start));
+        // Reject overlaps (and duplicate-range edits) before touching bytes.
+        let overlapping = edits.windows(2).any(|w| w[1].1.end > w[0].1.start);
+        if overlapping {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("overlapping fixes in {rel_path}; refusing to rewrite"),
+            ));
+        }
+        let mut seen: Vec<&Finding> = Vec::new();
+        for (finding, edit) in &edits {
+            if edit.end > text.len()
+                || !text.is_char_boundary(edit.start)
+                || !text.is_char_boundary(edit.end)
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("fix out of bounds in {rel_path}; refusing to rewrite"),
+                ));
+            }
+            text.replace_range(edit.start..edit.end, &edit.replacement);
+            if !seen.iter().any(|f| std::ptr::eq(*f, *finding)) {
+                seen.push(finding);
+                fixed += 1;
+            }
+        }
+        fs::write(&abs, text)?;
+    }
+    Ok(fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding_with(path: &str, edits: Vec<Edit>) -> Finding {
+        Finding {
+            rule: "L1-float-ord",
+            path: path.to_string(),
+            line: 1,
+            snippet: String::new(),
+            message: String::new(),
+            fix: Some(Fix { edits }),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lint-fix-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn edits_apply_back_to_front() {
+        let dir = temp_dir("order");
+        fs::write(dir.join("a.rs"), "aaa bbb ccc").expect("write fixture");
+        let f = finding_with(
+            "a.rs",
+            vec![
+                Edit {
+                    start: 0,
+                    end: 3,
+                    replacement: "X".into(),
+                },
+                Edit {
+                    start: 8,
+                    end: 11,
+                    replacement: "YYYY".into(),
+                },
+            ],
+        );
+        let n = apply_fixes(&dir, &[f]).expect("apply fixes");
+        assert_eq!(n, 1);
+        assert_eq!(
+            fs::read_to_string(dir.join("a.rs")).expect("read back"),
+            "X bbb YYYY"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overlapping_edits_are_refused() {
+        let dir = temp_dir("overlap");
+        fs::write(dir.join("a.rs"), "aaa bbb ccc").expect("write fixture");
+        let f = finding_with(
+            "a.rs",
+            vec![
+                Edit {
+                    start: 0,
+                    end: 5,
+                    replacement: "X".into(),
+                },
+                Edit {
+                    start: 4,
+                    end: 8,
+                    replacement: "Y".into(),
+                },
+            ],
+        );
+        let err = apply_fixes(&dir, &[f]).expect_err("must refuse");
+        assert!(err.to_string().contains("overlapping"));
+        // The file is untouched.
+        assert_eq!(
+            fs::read_to_string(dir.join("a.rs")).expect("read back"),
+            "aaa bbb ccc"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn findings_without_fixes_are_ignored() {
+        let dir = temp_dir("nofix");
+        fs::write(dir.join("a.rs"), "unchanged").expect("write fixture");
+        let f = Finding {
+            rule: "L4-panic",
+            path: "a.rs".to_string(),
+            line: 1,
+            snippet: String::new(),
+            message: String::new(),
+            fix: None,
+        };
+        let n = apply_fixes(&dir, &[f]).expect("apply fixes");
+        assert_eq!(n, 0);
+        assert_eq!(
+            fs::read_to_string(dir.join("a.rs")).expect("read back"),
+            "unchanged"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

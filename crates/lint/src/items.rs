@@ -1,0 +1,516 @@
+//! Item-level structure on top of the token stream: `mod`/`impl`/`fn`
+//! nesting and per-scope `use` maps.
+//!
+//! This is the "symbol resolution" layer the v2 rules stand on. It is not
+//! a full name resolver — no type inference, no glob expansion across
+//! crates — but it answers the three questions the rules actually ask,
+//! scope-accurately and with zero dependencies:
+//!
+//! 1. *Which item am I in?* ([`ItemIndex::qualified_fn`],
+//!    [`ItemIndex::enclosing_impl`]) — so L7 can restrict itself to `impl`
+//!    blocks of declared ledger types and findings can name the function
+//!    they sit in.
+//! 2. *What does this identifier resolve to?* ([`ItemIndex::resolve`]) —
+//!    so L5 can tell `std::sync::atomic::Ordering` from
+//!    `std::cmp::Ordering`, and a bare `SeqCst` imported via
+//!    `use …::Ordering::SeqCst` from an unrelated local name.
+//! 3. *Which module path owns this token?* (scope chain walking) — so
+//!    policies declared per file/module apply to exactly their scope.
+//!
+//! The parser is deliberately shallow: item keywords are only recognized
+//! at *item position* (after `;`, `{`, `}`, an attribute `]`, or file
+//! start, modulo visibility/`unsafe`/`const`/`async`/`extern` modifiers),
+//! which keeps `-> impl Iterator` return types and `fn()` pointer types
+//! from opening phantom scopes.
+
+use crate::lexer::{Token, TokenKind};
+use crate::syntax::File;
+
+/// What kind of item opened a scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// The whole file.
+    Root,
+    /// `mod name { … }`
+    Mod,
+    /// `impl Type { … }` / `impl Trait for Type { … }` (named by the type).
+    Impl,
+    /// `trait Name { … }`
+    Trait,
+    /// `fn name(…) { … }`
+    Fn,
+}
+
+/// One lexical item scope: its kind, name, token range, and the `use`
+/// aliases declared directly inside it.
+#[derive(Debug)]
+pub struct Scope {
+    pub kind: ScopeKind,
+    /// Item name; for impls, the implemented type's last path segment.
+    pub name: String,
+    /// Token index of the opening `{` (0 for the root scope).
+    pub start: usize,
+    /// Token index one past the closing `}` (tokens.len() for root).
+    pub end: usize,
+    /// Index of the enclosing scope in [`ItemIndex::scopes`].
+    pub parent: Option<usize>,
+    /// `local alias → full use path`, e.g. `("Ordering",
+    /// "std::sync::atomic::Ordering")`. Glob imports are stored as
+    /// `("*", "the::prefix")`.
+    uses: Vec<(String, String)>,
+}
+
+/// The item index for one file.
+pub struct ItemIndex {
+    pub scopes: Vec<Scope>,
+}
+
+/// Modifier identifiers that may precede an item keyword without moving it
+/// off item position.
+const MODIFIERS: &[&str] = &["pub", "unsafe", "const", "async", "extern", "default"];
+
+impl ItemIndex {
+    pub fn build_for(file: &File) -> Self {
+        let tokens = &file.tokens;
+        let mut scopes = vec![Scope {
+            kind: ScopeKind::Root,
+            name: String::new(),
+            start: 0,
+            end: tokens.len(),
+            parent: None,
+            uses: Vec::new(),
+        }];
+        // Stack of (scope id, closing token index) for open item scopes.
+        let mut open: Vec<(usize, usize)> = vec![(0, tokens.len())];
+        // A `mod`/`fn`/`impl`/`trait` header seen since the last boundary,
+        // waiting for its body `{`.
+        let mut pending: Option<(ScopeKind, String)> = None;
+
+        let mut i = 0usize;
+        while i < tokens.len() {
+            // Close scopes whose body has ended.
+            while open.len() > 1 && i >= open[open.len() - 1].1 {
+                open.pop();
+            }
+            let t = &tokens[i];
+            match t.kind {
+                TokenKind::Punct if t.is_punct('{') => {
+                    if let Some((kind, name)) = pending.take() {
+                        let end = file.matching(i).map(|c| c + 1).unwrap_or(tokens.len());
+                        let parent = open.last().map(|(id, _)| *id);
+                        scopes.push(Scope {
+                            kind,
+                            name,
+                            start: i,
+                            end,
+                            parent,
+                            uses: Vec::new(),
+                        });
+                        open.push((scopes.len() - 1, end));
+                    }
+                }
+                TokenKind::Punct if t.is_punct(';') => {
+                    // `mod external;` / trait method signatures: the
+                    // pending item has no inline body.
+                    pending = None;
+                }
+                TokenKind::Ident => match t.text.as_str() {
+                    "mod" if at_item_position(tokens, i) => {
+                        if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident)
+                        {
+                            pending = Some((ScopeKind::Mod, name.text.clone()));
+                        }
+                    }
+                    "trait" if at_item_position(tokens, i) => {
+                        if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident)
+                        {
+                            pending = Some((ScopeKind::Trait, name.text.clone()));
+                        }
+                    }
+                    "fn" if at_item_position(tokens, i) => {
+                        if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident)
+                        {
+                            pending = Some((ScopeKind::Fn, name.text.clone()));
+                        }
+                    }
+                    "impl" if at_item_position(tokens, i) => {
+                        let name = impl_type_name(tokens, i);
+                        pending = Some((ScopeKind::Impl, name));
+                    }
+                    "use" if at_item_position(tokens, i) => {
+                        let scope_id = open.last().map(|(id, _)| *id).unwrap_or(0);
+                        i = parse_use(tokens, i + 1, &mut scopes[scope_id].uses);
+                        continue;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        Self { scopes }
+    }
+
+    /// The innermost scope containing token `idx`.
+    pub fn scope_at(&self, idx: usize) -> usize {
+        let mut best = 0usize;
+        let mut best_len = usize::MAX;
+        for (id, s) in self.scopes.iter().enumerate() {
+            if idx >= s.start && idx < s.end && s.end - s.start < best_len {
+                best = id;
+                best_len = s.end - s.start;
+            }
+        }
+        best
+    }
+
+    /// The nearest enclosing `impl` block's type name, walking out through
+    /// nested functions.
+    pub fn enclosing_impl(&self, idx: usize) -> Option<&str> {
+        let mut cur = Some(self.scope_at(idx));
+        while let Some(id) = cur {
+            let s = &self.scopes[id];
+            if s.kind == ScopeKind::Impl {
+                return Some(&s.name);
+            }
+            cur = s.parent;
+        }
+        None
+    }
+
+    /// The qualified name of the innermost function containing `idx`:
+    /// `mod::Type::fn` built from the scope chain. `None` outside any fn.
+    pub fn qualified_fn(&self, idx: usize) -> Option<String> {
+        let mut cur = Some(self.scope_at(idx));
+        let mut fn_name: Option<&str> = None;
+        let mut outer: Vec<&str> = Vec::new();
+        while let Some(id) = cur {
+            let s = &self.scopes[id];
+            match s.kind {
+                ScopeKind::Fn if fn_name.is_none() => fn_name = Some(&s.name),
+                ScopeKind::Impl | ScopeKind::Mod | ScopeKind::Trait if fn_name.is_some() => {
+                    outer.push(&s.name)
+                }
+                _ => {}
+            }
+            cur = s.parent;
+        }
+        let name = fn_name?;
+        outer.reverse();
+        outer.push(name);
+        Some(outer.join("::"))
+    }
+
+    /// Resolves a bare identifier through the `use` maps of the scope
+    /// chain at `idx`: the full imported path, or `None` when nothing in
+    /// scope imports that name. Glob imports resolve as
+    /// `prefix::*::name` so callers can still inspect the prefix.
+    pub fn resolve(&self, idx: usize, name: &str) -> Option<String> {
+        let mut cur = Some(self.scope_at(idx));
+        while let Some(id) = cur {
+            let s = &self.scopes[id];
+            for (alias, path) in &s.uses {
+                if alias == name {
+                    return Some(path.clone());
+                }
+            }
+            for (alias, path) in &s.uses {
+                if alias == "*" {
+                    return Some(format!("{path}::*::{name}"));
+                }
+            }
+            cur = s.parent;
+        }
+        None
+    }
+}
+
+/// True when the keyword at `idx` sits at item position: the previous
+/// significant token (skipping visibility and other modifiers) is a
+/// statement/item boundary. `-> impl Trait`, `: impl Fn()`, and friends
+/// are rejected here.
+fn at_item_position(tokens: &[Token], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        let p = &tokens[i - 1];
+        match p.kind {
+            TokenKind::Ident if MODIFIERS.contains(&p.text.as_str()) => i -= 1,
+            // The ABI string of `extern "C" fn`.
+            TokenKind::Str => i -= 1,
+            TokenKind::Punct if p.is_punct(')') => {
+                // `pub(crate)` visibility group: step over it and require
+                // `pub` in front; anything else (a call, a tuple) means
+                // expression position.
+                let mut depth = 1usize;
+                let mut j = i - 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if tokens[j].is_punct(')') {
+                        depth += 1;
+                    } else if tokens[j].is_punct('(') {
+                        depth -= 1;
+                    }
+                }
+                if j > 0 && tokens[j - 1].is_ident("pub") {
+                    i = j - 1;
+                } else {
+                    return false;
+                }
+            }
+            TokenKind::Punct => {
+                let c = p.text.as_str();
+                return c == ";" || c == "{" || c == "}" || c == "]";
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// The implemented type's last path segment for an `impl` header:
+/// `impl<T> Foo<T> for Bar<T> where …` → `Bar`; `impl Baz {` → `Baz`.
+fn impl_type_name(tokens: &[Token], impl_idx: usize) -> String {
+    let mut angle = 0i32;
+    let mut after_for = false;
+    let mut name = String::new();
+    let mut i = impl_idx + 1;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Punct => match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" | ";" if angle <= 0 => break,
+                _ => {}
+            },
+            TokenKind::Ident if angle <= 0 => match t.text.as_str() {
+                "for" => {
+                    after_for = true;
+                    name.clear();
+                }
+                "where" => break,
+                other => {
+                    // Later path segments overwrite earlier ones, so the
+                    // last depth-0 ident (before `where`/`{`) wins; once
+                    // `for` is seen only the target side counts.
+                    let _ = after_for;
+                    name = other.to_string();
+                }
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    name
+}
+
+/// Parses one `use …;` declaration starting right after the `use` keyword.
+/// Returns the index one past the terminating `;`. Records `alias → full
+/// path` pairs (honoring `as` renames, `{…}` groups one or more levels
+/// deep, and `*` globs).
+fn parse_use(tokens: &[Token], start: usize, out: &mut Vec<(String, String)>) -> usize {
+    // Find the terminating `;` first so malformed input cannot run away.
+    let mut end = start;
+    let mut depth = 0i32;
+    while end < tokens.len() {
+        let t = &tokens[end];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth <= 0 {
+            break;
+        }
+        end += 1;
+    }
+    parse_use_tree(&tokens[start..end.min(tokens.len())], "", out);
+    end + 1
+}
+
+/// Recursive-descent over one use tree (the region between `use` and `;`).
+fn parse_use_tree(tokens: &[Token], prefix: &str, out: &mut Vec<(String, String)>) {
+    let mut segments: Vec<String> = Vec::new();
+    let join = |prefix: &str, segments: &[String]| -> String {
+        let tail = segments.join("::");
+        if prefix.is_empty() {
+            tail
+        } else if tail.is_empty() {
+            prefix.to_string()
+        } else {
+            format!("{prefix}::{tail}")
+        }
+    };
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident {
+            if t.text == "as" {
+                // `path as Alias`
+                if let Some(alias) = tokens.get(i + 1).filter(|a| a.kind == TokenKind::Ident) {
+                    out.push((alias.text.clone(), join(prefix, &segments)));
+                }
+                // Consume through the next `,` at this level.
+                i += 2;
+                while i < tokens.len() && !tokens[i].is_punct(',') {
+                    i += 1;
+                }
+                segments.clear();
+                i += 1;
+                continue;
+            }
+            segments.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        if t.is_punct(':') {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('*') {
+            out.push(("*".to_string(), join(prefix, &segments)));
+            segments.clear();
+            i += 1;
+            continue;
+        }
+        if t.is_punct(',') {
+            if !segments.is_empty() {
+                let full = join(prefix, &segments);
+                let last = segments.last().cloned().unwrap_or_default();
+                out.push((leaf_alias(&last), full));
+                segments.clear();
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            // Find the matching close at this nesting level.
+            let mut depth = 1i32;
+            let mut j = i + 1;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('{') {
+                    depth += 1;
+                } else if tokens[j].is_punct('}') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let inner_prefix = join(prefix, &segments);
+            parse_use_tree(&tokens[i + 1..j.saturating_sub(1)], &inner_prefix, out);
+            segments.clear();
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    if !segments.is_empty() {
+        let full = join(prefix, &segments);
+        let last = segments.last().cloned().unwrap_or_default();
+        out.push((leaf_alias(&last), full));
+    }
+}
+
+/// `use a::b::self` imports `b`; everything else imports its last segment.
+fn leaf_alias(last: &str) -> String {
+    last.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::syntax::File;
+
+    fn index(src: &str) -> (File, ItemIndex) {
+        let file = File::parse(lex(src));
+        let idx = ItemIndex::build_for(&file);
+        (file, idx)
+    }
+
+    fn ident_idx(f: &File, name: &str, nth: usize) -> usize {
+        f.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident(name))
+            .map(|(i, _)| i)
+            .nth(nth)
+            .expect("ident present")
+    }
+
+    #[test]
+    fn nesting_recovers_qualified_fn_names() {
+        let src = "mod outer {\n  impl Widget {\n    pub fn poke(&self) { marker; }\n  }\n  pub fn free() { other; }\n}";
+        let (f, idx) = index(src);
+        let m = ident_idx(&f, "marker", 0);
+        assert_eq!(idx.qualified_fn(m).as_deref(), Some("outer::Widget::poke"));
+        assert_eq!(idx.enclosing_impl(m), Some("Widget"));
+        let o = ident_idx(&f, "other", 0);
+        assert_eq!(idx.qualified_fn(o).as_deref(), Some("outer::free"));
+        assert_eq!(idx.enclosing_impl(o), None);
+    }
+
+    #[test]
+    fn impl_trait_for_type_names_the_type() {
+        let src = "impl<T: Clone> std::fmt::Display for Breaker<T> { fn fmt(&self) { marker; } }";
+        let (f, idx) = index(src);
+        let m = ident_idx(&f, "marker", 0);
+        assert_eq!(idx.enclosing_impl(m), Some("Breaker"));
+    }
+
+    #[test]
+    fn return_position_impl_does_not_open_a_scope() {
+        let src = "fn make() -> impl Iterator<Item = u32> { inner; }";
+        let (f, idx) = index(src);
+        let m = ident_idx(&f, "inner", 0);
+        assert_eq!(idx.enclosing_impl(m), None);
+        assert_eq!(idx.qualified_fn(m).as_deref(), Some("make"));
+    }
+
+    #[test]
+    fn use_groups_renames_and_globs_resolve() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   use std::cmp::Ordering as CmpOrd;\n\
+                   use std::sync::atomic::Ordering::SeqCst;\n\
+                   fn f() { marker; }";
+        let (f, idx) = index(src);
+        let m = ident_idx(&f, "marker", 0);
+        assert_eq!(
+            idx.resolve(m, "Ordering").as_deref(),
+            Some("std::sync::atomic::Ordering")
+        );
+        assert_eq!(
+            idx.resolve(m, "CmpOrd").as_deref(),
+            Some("std::cmp::Ordering")
+        );
+        assert_eq!(
+            idx.resolve(m, "SeqCst").as_deref(),
+            Some("std::sync::atomic::Ordering::SeqCst")
+        );
+        assert_eq!(idx.resolve(m, "Unrelated"), None);
+    }
+
+    #[test]
+    fn inner_scope_imports_shadow_outer_ones() {
+        let src = "use std::sync::atomic::Ordering;\n\
+                   mod inner {\n  use std::cmp::Ordering;\n  fn g() { marker; }\n}\n\
+                   fn h() { outer_marker; }";
+        let (f, idx) = index(src);
+        let m = ident_idx(&f, "marker", 0);
+        assert_eq!(
+            idx.resolve(m, "Ordering").as_deref(),
+            Some("std::cmp::Ordering")
+        );
+        let o = ident_idx(&f, "outer_marker", 0);
+        assert_eq!(
+            idx.resolve(o, "Ordering").as_deref(),
+            Some("std::sync::atomic::Ordering")
+        );
+    }
+
+    #[test]
+    fn fn_pointer_types_do_not_open_scopes() {
+        let src = "fn apply(cb: fn(u32) -> u32) { marker; }";
+        let (f, idx) = index(src);
+        let m = ident_idx(&f, "marker", 0);
+        assert_eq!(idx.qualified_fn(m).as_deref(), Some("apply"));
+    }
+}

@@ -28,12 +28,19 @@ pub enum TokenKind {
 /// One lexed token. `text` is the literal source text for identifiers,
 /// numbers, and punctuation; string/char literals keep only their delimiter
 /// so the stream stays cheap to clone and findings never embed file bodies.
+/// The byte span (`start..end` into the original source) always covers the
+/// full literal, so the fix engine and the metric-name extractor can
+/// recover exact source text without re-scanning.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     pub kind: TokenKind,
     pub text: String,
     /// 1-indexed source line the token starts on.
     pub line: u32,
+    /// Byte offset of the token's first character in the source.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
 }
 
 impl Token {
@@ -60,6 +67,8 @@ pub fn lex(source: &str) -> Vec<Token> {
 struct Lexer {
     chars: Vec<char>,
     pos: usize,
+    byte_pos: usize,
+    tok_start: usize,
     line: u32,
     out: Vec<Token>,
 }
@@ -69,6 +78,8 @@ impl Lexer {
         Self {
             chars: source.chars().collect(),
             pos: 0,
+            byte_pos: 0,
+            tok_start: 0,
             line: 1,
             out: Vec::new(),
         }
@@ -78,11 +89,12 @@ impl Lexer {
         self.chars.get(self.pos + ahead).copied()
     }
 
-    /// Consumes one char, keeping the line counter true.
+    /// Consumes one char, keeping the line counter and byte offset true.
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.pos).copied();
         if let Some(c) = c {
             self.pos += 1;
+            self.byte_pos += c.len_utf8();
             if c == '\n' {
                 self.line += 1;
             }
@@ -91,12 +103,19 @@ impl Lexer {
     }
 
     fn push(&mut self, kind: TokenKind, text: String, line: u32) {
-        self.out.push(Token { kind, text, line });
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            start: self.tok_start,
+            end: self.byte_pos,
+        });
     }
 
     fn run(mut self) -> Vec<Token> {
         while let Some(c) = self.peek(0) {
             let line = self.line;
+            self.tok_start = self.byte_pos;
             match c {
                 c if c.is_whitespace() => {
                     self.bump();
@@ -365,6 +384,33 @@ mod tests {
                 "unwrap"
             ]
         );
+    }
+
+    #[test]
+    fn byte_spans_recover_source_text() {
+        let src = "let n = reg.counter(\"stage.α.admitted\"); // π";
+        let toks = lex(src);
+        for t in &toks {
+            assert!(t.start < t.end && t.end <= src.len(), "{t:?}");
+        }
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string token");
+        assert_eq!(&src[s.start..s.end], "\"stage.α.admitted\"");
+        let id = toks.iter().find(|t| t.is_ident("counter")).expect("ident");
+        assert_eq!(&src[id.start..id.end], "counter");
+    }
+
+    #[test]
+    fn raw_string_spans_cover_the_full_literal() {
+        let src = r###"let r = r#"metric "x""#;"###;
+        let toks = lex(src);
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("raw string token");
+        assert_eq!(&src[s.start..s.end], r###"r#"metric "x""#"###);
     }
 
     #[test]

@@ -9,17 +9,27 @@
 //! justification ([`config`]).
 //!
 //! The analysis is a token-level pass (a hand-rolled lexer plus delimiter
-//! matching, [`lexer`]/[`syntax`]) rather than a full `syn` AST: the
-//! linter must build with **zero dependencies** so hermetic and offline
-//! builds can always run it. The rules are scope-aware (test code,
-//! function bodies, bindings) but heuristic; the determinism integration
-//! tests backstop what lexing cannot see.
+//! matching, [`lexer`]/[`syntax`]) extended with a lightweight item parser
+//! ([`items`]: `fn`/`impl`/`mod` nesting and per-scope `use` resolution)
+//! rather than a full `syn` AST: the linter must build with **zero
+//! dependencies** so hermetic and offline builds can always run it. The
+//! rules are scope-aware (test code, function bodies, bindings, enclosing
+//! impls) but heuristic; the determinism integration tests backstop what
+//! lexing cannot see.
+//!
+//! Repo-wide runs stay fast through an incremental file-hash cache
+//! ([`cache`]), and the mechanical rules (L1, L5) carry byte-precise
+//! fixes applied by `--fix` ([`fix`]).
 
 #![warn(clippy::unwrap_used)]
 
 pub mod baseline;
+pub mod cache;
 pub mod config;
+pub mod fix;
+pub mod items;
 pub mod lexer;
+pub mod manifest;
 pub mod report;
 pub mod rules;
 pub mod syntax;
@@ -30,8 +40,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use baseline::BaselineEntry;
+use cache::Cache;
 use config::{AllowEntry, Config};
-use rules::Finding;
+use manifest::Manifest;
+use rules::{Finding, RuleContext};
 use walk::walk_workspace;
 
 /// Everything that can go wrong while linting. I/O failures carry the
@@ -47,7 +59,7 @@ impl fmt::Display for LintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LintError::Io(path, e) => write!(f, "{}: {e}", path.display()),
-            LintError::Config(msg) => write!(f, "invalid allowlist: {msg}"),
+            LintError::Config(msg) => write!(f, "invalid config: {msg}"),
             LintError::Baseline(msg) => write!(f, "invalid baseline: {msg}"),
         }
     }
@@ -65,6 +77,13 @@ pub struct LintOptions {
     /// Baseline path; `None` means `<root>/lint-baseline.json`, tolerated
     /// missing (treated as empty — everything is new).
     pub baseline_path: Option<PathBuf>,
+    /// Metrics manifest path; `None` means `<root>/METRICS.md`, tolerated
+    /// missing (the L6 rule stays off).
+    pub manifest_path: Option<PathBuf>,
+    /// Incremental cache location. `None` disables caching entirely — the
+    /// library default, so test runs and fixture lints never write state.
+    /// The CLI opts in with `<root>/target/lint-cache.tsv`.
+    pub cache_path: Option<PathBuf>,
 }
 
 /// The result of a full run: findings partitioned by how CI should react.
@@ -80,6 +99,10 @@ pub struct LintOutcome {
     pub stale_baseline: Vec<BaselineEntry>,
     /// Allowlist entries that matched nothing.
     pub unused_allows: Vec<AllowEntry>,
+    /// Files answered from the incremental cache / re-analyzed. Both zero
+    /// when caching is disabled.
+    pub cache_hits: usize,
+    pub cache_misses: usize,
 }
 
 impl LintOutcome {
@@ -93,31 +116,76 @@ impl LintOutcome {
 }
 
 /// Lints every source file under `root` and returns the raw findings,
-/// path-sorted, with no allowlist or baseline applied.
+/// path-sorted, with no allowlist or baseline applied. Policies and the
+/// metrics manifest are loaded from their default locations under `root`
+/// so the L5–L7 families run fully armed.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, LintError> {
+    let config = load_config(root, None)?;
+    let manifest = load_manifest(root, None)?;
+    let ctx = RuleContext {
+        config: Some(&config),
+        manifest: manifest.as_ref(),
+    };
+    lint_files(root, ctx, None).map(|(findings, _)| findings)
+}
+
+/// Walks and lints with an explicit rule context and optional cache.
+/// Returns findings plus (hits, misses).
+fn lint_files(
+    root: &Path,
+    ctx: RuleContext<'_>,
+    mut cache: Option<&mut Cache>,
+) -> Result<(Vec<Finding>, (usize, usize)), LintError> {
     let files = walk_workspace(root).map_err(|e| LintError::Io(root.to_path_buf(), e))?;
     let mut findings = Vec::new();
     for sf in &files {
         let source =
             fs::read_to_string(&sf.abs_path).map_err(|e| LintError::Io(sf.abs_path.clone(), e))?;
-        findings.extend(rules::check_file(sf, &source));
+        if let Some(cache) = cache.as_mut() {
+            let hash = cache::fnv64(source.as_bytes());
+            if let Some(cached) = cache.get(&sf.rel_path, hash) {
+                findings.extend(cached);
+                continue;
+            }
+            let fresh = rules::check_file_with(sf, &source, ctx);
+            cache.put(&sf.rel_path, hash, &fresh);
+            findings.extend(fresh);
+        } else {
+            findings.extend(rules::check_file_with(sf, &source, ctx));
+        }
     }
     // Files are walked in sorted order; keep (path, line) order globally.
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(findings)
+    let stats = cache.map(|c| (c.hits, c.misses)).unwrap_or((0, 0));
+    Ok((findings, stats))
 }
 
-/// The full pipeline: walk, lint, apply the allowlist, ratchet against
-/// the baseline.
+/// The full pipeline: walk, lint (through the cache when configured),
+/// apply the allowlist, ratchet against the baseline.
 pub fn run(opts: &LintOptions) -> Result<LintOutcome, LintError> {
     let root = if opts.root.as_os_str().is_empty() {
         PathBuf::from(".")
     } else {
         opts.root.clone()
     };
-    let config = load_config(&root, opts.config_path.as_deref())?;
+    let (config, config_text) = load_config_with_text(&root, opts.config_path.as_deref())?;
     let baseline_entries = load_baseline(&root, opts.baseline_path.as_deref())?;
-    let findings = lint_workspace(&root)?;
+    let (manifest, manifest_text) = load_manifest_with_text(&root, opts.manifest_path.as_deref())?;
+    let ctx = RuleContext {
+        config: Some(&config),
+        manifest: manifest.as_ref(),
+    };
+
+    let mut cache_store: Option<Cache> = opts.cache_path.as_ref().map(|p| {
+        let digest = cache::config_digest(&config_text, &manifest_text);
+        Cache::load(p, digest)
+    });
+    let (findings, (cache_hits, cache_misses)) = lint_files(&root, ctx, cache_store.as_mut())?;
+    if let (Some(cache), Some(path)) = (&cache_store, &opts.cache_path) {
+        // A cache that cannot be written is a performance bug, not a lint
+        // failure; the next run is simply cold.
+        let _ = cache.save(path);
+    }
 
     // Allowlist first: suppressed findings never reach the ratchet, so a
     // baseline can shrink to empty while justified exceptions remain.
@@ -148,19 +216,74 @@ pub fn run(opts: &LintOptions) -> Result<LintOutcome, LintError> {
             .filter(|(_, u)| !**u)
             .map(|(e, _)| e.clone())
             .collect(),
+        cache_hits,
+        cache_misses,
     })
 }
 
+/// Applies the mechanical fixes attached to `outcome.new` to the files
+/// under `opts.root`, then re-lints (cache bypassed: the tree changed).
+/// Returns the number of findings repaired and the post-fix outcome —
+/// which callers assert is clean of the fixed rules, and which a second
+/// application must leave byte-identical (idempotence).
+pub fn apply_fixes(
+    opts: &LintOptions,
+    outcome: &LintOutcome,
+) -> Result<(usize, LintOutcome), LintError> {
+    let root = if opts.root.as_os_str().is_empty() {
+        PathBuf::from(".")
+    } else {
+        opts.root.clone()
+    };
+    let fixed =
+        fix::apply_fixes(&root, &outcome.new).map_err(|e| LintError::Io(root.clone(), e))?;
+    let refreshed = run(&LintOptions {
+        cache_path: None,
+        ..opts.clone()
+    })?;
+    Ok((fixed, refreshed))
+}
+
 fn load_config(root: &Path, explicit: Option<&Path>) -> Result<Config, LintError> {
+    load_config_with_text(root, explicit).map(|(c, _)| c)
+}
+
+/// Loads the config plus its raw text (folded into the cache digest).
+fn load_config_with_text(
+    root: &Path,
+    explicit: Option<&Path>,
+) -> Result<(Config, String), LintError> {
     let path = explicit
         .map(Path::to_path_buf)
         .unwrap_or_else(|| root.join("lint.toml"));
     match fs::read_to_string(&path) {
-        Ok(text) => Config::parse(&text, &path.display().to_string()),
+        Ok(text) => Config::parse(&text, &path.display().to_string()).map(|c| (c, text)),
         // A missing default allowlist is fine; a missing *explicit* one is
         // an error (the caller named it, so a typo must not pass silently).
         Err(e) if e.kind() == std::io::ErrorKind::NotFound && explicit.is_none() => {
-            Ok(Config::default())
+            Ok((Config::default(), String::new()))
+        }
+        Err(e) => Err(LintError::Io(path, e)),
+    }
+}
+
+fn load_manifest(root: &Path, explicit: Option<&Path>) -> Result<Option<Manifest>, LintError> {
+    load_manifest_with_text(root, explicit).map(|(m, _)| m)
+}
+
+fn load_manifest_with_text(
+    root: &Path,
+    explicit: Option<&Path>,
+) -> Result<(Option<Manifest>, String), LintError> {
+    let path = explicit
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| root.join("METRICS.md"));
+    match fs::read_to_string(&path) {
+        Ok(text) => Manifest::parse(&text)
+            .map(|m| (Some(m), text))
+            .map_err(LintError::Config),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && explicit.is_none() => {
+            Ok((None, String::new()))
         }
         Err(e) => Err(LintError::Io(path, e)),
     }

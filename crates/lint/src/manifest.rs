@@ -1,0 +1,248 @@
+//! The committed metrics manifest (`METRICS.md`): the source of truth the
+//! L6-metric-registry rule checks instrumentation sites against.
+//!
+//! The manifest is a markdown table — human-readable documentation first,
+//! machine-checkable second. Rows look like:
+//!
+//! ```text
+//! | name                  | kind    | gating      | module            |
+//! |-----------------------|---------|-------------|-------------------|
+//! | `pipeline.events`     | counter | always      | core/pipeline     |
+//! | `stage.*.admitted`    | counter | always      | core/pipeline     |
+//! ```
+//!
+//! Names may contain `*` wildcards, each matching exactly one
+//! dot-delimited segment — that is how dynamically formatted names
+//! (`format!("stage.{stage}.admitted")`) are declared. Kinds mirror the
+//! `MetricsRegistry` families plus `span`; gating records whether a write
+//! is reachable on the byte-identical clean path (`always`), only behind a
+//! non-zero condition (`gated`), or excluded from `to_json` entirely
+//! (`operational`, which also covers `timing`/`span`).
+
+use std::fs;
+use std::path::Path;
+
+/// One declared metric or span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricDecl {
+    /// Declared name; `*` segments match one dot-delimited segment each.
+    pub name: String,
+    /// `counter` | `gauge` | `histogram` | `timing` | `operational` | `span`
+    pub kind: String,
+    /// `always` | `gated` | `operational`
+    pub gating: String,
+    /// Owning module, informational only.
+    pub module: String,
+}
+
+const KINDS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "timing",
+    "operational",
+    "span",
+];
+const GATINGS: &[&str] = &["always", "gated", "operational"];
+
+/// The parsed manifest.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    pub decls: Vec<MetricDecl>,
+}
+
+impl Manifest {
+    /// Loads `METRICS.md` from `path`. A missing file is `Ok(None)` — the
+    /// L6 rule simply stays off — but a present-and-malformed manifest is
+    /// a hard error: a manifest that silently half-parses would let drift
+    /// through the exact gap it exists to close.
+    pub fn load(path: &Path) -> Result<Option<Self>, String> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        Self::parse(&text).map(Some)
+    }
+
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut decls = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if !line.starts_with('|') {
+                continue;
+            }
+            let cells: Vec<String> = line
+                .trim_matches('|')
+                .split('|')
+                .map(|c| c.trim().trim_matches('`').to_string())
+                .collect();
+            if cells.len() < 4 {
+                continue;
+            }
+            // Header and separator rows.
+            if cells[0] == "name" || cells[0].chars().all(|c| c == '-' || c == ':') {
+                continue;
+            }
+            let decl = MetricDecl {
+                name: cells[0].clone(),
+                kind: cells[1].clone(),
+                gating: cells[2].clone(),
+                module: cells[3].clone(),
+            };
+            if decl.name.is_empty() {
+                return Err(format!("METRICS.md line {}: empty metric name", lineno + 1));
+            }
+            if !KINDS.contains(&decl.kind.as_str()) {
+                return Err(format!(
+                    "METRICS.md line {}: unknown kind `{}` for `{}` (expected one of {})",
+                    lineno + 1,
+                    decl.kind,
+                    decl.name,
+                    KINDS.join("/")
+                ));
+            }
+            if !GATINGS.contains(&decl.gating.as_str()) {
+                return Err(format!(
+                    "METRICS.md line {}: unknown gating `{}` for `{}` (expected one of {})",
+                    lineno + 1,
+                    decl.gating,
+                    decl.name,
+                    GATINGS.join("/")
+                ));
+            }
+            if decls.iter().any(|d: &MetricDecl| d.name == decl.name) {
+                return Err(format!(
+                    "METRICS.md line {}: duplicate declaration of `{}`",
+                    lineno + 1,
+                    decl.name
+                ));
+            }
+            decls.push(decl);
+        }
+        Ok(Self { decls })
+    }
+
+    /// The declaration matching `name` exactly or via `*` segments.
+    /// Exact rows win over wildcard rows so `stage.extract.admitted` can
+    /// carry its own gating even when `stage.*.admitted` exists.
+    pub fn lookup(&self, name: &str) -> Option<&MetricDecl> {
+        self.decls
+            .iter()
+            .find(|d| d.name == name)
+            .or_else(|| self.decls.iter().find(|d| segments_match(&d.name, name)))
+    }
+
+    /// The declaration whose *pattern text* equals `name` verbatim —
+    /// how format-derived names (already wildcarded by the rule) match.
+    pub fn lookup_pattern(&self, pattern: &str) -> Option<&MetricDecl> {
+        self.decls.iter().find(|d| d.name == pattern)
+    }
+
+    /// The declared exact (wildcard-free) name closest to `name` within
+    /// Levenshtein distance 2 — the typo-drift suggestion.
+    pub fn nearest(&self, name: &str) -> Option<&str> {
+        self.decls
+            .iter()
+            .filter(|d| !d.name.contains('*'))
+            .map(|d| (levenshtein(&d.name, name), d.name.as_str()))
+            .filter(|(dist, _)| *dist <= 2 && *dist > 0)
+            .min_by_key(|(dist, _)| *dist)
+            .map(|(_, n)| n)
+    }
+}
+
+/// Dot-segment match: `*` in the pattern matches exactly one segment.
+fn segments_match(pattern: &str, name: &str) -> bool {
+    let p: Vec<&str> = pattern.split('.').collect();
+    let n: Vec<&str> = name.split('.').collect();
+    p.len() == n.len() && p.iter().zip(&n).all(|(ps, ns)| *ps == "*" || ps == ns)
+}
+
+/// Plain dynamic-programming Levenshtein distance, O(|a|·|b|).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Metrics
+
+| name | kind | gating | module |
+|------|------|--------|--------|
+| `pipeline.events` | counter | always | core/pipeline |
+| `stage.*.admitted` | counter | always | core/pipeline |
+| `dlq.entries` | counter | gated | core/pipeline |
+| `detector.series_bins` | histogram | always | timeseries |
+";
+
+    #[test]
+    fn rows_parse_and_lookups_resolve() {
+        let m = Manifest::parse(SAMPLE).expect("sample manifest parses");
+        assert_eq!(m.decls.len(), 4);
+        assert_eq!(
+            m.lookup("pipeline.events").expect("declared").kind,
+            "counter"
+        );
+        assert_eq!(
+            m.lookup("stage.extract.admitted")
+                .expect("wildcard row")
+                .gating,
+            "always"
+        );
+        assert!(m.lookup("stage.extract.rejected").is_none());
+        assert!(
+            m.lookup("stage.a.b.admitted").is_none(),
+            "wildcards span one segment"
+        );
+        assert!(m.lookup_pattern("stage.*.admitted").is_some());
+        assert!(m.lookup_pattern("stage.extract.admitted").is_none());
+    }
+
+    #[test]
+    fn typo_suggestions_stay_within_distance_two() {
+        let m = Manifest::parse(SAMPLE).expect("sample manifest parses");
+        assert_eq!(m.nearest("pipeline.event"), Some("pipeline.events"));
+        assert_eq!(m.nearest("dlq.entires"), Some("dlq.entries"));
+        assert_eq!(m.nearest("completely.unrelated"), None);
+    }
+
+    #[test]
+    fn malformed_rows_are_hard_errors() {
+        let bad_kind = "| `x.y` | meter | always | here |";
+        assert!(Manifest::parse(bad_kind)
+            .expect_err("must reject")
+            .contains("unknown kind"));
+        let bad_gate = "| `x.y` | counter | sometimes | here |";
+        assert!(Manifest::parse(bad_gate)
+            .expect_err("must reject")
+            .contains("unknown gating"));
+        let dup = "| `x.y` | counter | always | here |\n| `x.y` | gauge | always | there |";
+        assert!(Manifest::parse(dup)
+            .expect_err("must reject")
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", "abd"), 1);
+        assert_eq!(levenshtein("abc", "acbd"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+    }
+}

@@ -94,6 +94,7 @@ fn check_ambient_rng(sf: &SourceFile, file: &File, lines: &[&str], findings: &mu
                 message: "ambient RNG breaks rerun reproducibility; derive every random \
                           stream from an explicit seed (StdRng::seed_from_u64)"
                     .to_string(),
+                fix: None,
             });
         }
     }
@@ -120,6 +121,7 @@ fn check_wall_clock(sf: &SourceFile, file: &File, lines: &[&str], findings: &mut
                      timestamp in as data (or allowlist with a written justification)",
                     t.text
                 ),
+                fix: None,
             });
         }
     }
@@ -164,6 +166,7 @@ fn check_ambient_fs(sf: &SourceFile, file: &File, lines: &[&str], findings: &mut
                           ambient disk state; route I/O through an audited boundary \
                           (or allowlist with a written justification)"
                     .to_string(),
+                fix: None,
             });
         }
     }
@@ -196,6 +199,7 @@ fn check_hash_iteration(sf: &SourceFile, file: &File, lines: &[&str], findings: 
                         message: "hash-container iteration order is nondeterministic and can \
                                   reach the output; sort the items or use a BTree collection"
                             .to_string(),
+                        fix: None,
                     });
                 }
                 i = site.resume_idx;

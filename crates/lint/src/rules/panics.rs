@@ -37,6 +37,7 @@ pub fn check(sf: &SourceFile, file: &File, lines: &[&str], findings: &mut Vec<Fi
                  allowlist with a written justification for why it cannot fail",
                 t.text
             ),
+            fix: None,
         });
     }
 }

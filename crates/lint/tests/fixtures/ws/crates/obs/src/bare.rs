@@ -1,0 +1,11 @@
+//! L5 fixture: a bare imported ordering in a file with *no* declared
+//! `[[atomic]]` policy — the missing policy is itself the finding.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::Ordering::SeqCst;
+
+/// Positive: flagged as "no declared ordering policy" for this file.
+/// The variant inside the `use` above is a declaration, not a site.
+pub fn drain(n: &AtomicU64) -> u64 {
+    n.swap(0, SeqCst)
+}

@@ -1,0 +1,53 @@
+//! L5 fixture: qualified atomic orderings under a declared `[[atomic]]`
+//! policy (`allow = ["Relaxed"]`, `fix = "Relaxed"` in ws `lint.toml`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Counter {
+    hits: AtomicU64,
+    control: AtomicBool,
+}
+
+impl Counter {
+    /// Positive: SeqCst where the policy allows only Relaxed. Carries a
+    /// mechanical fix (qualified site + declared `fix`).
+    pub fn bump(&self) -> u64 {
+        self.hits.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Suppressed twin: same violation, allowlisted by the
+    /// `control.store` pattern with a written reason.
+    pub fn trip(&self) {
+        self.control.store(true, Ordering::SeqCst);
+    }
+
+    /// Negative: in policy.
+    pub fn peek(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+/// Negative: `std::cmp::Ordering` variants are disjoint from the atomic
+/// set and must not be mistaken for orderings.
+pub fn compare(a: u64, b: u64) -> std::cmp::Ordering {
+    if a < b {
+        std::cmp::Ordering::Less
+    } else {
+        std::cmp::Ordering::Greater
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_use_any_ordering() {
+        let c = Counter {
+            hits: AtomicU64::new(0),
+            control: AtomicBool::new(false),
+        };
+        c.hits.store(7, Ordering::SeqCst);
+        assert_eq!(c.peek(), 7);
+    }
+}

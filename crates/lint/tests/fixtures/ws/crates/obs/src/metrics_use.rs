@@ -1,0 +1,54 @@
+//! L6 fixture: metric-name sites cross-checked against the workspace
+//! `METRICS.md` (declares `fixture.events` counter/always,
+//! `fixture.gated` counter/gated, `fixture.stage.*.hits` counter/always).
+
+pub struct Meter {
+    registry: Registry,
+}
+
+impl Meter {
+    /// Negative: declared name, matching kind.
+    pub fn record_event(&self) {
+        self.registry.counter("fixture.events").add(1);
+    }
+
+    /// Positive: typo'd name — undeclared, with a nearest-name hint.
+    pub fn record_typo(&self) {
+        self.registry.counter("fixture.evnets").add(1);
+    }
+
+    /// Positive: declared gated but written unconditionally.
+    pub fn record_gated_unconditionally(&self, n: u64) {
+        self.registry.counter("fixture.gated").add(n);
+    }
+
+    /// Negative: the same gated write behind a guard.
+    pub fn record_gated(&self, n: u64) {
+        if n > 0 {
+            self.registry.counter("fixture.gated").add(n);
+        }
+    }
+
+    /// Positive: kind drift — declared a counter, written as a gauge.
+    pub fn record_drift(&self) {
+        self.registry.gauge("fixture.events").set(1);
+    }
+
+    /// Positive: a name the linter cannot read statically.
+    pub fn record_opaque(&self, name: &str) {
+        self.registry.counter(name).add(1);
+    }
+
+    /// Suppressed twin: non-literal, allowlisted by the `dynamic_name`
+    /// pattern with the producible names written down.
+    pub fn record_dynamic(&self, dynamic_name: &str) {
+        self.registry.counter(dynamic_name).add(1);
+    }
+
+    /// Negative: format!-built name declared by the same wildcard row.
+    pub fn record_stage(&self, stage: &str) {
+        self.registry
+            .counter(&format!("fixture.stage.{stage}.hits"))
+            .add(1);
+    }
+}

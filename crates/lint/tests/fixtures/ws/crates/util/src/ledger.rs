@@ -1,0 +1,40 @@
+//! L7 fixture: accounting arithmetic inside a declared `[[ledger]]`
+//! type (`types = ["Ledger"]` in ws `lint.toml`).
+
+pub struct Ledger {
+    pub total: u64,
+    pub backoff_nanos: u64,
+}
+
+impl Ledger {
+    /// Positive: narrowing cast truncates the tally.
+    pub fn as_report_row(&self) -> u32 {
+        self.total as u32
+    }
+
+    /// Positive: wraps silently on overflow.
+    pub fn bump(&mut self) {
+        self.total = self.total.wrapping_add(1);
+    }
+
+    /// Positive: clamps silently at zero.
+    pub fn shrink(&mut self, by: u64) {
+        self.total = self.total.saturating_sub(by);
+    }
+
+    /// Suppressed twin: allowlisted by the `backoff` pattern — the
+    /// saturating duration sum is the intended clamp.
+    pub fn wait(&mut self, nanos: u64) {
+        self.backoff_nanos = self.backoff_nanos.saturating_add(nanos);
+    }
+
+    /// Negative: widening is lossless.
+    pub fn grand_total(&self) -> u128 {
+        self.total as u128
+    }
+}
+
+/// Negative: the same arithmetic outside a declared ledger type.
+pub fn helper_sum(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}

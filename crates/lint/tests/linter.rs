@@ -1,12 +1,15 @@
 //! End-to-end tests over the fixture mini-workspace in
 //! `tests/fixtures/ws`, which plants exactly one positive per rule next
-//! to its suppressed/negative twin, plus a dogfood test asserting the
-//! real repository tree lints clean.
+//! to its suppressed/negative twin (the L5/L6/L7 families get a
+//! suppressed twin each, wired through the fixture `lint.toml`), plus a
+//! dogfood test asserting the real repository tree lints clean.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use baywatch_lint::{baseline, lint_workspace, run, LintError, LintOptions};
+use baywatch_lint::{
+    apply_fixes, baseline, lint_workspace, report, run, LintError, LintOptions, LintOutcome,
+};
 
 fn fixture_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
@@ -23,21 +26,67 @@ fn scratch(name: &str) -> PathBuf {
 fn fixture_opts() -> LintOptions {
     LintOptions {
         root: fixture_root(),
-        config_path: None,
-        baseline_path: None,
+        ..LintOptions::default()
     }
+}
+
+/// Recursively copies the fixture workspace (sources, `lint.toml`,
+/// `METRICS.md`) so `--fix` tests can rewrite files without touching
+/// the committed fixtures.
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).expect("create copy dir");
+    for entry in fs::read_dir(from).expect("read fixture dir") {
+        let entry = entry.expect("fixture entry");
+        let src = entry.path();
+        let dst = to.join(entry.file_name());
+        if src.is_dir() {
+            copy_tree(&src, &dst);
+        } else {
+            fs::copy(&src, &dst).expect("copy fixture file");
+        }
+    }
+}
+
+/// Every `.rs` file under `dir`, sorted, with its content — the
+/// byte-identity witness for fix idempotence.
+fn tree_snapshot(dir: &Path) -> Vec<(PathBuf, Vec<u8>)> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).expect("read dir") {
+            let p = entry.expect("entry").path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                files.push((p.clone(), fs::read(&p).expect("read file")));
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn keys(findings: &[baywatch_lint::rules::Finding]) -> Vec<(&str, &str, u32)> {
+    findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line))
+        .collect()
 }
 
 #[test]
 fn fixture_findings_are_exactly_the_planted_ones() {
     let findings = lint_workspace(&fixture_root()).expect("fixture lints");
-    let got: Vec<(&str, &str, u32)> = findings
-        .iter()
-        .map(|f| (f.rule, f.path.as_str(), f.line))
-        .collect();
     assert_eq!(
-        got,
+        keys(&findings),
         vec![
+            ("L5-atomic-ordering", "crates/obs/src/bare.rs", 10),
+            ("L5-atomic-ordering", "crates/obs/src/lib.rs", 15),
+            ("L5-atomic-ordering", "crates/obs/src/lib.rs", 21),
+            ("L6-metric-registry", "crates/obs/src/metrics_use.rs", 17),
+            ("L6-metric-registry", "crates/obs/src/metrics_use.rs", 22),
+            ("L6-metric-registry", "crates/obs/src/metrics_use.rs", 34),
+            ("L6-metric-registry", "crates/obs/src/metrics_use.rs", 39),
+            ("L6-metric-registry", "crates/obs/src/metrics_use.rs", 45),
             ("L3-budget", "crates/timeseries/src/detector.rs", 6),
             ("L3-budget", "crates/timeseries/src/detector.rs", 26),
             ("L2-ambient-rng", "crates/timeseries/src/lib.rs", 7),
@@ -46,29 +95,38 @@ fn fixture_findings_are_exactly_the_planted_ones() {
             ("L4-panic", "crates/timeseries/src/lib.rs", 17),
             ("L2-hash-iter", "crates/timeseries/src/lib.rs", 26),
             ("L2-ambient-fs", "crates/timeseries/src/lib.rs", 52),
+            ("L7-ledger-arith", "crates/util/src/ledger.rs", 12),
+            ("L7-ledger-arith", "crates/util/src/ledger.rs", 17),
+            ("L7-ledger-arith", "crates/util/src/ledger.rs", 22),
+            ("L7-ledger-arith", "crates/util/src/ledger.rs", 28),
             ("L4-panic", "crates/util/src/lib.rs", 11),
         ],
         "planted positives (and only those) must fire; negatives in the \
          same files — checkpointed loops, total_cmp, sorted/counted hash \
-         iteration, a local binding named `fs`, cfg(test) unwraps, \
-         bin-target unwraps — must not"
+         iteration, cmp::Ordering variants, in-policy Relaxed, guarded \
+         gated writes, declared metric names, widening casts, arithmetic \
+         outside ledger types, cfg(test) code — must not"
     );
 }
 
 #[test]
-fn without_a_baseline_everything_is_new() {
+fn without_a_baseline_everything_unsuppressed_is_new() {
     let outcome = run(&fixture_opts()).expect("fixture runs");
-    assert_eq!(outcome.new.len(), 9);
+    assert_eq!(outcome.new.len(), 18);
+    // The three suppressed twins (L5 control flag, L6 dynamic name, L7
+    // backoff sum) land in `allowlisted` with their written reasons.
+    assert_eq!(outcome.allowlisted.len(), 3);
     assert!(outcome.baselined.is_empty());
+    assert!(outcome.unused_allows.is_empty());
     assert!(!outcome.is_clean());
 }
 
 #[test]
 fn full_baseline_tolerates_every_finding() {
     let dir = scratch("full-baseline");
-    let findings = lint_workspace(&fixture_root()).expect("fixture lints");
+    let unsuppressed = run(&fixture_opts()).expect("fixture runs").new;
     let path = dir.join("baseline.json");
-    fs::write(&path, baseline::to_json(&findings)).expect("write baseline");
+    fs::write(&path, baseline::to_json(&unsuppressed)).expect("write baseline");
 
     let outcome = run(&LintOptions {
         baseline_path: Some(path),
@@ -76,7 +134,7 @@ fn full_baseline_tolerates_every_finding() {
     })
     .expect("fixture runs");
     assert!(outcome.is_clean());
-    assert_eq!(outcome.baselined.len(), 9);
+    assert_eq!(outcome.baselined.len(), 18);
     assert!(outcome.stale_baseline.is_empty());
 }
 
@@ -85,9 +143,12 @@ fn a_finding_missing_from_the_baseline_fails_the_ratchet() {
     // Drop one entry from the full baseline: the corresponding finding is
     // exactly what an injected fresh violation looks like to the ratchet.
     let dir = scratch("ratchet");
-    let mut findings = lint_workspace(&fixture_root()).expect("fixture lints");
-    let dropped = findings.remove(4);
-    assert_eq!(dropped.rule, "L1-float-ord");
+    let mut findings = run(&fixture_opts()).expect("fixture runs").new;
+    let pos = findings
+        .iter()
+        .position(|f| f.rule == "L1-float-ord")
+        .expect("fixture plants an L1 finding");
+    findings.remove(pos);
     let path = dir.join("baseline.json");
     fs::write(&path, baseline::to_json(&findings)).expect("write baseline");
 
@@ -99,14 +160,14 @@ fn a_finding_missing_from_the_baseline_fails_the_ratchet() {
     assert!(!outcome.is_clean());
     assert_eq!(outcome.new.len(), 1);
     assert_eq!(outcome.new[0].rule, "L1-float-ord");
-    assert_eq!(outcome.baselined.len(), 8);
+    assert_eq!(outcome.baselined.len(), 17);
 }
 
 #[test]
 fn fixed_findings_surface_as_stale_baseline_entries_without_failing() {
     let dir = scratch("stale");
     let path = dir.join("baseline.json");
-    let findings = lint_workspace(&fixture_root()).expect("fixture lints");
+    let findings = run(&fixture_opts()).expect("fixture runs").new;
     let mut json = baseline::to_json(&findings);
     // Splice in an entry whose finding no longer exists.
     let extra = r#"[{"rule": "L4-panic", "path": "crates/gone/src/lib.rs", "snippet": "x.unwrap()", "occurrence": 0},"#;
@@ -127,9 +188,23 @@ fn fixed_findings_surface_as_stale_baseline_entries_without_failing() {
 fn allowlist_suppresses_with_reason_and_reports_unused_entries() {
     let dir = scratch("allowlist");
     let path = dir.join("lint.toml");
+    // An explicit config replaces the fixture one wholesale, so it
+    // restates the policy tables to keep the L5/L7 findings stable, but
+    // carries different [[allow]] entries: one that matches the planted
+    // util unwrap and one that matches nothing.
     fs::write(
         &path,
         r#"
+[[atomic]]
+path = "crates/obs/src/lib.rs"
+allow = ["Relaxed"]
+reason = "fixture: counters merge after join, so Relaxed suffices here"
+
+[[ledger]]
+path = "crates/util/src/ledger.rs"
+types = ["Ledger"]
+reason = "fixture: Ledger totals feed the planted report rows exactly"
+
 [[allow]]
 rule = "L4-panic"
 path = "crates/util/src/lib.rs"
@@ -148,7 +223,7 @@ reason = "fixture: matches nothing in this file"
         ..fixture_opts()
     })
     .expect("fixture runs");
-    assert_eq!(outcome.new.len(), 8, "one finding should be suppressed");
+    assert_eq!(outcome.new.len(), 20, "one finding should be suppressed");
     assert_eq!(outcome.allowlisted.len(), 1);
     let (f, reason) = &outcome.allowlisted[0];
     assert_eq!(f.path, "crates/util/src/lib.rs");
@@ -202,9 +277,16 @@ fn missing_explicit_config_path_is_an_error_but_missing_default_is_not() {
     .expect_err("explicitly named missing config must error");
     assert!(matches!(err, LintError::Io(..)), "got {err}");
 
-    // The fixture workspace has no lint.toml at its root; the default
-    // path being absent is tolerated (covered by every other test here).
-    run(&fixture_opts()).expect("missing default config is fine");
+    // A root without lint.toml / METRICS.md / a baseline: all three
+    // defaults being absent is tolerated (config empty, L6 off, baseline
+    // empty).
+    let bare = scratch("bare-root");
+    let outcome = run(&LintOptions {
+        root: bare,
+        ..LintOptions::default()
+    })
+    .expect("missing default config/manifest/baseline is fine");
+    assert!(outcome.is_clean());
 }
 
 #[test]
@@ -221,9 +303,174 @@ fn malformed_baseline_is_a_hard_error() {
     assert!(matches!(err, LintError::Baseline(_)), "got {err}");
 }
 
+#[test]
+fn malformed_manifest_is_a_hard_error() {
+    let dir = scratch("bad-manifest");
+    let path = dir.join("METRICS.md");
+    fs::write(
+        &path,
+        "| name | kind | gating | module |\n|---|---|---|---|\n| `x` | blimp | always | m |\n",
+    )
+    .expect("write manifest");
+
+    let err = run(&LintOptions {
+        manifest_path: Some(path),
+        ..fixture_opts()
+    })
+    .expect_err("unknown metric kind must be rejected");
+    assert!(matches!(err, LintError::Config(_)), "got {err}");
+}
+
+/// `--fix` end to end: mechanical findings (the planted L1 comparator
+/// and the qualified in-policy-fixable L5 site) are repaired in place,
+/// the repaired tree re-lints clean of them, the allowlisted twin is
+/// left untouched, and a second application changes nothing.
+#[test]
+fn fix_repairs_mechanical_findings_and_is_idempotent() {
+    let dir = scratch("fix-round-trip");
+    copy_tree(&fixture_root(), &dir);
+    let opts = LintOptions {
+        root: dir.clone(),
+        ..LintOptions::default()
+    };
+
+    let before = run(&opts).expect("copy lints");
+    assert_eq!(before.new.len(), 18);
+    let (fixed, after) = apply_fixes(&opts, &before).expect("fixes apply");
+    assert_eq!(fixed, 2, "the planted L1 and the qualified L5 site");
+
+    // The L1 fix rewrites `partial_cmp(..).unwrap()` to `total_cmp(..)`,
+    // which also removes that line's L4 unwrap finding; the L5 fix
+    // rewrites SeqCst to Relaxed. 18 - 3 remain.
+    assert_eq!(after.new.len(), 15);
+    assert!(after.new.iter().all(|f| f.rule != "L1-float-ord"));
+    assert!(!keys(&after.new).contains(&("L5-atomic-ordering", "crates/obs/src/lib.rs", 15)));
+    assert!(!keys(&after.new).contains(&("L4-panic", "crates/timeseries/src/lib.rs", 17)));
+
+    // The allowlisted SeqCst twin must survive: suppressed findings are
+    // deliberate exceptions, not fix targets.
+    let obs = fs::read_to_string(dir.join("crates/obs/src/lib.rs")).expect("read fixed file");
+    assert!(obs.contains("self.control.store(true, Ordering::SeqCst);"));
+    assert!(obs.contains("self.hits.fetch_add(1, Ordering::Relaxed)"));
+
+    // Idempotence: a second application fixes nothing and leaves every
+    // byte in place.
+    let snapshot = tree_snapshot(&dir);
+    let (fixed_again, _) = apply_fixes(&opts, &after).expect("second pass applies");
+    assert_eq!(fixed_again, 0);
+    assert_eq!(tree_snapshot(&dir), snapshot, "fix must be idempotent");
+}
+
+/// The `--json` document is a consumed interface: field names, nesting,
+/// and escaping are pinned by this snapshot. Changing the schema means
+/// changing this test — deliberately.
+#[test]
+fn json_report_schema_is_stable() {
+    use baywatch_lint::baseline::BaselineEntry;
+    use baywatch_lint::rules::Finding;
+
+    let outcome = LintOutcome {
+        new: vec![Finding {
+            rule: "L4-panic",
+            path: "crates/a/src/lib.rs".to_string(),
+            line: 3,
+            snippet: "x.unwrap() // \"quoted\"".to_string(),
+            message: "message with \\ backslash".to_string(),
+            fix: None,
+        }],
+        baselined: vec![Finding {
+            rule: "L1-float-ord",
+            path: "crates/b/src/lib.rs".to_string(),
+            line: 9,
+            snippet: "a.partial_cmp(&b)".to_string(),
+            message: "old friend".to_string(),
+            fix: None,
+        }],
+        allowlisted: vec![(
+            Finding {
+                rule: "L5-atomic-ordering",
+                path: "crates/c/src/lib.rs".to_string(),
+                line: 1,
+                snippet: "load(SeqCst)".to_string(),
+                message: "out of policy".to_string(),
+                fix: None,
+            },
+            "control cell stays sequentially consistent".to_string(),
+        )],
+        stale_baseline: vec![BaselineEntry {
+            rule: "L2-wall-clock".to_string(),
+            path: "crates/d/src/lib.rs".to_string(),
+            snippet: "Instant::now()".to_string(),
+            occurrence: 1,
+        }],
+        unused_allows: Vec::new(),
+        cache_hits: 0,
+        cache_misses: 0,
+    };
+
+    let expected = concat!(
+        "{\n",
+        "  \"findings\": [\n",
+        "    {\"rule\": \"L4-panic\", \"path\": \"crates/a/src/lib.rs\", \"line\": 3, ",
+        "\"snippet\": \"x.unwrap() // \\\"quoted\\\"\", ",
+        "\"message\": \"message with \\\\ backslash\", \"status\": \"NEW\"},\n",
+        "    {\"rule\": \"L1-float-ord\", \"path\": \"crates/b/src/lib.rs\", \"line\": 9, ",
+        "\"snippet\": \"a.partial_cmp(&b)\", ",
+        "\"message\": \"old friend\", \"status\": \"baselined\"},\n",
+        "    {\"rule\": \"L5-atomic-ordering\", \"path\": \"crates/c/src/lib.rs\", \"line\": 1, ",
+        "\"snippet\": \"load(SeqCst)\", ",
+        "\"message\": \"out of policy\", \"status\": \"allowed\", ",
+        "\"allowed_because\": \"control cell stays sequentially consistent\"}\n",
+        "  ],\n",
+        "  \"stale_baseline\": [\n",
+        "    {\"rule\": \"L2-wall-clock\", \"path\": \"crates/d/src/lib.rs\", ",
+        "\"snippet\": \"Instant::now()\", \"occurrence\": 1}\n",
+        "  ]\n",
+        "}\n",
+    );
+    assert_eq!(report::render_json(&outcome), expected);
+}
+
+/// The incremental cache: a cold run analyzes every file, a warm rerun
+/// answers every file from the cache, and both agree on the findings.
+#[test]
+fn cache_warm_run_hits_every_file_and_agrees_with_cold() {
+    let dir = scratch("cache");
+    let opts = LintOptions {
+        cache_path: Some(dir.join("lint-cache.tsv")),
+        ..fixture_opts()
+    };
+
+    let cold = run(&opts).expect("cold run");
+    assert_eq!(cold.cache_hits, 0);
+    assert!(cold.cache_misses > 0, "cold run must analyze files");
+
+    let warm = run(&opts).expect("warm run");
+    assert_eq!(warm.cache_misses, 0, "nothing changed, nothing re-analyzed");
+    assert_eq!(warm.cache_hits, cold.cache_misses);
+    assert_eq!(keys(&warm.new), keys(&cold.new));
+    assert_eq!(warm.allowlisted.len(), cold.allowlisted.len());
+
+    // A config change invalidates the digest: everything re-analyzes.
+    let config = dir.join("lint.toml");
+    let mut text =
+        fs::read_to_string(fixture_root().join("lint.toml")).expect("fixture config reads");
+    text.push_str("\n# digest-changing comment\n");
+    fs::write(&config, text).expect("write tweaked config");
+    let invalidated = run(&LintOptions {
+        config_path: Some(config),
+        ..opts.clone()
+    })
+    .expect("invalidated run");
+    assert_eq!(invalidated.cache_hits, 0, "config changes must cold-start");
+    assert_eq!(invalidated.cache_misses, cold.cache_misses);
+}
+
 /// Dogfood: the repository this linter lives in must itself be clean —
 /// every real finding either fixed or allowlisted with a written reason,
-/// against an *empty* committed baseline.
+/// against an *empty* committed baseline — with the L5/L6/L7 families
+/// fully armed (the repo commits both `lint.toml` policies and
+/// `METRICS.md`).
 #[test]
 fn repo_tree_is_lint_clean() {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -232,8 +479,7 @@ fn repo_tree_is_lint_clean() {
         .expect("repo root resolves");
     let outcome = run(&LintOptions {
         root: repo_root,
-        config_path: None,
-        baseline_path: None,
+        ..LintOptions::default()
     })
     .expect("repo lints");
     assert!(
@@ -248,5 +494,14 @@ fn repo_tree_is_lint_clean() {
     assert!(
         outcome.baselined.is_empty(),
         "the committed baseline must stay empty — fix or allowlist instead"
+    );
+    assert!(
+        outcome.unused_allows.is_empty(),
+        "every committed allowlist entry must still match something: {:?}",
+        outcome
+            .unused_allows
+            .iter()
+            .map(|e| format!("{} {}", e.rule, e.path))
+            .collect::<Vec<_>>()
     );
 }

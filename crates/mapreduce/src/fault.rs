@@ -391,7 +391,7 @@ impl FaultPlan {
     /// persistent save fault is armed for this write.
     pub fn save_checkpoint(&self) -> std::io::Result<()> {
         if self.save_fail_all.load(Ordering::SeqCst) {
-            self.injected.fetch_add(1, Ordering::SeqCst);
+            self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(std::io::Error::new(
                 std::io::ErrorKind::Other,
                 "injected fault: persistent checkpoint write failure",
@@ -402,7 +402,7 @@ impl FaultPlan {
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
             .is_ok();
         if fired {
-            self.injected.fetch_add(1, Ordering::SeqCst);
+            self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(std::io::Error::new(
                 std::io::ErrorKind::Other,
                 "injected fault: transient checkpoint write failure",
@@ -413,29 +413,29 @@ impl FaultPlan {
 
     /// How many faults the plan has fired so far.
     pub fn injected_faults(&self) -> usize {
-        self.injected.load(Ordering::SeqCst)
+        self.injected.load(Ordering::Relaxed)
     }
 
     /// Called by instrumented mappers once per map invocation; panics when
     /// the plan says this invocation (or this input) must fail.
     pub fn map_checkpoint<T: Debug>(&self, input: &T) {
-        let n = self.map_calls.fetch_add(1, Ordering::SeqCst);
+        let n = self.map_calls.fetch_add(1, Ordering::Relaxed);
         if let Some(&delay) = self.delay_map_calls.get(&n) {
-            self.injected.fetch_add(1, Ordering::SeqCst);
+            self.injected.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(delay);
         }
         if self.map_panic_calls.contains(&n) {
-            self.injected.fetch_add(1, Ordering::SeqCst);
+            self.injected.fetch_add(1, Ordering::Relaxed);
             panic!("injected fault: map call {n}");
         }
         if !self.poison_inputs.is_empty() || !self.delay_inputs.is_empty() {
             let repr = format!("{input:?}");
             if let Some(&delay) = self.delay_inputs.get(&repr) {
-                self.injected.fetch_add(1, Ordering::SeqCst);
+                self.injected.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(delay);
             }
             if self.poison_inputs.contains(&repr) {
-                self.injected.fetch_add(1, Ordering::SeqCst);
+                self.injected.fetch_add(1, Ordering::Relaxed);
                 panic!("injected fault: poison input {repr}");
             }
         }
@@ -446,11 +446,11 @@ impl FaultPlan {
     pub fn reduce_checkpoint<K: Debug>(&self, key: &K) {
         let repr = format!("{key:?}");
         if let Some(&delay) = self.delay_keys.get(&repr) {
-            self.injected.fetch_add(1, Ordering::SeqCst);
+            self.injected.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(delay);
         }
         if self.poison_keys.contains(&repr) {
-            self.injected.fetch_add(1, Ordering::SeqCst);
+            self.injected.fetch_add(1, Ordering::Relaxed);
             panic!("injected fault: poison key {repr}");
         }
         let fire = {
@@ -464,7 +464,7 @@ impl FaultPlan {
             }
         };
         if fire {
-            self.injected.fetch_add(1, Ordering::SeqCst);
+            self.injected.fetch_add(1, Ordering::Relaxed);
             panic!("injected fault: transient key {repr}");
         }
     }

@@ -77,19 +77,19 @@ impl ManualClock {
 
     /// Advances the clock by `nanos`.
     pub fn advance(&self, nanos: u64) {
-        self.nanos.fetch_add(nanos, Ordering::SeqCst);
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// Sets the clock to an absolute value. Never rewinds: setting a value
     /// below the current reading is ignored, preserving monotonicity.
     pub fn set(&self, nanos: u64) {
-        self.nanos.fetch_max(nanos, Ordering::SeqCst);
+        self.nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 }
 
 impl Clock for ManualClock {
     fn now_nanos(&self) -> u64 {
-        self.nanos.load(Ordering::SeqCst)
+        self.nanos.load(Ordering::Relaxed)
     }
 }
 
