@@ -31,6 +31,13 @@
 //! exact-gating their clean-path ledgers at zero transitions, zero
 //! rejected lines, and zero backoff waits.
 //!
+//! A streaming probe drives the incremental `StreamingHunt` engine over a
+//! seeded long-trace feed under a tight state budget, recording events/sec
+//! and per-tick close latency (p50/p99/max — host-dependent, never gated),
+//! exact-gating the stream ledger and detection-cache counts within a
+//! build, and ratio-gating the verdict-cache hit rate — the incremental
+//! engine's reason to exist — like the FFT plan-cache hit rate.
+//!
 //! Usage:
 //!
 //! ```text
@@ -56,7 +63,10 @@ use baywatch_core::checkpoint::CheckpointSpec;
 use baywatch_core::io::{read_records, IngestGuard};
 use baywatch_core::pipeline::{Baywatch, BaywatchConfig};
 use baywatch_core::record::LogRecord;
+use baywatch_core::stream::{StreamConfig, StreamingHunt};
+use baywatch_core::ScheduleSpec;
 use baywatch_netsim::adversarial::pathological_sparse_beacon;
+use baywatch_netsim::longtrace::{LongTraceConfig, LongTraceGenerator};
 use baywatch_netsim::synth::{multi_period_burst, SyntheticBeacon};
 use baywatch_obs::clock::MonotonicClock;
 use baywatch_obs::registry::MetricsRegistry;
@@ -470,6 +480,135 @@ fn resilience_json(p: &ResilienceProbe) -> Value {
     })
 }
 
+struct StreamProbe {
+    elapsed_ns: u128,
+    tick_p50_ns: u64,
+    tick_p99_ns: u64,
+    tick_max_ns: u64,
+    ticks_closed: u64,
+    events_offered: u64,
+    events_admitted: u64,
+    pairs_admitted: u64,
+    pairs_evicted: u64,
+    pairs_readmitted: u64,
+    detect_runs: u64,
+    detect_cached: u64,
+    confirmed: u64,
+}
+
+/// Nearest-rank percentile over per-tick close latencies.
+fn percentile_ns(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * pct).div_ceil(100).max(1) as usize;
+    sorted[rank - 1]
+}
+
+/// Drives the streaming engine over a seeded long-trace feed under a
+/// state budget tight enough that eviction, readmission, and the verdict
+/// cache all stay busy — the regime the engine exists for. Tick batches
+/// are pre-generated so the timed loop measures only ingest + tick close.
+fn run_stream_probe(quick: bool) -> Result<StreamProbe, String> {
+    let ticks: u64 = if quick { 8 } else { 24 };
+    let generator = LongTraceGenerator::new(LongTraceConfig {
+        seed: 21,
+        tick_seconds: 300,
+        ..LongTraceConfig::default()
+    });
+    let batches: Vec<Vec<LogRecord>> = (0..ticks)
+        .map(|t| {
+            generator
+                .tick_events(t)
+                .iter()
+                .map(|e| {
+                    LogRecord::new(
+                        e.timestamp,
+                        e.host.to_string(),
+                        e.domain.clone(),
+                        e.url_path.clone(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let schedule = ScheduleSpec::new(300, 4).map_err(|e| format!("invalid schedule: {e}"))?;
+    let mut config = StreamConfig::lossless(schedule);
+    config.ring_capacity = 64;
+    config.state_budget_bytes = 128 * 1024;
+    config.pipeline.local_tau = 0.05;
+    let mut hunt = StreamingHunt::new(config).map_err(|e| format!("invalid stream config: {e}"))?;
+
+    let mut latencies = Vec::with_capacity(batches.len() + 1);
+    let mut closed = 0u64;
+    let start = Instant::now();
+    for batch in &batches {
+        let tick_start = Instant::now();
+        closed += hunt.ingest(batch).len() as u64;
+        latencies.push(tick_start.elapsed().as_nanos() as u64);
+    }
+    let tick_start = Instant::now();
+    closed += u64::from(hunt.finish().is_some());
+    latencies.push(tick_start.elapsed().as_nanos() as u64);
+    let elapsed_ns = start.elapsed().as_nanos();
+
+    if !hunt.ledger().is_balanced() {
+        return Err(format!("stream ledger out of balance: {:?}", hunt.ledger()));
+    }
+    latencies.sort_unstable();
+    let ledger = *hunt.ledger();
+    let snapshot = hunt.metrics_snapshot();
+    let count = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    Ok(StreamProbe {
+        elapsed_ns,
+        tick_p50_ns: percentile_ns(&latencies, 50),
+        tick_p99_ns: percentile_ns(&latencies, 99),
+        tick_max_ns: percentile_ns(&latencies, 100),
+        ticks_closed: closed,
+        events_offered: ledger.events_offered,
+        events_admitted: ledger.events_admitted,
+        pairs_admitted: ledger.pairs_admitted,
+        pairs_evicted: ledger.pairs_evicted,
+        pairs_readmitted: ledger.pairs_readmitted,
+        detect_runs: count("stream.detect.runs"),
+        detect_cached: count("stream.detect.cached"),
+        confirmed: hunt.confirmed_pairs().len() as u64,
+    })
+}
+
+fn stream_json(p: &StreamProbe) -> Value {
+    let secs = p.elapsed_ns as f64 / 1e9;
+    let events_per_sec = p.events_offered as f64 / secs.max(1e-12);
+    let cache_lookups = p.detect_runs + p.detect_cached;
+    let hit_rate = if cache_lookups > 0 {
+        p.detect_cached as f64 / cache_lookups as f64
+    } else {
+        0.0
+    };
+    json!({
+        // Host-dependent, recorded but never gated.
+        "elapsed_ns": p.elapsed_ns as u64,
+        "events_per_sec": (events_per_sec * 10.0).round() / 10.0,
+        "tick_p50_ns": p.tick_p50_ns,
+        "tick_p99_ns": p.tick_p99_ns,
+        "tick_max_ns": p.tick_max_ns,
+        // Deterministic stream accounting, exact-gated within a build.
+        "ticks_closed": p.ticks_closed,
+        "events_offered": p.events_offered,
+        "events_admitted": p.events_admitted,
+        "pairs_admitted": p.pairs_admitted,
+        "pairs_evicted": p.pairs_evicted,
+        "pairs_readmitted": p.pairs_readmitted,
+        "detect_runs": p.detect_runs,
+        "detect_cached": p.detect_cached,
+        "confirmed": p.confirmed,
+        // Ratio-gated like the plan-cache hit rate: losing verdict-cache
+        // hits means the incremental engine re-detects clean pairs.
+        "detect_cache_hit_rate": (hit_rate * 1e4).round() / 1e4,
+    })
+}
+
 fn get_f64(v: &Value, path: &[&str]) -> Option<f64> {
     let mut cur = v;
     for p in path {
@@ -537,6 +676,31 @@ fn gate(current: &Value, baseline: &Value, tolerance: f64, ratio_only: bool) -> 
             }
         }
 
+        // The stream probe's ledger and verdict-cache counts are a
+        // deterministic function of the seeded long trace: any drift
+        // means admission, eviction, windowing, or cache invalidation
+        // changed behaviour, not just speed.
+        for field in [
+            "ticks_closed",
+            "events_offered",
+            "events_admitted",
+            "pairs_admitted",
+            "pairs_evicted",
+            "pairs_readmitted",
+            "detect_runs",
+            "detect_cached",
+            "confirmed",
+        ] {
+            let cur = get_f64(current, &["stream", field]);
+            let base = get_f64(baseline, &["stream", field]);
+            if cur != base {
+                failures.push(format!(
+                    "stream.{field}: current {cur:?} != baseline {base:?} \
+                     (deterministic field — re-bless only with an explanation)"
+                ));
+            }
+        }
+
         // The clean-path resilience ledger is exact: a breaker that
         // transitions, rejects a line, or a backoff that fires on healthy
         // input is a fast-path regression regardless of how fast it ran.
@@ -592,6 +756,22 @@ fn gate(current: &Value, baseline: &Value, tolerance: f64, ratio_only: bool) -> 
             }
             _ => failures.push(format!("{mode} plan-cache hit rate missing")),
         }
+    }
+
+    // The verdict-cache hit rate travels like the plan-cache hit rates:
+    // it is coarse enough to survive a `rand`-version trace shift, and a
+    // collapse means the streaming engine re-detects undirtied pairs.
+    let cur = get_f64(current, &["stream", "detect_cache_hit_rate"]);
+    let base = get_f64(baseline, &["stream", "detect_cache_hit_rate"]);
+    match (cur, base) {
+        (Some(c), Some(b)) => {
+            if c < b * (1.0 - tolerance) {
+                failures.push(format!(
+                    "stream verdict-cache hit rate fell: {c:.4} vs baseline {b:.4}"
+                ));
+            }
+        }
+        _ => failures.push("stream verdict-cache hit rate missing".to_string()),
     }
 
     failures
@@ -695,6 +875,26 @@ fn main() -> ExitCode {
         resilience.retry_waits
     );
 
+    let stream = match run_stream_probe(quick) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("stream probe failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "stream probe: {} events / {} ticks, {:.1} events/sec, tick p99 {:.2} ms, \
+         {} evicted / {} readmitted pairs, verdict cache {}/{} cached",
+        stream.events_offered,
+        stream.ticks_closed,
+        stream.events_offered as f64 / (stream.elapsed_ns as f64 / 1e9).max(1e-12),
+        stream.tick_p99_ns as f64 / 1e6,
+        stream.pairs_evicted,
+        stream.pairs_readmitted,
+        stream.detect_cached,
+        stream.detect_runs + stream.detect_cached
+    );
+
     let complex_pps = complex.detections_ok as f64 / (complex.elapsed_ns as f64 / 1e9);
     let real_pps = real.detections_ok as f64 / (real.elapsed_ns as f64 / 1e9);
     let speedup = real_pps / complex_pps.max(1e-12);
@@ -713,6 +913,7 @@ fn main() -> ExitCode {
         },
         "checkpoint": checkpoint_json(&probe),
         "resilience": resilience_json(&resilience),
+        "stream": stream_json(&stream),
     });
 
     let mut rendered = match serde_json::to_string_pretty(&doc) {

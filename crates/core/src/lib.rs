@@ -63,6 +63,7 @@ pub mod rank;
 pub mod record;
 pub mod report;
 pub mod schedule;
+pub mod stream;
 pub mod tokens;
 pub mod whitelist;
 
@@ -70,6 +71,8 @@ pub use checkpoint::{CheckpointOutcome, CheckpointSpec};
 pub use pair::CommunicationPair;
 pub use pipeline::{AnalysisReport, Baywatch, BaywatchConfig};
 pub use record::LogRecord;
+pub use schedule::ScheduleSpec;
+pub use stream::{StreamConfig, StreamLedger, StreamingHunt, TickDelta, TickReport};
 
 /// Errors from the pipeline.
 #[derive(Debug, Clone, PartialEq)]

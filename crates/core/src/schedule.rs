@@ -25,6 +25,93 @@ use crate::pair::CommunicationPair;
 use crate::record::LogRecord;
 use crate::CoreError;
 
+/// Tick/window arithmetic for the streaming engine (`core::stream`).
+///
+/// Time is divided into fixed-width **ticks** of `tick_seconds`; the
+/// sliding detection window always covers the most recent `window_ticks`
+/// whole ticks, *including* the current one. All boundary conventions are
+/// half-open on ticks and **closed on the window's lower edge**:
+///
+/// * tick `k` covers `[k * tick_seconds, (k + 1) * tick_seconds)`;
+/// * while tick `t` is current, the window is
+///   `[window_start(t), (t + 1) * tick_seconds)` with
+///   `window_start(t) = (t + 1 - window_ticks) * tick_seconds`
+///   (saturating at 0);
+/// * an event whose timestamp equals `window_start(t)` **is in the
+///   window** — this is the off-by-one this type exists to pin down:
+///   [`TimestampRing::retain_from`](baywatch_timeseries::TimestampRing::retain_from)
+///   drops strictly-older entries only, so both sides agree that the
+///   edge event survives a window shift.
+///
+/// With `window_ticks == 1` the window is exactly the current tick: each
+/// shift discards everything from prior ticks but never the edge event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleSpec {
+    /// Width of one tick in seconds (must be positive).
+    pub tick_seconds: u64,
+    /// How many ticks the sliding window covers, current tick included
+    /// (must be positive).
+    pub window_ticks: u64,
+}
+
+impl ScheduleSpec {
+    /// Validates and constructs a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when either field is zero.
+    pub fn new(tick_seconds: u64, window_ticks: u64) -> Result<Self, CoreError> {
+        if tick_seconds == 0 {
+            return Err(CoreError::InvalidConfig {
+                name: "tick_seconds",
+                constraint: "must be positive",
+            });
+        }
+        if window_ticks == 0 {
+            return Err(CoreError::InvalidConfig {
+                name: "window_ticks",
+                constraint: "must be positive",
+            });
+        }
+        Ok(Self {
+            tick_seconds,
+            window_ticks,
+        })
+    }
+
+    /// The tick index containing `timestamp`.
+    pub fn tick_of(&self, timestamp: u64) -> u64 {
+        timestamp / self.tick_seconds
+    }
+
+    /// First timestamp of tick `tick` (saturating at `u64::MAX`).
+    pub fn tick_start(&self, tick: u64) -> u64 {
+        tick.saturating_mul(self.tick_seconds)
+    }
+
+    /// Inclusive lower edge of the window while `current_tick` is the
+    /// newest tick: the start of tick `current_tick + 1 - window_ticks`,
+    /// saturating at time zero when fewer than `window_ticks` ticks have
+    /// elapsed.
+    pub fn window_start(&self, current_tick: u64) -> u64 {
+        let first_tick = (current_tick + 1).saturating_sub(self.window_ticks);
+        self.tick_start(first_tick)
+    }
+
+    /// Exclusive upper edge of the window while `current_tick` is the
+    /// newest tick (the end of that tick).
+    pub fn window_end(&self, current_tick: u64) -> u64 {
+        self.tick_start(current_tick.saturating_add(1))
+    }
+
+    /// Whether `timestamp` falls inside the window of `current_tick`:
+    /// `window_start(current_tick) <= timestamp < window_end(current_tick)`.
+    /// The lower comparison is `>=` — the edge event is **in**.
+    pub fn in_window(&self, current_tick: u64, timestamp: u64) -> bool {
+        timestamp >= self.window_start(current_tick) && timestamp < self.window_end(current_tick)
+    }
+}
+
 /// One analysis tier of the scheduler.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tier {
@@ -401,6 +488,67 @@ mod tests {
         }
         assert_eq!(sched.days_ingested(), 40);
         assert!(sched.history.len() <= 30);
+    }
+
+    #[test]
+    fn schedule_spec_rejects_zero_fields() {
+        assert!(ScheduleSpec::new(0, 4).is_err());
+        assert!(ScheduleSpec::new(60, 0).is_err());
+        assert!(ScheduleSpec::new(60, 4).is_ok());
+    }
+
+    #[test]
+    fn window_edge_event_is_inside() {
+        // The latent off-by-one this guards: an event landing exactly on
+        // the window's lower edge must be IN the window, on both the
+        // ScheduleSpec side and the ring-retention side.
+        let spec = ScheduleSpec::new(60, 4).unwrap();
+        // Current tick 10 → window covers ticks 7..=10 → [420, 660).
+        assert_eq!(spec.window_start(10), 420);
+        assert_eq!(spec.window_end(10), 660);
+        assert!(spec.in_window(10, 420), "edge event must be in-window");
+        assert!(!spec.in_window(10, 419));
+        assert!(spec.in_window(10, 659));
+        assert!(!spec.in_window(10, 660));
+
+        let mut ring = baywatch_timeseries::TimestampRing::new(16);
+        ring.append_batch(&[(419, 1), (420, 1), (500, 1)]);
+        ring.retain_from(spec.window_start(10));
+        assert_eq!(
+            ring.timestamps(),
+            vec![420, 500],
+            "ring retention must agree with in_window on the edge"
+        );
+    }
+
+    #[test]
+    fn one_tick_window_is_exactly_the_current_tick() {
+        let spec = ScheduleSpec::new(60, 1).unwrap();
+        assert_eq!(spec.window_start(5), 300);
+        assert_eq!(spec.window_end(5), 360);
+        assert!(spec.in_window(5, 300));
+        assert!(!spec.in_window(5, 299));
+        assert!(!spec.in_window(5, 360));
+    }
+
+    #[test]
+    fn early_ticks_saturate_at_time_zero() {
+        let spec = ScheduleSpec::new(60, 8).unwrap();
+        // Fewer than window_ticks ticks have elapsed: window starts at 0.
+        assert_eq!(spec.window_start(3), 0);
+        assert!(spec.in_window(3, 0));
+        assert!(spec.in_window(3, 239));
+        assert!(!spec.in_window(3, 240));
+    }
+
+    #[test]
+    fn tick_of_matches_tick_start() {
+        let spec = ScheduleSpec::new(90, 2).unwrap();
+        for t in [0, 89, 90, 179, 180, 12345] {
+            let k = spec.tick_of(t);
+            assert!(spec.tick_start(k) <= t);
+            assert!(t < spec.tick_start(k + 1));
+        }
     }
 
     #[test]

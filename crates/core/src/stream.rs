@@ -1,0 +1,1402 @@
+//! Streaming/incremental detection engine with bounded per-pair state.
+//!
+//! The batch pipeline ([`crate::pipeline::Baywatch`]) loads one window of
+//! records, runs filters 1–7, and reports. BAYWATCH's deployment model
+//! (§VIII: ~30 B events over 5 months) instead wants *continuous*
+//! admission: events arrive as they happen, state per communication pair
+//! stays bounded, and every tick re-evaluates only what changed.
+//! [`StreamingHunt`] is that engine:
+//!
+//! * **State layout** — one `PairState` per communication pair: a
+//!   fixed-capacity [`TimestampRing`] of distinct raw timestamps with
+//!   multiplicities (plus its interval sketch), the pair's URL tokens
+//!   tagged with the last tick each was seen, a cached detection verdict
+//!   keyed to the ring's mutation version, and bookkeeping (last-seen
+//!   tick, byte cost). All maps are `BTreeMap`/`BTreeSet` — iteration
+//!   order is part of the determinism contract.
+//! * **Tick semantics** — time advances in fixed ticks
+//!   ([`ScheduleSpec`]); events are buffered within the current tick
+//!   (intra-tick arrival order is irrelevant: the buffer is folded and
+//!   sorted at tick close, so any chunking of the same trace produces
+//!   identical state). The sliding window covers the most recent
+//!   `window_ticks` ticks with a **closed lower edge**: an event landing
+//!   exactly on the window start is in the window, on both the schedule
+//!   side and the ring-retention side.
+//! * **Eviction policy** — a global byte budget over resident pair state.
+//!   When it overflows, cold pairs are evicted strictly LRU by last-seen
+//!   tick, ties broken by pair key ascending — a deterministic total
+//!   order with no hash iteration anywhere. Pairs whose window empties
+//!   expire the same way. An evicted pair that returns re-enters with a
+//!   fresh ring and is counted under `stream.pairs.readmitted`.
+//! * **Degradation before shedding** — the byte budget feeds pressure to
+//!   an [`AdmissionController`]: `Degrade` coarsens the effective
+//!   detection tick (re-detection only every
+//!   [`StreamConfig::degrade_detect_stride`] ticks) and widens eviction
+//!   (down to [`StreamConfig::degrade_target`] of the budget); `Reject`
+//!   sheds the tick's buffered events with exact accounting.
+//! * **Equivalence guarantees** — as long as nothing was shed, dropped by
+//!   ring capacity, or evicted with live in-window events, the retained
+//!   state is *lossless*: [`StreamingHunt::final_report`] reconstructs
+//!   the final window's records and produces a report **byte-identical**
+//!   (via [`crate::report::export_json`]) to the batch pipeline run over
+//!   that window, and the per-tick funnel levels telescope exactly to the
+//!   batch funnel. The test battery (`tests/stream_equivalence.rs`,
+//!   `tests/stream_soak.rs`) locks both.
+//!
+//! Every [`StreamLedger`] movement is exact integer arithmetic (enforced
+//! by the `L7-ledger-arith` lint rule): offered events equal admitted +
+//! late + shed; admitted equal resident + retired + capacity-dropped +
+//! evicted; admitted pairs equal live + evicted.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use baywatch_langmodel::{corpus, DomainScorer};
+use baywatch_obs::{Clock, ManualClock, MetricsRegistry, MetricsSnapshot};
+use baywatch_resilience::{AdmissionConfig, AdmissionController, AdmissionDecision};
+use baywatch_timeseries::detector::PeriodicityDetector;
+use baywatch_timeseries::workspace::with_thread_workspace;
+use baywatch_timeseries::{CandidatePeriod, TimeSeriesError, TimestampRing};
+
+use crate::pair::CommunicationPair;
+use crate::pipeline::{AnalysisReport, Baywatch, BaywatchConfig, FilterStats};
+use crate::rank::{rank_cases, BeaconCase};
+use crate::record::LogRecord;
+use crate::schedule::ScheduleSpec;
+use crate::whitelist::{GlobalWhitelist, LocalWhitelist};
+use crate::CoreError;
+
+/// Fixed per-pair overhead charged against the state budget (struct,
+/// map-node, and LRU-index overhead), in bytes. The cost model is a
+/// deliberate platform-independent *model*, not `size_of` truth: the
+/// same trace must make the same eviction decisions on every build.
+const PAIR_BASE_BYTES: u64 = 192;
+/// Budget cost of one ring slot. Charged for the full capacity up front —
+/// the bound is what the budget must stand behind, not the fill level.
+const RING_ENTRY_BYTES: u64 = 16;
+/// Fixed cost of one retained URL token (map node + string header).
+const TOKEN_BASE_BYTES: u64 = 56;
+
+/// Configuration of the streaming engine.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Tick width and sliding-window length.
+    pub schedule: ScheduleSpec,
+    /// Distinct-timestamp capacity of each per-pair ring buffer.
+    pub ring_capacity: usize,
+    /// Global budget (bytes, under the model constants above) for all
+    /// resident pair state. `u64::MAX` disables eviction pressure.
+    pub state_budget_bytes: u64,
+    /// While degraded, evict down to this fraction of the budget instead
+    /// of stopping exactly at it (wider eviction). Must be in `(0, 1]`.
+    pub degrade_target: f64,
+    /// While degraded, run re-detection only on every N-th tick (coarser
+    /// effective detection tick). Must be ≥ 1.
+    pub degrade_detect_stride: u64,
+    /// Hysteresis thresholds for the pressure controller.
+    pub admission: AdmissionConfig,
+    /// The batch-pipeline configuration the stream must stay equivalent
+    /// to: detector settings, whitelists, token filter, ranking.
+    pub pipeline: BaywatchConfig,
+}
+
+impl StreamConfig {
+    /// A config with the given schedule and unbounded memory (no eviction
+    /// pressure): the lossless mode the equivalence battery runs in.
+    pub fn lossless(schedule: ScheduleSpec) -> Self {
+        Self {
+            schedule,
+            ring_capacity: 4096,
+            state_budget_bytes: u64::MAX,
+            degrade_target: 0.7,
+            degrade_detect_stride: 4,
+            admission: AdmissionConfig::default(),
+            pipeline: BaywatchConfig::default(),
+        }
+    }
+}
+
+/// Exact accounting of every event and pair that entered the engine.
+///
+/// All arithmetic on these fields is plain `+`/`-` on `u64` (the
+/// `L7-ledger-arith` lint rule rejects narrowing casts and
+/// wrapping/saturating calls inside this impl), and
+/// [`StreamLedger::is_balanced`] states the invariants:
+///
+/// ```text
+/// events_offered  == events_admitted + events_late + events_shed
+///                    + events_buffered
+/// events_admitted == events_resident + events_retired
+///                    + events_dropped_capacity + events_evicted
+/// pairs_admitted  == pairs_live + pairs_evicted
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamLedger {
+    /// Every event handed to [`StreamingHunt::ingest`].
+    pub events_offered: u64,
+    /// Events admitted into some pair's ring (before any later loss).
+    pub events_admitted: u64,
+    /// Events dropped because their timestamp belonged to an already
+    /// closed tick.
+    pub events_late: u64,
+    /// Buffered events shed whole-tick by an admission `Reject`.
+    pub events_shed: u64,
+    /// Events waiting in the still-open tick's buffer.
+    pub events_buffered: u64,
+    /// Admitted events later displaced by a ring's capacity bound.
+    pub events_dropped_capacity: u64,
+    /// Admitted events that slid out of the window (normal aging).
+    pub events_retired: u64,
+    /// Admitted events lost because their whole pair was evicted.
+    pub events_evicted: u64,
+    /// Admitted events currently resident in rings.
+    pub events_resident: u64,
+    /// Pairs ever admitted (readmissions count again).
+    pub pairs_admitted: u64,
+    /// Pairs currently holding state.
+    pub pairs_live: u64,
+    /// Pairs removed (budget eviction or window expiry).
+    pub pairs_evicted: u64,
+    /// Admissions of a pair previously evicted (fresh ring each time).
+    pub pairs_readmitted: u64,
+}
+
+impl StreamLedger {
+    /// An event arrived and entered the open tick's buffer.
+    fn offer_buffered(&mut self, n: u64) {
+        self.events_offered += n;
+        self.events_buffered += n;
+    }
+
+    /// An event arrived but its tick had already closed.
+    fn offer_late(&mut self, n: u64) {
+        self.events_offered += n;
+        self.events_late += n;
+    }
+
+    /// A closed tick's buffered events were shed by an admission reject.
+    fn shed(&mut self, n: u64) {
+        self.events_buffered -= n;
+        self.events_shed += n;
+    }
+
+    /// A closed tick's buffered events entered rings.
+    fn admit(&mut self, n: u64) {
+        self.events_buffered -= n;
+        self.events_admitted += n;
+        self.events_resident += n;
+    }
+
+    /// Admitted events displaced by a ring's capacity bound.
+    fn drop_capacity(&mut self, n: u64) {
+        self.events_resident -= n;
+        self.events_dropped_capacity += n;
+    }
+
+    fn retire(&mut self, n: u64) {
+        self.events_resident -= n;
+        self.events_retired += n;
+    }
+
+    fn evict_events(&mut self, n: u64) {
+        self.events_resident -= n;
+        self.events_evicted += n;
+    }
+
+    fn admit_pair(&mut self, readmitted: bool) {
+        self.pairs_admitted += 1;
+        self.pairs_live += 1;
+        if readmitted {
+            self.pairs_readmitted += 1;
+        }
+    }
+
+    fn evict_pair(&mut self) {
+        self.pairs_live -= 1;
+        self.pairs_evicted += 1;
+    }
+
+    /// Whether every invariant holds exactly.
+    pub fn is_balanced(&self) -> bool {
+        self.events_offered
+            == self.events_admitted + self.events_late + self.events_shed + self.events_buffered
+            && self.events_admitted
+                == self.events_resident
+                    + self.events_retired
+                    + self.events_dropped_capacity
+                    + self.events_evicted
+            && self.pairs_admitted == self.pairs_live + self.pairs_evicted
+    }
+
+    /// Whether no event or pair was ever lost: nothing late, shed,
+    /// capacity-dropped, or evicted with events still in its ring. In
+    /// this state the resident window is provably identical to what a
+    /// batch run over the same window would extract.
+    pub fn is_lossless(&self) -> bool {
+        self.events_late == 0
+            && self.events_shed == 0
+            && self.events_dropped_capacity == 0
+            && self.events_evicted == 0
+    }
+}
+
+/// Cached periodicity verdict for one pair at one ring version.
+#[derive(Debug, Clone)]
+enum PairVerdict {
+    /// Verified periodic, with the detector's candidate periods.
+    Periodic(Vec<CandidatePeriod>),
+    /// Analyzed and not periodic (includes too-few-events/zero-span).
+    Quiet,
+    /// The per-pair execution budget cut the analysis off.
+    TimedOut,
+}
+
+/// Bounded per-pair streaming state.
+#[derive(Debug)]
+struct PairState {
+    ring: TimestampRing,
+    /// URL token → last tick it was observed in. A token is in-window
+    /// while its last tick is ≥ the window's first tick.
+    tokens: BTreeMap<String, u64>,
+    /// Bumped on every ring mutation; verdicts cache against it.
+    version: u64,
+    verdict: Option<(u64, PairVerdict)>,
+    last_seen_tick: u64,
+    /// Whether the destination is on the global whitelist (filter 1),
+    /// computed once at admission.
+    whitelisted: bool,
+    cost_bytes: u64,
+}
+
+impl PairState {
+    fn new(pair: &CommunicationPair, capacity: usize, whitelisted: bool, tick: u64) -> Self {
+        let ring = TimestampRing::new(capacity);
+        let cost_bytes = PAIR_BASE_BYTES
+            + pair.source.len() as u64
+            + pair.destination.len() as u64
+            + ring.capacity() as u64 * RING_ENTRY_BYTES;
+        Self {
+            ring,
+            tokens: BTreeMap::new(),
+            version: 0,
+            verdict: None,
+            last_seen_tick: tick,
+            whitelisted,
+            cost_bytes,
+        }
+    }
+
+    /// The pair's URL tokens still inside the window that starts at
+    /// `first_window_tick`.
+    fn window_tokens(&self, first_window_tick: u64) -> BTreeSet<String> {
+        self.tokens
+            .iter()
+            .filter(|(_, &last)| last >= first_window_tick)
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+}
+
+/// Signed per-tick change of every funnel level. Summing any field's
+/// deltas over all ticks telescopes exactly to that field's final level
+/// (each tick's delta is the difference against the previous tick).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TickDelta {
+    /// Change in raw in-window events.
+    pub events: i64,
+    /// Change in live communication pairs.
+    pub pairs: i64,
+    /// Change in pairs surviving the global whitelist.
+    pub after_global_whitelist: i64,
+    /// Change in pairs surviving the local whitelist.
+    pub after_local_whitelist: i64,
+    /// Change in verified-periodic pairs.
+    pub periodic: i64,
+    /// Change in cases surviving the URL-token filter.
+    pub after_token_filter: i64,
+    /// Change in cases surviving novelty analysis.
+    pub after_novelty: i64,
+    /// Change in cases above the report percentile.
+    pub reported: i64,
+}
+
+impl TickDelta {
+    fn between(prev: &FilterStats, next: &FilterStats) -> Self {
+        let d = |a: usize, b: usize| b as i64 - a as i64;
+        Self {
+            events: d(prev.events, next.events),
+            pairs: d(prev.pairs, next.pairs),
+            after_global_whitelist: d(prev.after_global_whitelist, next.after_global_whitelist),
+            after_local_whitelist: d(prev.after_local_whitelist, next.after_local_whitelist),
+            periodic: d(prev.periodic, next.periodic),
+            after_token_filter: d(prev.after_token_filter, next.after_token_filter),
+            after_novelty: d(prev.after_novelty, next.after_novelty),
+            reported: d(prev.reported, next.reported),
+        }
+    }
+
+    /// Adds `self` into a running accumulator (for telescoping checks).
+    pub fn accumulate(&self, into: &mut [i64; 8]) {
+        into[0] += self.events;
+        into[1] += self.pairs;
+        into[2] += self.after_global_whitelist;
+        into[3] += self.after_local_whitelist;
+        into[4] += self.periodic;
+        into[5] += self.after_token_filter;
+        into[6] += self.after_novelty;
+        into[7] += self.reported;
+    }
+}
+
+/// The outcome of closing one tick.
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// The tick that closed.
+    pub tick: u64,
+    /// Inclusive lower edge of the window at this tick.
+    pub window_start: u64,
+    /// Full funnel levels over the current window state.
+    pub stats: FilterStats,
+    /// Signed change against the previous tick's levels.
+    pub delta: TickDelta,
+    /// Pairs removed this tick, in removal order: window expiries first
+    /// (pair-key ascending), then budget evictions (LRU order).
+    pub evicted: Vec<CommunicationPair>,
+    /// The admission controller's decision for this tick.
+    pub decision: AdmissionDecision,
+    /// Detection runs actually executed this tick.
+    pub detect_runs: u64,
+    /// Detection verdicts served from the version cache this tick.
+    pub detect_cached: u64,
+    /// Resident state bytes (model cost) after this tick.
+    pub resident_bytes: u64,
+    /// Live pairs after this tick.
+    pub live_pairs: u64,
+}
+
+/// The streaming engine. See the module docs for the full contract.
+#[derive(Debug)]
+pub struct StreamingHunt {
+    config: StreamConfig,
+    metrics: Arc<MetricsRegistry>,
+    detector: PeriodicityDetector,
+    scorer: DomainScorer,
+    global_whitelist: GlobalWhitelist,
+    local_whitelist: LocalWhitelist,
+    admission: AdmissionController,
+    pairs: BTreeMap<CommunicationPair, PairState>,
+    /// LRU index: (last-seen tick, pair) ascending — pop-first is the
+    /// coldest pair, ties broken by pair key.
+    lru: BTreeSet<(u64, CommunicationPair)>,
+    /// FNV-1a fingerprints of every pair ever removed, for readmission
+    /// accounting without retaining the evicted keys themselves.
+    evicted_fingerprints: BTreeSet<u64>,
+    /// Read-only novelty memory: destination → sources already reported.
+    /// Populated only by [`StreamingHunt::commit_reported`], so by
+    /// default it matches a fresh batch engine (everything novel).
+    novelty_reported: BTreeMap<String, BTreeSet<String>>,
+    current_tick: Option<u64>,
+    tick_buffer: Vec<LogRecord>,
+    prev_stats: FilterStats,
+    ledger: StreamLedger,
+    resident_bytes: u64,
+    /// Pre-eviction peak of the previous tick: eviction always pulls
+    /// `resident_bytes` back under budget, so admission must react to
+    /// how hard the budget was hit, not to the post-eviction residue.
+    peak_resident_bytes: u64,
+    ticks_closed: u64,
+}
+
+impl StreamingHunt {
+    /// Builds a streaming engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `degrade_target` is
+    /// outside `(0, 1]`, `degrade_detect_stride` is zero, or
+    /// `ring_capacity` is zero.
+    pub fn new(config: StreamConfig) -> Result<Self, CoreError> {
+        if !(config.degrade_target > 0.0 && config.degrade_target <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "degrade_target",
+                constraint: "must be in (0, 1]",
+            });
+        }
+        if config.degrade_detect_stride == 0 {
+            return Err(CoreError::InvalidConfig {
+                name: "degrade_detect_stride",
+                constraint: "must be at least 1",
+            });
+        }
+        if config.ring_capacity == 0 {
+            return Err(CoreError::InvalidConfig {
+                name: "ring_capacity",
+                constraint: "must be at least 1",
+            });
+        }
+        let metrics = Arc::new(MetricsRegistry::new());
+        let scorer = DomainScorer::train(corpus::training_corpus(), config.pipeline.lm_order);
+        let global_whitelist = if config.pipeline.use_builtin_whitelist {
+            GlobalWhitelist::from_seed_corpus()
+        } else {
+            GlobalWhitelist::default()
+        };
+        let local_whitelist = LocalWhitelist::new(config.pipeline.local_tau);
+        let detector = PeriodicityDetector::new(config.pipeline.detector.clone());
+        let admission = AdmissionController::new(config.admission);
+        Ok(Self {
+            config,
+            metrics,
+            detector,
+            scorer,
+            global_whitelist,
+            local_whitelist,
+            admission,
+            pairs: BTreeMap::new(),
+            lru: BTreeSet::new(),
+            evicted_fingerprints: BTreeSet::new(),
+            novelty_reported: BTreeMap::new(),
+            current_tick: None,
+            tick_buffer: Vec::new(),
+            prev_stats: FilterStats::default(),
+            ledger: StreamLedger::default(),
+            resident_bytes: 0,
+            peak_resident_bytes: 0,
+            ticks_closed: 0,
+        })
+    }
+
+    /// The exact event/pair ledger.
+    pub fn ledger(&self) -> &StreamLedger {
+        &self.ledger
+    }
+
+    /// Resident state bytes under the deterministic cost model.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Live pairs currently holding state.
+    pub fn live_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The tick currently accepting events, if any event arrived yet.
+    pub fn current_tick(&self) -> Option<u64> {
+        self.current_tick
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Point-in-time snapshot of the stream's own metrics registry
+    /// (`stream.*` counters and gauges, detector instruments).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Whether the admission controller is currently degrading or
+    /// rejecting.
+    pub fn is_under_pressure(&self) -> bool {
+        self.admission.is_elevated()
+    }
+
+    /// Records pairs as already reported: they stop being novel for all
+    /// subsequent per-tick funnels (the streaming analogue of the batch
+    /// novelty store's day-over-day memory).
+    pub fn commit_reported<I>(&mut self, pairs: I)
+    where
+        I: IntoIterator<Item = CommunicationPair>,
+    {
+        for pair in pairs {
+            self.novelty_reported
+                .entry(pair.destination)
+                .or_default()
+                .insert(pair.source);
+        }
+    }
+
+    /// Ingests a chunk of events, in any order within a tick. Records
+    /// whose tick already closed are dropped as late; records in a future
+    /// tick close every tick up to it. Returns the reports of all ticks
+    /// closed by this chunk. Chunk boundaries carry no meaning: any
+    /// split of the same trace yields identical state and reports.
+    pub fn ingest(&mut self, records: &[LogRecord]) -> Vec<TickReport> {
+        let mut reports = Vec::new();
+        for record in records {
+            self.metrics.counter("stream.events.offered").inc();
+            let tick = self.config.schedule.tick_of(record.timestamp);
+            match self.current_tick {
+                None => {
+                    self.ledger.offer_buffered(1);
+                    self.current_tick = Some(tick);
+                    self.tick_buffer.push(record.clone());
+                }
+                Some(current) if tick == current => {
+                    self.ledger.offer_buffered(1);
+                    self.tick_buffer.push(record.clone());
+                }
+                Some(current) if tick < current => {
+                    self.ledger.offer_late(1);
+                    // Gated: a clean in-order run never registers it.
+                    self.metrics.counter("stream.events.late").inc();
+                }
+                Some(current) => {
+                    reports.push(self.close_tick(current, false));
+                    // Ticks with no events still advance the window.
+                    for empty in current + 1..tick {
+                        reports.push(self.close_tick(empty, false));
+                    }
+                    self.ledger.offer_buffered(1);
+                    self.current_tick = Some(tick);
+                    self.tick_buffer.push(record.clone());
+                }
+            }
+        }
+        reports
+    }
+
+    /// Closes the tick currently accepting events (forcing fresh
+    /// detection even under degradation, so the final funnel is exact)
+    /// and returns its report. `None` if no event was ever ingested.
+    pub fn finish(&mut self) -> Option<TickReport> {
+        let current = self.current_tick?;
+        let report = self.close_tick(current, true);
+        self.current_tick = Some(current);
+        Some(report)
+    }
+
+    /// Reconstructs the final window's records from resident state, in
+    /// deterministic order (pair key ascending, timestamps ascending).
+    /// When [`StreamLedger::is_lossless`] holds, this is exactly the
+    /// multiset of in-window records a batch run would have seen: every
+    /// distinct timestamp with its multiplicity, and every in-window URL
+    /// token carried by at least one record.
+    pub fn final_window_records(&self) -> Vec<LogRecord> {
+        let first_window_tick = self.first_window_tick();
+        let mut out = Vec::new();
+        for (pair, state) in &self.pairs {
+            let tokens: Vec<String> = state.window_tokens(first_window_tick).into_iter().collect();
+            let mut token_iter = tokens.iter();
+            for entry in state.ring.entries() {
+                for _ in 0..entry.multiplicity {
+                    let token = token_iter.next().map(String::as_str).unwrap_or("");
+                    out.push(LogRecord::new(
+                        entry.timestamp,
+                        &pair.source,
+                        &pair.destination,
+                        token,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the full batch pipeline over [`final_window_records`]
+    /// (fresh engine, fresh novelty store — matching a fresh batch run
+    /// over the same window) and returns its report together with that
+    /// engine's metrics snapshot. In lossless mode the pair's
+    /// [`crate::report::export_json`] is byte-identical to the batch
+    /// pipeline's on the same window.
+    ///
+    /// [`final_window_records`]: StreamingHunt::final_window_records
+    pub fn final_report(&self) -> (AnalysisReport, MetricsSnapshot) {
+        let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        let mut engine = Baywatch::with_clock(self.config.pipeline.clone(), clock);
+        let report = engine.analyze(self.final_window_records());
+        let snapshot = engine.metrics_snapshot();
+        (report, snapshot)
+    }
+
+    /// [`final_report`](StreamingHunt::final_report) exported through
+    /// [`crate::report::export_json`] with the given `top_k`.
+    pub fn final_export(&self, top_k: usize) -> String {
+        let (report, snapshot) = self.final_report();
+        crate::report::export_json(&report, &snapshot, top_k)
+    }
+
+    /// The ranked cases above the report percentile at the final window,
+    /// by pair — the stream's confirmed-beacon set.
+    pub fn confirmed_pairs(&self) -> Vec<CommunicationPair> {
+        let (report, _) = self.final_report();
+        report
+            .reported()
+            .iter()
+            .map(|c| c.case.pair.clone())
+            .collect()
+    }
+
+    /// First tick still inside the window of the current tick.
+    fn first_window_tick(&self) -> u64 {
+        let current = self.current_tick.unwrap_or(0);
+        (current + 1).saturating_sub(self.config.schedule.window_ticks)
+    }
+
+    fn pressure(&self) -> f64 {
+        if self.config.state_budget_bytes == u64::MAX {
+            return 0.0;
+        }
+        if self.config.state_budget_bytes == 0 {
+            return 1.0;
+        }
+        let bytes = self.resident_bytes.max(self.peak_resident_bytes);
+        bytes as f64 / self.config.state_budget_bytes as f64
+    }
+
+    fn remove_pair(&mut self, pair: &CommunicationPair) {
+        if let Some(state) = self.pairs.remove(pair) {
+            self.lru.remove(&(state.last_seen_tick, pair.clone()));
+            self.resident_bytes -= state.cost_bytes;
+            let resident = state.ring.events();
+            if resident > 0 {
+                self.ledger.evict_events(resident);
+            }
+            self.ledger.evict_pair();
+            self.evicted_fingerprints.insert(fingerprint(pair));
+            self.metrics.counter("stream.pairs.evicted").inc();
+        }
+    }
+
+    /// Folds the tick buffer into per-pair sorted (timestamp,
+    /// multiplicity) batches plus token observations, then admits them.
+    fn admit_buffer(&mut self, tick: u64, buffer: Vec<LogRecord>) {
+        struct Fold {
+            stamps: BTreeMap<u64, u64>,
+            tokens: BTreeSet<String>,
+        }
+        let mut folded: BTreeMap<CommunicationPair, Fold> = BTreeMap::new();
+        for record in buffer {
+            let pair = CommunicationPair::new(&record.source, &record.domain);
+            let fold = folded.entry(pair).or_insert_with(|| Fold {
+                stamps: BTreeMap::new(),
+                tokens: BTreeSet::new(),
+            });
+            *fold.stamps.entry(record.timestamp).or_insert(0) += 1;
+            if !record.url_token.is_empty() {
+                fold.tokens.insert(record.url_token);
+            }
+        }
+        for (pair, fold) in folded {
+            let mut overflow = 0u64;
+            let batch: Vec<(u64, u32)> = fold
+                .stamps
+                .into_iter()
+                .map(|(ts, n)| {
+                    // A single timestamp observed more than u32::MAX times
+                    // in one tick cannot be represented in a ring entry;
+                    // the excess is accounted as capacity loss.
+                    let kept = n.min(u64::from(u32::MAX));
+                    overflow += n - kept;
+                    (ts, kept as u32)
+                })
+                .collect();
+            if !self.pairs.contains_key(&pair) {
+                let readmitted = self.evicted_fingerprints.contains(&fingerprint(&pair));
+                let whitelisted = self.global_whitelist.contains(&pair.destination);
+                let state = PairState::new(&pair, self.config.ring_capacity, whitelisted, tick);
+                self.resident_bytes += state.cost_bytes;
+                self.lru.insert((tick, pair.clone()));
+                self.pairs.insert(pair.clone(), state);
+                self.ledger.admit_pair(readmitted);
+                self.metrics.counter("stream.pairs.admitted").inc();
+                if readmitted {
+                    self.metrics.counter("stream.pairs.readmitted").inc();
+                }
+            }
+            if let Some(state) = self.pairs.get_mut(&pair) {
+                let total: u64 = batch.iter().map(|&(_, n)| u64::from(n)).sum::<u64>() + overflow;
+                let before = state.ring.events();
+                state.ring.append_batch(&batch);
+                // Whatever was offered or previously resident but is not
+                // resident now was lost to the capacity bound (including
+                // the u32 overflow, which never reached the ring).
+                let lost = before + total - state.ring.events();
+                self.ledger.admit(total);
+                if lost > 0 {
+                    self.ledger.drop_capacity(lost);
+                    // Gated: only a capacity overflow registers it.
+                    self.metrics
+                        .counter("stream.events.dropped_capacity")
+                        .add(lost);
+                }
+                self.metrics.counter("stream.events.admitted").add(total);
+                state.version += 1;
+                let token_cost: u64 = fold
+                    .tokens
+                    .iter()
+                    .filter(|t| !state.tokens.contains_key(*t))
+                    .map(|t| TOKEN_BASE_BYTES + t.len() as u64)
+                    .sum();
+                for token in fold.tokens {
+                    state.tokens.insert(token, tick);
+                }
+                state.cost_bytes += token_cost;
+                self.resident_bytes += token_cost;
+                if state.last_seen_tick != tick {
+                    self.lru.remove(&(state.last_seen_tick, pair.clone()));
+                    self.lru.insert((tick, pair.clone()));
+                    state.last_seen_tick = tick;
+                }
+            }
+        }
+    }
+
+    /// Ages every pair to the window of `tick`: ring retention at the
+    /// (inclusive) window start, token retirement, and expiry of pairs
+    /// whose window emptied. Returns expired pairs in key order.
+    fn advance_window(&mut self, tick: u64) -> Vec<CommunicationPair> {
+        let cutoff = self.config.schedule.window_start(tick);
+        let first_window_tick = (tick + 1).saturating_sub(self.config.schedule.window_ticks);
+        let mut expired = Vec::new();
+        let mut retired_total = 0u64;
+        let mut cost_freed = 0u64;
+        for (pair, state) in &mut self.pairs {
+            let dropped = state.ring.retain_from(cutoff);
+            if dropped > 0 {
+                retired_total += dropped;
+                state.version += 1;
+            }
+            // Retire tokens whose last observation aged out of the window.
+            let stale: Vec<String> = state
+                .tokens
+                .iter()
+                .filter(|(_, &last)| last < first_window_tick)
+                .map(|(t, _)| t.clone())
+                .collect();
+            for token in stale {
+                let freed = TOKEN_BASE_BYTES + token.len() as u64;
+                state.tokens.remove(&token);
+                state.cost_bytes -= freed;
+                cost_freed += freed;
+                state.version += 1;
+            }
+            if state.ring.is_empty() {
+                expired.push(pair.clone());
+            }
+        }
+        if retired_total > 0 {
+            self.ledger.retire(retired_total);
+            self.metrics
+                .counter("stream.events.retired")
+                .add(retired_total);
+        }
+        self.resident_bytes -= cost_freed;
+        for pair in &expired {
+            // An expired pair's ring is already empty, so this moves no
+            // events — only the pair itself — through the ledger.
+            self.remove_pair(pair);
+        }
+        expired
+    }
+
+    /// Evicts coldest-first until resident state fits `target_bytes`.
+    /// Returns the evicted pairs in eviction order.
+    fn evict_to(&mut self, target_bytes: u64) -> Vec<CommunicationPair> {
+        let mut evicted = Vec::new();
+        while self.resident_bytes > target_bytes {
+            let Some((_, pair)) = self.lru.first().cloned() else {
+                break;
+            };
+            self.remove_pair(&pair);
+            evicted.push(pair);
+        }
+        evicted
+    }
+
+    fn funnel_gauges(&self, stats: &FilterStats) {
+        for (name, value) in [
+            ("events", stats.events),
+            ("pairs", stats.pairs),
+            ("after_global_whitelist", stats.after_global_whitelist),
+            ("after_local_whitelist", stats.after_local_whitelist),
+            ("periodic", stats.periodic),
+            ("after_token_filter", stats.after_token_filter),
+            ("after_novelty", stats.after_novelty),
+            ("reported", stats.reported),
+        ] {
+            self.metrics
+                .gauge(&format!("stream.funnel.{name}"))
+                .set(value as i64);
+        }
+    }
+
+    /// Closes `tick`: admission decision, buffer fold-in, window
+    /// advance, budget eviction, incremental re-detection, and the full
+    /// funnel over the resulting state.
+    fn close_tick(&mut self, tick: u64, force_detect: bool) -> TickReport {
+        let buffer = std::mem::take(&mut self.tick_buffer);
+        let decision = self.admission.decide(self.pressure(), false);
+        match decision {
+            AdmissionDecision::Reject => {
+                let shed = buffer.len() as u64;
+                if shed > 0 {
+                    self.ledger.shed(shed);
+                    // Gated: only an actual rejection registers these.
+                    self.metrics.counter("stream.events.shed").add(shed);
+                }
+                self.metrics.counter("stream.ticks.rejected").inc();
+            }
+            AdmissionDecision::Degrade => {
+                self.metrics.counter("stream.ticks.degraded").inc();
+                self.admit_buffer(tick, buffer);
+            }
+            AdmissionDecision::Accept => {
+                self.admit_buffer(tick, buffer);
+            }
+        }
+
+        let mut removed = self.advance_window(tick);
+        self.peak_resident_bytes = self.resident_bytes;
+        let eviction_target = match decision {
+            AdmissionDecision::Accept => self.config.state_budget_bytes,
+            AdmissionDecision::Degrade | AdmissionDecision::Reject => {
+                // Wider eviction while elevated: clear down to the
+                // degrade target so pressure actually recedes.
+                (self.config.state_budget_bytes as f64 * self.config.degrade_target) as u64
+            }
+        };
+        removed.extend(self.evict_to(eviction_target));
+
+        // Detection coarsening: while elevated, re-detect only every
+        // N-th tick (stale verdicts stand in between); a forced close
+        // (finish) always refreshes so the final funnel is exact.
+        let detect_this_tick = force_detect
+            || !self.admission.is_elevated()
+            || self
+                .ticks_closed
+                .is_multiple_of(self.config.degrade_detect_stride);
+
+        let stats = self.window_stats(tick, detect_this_tick);
+        let delta = TickDelta::between(&self.prev_stats, &stats.0);
+        self.prev_stats = stats.0;
+        self.ticks_closed += 1;
+        self.metrics.counter("stream.ticks").inc();
+        self.metrics.counter("stream.detect.runs").add(stats.1);
+        self.metrics.counter("stream.detect.cached").add(stats.2);
+        self.metrics
+            .gauge("stream.pairs.live")
+            .set(self.pairs.len() as i64);
+        self.metrics
+            .gauge("stream.state.resident_bytes")
+            .set(self.resident_bytes.min(i64::MAX as u64) as i64);
+        self.funnel_gauges(&self.prev_stats);
+
+        TickReport {
+            tick,
+            window_start: self.config.schedule.window_start(tick),
+            stats: self.prev_stats,
+            delta,
+            evicted: removed,
+            decision,
+            detect_runs: stats.1,
+            detect_cached: stats.2,
+            resident_bytes: self.resident_bytes,
+            live_pairs: self.pairs.len() as u64,
+        }
+    }
+
+    /// Computes the full funnel over current window state, re-running
+    /// detection only where the cached verdict's ring version is stale
+    /// (and only if `detect` allows). Returns (stats, runs, cache hits).
+    fn window_stats(&mut self, tick: u64, detect: bool) -> (FilterStats, u64, u64) {
+        let first_window_tick = (tick + 1).saturating_sub(self.config.schedule.window_ticks);
+
+        // Popularity over live pairs — bit-identical to
+        // `PopularityStats::compute` over the window's records: distinct
+        // sources per destination divided by total distinct sources.
+        let mut all_sources: BTreeSet<&str> = BTreeSet::new();
+        let mut per_domain: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for pair in self.pairs.keys() {
+            all_sources.insert(pair.source.as_str());
+            per_domain
+                .entry(pair.destination.as_str())
+                .or_default()
+                .insert(pair.source.as_str());
+        }
+        let total_sources = all_sources.len();
+
+        let mut stats = FilterStats::default();
+        let mut events = 0u64;
+        for state in self.pairs.values() {
+            events += state.ring.events();
+        }
+        stats.events = events as usize;
+        stats.pairs = self.pairs.len();
+
+        // Filters 1–2 over pair keys; survivors carry their popularity.
+        let mut survivors: Vec<(CommunicationPair, f64)> = Vec::new();
+        for (pair, state) in &self.pairs {
+            if state.whitelisted {
+                continue;
+            }
+            stats.after_global_whitelist += 1;
+            let sources = per_domain
+                .get(pair.destination.as_str())
+                .map(|s| s.len())
+                .unwrap_or(0);
+            let popularity = if total_sources == 0 {
+                0.0
+            } else {
+                sources as f64 / total_sources as f64
+            };
+            if self.local_whitelist.is_whitelisted(popularity) {
+                continue;
+            }
+            stats.after_local_whitelist += 1;
+            survivors.push((pair.clone(), popularity));
+        }
+
+        // Filter 3: periodicity, cached by ring version. The detector
+        // runs on this thread, so `with_thread_workspace` reuses FFT
+        // plans across pairs *and* across ticks.
+        let mut runs = 0u64;
+        let mut cached = 0u64;
+        let scale = self.config.pipeline.time_scale;
+        let mut periodic: Vec<(CommunicationPair, Vec<CandidatePeriod>, f64)> = Vec::new();
+        for (pair, popularity) in &survivors {
+            let Some(state) = self.pairs.get_mut(pair) else {
+                continue;
+            };
+            let fresh = matches!(&state.verdict, Some((v, _)) if *v == state.version);
+            if fresh || !detect {
+                cached += u64::from(fresh);
+            } else {
+                let verdict = detect_pair(&self.detector, &self.config.pipeline, &state.ring);
+                state.verdict = Some((state.version, verdict));
+                runs += 1;
+            }
+            match &state.verdict {
+                Some((_, PairVerdict::Periodic(candidates))) => {
+                    periodic.push((pair.clone(), candidates.clone(), *popularity));
+                }
+                Some((_, PairVerdict::TimedOut)) => stats.timed_out_pairs += 1,
+                Some((_, PairVerdict::Quiet)) | None => {}
+            }
+        }
+        stats.periodic = periodic.len();
+
+        // Similar-source counts among periodic destinations — computed
+        // before the token filter, exactly like the batch pipeline.
+        let mut similar: BTreeMap<&str, usize> = BTreeMap::new();
+        for (pair, _, _) in &periodic {
+            *similar.entry(pair.destination.as_str()).or_insert(0) += 1;
+        }
+        let similar: BTreeMap<String, usize> = similar
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+
+        // Filters 4–7.
+        let mut cases: Vec<BeaconCase> = Vec::new();
+        for (pair, candidates, popularity) in periodic {
+            let Some(state) = self.pairs.get(&pair) else {
+                continue;
+            };
+            let tokens = state.window_tokens(first_window_tick);
+            if self.config.pipeline.token_filter.is_benign(&tokens) {
+                continue;
+            }
+            stats.after_token_filter += 1;
+            let novel = !self
+                .novelty_reported
+                .get(&pair.destination)
+                .is_some_and(|s| s.contains(&pair.source));
+            if !novel {
+                continue;
+            }
+            stats.after_novelty += 1;
+            let intervals: Vec<f64> = {
+                let quantized: Vec<u64> = state
+                    .ring
+                    .entries()
+                    .map(|e| e.timestamp / scale * scale)
+                    .collect();
+                quantized.windows(2).map(|w| (w[1] - w[0]) as f64).collect()
+            };
+            cases.push(BeaconCase {
+                popularity,
+                lm_score: self.scorer.score_per_char(&pair.destination),
+                similar_sources: similar.get(pair.destination.as_str()).copied().unwrap_or(1),
+                intervals,
+                url_tokens: tokens,
+                pair,
+                candidates,
+            });
+        }
+        let (_ranked, report_cutoff) = rank_cases(&cases, &self.config.pipeline.rank);
+        stats.reported = report_cutoff;
+        (stats, runs, cached)
+    }
+}
+
+/// One detection run over a pair's ring, replicating the batch job's
+/// call exactly: quantized timestamps, a fresh per-pair budget, a
+/// thread-local spectral workspace, and the same verdict mapping.
+fn detect_pair(
+    detector: &PeriodicityDetector,
+    pipeline: &BaywatchConfig,
+    ring: &TimestampRing,
+) -> PairVerdict {
+    let scale = pipeline.time_scale;
+    let timestamps: Vec<u64> = ring
+        .entries()
+        .map(|e| e.timestamp / scale * scale)
+        .collect();
+    let budget = pipeline.detector.budget;
+    with_thread_workspace(|ws| {
+        match detector.detect_budgeted_in(ws, &timestamps, &budget.start()) {
+            Ok(report) if report.is_periodic() => PairVerdict::Periodic(report.candidates),
+            Ok(_) => PairVerdict::Quiet,
+            Err(TimeSeriesError::BudgetExhausted) => PairVerdict::TimedOut,
+            // Validation errors (too few events, zero span, …) mean "not
+            // a beacon candidate", exactly as in the batch job.
+            Err(_) => PairVerdict::Quiet,
+        }
+    })
+}
+
+/// FNV-1a 64-bit fingerprint of a pair key (source NUL destination).
+fn fingerprint(pair: &CommunicationPair) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for byte in pair
+        .source
+        .as_bytes()
+        .iter()
+        .chain([0u8].iter())
+        .chain(pair.destination.as_bytes())
+    {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(tick_seconds: u64, window_ticks: u64) -> StreamConfig {
+        let schedule = ScheduleSpec::new(tick_seconds, window_ticks).unwrap();
+        let mut config = StreamConfig::lossless(schedule);
+        // Toy populations: a single-source pair has popularity 1.0, so
+        // only the strict `> 1.0` comparison keeps it out of the local
+        // whitelist. Skip the built-in global whitelist (synthetic
+        // domains).
+        config.pipeline.local_tau = 1.0;
+        config.pipeline.use_builtin_whitelist = false;
+        config
+    }
+
+    fn record(ts: u64, source: &str, domain: &str) -> LogRecord {
+        LogRecord::new(ts, source, domain, "a1b2c3")
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = config(60, 4);
+        c.degrade_target = 0.0;
+        assert!(StreamingHunt::new(c).is_err());
+        let mut c = config(60, 4);
+        c.degrade_detect_stride = 0;
+        assert!(StreamingHunt::new(c).is_err());
+        let mut c = config(60, 4);
+        c.ring_capacity = 0;
+        assert!(StreamingHunt::new(c).is_err());
+    }
+
+    #[test]
+    fn window_boundary_one_tick() {
+        // window_ticks = 1: closing tick k+1 must retire every tick-k
+        // event, but an event exactly on the new window edge stays.
+        let mut hunt = StreamingHunt::new(config(60, 1)).unwrap();
+        let records = vec![
+            record(10, "h", "a.test"),
+            record(59, "h", "a.test"),
+            record(60, "h", "a.test"), // first ts of tick 1 == window edge
+            record(61, "h", "a.test"),
+        ];
+        let reports = hunt.ingest(&records);
+        assert_eq!(reports.len(), 1, "tick 0 closed when tick 1 opened");
+        assert_eq!(reports[0].stats.events, 2);
+        let last = hunt.finish().unwrap();
+        assert_eq!(last.tick, 1);
+        assert_eq!(last.window_start, 60);
+        assert_eq!(
+            last.stats.events, 2,
+            "tick-0 events retired; the edge event at ts=60 retained"
+        );
+        assert_eq!(hunt.ledger().events_retired, 2);
+        assert!(hunt.ledger().is_balanced());
+    }
+
+    #[test]
+    fn window_boundary_exact_capacity_is_lossless() {
+        let mut c = config(1_000, 4);
+        c.ring_capacity = 5;
+        let mut hunt = StreamingHunt::new(c).unwrap();
+        let records: Vec<LogRecord> = (0..5).map(|i| record(i * 10, "h", "a.test")).collect();
+        hunt.ingest(&records);
+        let last = hunt.finish().unwrap();
+        assert_eq!(last.stats.events, 5);
+        assert_eq!(hunt.ledger().events_dropped_capacity, 0);
+        assert!(hunt.ledger().is_lossless());
+    }
+
+    #[test]
+    fn window_boundary_capacity_plus_one_drops_exactly_one() {
+        let mut c = config(1_000, 4);
+        c.ring_capacity = 5;
+        let mut hunt = StreamingHunt::new(c).unwrap();
+        let records: Vec<LogRecord> = (0..6).map(|i| record(i * 10, "h", "a.test")).collect();
+        hunt.ingest(&records);
+        let last = hunt.finish().unwrap();
+        assert_eq!(last.stats.events, 5);
+        assert_eq!(hunt.ledger().events_dropped_capacity, 1);
+        assert!(!hunt.ledger().is_lossless());
+        assert!(hunt.ledger().is_balanced());
+        // The oldest timestamp is the one displaced.
+        let state = hunt.pairs.values().next().unwrap();
+        assert_eq!(state.ring.first_timestamp(), Some(10));
+    }
+
+    #[test]
+    fn late_events_are_counted_not_admitted() {
+        let mut hunt = StreamingHunt::new(config(60, 4)).unwrap();
+        hunt.ingest(&[record(10, "h", "a.test"), record(130, "h", "a.test")]);
+        // Tick 0 closed when ts=130 (tick 2) arrived; ts=30 is now late.
+        hunt.ingest(&[record(30, "h", "a.test")]);
+        assert_eq!(hunt.ledger().events_late, 1);
+        // ts=130 still sits in the open tick-2 buffer.
+        assert_eq!(hunt.ledger().events_admitted, 1);
+        assert_eq!(hunt.ledger().events_buffered, 1);
+        assert!(hunt.ledger().is_balanced());
+        hunt.finish();
+        assert_eq!(hunt.ledger().events_admitted, 2);
+        assert_eq!(hunt.ledger().events_buffered, 0);
+        assert!(hunt.ledger().is_balanced());
+    }
+
+    /// Same records, same tick boundaries, different chunk splits and
+    /// intra-tick order: identical state, reports, and eviction order.
+    #[test]
+    fn eviction_determinism_across_interleavings() {
+        let mut c = config(100, 2);
+        // Small rings (519 bytes/pair with one token) and a budget that
+        // fits ~7 of the 12 pairs, forcing evictions every tick.
+        c.ring_capacity = 16;
+        c.state_budget_bytes = 4 * 1024;
+        let mut records = Vec::new();
+        for tick in 0u64..8 {
+            for p in 0u64..12 {
+                let ts = tick * 100 + (p * 7) % 100;
+                records.push(record(ts, &format!("h{p}"), &format!("d{p}.test")));
+            }
+        }
+        records.push(record(900, "h0", "d0.test")); // closes the last tick
+
+        let run = |chunks: Vec<Vec<LogRecord>>| {
+            let mut hunt = StreamingHunt::new(c.clone()).unwrap();
+            let mut reports = Vec::new();
+            for chunk in chunks {
+                reports.extend(hunt.ingest(&chunk));
+            }
+            let evictions: Vec<Vec<CommunicationPair>> =
+                reports.iter().map(|r| r.evicted.clone()).collect();
+            let live: Vec<CommunicationPair> = hunt.pairs.keys().cloned().collect();
+            (evictions, live, *hunt.ledger())
+        };
+
+        let whole = run(vec![records.clone()]);
+        // Chunked at an arbitrary boundary.
+        let mid = records.len() / 3;
+        let chunked = run(vec![records[..mid].to_vec(), records[mid..].to_vec()]);
+        // Reversed within each tick (ticks themselves must stay ordered).
+        let mut shuffled = Vec::new();
+        for tick_records in records.chunks(12) {
+            let mut tick_records = tick_records.to_vec();
+            tick_records.reverse();
+            shuffled.push(tick_records);
+        }
+        let reordered = run(shuffled);
+
+        assert_eq!(whole.0, chunked.0, "eviction order differs when chunked");
+        assert_eq!(whole.0, reordered.0, "eviction order differs when shuffled");
+        assert_eq!(whole.1, chunked.1);
+        assert_eq!(whole.1, reordered.1);
+        assert_eq!(whole.2, chunked.2);
+        assert_eq!(whole.2, reordered.2);
+        assert!(whole.2.pairs_evicted > 0, "budget must actually evict");
+        assert!(whole.2.is_balanced());
+    }
+
+    #[test]
+    fn evicted_pair_readmits_with_a_fresh_ring() {
+        let mut c = config(100, 8);
+        // 519 bytes per pair (base 192 + 9 key bytes + 16×16 ring + one
+        // 62-byte token): six pairs fit (3114), seven do not (3633), so
+        // exactly one eviction happens per over-budget tick — always the
+        // coldest pair, ties broken by key order.
+        c.ring_capacity = 16;
+        c.state_budget_bytes = 3_400;
+        // Keep admission out of the way: this test is about eviction
+        // only, and degradation would widen the eviction target.
+        c.admission = AdmissionConfig {
+            degrade_enter: 10.0,
+            degrade_exit: 9.0,
+            reject_enter: 20.0,
+            reject_exit: 19.0,
+        };
+        let mut hunt = StreamingHunt::new(c).unwrap();
+        // Tick 0: pair A (smallest key, so it loses LRU ties) plus five
+        // others — six pairs, under budget.
+        let mut records = vec![record(5, "a0", "aa.test")];
+        for p in 0..5 {
+            records.push(record(10 + p, &format!("h{p}"), &format!("d{p}.test")));
+        }
+        // Tick 1: the five stay warm and a sixth pair joins; seven pairs
+        // exceed the budget and the coldest — A, at tick 0 — is evicted.
+        for p in 0..6 {
+            records.push(record(110 + p, &format!("h{p}"), &format!("d{p}.test")));
+        }
+        // Tick 2: A returns (readmission); now h5 is the coldest and is
+        // evicted in its turn, never to return.
+        records.push(record(205, "a0", "aa.test"));
+        for p in 0..5 {
+            records.push(record(210 + p, &format!("h{p}"), &format!("d{p}.test")));
+        }
+        // Tick 3: closes tick 2.
+        records.push(record(305, "h0", "d0.test"));
+        let reports = hunt.ingest(&records);
+        let a = CommunicationPair::new("a0", "aa.test");
+        assert!(
+            reports.iter().any(|r| r.evicted.contains(&a)),
+            "pair A must be evicted while cold: {reports:?}"
+        );
+        assert_eq!(hunt.ledger().pairs_readmitted, 1);
+        let state = hunt.pairs.get(&a).expect("A is live again");
+        assert_eq!(
+            state.ring.timestamps(),
+            vec![205],
+            "readmitted pair must start from a fresh ring"
+        );
+        assert!(hunt.ledger().is_balanced());
+        // The declared counters observed the cycle.
+        let json = hunt.metrics_snapshot().to_json();
+        assert!(json.contains("\"stream.pairs.evicted\""));
+        assert!(json.contains("\"stream.pairs.readmitted\""));
+    }
+
+    #[test]
+    fn reject_sheds_the_buffered_tick() {
+        let mut c = config(100, 4);
+        c.state_budget_bytes = 1; // any state at all overflows
+        c.admission = AdmissionConfig {
+            degrade_enter: 0.5,
+            degrade_exit: 0.25,
+            reject_enter: 1.0,
+            reject_exit: 0.75,
+        };
+        let mut hunt = StreamingHunt::new(c).unwrap();
+        let mut records = Vec::new();
+        for tick in 0u64..4 {
+            for p in 0..4 {
+                records.push(record(
+                    tick * 100 + p,
+                    &format!("h{p}"),
+                    &format!("d{p}.test"),
+                ));
+            }
+        }
+        let reports = hunt.ingest(&records);
+        assert!(
+            reports
+                .iter()
+                .any(|r| r.decision == AdmissionDecision::Reject),
+            "pressure ≥ 1 must reject: {reports:?}"
+        );
+        assert!(hunt.ledger().events_shed > 0);
+        assert!(hunt.ledger().is_balanced());
+    }
+
+    #[test]
+    fn deltas_telescope_to_final_levels() {
+        let mut hunt = StreamingHunt::new(config(60, 4)).unwrap();
+        let mut records = Vec::new();
+        for i in 0..40u64 {
+            records.push(record(i * 30, "beacon", "qwzkrvbplm.test"));
+        }
+        for i in 0..25u64 {
+            records.push(record((i * i * 13) % 1200, "human", "news.test"));
+        }
+        records.sort_by_key(|r| r.timestamp);
+        let mut reports = hunt.ingest(&records);
+        reports.extend(hunt.finish());
+        let mut acc = [0i64; 8];
+        for r in &reports {
+            r.delta.accumulate(&mut acc);
+        }
+        let last = &reports[reports.len() - 1].stats;
+        assert_eq!(
+            acc,
+            [
+                last.events as i64,
+                last.pairs as i64,
+                last.after_global_whitelist as i64,
+                last.after_local_whitelist as i64,
+                last.periodic as i64,
+                last.after_token_filter as i64,
+                last.after_novelty as i64,
+                last.reported as i64,
+            ]
+        );
+    }
+
+    #[test]
+    fn verdict_cache_reuses_unchanged_windows() {
+        // A pair that stops sending keeps its window unchanged while the
+        // window hasn't slid past its events: no re-detection needed.
+        let mut hunt = StreamingHunt::new(config(100, 100)).unwrap();
+        let mut records: Vec<LogRecord> =
+            (0..30u64).map(|i| record(i * 10, "h", "a.test")).collect();
+        // Three quiet ticks afterwards (window long enough to retire
+        // nothing), driven by a second distant pair.
+        for tick in 4u64..7 {
+            records.push(record(tick * 100 + 1, "other", "b.test"));
+        }
+        let reports = hunt.ingest(&records);
+        let later: Vec<&TickReport> = reports.iter().filter(|r| r.tick >= 4).collect();
+        assert!(!later.is_empty());
+        assert!(
+            later.iter().any(|r| r.detect_cached > 0),
+            "unchanged pair must serve from the verdict cache: {later:?}"
+        );
+        assert!(hunt.ledger().is_lossless());
+    }
+
+    #[test]
+    fn commit_reported_suppresses_novelty() {
+        let mut hunt = StreamingHunt::new(config(60, 4)).unwrap();
+        let records: Vec<LogRecord> = (0..40u64)
+            .map(|i| record(i * 30, "beacon", "qwzkrvbplm.test"))
+            .collect();
+        hunt.ingest(&records);
+        let before = hunt.finish().unwrap();
+        assert!(before.stats.after_novelty > 0, "fresh pair must be novel");
+        hunt.commit_reported([CommunicationPair::new("beacon", "qwzkrvbplm.test")]);
+        let after = hunt.finish().unwrap();
+        assert_eq!(after.stats.after_novelty, 0, "committed pair is not novel");
+    }
+
+    #[test]
+    fn fingerprints_distinguish_field_boundaries() {
+        // The NUL separator keeps ("ab", "c") distinct from ("a", "bc").
+        let a = fingerprint(&CommunicationPair::new("ab", "c"));
+        let b = fingerprint(&CommunicationPair::new("a", "bc"));
+        assert_ne!(a, b);
+    }
+}

@@ -45,6 +45,7 @@ pub mod benign;
 pub mod corrupt;
 pub mod dns;
 pub mod enterprise;
+pub mod longtrace;
 pub mod malware;
 pub mod netflow;
 pub mod oracle;
@@ -55,5 +56,6 @@ pub mod tracestats;
 pub mod types;
 
 pub use enterprise::{EnterpriseConfig, EnterpriseSimulator, Trace};
+pub use longtrace::{LongTraceConfig, LongTraceGenerator};
 pub use oracle::ThreatIntelOracle;
 pub use types::{GroundTruth, HostId, ProxyEvent};

@@ -1,0 +1,245 @@
+//! Unbounded-horizon trace generation for streaming soak tests.
+//!
+//! The batch simulator ([`crate::enterprise`]) materializes a whole trace
+//! up front, which caps how long a soak can run. This module generates
+//! traffic *tick by tick*: [`LongTraceGenerator::tick_events`] is a pure
+//! function of `(seed, tick)`, so a two-minute soak and a two-day soak
+//! walk the same infinite trace, any tick can be regenerated without
+//! replaying history, and shards can be fed out of one generator without
+//! coordination.
+//!
+//! The mix is tuned for exercising the streaming engine's state bounds:
+//!
+//! * **Persistent beacons** — a fixed set of periodic pairs that survive
+//!   every window and must keep their detection verdicts warm.
+//! * **Churning benign pairs** — short-lived pairs born every tick and
+//!   silent after a configurable lifetime, which drives cold-pair
+//!   eviction (and occasional readmission when a name is reborn).
+//! * **Background noise** — one-off events across a host pool and a
+//!   small domain catalog.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rngutil::{gaussian, poisson};
+use crate::types::{HostId, ProxyEvent};
+
+/// Parameters of the infinite trace.
+#[derive(Debug, Clone)]
+pub struct LongTraceConfig {
+    /// Master seed; together with the tick index it fully determines
+    /// every event.
+    pub seed: u64,
+    /// Tick length in seconds. Should match the streaming engine's
+    /// schedule for soak tests, though nothing requires it.
+    pub tick_seconds: u64,
+    /// Number of persistent beaconing pairs.
+    pub beacons: usize,
+    /// Beacon callback period in seconds.
+    pub beacon_period: u64,
+    /// Gaussian jitter applied to each callback, as a fraction of the
+    /// period (the paper's Fig. 2 perturbation).
+    pub beacon_jitter: f64,
+    /// Short-lived pairs born each tick.
+    pub churn_pairs_per_tick: usize,
+    /// Ticks a churned pair stays active after birth.
+    pub churn_lifetime_ticks: u64,
+    /// One-off background events per tick.
+    pub noise_events_per_tick: usize,
+    /// Size of the benign host pool (noise and churn sources).
+    pub hosts: u32,
+}
+
+impl Default for LongTraceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            tick_seconds: 300,
+            beacons: 4,
+            beacon_period: 30,
+            beacon_jitter: 0.02,
+            churn_pairs_per_tick: 6,
+            churn_lifetime_ticks: 3,
+            noise_events_per_tick: 40,
+            hosts: 64,
+        }
+    }
+}
+
+/// Tick-addressable trace generator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct LongTraceGenerator {
+    config: LongTraceConfig,
+    beacon_domains: Vec<String>,
+}
+
+/// Odd multiplier decorrelating per-tick RNG streams (splitmix64's
+/// golden-ratio increment).
+const TICK_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl LongTraceGenerator {
+    /// Builds the generator; beacon destinations (DGA-style random
+    /// labels) are fixed by the seed alone.
+    pub fn new(config: LongTraceConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let beacon_domains = (0..config.beacons)
+            .map(|_| {
+                let label: String = (0..12)
+                    .map(|_| char::from(b'a' + rng.random_range(0..26u8)))
+                    .collect();
+                format!("{label}.biz")
+            })
+            .collect();
+        Self {
+            config,
+            beacon_domains,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LongTraceConfig {
+        &self.config
+    }
+
+    /// The persistent beacon destinations (ground truth for soaks).
+    pub fn beacon_domains(&self) -> &[String] {
+        &self.beacon_domains
+    }
+
+    /// All events of one tick, sorted by `(timestamp, host, domain)` —
+    /// a pure function of `(seed, tick)`.
+    pub fn tick_events(&self, tick: u64) -> Vec<ProxyEvent> {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed ^ tick.wrapping_mul(TICK_STREAM));
+        let start = tick * c.tick_seconds;
+        let end = start + c.tick_seconds;
+        let mut events = Vec::new();
+
+        // Persistent beacons: one callback per period gridpoint, jittered
+        // but clamped into the tick so tick-addressability holds.
+        for (b, domain) in self.beacon_domains.iter().enumerate() {
+            let host = HostId(1_000_000 + b as u32);
+            let mut grid = start.next_multiple_of(c.beacon_period.max(1));
+            while grid < end {
+                let jitter = gaussian(&mut rng, 0.0, c.beacon_jitter * c.beacon_period as f64);
+                let ts = (grid as f64 + jitter) as u64;
+                events.push(ProxyEvent {
+                    timestamp: ts.clamp(start, end - 1),
+                    host,
+                    source_ip: 0x0A00_0000 | host.0,
+                    domain: domain.clone(),
+                    url_path: "cb".into(),
+                });
+                grid += c.beacon_period.max(1);
+            }
+        }
+
+        // Churning pairs: every cohort born within the lifetime window is
+        // still active this tick; each emits a Poisson burst.
+        let first_born = tick.saturating_sub(c.churn_lifetime_ticks.saturating_sub(1));
+        for born in first_born..=tick {
+            for j in 0..c.churn_pairs_per_tick {
+                let host = HostId((born.wrapping_mul(31) as u32 + j as u32) % c.hosts);
+                let domain = format!("srv-{born}-{j}.cdn.test");
+                for _ in 0..poisson(&mut rng, 3.0).max(1) {
+                    events.push(ProxyEvent {
+                        timestamp: rng.random_range(start..end),
+                        host,
+                        source_ip: 0x0A00_0000 | host.0,
+                        domain: domain.clone(),
+                        url_path: "asset".into(),
+                    });
+                }
+            }
+        }
+
+        // Background noise over a small popular catalog.
+        for _ in 0..c.noise_events_per_tick {
+            let host = HostId(rng.random_range(0..c.hosts));
+            let domain = format!("news-{}.test", rng.random_range(0..24u32));
+            events.push(ProxyEvent {
+                timestamp: rng.random_range(start..end),
+                host,
+                source_ip: 0x0A00_0000 | host.0,
+                domain,
+                url_path: "index".into(),
+            });
+        }
+
+        events.sort_by(|a, b| {
+            (a.timestamp, a.host, &a.domain).cmp(&(b.timestamp, b.host, &b.domain))
+        });
+        events
+    }
+
+    /// Concatenates the events of `ticks` in order — the batch view of
+    /// the same trace.
+    pub fn events(&self, ticks: std::ops::Range<u64>) -> Vec<ProxyEvent> {
+        ticks.flat_map(|t| self.tick_events(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_events_are_pure_in_seed_and_tick() {
+        let g1 = LongTraceGenerator::new(LongTraceConfig::default());
+        let g2 = LongTraceGenerator::new(LongTraceConfig::default());
+        // Same tick twice, and out of order: identical events.
+        assert_eq!(g1.tick_events(5), g2.tick_events(5));
+        let late_first = g2.tick_events(9);
+        let _ = g2.tick_events(0);
+        assert_eq!(g2.tick_events(9), late_first);
+        let other = LongTraceGenerator::new(LongTraceConfig {
+            seed: 8,
+            ..LongTraceConfig::default()
+        });
+        assert_ne!(g1.tick_events(5), other.tick_events(5));
+    }
+
+    #[test]
+    fn events_stay_inside_their_tick() {
+        let g = LongTraceGenerator::new(LongTraceConfig::default());
+        let tick_seconds = g.config().tick_seconds;
+        for tick in [0u64, 3, 17] {
+            let events = g.tick_events(tick);
+            assert!(!events.is_empty());
+            for e in &events {
+                assert!(e.timestamp >= tick * tick_seconds);
+                assert!(e.timestamp < (tick + 1) * tick_seconds);
+            }
+            assert!(events.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        }
+    }
+
+    #[test]
+    fn beacons_fire_every_tick_and_churn_expires() {
+        let g = LongTraceGenerator::new(LongTraceConfig::default());
+        let beacon = g.beacon_domains()[0].clone();
+        for tick in 0..6u64 {
+            let events = g.tick_events(tick);
+            assert!(
+                events.iter().any(|e| e.domain == beacon),
+                "beacon silent in tick {tick}"
+            );
+        }
+        // A cohort born at tick 0 lives churn_lifetime_ticks ticks and
+        // then goes permanently quiet — that silence is what drives the
+        // streaming engine's cold-pair eviction.
+        let lifetime = g.config().churn_lifetime_ticks;
+        let born0 = |events: &[ProxyEvent]| events.iter().any(|e| e.domain.starts_with("srv-0-"));
+        assert!(born0(&g.tick_events(lifetime - 1)));
+        assert!(!born0(&g.tick_events(lifetime)));
+        assert!(!born0(&g.tick_events(lifetime + 4)));
+    }
+
+    #[test]
+    fn batch_view_concatenates_ticks() {
+        let g = LongTraceGenerator::new(LongTraceConfig::default());
+        let batch = g.events(0..3);
+        let concat: Vec<ProxyEvent> = (0..3).flat_map(|t| g.tick_events(t)).collect();
+        assert_eq!(batch, concat);
+    }
+}

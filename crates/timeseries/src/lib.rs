@@ -54,6 +54,7 @@ pub mod gmm;
 pub mod periodogram;
 pub mod permutation;
 pub mod prune;
+pub mod ring;
 pub mod series;
 pub mod spectrogram;
 pub mod symbolize;
@@ -63,6 +64,7 @@ pub use budget::{BudgetSpec, ExecBudget};
 pub use detector::{
     CandidatePeriod, DetectionReport, DetectorConfig, DetectorObs, PeriodicityDetector,
 };
+pub use ring::{IntervalSketch, RingEntry, RingPush, TimestampRing};
 pub use series::{intervals_of, TimeSeries};
 pub use workspace::SpectralWorkspace;
 

@@ -41,6 +41,21 @@
 //!   per-line accounting; combine with `--json` for the machine export,
 //! * `--print-backoff` prints the deterministic backoff schedule and
 //!   exits (the CI soak job diffs this output across debug and release).
+//!
+//! Streaming mode (see DESIGN.md §12): `--stream` replaces the daily
+//! batch hunt with the incremental engine — bounded per-pair state,
+//! budget-driven eviction, per-tick funnel deltas — fed either from the
+//! infinite netsim long trace (default) or from newline-delimited
+//! `timestamp source domain [token]` shards on stdin (`--stream-stdin`):
+//!
+//! ```text
+//! cargo run --release --example enterprise_hunt -- --stream
+//! cargo run --release --example enterprise_hunt -- --stream \
+//!     --tick-seconds 300 --window-ticks 4 --ring-capacity 64 \
+//!     --state-budget-bytes 262144 --stream-ticks 24 --json
+//! generate_shards | cargo run --release --example enterprise_hunt -- \
+//!     --stream --stream-stdin
+//! ```
 
 #![warn(clippy::unwrap_used)]
 
@@ -50,8 +65,12 @@ use std::sync::Arc;
 use baywatch::core::checkpoint::CheckpointSpec;
 use baywatch::core::io::IngestGuard;
 use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
+use baywatch::core::record::LogRecord;
 use baywatch::core::report::export_json;
+use baywatch::core::stream::{StreamConfig, StreamingHunt, TickReport};
+use baywatch::core::ScheduleSpec;
 use baywatch::netsim::enterprise::{EnterpriseConfig, EnterpriseSimulator};
+use baywatch::netsim::longtrace::{LongTraceConfig, LongTraceGenerator};
 use baywatch::netsim::resilience::{flapping_source, FlappingConfig};
 use baywatch::obs::{Clock, ManualClock};
 use baywatch::record_from_event;
@@ -109,6 +128,10 @@ fn main() {
     };
     if args.iter().any(|a| a == "--flapping") {
         run_flapping_scenario(breaker, retry, emit_json);
+        return;
+    }
+    if args.iter().any(|a| a == "--stream") {
+        run_stream_scenario(&args, emit_json);
         return;
     }
     // ---- Simulate the enterprise. -------------------------------------
@@ -248,6 +271,141 @@ fn main() {
             println!("\n--- observability export (--json) ---");
             println!("{}", export_json(report, &engine.metrics_snapshot(), 10));
         }
+    }
+}
+
+/// Runs the streaming engine: continuous ingestion with bounded
+/// per-pair state under a global memory budget, per-tick funnel deltas,
+/// and a final window report equivalent to a batch run. Fed from the
+/// infinite netsim long trace by default, or from stdin shards
+/// (`--stream-stdin`, one `timestamp source domain [token]` per line).
+fn run_stream_scenario(args: &[String], emit_json: bool) {
+    let tick_seconds = flag_value(args, "--tick-seconds").unwrap_or(300);
+    let window_ticks = flag_value(args, "--window-ticks").unwrap_or(4);
+    let schedule = match ScheduleSpec::new(tick_seconds, window_ticks) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("invalid schedule: {err}");
+            std::process::exit(2);
+        }
+    };
+    let mut config = StreamConfig::lossless(schedule);
+    config.ring_capacity = flag_value(args, "--ring-capacity").unwrap_or(64);
+    config.state_budget_bytes = flag_value(args, "--state-budget-bytes").unwrap_or(256 * 1024);
+    config.pipeline = BaywatchConfig {
+        local_tau: 0.05,
+        ..Default::default()
+    };
+    let mut hunt = match StreamingHunt::new(config) {
+        Ok(hunt) => hunt,
+        Err(err) => {
+            eprintln!("invalid stream config: {err}");
+            std::process::exit(2);
+        }
+    };
+
+    let print_tick = |r: &TickReport| {
+        println!(
+            "tick {:>4} [{:>7}] events {:>5} pairs {:>4} periodic {:>3} reported {:>3} | \
+             live {:>4} resident {:>8}B evicted {:>3} detect {}/{} cached",
+            r.tick,
+            format!("{:?}", r.decision),
+            r.stats.events,
+            r.stats.pairs,
+            r.stats.periodic,
+            r.stats.reported,
+            r.live_pairs,
+            r.resident_bytes,
+            r.evicted.len(),
+            r.detect_runs,
+            r.detect_cached,
+        );
+    };
+
+    if args.iter().any(|a| a == "--stream-stdin") {
+        println!("streaming from stdin (timestamp source domain [token] per line)...");
+        let mut malformed = 0usize;
+        let mut line = String::new();
+        while std::io::BufRead::read_line(&mut std::io::stdin().lock(), &mut line).unwrap_or(0) > 0
+        {
+            let mut fields = line.split_whitespace();
+            let record = match (fields.next().and_then(|t| t.parse().ok()), fields.next(), fields.next())
+            {
+                (Some(timestamp), Some(source), Some(domain)) => LogRecord::new(
+                    timestamp,
+                    source,
+                    domain,
+                    fields.next().unwrap_or(""),
+                ),
+                _ => {
+                    if !line.trim().is_empty() {
+                        malformed += 1;
+                    }
+                    line.clear();
+                    continue;
+                }
+            };
+            line.clear();
+            for report in hunt.ingest(&[record]) {
+                print_tick(&report);
+            }
+        }
+        if malformed > 0 {
+            println!("skipped {malformed} malformed stdin lines");
+        }
+    } else {
+        let ticks: u64 = flag_value(args, "--stream-ticks").unwrap_or(12);
+        let generator = LongTraceGenerator::new(LongTraceConfig {
+            tick_seconds,
+            ..LongTraceConfig::default()
+        });
+        println!(
+            "streaming {} ticks of the long trace; planted beacons: {:?}",
+            ticks,
+            generator.beacon_domains()
+        );
+        for tick in 0..ticks {
+            let records: Vec<LogRecord> = generator
+                .tick_events(tick)
+                .iter()
+                .map(record_from_event)
+                .collect();
+            for report in hunt.ingest(&records) {
+                print_tick(&report);
+            }
+        }
+    }
+    if let Some(report) = hunt.finish() {
+        print_tick(&report);
+    }
+
+    let ledger = hunt.ledger();
+    println!(
+        "ledger: offered {} admitted {} late {} shed {} capacity-dropped {} retired {} \
+         evicted {} resident {} | pairs admitted {} live {} evicted {} readmitted {} \
+         balanced={} lossless={}",
+        ledger.events_offered,
+        ledger.events_admitted,
+        ledger.events_late,
+        ledger.events_shed,
+        ledger.events_dropped_capacity,
+        ledger.events_retired,
+        ledger.events_evicted,
+        ledger.events_resident,
+        ledger.pairs_admitted,
+        ledger.pairs_live,
+        ledger.pairs_evicted,
+        ledger.pairs_readmitted,
+        ledger.is_balanced(),
+        ledger.is_lossless(),
+    );
+    println!("confirmed beacons at the final window:");
+    for pair in hunt.confirmed_pairs() {
+        println!("    {pair}");
+    }
+    if emit_json {
+        println!("\n--- observability export (--json) ---");
+        println!("{}", hunt.final_export(10));
     }
 }
 

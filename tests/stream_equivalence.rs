@@ -1,0 +1,226 @@
+//! Streaming/batch equivalence battery (deterministic half; the
+//! randomized half lives in `stream_properties.rs`).
+//!
+//! The contract under test: a [`StreamingHunt`] in lossless mode, fed a
+//! whole trace, must end in exactly the state a batch [`Baywatch`] run
+//! over the final window would compute — byte-identical `export_json`,
+//! identical confirmed-beacon sets — and the per-tick funnel deltas must
+//! telescope exactly to the batch funnel totals. Chunk boundaries and
+//! intra-tick arrival order must be invisible.
+//!
+//! [`StreamingHunt`]: baywatch::core::stream::StreamingHunt
+//! [`Baywatch`]: baywatch::core::pipeline::Baywatch
+
+use std::sync::Arc;
+
+use baywatch::core::pipeline::{Baywatch, BaywatchConfig};
+use baywatch::core::record::LogRecord;
+use baywatch::core::report::export_json;
+use baywatch::core::stream::{StreamConfig, StreamingHunt, TickReport};
+use baywatch::core::ScheduleSpec;
+use baywatch::netsim::longtrace::{LongTraceConfig, LongTraceGenerator};
+use baywatch::obs::ManualClock;
+use baywatch::record_from_event;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+const TICK_SECONDS: u64 = 300;
+const WINDOW_TICKS: u64 = 4;
+const TICKS: u64 = 8;
+const TOP_K: usize = 10;
+
+fn generator(seed: u64) -> LongTraceGenerator {
+    LongTraceGenerator::new(LongTraceConfig {
+        seed,
+        tick_seconds: TICK_SECONDS,
+        ..LongTraceConfig::default()
+    })
+}
+
+fn trace(seed: u64) -> Vec<LogRecord> {
+    generator(seed)
+        .events(0..TICKS)
+        .iter()
+        .map(record_from_event)
+        .collect()
+}
+
+fn pipeline_config() -> BaywatchConfig {
+    BaywatchConfig {
+        // ~68 distinct sources: τ_P = 5% whitelists the popular news
+        // catalog while single-victim beacons survive.
+        local_tau: 0.05,
+        ..Default::default()
+    }
+}
+
+fn stream_config() -> StreamConfig {
+    let schedule = ScheduleSpec::new(TICK_SECONDS, WINDOW_TICKS).expect("valid schedule");
+    let mut config = StreamConfig::lossless(schedule);
+    config.pipeline = pipeline_config();
+    config
+}
+
+/// Streams `records` in the given chunks and returns the engine plus
+/// every tick report (including the forced final close).
+fn stream_chunks(chunks: Vec<Vec<LogRecord>>) -> (StreamingHunt, Vec<TickReport>) {
+    let mut hunt = StreamingHunt::new(stream_config()).expect("valid stream config");
+    let mut reports = Vec::new();
+    for chunk in chunks {
+        reports.extend(hunt.ingest(&chunk));
+    }
+    reports.extend(hunt.finish());
+    (hunt, reports)
+}
+
+/// The batch pipeline over the records inside the final window.
+fn batch_on_final_window(records: &[LogRecord]) -> (String, Vec<String>, [i64; 8]) {
+    let schedule = ScheduleSpec::new(TICK_SECONDS, WINDOW_TICKS).expect("valid schedule");
+    let final_tick = TICKS - 1;
+    let window: Vec<LogRecord> = records
+        .iter()
+        .filter(|r| schedule.in_window(final_tick, r.timestamp))
+        .cloned()
+        .collect();
+    let mut engine = Baywatch::with_clock(pipeline_config(), Arc::new(ManualClock::new()));
+    let report = engine.analyze(window);
+    let export = export_json(&report, &engine.metrics_snapshot(), TOP_K);
+    let confirmed: Vec<String> = report
+        .reported()
+        .iter()
+        .map(|c| format!("{}→{}", c.case.pair.source, c.case.pair.destination))
+        .collect();
+    let funnel = [
+        report.stats.events as i64,
+        report.stats.pairs as i64,
+        report.stats.after_global_whitelist as i64,
+        report.stats.after_local_whitelist as i64,
+        report.stats.periodic as i64,
+        report.stats.after_token_filter as i64,
+        report.stats.after_novelty as i64,
+        report.stats.reported as i64,
+    ];
+    (export, confirmed, funnel)
+}
+
+#[test]
+fn streaming_final_export_is_byte_identical_to_batch() {
+    let records = trace(42);
+    let (hunt, _) = stream_chunks(vec![records.clone()]);
+    assert!(
+        hunt.ledger().is_lossless(),
+        "lossless config must lose nothing: {:?}",
+        hunt.ledger()
+    );
+
+    let (batch_export, batch_confirmed, _) = batch_on_final_window(&records);
+    let stream_export = hunt.final_export(TOP_K);
+    assert_eq!(
+        stream_export, batch_export,
+        "streaming export deviates from the batch pipeline on the final window"
+    );
+
+    let stream_confirmed: Vec<String> = hunt
+        .confirmed_pairs()
+        .iter()
+        .map(|p| format!("{}→{}", p.source, p.destination))
+        .collect();
+    assert_eq!(stream_confirmed, batch_confirmed);
+    assert!(
+        !stream_confirmed.is_empty(),
+        "the trace carries persistent beacons; something must be confirmed"
+    );
+    // The confirmed set actually contains a planted beacon destination.
+    let beacons = generator(42);
+    assert!(
+        stream_confirmed
+            .iter()
+            .any(|s| beacons.beacon_domains().iter().any(|d| s.ends_with(d))),
+        "no planted beacon in {stream_confirmed:?}"
+    );
+}
+
+#[test]
+fn chunk_boundaries_and_intra_tick_order_are_invisible() {
+    let records = trace(43);
+    let (whole_hunt, whole_reports) = stream_chunks(vec![records.clone()]);
+    let whole_export = whole_hunt.final_export(TOP_K);
+
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    // Several random chunkings, including single-record feeding.
+    for round in 0..3 {
+        let mut chunks = Vec::new();
+        let mut rest = records.clone();
+        while !rest.is_empty() {
+            let take = if round == 0 {
+                1
+            } else {
+                rng.random_range(1..=rest.len())
+            };
+            let tail = rest.split_off(take.min(rest.len()));
+            chunks.push(rest);
+            rest = tail;
+        }
+        let (hunt, reports) = stream_chunks(chunks);
+        assert_eq!(
+            hunt.final_export(TOP_K),
+            whole_export,
+            "chunking round {round} changed the final export"
+        );
+        assert_eq!(hunt.ledger(), whole_hunt.ledger());
+        assert_eq!(
+            format!("{reports:?}"),
+            format!("{whole_reports:?}"),
+            "chunking round {round} changed a tick report"
+        );
+    }
+
+    // Shuffling arrivals *within* each tick must also be invisible: the
+    // engine folds a tick's buffer before appending.
+    let mut shuffled = Vec::new();
+    for tick in 0..TICKS {
+        let mut tick_records: Vec<LogRecord> = records
+            .iter()
+            .filter(|r| r.timestamp / TICK_SECONDS == tick)
+            .cloned()
+            .collect();
+        tick_records.shuffle(&mut rng);
+        shuffled.push(tick_records);
+    }
+    let (hunt, reports) = stream_chunks(shuffled);
+    assert_eq!(hunt.final_export(TOP_K), whole_export);
+    assert_eq!(hunt.ledger(), whole_hunt.ledger());
+    assert_eq!(format!("{reports:?}"), format!("{whole_reports:?}"));
+}
+
+#[test]
+fn per_tick_deltas_telescope_to_the_batch_funnel() {
+    let records = trace(44);
+    let (hunt, reports) = stream_chunks(vec![records.clone()]);
+    assert!(hunt.ledger().is_lossless());
+
+    let mut acc = [0i64; 8];
+    for report in &reports {
+        report.delta.accumulate(&mut acc);
+    }
+    let (_, _, batch_funnel) = batch_on_final_window(&records);
+    assert_eq!(
+        acc, batch_funnel,
+        "summed per-tick deltas must telescope exactly to the batch funnel"
+    );
+
+    // And the last tick's absolute levels agree with the batch, too.
+    let last = reports.last().expect("at least one tick closed");
+    let levels = [
+        last.stats.events as i64,
+        last.stats.pairs as i64,
+        last.stats.after_global_whitelist as i64,
+        last.stats.after_local_whitelist as i64,
+        last.stats.periodic as i64,
+        last.stats.after_token_filter as i64,
+        last.stats.after_novelty as i64,
+        last.stats.reported as i64,
+    ];
+    assert_eq!(levels, batch_funnel);
+}

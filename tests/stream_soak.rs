@@ -1,0 +1,229 @@
+//! Streaming soak: a wall-clock-bounded run over the infinite
+//! [`longtrace`] feed under a deliberately tight memory budget, asserting
+//! on every closed tick that resident state stays under the budget and
+//! that the event/pair ledger balances exactly — plus a machine-blessed
+//! golden snapshot of the per-tick streaming funnel.
+//!
+//! The soak length defaults to a few seconds so the default test profile
+//! stays fast; CI sets `BAYWATCH_SOAK_SECS=120` for the full two-minute
+//! battery. The golden snapshot (`tests/golden/stream_funnel.json`)
+//! follows the same bless workflow as `golden_funnel.rs`: blessed where
+//! the tests run (`BAYWATCH_BLESS=1`, or automatically when absent),
+//! byte-compared afterwards.
+//!
+//! [`longtrace`]: baywatch::netsim::longtrace
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use baywatch::core::pipeline::BaywatchConfig;
+use baywatch::core::stream::{StreamConfig, StreamingHunt, TickReport};
+use baywatch::core::ScheduleSpec;
+use baywatch::netsim::longtrace::{LongTraceConfig, LongTraceGenerator};
+use baywatch::record_from_event;
+
+const TICK_SECONDS: u64 = 300;
+const WINDOW_TICKS: u64 = 4;
+
+fn generator(seed: u64) -> LongTraceGenerator {
+    LongTraceGenerator::new(LongTraceConfig {
+        seed,
+        tick_seconds: TICK_SECONDS,
+        ..LongTraceConfig::default()
+    })
+}
+
+fn stream_config(state_budget_bytes: u64) -> StreamConfig {
+    let schedule = ScheduleSpec::new(TICK_SECONDS, WINDOW_TICKS).expect("valid schedule");
+    let mut config = StreamConfig::lossless(schedule);
+    config.ring_capacity = 64;
+    config.state_budget_bytes = state_budget_bytes;
+    config.pipeline = BaywatchConfig {
+        local_tau: 0.05,
+        ..Default::default()
+    };
+    config
+}
+
+/// Per-tick invariants every soak tick must uphold.
+fn assert_tick_invariants(hunt: &StreamingHunt, report: &TickReport, budget: u64) {
+    assert!(
+        report.resident_bytes <= budget,
+        "tick {}: resident {} bytes exceeds the {} byte budget",
+        report.tick,
+        report.resident_bytes,
+        budget
+    );
+    let ledger = hunt.ledger();
+    assert!(
+        ledger.is_balanced(),
+        "tick {}: ledger out of balance: {ledger:?}",
+        report.tick
+    );
+    assert_eq!(
+        ledger.pairs_admitted,
+        ledger.pairs_live + ledger.pairs_evicted,
+        "tick {}: pair ledger must stay exact",
+        report.tick
+    );
+}
+
+#[test]
+fn soak_stays_under_budget_with_exact_ledger() {
+    // A budget well below the working set (~150 live pairs × ~1.3 KB):
+    // eviction and admission degradation must run continuously without
+    // ever unbalancing the ledger or breaching the budget.
+    const BUDGET: u64 = 96 * 1024;
+    const MAX_TICKS: u64 = 5_000;
+
+    let soak_secs: u64 = std::env::var("BAYWATCH_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let deadline = Instant::now() + Duration::from_secs(soak_secs);
+
+    let generator = generator(77);
+    let mut hunt = StreamingHunt::new(stream_config(BUDGET)).expect("valid stream config");
+    let mut tick = 0u64;
+    let mut closed = 0u64;
+    while (Instant::now() < deadline || tick < 2 * WINDOW_TICKS) && tick < MAX_TICKS {
+        let records: Vec<_> = generator
+            .tick_events(tick)
+            .iter()
+            .map(record_from_event)
+            .collect();
+        for report in hunt.ingest(&records) {
+            assert_tick_invariants(&hunt, &report, BUDGET);
+            closed += 1;
+        }
+        tick += 1;
+    }
+    if let Some(report) = hunt.finish() {
+        assert_tick_invariants(&hunt, &report, BUDGET);
+        closed += 1;
+    }
+
+    let ledger = *hunt.ledger();
+    assert!(
+        closed >= 2 * WINDOW_TICKS,
+        "soak closed only {closed} ticks"
+    );
+    assert!(ledger.events_offered > 0);
+    assert!(
+        ledger.pairs_evicted > 0,
+        "an over-budget soak must evict: {ledger:?}"
+    );
+    assert!(
+        ledger.pairs_readmitted > 0,
+        "reborn churn pairs must readmit: {ledger:?}"
+    );
+    assert!(ledger.is_balanced(), "final ledger: {ledger:?}");
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("stream_funnel.json")
+}
+
+/// Renders the per-tick funnel plus the final ledger as deterministic
+/// JSON (integers and enum names only — no floats, no clocks).
+fn funnel_export(reports: &[TickReport], hunt: &StreamingHunt) -> String {
+    let mut out = String::from("{\n  \"ticks\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let s = &r.stats;
+        out.push_str(&format!(
+            "    {{\"tick\":{},\"decision\":\"{:?}\",\"events\":{},\"pairs\":{},\
+             \"after_global_whitelist\":{},\"after_local_whitelist\":{},\"periodic\":{},\
+             \"after_token_filter\":{},\"after_novelty\":{},\"reported\":{},\
+             \"live_pairs\":{},\"resident_bytes\":{},\"evicted\":{},\
+             \"detect_runs\":{},\"detect_cached\":{}}}{}\n",
+            r.tick,
+            r.decision,
+            s.events,
+            s.pairs,
+            s.after_global_whitelist,
+            s.after_local_whitelist,
+            s.periodic,
+            s.after_token_filter,
+            s.after_novelty,
+            s.reported,
+            r.live_pairs,
+            r.resident_bytes,
+            r.evicted.len(),
+            r.detect_runs,
+            r.detect_cached,
+            if i + 1 == reports.len() { "" } else { "," }
+        ));
+    }
+    let l = hunt.ledger();
+    out.push_str(&format!(
+        "  ],\n  \"ledger\": {{\"events_offered\":{},\"events_admitted\":{},\
+         \"events_late\":{},\"events_shed\":{},\"events_dropped_capacity\":{},\
+         \"events_retired\":{},\"events_evicted\":{},\"events_resident\":{},\
+         \"pairs_admitted\":{},\"pairs_live\":{},\"pairs_evicted\":{},\
+         \"pairs_readmitted\":{}}}\n}}\n",
+        l.events_offered,
+        l.events_admitted,
+        l.events_late,
+        l.events_shed,
+        l.events_dropped_capacity,
+        l.events_retired,
+        l.events_evicted,
+        l.events_resident,
+        l.pairs_admitted,
+        l.pairs_live,
+        l.pairs_evicted,
+        l.pairs_readmitted
+    ));
+    out
+}
+
+/// Runs the fixed 12-tick streaming window under a moderate budget and
+/// returns the deterministic funnel export.
+fn golden_run() -> String {
+    const TICKS: u64 = 12;
+    let generator = generator(7);
+    let mut hunt = StreamingHunt::new(stream_config(256 * 1024)).expect("valid stream config");
+    let mut reports = Vec::new();
+    for tick in 0..TICKS {
+        let records: Vec<_> = generator
+            .tick_events(tick)
+            .iter()
+            .map(record_from_event)
+            .collect();
+        reports.extend(hunt.ingest(&records));
+    }
+    reports.extend(hunt.finish());
+    funnel_export(&reports, &hunt)
+}
+
+#[test]
+fn streaming_funnel_golden_snapshot() {
+    let exported = golden_run();
+    assert_eq!(
+        exported,
+        golden_run(),
+        "the streaming funnel export must be run-to-run deterministic"
+    );
+
+    let path = golden_path();
+    let bless = std::env::var("BAYWATCH_BLESS").is_ok_and(|v| v == "1");
+    if bless || !path.exists() {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).expect("create tests/golden");
+        }
+        fs::write(&path, &exported).expect("write golden snapshot");
+        return;
+    }
+    let golden = fs::read_to_string(&path).expect("read golden snapshot");
+    assert_eq!(
+        exported,
+        golden,
+        "streaming funnel deviates from {}; if intentional, re-bless with \
+         BAYWATCH_BLESS=1 cargo test --test stream_soak",
+        path.display()
+    );
+}
